@@ -1,0 +1,43 @@
+//! E3 (Theorem 1): cost of one Align decision and of a complete Align run
+//! from a spread-out rigid configuration to `C*`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::{spread_out_rigid_start, ALIGN_INSTANCES};
+use rr_corda::scheduler::RoundRobinScheduler;
+use rr_corda::{MultiplicityCapability, Protocol, Snapshot};
+use rr_core::align::{run_to_c_star, AlignProtocol};
+use rr_ring::Direction;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_align(c: &mut Criterion) {
+    let mut group = c.benchmark_group("align");
+    // One Compute-phase decision.
+    let config = spread_out_rigid_start(32, 8);
+    let node = config.occupied_nodes()[0];
+    let snapshot = Snapshot::capture(&config, node, MultiplicityCapability::None, Direction::Cw);
+    group.bench_function("decision/n32_k8", |b| {
+        b.iter(|| black_box(AlignProtocol::new().compute(black_box(&snapshot))));
+    });
+    // Complete runs to C*.
+    for &(n, k) in ALIGN_INSTANCES.iter().filter(|(n, _)| *n <= 32) {
+        let start = spread_out_rigid_start(n, k);
+        group.bench_with_input(BenchmarkId::new("run_to_c_star", format!("n{n}_k{k}")), &start, |b, s| {
+            b.iter(|| {
+                let mut sched = RoundRobinScheduler::new();
+                black_box(run_to_c_star(s, &mut sched, 10_000_000).expect("align converges"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_align
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1: regenerating the feasibility characterization table (claims only; the
+//! validated sweep is the `exp_characterization` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_checker::characterization::build_characterization;
+use rr_core::feasibility::searching_feasibility;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization");
+    group.bench_function("single_cell", |b| {
+        b.iter(|| black_box(searching_feasibility(black_box(23), black_box(9))));
+    });
+    for max_n in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("claims_table", max_n), &max_n, |b, &max_n| {
+            b.iter(|| black_box(build_characterization(3..=max_n, false, 0).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    targets = bench_characterization
+}
+criterion_main!(benches);

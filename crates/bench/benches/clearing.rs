@@ -1,0 +1,40 @@
+//! E4 (Theorem 6 / Figure 12): Ring Clearing — cost of one full clearing
+//! cycle and of a run demonstrating three clearings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::rigid_start;
+use rr_corda::scheduler::RoundRobinScheduler;
+use rr_core::clearing::{run_searching, RingClearingProtocol};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_clearing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clearing");
+    for &(n, k) in &[(12usize, 5usize), (16, 8), (24, 7), (40, 20)] {
+        let start = rigid_start(n, k);
+        group.bench_with_input(
+            BenchmarkId::new("three_clearings", format!("n{n}_k{k}")),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    let mut sched = RoundRobinScheduler::new();
+                    let stats = run_searching(RingClearingProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
+                        .expect("runs");
+                    assert!(stats.clearings >= 3);
+                    black_box(stats.moves)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_clearing
+}
+criterion_main!(benches);

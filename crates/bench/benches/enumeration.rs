@@ -1,0 +1,39 @@
+//! E2: exhaustive configuration enumeration and configuration-graph
+//! construction (Figures 4–9 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::THEOREM5_CASES;
+use rr_checker::enumeration::configuration_graph;
+use rr_ring::enumerate::{count_configurations, enumerate_rigid_configurations};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    for &(k, n) in THEOREM5_CASES {
+        group.bench_with_input(
+            BenchmarkId::new("count_configurations", format!("k{k}_n{n}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| black_box(count_configurations(n, k))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("configuration_graph", format!("k{k}_n{n}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| black_box(configuration_graph(n, k))),
+        );
+    }
+    group.bench_function("rigid_enumeration/n14_k6", |b| {
+        b.iter(|| black_box(enumerate_rigid_configurations(14, 6).len()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 (Theorem 8): gathering — complete runs to a single multiplicity under
+//! the round-robin and asynchronous schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::rigid_start;
+use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler};
+use rr_core::gathering::run_gathering;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gathering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gathering");
+    for &(n, k) in &[(12usize, 5usize), (20, 9), (32, 13), (48, 9)] {
+        let start = rigid_start(n, k);
+        group.bench_with_input(BenchmarkId::new("round_robin", format!("n{n}_k{k}")), &start, |b, s| {
+            b.iter(|| {
+                let mut sched = RoundRobinScheduler::new();
+                let stats = run_gathering(s, &mut sched, 10_000_000).expect("runs");
+                assert!(stats.gathered);
+                black_box(stats.moves)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("asynchronous", format!("n{n}_k{k}")), &start, |b, s| {
+            b.iter(|| {
+                let mut sched = AsynchronousScheduler::seeded(3);
+                let stats = run_gathering(s, &mut sched, 20_000_000).expect("runs");
+                assert!(stats.gathered);
+                black_box(stats.moves)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_gathering
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 (Theorems 2–5): structural impossibility predicates, the adversarial
+//! demonstration against the two-robot baseline, and the exhaustive
+//! protocol-synthesis search for the smallest cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_checker::game::exhaustive_impossibility;
+use rr_checker::impossibility::demonstrate_two_robot_failure;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_impossibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("impossibility");
+    group.bench_function("two_robot_adversary/n10", |b| {
+        b.iter(|| black_box(demonstrate_two_robot_failure(10, 100)));
+    });
+    for &(n, k) in &[(5usize, 2usize), (7, 2), (5, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_search", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| black_box(exhaustive_impossibility(n, k, 1_000_000).expect("fits")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_impossibility
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 (Theorem 7): NminusThree — cost of reaching the final configurations
+//! and of three full clearings with `k = n - 3` robots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::rigid_start;
+use rr_corda::scheduler::RoundRobinScheduler;
+use rr_core::clearing::run_searching;
+use rr_core::nminus_three::NminusThreeProtocol;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_nminus_three(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nminus_three");
+    for &n in &[10usize, 14, 20, 32] {
+        let k = n - 3;
+        let start = rigid_start(n, k);
+        group.bench_with_input(
+            BenchmarkId::new("three_clearings", format!("n{n}_k{k}")),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    let mut sched = RoundRobinScheduler::new();
+                    let stats = run_searching(NminusThreeProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
+                        .expect("runs");
+                    assert!(stats.clearings >= 3);
+                    black_box(stats.moves)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_nminus_three
+}
+criterion_main!(benches);

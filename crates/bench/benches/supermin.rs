@@ -1,0 +1,39 @@
+//! E8 (micro): supermin view computation and symmetry classification
+//! (Property 1 / Lemma 1 machinery of Section 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::rigid_start;
+use rr_ring::{supermin_intervals, supermin_view, symmetry};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_supermin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supermin");
+    for &(n, k) in &[(16usize, 7usize), (64, 16), (256, 64), (1024, 128)] {
+        let config = rigid_start(n, k);
+        group.bench_with_input(BenchmarkId::new("supermin_view", format!("n{n}_k{k}")), &config, |b, cfg| {
+            b.iter(|| black_box(supermin_view(black_box(cfg))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("supermin_intervals", format!("n{n}_k{k}")),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(supermin_intervals(black_box(cfg))));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("classify", format!("n{n}_k{k}")), &config, |b, cfg| {
+            b.iter(|| black_box(symmetry::classify(black_box(cfg))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_supermin
+}
+criterion_main!(benches);

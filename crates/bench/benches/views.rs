@@ -1,0 +1,40 @@
+//! E8 (micro): cost of the Look-phase machinery — building views and snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rr_bench::rigid_start;
+use rr_corda::{MultiplicityCapability, Snapshot};
+use rr_ring::Direction;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("views");
+    for &(n, k) in &[(16usize, 7usize), (64, 16), (256, 64), (1024, 128)] {
+        let config = rigid_start(n, k);
+        let node = config.occupied_nodes()[0];
+        group.bench_with_input(BenchmarkId::new("view_from", format!("n{n}_k{k}")), &config, |b, cfg| {
+            b.iter(|| black_box(cfg.view_from(black_box(node), Direction::Cw)));
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot", format!("n{n}_k{k}")), &config, |b, cfg| {
+            b.iter(|| {
+                black_box(Snapshot::capture(
+                    cfg,
+                    black_box(node),
+                    MultiplicityCapability::Local,
+                    Direction::Cw,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_views
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment E2: regenerate the configuration counts and transition graphs of
+//! Figures 4–9 of the paper (the case analysis of Theorem 5).
+//!
+//! ```text
+//! cargo run --release -p rr-bench --bin exp_config_graphs
+//! ```
+
+use rr_bench::THEOREM5_CASES;
+use rr_checker::enumeration::configuration_graph;
+
+fn main() {
+    println!("# E2 — configuration graphs for the small cases of Theorem 5 (Figures 4-9)");
+    println!(
+        "{:>4} {:>4} {:>10} {:>8} {:>8} {:>8}",
+        "k", "n", "figure", "classes", "rigid", "edges"
+    );
+    let figures = ["Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9"];
+    for (&(k, n), figure) in THEOREM5_CASES.iter().zip(figures.iter()) {
+        let graph = configuration_graph(n, k);
+        println!(
+            "{:>4} {:>4} {:>10} {:>8} {:>8} {:>8}",
+            k,
+            n,
+            figure,
+            graph.num_classes(),
+            graph.num_rigid(),
+            graph.edges.len()
+        );
+    }
+    println!();
+    println!("# per-class details for (k=4, n=7) — the four configurations A1..A4 of Figure 4");
+    let graph = configuration_graph(7, 4);
+    for (i, node) in graph.nodes.iter().enumerate() {
+        println!(
+            "  class {i}: gaps {} ({:?}), successors {:?}",
+            node.canonical,
+            node.class,
+            graph.successors(i)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Experiment E6 (Theorem 8): gathering — moves to gather under three
+//! scheduler models across ring sizes and team sizes.
+//!
+//! ```text
+//! cargo run --release -p rr-bench --bin exp_gathering
+//! ```
+
+use rayon::prelude::*;
+use rr_bench::{rigid_start, GATHERING_INSTANCES};
+use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
+use rr_core::gathering::run_gathering;
+
+fn main() {
+    println!("# E6 — Gathering with local multiplicity detection (2 < k < n-2)");
+    println!(
+        "{:>4} {:>4} {:>16} {:>16} {:>16}",
+        "n", "k", "rr moves", "ssync moves", "async moves"
+    );
+    let rows: Vec<_> = GATHERING_INSTANCES
+        .par_iter()
+        .map(|&(n, k)| {
+            let start = rigid_start(n, k);
+            let budget = 100_000 * n as u64;
+            let mut rr = RoundRobinScheduler::new();
+            let a = run_gathering(&start, &mut rr, budget).expect("runs");
+            let mut ss = SemiSynchronousScheduler::seeded(5);
+            let b = run_gathering(&start, &mut ss, budget).expect("runs");
+            let mut asy = AsynchronousScheduler::seeded(5);
+            let c = run_gathering(&start, &mut asy, 2 * budget).expect("runs");
+            (n, k, a, b, c)
+        })
+        .collect();
+    for (n, k, a, b, c) in rows {
+        let fmt = |s: &rr_core::gathering::GatheringRunStats| {
+            if s.gathered {
+                s.moves.to_string()
+            } else {
+                "FAILED".to_string()
+            }
+        };
+        println!("{:>4} {:>4} {:>16} {:>16} {:>16}", n, k, fmt(&a), fmt(&b), fmt(&c));
+    }
+    println!();
+    println!("# shape check: the move count is dominated by the Align phase plus roughly one");
+    println!("# move per robot for the contraction, and is identical in order of magnitude");
+    println!("# across schedulers (the adversary cannot inflate the number of moves, only the");
+    println!("# number of activations).");
+}

@@ -1,0 +1,124 @@
+//! # rr-bench — benchmark harness and experiment binaries
+//!
+//! One Criterion bench target and/or one experiment binary (`exp_*`) per
+//! table/figure-shaped result of the paper; see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured records.
+//!
+//! This library crate only holds small shared helpers so the benches and the
+//! binaries stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rr_ring::enumerate::{enumerate_rigid_configurations, random_rigid_configuration};
+use rr_ring::Configuration;
+
+/// The `(n, k)` pairs used by the Ring Clearing experiments (E4).
+pub const CLEARING_INSTANCES: &[(usize, usize)] =
+    &[(11, 5), (12, 5), (13, 6), (16, 8), (20, 10), (24, 7), (32, 12), (40, 20)];
+
+/// The ring sizes used by the NminusThree experiments (E5), with `k = n - 3`.
+pub const NMINUS3_RINGS: &[usize] = &[10, 12, 14, 16, 20, 24, 32, 40];
+
+/// The `(n, k)` pairs used by the gathering experiments (E6).
+pub const GATHERING_INSTANCES: &[(usize, usize)] =
+    &[(8, 4), (10, 3), (12, 5), (16, 7), (20, 9), (24, 11), (32, 13), (48, 9), (60, 21)];
+
+/// The `(n, k)` pairs used by the Align experiments (E3).
+pub const ALIGN_INSTANCES: &[(usize, usize)] =
+    &[(10, 4), (12, 5), (14, 6), (16, 7), (20, 9), (24, 11), (32, 8), (48, 12), (64, 16)];
+
+/// The small cases of Theorem 5 (Figures 4–9), as `(k, n)` like in the paper.
+pub const THEOREM5_CASES: &[(usize, usize)] = &[(4, 7), (4, 8), (5, 8), (6, 9), (4, 9), (5, 9)];
+
+/// A deterministic rigid starting configuration for `(n, k)`.
+///
+/// Small instances use the exhaustive enumeration; larger ones draw a rigid
+/// configuration with a seeded RNG (exhaustive enumeration is exponential in
+/// `n`).
+///
+/// # Panics
+///
+/// Panics if no rigid configuration exists for these parameters.
+#[must_use]
+pub fn rigid_start(n: usize, k: usize) -> Configuration {
+    if n <= 14 {
+        enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("no rigid configuration for n={n}, k={k}"))
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64((n as u64) * 1_000 + k as u64);
+        random_rigid_configuration(n, k, &mut rng)
+            .unwrap_or_else(|| panic!("no rigid configuration for n={n}, k={k}"))
+    }
+}
+
+/// A deterministic rigid starting configuration that is *far* from `C*`
+/// (robots spread out rather than blocked together), used to stress the Align
+/// phase.
+///
+/// # Panics
+///
+/// Panics if no rigid configuration exists for these parameters.
+#[must_use]
+pub fn spread_out_rigid_start(n: usize, k: usize) -> Configuration {
+    if n <= 14 {
+        enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .max_by_key(Configuration::canonical_key)
+            .unwrap_or_else(|| panic!("no rigid configuration for n={n}, k={k}"))
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64((n as u64) * 7_919 + k as u64);
+        random_rigid_configuration(n, k, &mut rng)
+            .unwrap_or_else(|| panic!("no rigid configuration for n={n}, k={k}"))
+    }
+}
+
+/// Formats a mean with two decimals from a sum and a count.
+#[must_use]
+pub fn mean(total: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_ring::symmetry;
+
+    #[test]
+    fn instance_tables_are_well_formed() {
+        for &(n, k) in CLEARING_INSTANCES {
+            assert!(rr_core::clearing::RingClearingProtocol::supports(n, k), "({n},{k})");
+        }
+        for &n in NMINUS3_RINGS {
+            assert!(rr_core::nminus_three::NminusThreeProtocol::supports(n, n - 3));
+        }
+        for &(n, k) in GATHERING_INSTANCES {
+            assert!(rr_core::gathering::GatheringProtocol::supports(n, k), "({n},{k})");
+        }
+        for &(n, k) in ALIGN_INSTANCES {
+            assert!(k >= 3 && k + 2 < n, "({n},{k})");
+        }
+    }
+
+    #[test]
+    fn rigid_starts_are_rigid() {
+        for &(n, k) in &[(12usize, 5usize), (16, 7), (20, 17)] {
+            assert!(symmetry::is_rigid(&rigid_start(n, k)));
+            assert!(symmetry::is_rigid(&spread_out_rigid_start(n, k)));
+        }
+    }
+
+    #[test]
+    fn mean_handles_zero() {
+        assert_eq!(mean(0, 0), 0.0);
+        assert_eq!(mean(10, 4), 2.5);
+    }
+}

@@ -1,0 +1,190 @@
+//! The feasibility characterization table (experiment E1): the paper's
+//! headline "almost full characterization of exclusive perpetual graph
+//! searching in rings", regenerated cell by cell and optionally
+//! cross-validated by actually running the algorithms.
+
+use rayon::prelude::*;
+use rr_core::feasibility::{searching_feasibility, Feasibility};
+use serde::{Deserialize, Serialize};
+
+use crate::verify::verify_searching;
+
+/// Status of one `(n, k)` cell in the regenerated table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// The paper claims solvability and (when validation is enabled) the
+    /// simulation confirmed it.
+    Solvable {
+        /// Name of the algorithm that solves the cell.
+        algorithm: String,
+        /// Whether the run-and-verify harness confirmed the claim (None when
+        /// validation was skipped).
+        validated: Option<bool>,
+    },
+    /// The paper proves the cell impossible.
+    Impossible {
+        /// The impossibility reason.
+        reason: String,
+    },
+    /// Left open by the paper.
+    Open,
+    /// Parameters outside the model.
+    OutOfModel,
+}
+
+/// One cell of the characterization table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharacterizationCell {
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// The cell status.
+    pub status: CellStatus,
+}
+
+impl CharacterizationCell {
+    /// A one-character code used when printing the table
+    /// (`R` Ring Clearing, `N` NminusThree, `x` impossible, `?` open,
+    /// `.` out of model, `!` claimed but not validated).
+    #[must_use]
+    pub fn code(&self) -> char {
+        match &self.status {
+            CellStatus::Solvable { algorithm, validated } => match validated {
+                Some(false) => '!',
+                _ => {
+                    if algorithm.contains("minus") {
+                        'N'
+                    } else {
+                        'R'
+                    }
+                }
+            },
+            CellStatus::Impossible { .. } => 'x',
+            CellStatus::Open => '?',
+            CellStatus::OutOfModel => '.',
+        }
+    }
+}
+
+/// Builds the characterization table for `n` in `n_range` and all
+/// `1 <= k <= n`.  When `validate` is true every solvable cell is
+/// cross-checked by running the dispatched algorithm (three schedulers, see
+/// [`verify_searching`]); this is the expensive part and is parallelized with
+/// rayon.
+#[must_use]
+pub fn build_characterization(
+    n_range: std::ops::RangeInclusive<usize>,
+    validate: bool,
+    seed: u64,
+) -> Vec<CharacterizationCell> {
+    let cells: Vec<(usize, usize)> =
+        n_range.flat_map(|n| (1..=n).map(move |k| (n, k))).collect();
+    cells
+        .into_par_iter()
+        .map(|(n, k)| {
+            let status = match searching_feasibility(n, k) {
+                Feasibility::Solvable(algorithm) => {
+                    let algorithm = format!("{algorithm:?}");
+                    let validated = if validate {
+                        Some(verify_searching(n, k, 1, seed).verified)
+                    } else {
+                        None
+                    };
+                    CellStatus::Solvable { algorithm, validated }
+                }
+                Feasibility::Impossible(reason) => {
+                    CellStatus::Impossible { reason: reason.to_string() }
+                }
+                Feasibility::Open => CellStatus::Open,
+                Feasibility::OutOfModel => CellStatus::OutOfModel,
+            };
+            CharacterizationCell { n, k, status }
+        })
+        .collect()
+}
+
+/// Renders the table as a text grid (rows = n, columns = k), the same shape as
+/// the paper's summary of its contribution.
+#[must_use]
+pub fn render_table(cells: &[CharacterizationCell]) -> String {
+    let max_n = cells.iter().map(|c| c.n).max().unwrap_or(0);
+    let min_n = cells.iter().map(|c| c.n).min().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("      k:");
+    for k in 1..=max_n {
+        out.push_str(&format!("{k:>3}"));
+    }
+    out.push('\n');
+    for n in min_n..=max_n {
+        out.push_str(&format!("n = {n:>3} "));
+        for k in 1..=max_n {
+            let cell = cells.iter().find(|c| c.n == n && c.k == k);
+            match cell {
+                Some(c) => out.push_str(&format!("  {}", c.code())),
+                None => out.push_str("   "),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("\nlegend: R = Ring Clearing, N = NminusThree, x = impossible, ? = open, . = out of model, ! = claim failed validation\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_and_consistency() {
+        let cells = build_characterization(3..=14, false, 0);
+        assert_eq!(cells.len(), (3..=14).map(|n| n).sum::<usize>());
+        for cell in &cells {
+            match &cell.status {
+                CellStatus::Solvable { .. } => {
+                    assert!(cell.n >= 10 && cell.k >= 5 && cell.k <= cell.n - 3);
+                }
+                CellStatus::Impossible { reason } => assert!(!reason.is_empty()),
+                CellStatus::Open => {
+                    assert!(cell.k == 4 || (cell.k == 5 && cell.n == 10), "{cell:?}");
+                }
+                CellStatus::OutOfModel => assert!(cell.k > cell.n),
+            }
+        }
+    }
+
+    #[test]
+    fn open_cells_are_exactly_the_paper_ones() {
+        let cells = build_characterization(10..=20, false, 0);
+        let open: Vec<(usize, usize)> = cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Open)
+            .map(|c| (c.n, c.k))
+            .collect();
+        for (n, k) in &open {
+            assert!(*k == 4 || (*k == 5 && *n == 10));
+        }
+        assert!(open.contains(&(10, 5)));
+        assert!(open.contains(&(15, 4)));
+    }
+
+    #[test]
+    fn validated_cells_pass_for_a_small_band() {
+        let cells = build_characterization(12..=12, true, 11);
+        for cell in cells {
+            if let CellStatus::Solvable { validated, .. } = &cell.status {
+                assert_eq!(*validated, Some(true), "cell {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_row() {
+        let cells = build_characterization(3..=12, false, 0);
+        let table = render_table(&cells);
+        for n in 3..=12 {
+            assert!(table.contains(&format!("n = {n:>3}")));
+        }
+        assert!(table.contains("legend"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Configuration graphs: the objects drawn in Figures 4–9 of the paper.
+//!
+//! For a given `(n, k)` the graph has one node per isomorphism class of
+//! exclusive configurations and one directed edge per possible single-robot
+//! move (up to isomorphism).  The paper's case analysis of Theorem 5 walks
+//! these graphs by hand; the checker regenerates them.
+
+use rr_ring::enumerate::enumerate_configurations;
+use rr_ring::{symmetry, Configuration, ConfigurationClass, Direction, View};
+use serde::{Deserialize, Serialize};
+
+/// One node of the configuration graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigurationNode {
+    /// Canonical gap word of the configuration class.
+    pub canonical: View,
+    /// Symmetry class (rigid / symmetric / periodic).
+    pub class: ConfigurationClass,
+    /// Number of robots whose two views coincide (robots "on an axis").
+    pub locally_symmetric_robots: usize,
+}
+
+/// The configuration graph for a pair `(n, k)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigurationGraph {
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// One node per isomorphism class.
+    pub nodes: Vec<ConfigurationNode>,
+    /// Directed edges `(from, to)`: some single-robot move transforms a member
+    /// of class `from` into a member of class `to`.  Parallel edges are
+    /// collapsed.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl ConfigurationGraph {
+    /// Number of configuration classes (the quantity reported in the captions
+    /// of Figures 4–9).
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of rigid classes.
+    #[must_use]
+    pub fn num_rigid(&self) -> usize {
+        self.nodes.iter().filter(|c| c.class == ConfigurationClass::Rigid).count()
+    }
+
+    /// Index of the class containing `config`, if any.
+    #[must_use]
+    pub fn class_of(&self, config: &Configuration) -> Option<usize> {
+        let key = config.canonical_key();
+        self.nodes.iter().position(|c| c.canonical == key)
+    }
+
+    /// Successor classes of class `i`.
+    #[must_use]
+    pub fn successors(&self, i: usize) -> Vec<usize> {
+        self.edges.iter().filter(|(f, _)| *f == i).map(|(_, t)| *t).collect()
+    }
+}
+
+/// Builds the configuration graph for `k` robots on an `n`-node ring.
+#[must_use]
+pub fn configuration_graph(n: usize, k: usize) -> ConfigurationGraph {
+    let configs = enumerate_configurations(n, k);
+    let keys: Vec<View> = configs.iter().map(Configuration::canonical_key).collect();
+    let mut nodes = Vec::with_capacity(configs.len());
+    for config in &configs {
+        let info = symmetry::analyze(config);
+        let locally_symmetric_robots = config
+            .occupied_nodes()
+            .into_iter()
+            .filter(|&v| config.view_from(v, Direction::Cw) == config.view_from(v, Direction::Ccw))
+            .count();
+        nodes.push(ConfigurationNode {
+            canonical: config.canonical_key(),
+            class: info.class(),
+            locally_symmetric_robots,
+        });
+    }
+    let mut edges = Vec::new();
+    for (i, config) in configs.iter().enumerate() {
+        for v in config.occupied_nodes() {
+            for dir in Direction::BOTH {
+                let target = config.ring().neighbor(v, dir);
+                if config.is_occupied(target) {
+                    continue;
+                }
+                let mut next = config.clone();
+                next.move_robot(v, target).expect("legal move");
+                let key = next.canonical_key();
+                let j = keys.iter().position(|x| *x == key).expect("class exists");
+                if !edges.contains(&(i, j)) {
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    ConfigurationGraph { n, k, nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_counts_are_reproduced() {
+        // (k, n) -> number of configuration classes, as in Figures 4–9.
+        let expected = [
+            (4usize, 7usize, 4usize),
+            (4, 8, 8),
+            (5, 8, 5),
+            (6, 9, 7),
+            (4, 9, 10),
+            (5, 9, 10),
+        ];
+        for (k, n, classes) in expected {
+            let graph = configuration_graph(n, k);
+            assert_eq!(graph.num_classes(), classes, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn every_class_with_an_empty_neighbor_has_an_outgoing_edge() {
+        let graph = configuration_graph(8, 4);
+        for (i, node) in graph.nodes.iter().enumerate() {
+            // With k < n there is always a robot adjacent to an empty node.
+            assert!(
+                !graph.successors(i).is_empty(),
+                "class {} ({}) has no outgoing move",
+                i,
+                node.canonical
+            );
+        }
+    }
+
+    #[test]
+    fn edges_connect_existing_classes() {
+        let graph = configuration_graph(9, 4);
+        for (f, t) in &graph.edges {
+            assert!(*f < graph.nodes.len() && *t < graph.nodes.len());
+        }
+    }
+
+    #[test]
+    fn rigid_counts_match_direct_enumeration() {
+        for (n, k) in [(8usize, 4usize), (9, 5), (10, 4)] {
+            let graph = configuration_graph(n, k);
+            let direct = rr_ring::enumerate::count_rigid_configurations(n, k);
+            assert_eq!(graph.num_rigid(), direct, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn class_of_locates_members() {
+        let graph = configuration_graph(8, 4);
+        let member = Configuration::from_gaps_at_origin(&[1, 1, 0, 2]);
+        let idx = graph.class_of(&member).expect("class exists");
+        assert_eq!(graph.nodes[idx].canonical, member.canonical_key());
+    }
+
+    #[test]
+    fn theorem5_cases_have_few_rigid_classes() {
+        // Part of why the small cases fail: almost all configurations are
+        // symmetric or periodic.  (4,7) has a single rigid class and (4,8) has
+        // exactly two (Cs and C*, as used in the proof of Theorem 1).
+        let graph = configuration_graph(7, 4);
+        assert_eq!(graph.num_rigid(), 1);
+        let graph = configuration_graph(8, 4);
+        assert_eq!(graph.num_rigid(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Structural impossibility predicates and adversarial demonstrations
+//! (Section 4.2 of the paper).
+//!
+//! The lemma-level predicates are used by the characterization and by the
+//! tests; the demonstration functions replay the adversarial schedules of the
+//! proofs against concrete baseline protocols and verify that they indeed
+//! fail, which is the executable counterpart of the proof narratives.
+
+use rr_core::baselines::TwoRobotSlide;
+use rr_corda::scheduler::RoundRobinScheduler;
+use rr_corda::{Scheduler, Simulator, SimulatorOptions};
+use rr_ring::{symmetry, Configuration, Ring};
+use rr_search::Contamination;
+
+pub use rr_core::feasibility::{searching_feasibility, Feasibility, ImpossibilityReason};
+
+/// Lemma 7: an even number of robots in a symmetric configuration on an
+/// odd-size ring can never perpetually search the ring (the node on the axis
+/// can never be occupied without a collision).
+#[must_use]
+pub fn lemma7_applies(config: &Configuration) -> bool {
+    let n = config.n();
+    let k = config.num_robots();
+    n % 2 == 1 && k % 2 == 0 && symmetry::is_symmetric(config)
+}
+
+/// Lemma 8: a configuration in which all `k < n` robots occupy consecutive
+/// nodes cannot lead to perpetual searching.
+#[must_use]
+pub fn lemma8_applies(config: &Configuration) -> bool {
+    let k = config.num_robots();
+    if k >= config.n() {
+        return false;
+    }
+    config.occupied_blocks().len() == 1 && config.is_exclusive()
+}
+
+/// The structural reason why `(n, k)` is impossible for exclusive perpetual
+/// graph searching, if the paper proves one.
+#[must_use]
+pub fn structural_reason(n: usize, k: usize) -> Option<ImpossibilityReason> {
+    match searching_feasibility(n, k) {
+        Feasibility::Impossible(reason) => Some(reason),
+        _ => None,
+    }
+}
+
+/// Demonstrates the diametral obstruction of Theorem 2: under the alternating
+/// (round-robin) scheduler used in the proof, the two-robot baseline stalls in
+/// the diametral zone and the ring never becomes entirely clear.
+///
+/// Returns the number of rounds simulated without ever clearing the ring.
+#[must_use]
+pub fn demonstrate_two_robot_failure(n: usize, rounds: u64) -> u64 {
+    assert!(n >= 4);
+    let ring = Ring::new(n);
+    let initial = Configuration::new_exclusive(ring, &[0, 1]).expect("valid");
+    let mut sim = Simulator::new(
+        TwoRobotSlide,
+        initial.clone(),
+        SimulatorOptions::for_protocol(&TwoRobotSlide),
+    )
+    .expect("valid simulator");
+    let mut contamination = Contamination::initial(&initial);
+    let mut scheduler = RoundRobinScheduler::new();
+    let mut survived = 0;
+    for _ in 0..rounds {
+        let step = scheduler.next(&sim.scheduler_view());
+        match sim.apply(&step) {
+            Ok(records) => {
+                for rec in records {
+                    contamination.observe_move(rec.from, rec.to, sim.configuration());
+                }
+            }
+            Err(_) => return survived, // a collision also demonstrates failure
+        }
+        if contamination.all_clear() {
+            return survived;
+        }
+        survived += 1;
+    }
+    survived
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, occupied: &[usize]) -> Configuration {
+        Configuration::new_exclusive(Ring::new(n), occupied).unwrap()
+    }
+
+    #[test]
+    fn lemma7_detects_even_symmetric_on_odd_rings() {
+        // 4 robots symmetric on a 9-ring.
+        let c = cfg(9, &[0, 1, 3, 4]);
+        assert!(symmetry::is_symmetric(&c));
+        assert!(lemma7_applies(&c));
+        // Odd team: lemma does not apply.
+        let c = cfg(9, &[0, 1, 2]);
+        assert!(!lemma7_applies(&c));
+        // Even ring: lemma does not apply.
+        let c = cfg(8, &[0, 1, 3, 4]);
+        assert!(!lemma7_applies(&c));
+        // Asymmetric configuration: lemma does not apply.
+        let c = cfg(9, &[0, 1, 2, 4]);
+        assert!(!symmetry::is_symmetric(&c));
+        assert!(!lemma7_applies(&c));
+    }
+
+    #[test]
+    fn lemma8_detects_consecutive_blocks() {
+        assert!(lemma8_applies(&cfg(8, &[2, 3, 4])));
+        assert!(lemma8_applies(&cfg(8, &[7, 0, 1])));
+        assert!(!lemma8_applies(&cfg(8, &[0, 1, 3])));
+        // k = n is outside the lemma's scope.
+        assert!(!lemma8_applies(&cfg(4, &[0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn structural_reasons_cover_the_small_cases() {
+        assert_eq!(structural_reason(7, 4), Some(ImpossibilityReason::SmallRing));
+        assert_eq!(structural_reason(12, 2), Some(ImpossibilityReason::TwoRobots));
+        assert_eq!(structural_reason(12, 10), Some(ImpossibilityReason::NMinusTwoRobots));
+        assert_eq!(structural_reason(12, 11), Some(ImpossibilityReason::NMinusOneRobots));
+        assert_eq!(structural_reason(12, 5), None);
+        assert_eq!(structural_reason(10, 4), None); // open, not impossible
+    }
+
+    #[test]
+    fn two_robots_never_clear_the_ring_under_the_alternating_adversary() {
+        for n in [6usize, 8, 9, 10] {
+            let rounds = 200;
+            assert_eq!(demonstrate_two_robot_failure(n, rounds), rounds, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Errors raised by the simulator.
+
+use rr_ring::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::robot::RobotId;
+
+/// An error produced while driving the simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A robot id outside `0..k` was referenced.
+    UnknownRobot {
+        /// The offending id.
+        robot: RobotId,
+        /// Number of robots in the system.
+        k: usize,
+    },
+    /// A move would place two robots on the same node while the task requires
+    /// the exclusivity property (perpetual exploration / graph searching).
+    ExclusivityViolation {
+        /// The robot whose move violated exclusivity.
+        robot: RobotId,
+        /// The node that would become a multiplicity.
+        node: NodeId,
+    },
+    /// The underlying configuration rejected a move (should not happen when
+    /// the simulator is used through its public API).
+    InvalidMove {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The initial configuration handed to the simulator was rejected.
+    BadInitialConfiguration {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownRobot { robot, k } => {
+                write!(f, "unknown robot {robot} (the system has {k} robots)")
+            }
+            SimError::ExclusivityViolation { robot, node } => write!(
+                f,
+                "robot {robot} moved onto occupied node {node} while exclusivity is required"
+            ),
+            SimError::InvalidMove { reason } => write!(f, "invalid move: {reason}"),
+            SimError::BadInitialConfiguration { reason } => {
+                write!(f, "bad initial configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let e = SimError::ExclusivityViolation { robot: 3, node: 7 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+        let e = SimError::UnknownRobot { robot: 9, k: 4 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,39 @@
+//! # rr-corda — the min-CORDA execution model
+//!
+//! This crate implements the Look–Compute–Move execution model of
+//! Section 2.1 of the paper (the *minimalist CORDA* model):
+//!
+//! * robots are anonymous, uniform, oblivious and disoriented — a protocol is
+//!   a pure function of the robot's local [`Snapshot`] (its two unoriented
+//!   interval views plus, when the capability is granted, a local multiplicity
+//!   bit);
+//! * cycles are asynchronous: a robot may *Look* (take a snapshot and compute
+//!   a pending move) and only later *Move*, by which time the configuration
+//!   may have changed — the pending move is executed regardless, exactly as in
+//!   the CORDA model;
+//! * the adversary is modelled by [`scheduler::Scheduler`] implementations:
+//!   fully-synchronous, semi-synchronous, sequential round-robin, randomized
+//!   asynchronous with pending moves, and scripted adversaries used by the
+//!   impossibility arguments.
+//!
+//! The [`Simulator`] owns the global configuration and robot bookkeeping (ids,
+//! pending moves); protocols never see any of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod protocol;
+pub mod robot;
+pub mod scheduler;
+pub mod simulator;
+pub mod snapshot;
+pub mod trace;
+
+pub use error::SimError;
+pub use protocol::{Decision, Protocol, ViewIndex};
+pub use robot::{RobotId, RobotState};
+pub use scheduler::{Scheduler, SchedulerStep, SchedulerView};
+pub use simulator::{MoveRecord, RunOutcome, RunReport, Simulator, SimulatorOptions};
+pub use snapshot::{MultiplicityCapability, Snapshot};
+pub use trace::{Event, Trace};

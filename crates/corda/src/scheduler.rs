@@ -1,0 +1,376 @@
+//! Schedulers: the adversary of the CORDA model.
+//!
+//! A scheduler decides, at every step, which robots are activated and whether
+//! they perform a complete Look–Compute–Move cycle or only part of it.  The
+//! paper's correctness proofs hold against the fully asynchronous adversary;
+//! its impossibility proofs construct specific adversarial schedules.  This
+//! module provides:
+//!
+//! * [`FullySynchronousScheduler`] — every robot performs a complete cycle in
+//!   every round (FSYNC);
+//! * [`SemiSynchronousScheduler`] — a random non-empty subset performs a
+//!   complete cycle in every round (SSYNC);
+//! * [`RoundRobinScheduler`] — a centralized/sequential scheduler activating
+//!   one robot at a time in cyclic order;
+//! * [`AsynchronousScheduler`] — interleaves Look and Move operations of
+//!   different robots at random, creating *pending moves* computed on outdated
+//!   snapshots (ASYNC, the model of the paper);
+//! * [`ScriptedScheduler`] — replays an explicit schedule, used to reproduce
+//!   the adversarial executions of the impossibility proofs (Theorems 2–5).
+//!
+//! All randomized schedulers are fair with probability one; for bounded runs
+//! the fairness window can be bounded explicitly with
+//! [`AsynchronousScheduler::with_fairness_window`].
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::robot::RobotId;
+
+/// Scheduler-facing summary of the simulator state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerView {
+    /// Global step counter.
+    pub step: u64,
+    /// For each robot, whether it has any pending action (move or idle).
+    pub pending: Vec<bool>,
+    /// For each robot, whether it has a pending *move*.
+    pub pending_moves: Vec<bool>,
+    /// Number of robots.
+    pub num_robots: usize,
+}
+
+/// One scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerStep {
+    /// The listed robots all Look + Compute on the current configuration and
+    /// then all execute their action (a semi-synchronous round; with a single
+    /// robot this is an atomic Look–Compute–Move cycle).
+    SsyncRound(Vec<RobotId>),
+    /// The robot performs only its Look + Compute phases.
+    Look(RobotId),
+    /// The robot executes its pending action (if any).
+    Execute(RobotId),
+}
+
+/// The adversary: decides which robots do what, when.
+pub trait Scheduler {
+    /// Produces the next scheduling decision.
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep;
+
+    /// Human-readable name, used in experiment output.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// FSYNC: every robot performs a complete cycle in every round.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FullySynchronousScheduler;
+
+impl Scheduler for FullySynchronousScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        SchedulerStep::SsyncRound((0..view.num_robots).collect())
+    }
+
+    fn name(&self) -> &str {
+        "fsync"
+    }
+}
+
+/// SSYNC: a uniformly random non-empty subset of robots performs a complete
+/// cycle in every round.
+#[derive(Debug, Clone)]
+pub struct SemiSynchronousScheduler {
+    rng: ChaCha8Rng,
+}
+
+impl SemiSynchronousScheduler {
+    /// Creates the scheduler from a seed (deterministic given the seed).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        SemiSynchronousScheduler { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for SemiSynchronousScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        let k = view.num_robots;
+        loop {
+            let subset: Vec<RobotId> = (0..k).filter(|_| self.rng.gen_bool(0.5)).collect();
+            if !subset.is_empty() {
+                return SchedulerStep::SsyncRound(subset);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ssync"
+    }
+}
+
+/// A centralized sequential scheduler: robots are activated one at a time in
+/// cyclic id order, each performing a complete Look–Compute–Move cycle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobinScheduler {
+    next: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates the scheduler starting from robot 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinScheduler { next: 0 }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        let r = self.next % view.num_robots.max(1);
+        self.next = (r + 1) % view.num_robots.max(1);
+        SchedulerStep::SsyncRound(vec![r])
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// ASYNC: Look and Move operations of different robots are interleaved at
+/// random, so moves routinely execute on snapshots that are out of date.
+///
+/// Fairness: the scheduler guarantees that no pending move stays unexecuted
+/// for more than `fairness_window` scheduler steps, and that every robot is
+/// given a Look at least once every `fairness_window * k` steps.
+#[derive(Debug, Clone)]
+pub struct AsynchronousScheduler {
+    rng: ChaCha8Rng,
+    fairness_window: u64,
+    /// Step at which each robot last completed (or was created), used to
+    /// enforce the fairness window.
+    ages: Vec<u64>,
+}
+
+impl AsynchronousScheduler {
+    /// Creates the scheduler from a seed (deterministic given the seed).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        AsynchronousScheduler { rng: ChaCha8Rng::seed_from_u64(seed), fairness_window: 64, ages: Vec::new() }
+    }
+
+    /// Sets the fairness window (maximum delay, in scheduler steps, before a
+    /// pending action is forcibly executed).
+    #[must_use]
+    pub fn with_fairness_window(mut self, window: u64) -> Self {
+        self.fairness_window = window.max(1);
+        self
+    }
+}
+
+impl Scheduler for AsynchronousScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        let k = view.num_robots;
+        if self.ages.len() != k {
+            self.ages = vec![view.step; k];
+        }
+        // Forcibly flush actions that have been pending too long.
+        if let Some(r) = (0..k).find(|&r| view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window)
+        {
+            self.ages[r] = view.step;
+            return SchedulerStep::Execute(r);
+        }
+        // Forcibly wake robots that have been silent too long.
+        if let Some(r) = (0..k).find(|&r| {
+            !view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
+        }) {
+            self.ages[r] = view.step;
+            return SchedulerStep::Look(r);
+        }
+        // Otherwise pick a random robot and advance whatever phase it is in.
+        let r = self.rng.gen_range(0..k);
+        self.ages[r] = view.step;
+        if view.pending[r] {
+            SchedulerStep::Execute(r)
+        } else {
+            SchedulerStep::Look(r)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "async"
+    }
+}
+
+/// Replays an explicit schedule, then repeats it forever (or falls back to
+/// round-robin if constructed with `then_round_robin`).
+///
+/// This is the tool used to reproduce the adversarial executions of the
+/// impossibility proofs: the proof's schedule is written down once and the
+/// checker verifies that the targeted protocol indeed fails against it.
+#[derive(Debug, Clone)]
+pub struct ScriptedScheduler {
+    script: Vec<SchedulerStep>,
+    position: usize,
+    repeat: bool,
+    fallback_round_robin: RoundRobinScheduler,
+}
+
+impl ScriptedScheduler {
+    /// A scheduler that replays `script` in a loop forever.
+    #[must_use]
+    pub fn looping(script: Vec<SchedulerStep>) -> Self {
+        assert!(!script.is_empty(), "a scripted schedule cannot be empty");
+        ScriptedScheduler {
+            script,
+            position: 0,
+            repeat: true,
+            fallback_round_robin: RoundRobinScheduler::new(),
+        }
+    }
+
+    /// A scheduler that replays `script` once, then behaves as a round-robin
+    /// scheduler.
+    #[must_use]
+    pub fn then_round_robin(script: Vec<SchedulerStep>) -> Self {
+        ScriptedScheduler {
+            script,
+            position: 0,
+            repeat: false,
+            fallback_round_robin: RoundRobinScheduler::new(),
+        }
+    }
+
+    /// Whether the scripted portion has been fully replayed at least once.
+    #[must_use]
+    pub fn script_exhausted(&self) -> bool {
+        self.position >= self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        if self.position >= self.script.len() {
+            if self.repeat {
+                self.position = 0;
+            } else {
+                return self.fallback_round_robin.next(view);
+            }
+        }
+        let step = self.script[self.position].clone();
+        self.position += 1;
+        step
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(k: usize, pending: &[bool]) -> SchedulerView {
+        SchedulerView {
+            step: 0,
+            pending: pending.to_vec(),
+            pending_moves: pending.to_vec(),
+            num_robots: k,
+        }
+    }
+
+    #[test]
+    fn fsync_activates_everyone() {
+        let mut s = FullySynchronousScheduler;
+        let step = s.next(&view(4, &[false; 4]));
+        assert_eq!(step, SchedulerStep::SsyncRound(vec![0, 1, 2, 3]));
+        assert_eq!(s.name(), "fsync");
+    }
+
+    #[test]
+    fn ssync_subsets_are_nonempty_and_vary() {
+        let mut s = SemiSynchronousScheduler::seeded(3);
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..50 {
+            match s.next(&view(5, &[false; 5])) {
+                SchedulerStep::SsyncRound(set) => {
+                    assert!(!set.is_empty());
+                    assert!(set.len() <= 5);
+                    sizes.insert(set.len());
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+        assert!(sizes.len() > 1, "subsets should vary in size");
+    }
+
+    #[test]
+    fn round_robin_cycles_through_robots() {
+        let mut s = RoundRobinScheduler::new();
+        let ids: Vec<_> = (0..6)
+            .map(|_| match s.next(&view(3, &[false; 3])) {
+                SchedulerStep::SsyncRound(v) => v[0],
+                other => panic!("unexpected step {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn async_scheduler_executes_pending_and_looks_otherwise() {
+        let mut s = AsynchronousScheduler::seeded(9);
+        for _ in 0..100 {
+            match s.next(&view(4, &[false, true, false, true])) {
+                SchedulerStep::Execute(r) => assert!(r == 1 || r == 3),
+                SchedulerStep::Look(r) => assert!(r == 0 || r == 2),
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn async_scheduler_flushes_old_pending_moves() {
+        let mut s = AsynchronousScheduler::seeded(1).with_fairness_window(4);
+        // Robot 2 has been pending since step 0; by step >= 4 it must be flushed.
+        let v = SchedulerView {
+            step: 100,
+            pending: vec![false, false, true],
+            pending_moves: vec![false, false, true],
+            num_robots: 3,
+        };
+        // First call initializes ages at step 100; simulate later call.
+        let _ = s.next(&v);
+        let v2 = SchedulerView { step: 200, ..v };
+        let step = s.next(&v2);
+        assert_eq!(step, SchedulerStep::Execute(2));
+    }
+
+    #[test]
+    fn scripted_scheduler_replays_and_loops() {
+        let script = vec![SchedulerStep::Look(0), SchedulerStep::Execute(0), SchedulerStep::SsyncRound(vec![1])];
+        let mut s = ScriptedScheduler::looping(script.clone());
+        let v = view(2, &[false, false]);
+        for i in 0..9 {
+            assert_eq!(s.next(&v), script[i % 3]);
+        }
+    }
+
+    #[test]
+    fn scripted_scheduler_falls_back_to_round_robin() {
+        let script = vec![SchedulerStep::Look(1)];
+        let mut s = ScriptedScheduler::then_round_robin(script);
+        let v = view(2, &[false, false]);
+        assert_eq!(s.next(&v), SchedulerStep::Look(1));
+        assert!(s.script_exhausted());
+        assert_eq!(s.next(&v), SchedulerStep::SsyncRound(vec![0]));
+        assert_eq!(s.next(&v), SchedulerStep::SsyncRound(vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_looping_script_is_rejected() {
+        let _ = ScriptedScheduler::looping(vec![]);
+    }
+}

@@ -1,0 +1,627 @@
+//! The simulation engine: owns the configuration, executes Look–Compute–Move
+//! cycles and enforces the model's rules (instantaneous moves, exclusivity
+//! when required, pending moves under asynchrony).
+
+use rr_ring::{Configuration, Direction, NodeId, Ring};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::protocol::{Decision, Protocol, ViewIndex};
+use crate::robot::{Phase, RobotId, RobotState};
+use crate::scheduler::{Scheduler, SchedulerStep, SchedulerView};
+use crate::snapshot::{MultiplicityCapability, Snapshot};
+use crate::trace::{Event, Trace};
+
+/// Which global direction is presented as `views[0]` of a snapshot.
+///
+/// Correct protocols must be insensitive to this; the option exists so tests
+/// can verify that insensitivity and so the adversary can be as nasty as the
+/// model allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ViewOrder {
+    /// Always present the clockwise view first (deterministic default).
+    #[default]
+    CwFirst,
+    /// Always present the counter-clockwise view first.
+    CcwFirst,
+    /// Alternate between the two on successive Look operations.
+    Alternating,
+}
+
+/// Options controlling a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulatorOptions {
+    /// The multiplicity-detection capability granted to the robots.
+    pub capability: MultiplicityCapability,
+    /// Whether a move onto an occupied node is a fatal error (true for the
+    /// exclusive tasks, false for gathering).
+    pub enforce_exclusivity: bool,
+    /// Whether to record an event [`Trace`].
+    pub record_trace: bool,
+    /// Snapshot view ordering policy.
+    pub view_order: ViewOrder,
+}
+
+impl Default for SimulatorOptions {
+    fn default() -> Self {
+        SimulatorOptions {
+            capability: MultiplicityCapability::None,
+            enforce_exclusivity: true,
+            record_trace: false,
+            view_order: ViewOrder::CwFirst,
+        }
+    }
+}
+
+impl SimulatorOptions {
+    /// Options suitable for a given protocol: capability and exclusivity are
+    /// taken from the protocol's declaration.
+    #[must_use]
+    pub fn for_protocol<P: Protocol + ?Sized>(protocol: &P) -> Self {
+        SimulatorOptions {
+            capability: protocol.capability(),
+            enforce_exclusivity: protocol.requires_exclusivity(),
+            ..SimulatorOptions::default()
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the view ordering policy.
+    #[must_use]
+    pub fn with_view_order(mut self, order: ViewOrder) -> Self {
+        self.view_order = order;
+        self
+    }
+}
+
+/// Record of one executed move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveRecord {
+    /// The robot that moved.
+    pub robot: RobotId,
+    /// Node it left.
+    pub from: NodeId,
+    /// Node it reached.
+    pub to: NodeId,
+    /// Global step counter at which the move completed.
+    pub step: u64,
+}
+
+/// Why a [`Simulator::run`] loop stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The user-supplied stop condition became true.
+    ConditionMet,
+    /// The step budget was exhausted before the stop condition held.
+    StepBudgetExhausted,
+    /// The simulation failed (e.g. an exclusivity violation).
+    Failed(SimError),
+}
+
+/// Summary of a [`Simulator::run`] loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Why the loop stopped.
+    pub outcome: RunOutcome,
+    /// Number of scheduler steps executed.
+    pub steps: u64,
+    /// Number of robot moves executed.
+    pub moves: u64,
+}
+
+impl RunReport {
+    /// Whether the run stopped because the stop condition was met.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, RunOutcome::ConditionMet)
+    }
+}
+
+/// The Look–Compute–Move simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator<P> {
+    protocol: P,
+    ring: Ring,
+    config: Configuration,
+    robots: Vec<RobotState>,
+    options: SimulatorOptions,
+    trace: Trace,
+    step: u64,
+    moves: u64,
+    looks: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator for `protocol` starting from `initial`.
+    ///
+    /// One robot is created per unit of multiplicity of the initial
+    /// configuration; robots on the same node receive consecutive ids.
+    pub fn new(protocol: P, initial: Configuration, options: SimulatorOptions) -> Result<Self, SimError> {
+        if options.enforce_exclusivity && !initial.is_exclusive() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "exclusivity is required but the initial configuration has a multiplicity"
+                    .to_string(),
+            });
+        }
+        let mut robots = Vec::with_capacity(initial.num_robots());
+        for v in initial.occupied_nodes() {
+            for _ in 0..initial.count_at(v) {
+                robots.push(RobotState::new(v));
+            }
+        }
+        if robots.is_empty() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "no robot in the initial configuration".to_string(),
+            });
+        }
+        let trace = if options.record_trace { Trace::recording() } else { Trace::disabled() };
+        Ok(Simulator {
+            protocol,
+            ring: initial.ring(),
+            config: initial,
+            robots,
+            options,
+            trace,
+            step: 0,
+            moves: 0,
+            looks: 0,
+        })
+    }
+
+    /// Creates a simulator with the options implied by the protocol
+    /// declaration (capability + exclusivity).
+    pub fn with_default_options(protocol: P, initial: Configuration) -> Result<Self, SimError> {
+        let options = SimulatorOptions::for_protocol(&protocol);
+        Simulator::new(protocol, initial, options)
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The underlying ring.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The protocol under simulation.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of robots.
+    #[must_use]
+    pub fn num_robots(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// Per-robot simulator state.
+    #[must_use]
+    pub fn robots(&self) -> &[RobotState] {
+        &self.robots
+    }
+
+    /// Current node of each robot, indexed by robot id.
+    #[must_use]
+    pub fn positions(&self) -> Vec<NodeId> {
+        self.robots.iter().map(|r| r.node).collect()
+    }
+
+    /// Global step counter (incremented once per Look and once per
+    /// Move/Idle execution).
+    #[must_use]
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Total number of moves executed so far.
+    #[must_use]
+    pub fn move_count(&self) -> u64 {
+        self.moves
+    }
+
+    /// Total number of Look operations executed so far.
+    #[must_use]
+    pub fn look_count(&self) -> u64 {
+        self.looks
+    }
+
+    /// The recorded trace (empty unless trace recording was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Simulator options.
+    #[must_use]
+    pub fn options(&self) -> &SimulatorOptions {
+        &self.options
+    }
+
+    fn check_robot(&self, robot: RobotId) -> Result<(), SimError> {
+        if robot >= self.robots.len() {
+            Err(SimError::UnknownRobot { robot, k: self.robots.len() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn first_direction(&self) -> Direction {
+        match self.options.view_order {
+            ViewOrder::CwFirst => Direction::Cw,
+            ViewOrder::CcwFirst => Direction::Ccw,
+            ViewOrder::Alternating => {
+                if self.looks % 2 == 0 {
+                    Direction::Cw
+                } else {
+                    Direction::Ccw
+                }
+            }
+        }
+    }
+
+    /// Performs the Look and Compute phases of `robot`: takes a snapshot of
+    /// the **current** configuration and stores the resulting pending action.
+    ///
+    /// If the robot already has a pending action, the call is a no-op (the
+    /// CORDA model never lets a robot look twice without moving in between).
+    pub fn look_compute(&mut self, robot: RobotId) -> Result<Decision, SimError> {
+        self.check_robot(robot)?;
+        if self.robots[robot].has_pending() {
+            // Already computed: report the pending decision without re-looking.
+            let decision = match self.robots[robot].phase {
+                Phase::MovePending { target } => {
+                    let dir = if self.ring.neighbor(self.robots[robot].node, Direction::Cw) == target
+                    {
+                        ViewIndex::First
+                    } else {
+                        ViewIndex::Second
+                    };
+                    Decision::Move(dir)
+                }
+                Phase::IdlePending => Decision::Idle,
+                Phase::Ready => unreachable!("has_pending() checked"),
+            };
+            return Ok(decision);
+        }
+        let node = self.robots[robot].node;
+        let first_dir = self.first_direction();
+        let snapshot = Snapshot::capture(&self.config, node, self.options.capability, first_dir);
+        let decision = self.protocol.compute(&snapshot);
+        self.looks += 1;
+        self.step += 1;
+        match decision {
+            Decision::Idle => {
+                self.robots[robot].phase = Phase::IdlePending;
+            }
+            Decision::Move(idx) => {
+                let dir = match idx {
+                    ViewIndex::First => first_dir,
+                    ViewIndex::Second => first_dir.opposite(),
+                };
+                let target = self.ring.neighbor(node, dir);
+                self.robots[robot].phase = Phase::MovePending { target };
+            }
+        }
+        self.trace.push(Event::Looked {
+            robot,
+            step: self.step,
+            decided_to_move: decision.is_move(),
+        });
+        Ok(decision)
+    }
+
+    /// Executes the pending action of `robot` (the Move phase).
+    ///
+    /// Returns `Ok(Some(record))` if a move was performed, `Ok(None)` if the
+    /// robot had a pending idle decision or nothing pending at all.
+    pub fn execute_move(&mut self, robot: RobotId) -> Result<Option<MoveRecord>, SimError> {
+        self.check_robot(robot)?;
+        match self.robots[robot].phase {
+            Phase::Ready => Ok(None),
+            Phase::IdlePending => {
+                self.step += 1;
+                self.robots[robot].phase = Phase::Ready;
+                self.robots[robot].cycles += 1;
+                self.trace.push(Event::StayedIdle { robot, step: self.step });
+                Ok(None)
+            }
+            Phase::MovePending { target } => {
+                let from = self.robots[robot].node;
+                if self.options.enforce_exclusivity && self.config.is_occupied(target) {
+                    return Err(SimError::ExclusivityViolation { robot, node: target });
+                }
+                self.config
+                    .move_robot(from, target)
+                    .map_err(|e| SimError::InvalidMove { reason: e.to_string() })?;
+                self.step += 1;
+                self.moves += 1;
+                self.robots[robot].node = target;
+                self.robots[robot].phase = Phase::Ready;
+                self.robots[robot].cycles += 1;
+                self.robots[robot].moves += 1;
+                let record = MoveRecord { robot, from, to: target, step: self.step };
+                self.trace.push(Event::Moved { robot, from, to: target, step: self.step });
+                Ok(Some(record))
+            }
+        }
+    }
+
+    /// Performs a full, atomic Look–Compute–Move cycle for `robot`.
+    pub fn activate(&mut self, robot: RobotId) -> Result<Option<MoveRecord>, SimError> {
+        self.look_compute(robot)?;
+        self.execute_move(robot)
+    }
+
+    /// Performs a semi-synchronous round: all listed robots Look and Compute
+    /// on the same configuration, then all of them execute their action.
+    ///
+    /// Robots that already had a pending action keep it (they do not re-look),
+    /// matching the CORDA semantics where a pending move can be arbitrarily
+    /// delayed but never recomputed.
+    pub fn ssync_round(&mut self, robots: &[RobotId]) -> Result<Vec<MoveRecord>, SimError> {
+        for &r in robots {
+            self.look_compute(r)?;
+        }
+        let mut records = Vec::new();
+        for &r in robots {
+            if let Some(rec) = self.execute_move(r)? {
+                records.push(rec);
+            }
+        }
+        Ok(records)
+    }
+
+    /// Applies one scheduler step.
+    pub fn apply(&mut self, step: &SchedulerStep) -> Result<Vec<MoveRecord>, SimError> {
+        match step {
+            SchedulerStep::SsyncRound(robots) => self.ssync_round(robots),
+            SchedulerStep::Look(robot) => {
+                self.look_compute(*robot)?;
+                Ok(Vec::new())
+            }
+            SchedulerStep::Execute(robot) => {
+                Ok(self.execute_move(*robot)?.into_iter().collect())
+            }
+        }
+    }
+
+    /// A scheduler-facing summary of the current state.
+    #[must_use]
+    pub fn scheduler_view(&self) -> SchedulerView {
+        SchedulerView {
+            step: self.step,
+            pending: self.robots.iter().map(RobotState::has_pending).collect(),
+            pending_moves: self.robots.iter().map(RobotState::has_pending_move).collect(),
+            num_robots: self.robots.len(),
+        }
+    }
+
+    /// Drives the simulation with `scheduler` until `stop` returns true or
+    /// `max_scheduler_steps` scheduler steps have been applied.
+    ///
+    /// `on_move` is called after every executed move, with the move record and
+    /// the configuration *after* the move; this is how the `rr-search`
+    /// monitors (contamination, exploration, gathering) observe the run.
+    pub fn run<S, F, G>(
+        &mut self,
+        scheduler: &mut S,
+        max_scheduler_steps: u64,
+        mut stop: F,
+        mut on_move: G,
+    ) -> RunReport
+    where
+        S: Scheduler + ?Sized,
+        F: FnMut(&Simulator<P>) -> bool,
+        G: FnMut(&MoveRecord, &Configuration),
+    {
+        let mut steps = 0u64;
+        let moves_before = self.moves;
+        loop {
+            if stop(self) {
+                return RunReport {
+                    outcome: RunOutcome::ConditionMet,
+                    steps,
+                    moves: self.moves - moves_before,
+                };
+            }
+            if steps >= max_scheduler_steps {
+                return RunReport {
+                    outcome: RunOutcome::StepBudgetExhausted,
+                    steps,
+                    moves: self.moves - moves_before,
+                };
+            }
+            let step = scheduler.next(&self.scheduler_view());
+            match self.apply(&step) {
+                Ok(records) => {
+                    for rec in &records {
+                        on_move(rec, &self.config);
+                    }
+                }
+                Err(e) => {
+                    return RunReport {
+                        outcome: RunOutcome::Failed(e),
+                        steps,
+                        moves: self.moves - moves_before,
+                    }
+                }
+            }
+            steps += 1;
+        }
+    }
+
+    /// Convenience wrapper around [`Simulator::run`] without a move callback.
+    pub fn run_until<S, F>(&mut self, scheduler: &mut S, max_steps: u64, stop: F) -> RunReport
+    where
+        S: Scheduler + ?Sized,
+        F: FnMut(&Simulator<P>) -> bool,
+    {
+        self.run(scheduler, max_steps, stop, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{GreedyGapWalker, IdleProtocol};
+    use crate::scheduler::RoundRobinScheduler;
+    use rr_ring::Configuration;
+
+    fn cfg(gaps: &[usize]) -> Configuration {
+        Configuration::from_gaps_at_origin(gaps)
+    }
+
+    #[test]
+    fn construction_places_one_robot_per_unit_of_multiplicity() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 0, 0, 0]).unwrap();
+        let sim = Simulator::new(
+            IdleProtocol,
+            c,
+            SimulatorOptions { enforce_exclusivity: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(sim.num_robots(), 3);
+        assert_eq!(sim.positions(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn exclusivity_is_checked_at_construction() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 0, 0, 0]).unwrap();
+        let err = Simulator::new(IdleProtocol, c, SimulatorOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadInitialConfiguration { .. }));
+    }
+
+    #[test]
+    fn idle_protocol_never_changes_configuration() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut sim = Simulator::with_default_options(IdleProtocol, c.clone()).unwrap();
+        for r in 0..sim.num_robots() {
+            let rec = sim.activate(r).unwrap();
+            assert!(rec.is_none());
+        }
+        assert_eq!(sim.configuration(), &c);
+        assert_eq!(sim.move_count(), 0);
+        assert!(sim.robots().iter().all(|r| r.cycles == 1));
+    }
+
+    #[test]
+    fn greedy_walker_moves_and_is_traced() {
+        let c = cfg(&[3, 4]); // two robots, gaps 3 and 4 on a 9-ring
+        let options = SimulatorOptions::for_protocol(&GreedyGapWalker).with_trace();
+        let mut sim = Simulator::new(GreedyGapWalker, c, options).unwrap();
+        let rec = sim.activate(0).unwrap().expect("robot 0 moves");
+        assert_eq!(rec.robot, 0);
+        assert_eq!(sim.move_count(), 1);
+        assert_eq!(sim.trace().len(), 2); // Looked + Moved
+        assert_eq!(sim.trace().moves().count(), 1);
+    }
+
+    #[test]
+    fn pending_moves_use_outdated_snapshots() {
+        // Robot 0 looks, then robot 1 moves, then robot 0 executes its stale move.
+        let c = cfg(&[1, 1, 4]); // robots at 0, 2, 4 on a 9-ring
+        let mut sim = Simulator::new(
+            GreedyGapWalker,
+            c,
+            SimulatorOptions { enforce_exclusivity: false, ..Default::default() },
+        )
+        .unwrap();
+        sim.look_compute(0).unwrap();
+        let before = sim.positions();
+        sim.activate(2).unwrap();
+        // Robot 0 still executes the move it computed before robot 2 moved.
+        let rec = sim.execute_move(0).unwrap().expect("stale move still executes");
+        assert_eq!(rec.from, before[0]);
+    }
+
+    #[test]
+    fn double_look_does_not_recompute() {
+        let c = cfg(&[3, 4]);
+        let mut sim = Simulator::with_default_options(GreedyGapWalker, c).unwrap();
+        let d1 = sim.look_compute(0).unwrap();
+        let looks = sim.look_count();
+        let d2 = sim.look_compute(0).unwrap();
+        assert_eq!(sim.look_count(), looks, "second look is a no-op");
+        assert_eq!(d1.is_move(), d2.is_move());
+    }
+
+    #[test]
+    fn exclusivity_violation_is_reported() {
+        // Two adjacent robots walking towards each other's node.
+        #[derive(Debug)]
+        struct TowardsOther;
+        impl Protocol for TowardsOther {
+            fn name(&self) -> &str {
+                "towards-other"
+            }
+            fn compute(&self, snapshot: &Snapshot) -> Decision {
+                // Move towards the closer occupied node.
+                let a = snapshot.views[0].gap(0);
+                let b = snapshot.views[1].gap(0);
+                if a <= b {
+                    Decision::Move(ViewIndex::First)
+                } else {
+                    Decision::Move(ViewIndex::Second)
+                }
+            }
+        }
+        let c = cfg(&[0, 6]); // adjacent robots on an 8-ring
+        let mut sim = Simulator::with_default_options(TowardsOther, c).unwrap();
+        let err = sim.activate(0).unwrap_err();
+        assert!(matches!(err, SimError::ExclusivityViolation { .. }));
+    }
+
+    #[test]
+    fn ssync_round_looks_before_moving() {
+        // Under a fully synchronous round both adjacent robots see each other
+        // *before* either moves; with the greedy walker both walk away from
+        // each other into their larger gaps — no collision.
+        let c = cfg(&[0, 6]);
+        let mut sim = Simulator::with_default_options(GreedyGapWalker, c).unwrap();
+        let records = sim.ssync_round(&[0, 1]).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(sim.configuration().is_exclusive());
+    }
+
+    #[test]
+    fn run_until_stops_on_condition() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut sim = Simulator::with_default_options(GreedyGapWalker, c).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        let report = sim.run_until(&mut sched, 1000, |s| s.move_count() >= 5);
+        assert!(report.succeeded());
+        assert_eq!(sim.move_count(), 5);
+    }
+
+    #[test]
+    fn run_reports_step_budget_exhaustion() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut sim = Simulator::with_default_options(IdleProtocol, c).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        let report = sim.run_until(&mut sched, 17, |_| false);
+        assert_eq!(report.outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(report.steps, 17);
+        assert_eq!(report.moves, 0);
+    }
+
+    #[test]
+    fn unknown_robot_is_rejected() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut sim = Simulator::with_default_options(IdleProtocol, c).unwrap();
+        assert!(matches!(sim.look_compute(99), Err(SimError::UnknownRobot { .. })));
+        assert!(matches!(sim.execute_move(99), Err(SimError::UnknownRobot { .. })));
+    }
+}

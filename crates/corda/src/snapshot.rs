@@ -1,0 +1,198 @@
+//! The local snapshot a robot obtains during its Look phase.
+
+use rr_ring::{Configuration, Direction, NodeId, View};
+use serde::{Deserialize, Serialize};
+
+/// Which multiplicity-detection capability the robots are granted
+/// (Section 2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiplicityCapability {
+    /// No multiplicity detection at all: a robot only perceives the set of
+    /// occupied nodes.
+    None,
+    /// *Local* (weak) multiplicity detection: a robot knows whether its own
+    /// node hosts more than one robot, but not the exact count and nothing
+    /// about other nodes.  This is the capability assumed for gathering.
+    Local,
+    /// *Global* multiplicity detection: a robot knows, for every occupied
+    /// node, whether it hosts more than one robot.  Not needed by the paper's
+    /// algorithms; provided for completeness and for baselines.
+    Global,
+}
+
+/// The information a robot perceives during its Look phase.
+///
+/// The robot has no sense of orientation: it receives its two directional
+/// views in an order chosen by the simulator (effectively by the adversary)
+/// and must not attach any meaning to the order beyond "these are my two
+/// reading directions".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The two views read from the robot's node, one per direction.
+    pub views: [View; 2],
+    /// Whether the robot's own node is a multiplicity (only with
+    /// [`MultiplicityCapability::Local`] or `Global`).
+    pub on_multiplicity: Option<bool>,
+    /// With [`MultiplicityCapability::Global`]: for each occupied node in the
+    /// reading order of `views[0]` (starting with the robot's own node),
+    /// whether that node is a multiplicity.
+    pub global_multiplicities: Option<Vec<bool>>,
+}
+
+impl Snapshot {
+    /// Builds the snapshot perceived by a robot standing at `node` in
+    /// `config`, with the given capability.  `first_direction` determines
+    /// which global direction is presented as `views[0]`; protocols must not
+    /// depend on it.
+    #[must_use]
+    pub fn capture(
+        config: &Configuration,
+        node: NodeId,
+        capability: MultiplicityCapability,
+        first_direction: Direction,
+    ) -> Self {
+        let d0 = first_direction;
+        let d1 = first_direction.opposite();
+        let views = [config.view_from(node, d0), config.view_from(node, d1)];
+        let on_multiplicity = match capability {
+            MultiplicityCapability::None => None,
+            MultiplicityCapability::Local | MultiplicityCapability::Global => {
+                Some(config.is_multiplicity(node))
+            }
+        };
+        let global_multiplicities = match capability {
+            MultiplicityCapability::Global => {
+                // Walk the occupied nodes in the order of views[0].
+                let mut flags = Vec::with_capacity(views[0].len());
+                let mut cur = node;
+                flags.push(config.is_multiplicity(cur));
+                for _ in 1..views[0].len() {
+                    // advance to next occupied node in direction d0
+                    loop {
+                        cur = config.ring().neighbor(cur, d0);
+                        if config.is_occupied(cur) {
+                            break;
+                        }
+                    }
+                    flags.push(config.is_multiplicity(cur));
+                }
+                Some(flags)
+            }
+            _ => None,
+        };
+        Snapshot { views, on_multiplicity, global_multiplicities }
+    }
+
+    /// Number of occupied nodes visible in the snapshot.
+    #[must_use]
+    pub fn occupied_nodes(&self) -> usize {
+        self.views[0].len()
+    }
+
+    /// The size of the ring implied by the snapshot
+    /// (`#occupied + sum of gaps`).
+    #[must_use]
+    pub fn ring_size(&self) -> usize {
+        self.views[0].len() + self.views[0].total_gap()
+    }
+
+    /// The supermin configuration view reconstructed from the snapshot; since
+    /// a view determines the configuration up to isomorphism this is exactly
+    /// the paper's `W_min^C`.
+    #[must_use]
+    pub fn supermin(&self) -> View {
+        self.views[0].supermin()
+    }
+
+    /// Whether the two directional views coincide (the robot sits on an axis
+    /// of symmetry or in a periodic configuration where both directions look
+    /// alike); in that case any move decision is inherently ambiguous and the
+    /// adversary picks the actual direction.
+    #[must_use]
+    pub fn is_locally_symmetric(&self) -> bool {
+        self.views[0] == self.views[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_ring::Ring;
+
+    fn cfg(gaps: &[usize]) -> Configuration {
+        Configuration::from_gaps_at_origin(gaps)
+    }
+
+    #[test]
+    fn capture_produces_both_directions() {
+        let c = cfg(&[0, 1, 0, 0, 6]);
+        let s = Snapshot::capture(&c, 0, MultiplicityCapability::None, Direction::Cw);
+        assert_eq!(s.views[0], c.view_from(0, Direction::Cw));
+        assert_eq!(s.views[1], c.view_from(0, Direction::Ccw));
+        assert_eq!(s.on_multiplicity, None);
+        assert_eq!(s.global_multiplicities, None);
+        assert_eq!(s.occupied_nodes(), 5);
+        assert_eq!(s.ring_size(), 12);
+    }
+
+    #[test]
+    fn capture_respects_first_direction() {
+        let c = cfg(&[0, 1, 0, 0, 6]);
+        let cw = Snapshot::capture(&c, 0, MultiplicityCapability::None, Direction::Cw);
+        let ccw = Snapshot::capture(&c, 0, MultiplicityCapability::None, Direction::Ccw);
+        assert_eq!(cw.views[0], ccw.views[1]);
+        assert_eq!(cw.views[1], ccw.views[0]);
+    }
+
+    #[test]
+    fn local_multiplicity_flag() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 1, 0, 0]).unwrap();
+        let s = Snapshot::capture(&c, 0, MultiplicityCapability::Local, Direction::Cw);
+        assert_eq!(s.on_multiplicity, Some(true));
+        let s = Snapshot::capture(&c, 2, MultiplicityCapability::Local, Direction::Cw);
+        assert_eq!(s.on_multiplicity, Some(false));
+        assert!(s.global_multiplicities.is_none());
+    }
+
+    #[test]
+    fn global_multiplicity_flags_follow_view_order() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 3, 0, 0]).unwrap();
+        let s = Snapshot::capture(&c, 2, MultiplicityCapability::Global, Direction::Cw);
+        // Occupied nodes in cw order from node 2: 2, 5, 0.
+        assert_eq!(s.global_multiplicities, Some(vec![false, true, true]));
+        let s = Snapshot::capture(&c, 2, MultiplicityCapability::Global, Direction::Ccw);
+        // Occupied nodes in ccw order from node 2: 2, 0, 5.
+        assert_eq!(s.global_multiplicities, Some(vec![false, true, true]));
+    }
+
+    #[test]
+    fn supermin_is_direction_independent() {
+        let c = cfg(&[0, 2, 1, 5]);
+        for node in c.occupied_nodes() {
+            for dir in Direction::BOTH {
+                let s = Snapshot::capture(&c, node, MultiplicityCapability::None, dir);
+                assert_eq!(s.supermin(), rr_ring::supermin_view(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn local_symmetry_detection() {
+        // Robot 3 in gaps (2,2,0,0) sits on the axis.
+        let c = cfg(&[0, 0, 2, 2]);
+        let occ = c.occupied_nodes();
+        // occupied: 0,1,2,5 on n=8; the axis robot is node 1 (gaps 0 on both sides)?
+        // Verify via the snapshot predicate instead of hand-reasoning:
+        let symmetric_nodes: Vec<_> = occ
+            .iter()
+            .copied()
+            .filter(|&v| {
+                Snapshot::capture(&c, v, MultiplicityCapability::None, Direction::Cw)
+                    .is_locally_symmetric()
+            })
+            .collect();
+        assert_eq!(symmetric_nodes.len(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution traces: the sequence of observable events of a simulation run.
+
+use rr_ring::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::robot::RobotId;
+
+/// A single observable event of the simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A robot performed its Look + Compute phases.
+    Looked {
+        /// The robot.
+        robot: RobotId,
+        /// Global step counter at which the event happened.
+        step: u64,
+        /// Whether the computed decision was a move.
+        decided_to_move: bool,
+    },
+    /// A robot executed a pending move.
+    Moved {
+        /// The robot.
+        robot: RobotId,
+        /// Node it left.
+        from: NodeId,
+        /// Node it reached.
+        to: NodeId,
+        /// Global step counter at which the event happened.
+        step: u64,
+    },
+    /// A robot executed a pending idle decision (completed a cycle without
+    /// moving).
+    StayedIdle {
+        /// The robot.
+        robot: RobotId,
+        /// Global step counter at which the event happened.
+        step: u64,
+    },
+}
+
+impl Event {
+    /// The robot involved in the event.
+    #[must_use]
+    pub fn robot(&self) -> RobotId {
+        match self {
+            Event::Looked { robot, .. }
+            | Event::Moved { robot, .. }
+            | Event::StayedIdle { robot, .. } => *robot,
+        }
+    }
+
+    /// The global step at which the event happened.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        match self {
+            Event::Looked { step, .. }
+            | Event::Moved { step, .. }
+            | Event::StayedIdle { step, .. } => *step,
+        }
+    }
+}
+
+/// An append-only log of [`Event`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+    recording: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    #[must_use]
+    pub fn recording() -> Self {
+        Trace { events: Vec::new(), recording: true }
+    }
+
+    /// A trace that drops events (for long benchmark runs).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), recording: false }
+    }
+
+    /// Appends an event (no-op when recording is disabled).
+    pub fn push(&mut self, event: Event) {
+        if self.recording {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterator over the recorded move events.
+    pub fn moves(&self) -> impl Iterator<Item = (RobotId, NodeId, NodeId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Moved { robot, from, to, .. } => Some((*robot, *from, *to)),
+            _ => None,
+        })
+    }
+
+    /// Number of moves by each robot, as a vector indexed by robot id.
+    #[must_use]
+    pub fn moves_per_robot(&self, k: usize) -> Vec<u64> {
+        let mut out = vec![0u64; k];
+        for (r, _, _) in self.moves() {
+            if r < k {
+                out[r] += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_disabled_traces() {
+        let mut t = Trace::recording();
+        t.push(Event::Looked { robot: 0, step: 1, decided_to_move: true });
+        t.push(Event::Moved { robot: 0, from: 3, to: 4, step: 2 });
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let mut d = Trace::disabled();
+        d.push(Event::Moved { robot: 0, from: 3, to: 4, step: 2 });
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn move_extraction() {
+        let mut t = Trace::recording();
+        t.push(Event::Moved { robot: 1, from: 0, to: 1, step: 0 });
+        t.push(Event::StayedIdle { robot: 0, step: 1 });
+        t.push(Event::Moved { robot: 1, from: 1, to: 2, step: 2 });
+        let moves: Vec<_> = t.moves().collect();
+        assert_eq!(moves, vec![(1, 0, 1), (1, 1, 2)]);
+        assert_eq!(t.moves_per_robot(3), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::Moved { robot: 5, from: 0, to: 1, step: 9 };
+        assert_eq!(e.robot(), 5);
+        assert_eq!(e.step(), 9);
+        let e = Event::Looked { robot: 2, step: 4, decided_to_move: false };
+        assert_eq!(e.robot(), 2);
+        assert_eq!(e.step(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based and randomized invariants of the Look–Compute–Move
+//! simulator: robot conservation, position/configuration consistency,
+//! scheduler well-formedness and trace faithfulness.
+
+use proptest::prelude::*;
+use rr_corda::scheduler::{
+    AsynchronousScheduler, FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
+};
+use rr_corda::{
+    Decision, Event, Protocol, Scheduler, SchedulerStep, Simulator, SimulatorOptions, Snapshot,
+    ViewIndex,
+};
+use rr_ring::{Configuration, Ring};
+
+/// A deterministic but non-trivial test protocol: robots move towards their
+/// larger adjacent gap whenever the gaps differ.  Under the asynchronous
+/// scheduler a pending move may land on a node that became occupied in the
+/// meantime, so the protocol does not declare the exclusivity requirement and
+/// the invariants below are about conservation and trace faithfulness only.
+#[derive(Debug, Clone, Copy)]
+struct DriftProtocol;
+
+impl Protocol for DriftProtocol {
+    fn name(&self) -> &str {
+        "drift"
+    }
+
+    fn requires_exclusivity(&self) -> bool {
+        false
+    }
+
+    fn compute(&self, snapshot: &Snapshot) -> Decision {
+        let a = snapshot.views[0].gap(0);
+        let b = snapshot.views[1].gap(0);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Greater => Decision::Move(ViewIndex::First),
+            std::cmp::Ordering::Less => Decision::Move(ViewIndex::Second),
+            std::cmp::Ordering::Equal => Decision::Idle,
+        }
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = Configuration> {
+    (6usize..16, 2usize..6).prop_flat_map(|(n, k)| {
+        proptest::collection::vec(0usize..n, k..=k).prop_filter_map("distinct nodes", move |nodes| {
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != nodes.len() {
+                return None;
+            }
+            Configuration::new_exclusive(Ring::new(n), &nodes).ok()
+        })
+    })
+}
+
+fn run_with<S: Scheduler>(config: &Configuration, mut scheduler: S, steps: u64) -> Simulator<DriftProtocol> {
+    let options = SimulatorOptions::for_protocol(&DriftProtocol).with_trace();
+    let mut sim = Simulator::new(DriftProtocol, config.clone(), options).expect("valid");
+    for _ in 0..steps {
+        let step = scheduler.next(&sim.scheduler_view());
+        sim.apply(&step).expect("exclusivity is not enforced for the drift protocol");
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The number of robots is conserved and the simulator's position vector
+    /// always matches the configuration's occupancy, under every scheduler.
+    #[test]
+    fn robots_are_conserved(config in config_strategy(), seed in 0u64..1_000) {
+        let k = config.num_robots();
+        for variant in 0..4usize {
+            let sim = match variant {
+                0 => run_with(&config, RoundRobinScheduler::new(), 60),
+                1 => run_with(&config, FullySynchronousScheduler, 30),
+                2 => run_with(&config, SemiSynchronousScheduler::seeded(seed), 40),
+                _ => run_with(&config, AsynchronousScheduler::seeded(seed), 80),
+            };
+            prop_assert_eq!(sim.configuration().num_robots(), k);
+            prop_assert_eq!(sim.num_robots(), k);
+            // positions() and the configuration agree.
+            let mut counts = vec![0u32; config.n()];
+            for p in sim.positions() {
+                counts[p] += 1;
+            }
+            for v in 0..config.n() {
+                prop_assert_eq!(counts[v], sim.configuration().count_at(v));
+            }
+        }
+    }
+
+    /// The trace replays to the final configuration: applying the recorded
+    /// moves to the initial configuration yields the simulator's end state.
+    #[test]
+    fn trace_replays_to_final_configuration(config in config_strategy(), seed in 0u64..1_000) {
+        let sim = run_with(&config, AsynchronousScheduler::seeded(seed), 120);
+        let mut replay = config.clone();
+        for (_, from, to) in sim.trace().moves() {
+            replay.move_robot(from, to).expect("trace moves are legal");
+        }
+        prop_assert_eq!(&replay, sim.configuration());
+        // Move events in the trace match the simulator's move counter.
+        prop_assert_eq!(sim.trace().moves().count() as u64, sim.move_count());
+    }
+
+    /// Every Look is eventually followed by at most one Move/Idle completion
+    /// per robot (cycle accounting), and cycles never exceed looks.
+    #[test]
+    fn cycle_accounting(config in config_strategy(), seed in 0u64..1_000) {
+        let sim = run_with(&config, AsynchronousScheduler::seeded(seed), 100);
+        let looks = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Looked { .. }))
+            .count() as u64;
+        let completions: u64 = sim.robots().iter().map(|r| r.cycles).sum();
+        prop_assert!(completions <= looks);
+        prop_assert_eq!(looks, sim.look_count());
+    }
+
+    /// Schedulers only ever name existing robots.
+    #[test]
+    fn schedulers_name_existing_robots(config in config_strategy(), seed in 0u64..1_000) {
+        let options = SimulatorOptions::for_protocol(&DriftProtocol);
+        let sim = Simulator::new(DriftProtocol, config.clone(), options).expect("valid");
+        let view = sim.scheduler_view();
+        let k = config.num_robots();
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RoundRobinScheduler::new()),
+            Box::new(FullySynchronousScheduler),
+            Box::new(SemiSynchronousScheduler::seeded(seed)),
+            Box::new(AsynchronousScheduler::seeded(seed)),
+        ];
+        for scheduler in &mut schedulers {
+            for _ in 0..20 {
+                match scheduler.next(&view) {
+                    SchedulerStep::SsyncRound(robots) => {
+                        prop_assert!(!robots.is_empty());
+                        prop_assert!(robots.iter().all(|&r| r < k));
+                    }
+                    SchedulerStep::Look(r) | SchedulerStep::Execute(r) => prop_assert!(r < k),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alternating_view_order_flips_snapshot_orientation() {
+    let config = Configuration::from_gaps_at_origin(&[1, 2, 4]);
+    let options = SimulatorOptions::for_protocol(&DriftProtocol)
+        .with_view_order(rr_corda::simulator::ViewOrder::Alternating)
+        .with_trace();
+    let mut sim = Simulator::new(DriftProtocol, config, options).unwrap();
+    // Two consecutive looks by the same robot id on a frozen configuration
+    // would alternate orientation; here we simply check the run stays valid.
+    for r in 0..sim.num_robots() {
+        sim.activate(r).unwrap();
+    }
+    assert_eq!(sim.configuration().num_robots(), 3);
+}

@@ -1,0 +1,328 @@
+//! The four reduction rules of Algorithm Align (Section 3.1 of the paper),
+//! expressed as transformations of the supermin configuration view.
+//!
+//! Everything here manipulates *words* (views); the mapping from a chosen
+//! reduction to the physical robot that must move is done by comparing the
+//! robot's own views against the *expected mover view* returned by
+//! [`choose_reduction`], see [`crate::align`].
+
+use rr_ring::pattern;
+use rr_ring::View;
+use serde::{Deserialize, Serialize};
+
+/// One of the four reduction rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reduction {
+    /// `reduction_0`: the robot between intervals `q_{k-1}` and `q_0` moves
+    /// into `q_0 > 0`.
+    Zero,
+    /// `reduction_1`: the robot between `q_{ℓ1}` and `q_{ℓ1+1}` moves into
+    /// `q_{ℓ1}`.
+    One,
+    /// `reduction_2`: the robot between `q_{ℓ2}` and `q_{ℓ2+1}` moves into
+    /// `q_{ℓ2}`.
+    Two,
+    /// `reduction_{-1}`: the robot between `q_{k-2}` and `q_{k-1}` moves into
+    /// `q_{k-1}`.
+    MinusOne,
+}
+
+/// A reduction selected for a given supermin view, together with the data the
+/// protocol needs to carry it out locally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectedReduction {
+    /// Which rule applies.
+    pub rule: Reduction,
+    /// The view that the designated mover reads **in its direction of
+    /// movement**.  In a rigid configuration exactly one (robot, direction)
+    /// pair reads this view; in the symmetric special case `(0,0,2,2)` the
+    /// unique axis robot reads it in both directions.
+    pub mover_view: View,
+    /// The gap word of the configuration after the move (read from the same
+    /// starting interval as the input supermin view; not necessarily in
+    /// canonical form).
+    pub resulting_word: View,
+}
+
+/// Index of the first strictly positive interval of `w` (the paper's `ℓ1`).
+#[must_use]
+pub fn ell1(w: &View) -> Option<usize> {
+    pattern::ell1(w.gaps())
+}
+
+/// Index of the second strictly positive interval of `w` (the paper's `ℓ2`).
+#[must_use]
+pub fn ell2(w: &View) -> Option<usize> {
+    pattern::ell2(w.gaps())
+}
+
+/// Applies a reduction rule to a supermin view, returning the resulting gap
+/// word (not re-canonicalized).
+///
+/// # Panics
+///
+/// Panics if the rule is not applicable (e.g. `Zero` with `q_0 = 0`).
+#[must_use]
+pub fn apply(w: &View, rule: Reduction) -> View {
+    let mut gaps = w.gaps().to_vec();
+    let k = gaps.len();
+    match rule {
+        Reduction::Zero => {
+            assert!(gaps[0] > 0, "reduction_0 requires q_0 > 0");
+            gaps[0] -= 1;
+            gaps[k - 1] += 1;
+        }
+        Reduction::One => {
+            let l1 = ell1(w).expect("reduction_1 requires a positive interval");
+            assert!(l1 + 1 < k, "reduction_1 requires ℓ1 < k - 1");
+            gaps[l1] -= 1;
+            gaps[l1 + 1] += 1;
+        }
+        Reduction::Two => {
+            let l2 = ell2(w).expect("reduction_2 requires two positive intervals");
+            assert!(l2 + 1 < k, "reduction_2 requires ℓ2 < k - 1");
+            gaps[l2] -= 1;
+            gaps[l2 + 1] += 1;
+        }
+        Reduction::MinusOne => {
+            assert!(gaps[k - 1] > 0, "reduction_minus_one requires the last interval to be positive");
+            assert!(k >= 2, "reduction_minus_one requires at least two intervals");
+            gaps[k - 2] += 1;
+            gaps[k - 1] -= 1;
+        }
+    }
+    View::new(gaps)
+}
+
+/// The view read by the designated mover of `rule`, in its direction of
+/// movement, when the supermin configuration view is `w`.
+///
+/// * `reduction_0`: the mover is the robot `a` between `q_{k-1}` and `q_0`
+///   moving into `q_0`; reading onward it sees exactly `w`.
+/// * `reduction_1` / `reduction_2`: the mover is the robot between
+///   `q_{ℓ}` and `q_{ℓ+1}` moving into `q_ℓ` (against the reading direction of
+///   `w`); reading in its movement direction it sees
+///   `(q_ℓ, q_{ℓ-1}, …, q_0, q_{k-1}, …, q_{ℓ+1})`.
+/// * `reduction_{-1}`: the mover is the robot `d` between `q_{k-2}` and
+///   `q_{k-1}` moving into `q_{k-1}`; it reads `(q_{k-1}, q_0, …, q_{k-2})`.
+#[must_use]
+pub fn mover_view(w: &View, rule: Reduction) -> View {
+    let gaps = w.gaps();
+    let k = gaps.len();
+    match rule {
+        Reduction::Zero => w.clone(),
+        Reduction::One | Reduction::Two => {
+            let l = if rule == Reduction::One {
+                ell1(w).expect("ℓ1 exists")
+            } else {
+                ell2(w).expect("ℓ2 exists")
+            };
+            let mut out = Vec::with_capacity(k);
+            // q_ℓ, q_{ℓ-1}, ..., q_0
+            for i in (0..=l).rev() {
+                out.push(gaps[i]);
+            }
+            // q_{k-1}, q_{k-2}, ..., q_{ℓ+1}
+            for i in ((l + 1)..k).rev() {
+                out.push(gaps[i]);
+            }
+            View::new(out)
+        }
+        Reduction::MinusOne => {
+            let mut out = Vec::with_capacity(k);
+            out.push(gaps[k - 1]);
+            out.extend_from_slice(&gaps[..k - 1]);
+            View::new(out)
+        }
+    }
+}
+
+/// Chooses the reduction Algorithm Align applies to a configuration with
+/// supermin view `w_min`, following Figure 1 of the paper:
+///
+/// 1. if `q_0 > 0`, apply `reduction_0`;
+/// 2. otherwise apply `reduction_1` unless the result is symmetric;
+/// 3. otherwise apply `reduction_2` unless the result is symmetric;
+/// 4. otherwise apply `reduction_{-1}` unless the result is symmetric;
+/// 5. otherwise (the configuration is `Cs` or its symmetric successor) apply
+///    `reduction_1` regardless.
+///
+/// Returns `None` when no reduction applies (fewer than 3 robots, or the
+/// configuration is already `C*`).
+#[must_use]
+pub fn choose_reduction(w_min: &View) -> Option<SelectedReduction> {
+    let k = w_min.len();
+    if k < 3 {
+        return None;
+    }
+    if pattern::is_c_star_type(w_min.gaps()) && w_min.gap(k - 1) >= 2 {
+        // Already C* (or a C*-type word): Align's goal is reached.
+        return None;
+    }
+    let build = |rule: Reduction| SelectedReduction {
+        rule,
+        mover_view: mover_view(w_min, rule),
+        resulting_word: apply(w_min, rule),
+    };
+    if w_min.gap(0) > 0 {
+        return Some(build(Reduction::Zero));
+    }
+    // q_0 = 0: ℓ1 exists unless every interval is 0 (k = n, no empty node),
+    // in which case no robot can move at all.  ℓ1 = k-1 would mean all robots
+    // form one block, a symmetric configuration outside Align's domain.
+    let l1 = ell1(w_min)?;
+    if l1 + 1 >= k {
+        return None;
+    }
+    let r1 = build(Reduction::One);
+    if !r1.resulting_word.is_symmetric() {
+        return Some(r1);
+    }
+    if ell2(w_min).is_some_and(|l2| l2 + 1 < k) {
+        let r2 = build(Reduction::Two);
+        if !r2.resulting_word.is_symmetric() {
+            return Some(r2);
+        }
+    }
+    if w_min.gap(k - 1) > 0 {
+        let rm1 = build(Reduction::MinusOne);
+        if !rm1.resulting_word.is_symmetric() {
+            return Some(rm1);
+        }
+    }
+    // Cs (0,1,1,2) or the symmetric intermediate (0,0,2,2): reduction_1.
+    Some(build(Reduction::One))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(gaps: &[usize]) -> View {
+        View::new(gaps.to_vec())
+    }
+
+    #[test]
+    fn ell_indices_delegate_to_pattern() {
+        assert_eq!(ell1(&v(&[0, 0, 2, 1])), Some(2));
+        assert_eq!(ell2(&v(&[0, 0, 2, 1])), Some(3));
+        assert_eq!(ell1(&v(&[0, 0, 0])), None);
+    }
+
+    #[test]
+    fn apply_reduction_zero() {
+        assert_eq!(apply(&v(&[2, 1, 3]), Reduction::Zero), v(&[1, 1, 4]));
+    }
+
+    #[test]
+    fn apply_reduction_one_and_two() {
+        assert_eq!(apply(&v(&[0, 2, 1, 3]), Reduction::One), v(&[0, 1, 2, 3]));
+        assert_eq!(apply(&v(&[0, 2, 1, 3]), Reduction::Two), v(&[0, 2, 0, 4]));
+    }
+
+    #[test]
+    fn apply_reduction_minus_one() {
+        assert_eq!(apply(&v(&[0, 1, 1, 2]), Reduction::MinusOne), v(&[0, 1, 2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires q_0 > 0")]
+    fn apply_zero_requires_positive_first_gap() {
+        let _ = apply(&v(&[0, 1, 2]), Reduction::Zero);
+    }
+
+    #[test]
+    fn mover_views_read_in_movement_direction() {
+        // reduction_0: the mover reads the supermin itself.
+        assert_eq!(mover_view(&v(&[2, 1, 3]), Reduction::Zero), v(&[2, 1, 3]));
+        // reduction_1 on (0,0,2,1,4): ℓ1 = 2, mover reads (2,0,0,4,1).
+        assert_eq!(
+            mover_view(&v(&[0, 0, 2, 1, 4]), Reduction::One),
+            v(&[2, 0, 0, 4, 1])
+        );
+        // reduction_2 on the same word: ℓ2 = 3, mover reads (1,2,0,0,4).
+        assert_eq!(
+            mover_view(&v(&[0, 0, 2, 1, 4]), Reduction::Two),
+            v(&[1, 2, 0, 0, 4])
+        );
+        // reduction_{-1}: mover reads (q_{k-1}, q_0, ..., q_{k-2}).
+        assert_eq!(
+            mover_view(&v(&[0, 1, 1, 2]), Reduction::MinusOne),
+            v(&[2, 0, 1, 1])
+        );
+    }
+
+    #[test]
+    fn choose_prefers_zero_when_supermin_positive() {
+        let sel = choose_reduction(&v(&[1, 2, 3])).unwrap();
+        assert_eq!(sel.rule, Reduction::Zero);
+        assert_eq!(sel.resulting_word, v(&[0, 2, 4]));
+    }
+
+    #[test]
+    fn choose_prefers_one_when_no_symmetry_is_created() {
+        // (0, 2, 1, 4): reduction_1 yields (0,1,2,4) which is rigid.
+        let sel = choose_reduction(&v(&[0, 2, 1, 4])).unwrap();
+        assert_eq!(sel.rule, Reduction::One);
+        assert_eq!(sel.resulting_word, v(&[0, 1, 2, 4]));
+    }
+
+    #[test]
+    fn choose_falls_back_to_two_on_symmetry() {
+        // (0, 1, 1, 3): reduction_1 gives (0,0,2,3)?  Check: ℓ1 = 1, result
+        // (0, 0, 2, 3) — rigid, so reduction_1 is chosen.  Pick instead a word
+        // where conditions 1–4 of Lemma 3 hold: (0, 1, 2, 3): reduction_1
+        // gives (0, 0, 3, 3), which is symmetric → reduction_2 gives
+        // (0, 1, 1, 4), rigid.
+        let sel = choose_reduction(&v(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(sel.rule, Reduction::Two);
+        assert_eq!(sel.resulting_word, v(&[0, 1, 1, 4]));
+    }
+
+    #[test]
+    fn choose_falls_back_to_minus_one() {
+        // Condition 5 of Lemma 4: (0,1,1,1,2) — both reduction_1 and
+        // reduction_2 create symmetric configurations, reduction_{-1} does not.
+        let sel = choose_reduction(&v(&[0, 1, 1, 1, 2])).unwrap();
+        assert_eq!(sel.rule, Reduction::MinusOne);
+        assert_eq!(sel.resulting_word, v(&[0, 1, 1, 2, 1]));
+        assert!(!sel.resulting_word.is_symmetric());
+    }
+
+    #[test]
+    fn choose_handles_cs_special_case() {
+        // Cs = (0,1,1,2): every reduction creates a symmetric configuration;
+        // the algorithm still performs reduction_1.
+        let sel = choose_reduction(&v(&[0, 1, 1, 2])).unwrap();
+        assert_eq!(sel.rule, Reduction::One);
+        assert_eq!(sel.resulting_word, v(&[0, 0, 2, 2]));
+        assert!(sel.resulting_word.is_symmetric());
+        // ... and from (0,0,2,2) reduction_1 reaches C* = (0,0,1,3).
+        let sel = choose_reduction(&v(&[0, 0, 2, 2])).unwrap();
+        assert_eq!(sel.rule, Reduction::One);
+        assert_eq!(sel.resulting_word, v(&[0, 0, 1, 3]));
+    }
+
+    #[test]
+    fn choose_stops_at_c_star() {
+        assert!(choose_reduction(&v(&[0, 0, 1, 3])).is_none());
+        assert!(choose_reduction(&v(&[0, 0, 0, 1, 6])).is_none());
+    }
+
+    #[test]
+    fn choose_rejects_degenerate_inputs() {
+        assert!(choose_reduction(&v(&[3, 4])).is_none());
+        assert!(choose_reduction(&v(&[0, 0, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn reductions_never_touch_total_gap() {
+        for gaps in [vec![0, 2, 1, 4], vec![1, 2, 3], vec![0, 1, 1, 2], vec![0, 1, 2, 3]] {
+            let w = v(&gaps);
+            if let Some(sel) = choose_reduction(&w) {
+                assert_eq!(sel.resulting_word.total_gap(), w.total_gap());
+                assert_eq!(sel.mover_view.total_gap(), w.total_gap());
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared view-analysis helpers used by the protocol implementations.
+//!
+//! Everything here is computed from a single local [`View`] (or a pair of
+//! views), never from global simulator state: a view determines the
+//! configuration up to rotation and reflection, which is all an anonymous
+//! disoriented robot may use.
+
+use rr_ring::View;
+
+/// One maximal run of adjacent robots together with the gap that follows it
+/// (in the reading direction of the view it was derived from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGap {
+    /// Number of adjacent robots in the run (at least 1).
+    pub block: usize,
+    /// Number of empty nodes between this run and the next one (at least 1).
+    pub gap: usize,
+}
+
+/// Decomposes the cyclic gap word of a view into its block/gap structure.
+///
+/// The first block is the one containing the observing robot; blocks follow in
+/// the reading direction of the view.  If no gap is positive (all robots are
+/// adjacent, `k = n`), a single block with gap 0 is returned.
+#[must_use]
+pub fn block_structure(view: &View) -> Vec<BlockGap> {
+    let gaps = view.gaps();
+    let k = gaps.len();
+    if gaps.iter().all(|&g| g == 0) {
+        return vec![BlockGap { block: k, gap: 0 }];
+    }
+    // Rotate so that the first considered robot starts a block, i.e. the gap
+    // *preceding* it (the last gap of the view) is positive.  We instead build
+    // blocks by scanning and merging the wrap-around at the end.
+    let mut blocks: Vec<BlockGap> = Vec::new();
+    let mut current_block = 1usize; // the observing robot
+    for &g in gaps.iter().take(k - 1) {
+        if g == 0 {
+            current_block += 1;
+        } else {
+            blocks.push(BlockGap { block: current_block, gap: g });
+            current_block = 1;
+        }
+    }
+    let last_gap = gaps[k - 1];
+    if last_gap == 0 {
+        // The wrap-around merges the trailing run with the first block.
+        if let Some(first) = blocks.first_mut() {
+            // This can only happen if there is at least one positive gap, so
+            // `blocks` is non-empty; the trailing robots belong to the block
+            // of the observing robot seen "from behind".
+            first.block += current_block;
+        }
+    } else {
+        blocks.push(BlockGap { block: current_block, gap: last_gap });
+    }
+    blocks
+}
+
+/// The sizes of the maximal runs of adjacent robots, in descending order.
+#[must_use]
+pub fn block_sizes_sorted(view: &View) -> Vec<usize> {
+    let mut sizes: Vec<usize> = block_structure(view).iter().map(|b| b.block).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Reconstructs the occupancy of the ring relative to the observing robot:
+/// entry `i` of the result tells whether the node at distance `i` in the
+/// reading direction of `view` is occupied (entry 0 is the robot itself).
+#[must_use]
+pub fn relative_occupancy(view: &View) -> Vec<bool> {
+    let n = view.len() + view.total_gap();
+    let mut occ = vec![false; n];
+    let mut pos = 0usize;
+    occ[0] = true;
+    for &g in view.gaps().iter().take(view.len() - 1) {
+        pos += g + 1;
+        occ[pos] = true;
+    }
+    occ
+}
+
+/// Whether `view` read from this robot equals the supermin view of the
+/// configuration (i.e. the robot can claim the role attached to "the node
+/// whose view is the supermin view" for this reading direction).
+#[must_use]
+pub fn reads_supermin(view: &View) -> bool {
+    *view == view.supermin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(gaps: &[usize]) -> View {
+        View::new(gaps.to_vec())
+    }
+
+    #[test]
+    fn block_structure_simple() {
+        // (0,0,1,0,6): block of 3 (me + 2), gap 1, block of 2, gap 6.
+        let s = block_structure(&v(&[0, 0, 1, 0, 6]));
+        assert_eq!(
+            s,
+            vec![BlockGap { block: 3, gap: 1 }, BlockGap { block: 2, gap: 6 }]
+        );
+    }
+
+    #[test]
+    fn block_structure_wraps_around() {
+        // (1, 0, 6, 0): me, gap 1, block of 2?, ... last gap 0 merges the
+        // trailing robot with my block: blocks are {me, last robot} and the
+        // middle two.
+        let s = block_structure(&v(&[1, 0, 6, 0]));
+        assert_eq!(
+            s,
+            vec![BlockGap { block: 2, gap: 1 }, BlockGap { block: 2, gap: 6 }]
+        );
+    }
+
+    #[test]
+    fn block_structure_all_adjacent() {
+        let s = block_structure(&v(&[0, 0, 0, 5]));
+        assert_eq!(s, vec![BlockGap { block: 4, gap: 5 }]);
+        let s = block_structure(&v(&[0, 0, 0]));
+        assert_eq!(s, vec![BlockGap { block: 3, gap: 0 }]);
+    }
+
+    #[test]
+    fn block_structure_isolated_robots() {
+        let s = block_structure(&v(&[2, 3, 4]));
+        assert_eq!(
+            s,
+            vec![
+                BlockGap { block: 1, gap: 2 },
+                BlockGap { block: 1, gap: 3 },
+                BlockGap { block: 1, gap: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn block_sizes_are_sorted_descending() {
+        assert_eq!(block_sizes_sorted(&v(&[0, 0, 1, 0, 6])), vec![3, 2]);
+        assert_eq!(block_sizes_sorted(&v(&[1, 0, 6, 0])), vec![2, 2]);
+        assert_eq!(block_sizes_sorted(&v(&[2, 3, 4])), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn block_totals_equal_robot_count() {
+        for gaps in [vec![0, 0, 1, 0, 6], vec![1, 0, 6, 0], vec![2, 3, 4], vec![0, 0, 0, 5]] {
+            let view = v(&gaps);
+            let total: usize = block_structure(&view).iter().map(|b| b.block).sum();
+            assert_eq!(total, view.len());
+        }
+    }
+
+    #[test]
+    fn relative_occupancy_matches_view() {
+        let view = v(&[0, 2, 1, 4]);
+        let occ = relative_occupancy(&view);
+        assert_eq!(occ.len(), 4 + 7);
+        let occupied: Vec<usize> = (0..occ.len()).filter(|&i| occ[i]).collect();
+        assert_eq!(occupied, vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn reads_supermin_only_at_the_supermin_node() {
+        let w = v(&[0, 0, 1, 3]);
+        assert!(reads_supermin(&w));
+        assert!(!reads_supermin(&w.rotation(1)));
+        assert!(!reads_supermin(&w.opposite_direction()));
+    }
+}

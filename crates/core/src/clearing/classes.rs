@@ -1,0 +1,260 @@
+//! The configuration classes A-a … A-f of Algorithm Ring Clearing
+//! (Section 4.3 of the paper).
+//!
+//! The second phase of Ring Clearing only ever visits configurations in the
+//! set `A`; robots decide which phase they are in by testing membership in
+//! `A`, which this module implements from the block/gap structure of a view.
+
+use rr_ring::View;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{block_structure, BlockGap};
+
+/// The configuration classes of the set `A` (Figure 12 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AClass {
+    /// A-a: a block of `k-2` adjacent robots and an adjacent pair at distance
+    /// 1 from the block.
+    Aa,
+    /// A-b: a block of `k-2` adjacent robots, one robot at distance 1 from the
+    /// block, and one isolated robot at distance at least 3 from the block on
+    /// the other side.
+    Ab,
+    /// A-c: as A-b but the isolated robot is at distance exactly 2 from the
+    /// block on the other side.
+    Ac,
+    /// A-d: a block of `k-3` adjacent robots, an adjacent pair at distance 1,
+    /// and a single robot at distance 2 from the block on the other side.
+    Ad,
+    /// A-e: as A-d but the single robot is at distance 1 from the block.
+    Ae,
+    /// A-f: an asymmetric configuration made of a block of `k-1` adjacent
+    /// robots and one single robot (this class contains `C*`).
+    Af,
+}
+
+impl AClass {
+    /// All classes, in cycle order (A-a → A-b → A-c → A-d → A-e) followed by
+    /// the entry class A-f.
+    pub const ALL: [AClass; 6] =
+        [AClass::Aa, AClass::Ab, AClass::Ac, AClass::Ad, AClass::Ae, AClass::Af];
+}
+
+impl std::fmt::Display for AClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AClass::Aa => "A-a",
+            AClass::Ab => "A-b",
+            AClass::Ac => "A-c",
+            AClass::Ad => "A-d",
+            AClass::Ae => "A-e",
+            AClass::Af => "A-f",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Classifies the configuration seen by `view` (any view of it) into one of
+/// the classes of `A`, or `None` if the configuration is not in `A`.
+#[must_use]
+pub fn classify(view: &View) -> Option<AClass> {
+    let k = view.len();
+    if k < 5 {
+        return None;
+    }
+    let blocks = block_structure(view);
+    match blocks.len() {
+        2 => classify_two_blocks(&blocks, k),
+        3 => classify_three_blocks(&blocks, k),
+        _ => None,
+    }
+}
+
+fn classify_two_blocks(blocks: &[BlockGap], k: usize) -> Option<AClass> {
+    let (b0, b1) = (blocks[0], blocks[1]);
+    let sizes = (b0.block.max(b1.block), b0.block.min(b1.block));
+    if sizes == (k - 1, 1) {
+        // A-f requires asymmetry: the two gaps must differ.
+        if b0.gap != b1.gap && b0.gap >= 1 && b1.gap >= 1 {
+            return Some(AClass::Af);
+        }
+        return None;
+    }
+    if sizes == (k - 2, 2) && k >= 5 {
+        let (g_small, g_big) = (b0.gap.min(b1.gap), b0.gap.max(b1.gap));
+        if g_small == 1 && g_big >= 2 {
+            return Some(AClass::Aa);
+        }
+    }
+    None
+}
+
+fn classify_three_blocks(blocks: &[BlockGap], k: usize) -> Option<AClass> {
+    let sizes: Vec<usize> = blocks.iter().map(|b| b.block).collect();
+    let mut sorted = sizes.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    if sorted == vec![k - 2, 1, 1] && k >= 5 {
+        // Block, gap a, single, gap b, single, gap c, back to block.
+        let big = sizes.iter().position(|&s| s == k - 2)?;
+        let a = blocks[big].gap;
+        let b = blocks[(big + 1) % 3].gap;
+        let c = blocks[(big + 2) % 3].gap;
+        // One of the two singles must be at distance exactly 1 from the block;
+        // the other single's distance from the block (on the far side)
+        // distinguishes A-b (>= 3) from A-c (= 2).
+        if a == 1 && b >= 1 {
+            return match c {
+                2 => Some(AClass::Ac),
+                c if c >= 3 => Some(AClass::Ab),
+                _ => None,
+            };
+        }
+        if c == 1 && b >= 1 {
+            return match a {
+                2 => Some(AClass::Ac),
+                a if a >= 3 => Some(AClass::Ab),
+                _ => None,
+            };
+        }
+        return None;
+    }
+    if sorted == vec![k - 3, 2, 1] && k >= 5 {
+        // Candidate assignments of the role "K" (the k-3 block); when k = 5
+        // both 2-blocks are candidates.
+        for (i, bg) in blocks.iter().enumerate() {
+            if bg.block != k - 3 {
+                continue;
+            }
+            let next = blocks[(i + 1) % 3];
+            let prev = blocks[(i + 2) % 3];
+            // Reading forward from K: K, gap, X, gap, Y, gap, K.
+            // The pair must be at distance 1 from K and the single at
+            // distance 1 or 2 from K (on its other side).
+            let (pair, single, pair_first) = if next.block == 2 && prev.block == 1 {
+                (next, prev, true)
+            } else if next.block == 1 && prev.block == 2 {
+                (prev, next, false)
+            } else {
+                continue;
+            };
+            // Gap between K and the pair (on the side where they are adjacent
+            // blocks) and gap between the single and K.
+            let (k_pair_gap, single_k_gap) = if pair_first {
+                (bg.gap, single.gap)
+            } else {
+                (pair.gap, bg.gap)
+            };
+            let pair_single_gap = if pair_first { pair.gap } else { single.gap };
+            if k_pair_gap == 1 && pair_single_gap >= 1 {
+                match single_k_gap {
+                    2 => return Some(AClass::Ad),
+                    1 => return Some(AClass::Ae),
+                    _ => {}
+                }
+            }
+        }
+        return None;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(gaps: &[usize]) -> View {
+        View::new(gaps.to_vec())
+    }
+
+    #[test]
+    fn classify_c_star_as_af() {
+        assert_eq!(classify(&v(&[0, 0, 0, 1, 6])), Some(AClass::Af));
+        assert_eq!(classify(&v(&[0, 0, 0, 0, 1, 7])), Some(AClass::Af));
+        // A symmetric two-block configuration is not in A.
+        assert_eq!(classify(&v(&[0, 0, 0, 3, 3])), None);
+    }
+
+    #[test]
+    fn classify_af_general() {
+        // Block of k-1 and a single robot with gaps 2 and 5.
+        assert_eq!(classify(&v(&[0, 0, 0, 2, 5])), Some(AClass::Af));
+    }
+
+    #[test]
+    fn classify_aa() {
+        // k = 5, n = 12: block of 3, gap 1, pair, gap 6.
+        assert_eq!(classify(&v(&[0, 0, 1, 0, 6])), Some(AClass::Aa));
+        // Same but the big gap is only 1: symmetric-ish, not A-a.
+        assert_eq!(classify(&v(&[0, 0, 1, 0, 1])), None);
+    }
+
+    #[test]
+    fn classify_ab_and_ac() {
+        // Block of 3, gap 1, single, gap 1, single, gap 5  (k=5, n=12): A-b.
+        assert_eq!(classify(&v(&[0, 0, 1, 1, 5])), Some(AClass::Ab));
+        // Walking robot now at distance 2 from the block on the far side: A-c.
+        assert_eq!(classify(&v(&[0, 0, 1, 4, 2])), Some(AClass::Ac));
+        // Distance 3: still A-b.
+        assert_eq!(classify(&v(&[0, 0, 1, 3, 3])), Some(AClass::Ab));
+        // r' not at distance 1 from the block: not in A.
+        assert_eq!(classify(&v(&[0, 0, 2, 2, 3])), None);
+    }
+
+    #[test]
+    fn classify_ad_and_ae() {
+        // k = 5, n = 12: block of 2, gap 1, pair, gap 4, single, gap 2.
+        assert_eq!(classify(&v(&[0, 1, 0, 4, 2])), Some(AClass::Ad));
+        // Single robot now at distance 1 from the block: A-e.
+        assert_eq!(classify(&v(&[0, 1, 0, 5, 1])), Some(AClass::Ae));
+        // Pair not at distance 1: not in A.
+        assert_eq!(classify(&v(&[0, 2, 0, 3, 2])), None);
+    }
+
+    #[test]
+    fn classify_is_view_independent() {
+        // Classification must not depend on which robot's view we use.
+        let words: &[(&[usize], Option<AClass>)] = &[
+            (&[0, 0, 1, 0, 6], Some(AClass::Aa)),
+            (&[0, 0, 1, 1, 5], Some(AClass::Ab)),
+            (&[0, 0, 1, 4, 2], Some(AClass::Ac)),
+            (&[0, 1, 0, 4, 2], Some(AClass::Ad)),
+            (&[0, 1, 0, 5, 1], Some(AClass::Ae)),
+            (&[0, 0, 0, 1, 6], Some(AClass::Af)),
+            (&[0, 0, 2, 1, 4], None),
+        ];
+        for (gaps, expected) in words {
+            let base = v(gaps);
+            for i in 0..base.len() {
+                assert_eq!(classify(&base.rotation(i)), *expected, "rotation {i} of {base}");
+                assert_eq!(
+                    classify(&base.rotation(i).opposite_direction()),
+                    *expected,
+                    "reverse rotation {i} of {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_small_teams() {
+        assert_eq!(classify(&v(&[0, 0, 1, 3])), None);
+        assert_eq!(classify(&v(&[0, 1, 5])), None);
+    }
+
+    #[test]
+    fn classify_larger_k() {
+        // k = 7, n = 16: A-d with block of 4, pair, single.
+        assert_eq!(classify(&v(&[0, 0, 0, 1, 0, 6, 2])), Some(AClass::Ad));
+        // k = 7, n = 16: A-c.
+        assert_eq!(classify(&v(&[0, 0, 0, 0, 1, 6, 2])), Some(AClass::Ac));
+        // k = 6, n = 14: A-e.
+        assert_eq!(classify(&v(&[0, 0, 1, 0, 6, 1])), Some(AClass::Ae));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AClass::Aa.to_string(), "A-a");
+        assert_eq!(AClass::Af.to_string(), "A-f");
+        assert_eq!(AClass::ALL.len(), 6);
+    }
+}

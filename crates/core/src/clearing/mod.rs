@@ -1,0 +1,436 @@
+//! Algorithm **Ring Clearing** (Section 4.3 of the paper): exclusive perpetual
+//! graph searching *and* exclusive perpetual exploration of an `n`-node ring
+//! by `5 ≤ k < n-3` robots (`n ≥ 10`, except `k = 5, n = 10`), starting from
+//! any rigid exclusive configuration.
+//!
+//! The algorithm works in two phases:
+//!
+//! 1. while the configuration is not in the set `A` (classes A-a … A-f,
+//!    see [`classes`]), run Algorithm [`Align`](crate::align);
+//! 2. once in `A`, perpetually cycle through the classes
+//!    A-a → A-b → … → A-b → A-c → A-d → A-e → A-a (Figure 12), which clears
+//!    every edge of the ring in every cycle and makes every robot visit every
+//!    node over time.
+//!
+//! ### Faithfulness note (documented deviation)
+//!
+//! The guard of Figure 11 line 7 (class A-d read "through the large gap") is
+//! printed as `q_{k-1} > 2` in the paper, which contradicts the proof of
+//! Theorem 6 (it would move the single robot *away* from the block).  We
+//! implement it as `q_{k-1} = 2`, making lines 7 and 12 the two directional
+//! readings of the same robot with the same physical move — exactly like the
+//! A-b pair of lines 5 and 11.  See DESIGN.md §2.
+
+pub mod classes;
+
+use rr_corda::{
+    Decision, MoveRecord, MultiplicityCapability, Protocol, RunOutcome, Scheduler, SimError,
+    Simulator, SimulatorOptions, Snapshot, ViewIndex,
+};
+use rr_ring::{Configuration, View};
+use rr_search::SearchMonitors;
+use serde::{Deserialize, Serialize};
+
+use crate::align::AlignProtocol;
+pub use classes::{classify, AClass};
+
+/// The Ring Clearing protocol.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RingClearingProtocol;
+
+impl RingClearingProtocol {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        RingClearingProtocol
+    }
+
+    /// Whether the parameters are in the range covered by Theorem 6.
+    #[must_use]
+    pub fn supports(n: usize, k: usize) -> bool {
+        n >= 10 && k >= 5 && k + 3 < n && !(k == 5 && n == 10)
+    }
+
+    /// The phase-2 decision for a robot whose two directional views are
+    /// `views`, assuming the configuration is in `A`; `Decision::Idle` if this
+    /// robot is not the designated mover.
+    #[must_use]
+    pub fn phase2_decide(views: &[View; 2]) -> Decision {
+        for (w, idx) in [(&views[0], ViewIndex::First), (&views[1], ViewIndex::Second)] {
+            if moves_towards_last_interval(w) {
+                // "move towards q_{k-1}": into the interval behind this view's
+                // reading direction, i.e. in the direction of the other view.
+                return Decision::Move(idx.other());
+            }
+            if moves_towards_first_interval(w) {
+                return Decision::Move(idx);
+            }
+        }
+        Decision::Idle
+    }
+
+    /// The complete decision (phase test + phase 1 or 2) from the two views.
+    #[must_use]
+    pub fn decide(views: &[View; 2]) -> Decision {
+        let k = views[0].len();
+        let n = views[0].len() + views[0].total_gap();
+        if k < 5 || k + 3 >= n {
+            return Decision::Idle;
+        }
+        if classes::classify(&views[0]).is_some() {
+            RingClearingProtocol::phase2_decide(views)
+        } else {
+            AlignProtocol::decide(views)
+        }
+    }
+}
+
+impl Protocol for RingClearingProtocol {
+    fn name(&self) -> &str {
+        "ring-clearing"
+    }
+
+    fn capability(&self) -> MultiplicityCapability {
+        MultiplicityCapability::None
+    }
+
+    fn requires_exclusivity(&self) -> bool {
+        true
+    }
+
+    fn compute(&self, snapshot: &Snapshot) -> Decision {
+        RingClearingProtocol::decide(&snapshot.views)
+    }
+}
+
+fn all_zero(gaps: &[usize], lo: usize, hi_inclusive: usize) -> bool {
+    if lo > hi_inclusive {
+        return true;
+    }
+    gaps[lo..=hi_inclusive].iter().all(|&g| g == 0)
+}
+
+/// The guards of Figure 11 lines 4–8: the robot reading this view moves
+/// towards its last interval `q_{k-1}`.
+#[must_use]
+pub fn moves_towards_last_interval(w: &View) -> bool {
+    let g = w.gaps();
+    let k = g.len();
+    if k < 5 {
+        return false;
+    }
+    // Line 4, class A-a: (0, 1, 0^{k-3}, q_{k-1} > 2).
+    let a_a = g[0] == 0 && g[1] == 1 && all_zero(g, 2, k - 2) && g[k - 1] > 2;
+    // Line 5, class A-b: (q_0 > 0, 1, 0^{k-3}, q_{k-1} > 2).
+    let a_b = g[0] > 0 && g[1] == 1 && all_zero(g, 2, k - 2) && g[k - 1] > 2;
+    // Line 6, class A-c: (0^{k-3}, 2, q_{k-2} > 0, 1).
+    let a_c = all_zero(g, 0, k - 4) && g[k - 3] == 2 && g[k - 2] > 0 && g[k - 1] == 1;
+    // Line 7, class A-d (with the documented fix q_{k-1} = 2):
+    // (q_0 > 0, 0, 1, 0^{k-4}, 2).
+    let a_d = g[0] > 0 && g[1] == 0 && g[2] == 1 && all_zero(g, 3, k - 2) && g[k - 1] == 2;
+    // Line 8, class A-f: (0^{k-2}, q_{k-2} > q_{k-1} > 0) with q_{k-2}+q_{k-1} > 3.
+    let a_f = all_zero(g, 0, k - 3)
+        && g[k - 2] > g[k - 1]
+        && g[k - 1] > 0
+        && g[k - 2] + g[k - 1] > 3;
+    a_a || a_b || a_c || a_d || a_f
+}
+
+/// The guards of Figure 11 lines 11–13: the robot reading this view moves
+/// towards its first interval `q_0`.
+#[must_use]
+pub fn moves_towards_first_interval(w: &View) -> bool {
+    let g = w.gaps();
+    let k = g.len();
+    if k < 5 {
+        return false;
+    }
+    // Line 11, class A-b: (q_0 > 2, 0^{k-3}, 1, q_{k-1} > 0).
+    let a_b = g[0] > 2 && all_zero(g, 1, k - 3) && g[k - 2] == 1 && g[k - 1] > 0;
+    // Line 12, class A-d: (2, 0^{k-4}, 1, 0, q_{k-1} > 0).
+    let a_d = g[0] == 2 && all_zero(g, 1, k - 4) && g[k - 3] == 1 && g[k - 2] == 0 && g[k - 1] > 0;
+    // Line 13, class A-e: (1, 0^{k-4}, 1, 0, q_{k-1} > 1).
+    let a_e = g[0] == 1 && all_zero(g, 1, k - 4) && g[k - 3] == 1 && g[k - 2] == 0 && g[k - 1] > 1;
+    a_b || a_d || a_e
+}
+
+/// Statistics gathered by [`run_searching`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchingRunStats {
+    /// Number of times the whole ring was cleared (each clearing restarts from
+    /// a fully contaminated ring).
+    pub clearings: u64,
+    /// Moves between consecutive clearings.
+    pub clearing_intervals: Vec<u64>,
+    /// Minimum number of full exploration sweeps completed by any robot.
+    pub min_exploration_completions: u64,
+    /// Total number of moves executed.
+    pub moves: u64,
+    /// Number of scheduler steps applied.
+    pub steps: u64,
+}
+
+/// Runs a searching/exploration protocol from `initial` under `scheduler`,
+/// stopping once the run has demonstrated `target_clearings` full clearings
+/// and `target_explorations` full exploration sweeps by every robot, or when
+/// the step budget is exhausted.
+pub fn run_searching<P, S>(
+    protocol: P,
+    initial: &Configuration,
+    scheduler: &mut S,
+    target_clearings: u64,
+    target_explorations: u64,
+    max_scheduler_steps: u64,
+) -> Result<SearchingRunStats, SimError>
+where
+    P: Protocol,
+    S: Scheduler + ?Sized,
+{
+    let options = SimulatorOptions::for_protocol(&protocol);
+    let mut sim = Simulator::new(protocol, initial.clone(), options)?;
+    let monitors = std::cell::RefCell::new(SearchMonitors::new(initial, &sim.positions()));
+    let report = sim.run(
+        scheduler,
+        max_scheduler_steps,
+        |_| {
+            target_clearings > 0
+                && monitors.borrow().demonstrated(target_clearings, target_explorations)
+        },
+        |rec: &MoveRecord, after: &Configuration| {
+            monitors.borrow_mut().observe(rec, after);
+        },
+    );
+    if let RunOutcome::Failed(e) = report.outcome {
+        return Err(e);
+    }
+    let monitors = monitors.into_inner();
+    Ok(SearchingRunStats {
+        clearings: monitors.clearings(),
+        clearing_intervals: monitors.clearing_intervals().to_vec(),
+        min_exploration_completions: monitors.min_exploration_completions(),
+        moves: monitors.moves_observed(),
+        steps: report.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
+    use rr_ring::enumerate::enumerate_rigid_configurations;
+    use rr_ring::{symmetry, Direction};
+
+    fn cfg(gaps: &[usize]) -> Configuration {
+        Configuration::from_gaps_at_origin(gaps)
+    }
+
+    fn enabled_movers(config: &Configuration) -> Vec<(usize, Decision)> {
+        config
+            .occupied_nodes()
+            .into_iter()
+            .filter_map(|v| {
+                let s = Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Cw);
+                let d = RingClearingProtocol.compute(&s);
+                d.is_move().then_some((v, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn supports_matches_theorem_6() {
+        assert!(RingClearingProtocol::supports(12, 5));
+        assert!(RingClearingProtocol::supports(11, 6));
+        assert!(RingClearingProtocol::supports(40, 20));
+        assert!(!RingClearingProtocol::supports(10, 5)); // excluded case
+        assert!(RingClearingProtocol::supports(11, 5));
+        assert!(!RingClearingProtocol::supports(12, 4)); // k < 5
+        assert!(!RingClearingProtocol::supports(12, 9)); // k >= n-3
+        assert!(!RingClearingProtocol::supports(9, 5)); // n < 10
+    }
+
+    #[test]
+    fn c_star_moves_the_block_border_robot() {
+        // From C* the robot at the border of the big block closest to the
+        // single robot moves towards it (proof of Theorem 6).
+        let c = cfg(&[0, 0, 0, 1, 6]); // k=5, n=12, robots 0,1,2,3,5
+        let movers = enabled_movers(&c);
+        assert_eq!(movers.len(), 1);
+        // The block is 0..3, the single robot is 5; the border robot closest
+        // to it is node 3, which must move towards node 4.
+        assert_eq!(movers[0].0, 3);
+    }
+
+    #[test]
+    fn exactly_one_mover_in_every_reachable_phase2_configuration() {
+        for (n, k) in [(12usize, 5usize), (11, 5), (13, 6), (14, 7), (15, 9), (16, 5)] {
+            let mut gaps = vec![0; k - 2];
+            gaps.push(1);
+            gaps.push(n - k - 1);
+            let mut config = cfg(&gaps);
+            assert_eq!(config.n(), n);
+            // Walk the deterministic cycle for several periods.
+            let period = (n - k + 1) as usize;
+            for step in 0..(6 * period * k) {
+                let movers = enabled_movers(&config);
+                assert_eq!(
+                    movers.len(),
+                    1,
+                    "n={n} k={k} step={step} config={config}: movers {movers:?}"
+                );
+                assert!(symmetry::is_rigid(&config), "n={n} k={k} {config} not rigid");
+                assert!(
+                    classes::classify(&View::new(config.gap_sequence())).is_some(),
+                    "n={n} k={k} config {config} left the set A"
+                );
+                let (node, decision) = movers[0];
+                let dir = match decision {
+                    Decision::Move(ViewIndex::First) => Direction::Cw,
+                    Decision::Move(ViewIndex::Second) => Direction::Ccw,
+                    Decision::Idle => unreachable!(),
+                };
+                config.move_robot_dir(node, dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_cycle_visits_all_classes_in_order() {
+        let k = 5;
+        let n = 13;
+        let mut config = cfg(&[0, 0, 0, 1, 7]);
+        let mut seen = Vec::new();
+        for _ in 0..(3 * (n - k + 1)) {
+            let class = classes::classify(&View::new(config.gap_sequence())).unwrap();
+            if seen.last() != Some(&class) {
+                seen.push(class);
+            }
+            let movers = enabled_movers(&config);
+            let (node, decision) = movers[0];
+            let dir = match decision {
+                Decision::Move(ViewIndex::First) => Direction::Cw,
+                Decision::Move(ViewIndex::Second) => Direction::Ccw,
+                Decision::Idle => unreachable!(),
+            };
+            config.move_robot_dir(node, dir).unwrap();
+        }
+        // Strip the initial A-f entry and check the cyclic order afterwards.
+        assert_eq!(seen[0], AClass::Af);
+        let cycle: Vec<AClass> = seen[1..].to_vec();
+        let expected = [AClass::Aa, AClass::Ab, AClass::Ac, AClass::Ad, AClass::Ae];
+        for (i, class) in cycle.iter().enumerate() {
+            assert_eq!(*class, expected[i % expected.len()], "position {i} in {cycle:?}");
+        }
+    }
+
+    #[test]
+    fn perpetual_clearing_and_exploration_round_robin() {
+        // n = 12, k = 5: run long enough to see several clearings and at least
+        // one full exploration sweep by every robot.
+        let initial = cfg(&[0, 2, 1, 0, 4]); // rigid, n = 12, k = 5
+        assert!(symmetry::is_rigid(&initial));
+        let mut sched = RoundRobinScheduler::new();
+        let stats = run_searching(RingClearingProtocol, &initial, &mut sched, 0, 0, 60_000).unwrap();
+        assert!(stats.clearings >= 5, "only {} clearings", stats.clearings);
+        assert!(
+            stats.min_exploration_completions >= 1,
+            "exploration completions: {}",
+            stats.min_exploration_completions
+        );
+    }
+
+    #[test]
+    fn perpetual_clearing_under_semi_synchronous_and_asynchronous_adversaries() {
+        let initial = cfg(&[0, 0, 2, 1, 0, 5]); // rigid, n = 14, k = 6
+        assert!(symmetry::is_rigid(&initial));
+        for seed in [3u64, 17] {
+            let mut ssync = SemiSynchronousScheduler::seeded(seed);
+            let stats =
+                run_searching(RingClearingProtocol, &initial, &mut ssync, 0, 0, 40_000).unwrap();
+            assert!(stats.clearings >= 3, "ssync seed {seed}: {} clearings", stats.clearings);
+
+            let mut asynch = AsynchronousScheduler::seeded(seed);
+            let stats =
+                run_searching(RingClearingProtocol, &initial, &mut asynch, 0, 0, 80_000).unwrap();
+            assert!(stats.clearings >= 3, "async seed {seed}: {} clearings", stats.clearings);
+        }
+    }
+
+    #[test]
+    fn clearing_period_matches_the_cycle_length() {
+        // In steady state the ring is cleared exactly once per phase-2 cycle,
+        // which takes n - k moves (the walking robot covers the long gap, the
+        // block border robot steps once, the walking robot closes in).
+        for (n, k, gaps) in [
+            (13usize, 5usize, vec![0, 0, 0, 1, 7]),
+            (14, 6, vec![0, 0, 0, 0, 1, 7]),
+            (16, 7, vec![0, 0, 0, 0, 0, 1, 8]),
+        ] {
+            let initial = cfg(&gaps);
+            assert_eq!(initial.n(), n);
+            let mut sched = RoundRobinScheduler::new();
+            let stats =
+                run_searching(RingClearingProtocol, &initial, &mut sched, 0, 0, 40_000).unwrap();
+            assert!(stats.clearings >= 4);
+            let steady: Vec<u64> = stats.clearing_intervals.iter().copied().skip(1).collect();
+            for interval in &steady {
+                assert_eq!(*interval, (n - k) as u64, "n={n} k={k} intervals {:?}", stats.clearing_intervals);
+            }
+        }
+    }
+
+    #[test]
+    fn phase1_reaches_the_cycle_from_every_rigid_configuration() {
+        // Exhaustive over all rigid configurations for a small instance:
+        // the protocol must eventually reach the set A and start clearing.
+        let (n, k) = (11usize, 5usize);
+        for config in enumerate_rigid_configurations(n, k) {
+            let mut sched = RoundRobinScheduler::new();
+            let stats = run_searching(RingClearingProtocol, &config, &mut sched, 0, 0, 20_000)
+                .unwrap_or_else(|e| panic!("{config}: {e}"));
+            assert!(stats.clearings >= 2, "{config}: {} clearings", stats.clearings);
+        }
+    }
+
+    #[test]
+    fn decision_is_insensitive_to_view_order() {
+        let configs = [
+            cfg(&[0, 0, 0, 1, 6]),
+            cfg(&[0, 0, 1, 0, 6]),
+            cfg(&[0, 0, 1, 1, 5]),
+            cfg(&[0, 0, 1, 4, 2]),
+            cfg(&[0, 1, 0, 4, 2]),
+            cfg(&[0, 1, 0, 5, 1]),
+            cfg(&[0, 2, 1, 0, 4]),
+        ];
+        for config in &configs {
+            for v in config.occupied_nodes() {
+                let cw = Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Cw);
+                let ccw = Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Ccw);
+                match (RingClearingProtocol.compute(&cw), RingClearingProtocol.compute(&ccw)) {
+                    (Decision::Idle, Decision::Idle) => {}
+                    (Decision::Move(a), Decision::Move(b)) => {
+                        if cw.views[0] != cw.views[1] {
+                            assert_eq!(a.index(), 1 - b.index(), "{config} node {v}");
+                        }
+                    }
+                    other => panic!("inconsistent {other:?} for {config} node {v}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_teams_idle() {
+        let c = cfg(&[0, 0, 1, 3]); // k = 4
+        for v in c.occupied_nodes() {
+            let s = Snapshot::capture(&c, v, MultiplicityCapability::None, Direction::Cw);
+            assert_eq!(RingClearingProtocol.compute(&s), Decision::Idle);
+        }
+    }
+
+    #[test]
+    fn guard_functions_reject_short_views() {
+        assert!(!moves_towards_last_interval(&View::new(vec![0, 1, 3])));
+        assert!(!moves_towards_first_interval(&View::new(vec![3, 1, 0])));
+    }
+}

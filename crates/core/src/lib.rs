@@ -1,0 +1,46 @@
+//! # rr-core — the paper's algorithms
+//!
+//! This crate implements the algorithms of
+//! *"A unified approach for different tasks on rings in robot-based computing
+//! systems"* (D'Angelo, Di Stefano, Navarra, Nisse, Suchan) as
+//! [`rr_corda::Protocol`]s:
+//!
+//! * [`align`] — Algorithm **Align** (Section 3): starting from any rigid
+//!   exclusive configuration, reach the special configuration `C*` by
+//!   repeatedly reducing the supermin configuration view with the four
+//!   reduction rules;
+//! * [`clearing`] — Algorithm **Ring Clearing** (Section 4.3): perpetual
+//!   exclusive graph searching *and* perpetual exclusive exploration for
+//!   `5 ≤ k < n-3`, `n ≥ 10` (except `k = 5, n = 10`), by cycling through the
+//!   configuration classes A-a … A-f after a first Align phase;
+//! * [`nminus_three`] — Algorithm **NminusThree** (Section 4.4): perpetual
+//!   exclusive graph searching and exploration with `k = n - 3` robots;
+//! * [`gathering`] — Algorithm **Gathering** (Section 5): gathering with local
+//!   multiplicity detection for `2 < k < n - 2`, by contracting `C*`-type
+//!   configurations;
+//! * [`unified`] — the unified dispatcher mapping a task and parameters to the
+//!   protocol that solves it;
+//! * [`feasibility`] — the (almost complete) characterization of exclusive
+//!   perpetual graph searching on rings, plus the feasibility maps for the
+//!   other two tasks;
+//! * [`baselines`] — simple comparison protocols used in the paper's
+//!   discussion and in the ablation experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod analysis;
+pub mod baselines;
+pub mod clearing;
+pub mod feasibility;
+pub mod gathering;
+pub mod nminus_three;
+pub mod unified;
+
+pub use align::AlignProtocol;
+pub use clearing::RingClearingProtocol;
+pub use feasibility::{searching_feasibility, Feasibility, ImpossibilityReason};
+pub use gathering::GatheringProtocol;
+pub use nminus_three::NminusThreeProtocol;
+pub use unified::{protocol_for, Task, UnifiedProtocol};

@@ -1,0 +1,524 @@
+//! Configurations of robots on the ring.
+//!
+//! Following the paper, a *configuration* is the set of occupied nodes; it
+//! does not record how many robots stand on each node.  Because the gathering
+//! task (Section 5) creates multiplicities, [`Configuration`] additionally
+//! tracks per-node robot counts, but all view / symmetry computations operate
+//! on the occupied-node set only, exactly as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{Direction, NodeId};
+use crate::ring::Ring;
+use crate::view::View;
+
+/// Errors raised by configuration constructors and mutations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The ring size.
+        n: usize,
+    },
+    /// A robot was placed twice in an exclusive constructor.
+    DuplicateNode {
+        /// The node occupied twice.
+        node: NodeId,
+    },
+    /// The configuration would contain no robot at all.
+    Empty,
+    /// A move was requested from an unoccupied node.
+    SourceNotOccupied {
+        /// The empty source node.
+        node: NodeId,
+    },
+    /// A move was requested between two non-adjacent nodes.
+    NotAdjacent {
+        /// Source node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+    /// The gap sequence handed to [`Configuration::from_gaps`] does not fit the ring.
+    GapMismatch {
+        /// Sum of gaps plus number of robots.
+        implied_n: usize,
+        /// Actual ring size.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a ring of {n} nodes")
+            }
+            ConfigError::DuplicateNode { node } => {
+                write!(f, "node {node} occupied twice in an exclusive configuration")
+            }
+            ConfigError::Empty => write!(f, "a configuration must contain at least one robot"),
+            ConfigError::SourceNotOccupied { node } => {
+                write!(f, "no robot occupies node {node}")
+            }
+            ConfigError::NotAdjacent { from, to } => {
+                write!(f, "nodes {from} and {to} are not adjacent")
+            }
+            ConfigError::GapMismatch { implied_n, n } => write!(
+                f,
+                "gap sequence implies a ring of {implied_n} nodes but the ring has {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A placement of robots on the nodes of a [`Ring`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    ring: Ring,
+    counts: Vec<u32>,
+}
+
+impl Configuration {
+    /// Creates an exclusive configuration with one robot on each node of
+    /// `occupied`.
+    pub fn new_exclusive(ring: Ring, occupied: &[NodeId]) -> Result<Self, ConfigError> {
+        if occupied.is_empty() {
+            return Err(ConfigError::Empty);
+        }
+        let mut counts = vec![0u32; ring.len()];
+        for &v in occupied {
+            if v >= ring.len() {
+                return Err(ConfigError::NodeOutOfRange { node: v, n: ring.len() });
+            }
+            if counts[v] > 0 {
+                return Err(ConfigError::DuplicateNode { node: v });
+            }
+            counts[v] = 1;
+        }
+        Ok(Configuration { ring, counts })
+    }
+
+    /// Creates a configuration from explicit per-node robot counts.
+    pub fn from_counts(ring: Ring, counts: Vec<u32>) -> Result<Self, ConfigError> {
+        if counts.len() != ring.len() {
+            return Err(ConfigError::GapMismatch {
+                implied_n: counts.len(),
+                n: ring.len(),
+            });
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(ConfigError::Empty);
+        }
+        Ok(Configuration { ring, counts })
+    }
+
+    /// Creates an exclusive configuration from a clockwise gap sequence.
+    ///
+    /// A robot is placed at `start`, then each subsequent robot is placed
+    /// `gaps[i] + 1` nodes further clockwise.  The last gap must close the
+    /// ring: `sum(gaps) + gaps.len() == n`.
+    pub fn from_gaps(ring: Ring, start: NodeId, gaps: &[usize]) -> Result<Self, ConfigError> {
+        if gaps.is_empty() {
+            return Err(ConfigError::Empty);
+        }
+        if start >= ring.len() {
+            return Err(ConfigError::NodeOutOfRange { node: start, n: ring.len() });
+        }
+        let implied_n: usize = gaps.iter().sum::<usize>() + gaps.len();
+        if implied_n != ring.len() {
+            return Err(ConfigError::GapMismatch { implied_n, n: ring.len() });
+        }
+        let mut occupied = Vec::with_capacity(gaps.len());
+        let mut cur = start;
+        for &g in gaps {
+            occupied.push(cur);
+            cur = ring.walk(cur, Direction::Cw, g + 1);
+        }
+        Configuration::new_exclusive(ring, &occupied)
+    }
+
+    /// Convenience constructor for tests and examples: builds the ring and the
+    /// exclusive configuration from a clockwise gap sequence placed at node 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gap sequence is invalid (see [`Configuration::from_gaps`]).
+    #[must_use]
+    pub fn from_gaps_at_origin(gaps: &[usize]) -> Self {
+        let n = gaps.iter().sum::<usize>() + gaps.len();
+        let ring = Ring::new(n);
+        Configuration::from_gaps(ring, 0, gaps).expect("valid gap sequence")
+    }
+
+    /// The underlying ring.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Number of nodes of the ring.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total number of robots (counting multiplicities).
+    #[must_use]
+    pub fn num_robots(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Number of occupied nodes (ignoring multiplicities).
+    #[must_use]
+    pub fn num_occupied(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The occupied nodes, in increasing node order.
+    #[must_use]
+    pub fn occupied_nodes(&self) -> Vec<NodeId> {
+        (0..self.ring.len()).filter(|&v| self.counts[v] > 0).collect()
+    }
+
+    /// Number of robots on node `v`.
+    #[must_use]
+    pub fn count_at(&self, v: NodeId) -> u32 {
+        self.counts[v]
+    }
+
+    /// Whether node `v` hosts at least one robot.
+    #[must_use]
+    pub fn is_occupied(&self, v: NodeId) -> bool {
+        self.counts[v] > 0
+    }
+
+    /// Whether node `v` hosts strictly more than one robot (a *multiplicity*).
+    #[must_use]
+    pub fn is_multiplicity(&self, v: NodeId) -> bool {
+        self.counts[v] > 1
+    }
+
+    /// Whether every node hosts at most one robot (the *exclusivity* property).
+    #[must_use]
+    pub fn is_exclusive(&self) -> bool {
+        self.counts.iter().all(|&c| c <= 1)
+    }
+
+    /// Whether some node hosts more than one robot.
+    #[must_use]
+    pub fn has_multiplicity(&self) -> bool {
+        !self.is_exclusive()
+    }
+
+    /// Whether all robots stand on a single node (the gathering goal).
+    #[must_use]
+    pub fn is_gathered(&self) -> bool {
+        self.num_occupied() == 1
+    }
+
+    /// Moves one robot from `from` to the adjacent node `to`.
+    pub fn move_robot(&mut self, from: NodeId, to: NodeId) -> Result<(), ConfigError> {
+        if from >= self.ring.len() {
+            return Err(ConfigError::NodeOutOfRange { node: from, n: self.ring.len() });
+        }
+        if to >= self.ring.len() {
+            return Err(ConfigError::NodeOutOfRange { node: to, n: self.ring.len() });
+        }
+        if self.counts[from] == 0 {
+            return Err(ConfigError::SourceNotOccupied { node: from });
+        }
+        if !self.ring.adjacent(from, to) {
+            return Err(ConfigError::NotAdjacent { from, to });
+        }
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+        Ok(())
+    }
+
+    /// Moves one robot from `from` one step in direction `dir`, returning the
+    /// target node.
+    pub fn move_robot_dir(&mut self, from: NodeId, dir: Direction) -> Result<NodeId, ConfigError> {
+        let to = self.ring.neighbor(from, dir);
+        self.move_robot(from, to)?;
+        Ok(to)
+    }
+
+    /// The clockwise gap sequence: entry `i` is the number of empty nodes
+    /// between occupied node `i` and occupied node `i + 1` (indices into
+    /// [`Configuration::occupied_nodes`], cyclically).
+    #[must_use]
+    pub fn gap_sequence(&self) -> Vec<usize> {
+        let occ = self.occupied_nodes();
+        let k = occ.len();
+        (0..k)
+            .map(|i| {
+                let a = occ[i];
+                let b = occ[(i + 1) % k];
+                (self.ring.distance_cw(a, b) + self.ring.len() - 1) % self.ring.len()
+            })
+            .collect()
+    }
+
+    /// The view of the robot(s) at occupied node `v`, reading in direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not occupied.
+    #[must_use]
+    pub fn view_from(&self, v: NodeId, dir: Direction) -> View {
+        assert!(self.is_occupied(v), "view requested at empty node {v}");
+        let occ = self.occupied_nodes();
+        let k = occ.len();
+        if k == 1 {
+            return View::new(vec![self.ring.len() - 1]);
+        }
+        let mut gaps = Vec::with_capacity(k);
+        let mut cur = v;
+        for _ in 0..k {
+            // Walk in `dir` until the next occupied node, counting empty nodes.
+            let mut g = 0usize;
+            let mut next = self.ring.neighbor(cur, dir);
+            while !self.is_occupied(next) {
+                g += 1;
+                next = self.ring.neighbor(next, dir);
+            }
+            gaps.push(g);
+            cur = next;
+        }
+        View::new(gaps)
+    }
+
+    /// All views of the configuration: for each occupied node, both directions.
+    #[must_use]
+    pub fn all_views(&self) -> Vec<(NodeId, Direction, View)> {
+        let mut out = Vec::with_capacity(2 * self.num_occupied());
+        for v in self.occupied_nodes() {
+            for dir in Direction::BOTH {
+                out.push((v, dir, self.view_from(v, dir)));
+            }
+        }
+        out
+    }
+
+    /// The interval (maximal run of empty nodes, possibly of length zero)
+    /// adjacent to occupied node `v` in direction `dir`, returned as the list
+    /// of empty nodes in walking order.
+    #[must_use]
+    pub fn interval_from(&self, v: NodeId, dir: Direction) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.ring.neighbor(v, dir);
+        while !self.is_occupied(cur) {
+            out.push(cur);
+            cur = self.ring.neighbor(cur, dir);
+        }
+        out
+    }
+
+    /// The canonical key of the configuration: the lexicographically smallest
+    /// gap sequence over all rotations and reflections.  Two configurations
+    /// are isomorphic (equal up to a ring automorphism) iff their canonical
+    /// keys are equal.
+    #[must_use]
+    pub fn canonical_key(&self) -> View {
+        View::new(self.gap_sequence()).supermin()
+    }
+
+    /// Whether two configurations (possibly on different rings) are isomorphic.
+    #[must_use]
+    pub fn is_isomorphic(&self, other: &Configuration) -> bool {
+        self.n() == other.n() && self.canonical_key() == other.canonical_key()
+    }
+
+    /// The maximal runs of consecutive occupied nodes ("blocks"), as lists of
+    /// node ids in clockwise order.  Used by the `NminusThree` algorithm of
+    /// Section 4.4, which reasons about the three blocks `A < B < C`.
+    #[must_use]
+    pub fn occupied_blocks(&self) -> Vec<Vec<NodeId>> {
+        let n = self.ring.len();
+        if self.num_occupied() == n {
+            return vec![(0..n).collect()];
+        }
+        let mut blocks = Vec::new();
+        // Find a starting empty node so blocks are not split across the seam.
+        let start = (0..n).find(|&v| !self.is_occupied(v)).expect("some empty node");
+        let mut current: Vec<NodeId> = Vec::new();
+        for step in 1..=n {
+            let v = (start + step) % n;
+            if self.is_occupied(v) {
+                current.push(v);
+            } else if !current.is_empty() {
+                blocks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(current);
+        }
+        blocks
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for v in 0..self.ring.len() {
+            let c = self.counts[v];
+            match c {
+                0 => write!(f, ".")?,
+                1 => write!(f, "o")?,
+                _ => write!(f, "{}", c.min(9))?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Ring {
+        Ring::new(n)
+    }
+
+    #[test]
+    fn exclusive_constructor_validates() {
+        assert!(Configuration::new_exclusive(ring(5), &[]).is_err());
+        assert!(Configuration::new_exclusive(ring(5), &[5]).is_err());
+        assert!(Configuration::new_exclusive(ring(5), &[1, 1]).is_err());
+        let c = Configuration::new_exclusive(ring(5), &[0, 2]).unwrap();
+        assert!(c.is_exclusive());
+        assert_eq!(c.num_robots(), 2);
+        assert_eq!(c.num_occupied(), 2);
+    }
+
+    #[test]
+    fn from_counts_validates() {
+        assert!(Configuration::from_counts(ring(4), vec![0, 0, 0]).is_err());
+        assert!(Configuration::from_counts(ring(4), vec![0, 0, 0, 0]).is_err());
+        let c = Configuration::from_counts(ring(4), vec![2, 0, 1, 0]).unwrap();
+        assert!(c.has_multiplicity());
+        assert!(c.is_multiplicity(0));
+        assert!(!c.is_multiplicity(2));
+        assert_eq!(c.num_robots(), 3);
+        assert_eq!(c.num_occupied(), 2);
+    }
+
+    #[test]
+    fn from_gaps_round_trips() {
+        let gaps = [0usize, 1, 0, 0, 6];
+        let c = Configuration::from_gaps_at_origin(&gaps);
+        assert_eq!(c.n(), 12);
+        assert_eq!(c.num_robots(), 5);
+        assert_eq!(c.gap_sequence(), gaps.to_vec());
+        assert!(Configuration::from_gaps(ring(11), 0, &gaps).is_err());
+    }
+
+    #[test]
+    fn gap_sequence_of_full_ring_is_zero() {
+        let c = Configuration::new_exclusive(ring(5), &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(c.gap_sequence(), vec![0; 5]);
+    }
+
+    #[test]
+    fn view_matches_gap_sequence() {
+        // Robots at 0, 1, 4 on an 8-ring: gaps cw = (0, 2, 3).
+        let c = Configuration::new_exclusive(ring(8), &[0, 1, 4]).unwrap();
+        assert_eq!(c.gap_sequence(), vec![0, 2, 3]);
+        assert_eq!(c.view_from(0, Direction::Cw).gaps(), &[0, 2, 3]);
+        assert_eq!(c.view_from(0, Direction::Ccw).gaps(), &[3, 2, 0]);
+        assert_eq!(c.view_from(1, Direction::Cw).gaps(), &[2, 3, 0]);
+        assert_eq!(c.view_from(4, Direction::Ccw).gaps(), &[2, 0, 3]);
+    }
+
+    #[test]
+    fn views_are_rotations_or_reflections_of_each_other() {
+        let c = Configuration::from_gaps_at_origin(&[0, 1, 0, 2, 4]);
+        let base = c.view_from(0, Direction::Cw);
+        for (_, _, w) in c.all_views() {
+            assert_eq!(w.supermin(), base.supermin());
+            assert_eq!(w.total_gap(), base.total_gap());
+        }
+    }
+
+    #[test]
+    fn single_robot_view() {
+        let c = Configuration::new_exclusive(ring(6), &[3]).unwrap();
+        assert_eq!(c.view_from(3, Direction::Cw).gaps(), &[5]);
+        assert_eq!(c.view_from(3, Direction::Ccw).gaps(), &[5]);
+    }
+
+    #[test]
+    fn move_robot_validation_and_effect() {
+        let mut c = Configuration::new_exclusive(ring(6), &[0, 2]).unwrap();
+        assert!(c.move_robot(1, 2).is_err());
+        assert!(c.move_robot(0, 3).is_err());
+        assert!(c.move_robot(0, 6).is_err());
+        c.move_robot(0, 1).unwrap();
+        assert!(!c.is_occupied(0));
+        assert!(c.is_occupied(1));
+        // Moving onto an occupied node creates a multiplicity.
+        c.move_robot(1, 2).unwrap();
+        assert!(c.is_multiplicity(2));
+        assert_eq!(c.num_robots(), 2);
+        assert_eq!(c.num_occupied(), 1);
+        assert!(c.is_gathered());
+    }
+
+    #[test]
+    fn move_robot_dir_wraps() {
+        let mut c = Configuration::new_exclusive(ring(5), &[0, 3]).unwrap();
+        let to = c.move_robot_dir(0, Direction::Ccw).unwrap();
+        assert_eq!(to, 4);
+        assert!(c.is_occupied(4));
+    }
+
+    #[test]
+    fn canonical_key_identifies_isomorphic_configs() {
+        let a = Configuration::new_exclusive(ring(8), &[0, 1, 4]).unwrap();
+        let b = Configuration::new_exclusive(ring(8), &[2, 3, 6]).unwrap();
+        let c = Configuration::new_exclusive(ring(8), &[0, 3, 4]).unwrap(); // reflection of a
+        let d = Configuration::new_exclusive(ring(8), &[0, 2, 4]).unwrap();
+        assert!(a.is_isomorphic(&b));
+        assert!(a.is_isomorphic(&c));
+        assert!(!a.is_isomorphic(&d));
+    }
+
+    #[test]
+    fn interval_from_lists_empty_nodes() {
+        let c = Configuration::new_exclusive(ring(8), &[0, 1, 4]).unwrap();
+        assert_eq!(c.interval_from(0, Direction::Cw), Vec::<usize>::new());
+        assert_eq!(c.interval_from(1, Direction::Cw), vec![2, 3]);
+        assert_eq!(c.interval_from(0, Direction::Ccw), vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn occupied_blocks_splits_runs() {
+        // Ring of 10, robots at 0,1,2, 5,6, 8 → blocks {0,1,2}, {5,6}, {8}.
+        let c = Configuration::new_exclusive(ring(10), &[0, 1, 2, 5, 6, 8]).unwrap();
+        let mut blocks = c.occupied_blocks();
+        blocks.sort_by_key(|b| b.len());
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], vec![8]);
+        assert_eq!(blocks[1], vec![5, 6]);
+        assert_eq!(blocks[2], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn occupied_blocks_wraps_around_origin() {
+        let c = Configuration::new_exclusive(ring(7), &[6, 0, 1]).unwrap();
+        let blocks = c.occupied_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0], vec![6, 0, 1]);
+    }
+
+    #[test]
+    fn display_marks_occupation() {
+        let c = Configuration::from_counts(ring(4), vec![1, 0, 3, 0]).unwrap();
+        assert_eq!(c.to_string(), "[o.3.]");
+    }
+}

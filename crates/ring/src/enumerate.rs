@@ -1,0 +1,240 @@
+//! Exhaustive enumeration of configurations up to ring isomorphism, and
+//! random sampling of rigid configurations.
+//!
+//! The enumeration is used by the checker crate to regenerate the
+//! configuration counts of Figures 4–9 of the paper and to run exhaustive
+//! verifications of the algorithms on small instances.
+
+use crate::config::Configuration;
+use crate::ring::Ring;
+use crate::symmetry;
+use crate::view::View;
+
+/// Enumerates every exclusive configuration of `k` robots on an `n`-node ring
+/// **up to rotation and reflection** (i.e. one representative per isomorphism
+/// class), returned as clockwise gap sequences in canonical (supermin) form.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+#[must_use]
+pub fn enumerate_gap_sequences(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (got k={k}, n={n})");
+    let total_gap = n - k;
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    enumerate_rec(total_gap, k, &mut current, &mut out);
+    out
+}
+
+fn enumerate_rec(remaining: usize, slots: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if slots == 0 {
+        if remaining == 0 {
+            let view = View::new(current.clone());
+            if view.supermin() == view {
+                out.push(current.clone());
+            }
+        }
+        return;
+    }
+    if slots == 1 {
+        current.push(remaining);
+        let view = View::new(current.clone());
+        if view.supermin() == view {
+            out.push(current.clone());
+        }
+        current.pop();
+        return;
+    }
+    for g in 0..=remaining {
+        current.push(g);
+        enumerate_rec(remaining - g, slots - 1, current, out);
+        current.pop();
+    }
+}
+
+/// Enumerates one [`Configuration`] per isomorphism class of exclusive
+/// configurations of `k` robots on an `n`-node ring.
+#[must_use]
+pub fn enumerate_configurations(n: usize, k: usize) -> Vec<Configuration> {
+    let ring = Ring::new(n);
+    enumerate_gap_sequences(n, k)
+        .into_iter()
+        .map(|gaps| Configuration::from_gaps(ring, 0, &gaps).expect("enumerated gaps are valid"))
+        .collect()
+}
+
+/// Enumerates one [`Configuration`] per isomorphism class of **rigid**
+/// exclusive configurations of `k` robots on an `n`-node ring.
+#[must_use]
+pub fn enumerate_rigid_configurations(n: usize, k: usize) -> Vec<Configuration> {
+    enumerate_configurations(n, k)
+        .into_iter()
+        .filter(symmetry::is_rigid)
+        .collect()
+}
+
+/// Number of isomorphism classes of exclusive configurations of `k` robots on
+/// an `n`-node ring (the quantity shown in Figures 4–9 of the paper).
+#[must_use]
+pub fn count_configurations(n: usize, k: usize) -> usize {
+    enumerate_gap_sequences(n, k).len()
+}
+
+/// Number of isomorphism classes of rigid configurations.
+#[must_use]
+pub fn count_rigid_configurations(n: usize, k: usize) -> usize {
+    enumerate_rigid_configurations(n, k).len()
+}
+
+/// Draws a uniformly random exclusive configuration of `k` robots on an
+/// `n`-node ring (uniform over occupied-node sets, not over isomorphism
+/// classes), using the provided source of randomness.
+pub fn random_configuration<R: rand::Rng>(n: usize, k: usize, rng: &mut R) -> Configuration {
+    assert!(k >= 1 && k <= n);
+    let ring = Ring::new(n);
+    let mut nodes: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates shuffle: pick k distinct nodes.
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        nodes.swap(i, j);
+    }
+    let occ = &nodes[..k];
+    Configuration::new_exclusive(ring, occ).expect("distinct nodes")
+}
+
+/// Draws a random **rigid** exclusive configuration by rejection sampling.
+///
+/// Returns `None` if no rigid configuration exists for these parameters (for
+/// example `k >= n - 2` with `k < n`, or very small rings) or none was found
+/// within the attempt budget.
+pub fn random_rigid_configuration<R: rand::Rng>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Option<Configuration> {
+    // Quick structural exclusions: k in {n-2, n-1, n} and k <= 1 never admit a
+    // rigid configuration on a ring (all such configurations are symmetric or
+    // periodic); neither does n <= 4.
+    if k <= 1 || k + 2 >= n {
+        return None;
+    }
+    let attempts = 64 * n.max(16);
+    for _ in 0..attempts {
+        let c = random_configuration(n, k, rng);
+        if symmetry::is_rigid(&c) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn counts_match_the_paper_figures() {
+        // Theorem 5's case analysis: number of distinct configurations
+        // (up to isomorphism) for the small cases, as drawn in Figures 4–9.
+        assert_eq!(count_configurations(7, 4), 4); // Figure 4
+        assert_eq!(count_configurations(8, 4), 8); // Figure 5
+        assert_eq!(count_configurations(8, 5), 5); // Figure 6
+        assert_eq!(count_configurations(9, 6), 7); // Figure 7
+        assert_eq!(count_configurations(9, 4), 10); // Figure 8
+        assert_eq!(count_configurations(9, 5), 10); // Figure 9
+    }
+
+    #[test]
+    fn complementary_robot_counts_give_equal_counts() {
+        // Swapping occupied and empty nodes is a bijection between
+        // isomorphism classes.
+        for n in 5..=11usize {
+            for k in 1..n {
+                assert_eq!(count_configurations(n, k), count_configurations(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_sequences_are_canonical_and_distinct() {
+        let seqs = enumerate_gap_sequences(11, 5);
+        for s in &seqs {
+            let v = View::new(s.clone());
+            assert_eq!(v.supermin(), v, "not canonical: {v}");
+        }
+        let mut sorted = seqs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs.len());
+    }
+
+    #[test]
+    fn enumeration_matches_bitmask_enumeration() {
+        // Cross-check against a brute-force enumeration of k-subsets reduced
+        // by canonical key.
+        for (n, k) in [(7usize, 3usize), (8, 4), (9, 5), (10, 4)] {
+            let ring = Ring::new(n);
+            let mut keys = std::collections::HashSet::new();
+            for mask in 0u32..(1 << n) {
+                if mask.count_ones() as usize != k {
+                    continue;
+                }
+                let occ: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+                let c = Configuration::new_exclusive(ring, &occ).unwrap();
+                keys.insert(c.canonical_key());
+            }
+            assert_eq!(keys.len(), count_configurations(n, k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn rigid_enumeration_is_a_subset() {
+        let all = enumerate_configurations(10, 5);
+        let rigid = enumerate_rigid_configurations(10, 5);
+        assert!(rigid.len() < all.len());
+        assert!(rigid.iter().all(symmetry::is_rigid));
+        // The paper: no rigid configuration exists when k >= n - 2.
+        assert_eq!(count_rigid_configurations(8, 6), 0);
+        assert_eq!(count_rigid_configurations(8, 7), 0);
+        // ... nor with fewer than 3 robots on a ring.
+        assert_eq!(count_rigid_configurations(9, 1), 0);
+        assert_eq!(count_rigid_configurations(9, 2), 0);
+    }
+
+    #[test]
+    fn cs_is_the_only_rigid_non_cstar_for_k4_n8() {
+        // Theorem 1: Cs is the only rigid configuration with k=4, n=8 that
+        // differs from C*.
+        let rigid = enumerate_rigid_configurations(8, 4);
+        assert_eq!(rigid.len(), 2);
+        let keys: Vec<View> = rigid.iter().map(Configuration::canonical_key).collect();
+        assert!(keys.contains(&View::new(vec![0, 1, 1, 2])));
+        assert!(keys.contains(&View::new(vec![0, 0, 1, 3])));
+    }
+
+    #[test]
+    fn random_configuration_has_right_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = random_configuration(13, 6, &mut rng);
+            assert_eq!(c.n(), 13);
+            assert_eq!(c.num_robots(), 6);
+            assert!(c.is_exclusive());
+        }
+    }
+
+    #[test]
+    fn random_rigid_configuration_is_rigid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (n, k) in [(10usize, 5usize), (12, 4), (15, 9), (20, 7)] {
+            let c = random_rigid_configuration(n, k, &mut rng).expect("rigid config exists");
+            assert!(symmetry::is_rigid(&c));
+            assert_eq!(c.num_robots(), k);
+        }
+        assert!(random_rigid_configuration(9, 7, &mut rng).is_none());
+        assert!(random_rigid_configuration(9, 1, &mut rng).is_none());
+    }
+}

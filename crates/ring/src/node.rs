@@ -1,0 +1,90 @@
+//! Node, edge and direction primitives of the anonymous ring.
+//!
+//! Nodes and edges carry indices **only for the simulator's benefit**: the
+//! robots of the CORDA model never observe them (the ring is anonymous and
+//! unoriented).  Directions are likewise a simulation-level concept; a robot
+//! only ever expresses a move relative to one of its two local views.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node of the ring, in `0..n`.
+///
+/// Node `i` is adjacent to nodes `(i + 1) % n` and `(i + n - 1) % n`.
+pub type NodeId = usize;
+
+/// Identifier of an edge of the ring, in `0..n`.
+///
+/// Edge `i` connects node `i` and node `(i + 1) % n`.
+pub type EdgeId = usize;
+
+/// A global direction around the ring.
+///
+/// `Cw` ("clockwise") goes from node `i` to node `(i + 1) % n`; `Ccw` goes the
+/// other way.  The labels are a simulation artefact: robots have no common
+/// sense of orientation and never observe a [`Direction`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards increasing node indices.
+    Cw,
+    /// Towards decreasing node indices.
+    Ccw,
+}
+
+impl Direction {
+    /// The two directions, in a fixed order.
+    pub const BOTH: [Direction; 2] = [Direction::Cw, Direction::Ccw];
+
+    /// Returns the opposite direction.
+    #[must_use]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Cw => Direction::Ccw,
+            Direction::Ccw => Direction::Cw,
+        }
+    }
+
+    /// Returns `+1` for [`Direction::Cw`] and `-1` for [`Direction::Ccw`],
+    /// as an `isize` step usable in modular arithmetic.
+    #[must_use]
+    pub fn step(self) -> isize {
+        match self {
+            Direction::Cw => 1,
+            Direction::Ccw => -1,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Cw => write!(f, "cw"),
+            Direction::Ccw => write!(f, "ccw"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::BOTH {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn steps_are_opposite() {
+        assert_eq!(Direction::Cw.step(), 1);
+        assert_eq!(Direction::Ccw.step(), -1);
+        assert_eq!(Direction::Cw.step() + Direction::Ccw.step(), 0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Direction::Cw.to_string(), "cw");
+        assert_eq!(Direction::Ccw.to_string(), "ccw");
+    }
+}

@@ -1,0 +1,354 @@
+//! The small pattern language used by the paper's lemmas (Section 3).
+//!
+//! The paper describes families of supermin configuration views with patterns
+//! such as `(0, 1, 1+, 2)` or `(0^{ℓ1}, 1, {0^{ℓ1-1}, 1}+, 0^{ℓ1-2}, 1)`,
+//! where `x*` repeats `x` zero or more times, `x+` one or more times, and
+//! `x{m}` exactly `m` times.  This module provides a generic matcher for the
+//! simple (non-grouped) patterns and dedicated predicates for the grouped
+//! families of Lemmas 3–5, so the lemma statements can be machine-checked
+//! against brute-force symmetry analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// One atom of a [`Pattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Atom {
+    /// A single literal value.
+    Lit(usize),
+    /// The value repeated exactly `count` times (`x{m}` in the paper).
+    Times {
+        /// Repeated value.
+        value: usize,
+        /// Number of repetitions (may be zero).
+        count: usize,
+    },
+    /// The value repeated zero or more times (`x*`).
+    Star(usize),
+    /// The value repeated one or more times (`x+`).
+    Plus(usize),
+    /// Any single value strictly greater than the bound.
+    GreaterThan(usize),
+}
+
+/// A pattern over sequences of interval lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+impl Pattern {
+    /// Builds a pattern from atoms.
+    #[must_use]
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Pattern { atoms }
+    }
+
+    /// The atoms of the pattern.
+    #[must_use]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Whether `seq` matches the pattern in full (anchored at both ends).
+    #[must_use]
+    pub fn matches(&self, seq: &[usize]) -> bool {
+        Self::matches_rec(&self.atoms, seq)
+    }
+
+    fn matches_rec(atoms: &[Atom], seq: &[usize]) -> bool {
+        match atoms.split_first() {
+            None => seq.is_empty(),
+            Some((atom, rest)) => match *atom {
+                Atom::Lit(v) => seq.first() == Some(&v) && Self::matches_rec(rest, &seq[1..]),
+                Atom::GreaterThan(bound) => {
+                    seq.first().is_some_and(|&x| x > bound) && Self::matches_rec(rest, &seq[1..])
+                }
+                Atom::Times { value, count } => {
+                    seq.len() >= count
+                        && seq[..count].iter().all(|&x| x == value)
+                        && Self::matches_rec(rest, &seq[count..])
+                }
+                Atom::Star(value) => {
+                    let max = seq.iter().take_while(|&&x| x == value).count();
+                    (0..=max).any(|take| Self::matches_rec(rest, &seq[take..]))
+                }
+                Atom::Plus(value) => {
+                    let max = seq.iter().take_while(|&&x| x == value).count();
+                    (1..=max).any(|take| Self::matches_rec(rest, &seq[take..]))
+                }
+            },
+        }
+    }
+}
+
+/// Shorthand constructors used by the lemma predicates and by tests.
+pub mod atoms {
+    use super::Atom;
+
+    /// Literal atom.
+    #[must_use]
+    pub fn lit(v: usize) -> Atom {
+        Atom::Lit(v)
+    }
+
+    /// `v{count}` atom.
+    #[must_use]
+    pub fn times(v: usize, count: usize) -> Atom {
+        Atom::Times { value: v, count }
+    }
+
+    /// `v*` atom.
+    #[must_use]
+    pub fn star(v: usize) -> Atom {
+        Atom::Star(v)
+    }
+
+    /// `v+` atom.
+    #[must_use]
+    pub fn plus(v: usize) -> Atom {
+        Atom::Plus(v)
+    }
+
+    /// "any value strictly greater than `v`" atom.
+    #[must_use]
+    pub fn gt(v: usize) -> Atom {
+        Atom::GreaterThan(v)
+    }
+}
+
+/// Index of the first strictly positive entry of a supermin view (the paper's
+/// `ℓ1`), if any.
+#[must_use]
+pub fn ell1(supermin: &[usize]) -> Option<usize> {
+    supermin.iter().position(|&q| q > 0)
+}
+
+/// Index of the second strictly positive entry of a supermin view (the paper's
+/// `ℓ2`), if any.
+#[must_use]
+pub fn ell2(supermin: &[usize]) -> Option<usize> {
+    let first = ell1(supermin)?;
+    supermin[first + 1..].iter().position(|&q| q > 0).map(|p| first + 1 + p)
+}
+
+/// Whether the supermin view is exactly the paper's `C^s`: `(0, 1, 1, 2)`.
+#[must_use]
+pub fn is_cs(supermin: &[usize]) -> bool {
+    supermin == [0, 1, 1, 2]
+}
+
+/// Whether the supermin view is a `C*`-type view for some `3 <= j <= k`:
+/// `(0^{j-2}, 1, m)` with `m >= 2` (Section 5 of the paper).
+#[must_use]
+pub fn is_c_star_type(supermin: &[usize]) -> bool {
+    let j = supermin.len();
+    if j < 3 {
+        return false;
+    }
+    supermin[..j - 2].iter().all(|&q| q == 0) && supermin[j - 2] == 1 && supermin[j - 1] >= 2
+}
+
+/// Whether the supermin view is exactly the configuration `C*` of the paper
+/// for `k` robots on `n` nodes: `(0^{k-2}, 1, n-k-1)`.
+#[must_use]
+pub fn is_c_star(supermin: &[usize], n: usize) -> bool {
+    let k = supermin.len();
+    is_c_star_type(supermin) && supermin[k - 1] == n - k - 1
+}
+
+/// Conditions 1–4 of Lemma 3: with `q_0 = 0` and `ℓ1` the first positive
+/// index, the view satisfies `q_i = 0` for `i < ℓ1`, `q_{ℓ1} = 1`,
+/// `q_{ℓ1+1} + 1 = q_{k-1}`, and the sequence `q_{ℓ1+2..k-2}` is a palindrome.
+#[must_use]
+pub fn lemma3_conditions(supermin: &[usize]) -> bool {
+    let k = supermin.len();
+    if k < 2 || supermin[0] != 0 {
+        return false;
+    }
+    let Some(l1) = ell1(supermin) else { return false };
+    if supermin[..l1].iter().any(|&q| q != 0) {
+        return false;
+    }
+    if supermin[l1] != 1 {
+        return false;
+    }
+    if l1 + 1 >= k {
+        return false;
+    }
+    if supermin[l1 + 1] + 1 != supermin[k - 1] {
+        return false;
+    }
+    // q_{ℓ1+2}, ..., q_{k-2} must read the same forwards and backwards.
+    if l1 + 2 <= k.saturating_sub(2) {
+        let middle = &supermin[l1 + 2..=k - 2];
+        let reversed: Vec<usize> = middle.iter().rev().copied().collect();
+        if middle != reversed.as_slice() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Condition 5 of Lemma 4: the supermin view belongs to `(0, 1, 1+, 2)`.
+#[must_use]
+pub fn lemma4_condition5(supermin: &[usize]) -> bool {
+    use atoms::*;
+    Pattern::new(vec![lit(0), lit(1), plus(1), lit(2)]).matches(supermin)
+}
+
+/// Condition 6 of Lemma 4: the supermin view belongs to
+/// `(0^{ℓ1}, 1, {0^{ℓ1-1}, 1}+, 0^{ℓ1-2}, 1)`.
+#[must_use]
+pub fn lemma4_condition6(supermin: &[usize]) -> bool {
+    let Some(l1) = ell1(supermin) else { return false };
+    if l1 < 2 {
+        // The pattern requires ℓ1 - 2 >= 0 repetitions of 0 near the end.
+        return false;
+    }
+    let k = supermin.len();
+    // Prefix: 0^{ℓ1}, 1.
+    if supermin[..l1].iter().any(|&q| q != 0) || supermin.get(l1) != Some(&1) {
+        return false;
+    }
+    // Suffix: 0^{ℓ1-2}, 1.
+    if k < l1 + 1 + l1 - 2 + 1 {
+        return false;
+    }
+    let suffix_start = k - (l1 - 2) - 1;
+    if supermin[suffix_start..k - 1].iter().any(|&q| q != 0) || supermin[k - 1] != 1 {
+        return false;
+    }
+    // Middle: one or more groups of (0^{ℓ1-1}, 1).
+    let middle = &supermin[l1 + 1..suffix_start];
+    let group = l1; // ℓ1 - 1 zeros followed by a single 1.
+    if middle.is_empty() || middle.len() % group != 0 {
+        return false;
+    }
+    middle
+        .chunks(group)
+        .all(|chunk| chunk[..group - 1].iter().all(|&q| q == 0) && chunk[group - 1] == 1)
+}
+
+/// The supermin views for which Lemma 5 applies: condition 5 restricted to
+/// `(0, 1, 1, 1+, 2)` or condition 6.
+#[must_use]
+pub fn lemma5_applicable(supermin: &[usize]) -> bool {
+    use atoms::*;
+    let strong5 = Pattern::new(vec![lit(0), lit(1), lit(1), plus(1), lit(2)]).matches(supermin);
+    strong5 || lemma4_condition6(supermin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atoms::*;
+
+    #[test]
+    fn literal_patterns() {
+        let p = Pattern::new(vec![lit(0), lit(1), lit(2)]);
+        assert!(p.matches(&[0, 1, 2]));
+        assert!(!p.matches(&[0, 1]));
+        assert!(!p.matches(&[0, 1, 2, 0]));
+        assert!(!p.matches(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn star_and_plus_patterns() {
+        let p = Pattern::new(vec![lit(0), star(1), lit(2)]);
+        assert!(p.matches(&[0, 2]));
+        assert!(p.matches(&[0, 1, 2]));
+        assert!(p.matches(&[0, 1, 1, 1, 2]));
+        assert!(!p.matches(&[0, 1, 1]));
+        let q = Pattern::new(vec![lit(0), plus(1), lit(2)]);
+        assert!(!q.matches(&[0, 2]));
+        assert!(q.matches(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn times_and_gt_patterns() {
+        let p = Pattern::new(vec![times(0, 3), lit(1), gt(2)]);
+        assert!(p.matches(&[0, 0, 0, 1, 7]));
+        assert!(!p.matches(&[0, 0, 1, 7]));
+        assert!(!p.matches(&[0, 0, 0, 1, 2]));
+        let zero_times = Pattern::new(vec![times(0, 0), lit(5)]);
+        assert!(zero_times.matches(&[5]));
+    }
+
+    #[test]
+    fn star_backtracks() {
+        // 1* followed by literal 1 requires at least one 1 left over.
+        let p = Pattern::new(vec![star(1), lit(1)]);
+        assert!(p.matches(&[1]));
+        assert!(p.matches(&[1, 1, 1]));
+        assert!(!p.matches(&[]));
+    }
+
+    #[test]
+    fn ell_indices() {
+        assert_eq!(ell1(&[0, 0, 1, 0, 2]), Some(2));
+        assert_eq!(ell2(&[0, 0, 1, 0, 2]), Some(4));
+        assert_eq!(ell1(&[0, 0, 0]), None);
+        assert_eq!(ell2(&[0, 0, 3]), None);
+        assert_eq!(ell1(&[2, 1]), Some(0));
+        assert_eq!(ell2(&[2, 1]), Some(1));
+    }
+
+    #[test]
+    fn cs_and_c_star_recognizers() {
+        assert!(is_cs(&[0, 1, 1, 2]));
+        assert!(!is_cs(&[0, 1, 2, 1]));
+        assert!(is_c_star(&[0, 0, 0, 1, 6], 12));
+        assert!(!is_c_star(&[0, 0, 0, 1, 6], 13));
+        assert!(is_c_star_type(&[0, 1, 5]));
+        assert!(is_c_star_type(&[0, 0, 1, 2]));
+        assert!(!is_c_star_type(&[0, 0, 1, 1]));
+        assert!(!is_c_star_type(&[1, 5]));
+        assert!(!is_c_star_type(&[0, 2, 5]));
+    }
+
+    #[test]
+    fn lemma3_examples() {
+        // (0, 1, 1, 2): ℓ1 = 1, q2 + 1 = q3, middle empty — satisfies 1–4.
+        assert!(lemma3_conditions(&[0, 1, 1, 2]));
+        // (0, 0, 1, 1, 2): ℓ1 = 2, q3 + 1 = 2 = q4, middle empty.
+        assert!(lemma3_conditions(&[0, 0, 1, 1, 2]));
+        // (0, 1, 2, 2): q2 + 1 = 3 != 2.
+        assert!(!lemma3_conditions(&[0, 1, 2, 2]));
+        // (0, 2, 1, 3): q_{ℓ1} != 1.
+        assert!(!lemma3_conditions(&[0, 2, 1, 3]));
+        // Palindrome middle: (0, 1, 2, 5, 4, 5, 3) — q2+1=3=q6, middle (5,4,5).
+        assert!(lemma3_conditions(&[0, 1, 2, 5, 4, 5, 3]));
+        assert!(!lemma3_conditions(&[0, 1, 2, 5, 4, 6, 3]));
+    }
+
+    #[test]
+    fn lemma4_condition5_examples() {
+        assert!(lemma4_condition5(&[0, 1, 1, 2]));
+        assert!(lemma4_condition5(&[0, 1, 1, 1, 1, 2]));
+        assert!(!lemma4_condition5(&[0, 1, 2]));
+        assert!(!lemma4_condition5(&[0, 1, 1, 3]));
+    }
+
+    #[test]
+    fn lemma4_condition6_examples() {
+        // ℓ1 = 2: (0,0,1, 0,1, 1) — one group (0,1) then 0^{0}, 1.
+        assert!(lemma4_condition6(&[0, 0, 1, 0, 1, 1]));
+        // Two groups.
+        assert!(lemma4_condition6(&[0, 0, 1, 0, 1, 0, 1, 1]));
+        // ℓ1 = 3: (0,0,0,1, 0,0,1, 0,1).
+        assert!(lemma4_condition6(&[0, 0, 0, 1, 0, 0, 1, 0, 1]));
+        // ℓ1 = 1 is excluded.
+        assert!(!lemma4_condition6(&[0, 1, 1, 1]));
+        // Wrong group contents.
+        assert!(!lemma4_condition6(&[0, 0, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn lemma5_applicability() {
+        assert!(lemma5_applicable(&[0, 1, 1, 1, 2]));
+        assert!(lemma5_applicable(&[0, 0, 1, 0, 1, 1]));
+        // Cs itself (0,1,1,2) is NOT covered by the strengthened condition 5
+        // (it needs at least three 1s) — it is the special case of Theorem 1.
+        assert!(!lemma5_applicable(&[0, 1, 1, 2]));
+    }
+}

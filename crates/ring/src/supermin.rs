@@ -1,0 +1,148 @@
+//! The supermin configuration view and the set of supermin intervals
+//! (Section 2 and Lemma 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Configuration;
+use crate::node::{Direction, NodeId};
+use crate::view::View;
+
+/// Result of the supermin analysis of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperminInfo {
+    /// The supermin configuration view `W_min^C`: the lexicographically
+    /// smallest of the (at most `2k`) views of the configuration.
+    pub view: View,
+    /// Indices (into the clockwise gap sequence of the configuration) of the
+    /// supermin intervals: the intervals from which `W_min^C` can be read in
+    /// some direction.  This is the set `I_C` of the paper.
+    pub interval_indices: Vec<usize>,
+    /// The witnesses: occupied nodes and reading directions whose view equals
+    /// the supermin configuration view.
+    pub witnesses: Vec<(NodeId, Direction)>,
+}
+
+impl SuperminInfo {
+    /// `|I_C|`, the number of supermin intervals (Lemma 1 of the paper relates
+    /// this to rigidity / symmetry / periodicity).
+    #[must_use]
+    pub fn multiplicity(&self) -> usize {
+        self.interval_indices.len()
+    }
+}
+
+/// Computes the supermin configuration view of `config`.
+#[must_use]
+pub fn supermin_view(config: &Configuration) -> View {
+    View::new(config.gap_sequence()).supermin()
+}
+
+/// Computes the full supermin analysis of `config`: the supermin view, the
+/// supermin intervals `I_C` and the witnessing (node, direction) pairs.
+#[must_use]
+pub fn supermin_intervals(config: &Configuration) -> SuperminInfo {
+    let occ = config.occupied_nodes();
+    let k = occ.len();
+    let min = supermin_view(config);
+    let mut interval_indices = Vec::new();
+    let mut witnesses = Vec::new();
+    for (idx, &v) in occ.iter().enumerate() {
+        for dir in Direction::BOTH {
+            let w = config.view_from(v, dir);
+            if w == min {
+                witnesses.push((v, dir));
+                // The first interval of the view is the interval adjacent to
+                // `v` in direction `dir`; translate it to an index into the
+                // clockwise gap sequence.
+                let interval = match dir {
+                    Direction::Cw => idx,
+                    Direction::Ccw => (idx + k - 1) % k,
+                };
+                if !interval_indices.contains(&interval) {
+                    interval_indices.push(interval);
+                }
+            }
+        }
+    }
+    interval_indices.sort_unstable();
+    SuperminInfo { view: min, interval_indices, witnesses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Ring;
+
+    #[test]
+    fn supermin_of_c_star_is_unique() {
+        // C* = (0,0,0,1,6) on n = 12: |I_C| = 1 (stated in Section 2).
+        let c = Configuration::from_gaps_at_origin(&[0, 0, 0, 1, 6]);
+        let info = supermin_intervals(&c);
+        assert_eq!(info.view, View::new(vec![0, 0, 0, 1, 6]));
+        assert_eq!(info.multiplicity(), 1);
+        assert_eq!(info.witnesses.len(), 1);
+    }
+
+    #[test]
+    fn rigid_configuration_has_unique_witness() {
+        let c = Configuration::from_gaps_at_origin(&[0, 1, 2, 5]);
+        let info = supermin_intervals(&c);
+        assert_eq!(info.multiplicity(), 1);
+        assert_eq!(info.witnesses.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_aperiodic_axis_through_supermin_has_one_interval_two_witnesses() {
+        // Gaps (0, 1, 3, 1): symmetric with the axis through the supermin
+        // interval (the 0 gap); |I_C| = 1 but two witnessing views.
+        let c = Configuration::from_gaps_at_origin(&[0, 1, 3, 1]);
+        let info = supermin_intervals(&c);
+        assert_eq!(info.multiplicity(), 1);
+        assert_eq!(info.witnesses.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_axis_not_through_supermin_has_two_intervals() {
+        // Gaps (0, 2, 0, 4): symmetric, axis through the 2-gap and the 4-gap,
+        // two supermin intervals (the two 0 gaps).
+        let c = Configuration::from_gaps_at_origin(&[0, 2, 0, 4]);
+        let info = supermin_intervals(&c);
+        assert_eq!(info.view, View::new(vec![0, 2, 0, 4]).supermin());
+        assert_eq!(info.multiplicity(), 2);
+    }
+
+    #[test]
+    fn periodic_half_turn_has_two_intervals() {
+        // Gaps (0, 3, 0, 3): periodic with period n/2.
+        let c = Configuration::from_gaps_at_origin(&[0, 3, 0, 3]);
+        let info = supermin_intervals(&c);
+        assert_eq!(info.multiplicity(), 2);
+    }
+
+    #[test]
+    fn highly_periodic_has_many_intervals() {
+        // Gaps (1, 1, 1, 1, 1, 1) on n = 12: fully periodic.
+        let c = Configuration::from_gaps_at_origin(&[1, 1, 1, 1, 1, 1]);
+        let info = supermin_intervals(&c);
+        assert!(info.multiplicity() > 2);
+        assert_eq!(info.multiplicity(), 6);
+    }
+
+    #[test]
+    fn supermin_view_is_minimal_over_all_views() {
+        let c = Configuration::new_exclusive(Ring::new(11), &[0, 2, 3, 7, 8]).unwrap();
+        let min = supermin_view(&c);
+        for (_, _, w) in c.all_views() {
+            assert!(min <= w);
+        }
+    }
+
+    #[test]
+    fn witnesses_actually_read_the_supermin() {
+        let c = Configuration::from_gaps_at_origin(&[0, 0, 2, 1, 4]);
+        let info = supermin_intervals(&c);
+        for (v, dir) in &info.witnesses {
+            assert_eq!(c.view_from(*v, *dir), info.view);
+        }
+    }
+}

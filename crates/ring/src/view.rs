@@ -1,0 +1,298 @@
+//! Interval views as perceived by robots (Section 2 of the paper).
+//!
+//! A *view* at an occupied node `r` is the sequence of lengths of the
+//! intervals (maximal runs of empty nodes) met when traversing the ring in one
+//! direction starting from `r`.  A robot has two views, one per direction, and
+//! — having no sense of orientation — cannot tell which is which.
+//!
+//! Views are compared lexicographically; all views of the same configuration
+//! have the same length, so the lexicographic order used throughout the paper
+//! is exactly the derived `Ord` on the underlying vector.
+
+use serde::{Deserialize, Serialize};
+
+/// A view: the cyclic sequence of interval lengths read from an occupied node
+/// in one direction, as a linear sequence starting with the interval adjacent
+/// to that node in that direction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct View {
+    gaps: Vec<usize>,
+}
+
+impl View {
+    /// Builds a view from its interval lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gaps` is empty — a view always contains at least one
+    /// interval (the one closing the cycle back to the observing robot).
+    #[must_use]
+    pub fn new(gaps: Vec<usize>) -> Self {
+        assert!(!gaps.is_empty(), "a view contains at least one interval");
+        View { gaps }
+    }
+
+    /// The interval lengths, in reading order.
+    #[must_use]
+    pub fn gaps(&self) -> &[usize] {
+        &self.gaps
+    }
+
+    /// Number of intervals in the view (equals the number of occupied nodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Whether the view is empty (never true for a valid view).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Sum of the interval lengths (equals `n - #occupied nodes`).
+    #[must_use]
+    pub fn total_gap(&self) -> usize {
+        self.gaps.iter().sum()
+    }
+
+    /// The interval length at position `i`.
+    #[must_use]
+    pub fn gap(&self, i: usize) -> usize {
+        self.gaps[i]
+    }
+
+    /// The view `W_i` of the paper: the same cyclic sequence read starting
+    /// from interval `i`.
+    #[must_use]
+    pub fn rotation(&self, i: usize) -> View {
+        let k = self.gaps.len();
+        let i = i % k;
+        let mut gaps = Vec::with_capacity(k);
+        gaps.extend_from_slice(&self.gaps[i..]);
+        gaps.extend_from_slice(&self.gaps[..i]);
+        View { gaps }
+    }
+
+    /// The view read from the same robot in the opposite direction:
+    /// the plain reversal `(q_{k-1}, ..., q_1, q_0)`.
+    #[must_use]
+    pub fn opposite_direction(&self) -> View {
+        let mut gaps = self.gaps.clone();
+        gaps.reverse();
+        View { gaps }
+    }
+
+    /// The paper's `W̄ = (q_0, q_{k-1}, q_{k-2}, ..., q_1)`: the reflection of
+    /// the view that keeps the first interval in place.
+    #[must_use]
+    pub fn reflection(&self) -> View {
+        let mut gaps = Vec::with_capacity(self.gaps.len());
+        gaps.push(self.gaps[0]);
+        gaps.extend(self.gaps[1..].iter().rev().copied());
+        View { gaps }
+    }
+
+    /// The paper's `W̄_i`: the reflection read starting from interval `i`.
+    #[must_use]
+    pub fn reflection_rotation(&self, i: usize) -> View {
+        self.reflection().rotation(i)
+    }
+
+    /// All `k` rotations of this view.
+    #[must_use]
+    pub fn all_rotations(&self) -> Vec<View> {
+        (0..self.gaps.len()).map(|i| self.rotation(i)).collect()
+    }
+
+    /// The lexicographically smallest rotation of this view (not considering
+    /// reflections).
+    #[must_use]
+    pub fn min_rotation(&self) -> View {
+        self.all_rotations().into_iter().min().expect("non-empty")
+    }
+
+    /// The lexicographically smallest view obtainable by rotating and/or
+    /// reflecting this view.  For any view of a configuration `C`, this equals
+    /// the supermin configuration view `W_min^C` of the paper.
+    #[must_use]
+    pub fn supermin(&self) -> View {
+        let a = self.min_rotation();
+        let b = self.opposite_direction().min_rotation();
+        a.min(b)
+    }
+
+    /// Property 1 (i) of the paper: the configuration is periodic iff the view
+    /// equals one of its non-trivial rotations.
+    #[must_use]
+    pub fn is_periodic(&self) -> bool {
+        (1..self.gaps.len()).any(|i| self.rotation(i) == *self)
+    }
+
+    /// The smallest non-trivial period of the cyclic gap sequence, in number
+    /// of intervals; equals `len()` iff the view is aperiodic.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        (1..=self.gaps.len())
+            .find(|&p| self.gaps.len() % p == 0 && self.rotation(p) == *self)
+            .expect("the full length is always a period")
+    }
+
+    /// Property 1 (ii) of the paper: the configuration is symmetric iff the
+    /// view equals some rotation of its reflection.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        let refl = self.reflection();
+        (0..self.gaps.len()).any(|i| refl.rotation(i) == *self)
+    }
+
+    /// Whether the configuration seen by this view is *rigid*: aperiodic and
+    /// asymmetric.
+    #[must_use]
+    pub fn is_rigid(&self) -> bool {
+        !self.is_periodic() && !self.is_symmetric()
+    }
+}
+
+impl std::fmt::Display for View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, g) in self.gaps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for View {
+    fn from(gaps: Vec<usize>) -> Self {
+        View::new(gaps)
+    }
+}
+
+impl From<&[usize]> for View {
+    fn from(gaps: &[usize]) -> Self {
+        View::new(gaps.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(gaps: &[usize]) -> View {
+        View::new(gaps.to_vec())
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn rejects_empty_views() {
+        let _ = View::new(vec![]);
+    }
+
+    #[test]
+    fn rotation_and_reflection_basics() {
+        let w = v(&[0, 1, 2, 3]);
+        assert_eq!(w.rotation(0), w);
+        assert_eq!(w.rotation(1), v(&[1, 2, 3, 0]));
+        assert_eq!(w.rotation(4), w);
+        assert_eq!(w.opposite_direction(), v(&[3, 2, 1, 0]));
+        assert_eq!(w.reflection(), v(&[0, 3, 2, 1]));
+        assert_eq!(w.reflection().reflection(), w);
+    }
+
+    #[test]
+    fn opposite_direction_is_rotation_of_reflection() {
+        // Reading the other way from the same robot permutes the same cyclic
+        // word; it must belong to {W̄_i}.
+        let w = v(&[0, 0, 1, 5, 2]);
+        let opp = w.opposite_direction();
+        let refl = w.reflection();
+        assert!((0..w.len()).any(|i| refl.rotation(i) == opp));
+    }
+
+    #[test]
+    fn supermin_is_invariant_under_rotation_and_reflection() {
+        let w = v(&[2, 0, 1, 4, 0, 3]);
+        let s = w.supermin();
+        for i in 0..w.len() {
+            assert_eq!(w.rotation(i).supermin(), s);
+            assert_eq!(w.reflection_rotation(i).supermin(), s);
+            assert_eq!(w.opposite_direction().rotation(i).supermin(), s);
+        }
+    }
+
+    #[test]
+    fn supermin_examples_from_paper() {
+        // C* for k = 5, n = 12 has supermin view (0,0,0,1,6).
+        let c_star = v(&[1, 6, 0, 0, 0]);
+        assert_eq!(c_star.supermin(), v(&[0, 0, 0, 1, 6]));
+        // Cs of the paper: supermin (0,1,1,2).
+        let cs = v(&[1, 2, 0, 1]);
+        assert_eq!(cs.supermin(), v(&[0, 1, 1, 2]));
+    }
+
+    #[test]
+    fn periodicity_detection() {
+        assert!(v(&[1, 2, 1, 2]).is_periodic());
+        assert!(v(&[3, 3, 3]).is_periodic());
+        assert!(!v(&[1, 2, 3]).is_periodic());
+        assert!(!v(&[5]).is_periodic());
+        assert_eq!(v(&[1, 2, 1, 2]).period(), 2);
+        assert_eq!(v(&[3, 3, 3]).period(), 1);
+        assert_eq!(v(&[1, 2, 3]).period(), 3);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        // Palindromic cyclic words are symmetric.
+        assert!(v(&[0, 1, 1, 0, 4]).is_symmetric());
+        assert!(v(&[2, 2]).is_symmetric());
+        assert!(v(&[7]).is_symmetric());
+        // (0,1,1,2) — the paper's Cs — is rigid.
+        assert!(!v(&[0, 1, 1, 2]).is_symmetric());
+        assert!(!v(&[0, 1, 1, 2]).is_periodic());
+        assert!(v(&[0, 1, 1, 2]).is_rigid());
+        // (0,0,2,2) — the symmetric intermediate configuration of Theorem 1.
+        assert!(v(&[0, 0, 2, 2]).is_symmetric());
+        assert!(!v(&[0, 0, 2, 2]).is_rigid());
+    }
+
+    #[test]
+    fn rigidity_of_c_star() {
+        // C* = (0^{k-2}, 1, n-k-1) is rigid whenever n - k - 1 >= 2.
+        for k in 3..8usize {
+            for extra in 2..6usize {
+                let mut gaps = vec![0; k - 2];
+                gaps.push(1);
+                gaps.push(extra);
+                assert!(View::new(gaps).is_rigid(), "k={k} extra={extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_configs_are_symmetric_or_not_independent() {
+        // A periodic but asymmetric word.
+        let w = v(&[0, 1, 2, 0, 1, 2]);
+        assert!(w.is_periodic());
+        assert!(!w.is_symmetric());
+        assert!(!w.is_rigid());
+    }
+
+    #[test]
+    fn display_formats_as_tuple() {
+        assert_eq!(v(&[0, 1, 5]).to_string(), "(0,1,5)");
+    }
+
+    #[test]
+    fn total_gap_and_len() {
+        let w = v(&[0, 3, 2]);
+        assert_eq!(w.total_gap(), 5);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Edge contamination state with the mixed graph-searching semantics of
+//! Section 4.1 of the paper.
+
+use rr_ring::{Configuration, EdgeId, NodeId, Ring};
+use serde::{Deserialize, Serialize};
+
+/// The contamination state of every edge of the ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contamination {
+    ring: Ring,
+    clear: Vec<bool>,
+}
+
+impl Contamination {
+    /// All edges contaminated (the initial state of the graph searching task).
+    #[must_use]
+    pub fn all_contaminated(ring: Ring) -> Self {
+        Contamination { ring, clear: vec![false; ring.len()] }
+    }
+
+    /// All edges contaminated, then immediately updated with the guards of the
+    /// initial configuration (edges with both endpoints occupied are clear).
+    #[must_use]
+    pub fn initial(config: &Configuration) -> Self {
+        let mut c = Contamination::all_contaminated(config.ring());
+        c.observe_configuration(config);
+        c
+    }
+
+    /// The ring this state refers to.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Whether edge `e` is currently clear.
+    #[must_use]
+    pub fn is_clear(&self, e: EdgeId) -> bool {
+        self.clear[e]
+    }
+
+    /// Number of currently clear edges.
+    #[must_use]
+    pub fn clear_count(&self) -> usize {
+        self.clear.iter().filter(|&&c| c).count()
+    }
+
+    /// Whether every edge of the ring is simultaneously clear.
+    #[must_use]
+    pub fn all_clear(&self) -> bool {
+        self.clear.iter().all(|&c| c)
+    }
+
+    /// The currently contaminated edges.
+    #[must_use]
+    pub fn contaminated_edges(&self) -> Vec<EdgeId> {
+        (0..self.ring.len()).filter(|&e| !self.clear[e]).collect()
+    }
+
+    /// Resets every edge to contaminated (used to check the *perpetual*
+    /// property: restart the contamination at an arbitrary point of the run
+    /// and verify that the strategy clears the ring again).
+    pub fn reset(&mut self) {
+        self.clear.iter_mut().for_each(|c| *c = false);
+    }
+
+    /// Marks clear the edges whose two endpoints are both occupied, then
+    /// applies the recontamination closure.  Call this on the initial
+    /// configuration and after any externally applied change.
+    pub fn observe_configuration(&mut self, config: &Configuration) {
+        debug_assert_eq!(config.ring(), self.ring);
+        for e in 0..self.ring.len() {
+            let (u, v) = self.ring.edge_endpoints(e);
+            if config.is_occupied(u) && config.is_occupied(v) {
+                self.clear[e] = true;
+            }
+        }
+        self.recontaminate(config);
+    }
+
+    /// Observes a robot move from `from` to `to` resulting in configuration
+    /// `after`: the traversed edge is cleared, guarded edges are cleared, and
+    /// the recontamination closure is applied.
+    pub fn observe_move(&mut self, from: NodeId, to: NodeId, after: &Configuration) {
+        debug_assert_eq!(after.ring(), self.ring);
+        let traversed = self.ring.edge_between(from, to);
+        self.clear[traversed] = true;
+        self.observe_configuration(after);
+    }
+
+    /// The recontamination closure: repeatedly, a clear edge that shares an
+    /// unoccupied endpoint with a contaminated edge becomes contaminated,
+    /// until a fixpoint is reached.
+    pub fn recontaminate(&mut self, config: &Configuration) {
+        debug_assert_eq!(config.ring(), self.ring);
+        let n = self.ring.len();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in 0..n {
+                if self.clear[e] {
+                    continue;
+                }
+                // Edge e is contaminated: spread through its unoccupied endpoints.
+                let (u, v) = self.ring.edge_endpoints(e);
+                for w in [u, v] {
+                    if config.is_occupied(w) {
+                        continue;
+                    }
+                    for other in self.ring.incident_edges(w) {
+                        if other != e && self.clear[other] {
+                            self.clear[other] = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_ring::Direction;
+
+    fn cfg(n: usize, occupied: &[usize]) -> Configuration {
+        Configuration::new_exclusive(Ring::new(n), occupied).unwrap()
+    }
+
+    #[test]
+    fn initial_state_clears_guarded_edges_only() {
+        // Robots on 0,1,2: edges 0 (0-1) and 1 (1-2) are guarded and clear.
+        let c = cfg(8, &[0, 1, 2]);
+        let cont = Contamination::initial(&c);
+        assert!(cont.is_clear(0));
+        assert!(cont.is_clear(1));
+        assert_eq!(cont.clear_count(), 2);
+        assert!(!cont.all_clear());
+        assert_eq!(cont.contaminated_edges(), vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn isolated_robots_clear_nothing() {
+        let c = cfg(9, &[0, 3, 6]);
+        let cont = Contamination::initial(&c);
+        assert_eq!(cont.clear_count(), 0);
+    }
+
+    #[test]
+    fn traversal_clears_the_edge() {
+        let mut c = cfg(8, &[0, 1, 4]);
+        let mut cont = Contamination::initial(&c);
+        assert!(cont.is_clear(0));
+        // Robot at 4 walks to 5: edge 4 becomes clear (no recontamination:
+        // edge 4's endpoints are 4 (now empty) and 5 (occupied); node 4 is
+        // unoccupied and touches contaminated edge 3, so edge 4 is
+        // immediately recontaminated!
+        c.move_robot(4, 5).unwrap();
+        cont.observe_move(4, 5, &c);
+        assert!(!cont.is_clear(4), "cleared edge behind the robot is recontaminated");
+        assert!(cont.is_clear(0));
+    }
+
+    #[test]
+    fn two_robot_sweep_clears_the_ring() {
+        // The classical 2-robot strategy of Section 4.1: one robot stays at v,
+        // the other walks all the way around the empty part.
+        let n = 7;
+        let mut c = cfg(n, &[0, 1]);
+        let mut cont = Contamination::initial(&c);
+        assert!(cont.is_clear(0));
+        // Walk robot from 1 to 2, 3, ..., 6 (the neighbour of 0 on the other side).
+        let mut pos = 1;
+        while pos != n - 1 {
+            let next = pos + 1;
+            c.move_robot(pos, next).unwrap();
+            cont.observe_move(pos, next, &c);
+            pos = next;
+        }
+        assert!(cont.all_clear(), "sweep must clear every edge: {:?}", cont.contaminated_edges());
+    }
+
+    #[test]
+    fn recontamination_respects_guarding_robots() {
+        // Robots at 0 and 4 guard both ends of the cleared arc 0–1–2–3–4:
+        // the arc stays clear.
+        let c = cfg(8, &[0, 4]);
+        let mut cont = Contamination::all_contaminated(c.ring());
+        for e in 0..4 {
+            cont.clear[e] = true;
+        }
+        cont.recontaminate(&c);
+        assert_eq!(cont.clear_count(), 4);
+        assert!(cont.is_clear(0) && cont.is_clear(3));
+    }
+
+    #[test]
+    fn recontamination_spreads_through_unguarded_boundary() {
+        // Same cleared arc, but the robot sits at 5 instead of 4: node 4 is
+        // unoccupied, so contamination creeps back through it and wipes the
+        // whole arc (node 0 is occupied but the creep comes from the other
+        // side of every edge).
+        let c = cfg(8, &[0, 5]);
+        let mut cont = Contamination::all_contaminated(c.ring());
+        for e in 0..4 {
+            cont.clear[e] = true;
+        }
+        cont.recontaminate(&c);
+        assert_eq!(cont.clear_count(), 0);
+    }
+
+    #[test]
+    fn guarded_edge_resists_recontamination() {
+        let c = cfg(6, &[2, 3]);
+        let mut cont = Contamination::all_contaminated(c.ring());
+        cont.observe_configuration(&c);
+        assert!(cont.is_clear(2));
+        cont.recontaminate(&c);
+        assert!(cont.is_clear(2), "an edge with both endpoints occupied cannot be recontaminated");
+    }
+
+    #[test]
+    fn reset_recontaminates_everything() {
+        let c = cfg(6, &[2, 3]);
+        let mut cont = Contamination::initial(&c);
+        assert!(cont.clear_count() > 0);
+        cont.reset();
+        assert_eq!(cont.clear_count(), 0);
+    }
+
+    #[test]
+    fn recontamination_is_idempotent() {
+        let c = cfg(10, &[0, 1, 5, 6]);
+        let mut cont = Contamination::initial(&c);
+        let snapshot = cont.clone();
+        cont.recontaminate(&c);
+        assert_eq!(cont, snapshot);
+    }
+
+    #[test]
+    fn full_clear_requires_blocking_both_sides() {
+        // Three consecutive robots sweeping: move the trailing robot around.
+        let n = 6;
+        let mut c = cfg(n, &[0, 1, 2]);
+        let mut cont = Contamination::initial(&c);
+        // Move robot at 2 forward to 3, 4, 5: when it becomes adjacent to 0
+        // (wrapping), the whole ring is clear.
+        let mut pos = 2;
+        for next in [3, 4, 5] {
+            c.move_robot(pos, next).unwrap();
+            cont.observe_move(pos, next, &c);
+            pos = next;
+        }
+        assert!(cont.all_clear());
+        // Moving it once more (onto 0) is illegal (occupied); instead move the
+        // robot at 1 to 2: ring stays clear because no contaminated edge exists.
+        c.move_robot(1, 2).unwrap();
+        cont.observe_move(1, 2, &c);
+        assert!(cont.all_clear());
+    }
+
+    #[test]
+    fn observe_move_requires_adjacent_nodes() {
+        // Sanity: the panic comes from Ring::edge_between.
+        let c = cfg(6, &[0, 3]);
+        let mut cont = Contamination::initial(&c);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cont.observe_move(0, 2, &c);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn direction_of_walk_does_not_matter() {
+        let n = 9;
+        for dir in Direction::BOTH {
+            let mut c = cfg(n, &[0, 1]);
+            let mut cont = Contamination::initial(&c);
+            // Walk the robot that has an empty neighbour in direction `dir`.
+            let walker = if dir == Direction::Cw { 1 } else { 0 };
+            let mut pos = walker;
+            for _ in 0..(n - 2) {
+                let next = c.ring().neighbor(pos, dir);
+                c.move_robot(pos, next).unwrap();
+                cont.observe_move(pos, next, &c);
+                pos = next;
+            }
+            assert!(cont.all_clear(), "direction {dir}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-robot node-visit tracking for the exclusive perpetual exploration task.
+
+use rr_ring::NodeId;
+use rr_corda::RobotId;
+use serde::{Deserialize, Serialize};
+
+/// Tracks, for every robot, which nodes it has visited since the last reset.
+///
+/// Exclusive perpetual exploration requires every robot to visit every node
+/// infinitely often; the monitor layer counts how many times each robot
+/// completes a full sweep of the ring (each completion resets that robot's
+/// visit set).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplorationTracker {
+    n: usize,
+    visited: Vec<Vec<bool>>,
+    completions: Vec<u64>,
+}
+
+impl ExplorationTracker {
+    /// Creates a tracker for `k` robots on an `n`-node ring, crediting each
+    /// robot with a visit of its starting node.
+    #[must_use]
+    pub fn new(n: usize, initial_positions: &[NodeId]) -> Self {
+        let k = initial_positions.len();
+        let mut visited = vec![vec![false; n]; k];
+        for (r, &v) in initial_positions.iter().enumerate() {
+            visited[r][v] = true;
+        }
+        ExplorationTracker { n, visited, completions: vec![0; k] }
+    }
+
+    /// Number of robots tracked.
+    #[must_use]
+    pub fn num_robots(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// Records that `robot` is now at node `to`.
+    ///
+    /// When this completes the robot's sweep of all `n` nodes, the robot's
+    /// visit set is reset (keeping only the current node) and its completion
+    /// counter is incremented.
+    pub fn observe_move(&mut self, robot: RobotId, to: NodeId) {
+        if robot >= self.visited.len() || to >= self.n {
+            return;
+        }
+        self.visited[robot][to] = true;
+        if self.visited[robot].iter().all(|&b| b) {
+            self.completions[robot] += 1;
+            self.visited[robot].iter_mut().for_each(|b| *b = false);
+            self.visited[robot][to] = true;
+        }
+    }
+
+    /// Number of distinct nodes `robot` has visited since its last completed
+    /// sweep.
+    #[must_use]
+    pub fn visited_count(&self, robot: RobotId) -> usize {
+        self.visited[robot].iter().filter(|&&b| b).count()
+    }
+
+    /// How many full sweeps of the ring each robot has completed.
+    #[must_use]
+    pub fn completions(&self) -> &[u64] {
+        &self.completions
+    }
+
+    /// The minimum number of completed sweeps over all robots — the figure of
+    /// merit for *perpetual* exploration (it must grow without bound).
+    #[must_use]
+    pub fn min_completions(&self) -> u64 {
+        self.completions.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Whether every robot has completed at least `count` full sweeps.
+    #[must_use]
+    pub fn all_completed_at_least(&self, count: u64) -> bool {
+        self.min_completions() >= count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_positions_count_as_visits() {
+        let t = ExplorationTracker::new(5, &[0, 2]);
+        assert_eq!(t.num_robots(), 2);
+        assert_eq!(t.visited_count(0), 1);
+        assert_eq!(t.visited_count(1), 1);
+        assert_eq!(t.min_completions(), 0);
+    }
+
+    #[test]
+    fn completing_a_sweep_increments_and_resets() {
+        let mut t = ExplorationTracker::new(4, &[0]);
+        t.observe_move(0, 1);
+        t.observe_move(0, 2);
+        assert_eq!(t.visited_count(0), 3);
+        t.observe_move(0, 3);
+        assert_eq!(t.completions(), &[1]);
+        // After completion only the current node is marked.
+        assert_eq!(t.visited_count(0), 1);
+        // A second sweep.
+        t.observe_move(0, 0);
+        t.observe_move(0, 1);
+        t.observe_move(0, 2);
+        assert_eq!(t.completions(), &[2]);
+        assert!(t.all_completed_at_least(2));
+    }
+
+    #[test]
+    fn min_completions_takes_the_slowest_robot() {
+        let mut t = ExplorationTracker::new(3, &[0, 1]);
+        // Robot 0 sweeps, robot 1 does not move.
+        t.observe_move(0, 1);
+        t.observe_move(0, 2);
+        assert_eq!(t.completions(), &[1, 0]);
+        assert_eq!(t.min_completions(), 0);
+        assert!(!t.all_completed_at_least(1));
+    }
+
+    #[test]
+    fn out_of_range_observations_are_ignored() {
+        let mut t = ExplorationTracker::new(3, &[0]);
+        t.observe_move(7, 1);
+        t.observe_move(0, 9);
+        assert_eq!(t.visited_count(0), 1);
+        assert_eq!(t.completions(), &[0]);
+    }
+
+    #[test]
+    fn revisits_do_not_double_count() {
+        let mut t = ExplorationTracker::new(4, &[0]);
+        t.observe_move(0, 1);
+        t.observe_move(0, 0);
+        t.observe_move(0, 1);
+        assert_eq!(t.visited_count(0), 2);
+        assert_eq!(t.completions(), &[0]);
+    }
+}

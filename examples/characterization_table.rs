@@ -1,0 +1,35 @@
+//! Regenerate the paper's feasibility characterization of exclusive perpetual
+//! graph searching (experiment E1) as a text table.
+//!
+//! ```text
+//! cargo run --release --example characterization_table            # claims only
+//! cargo run --release --example characterization_table -- --validate
+//! ```
+//!
+//! With `--validate`, every solvable cell is cross-checked by running the
+//! dispatched algorithm under three different schedulers (slower).
+
+use ring_robots::checker::characterization::{build_characterization, render_table};
+
+fn main() {
+    let validate = std::env::args().any(|a| a == "--validate");
+    let max_n = std::env::args()
+        .skip_while(|a| a != "--max-n")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(18usize);
+    let cells = build_characterization(3..=max_n, validate, 2024);
+    println!("{}", render_table(&cells));
+    if validate {
+        let failed: Vec<_> = cells
+            .iter()
+            .filter(|c| c.code() == '!')
+            .map(|c| (c.n, c.k))
+            .collect();
+        if failed.is_empty() {
+            println!("every solvable cell was validated by simulation.");
+        } else {
+            println!("cells whose claim failed validation: {failed:?}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Perpetual graph searching in detail: watch the A-a … A-e cycle of
+//! Algorithm Ring Clearing and the three-move cycle of Algorithm NminusThree.
+//!
+//! ```text
+//! cargo run --release --example perpetual_search
+//! ```
+
+use ring_robots::core::clearing::{classify, run_searching};
+use ring_robots::core::nminus_three::NminusThreeProtocol;
+use ring_robots::core::unified::{protocol_for, Task};
+use ring_robots::prelude::*;
+
+fn watch_cycle(n: usize, k: usize, start: &Configuration, steps: usize) {
+    println!("-- Ring Clearing phase-2 cycle on (n = {n}, k = {k}) --");
+    let protocol = RingClearingProtocol::new();
+    let mut sim = Simulator::with_default_options(protocol, start.clone()).expect("valid start");
+    let mut scheduler = RoundRobinScheduler::new();
+    let mut last_class = None;
+    let mut moves = 0usize;
+    while moves < steps {
+        let step = scheduler.next(&sim.scheduler_view());
+        let records = sim.apply(&step).expect("no exclusivity violation");
+        if records.is_empty() {
+            continue;
+        }
+        moves += records.len();
+        let word = View::new(sim.configuration().gap_sequence());
+        let class = classify(&word);
+        if class != last_class {
+            println!(
+                "  after {moves:>3} moves: {} class {}",
+                sim.configuration(),
+                class.map_or("outside A".to_string(), |c| c.to_string())
+            );
+            last_class = class;
+        }
+    }
+}
+
+fn main() {
+    // Ring Clearing: k = 5 robots on a 13-node ring.
+    let start = Configuration::from_gaps_at_origin(&[0, 0, 0, 1, 7]);
+    watch_cycle(13, 5, &start, 30);
+
+    // Summary statistics over a longer run, for both algorithms.
+    println!("\n-- long-run statistics (round-robin scheduler) --");
+    for (n, k) in [(13usize, 5usize), (16, 8), (12, 9), (14, 11)] {
+        let Some(protocol) = protocol_for(Task::GraphSearching, n, k) else {
+            println!("(n={n}, k={k}): not covered by the paper's algorithms");
+            continue;
+        };
+        let start = ring_robots::ring::enumerate::enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .next()
+            .expect("rigid configuration exists");
+        let mut scheduler = RoundRobinScheduler::new();
+        let stats =
+            run_searching(protocol, &start, &mut scheduler, 10, 1, 400_000).expect("runs");
+        let period = stats.clearing_intervals.iter().skip(1).copied().collect::<Vec<_>>();
+        println!(
+            "(n={n:>2}, k={k:>2}) {:<14} clearings={:<3} steady period={:?} moves={}",
+            protocol.name(),
+            stats.clearings,
+            period.first().copied().unwrap_or(0),
+            stats.moves
+        );
+    }
+
+    // NminusThree under an adversarial (asynchronous) scheduler.
+    println!("\n-- NminusThree under the asynchronous adversary --");
+    let n = 12;
+    let start = ring_robots::ring::enumerate::enumerate_rigid_configurations(n, n - 3)
+        .into_iter()
+        .next()
+        .expect("rigid configuration exists");
+    let mut scheduler = AsynchronousScheduler::seeded(7);
+    let stats = run_searching(NminusThreeProtocol::new(), &start, &mut scheduler, 5, 0, 400_000)
+        .expect("runs");
+    println!(
+        "(n={n}, k={}) clearings={} min exploration sweeps={}",
+        n - 3,
+        stats.clearings,
+        stats.min_exploration_completions
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: solve all three tasks of the paper on one ring.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ring_robots::prelude::*;
+
+fn main() {
+    let n = 13;
+    let k = 5;
+    // A rigid exclusive starting configuration of 5 robots on a 13-node ring.
+    let start = Configuration::from_gaps_at_origin(&[0, 2, 1, 0, 5]);
+    assert_eq!(start.n(), n);
+    assert_eq!(start.num_robots(), k);
+    println!("initial configuration: {start}  (rigid = {})", ring_robots::ring::symmetry::is_rigid(&start));
+
+    // 1. Exclusive perpetual graph searching + exploration.
+    match protocol_for(Task::GraphSearching, n, k) {
+        Some(protocol) => {
+            let mut scheduler = RoundRobinScheduler::new();
+            let stats = run_searching(protocol, &start, &mut scheduler, 5, 1, 200_000)
+                .expect("simulation runs");
+            println!(
+                "graph searching : {} full clearings, every robot explored the ring {} time(s), {} moves",
+                stats.clearings, stats.min_exploration_completions, stats.moves
+            );
+        }
+        None => println!("graph searching : not solvable for (n={n}, k={k})"),
+    }
+
+    // 2. Phase 1 on its own: Align to the special configuration C*.
+    let mut scheduler = RoundRobinScheduler::new();
+    let (c_star, moves) = run_to_c_star(&start, &mut scheduler, 100_000).expect("align converges");
+    println!("align           : reached {c_star} after {moves} moves");
+
+    // 3. Gathering with local multiplicity detection.
+    let mut scheduler = AsynchronousScheduler::seeded(42);
+    let stats = run_gathering(&start, &mut scheduler, 500_000).expect("simulation runs");
+    println!(
+        "gathering       : gathered = {} after {} moves (asynchronous adversary)",
+        stats.gathered, stats.moves
+    );
+
+    // 4. What does the paper say about other team sizes on this ring?
+    println!("\nfeasibility of graph searching on a {n}-node ring:");
+    for team in 1..n {
+        println!("  k = {team:>2}: {:?}", searching_feasibility(n, team));
+    }
+}

@@ -1,0 +1,53 @@
+//! Consistency of the regenerated characterization with the structural
+//! impossibility layer and with the configuration enumeration.
+
+use ring_robots::checker::characterization::{build_characterization, CellStatus};
+use ring_robots::checker::enumeration::configuration_graph;
+use ring_robots::checker::impossibility::{lemma8_applies, structural_reason};
+use ring_robots::prelude::*;
+use ring_robots::ring::enumerate::count_configurations;
+
+#[test]
+fn characterization_and_feasibility_agree() {
+    let cells = build_characterization(3..=16, false, 0);
+    for cell in &cells {
+        let direct = searching_feasibility(cell.n, cell.k);
+        match (&cell.status, direct) {
+            (CellStatus::Solvable { .. }, Feasibility::Solvable(_))
+            | (CellStatus::Impossible { .. }, Feasibility::Impossible(_))
+            | (CellStatus::Open, Feasibility::Open)
+            | (CellStatus::OutOfModel, Feasibility::OutOfModel) => {}
+            other => panic!("cell (n={}, k={}) disagrees: {other:?}", cell.n, cell.k),
+        }
+    }
+}
+
+#[test]
+fn structural_reasons_exist_exactly_for_impossible_cells() {
+    for n in 3..=16usize {
+        for k in 1..=n {
+            let cellwise = structural_reason(n, k).is_some();
+            let direct = searching_feasibility(n, k).is_impossible();
+            assert_eq!(cellwise, direct, "n={n} k={k}");
+        }
+    }
+}
+
+#[test]
+fn figure_counts_match_the_enumeration_crate() {
+    // The configuration-graph node counts (Figures 4–9) must agree with the
+    // plain enumeration counts from rr-ring.
+    for (k, n) in [(4usize, 7usize), (4, 8), (5, 8), (6, 9), (4, 9), (5, 9)] {
+        assert_eq!(configuration_graph(n, k).num_classes(), count_configurations(n, k));
+    }
+}
+
+#[test]
+fn lemma8_blocks_are_never_dispatched_start_states_in_small_impossible_rings() {
+    // Sanity link between the lemma layer and the dispatcher: on rings the
+    // paper proves unsolvable, no protocol is dispatched at all, so the
+    // configurations Lemma 8 forbids can never even be reached by our code.
+    let c = Configuration::new_exclusive(Ring::new(8), &[0, 1, 2, 3]).unwrap();
+    assert!(lemma8_applies(&c));
+    assert!(ring_robots::core::unified::protocol_for(Task::GraphSearching, 8, 4).is_none());
+}

@@ -1,0 +1,66 @@
+//! Cross-crate integration tests for the gathering task.
+
+use ring_robots::core::gathering::run_gathering;
+use ring_robots::core::unified::{protocol_for, Task};
+use ring_robots::prelude::*;
+use ring_robots::ring::enumerate::{enumerate_rigid_configurations, random_rigid_configuration};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn gathering_from_random_rigid_configurations() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    for (n, k) in [(10usize, 4usize), (15, 6), (21, 9), (30, 5)] {
+        let start = random_rigid_configuration(n, k, &mut rng).expect("rigid config");
+        let mut scheduler = RoundRobinScheduler::new();
+        let stats = run_gathering(&start, &mut scheduler, 2_000_000).unwrap();
+        assert!(stats.gathered, "(n={n}, k={k})");
+        assert!(!stats.broke_gathering);
+    }
+}
+
+#[test]
+fn gathering_is_robust_to_the_asynchronous_adversary() {
+    for seed in [10u64, 20, 30] {
+        let start = enumerate_rigid_configurations(14, 6).into_iter().next().unwrap();
+        let mut scheduler = AsynchronousScheduler::seeded(seed);
+        let stats = run_gathering(&start, &mut scheduler, 2_000_000).unwrap();
+        assert!(stats.gathered, "seed {seed}");
+    }
+}
+
+#[test]
+fn gathering_dispatch_matches_theorem_8() {
+    assert!(protocol_for(Task::Gathering, 12, 5).is_some());
+    assert!(protocol_for(Task::Gathering, 12, 3).is_some());
+    assert!(protocol_for(Task::Gathering, 12, 9).is_some());
+    assert!(protocol_for(Task::Gathering, 12, 10).is_none()); // k = n-2
+    assert!(protocol_for(Task::Gathering, 12, 11).is_none()); // k = n-1
+    assert!(protocol_for(Task::Gathering, 12, 2).is_none());
+}
+
+#[test]
+fn gathering_verification_harness() {
+    let report = verify_gathering(12, 5, 1, 7);
+    assert!(report.verified, "{report:?}");
+    let report = verify_gathering(9, 7, 1, 7);
+    assert!(!report.verified);
+}
+
+#[test]
+fn gathered_runs_stay_gathered() {
+    // After gathering is reached, scheduling more cycles must not move anyone.
+    let start = enumerate_rigid_configurations(11, 4).into_iter().next().unwrap();
+    let protocol = GatheringProtocol::new();
+    let mut sim = Simulator::with_default_options(protocol, start).unwrap();
+    let mut scheduler = RoundRobinScheduler::new();
+    let report = sim.run_until(&mut scheduler, 1_000_000, |s| s.configuration().is_gathered());
+    assert!(report.succeeded());
+    let moves_at_gathering = sim.move_count();
+    for _ in 0..200 {
+        let step = scheduler.next(&sim.scheduler_view());
+        sim.apply(&step).unwrap();
+    }
+    assert_eq!(sim.move_count(), moves_at_gathering);
+    assert!(sim.configuration().is_gathered());
+}

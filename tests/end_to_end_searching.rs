@@ -1,0 +1,85 @@
+//! Cross-crate integration tests: the full graph-searching / exploration
+//! pipeline (dispatcher → simulator → monitors) on a spread of instances.
+
+use ring_robots::core::clearing::run_searching;
+use ring_robots::core::unified::{protocol_for, Task};
+use ring_robots::prelude::*;
+use ring_robots::ring::enumerate::enumerate_rigid_configurations;
+
+fn first_rigid(n: usize, k: usize) -> Configuration {
+    enumerate_rigid_configurations(n, k)
+        .into_iter()
+        .next()
+        .expect("a rigid configuration exists")
+}
+
+#[test]
+fn ring_clearing_across_a_parameter_spread() {
+    for (n, k) in [(11usize, 5usize), (12, 6), (14, 9), (17, 7), (20, 15)] {
+        let protocol = protocol_for(Task::GraphSearching, n, k)
+            .unwrap_or_else(|| panic!("(n={n}, k={k}) should be solvable"));
+        let start = first_rigid(n, k);
+        let mut scheduler = RoundRobinScheduler::new();
+        let stats = run_searching(protocol, &start, &mut scheduler, 4, 1, 600_000).unwrap();
+        assert!(stats.clearings >= 4, "(n={n}, k={k}): {} clearings", stats.clearings);
+        assert!(
+            stats.min_exploration_completions >= 1,
+            "(n={n}, k={k}): exploration sweeps {}",
+            stats.min_exploration_completions
+        );
+    }
+}
+
+#[test]
+fn n_minus_three_band_joins_the_characterization() {
+    for n in [10usize, 13, 16] {
+        let k = n - 3;
+        let protocol = protocol_for(Task::GraphSearching, n, k).expect("solvable");
+        assert_eq!(protocol.name(), "n-minus-three");
+        let start = first_rigid(n, k);
+        let mut scheduler = SemiSynchronousScheduler::seeded(5);
+        let stats = run_searching(protocol, &start, &mut scheduler, 4, 0, 400_000).unwrap();
+        assert!(stats.clearings >= 4, "n={n}: {}", stats.clearings);
+    }
+}
+
+#[test]
+fn exploration_task_uses_the_same_algorithms() {
+    let protocol = protocol_for(Task::Exploration, 13, 6).expect("solvable");
+    let start = first_rigid(13, 6);
+    let mut scheduler = RoundRobinScheduler::new();
+    let stats = run_searching(protocol, &start, &mut scheduler, 0, 2, 600_000).unwrap();
+    assert!(stats.min_exploration_completions >= 2);
+}
+
+#[test]
+fn searching_never_violates_exclusivity_under_async_adversaries() {
+    // The asynchronous scheduler with pending moves is the paper's adversary;
+    // a run that returns Ok never violated exclusivity (the simulator would
+    // have failed otherwise).
+    for seed in [1u64, 2, 3, 4, 5] {
+        let start = first_rigid(12, 5);
+        let protocol = protocol_for(Task::GraphSearching, 12, 5).unwrap();
+        let mut scheduler = AsynchronousScheduler::seeded(seed);
+        let stats = run_searching(protocol, &start, &mut scheduler, 3, 0, 200_000).unwrap();
+        assert!(stats.clearings >= 3, "seed {seed}: {} clearings", stats.clearings);
+    }
+}
+
+#[test]
+fn impossible_and_open_cells_have_no_dispatched_protocol() {
+    for (n, k) in [(9usize, 5usize), (8, 4), (12, 2), (12, 3), (12, 10), (12, 11), (10, 5), (15, 4)] {
+        assert!(
+            protocol_for(Task::GraphSearching, n, k).is_none(),
+            "(n={n}, k={k}) must not be dispatched"
+        );
+    }
+}
+
+#[test]
+fn verification_harness_agrees_with_direct_runs() {
+    let report = verify_searching(13, 6, 1, 99);
+    assert!(report.verified, "{report:?}");
+    let report = verify_searching(10, 5, 1, 99);
+    assert!(!report.verified, "the open cell (10,5) must not verify");
+}

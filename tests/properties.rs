@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! algorithmic invariants of the paper.
+
+use proptest::prelude::*;
+use ring_robots::core::align::{choose_reduction, AlignProtocol};
+use ring_robots::core::gathering::run_gathering;
+use ring_robots::prelude::*;
+use ring_robots::ring::{supermin_view, symmetry};
+
+/// Strategy: a random gap word with `k` intervals and at least one empty node,
+/// i.e. an arbitrary exclusive configuration given as gaps.
+fn gap_word() -> impl Strategy<Value = Vec<usize>> {
+    (3usize..9, 1usize..10).prop_flat_map(|(k, extra)| {
+        proptest::collection::vec(0usize..4, k).prop_map(move |mut gaps| {
+            // Guarantee at least `extra` empty nodes so n > k.
+            gaps[0] += extra;
+            gaps
+        })
+    })
+}
+
+/// Strategy: a random *rigid* configuration (filters the non-rigid words out).
+fn rigid_configuration() -> impl Strategy<Value = Configuration> {
+    gap_word()
+        .prop_map(|gaps| Configuration::from_gaps_at_origin(&gaps))
+        .prop_filter("rigid", symmetry::is_rigid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The supermin view is invariant under re-reading the configuration from
+    /// any robot in any direction.
+    #[test]
+    fn supermin_is_isomorphism_invariant(gaps in gap_word()) {
+        let config = Configuration::from_gaps_at_origin(&gaps);
+        let supermin = supermin_view(&config);
+        for (_, _, view) in config.all_views() {
+            prop_assert_eq!(view.supermin(), supermin.clone());
+        }
+    }
+
+    /// A configuration is rigid iff all of its 2k views are pairwise distinct.
+    #[test]
+    fn rigidity_iff_all_views_distinct(gaps in gap_word()) {
+        let config = Configuration::from_gaps_at_origin(&gaps);
+        let views: Vec<View> = config.all_views().into_iter().map(|(_, _, w)| w).collect();
+        let mut sorted = views.clone();
+        sorted.sort();
+        sorted.dedup();
+        let all_distinct = sorted.len() == views.len();
+        prop_assert_eq!(symmetry::is_rigid(&config), all_distinct);
+    }
+
+    /// Geometric symmetry analysis agrees with the view-based Property 1.
+    #[test]
+    fn symmetry_analysis_agrees_with_property_1(gaps in gap_word()) {
+        let config = Configuration::from_gaps_at_origin(&gaps);
+        prop_assert_eq!(
+            symmetry::classify(&config),
+            symmetry::classify_by_views(&config)
+        );
+    }
+
+    /// Align: in any rigid configuration that is not already C*, exactly one
+    /// robot is enabled, and its move preserves the robot count and the
+    /// exclusivity property.
+    #[test]
+    fn align_enables_exactly_one_robot(config in rigid_configuration()) {
+        let w_min = supermin_view(&config);
+        prop_assume!(!AlignProtocol::is_goal(&w_min));
+        prop_assume!(choose_reduction(&w_min).is_some());
+        let mut movers = 0;
+        for v in config.occupied_nodes() {
+            let snapshot = Snapshot::capture(
+                &config,
+                v,
+                MultiplicityCapability::None,
+                Direction::Cw,
+            );
+            if AlignProtocol::new().compute(&snapshot).is_move() {
+                movers += 1;
+            }
+        }
+        prop_assert_eq!(movers, 1);
+    }
+
+    /// Align's chosen reduction never creates a symmetric configuration,
+    /// except from the two configurations singled out by Theorem 1.
+    #[test]
+    fn align_avoids_symmetry_except_for_cs(config in rigid_configuration()) {
+        let w_min = supermin_view(&config);
+        prop_assume!(!AlignProtocol::is_goal(&w_min));
+        if let Some(selected) = choose_reduction(&w_min) {
+            if selected.resulting_word.is_symmetric() {
+                // Only Cs may do this (its successor is the known exception).
+                prop_assert_eq!(w_min.gaps(), &[0, 1, 1, 2]);
+            }
+        }
+    }
+
+    /// The contamination closure is idempotent and monotone with respect to
+    /// adding guards.
+    #[test]
+    fn contamination_closure_is_idempotent(gaps in gap_word()) {
+        let config = Configuration::from_gaps_at_origin(&gaps);
+        let mut c1 = Contamination::initial(&config);
+        let before = c1.clone();
+        c1.recontaminate(&config);
+        prop_assert_eq!(before, c1);
+    }
+
+    /// Gathering terminates (and stays gathered) from every rigid
+    /// configuration within the supported parameter range.
+    #[test]
+    fn gathering_terminates_from_rigid_configurations(config in rigid_configuration()) {
+        let n = config.n();
+        let k = config.num_robots();
+        prop_assume!(k > 2 && k + 2 < n);
+        let mut scheduler = RoundRobinScheduler::new();
+        let stats = run_gathering(&config, &mut scheduler, 2_000_000).unwrap();
+        prop_assert!(stats.gathered);
+        prop_assert!(!stats.broke_gathering);
+    }
+
+    /// Canonical keys classify isomorphic configurations together: rotating an
+    /// entire configuration never changes its canonical key.
+    #[test]
+    fn canonical_key_is_rotation_invariant(gaps in gap_word(), shift in 0usize..16) {
+        let config = Configuration::from_gaps_at_origin(&gaps);
+        let n = config.n();
+        let rotated_nodes: Vec<usize> = config
+            .occupied_nodes()
+            .into_iter()
+            .map(|v| (v + shift) % n)
+            .collect();
+        let rotated = Configuration::new_exclusive(Ring::new(n), &rotated_nodes).unwrap();
+        prop_assert_eq!(config.canonical_key(), rotated.canonical_key());
+        prop_assert!(config.is_isomorphic(&rotated));
+    }
+}
