@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rr_bench::spread_out_rigid_start;
-use rr_corda::scheduler::{FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_corda::{Scheduler, Simulator, SimulatorOptions};
+use rr_corda::scheduler::{
+    FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
+};
+use rr_corda::{Engine, Scheduler};
 use rr_core::align::{run_to_c_star, AlignProtocol};
 use rr_core::baselines::NaiveAligner;
 use rr_core::clearing::{run_searching, RingClearingProtocol};
@@ -13,14 +15,13 @@ use std::time::Duration;
 
 fn naive_aligner_moves_until_stuck(n: usize, k: usize, cap: u64) -> u64 {
     let start = spread_out_rigid_start(n, k);
-    let mut sim = Simulator::new(NaiveAligner, start, SimulatorOptions::for_protocol(&NaiveAligner))
-        .expect("valid");
+    let mut sim = Engine::with_default_options(NaiveAligner, start).expect("valid");
     let mut sched = RoundRobinScheduler::new();
     let mut idle_streak = 0u64;
     while idle_streak < (k as u64) && sim.move_count() < cap {
         let step = sched.next(&sim.scheduler_view());
-        match sim.apply(&step) {
-            Ok(records) if records.is_empty() => idle_streak += 1,
+        match sim.step(&step, &mut ()) {
+            Ok(report) if !report.moved() => idle_streak += 1,
             Ok(_) => idle_streak = 0,
             Err(_) => break,
         }
@@ -43,24 +44,48 @@ fn bench_ablation(c: &mut Criterion) {
     });
     // Scheduler-model ablation on Ring Clearing.
     let start = spread_out_rigid_start(14, 6);
-    group.bench_with_input(BenchmarkId::new("clearing_scheduler", "round_robin"), &start, |b, s| {
-        b.iter(|| {
-            let mut sched = RoundRobinScheduler::new();
-            black_box(run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000).unwrap().moves)
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("clearing_scheduler", "fsync"), &start, |b, s| {
-        b.iter(|| {
-            let mut sched = FullySynchronousScheduler;
-            black_box(run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000).unwrap().moves)
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("clearing_scheduler", "ssync"), &start, |b, s| {
-        b.iter(|| {
-            let mut sched = SemiSynchronousScheduler::seeded(11);
-            black_box(run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000).unwrap().moves)
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("clearing_scheduler", "round_robin"),
+        &start,
+        |b, s| {
+            b.iter(|| {
+                let mut sched = RoundRobinScheduler::new();
+                black_box(
+                    run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000)
+                        .unwrap()
+                        .moves,
+                )
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("clearing_scheduler", "fsync"),
+        &start,
+        |b, s| {
+            b.iter(|| {
+                let mut sched = FullySynchronousScheduler;
+                black_box(
+                    run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000)
+                        .unwrap()
+                        .moves,
+                )
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("clearing_scheduler", "ssync"),
+        &start,
+        |b, s| {
+            b.iter(|| {
+                let mut sched = SemiSynchronousScheduler::seeded(11);
+                black_box(
+                    run_searching(RingClearingProtocol::new(), s, &mut sched, 2, 0, 10_000_000)
+                        .unwrap()
+                        .moves,
+                )
+            });
+        },
+    );
     let _ = AlignProtocol::new();
     group.finish();
 }

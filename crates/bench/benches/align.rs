@@ -22,12 +22,16 @@ fn bench_align(c: &mut Criterion) {
     // Complete runs to C*.
     for &(n, k) in ALIGN_INSTANCES.iter().filter(|(n, _)| *n <= 32) {
         let start = spread_out_rigid_start(n, k);
-        group.bench_with_input(BenchmarkId::new("run_to_c_star", format!("n{n}_k{k}")), &start, |b, s| {
-            b.iter(|| {
-                let mut sched = RoundRobinScheduler::new();
-                black_box(run_to_c_star(s, &mut sched, 10_000_000).expect("align converges"))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run_to_c_star", format!("n{n}_k{k}")),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    let mut sched = RoundRobinScheduler::new();
+                    black_box(run_to_c_star(s, &mut sched, 10_000_000).expect("align converges"))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -13,9 +13,13 @@ fn bench_characterization(c: &mut Criterion) {
         b.iter(|| black_box(searching_feasibility(black_box(23), black_box(9))));
     });
     for max_n in [16usize, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("claims_table", max_n), &max_n, |b, &max_n| {
-            b.iter(|| black_box(build_characterization(3..=max_n, false, 0).len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("claims_table", max_n),
+            &max_n,
+            |b, &max_n| {
+                b.iter(|| black_box(build_characterization(3..=max_n, false, 0).len()));
+            },
+        );
     }
     group.finish();
 }

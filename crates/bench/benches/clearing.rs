@@ -18,8 +18,9 @@ fn bench_clearing(c: &mut Criterion) {
             |b, s| {
                 b.iter(|| {
                     let mut sched = RoundRobinScheduler::new();
-                    let stats = run_searching(RingClearingProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
-                        .expect("runs");
+                    let stats =
+                        run_searching(RingClearingProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
+                            .expect("runs");
                     assert!(stats.clearings >= 3);
                     black_box(stats.moves)
                 });

@@ -12,22 +12,30 @@ fn bench_gathering(c: &mut Criterion) {
     let mut group = c.benchmark_group("gathering");
     for &(n, k) in &[(12usize, 5usize), (20, 9), (32, 13), (48, 9)] {
         let start = rigid_start(n, k);
-        group.bench_with_input(BenchmarkId::new("round_robin", format!("n{n}_k{k}")), &start, |b, s| {
-            b.iter(|| {
-                let mut sched = RoundRobinScheduler::new();
-                let stats = run_gathering(s, &mut sched, 10_000_000).expect("runs");
-                assert!(stats.gathered);
-                black_box(stats.moves)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("asynchronous", format!("n{n}_k{k}")), &start, |b, s| {
-            b.iter(|| {
-                let mut sched = AsynchronousScheduler::seeded(3);
-                let stats = run_gathering(s, &mut sched, 20_000_000).expect("runs");
-                assert!(stats.gathered);
-                black_box(stats.moves)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("round_robin", format!("n{n}_k{k}")),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    let mut sched = RoundRobinScheduler::new();
+                    let stats = run_gathering(s, &mut sched, 10_000_000).expect("runs");
+                    assert!(stats.gathered);
+                    black_box(stats.moves)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("asynchronous", format!("n{n}_k{k}")),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    let mut sched = AsynchronousScheduler::seeded(3);
+                    let stats = run_gathering(s, &mut sched, 20_000_000).expect("runs");
+                    assert!(stats.gathered);
+                    black_box(stats.moves)
+                });
+            },
+        );
     }
     group.finish();
 }

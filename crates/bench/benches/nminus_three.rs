@@ -20,8 +20,9 @@ fn bench_nminus_three(c: &mut Criterion) {
             |b, s| {
                 b.iter(|| {
                     let mut sched = RoundRobinScheduler::new();
-                    let stats = run_searching(NminusThreeProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
-                        .expect("runs");
+                    let stats =
+                        run_searching(NminusThreeProtocol::new(), s, &mut sched, 3, 0, 10_000_000)
+                            .expect("runs");
                     assert!(stats.clearings >= 3);
                     black_box(stats.moves)
                 });

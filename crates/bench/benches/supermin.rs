@@ -11,9 +11,13 @@ fn bench_supermin(c: &mut Criterion) {
     let mut group = c.benchmark_group("supermin");
     for &(n, k) in &[(16usize, 7usize), (64, 16), (256, 64), (1024, 128)] {
         let config = rigid_start(n, k);
-        group.bench_with_input(BenchmarkId::new("supermin_view", format!("n{n}_k{k}")), &config, |b, cfg| {
-            b.iter(|| black_box(supermin_view(black_box(cfg))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("supermin_view", format!("n{n}_k{k}")),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(supermin_view(black_box(cfg))));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("supermin_intervals", format!("n{n}_k{k}")),
             &config,
@@ -21,9 +25,13 @@ fn bench_supermin(c: &mut Criterion) {
                 b.iter(|| black_box(supermin_intervals(black_box(cfg))));
             },
         );
-        group.bench_with_input(BenchmarkId::new("classify", format!("n{n}_k{k}")), &config, |b, cfg| {
-            b.iter(|| black_box(symmetry::classify(black_box(cfg))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("classify", format!("n{n}_k{k}")),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(symmetry::classify(black_box(cfg))));
+            },
+        );
     }
     group.finish();
 }

@@ -12,19 +12,27 @@ fn bench_views(c: &mut Criterion) {
     for &(n, k) in &[(16usize, 7usize), (64, 16), (256, 64), (1024, 128)] {
         let config = rigid_start(n, k);
         let node = config.occupied_nodes()[0];
-        group.bench_with_input(BenchmarkId::new("view_from", format!("n{n}_k{k}")), &config, |b, cfg| {
-            b.iter(|| black_box(cfg.view_from(black_box(node), Direction::Cw)));
-        });
-        group.bench_with_input(BenchmarkId::new("snapshot", format!("n{n}_k{k}")), &config, |b, cfg| {
-            b.iter(|| {
-                black_box(Snapshot::capture(
-                    cfg,
-                    black_box(node),
-                    MultiplicityCapability::Local,
-                    Direction::Cw,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("view_from", format!("n{n}_k{k}")),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(cfg.view_from(black_box(node), Direction::Cw)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", format!("n{n}_k{k}")),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(Snapshot::capture(
+                        cfg,
+                        black_box(node),
+                        MultiplicityCapability::Local,
+                        Direction::Cw,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

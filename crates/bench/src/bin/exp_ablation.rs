@@ -9,22 +9,22 @@ use rr_bench::spread_out_rigid_start;
 use rr_corda::scheduler::{
     AsynchronousScheduler, FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
 };
-use rr_corda::{Scheduler, Simulator, SimulatorOptions};
+use rr_corda::{Engine, Scheduler};
 use rr_core::align::run_to_c_star;
 use rr_core::baselines::NaiveAligner;
-use rr_core::clearing::{run_searching, RingClearingProtocol};
+use rr_core::clearing::RingClearingProtocol;
+use rr_core::driver::{run_task, TaskTargets};
+use rr_core::unified::Task;
 use rr_ring::{supermin_view, symmetry};
 
 fn naive_aligner_outcome(n: usize, k: usize) -> String {
     let start = spread_out_rigid_start(n, k);
-    let mut sim =
-        Simulator::new(NaiveAligner, start, SimulatorOptions::for_protocol(&NaiveAligner)).unwrap();
+    let mut sim = Engine::with_default_options(NaiveAligner, start).unwrap();
     let mut sched = RoundRobinScheduler::new();
     for _ in 0..100_000u64 {
         let step = sched.next(&sim.scheduler_view());
-        match sim.apply(&step) {
-            Err(e) => return format!("collision after {} moves ({e})", sim.move_count()),
-            Ok(_) => {}
+        if let Err(e) = sim.step(&step, &mut ()) {
+            return format!("collision after {} moves ({e})", sim.move_count());
         }
         let cfg = sim.configuration();
         let w = supermin_view(cfg);
@@ -32,7 +32,10 @@ fn naive_aligner_outcome(n: usize, k: usize) -> String {
             return format!("reached C* after {} moves", sim.move_count());
         }
         if !symmetry::is_rigid(cfg) && w != rr_ring::View::new(vec![0, 0, 2, 2]) {
-            return format!("stuck in symmetric trap {w} after {} moves", sim.move_count());
+            return format!(
+                "stuck in symmetric trap {w} after {} moves",
+                sim.move_count()
+            );
         }
     }
     "no outcome within budget".to_string()
@@ -40,7 +43,10 @@ fn naive_aligner_outcome(n: usize, k: usize) -> String {
 
 fn main() {
     println!("# E9a — Align ablation: guarded rule order (paper) vs unguarded reduction_1");
-    println!("{:>4} {:>4} {:>28} {:>44}", "n", "k", "Align (guarded)", "NaiveAligner (no symmetry guards)");
+    println!(
+        "{:>4} {:>4} {:>28} {:>44}",
+        "n", "k", "Align (guarded)", "NaiveAligner (no symmetry guards)"
+    );
     for (n, k) in [(9usize, 4usize), (12, 5), (13, 5), (16, 7)] {
         let start = spread_out_rigid_start(n, k);
         let mut sched = RoundRobinScheduler::new();
@@ -48,7 +54,13 @@ fn main() {
             Ok((_, moves)) => format!("C* in {moves} moves"),
             Err(e) => format!("failed: {e}"),
         };
-        println!("{:>4} {:>4} {:>28} {:>44}", n, k, guarded, naive_aligner_outcome(n, k));
+        println!(
+            "{:>4} {:>4} {:>28} {:>44}",
+            n,
+            k,
+            guarded,
+            naive_aligner_outcome(n, k)
+        );
     }
 
     println!();
@@ -62,9 +74,17 @@ fn main() {
         ("async", Box::new(AsynchronousScheduler::seeded(23))),
     ];
     for (name, mut scheduler) in runs {
-        let stats =
-            run_searching(RingClearingProtocol::new(), &start, scheduler.as_mut(), 5, 0, 4_000_000)
-                .expect("runs");
+        let stats = run_task(
+            Task::GraphSearching,
+            RingClearingProtocol::new(),
+            &start,
+            scheduler.as_mut(),
+            TaskTargets::demonstrate(5, 0),
+            4_000_000,
+        )
+        .expect("runs")
+        .searching()
+        .expect("searching stats");
         println!("{:>14} {:>10} {:>12}", name, stats.moves, stats.steps);
     }
     println!();

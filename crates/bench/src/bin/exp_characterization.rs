@@ -19,7 +19,14 @@ fn main() {
         .unwrap_or(20);
 
     println!("# E1 — characterization of exclusive perpetual graph searching (3 <= n <= {max_n})");
-    println!("# validation: {}", if validate { "every solvable cell simulated under 3 schedulers" } else { "claims only" });
+    println!(
+        "# validation: {}",
+        if validate {
+            "every solvable cell simulated under 3 schedulers"
+        } else {
+            "claims only"
+        }
+    );
     let cells = build_characterization(3..=max_n, validate, 17);
     println!("{}", render_table(&cells));
 

@@ -9,7 +9,8 @@
 use rayon::prelude::*;
 use rr_bench::{rigid_start, CLEARING_INSTANCES};
 use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_core::clearing::{run_searching, RingClearingProtocol};
+use rr_core::driver::{run_dispatched, TaskTargets};
+use rr_core::unified::Task;
 
 fn main() {
     println!("# E4 — Ring Clearing (5 <= k < n-3): clearings, steady period, exploration");
@@ -28,29 +29,43 @@ fn main() {
         .map(|&(n, k, scheduler)| {
             let start = rigid_start(n, k);
             let budget = 30_000 * n as u64;
-            let stats = match scheduler {
+            let targets = TaskTargets::demonstrate(10, 1);
+            let report = match scheduler {
                 "round-robin" => {
                     let mut s = RoundRobinScheduler::new();
-                    run_searching(RingClearingProtocol::new(), &start, &mut s, 10, 1, budget)
+                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, budget)
                 }
                 "ssync" => {
                     let mut s = SemiSynchronousScheduler::seeded(3);
-                    run_searching(RingClearingProtocol::new(), &start, &mut s, 10, 1, budget)
+                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, budget)
                 }
                 _ => {
                     let mut s = AsynchronousScheduler::seeded(3);
-                    run_searching(RingClearingProtocol::new(), &start, &mut s, 10, 1, 2 * budget)
+                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, 2 * budget)
                 }
             }
             .expect("run succeeds");
+            let stats = report.searching().expect("searching stats");
             (n, k, scheduler, stats)
         })
         .collect();
     for (n, k, scheduler, stats) in rows {
-        let steady = stats.clearing_intervals.iter().skip(1).copied().max().unwrap_or(0);
+        let steady = stats
+            .clearing_intervals
+            .iter()
+            .skip(1)
+            .copied()
+            .max()
+            .unwrap_or(0);
         println!(
             "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
-            n, k, scheduler, stats.clearings, steady, stats.min_exploration_completions, stats.moves
+            n,
+            k,
+            scheduler,
+            stats.clearings,
+            steady,
+            stats.min_exploration_completions,
+            stats.moves
         );
     }
     println!();

@@ -8,7 +8,8 @@
 use rayon::prelude::*;
 use rr_bench::{rigid_start, GATHERING_INSTANCES};
 use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_core::gathering::run_gathering;
+use rr_core::driver::{run_dispatched, TaskTargets};
+use rr_core::unified::Task;
 
 fn main() {
     println!("# E6 — Gathering with local multiplicity detection (2 < k < n-2)");
@@ -21,12 +22,21 @@ fn main() {
         .map(|&(n, k)| {
             let start = rigid_start(n, k);
             let budget = 100_000 * n as u64;
-            let mut rr = RoundRobinScheduler::new();
-            let a = run_gathering(&start, &mut rr, budget).expect("runs");
-            let mut ss = SemiSynchronousScheduler::seeded(5);
-            let b = run_gathering(&start, &mut ss, budget).expect("runs");
-            let mut asy = AsynchronousScheduler::seeded(5);
-            let c = run_gathering(&start, &mut asy, 2 * budget).expect("runs");
+            let gather = |s: &mut dyn rr_corda::Scheduler, budget: u64| {
+                run_dispatched(
+                    Task::Gathering,
+                    &start,
+                    s,
+                    TaskTargets::open_ended(),
+                    budget,
+                )
+                .expect("runs")
+                .gathering()
+                .expect("gathering stats")
+            };
+            let a = gather(&mut RoundRobinScheduler::new(), budget);
+            let b = gather(&mut SemiSynchronousScheduler::seeded(5), budget);
+            let c = gather(&mut AsynchronousScheduler::seeded(5), 2 * budget);
             (n, k, a, b, c)
         })
         .collect();
@@ -38,7 +48,14 @@ fn main() {
                 "FAILED".to_string()
             }
         };
-        println!("{:>4} {:>4} {:>16} {:>16} {:>16}", n, k, fmt(&a), fmt(&b), fmt(&c));
+        println!(
+            "{:>4} {:>4} {:>16} {:>16} {:>16}",
+            n,
+            k,
+            fmt(&a),
+            fmt(&b),
+            fmt(&c)
+        );
     }
     println!();
     println!("# shape check: the move count is dominated by the Align phase plus roughly one");

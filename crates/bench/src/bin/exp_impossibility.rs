@@ -30,9 +30,7 @@ fn main() {
     for n in [6usize, 9, 12, 20] {
         let rounds = 500;
         let survived = demonstrate_two_robot_failure(n, rounds);
-        println!(
-            "  n={n:>2}: ring never cleared within {survived}/{rounds} adversarial rounds"
-        );
+        println!("  n={n:>2}: ring never cleared within {survived}/{rounds} adversarial rounds");
     }
 
     println!();

@@ -8,8 +8,8 @@
 use rayon::prelude::*;
 use rr_bench::{rigid_start, NMINUS3_RINGS};
 use rr_corda::scheduler::RoundRobinScheduler;
-use rr_core::clearing::run_searching;
-use rr_core::nminus_three::NminusThreeProtocol;
+use rr_core::driver::{run_dispatched, TaskTargets};
+use rr_core::unified::Task;
 
 fn main() {
     println!("# E5 — NminusThree (k = n-3): clearings and steady period");
@@ -23,14 +23,27 @@ fn main() {
             let k = n - 3;
             let start = rigid_start(n, k);
             let mut s = RoundRobinScheduler::new();
-            let stats =
-                run_searching(NminusThreeProtocol::new(), &start, &mut s, 20, 1, 60_000 * n as u64)
-                    .expect("run succeeds");
+            let stats = run_dispatched(
+                Task::GraphSearching,
+                &start,
+                &mut s,
+                TaskTargets::demonstrate(20, 1),
+                60_000 * n as u64,
+            )
+            .expect("run succeeds")
+            .searching()
+            .expect("searching stats");
             (n, k, stats)
         })
         .collect();
     for (n, k, stats) in rows {
-        let steady = stats.clearing_intervals.iter().skip(1).copied().max().unwrap_or(0);
+        let steady = stats
+            .clearing_intervals
+            .iter()
+            .skip(1)
+            .copied()
+            .max()
+            .unwrap_or(0);
         println!(
             "{:>4} {:>4} {:>10} {:>14} {:>12} {:>10}",
             n, k, stats.clearings, steady, stats.min_exploration_completions, stats.moves

@@ -16,19 +16,45 @@ use rr_ring::enumerate::{enumerate_rigid_configurations, random_rigid_configurat
 use rr_ring::Configuration;
 
 /// The `(n, k)` pairs used by the Ring Clearing experiments (E4).
-pub const CLEARING_INSTANCES: &[(usize, usize)] =
-    &[(11, 5), (12, 5), (13, 6), (16, 8), (20, 10), (24, 7), (32, 12), (40, 20)];
+pub const CLEARING_INSTANCES: &[(usize, usize)] = &[
+    (11, 5),
+    (12, 5),
+    (13, 6),
+    (16, 8),
+    (20, 10),
+    (24, 7),
+    (32, 12),
+    (40, 20),
+];
 
 /// The ring sizes used by the NminusThree experiments (E5), with `k = n - 3`.
 pub const NMINUS3_RINGS: &[usize] = &[10, 12, 14, 16, 20, 24, 32, 40];
 
 /// The `(n, k)` pairs used by the gathering experiments (E6).
-pub const GATHERING_INSTANCES: &[(usize, usize)] =
-    &[(8, 4), (10, 3), (12, 5), (16, 7), (20, 9), (24, 11), (32, 13), (48, 9), (60, 21)];
+pub const GATHERING_INSTANCES: &[(usize, usize)] = &[
+    (8, 4),
+    (10, 3),
+    (12, 5),
+    (16, 7),
+    (20, 9),
+    (24, 11),
+    (32, 13),
+    (48, 9),
+    (60, 21),
+];
 
 /// The `(n, k)` pairs used by the Align experiments (E3).
-pub const ALIGN_INSTANCES: &[(usize, usize)] =
-    &[(10, 4), (12, 5), (14, 6), (16, 7), (20, 9), (24, 11), (32, 8), (48, 12), (64, 16)];
+pub const ALIGN_INSTANCES: &[(usize, usize)] = &[
+    (10, 4),
+    (12, 5),
+    (14, 6),
+    (16, 7),
+    (20, 9),
+    (24, 11),
+    (32, 8),
+    (48, 12),
+    (64, 16),
+];
 
 /// The small cases of Theorem 5 (Figures 4–9), as `(k, n)` like in the paper.
 pub const THEOREM5_CASES: &[(usize, usize)] = &[(4, 7), (4, 8), (5, 8), (6, 9), (4, 9), (5, 9)];
@@ -95,13 +121,22 @@ mod tests {
     #[test]
     fn instance_tables_are_well_formed() {
         for &(n, k) in CLEARING_INSTANCES {
-            assert!(rr_core::clearing::RingClearingProtocol::supports(n, k), "({n},{k})");
+            assert!(
+                rr_core::clearing::RingClearingProtocol::supports(n, k),
+                "({n},{k})"
+            );
         }
         for &n in NMINUS3_RINGS {
-            assert!(rr_core::nminus_three::NminusThreeProtocol::supports(n, n - 3));
+            assert!(rr_core::nminus_three::NminusThreeProtocol::supports(
+                n,
+                n - 3
+            ));
         }
         for &(n, k) in GATHERING_INSTANCES {
-            assert!(rr_core::gathering::GatheringProtocol::supports(n, k), "({n},{k})");
+            assert!(
+                rr_core::gathering::GatheringProtocol::supports(n, k),
+                "({n},{k})"
+            );
         }
         for &(n, k) in ALIGN_INSTANCES {
             assert!(k >= 3 && k + 2 < n, "({n},{k})");

@@ -50,7 +50,10 @@ impl CharacterizationCell {
     #[must_use]
     pub fn code(&self) -> char {
         match &self.status {
-            CellStatus::Solvable { algorithm, validated } => match validated {
+            CellStatus::Solvable {
+                algorithm,
+                validated,
+            } => match validated {
                 Some(false) => '!',
                 _ => {
                     if algorithm.contains("minus") {
@@ -78,8 +81,7 @@ pub fn build_characterization(
     validate: bool,
     seed: u64,
 ) -> Vec<CharacterizationCell> {
-    let cells: Vec<(usize, usize)> =
-        n_range.flat_map(|n| (1..=n).map(move |k| (n, k))).collect();
+    let cells: Vec<(usize, usize)> = n_range.flat_map(|n| (1..=n).map(move |k| (n, k))).collect();
     cells
         .into_par_iter()
         .map(|(n, k)| {
@@ -91,11 +93,14 @@ pub fn build_characterization(
                     } else {
                         None
                     };
-                    CellStatus::Solvable { algorithm, validated }
+                    CellStatus::Solvable {
+                        algorithm,
+                        validated,
+                    }
                 }
-                Feasibility::Impossible(reason) => {
-                    CellStatus::Impossible { reason: reason.to_string() }
-                }
+                Feasibility::Impossible(reason) => CellStatus::Impossible {
+                    reason: reason.to_string(),
+                },
                 Feasibility::Open => CellStatus::Open,
                 Feasibility::OutOfModel => CellStatus::OutOfModel,
             };
@@ -138,7 +143,7 @@ mod tests {
     #[test]
     fn table_shape_and_consistency() {
         let cells = build_characterization(3..=14, false, 0);
-        assert_eq!(cells.len(), (3..=14).map(|n| n).sum::<usize>());
+        assert_eq!(cells.len(), (3..=14).sum::<usize>());
         for cell in &cells {
             match &cell.status {
                 CellStatus::Solvable { .. } => {

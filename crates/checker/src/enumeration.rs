@@ -46,7 +46,10 @@ impl ConfigurationGraph {
     /// Number of rigid classes.
     #[must_use]
     pub fn num_rigid(&self) -> usize {
-        self.nodes.iter().filter(|c| c.class == ConfigurationClass::Rigid).count()
+        self.nodes
+            .iter()
+            .filter(|c| c.class == ConfigurationClass::Rigid)
+            .count()
     }
 
     /// Index of the class containing `config`, if any.
@@ -59,7 +62,11 @@ impl ConfigurationGraph {
     /// Successor classes of class `i`.
     #[must_use]
     pub fn successors(&self, i: usize) -> Vec<usize> {
-        self.edges.iter().filter(|(f, _)| *f == i).map(|(_, t)| *t).collect()
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == i)
+            .map(|(_, t)| *t)
+            .collect()
     }
 }
 

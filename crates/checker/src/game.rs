@@ -260,7 +260,11 @@ fn play(protocol: &ProtocolTable, n: usize, initial_occupied: u32) -> GameOutcom
                     continue;
                 }
                 let (va, vb) = views_at(state.occupied, n, node);
-                let key = if va <= vb { (va.clone(), vb.clone()) } else { (vb.clone(), va.clone()) };
+                let key = if va <= vb {
+                    (va.clone(), vb.clone())
+                } else {
+                    (vb.clone(), va.clone())
+                };
                 let decision = protocol.decision_for(&key);
                 let cw = (node + 1) % n;
                 let ccw = (node + n - 1) % n;
@@ -308,7 +312,11 @@ fn play(protocol: &ProtocolTable, n: usize, initial_occupied: u32) -> GameOutcom
                     match assignment[ri] {
                         None => new_positions.push(node),
                         Some(target) => {
-                            let e = if (node + 1) % n == target { node } else { target };
+                            let e = if (node + 1) % n == target {
+                                node
+                            } else {
+                                target
+                            };
                             traversed |= 1 << e;
                             new_positions.push(target);
                         }
@@ -332,7 +340,10 @@ fn play(protocol: &ProtocolTable, n: usize, initial_occupied: u32) -> GameOutcom
                     state.clear | traversed | guarded_edges(occupied_mask, n),
                     n,
                 );
-                let next = State { occupied: occupied_mask, clear };
+                let next = State {
+                    occupied: occupied_mask,
+                    clear,
+                };
                 let all_robots_active = subset == (1 << robots.len()) - 1;
                 let ni = *index.entry(next).or_insert_with(|| {
                     states.push(next);
@@ -405,7 +416,11 @@ pub fn protocol_defeated_everywhere(protocol: &ProtocolTable, n: usize, k: usize
 /// Returns `None` if the protocol space is larger than `protocol_cap` (the
 /// search would be unreasonably large); otherwise returns the search summary.
 #[must_use]
-pub fn exhaustive_impossibility(n: usize, k: usize, protocol_cap: u64) -> Option<ImpossibilityResult> {
+pub fn exhaustive_impossibility(
+    n: usize,
+    k: usize,
+    protocol_cap: u64,
+) -> Option<ImpossibilityResult> {
     assert!(n <= 16, "the game search uses 16-bit edge masks");
     let classes = view_classes(n, k);
     let total = protocol_count(&classes);

@@ -6,9 +6,9 @@
 //! proofs against concrete baseline protocols and verify that they indeed
 //! fail, which is the executable counterpart of the proof narratives.
 
-use rr_core::baselines::TwoRobotSlide;
 use rr_corda::scheduler::RoundRobinScheduler;
-use rr_corda::{Scheduler, Simulator, SimulatorOptions};
+use rr_corda::{Engine, Scheduler};
+use rr_core::baselines::TwoRobotSlide;
 use rr_ring::{symmetry, Configuration, Ring};
 use rr_search::Contamination;
 
@@ -21,7 +21,7 @@ pub use rr_core::feasibility::{searching_feasibility, Feasibility, Impossibility
 pub fn lemma7_applies(config: &Configuration) -> bool {
     let n = config.n();
     let k = config.num_robots();
-    n % 2 == 1 && k % 2 == 0 && symmetry::is_symmetric(config)
+    n % 2 == 1 && k.is_multiple_of(2) && symmetry::is_symmetric(config)
 }
 
 /// Lemma 8: a configuration in which all `k < n` robots occupy consecutive
@@ -55,24 +55,16 @@ pub fn demonstrate_two_robot_failure(n: usize, rounds: u64) -> u64 {
     assert!(n >= 4);
     let ring = Ring::new(n);
     let initial = Configuration::new_exclusive(ring, &[0, 1]).expect("valid");
-    let mut sim = Simulator::new(
-        TwoRobotSlide,
-        initial.clone(),
-        SimulatorOptions::for_protocol(&TwoRobotSlide),
-    )
-    .expect("valid simulator");
+    let mut engine = Engine::with_default_options(TwoRobotSlide, initial.clone())
+        .expect("valid initial configuration");
+    // Contamination implements Monitor, so it observes the run directly.
     let mut contamination = Contamination::initial(&initial);
     let mut scheduler = RoundRobinScheduler::new();
     let mut survived = 0;
     for _ in 0..rounds {
-        let step = scheduler.next(&sim.scheduler_view());
-        match sim.apply(&step) {
-            Ok(records) => {
-                for rec in records {
-                    contamination.observe_move(rec.from, rec.to, sim.configuration());
-                }
-            }
-            Err(_) => return survived, // a collision also demonstrates failure
+        let step = scheduler.next(&engine.scheduler_view());
+        if engine.step(&step, &mut contamination).is_err() {
+            return survived; // a collision also demonstrates failure
         }
         if contamination.all_clear() {
             return survived;
@@ -119,10 +111,22 @@ mod tests {
 
     #[test]
     fn structural_reasons_cover_the_small_cases() {
-        assert_eq!(structural_reason(7, 4), Some(ImpossibilityReason::SmallRing));
-        assert_eq!(structural_reason(12, 2), Some(ImpossibilityReason::TwoRobots));
-        assert_eq!(structural_reason(12, 10), Some(ImpossibilityReason::NMinusTwoRobots));
-        assert_eq!(structural_reason(12, 11), Some(ImpossibilityReason::NMinusOneRobots));
+        assert_eq!(
+            structural_reason(7, 4),
+            Some(ImpossibilityReason::SmallRing)
+        );
+        assert_eq!(
+            structural_reason(12, 2),
+            Some(ImpossibilityReason::TwoRobots)
+        );
+        assert_eq!(
+            structural_reason(12, 10),
+            Some(ImpossibilityReason::NMinusTwoRobots)
+        );
+        assert_eq!(
+            structural_reason(12, 11),
+            Some(ImpossibilityReason::NMinusOneRobots)
+        );
         assert_eq!(structural_reason(12, 5), None);
         assert_eq!(structural_reason(10, 4), None); // open, not impossible
     }

@@ -26,7 +26,7 @@ pub mod game;
 pub mod impossibility;
 pub mod verify;
 
-pub use characterization::{build_characterization, CharacterizationCell, CellStatus};
+pub use characterization::{build_characterization, CellStatus, CharacterizationCell};
 pub use enumeration::{configuration_graph, ConfigurationGraph};
 pub use game::{exhaustive_impossibility, GameOutcome};
 pub use verify::{verify_gathering, verify_searching, VerificationReport};

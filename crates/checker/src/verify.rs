@@ -8,9 +8,11 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_core::align::{run_to_c_star, AlignProtocol};
-use rr_core::clearing::{run_searching, SearchingRunStats};
-use rr_core::gathering::run_gathering;
+use rr_corda::Scheduler;
+use rr_core::align::run_to_c_star;
+use rr_core::clearing::SearchingRunStats;
+use rr_core::driver::{run_dispatched, TaskError, TaskTargets};
+use rr_core::gathering::GatheringRunStats;
 use rr_core::unified::{protocol_for, Task};
 use rr_ring::enumerate::{enumerate_rigid_configurations, random_rigid_configuration};
 use rr_ring::{supermin_view, Configuration};
@@ -53,27 +55,49 @@ pub struct VerificationReport {
     pub details: String,
 }
 
+/// Builds the scheduler described by `kind` and hands it to `f`.
+fn with_scheduler<R>(kind: SchedulerKind, seed: u64, f: impl FnOnce(&mut dyn Scheduler) -> R) -> R {
+    match kind {
+        SchedulerKind::RoundRobin => f(&mut RoundRobinScheduler::new()),
+        SchedulerKind::SemiSynchronous => f(&mut SemiSynchronousScheduler::seeded(seed)),
+        SchedulerKind::Asynchronous => f(&mut AsynchronousScheduler::seeded(seed)),
+    }
+}
+
 fn scheduler_run_searching(
-    protocol: rr_core::unified::UnifiedProtocol,
     config: &Configuration,
     kind: SchedulerKind,
     seed: u64,
     budget: u64,
-) -> Result<SearchingRunStats, rr_corda::SimError> {
-    match kind {
-        SchedulerKind::RoundRobin => {
-            let mut s = RoundRobinScheduler::new();
-            run_searching(protocol, config, &mut s, 3, 1, budget)
-        }
-        SchedulerKind::SemiSynchronous => {
-            let mut s = SemiSynchronousScheduler::seeded(seed);
-            run_searching(protocol, config, &mut s, 3, 1, budget)
-        }
-        SchedulerKind::Asynchronous => {
-            let mut s = AsynchronousScheduler::seeded(seed);
-            run_searching(protocol, config, &mut s, 3, 1, budget)
-        }
-    }
+) -> Result<SearchingRunStats, TaskError> {
+    let report = with_scheduler(kind, seed, |s| {
+        run_dispatched(
+            Task::GraphSearching,
+            config,
+            s,
+            TaskTargets::demonstrate(3, 1),
+            budget,
+        )
+    })?;
+    Ok(report.searching().expect("searching stats"))
+}
+
+fn scheduler_run_gathering(
+    config: &Configuration,
+    kind: SchedulerKind,
+    seed: u64,
+    budget: u64,
+) -> Result<GatheringRunStats, TaskError> {
+    let report = with_scheduler(kind, seed, |s| {
+        run_dispatched(
+            Task::Gathering,
+            config,
+            s,
+            TaskTargets::open_ended(),
+            budget,
+        )
+    })?;
+    Ok(report.gathering().expect("gathering stats"))
 }
 
 /// Verifies exclusive perpetual graph searching (and exploration) for
@@ -83,7 +107,7 @@ fn scheduler_run_searching(
 /// scheduler) in each run.
 #[must_use]
 pub fn verify_searching(n: usize, k: usize, samples: usize, seed: u64) -> VerificationReport {
-    let Some(protocol) = protocol_for(Task::GraphSearching, n, k) else {
+    if protocol_for(Task::GraphSearching, n, k).is_none() {
         return VerificationReport {
             n,
             k,
@@ -92,7 +116,7 @@ pub fn verify_searching(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
             runs: 0,
             details: "no algorithm claimed for these parameters".into(),
         };
-    };
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut starts: Vec<Configuration> = Vec::new();
     for _ in 0..samples {
@@ -101,7 +125,10 @@ pub fn verify_searching(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
         }
     }
     if starts.is_empty() {
-        starts = enumerate_rigid_configurations(n, k).into_iter().take(samples.max(1)).collect();
+        starts = enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .take(samples.max(1))
+            .collect();
     }
     let budget = 4_000 * (n as u64) + 40_000;
     let mut runs = 0;
@@ -109,7 +136,7 @@ pub fn verify_searching(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
     let mut ok = true;
     for (i, start) in starts.iter().enumerate() {
         for kind in SchedulerKind::ALL {
-            let stats = match scheduler_run_searching(protocol, start, kind, seed ^ (i as u64), budget) {
+            let stats = match scheduler_run_searching(start, kind, seed ^ (i as u64), budget) {
                 Ok(s) => s,
                 Err(e) => {
                     return VerificationReport {
@@ -164,7 +191,10 @@ pub fn verify_gathering(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
         }
     }
     if starts.is_empty() {
-        starts = enumerate_rigid_configurations(n, k).into_iter().take(samples.max(1)).collect();
+        starts = enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .take(samples.max(1))
+            .collect();
     }
     let budget = 6_000 * (n as u64) + 60_000;
     let mut runs = 0;
@@ -172,21 +202,14 @@ pub fn verify_gathering(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
     let mut ok = !starts.is_empty();
     for (i, start) in starts.iter().enumerate() {
         for kind in SchedulerKind::ALL {
-            let result = match kind {
-                SchedulerKind::RoundRobin => {
-                    let mut s = RoundRobinScheduler::new();
-                    run_gathering(start, &mut s, budget)
-                }
-                SchedulerKind::SemiSynchronous => {
-                    let mut s = SemiSynchronousScheduler::seeded(seed ^ (i as u64));
-                    run_gathering(start, &mut s, budget)
-                }
-                SchedulerKind::Asynchronous => {
-                    let mut s = AsynchronousScheduler::seeded(seed ^ (i as u64));
-                    run_gathering(start, &mut s, budget * 2)
-                }
+            // The asynchronous adversary interleaves Look and Move steps, so
+            // it needs roughly twice the budget for the same progress.
+            let kind_budget = if kind == SchedulerKind::Asynchronous {
+                budget * 2
+            } else {
+                budget
             };
-            match result {
+            match scheduler_run_gathering(start, kind, seed ^ (i as u64), kind_budget) {
                 Ok(stats) => {
                     runs += 1;
                     moves_total += stats.moves;
@@ -213,7 +236,14 @@ pub fn verify_gathering(n: usize, k: usize, samples: usize, seed: u64) -> Verifi
         task: "gathering".into(),
         verified: ok,
         runs,
-        details: format!("average moves {}", if runs > 0 { moves_total / runs as u64 } else { 0 }),
+        details: format!(
+            "average moves {}",
+            if runs > 0 {
+                moves_total / runs as u64
+            } else {
+                0
+            }
+        ),
     }
 }
 
@@ -243,7 +273,10 @@ pub struct AlignStats {
 #[must_use]
 pub fn measure_align(n: usize, k: usize, max_starts: usize) -> AlignStats {
     let starts: Vec<Configuration> = if n <= 14 {
-        enumerate_rigid_configurations(n, k).into_iter().take(max_starts).collect()
+        enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .take(max_starts)
+            .collect()
     } else {
         let mut rng = ChaCha8Rng::seed_from_u64(0xA11C0 ^ ((n as u64) << 8) ^ k as u64);
         let cap = max_starts.min(256);
@@ -275,7 +308,6 @@ pub fn measure_align(n: usize, k: usize, max_starts: usize) -> AlignStats {
             Err(_) => all_converged = false,
         }
     }
-    let _ = AlignProtocol;
     AlignStats {
         n,
         k,

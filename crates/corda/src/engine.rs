@@ -1,0 +1,781 @@
+//! The unified execution engine: owns the configuration, executes
+//! Look–Compute–Move cycles through **one** stepping pipeline
+//! ([`Engine::step`]) and enforces the model's rules (instantaneous moves,
+//! exclusivity when required, pending moves under asynchrony).
+//!
+//! Every way of advancing a simulation — an atomic cycle, a semi-synchronous
+//! round, a split Look or Execute under the asynchronous adversary — is a
+//! [`SchedulerStep`] applied by [`Engine::step`]; there are no other entry
+//! points.  Observation is composable rather than hard-wired: `step` drives
+//! any [`Monitor`] (look/move/step hooks), and [`Engine::run`] loops
+//! scheduler → step → monitor until a stop condition holds.
+
+use rr_ring::{Configuration, Direction, NodeId, Ring};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::monitor::Monitor;
+use crate::protocol::{Decision, Protocol, ViewIndex};
+use crate::robot::{Phase, RobotId, RobotState};
+use crate::scheduler::{Scheduler, SchedulerStep, SchedulerView};
+use crate::snapshot::{MultiplicityCapability, Snapshot};
+use crate::trace::{Event, Trace};
+
+/// Which global direction is presented as `views[0]` of a snapshot.
+///
+/// Correct protocols must be insensitive to this; the option exists so tests
+/// can verify that insensitivity and so the adversary can be as nasty as the
+/// model allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ViewOrder {
+    /// Always present the clockwise view first (deterministic default).
+    #[default]
+    CwFirst,
+    /// Always present the counter-clockwise view first.
+    CcwFirst,
+    /// Alternate between the two on successive Look operations.
+    Alternating,
+}
+
+/// Options controlling an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// The multiplicity-detection capability granted to the robots.
+    pub capability: MultiplicityCapability,
+    /// Whether a move onto an occupied node is a fatal error (true for the
+    /// exclusive tasks, false for gathering).
+    pub enforce_exclusivity: bool,
+    /// Whether to record an event [`Trace`].
+    pub record_trace: bool,
+    /// Snapshot view ordering policy.
+    pub view_order: ViewOrder,
+}
+
+/// Former name of [`EngineOptions`], kept for continuity.
+pub type SimulatorOptions = EngineOptions;
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            capability: MultiplicityCapability::None,
+            enforce_exclusivity: true,
+            record_trace: false,
+            view_order: ViewOrder::CwFirst,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options suitable for a given protocol: capability and exclusivity are
+    /// taken from the protocol's declaration.
+    #[must_use]
+    pub fn for_protocol<P: Protocol + ?Sized>(protocol: &P) -> Self {
+        EngineOptions {
+            capability: protocol.capability(),
+            enforce_exclusivity: protocol.requires_exclusivity(),
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the view ordering policy.
+    #[must_use]
+    pub fn with_view_order(mut self, order: ViewOrder) -> Self {
+        self.view_order = order;
+        self
+    }
+}
+
+/// Record of one executed move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveRecord {
+    /// The robot that moved.
+    pub robot: RobotId,
+    /// Node it left.
+    pub from: NodeId,
+    /// Node it reached.
+    pub to: NodeId,
+    /// Global step counter at which the move completed.
+    pub step: u64,
+}
+
+/// What one application of [`Engine::step`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Moves executed by this step, in execution order.
+    pub moves: Vec<MoveRecord>,
+    /// Number of *fresh* Look + Compute phases performed (pending decisions
+    /// that were merely re-confirmed do not count).
+    pub looks: u32,
+    /// Number of idle decisions completed (robot activated, chose to stay).
+    pub idles: u32,
+}
+
+impl StepReport {
+    /// Whether any robot moved during this step.
+    #[must_use]
+    pub fn moved(&self) -> bool {
+        !self.moves.is_empty()
+    }
+}
+
+/// Why an [`Engine::run`] loop stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The user-supplied stop condition became true.
+    ConditionMet,
+    /// The step budget was exhausted before the stop condition held.
+    StepBudgetExhausted,
+    /// The simulation failed (e.g. an exclusivity violation).
+    Failed(SimError),
+}
+
+/// Summary of an [`Engine::run`] loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Why the loop stopped.
+    pub outcome: RunOutcome,
+    /// Number of scheduler steps executed.
+    pub steps: u64,
+    /// Number of robot moves executed.
+    pub moves: u64,
+}
+
+impl RunReport {
+    /// Whether the run stopped because the stop condition was met.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, RunOutcome::ConditionMet)
+    }
+}
+
+/// The Look–Compute–Move execution engine.
+///
+/// One `Engine` owns one run: the protocol, the evolving configuration, the
+/// per-robot bookkeeping (pending decisions, cycle counts) and the optional
+/// event trace.  It is advanced exclusively through [`Engine::step`].
+#[derive(Debug, Clone)]
+pub struct Engine<P> {
+    protocol: P,
+    ring: Ring,
+    config: Configuration,
+    robots: Vec<RobotState>,
+    options: EngineOptions,
+    trace: Trace,
+    step: u64,
+    moves: u64,
+    looks: u64,
+}
+
+/// Former name of [`Engine`], kept for continuity.
+pub type Simulator<P> = Engine<P>;
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine for `protocol` starting from `initial`.
+    ///
+    /// One robot is created per unit of multiplicity of the initial
+    /// configuration; robots on the same node receive consecutive ids.
+    pub fn new(
+        protocol: P,
+        initial: Configuration,
+        options: EngineOptions,
+    ) -> Result<Self, SimError> {
+        if options.enforce_exclusivity && !initial.is_exclusive() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "exclusivity is required but the initial configuration has a multiplicity"
+                    .to_string(),
+            });
+        }
+        let mut robots = Vec::with_capacity(initial.num_robots());
+        for v in initial.occupied_nodes() {
+            for _ in 0..initial.count_at(v) {
+                robots.push(RobotState::new(v));
+            }
+        }
+        if robots.is_empty() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "no robot in the initial configuration".to_string(),
+            });
+        }
+        let trace = if options.record_trace {
+            Trace::recording()
+        } else {
+            Trace::disabled()
+        };
+        Ok(Engine {
+            protocol,
+            ring: initial.ring(),
+            config: initial,
+            robots,
+            options,
+            trace,
+            step: 0,
+            moves: 0,
+            looks: 0,
+        })
+    }
+
+    /// Creates an engine with the options implied by the protocol declaration
+    /// (capability + exclusivity).
+    pub fn with_default_options(protocol: P, initial: Configuration) -> Result<Self, SimError> {
+        let options = EngineOptions::for_protocol(&protocol);
+        Engine::new(protocol, initial, options)
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The underlying ring.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The protocol under simulation.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of robots.
+    #[must_use]
+    pub fn num_robots(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// Per-robot engine state.
+    #[must_use]
+    pub fn robots(&self) -> &[RobotState] {
+        &self.robots
+    }
+
+    /// Current node of each robot, indexed by robot id.
+    #[must_use]
+    pub fn positions(&self) -> Vec<NodeId> {
+        self.robots.iter().map(|r| r.node).collect()
+    }
+
+    /// Global step counter (incremented once per Look and once per
+    /// Move/Idle execution).
+    #[must_use]
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Total number of moves executed so far.
+    #[must_use]
+    pub fn move_count(&self) -> u64 {
+        self.moves
+    }
+
+    /// Total number of Look operations executed so far.
+    #[must_use]
+    pub fn look_count(&self) -> u64 {
+        self.looks
+    }
+
+    /// The recorded trace (empty unless trace recording was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Engine options.
+    #[must_use]
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// A scheduler-facing summary of the current state.
+    #[must_use]
+    pub fn scheduler_view(&self) -> SchedulerView {
+        SchedulerView {
+            step: self.step,
+            pending: self.robots.iter().map(RobotState::has_pending).collect(),
+            pending_moves: self
+                .robots
+                .iter()
+                .map(RobotState::has_pending_move)
+                .collect(),
+            num_robots: self.robots.len(),
+        }
+    }
+
+    fn check_robot(&self, robot: RobotId) -> Result<(), SimError> {
+        if robot >= self.robots.len() {
+            Err(SimError::UnknownRobot {
+                robot,
+                k: self.robots.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn first_direction(&self) -> Direction {
+        match self.options.view_order {
+            ViewOrder::CwFirst => Direction::Cw,
+            ViewOrder::CcwFirst => Direction::Ccw,
+            ViewOrder::Alternating => {
+                if self.looks.is_multiple_of(2) {
+                    Direction::Cw
+                } else {
+                    Direction::Ccw
+                }
+            }
+        }
+    }
+
+    /// Look + Compute phase of one robot (pipeline stage, private).
+    ///
+    /// Takes a snapshot of the **current** configuration and stores the
+    /// resulting pending action.  If the robot already has a pending action
+    /// the call leaves it untouched: the CORDA model never lets a robot look
+    /// twice without completing its cycle in between.  Returns whether a
+    /// fresh Look was performed and the (possibly pre-existing) decision.
+    fn look_compute<M: Monitor + ?Sized>(
+        &mut self,
+        robot: RobotId,
+        monitor: &mut M,
+    ) -> Result<(bool, Decision), SimError> {
+        self.check_robot(robot)?;
+        if self.robots[robot].has_pending() {
+            // Already computed: report the pending decision without re-looking.
+            let decision = match self.robots[robot].phase {
+                Phase::MovePending { target } => {
+                    let dir =
+                        if self.ring.neighbor(self.robots[robot].node, Direction::Cw) == target {
+                            ViewIndex::First
+                        } else {
+                            ViewIndex::Second
+                        };
+                    Decision::Move(dir)
+                }
+                Phase::IdlePending => Decision::Idle,
+                Phase::Ready => unreachable!("has_pending() checked"),
+            };
+            return Ok((false, decision));
+        }
+        let node = self.robots[robot].node;
+        let first_dir = self.first_direction();
+        let snapshot = Snapshot::capture(&self.config, node, self.options.capability, first_dir);
+        let decision = self.protocol.compute(&snapshot);
+        self.looks += 1;
+        self.step += 1;
+        match decision {
+            Decision::Idle => {
+                self.robots[robot].phase = Phase::IdlePending;
+            }
+            Decision::Move(idx) => {
+                let dir = match idx {
+                    ViewIndex::First => first_dir,
+                    ViewIndex::Second => first_dir.opposite(),
+                };
+                let target = self.ring.neighbor(node, dir);
+                self.robots[robot].phase = Phase::MovePending { target };
+            }
+        }
+        self.trace.push(Event::Looked {
+            robot,
+            step: self.step,
+            decided_to_move: decision.is_move(),
+        });
+        monitor.on_look(robot, decision, &self.config);
+        Ok((true, decision))
+    }
+
+    /// Move phase of one robot (pipeline stage, private).
+    ///
+    /// Executes the pending action, if any, appending to the step report.
+    fn execute_move(&mut self, robot: RobotId, report: &mut StepReport) -> Result<(), SimError> {
+        self.check_robot(robot)?;
+        match self.robots[robot].phase {
+            Phase::Ready => Ok(()),
+            Phase::IdlePending => {
+                self.step += 1;
+                self.robots[robot].phase = Phase::Ready;
+                self.robots[robot].cycles += 1;
+                self.trace.push(Event::StayedIdle {
+                    robot,
+                    step: self.step,
+                });
+                report.idles += 1;
+                Ok(())
+            }
+            Phase::MovePending { target } => {
+                let from = self.robots[robot].node;
+                if self.options.enforce_exclusivity && self.config.is_occupied(target) {
+                    return Err(SimError::ExclusivityViolation {
+                        robot,
+                        node: target,
+                    });
+                }
+                self.config
+                    .move_robot(from, target)
+                    .map_err(|e| SimError::InvalidMove {
+                        reason: e.to_string(),
+                    })?;
+                self.step += 1;
+                self.moves += 1;
+                self.robots[robot].node = target;
+                self.robots[robot].phase = Phase::Ready;
+                self.robots[robot].cycles += 1;
+                self.robots[robot].moves += 1;
+                let record = MoveRecord {
+                    robot,
+                    from,
+                    to: target,
+                    step: self.step,
+                };
+                self.trace.push(Event::Moved {
+                    robot,
+                    from,
+                    to: target,
+                    step: self.step,
+                });
+                report.moves.push(record);
+                Ok(())
+            }
+        }
+    }
+
+    /// **The** stepping pipeline: applies one scheduler step and notifies
+    /// `monitor` of everything that happened.
+    ///
+    /// * [`SchedulerStep::SsyncRound`] — all listed robots Look + Compute on
+    ///   the same configuration, then all of them execute their action
+    ///   (robots with a pending action keep it; they do not re-look).  With a
+    ///   single robot this is an atomic Look–Compute–Move cycle.
+    /// * [`SchedulerStep::Look`] — the robot performs only Look + Compute.
+    /// * [`SchedulerStep::Execute`] — the robot executes its pending action,
+    ///   however stale its snapshot has become (the CORDA pending-move rule).
+    ///
+    /// Moves within one scheduler step are simultaneous in the model, so the
+    /// monitor's `on_move` hook is invoked only after the whole step has been
+    /// applied, with the post-step configuration — observers never see a
+    /// half-completed round.  Pass `&mut ()` as the monitor to run
+    /// unobserved.
+    pub fn step<M: Monitor + ?Sized>(
+        &mut self,
+        step: &SchedulerStep,
+        monitor: &mut M,
+    ) -> Result<StepReport, SimError> {
+        let mut report = StepReport::default();
+        match step {
+            SchedulerStep::SsyncRound(robots) => {
+                for &r in robots {
+                    if self.look_compute(r, monitor)?.0 {
+                        report.looks += 1;
+                    }
+                }
+                for &r in robots {
+                    self.execute_move(r, &mut report)?;
+                }
+            }
+            SchedulerStep::Look(robot) => {
+                if self.look_compute(*robot, monitor)?.0 {
+                    report.looks += 1;
+                }
+            }
+            SchedulerStep::Execute(robot) => {
+                self.execute_move(*robot, &mut report)?;
+            }
+        }
+        for record in &report.moves {
+            monitor.on_move(record, &self.config);
+        }
+        monitor.on_step(&report, &self.config);
+        Ok(report)
+    }
+
+    /// Drives the engine with `scheduler` until `stop` returns true or
+    /// `max_scheduler_steps` scheduler steps have been applied.
+    ///
+    /// `monitor` observes every step (pass `&mut ()` for none); `stop` sees
+    /// both the engine and the monitor, so stop conditions can be phrased
+    /// over observed properties ("three clearings demonstrated") as well as
+    /// over engine state ("configuration gathered").
+    pub fn run<S, M, F>(
+        &mut self,
+        scheduler: &mut S,
+        monitor: &mut M,
+        max_scheduler_steps: u64,
+        mut stop: F,
+    ) -> RunReport
+    where
+        S: Scheduler + ?Sized,
+        M: Monitor + ?Sized,
+        F: FnMut(&Engine<P>, &M) -> bool,
+    {
+        let mut steps = 0u64;
+        let moves_before = self.moves;
+        loop {
+            if stop(self, monitor) {
+                return RunReport {
+                    outcome: RunOutcome::ConditionMet,
+                    steps,
+                    moves: self.moves - moves_before,
+                };
+            }
+            if steps >= max_scheduler_steps {
+                return RunReport {
+                    outcome: RunOutcome::StepBudgetExhausted,
+                    steps,
+                    moves: self.moves - moves_before,
+                };
+            }
+            let step = scheduler.next(&self.scheduler_view());
+            if let Err(e) = self.step(&step, monitor) {
+                return RunReport {
+                    outcome: RunOutcome::Failed(e),
+                    steps,
+                    moves: self.moves - moves_before,
+                };
+            }
+            steps += 1;
+        }
+    }
+
+    /// Convenience wrapper around [`Engine::run`] without a monitor.
+    pub fn run_until<S, F>(&mut self, scheduler: &mut S, max_steps: u64, mut stop: F) -> RunReport
+    where
+        S: Scheduler + ?Sized,
+        F: FnMut(&Engine<P>) -> bool,
+    {
+        self.run(scheduler, &mut (), max_steps, |engine, ()| stop(engine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MoveLog;
+    use crate::protocol::{GreedyGapWalker, IdleProtocol};
+    use crate::scheduler::RoundRobinScheduler;
+    use rr_ring::Configuration;
+
+    fn cfg(gaps: &[usize]) -> Configuration {
+        Configuration::from_gaps_at_origin(gaps)
+    }
+
+    /// One atomic Look–Compute–Move cycle, as a scheduler step.
+    fn cycle(robot: RobotId) -> SchedulerStep {
+        SchedulerStep::SsyncRound(vec![robot])
+    }
+
+    #[test]
+    fn construction_places_one_robot_per_unit_of_multiplicity() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 0, 0, 0]).unwrap();
+        let engine = Engine::new(
+            IdleProtocol,
+            c,
+            EngineOptions {
+                enforce_exclusivity: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.num_robots(), 3);
+        assert_eq!(engine.positions(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn exclusivity_is_checked_at_construction() {
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 0, 0, 0]).unwrap();
+        let err = Engine::new(IdleProtocol, c, EngineOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadInitialConfiguration { .. }));
+    }
+
+    #[test]
+    fn idle_protocol_never_changes_configuration() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut engine = Engine::with_default_options(IdleProtocol, c.clone()).unwrap();
+        for r in 0..engine.num_robots() {
+            let report = engine.step(&cycle(r), &mut ()).unwrap();
+            assert!(!report.moved());
+            assert_eq!(report.idles, 1);
+        }
+        assert_eq!(engine.configuration(), &c);
+        assert_eq!(engine.move_count(), 0);
+        assert!(engine.robots().iter().all(|r| r.cycles == 1));
+    }
+
+    #[test]
+    fn greedy_walker_moves_and_is_traced() {
+        let c = cfg(&[3, 4]); // two robots, gaps 3 and 4 on a 9-ring
+        let options = EngineOptions::for_protocol(&GreedyGapWalker).with_trace();
+        let mut engine = Engine::new(GreedyGapWalker, c, options).unwrap();
+        let report = engine.step(&cycle(0), &mut ()).unwrap();
+        assert_eq!(report.moves.len(), 1);
+        assert_eq!(report.moves[0].robot, 0);
+        assert_eq!(engine.move_count(), 1);
+        assert_eq!(engine.trace().len(), 2); // Looked + Moved
+        assert_eq!(engine.trace().moves().count(), 1);
+    }
+
+    #[test]
+    fn monitor_hooks_fire_during_step() {
+        let c = cfg(&[3, 4]);
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let mut log = MoveLog::default();
+        let report = engine.step(&cycle(0), &mut log).unwrap();
+        assert_eq!(log.moves, report.moves);
+    }
+
+    #[test]
+    fn monitors_observe_the_post_step_configuration() {
+        // Moves within a round are simultaneous: every on_move of a
+        // two-robot SSYNC round must see the configuration with BOTH moves
+        // applied, never a half-completed round.
+        struct SeenConfigs(Vec<Configuration>);
+        impl crate::monitor::Monitor for SeenConfigs {
+            fn on_move(&mut self, _record: &MoveRecord, after: &Configuration) {
+                self.0.push(after.clone());
+            }
+        }
+        let c = cfg(&[0, 6]); // adjacent robots walk apart simultaneously
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let mut seen = SeenConfigs(Vec::new());
+        engine
+            .step(&SchedulerStep::SsyncRound(vec![0, 1]), &mut seen)
+            .unwrap();
+        assert_eq!(seen.0.len(), 2);
+        for observed in &seen.0 {
+            assert_eq!(observed, engine.configuration());
+        }
+    }
+
+    #[test]
+    fn pending_moves_use_outdated_snapshots() {
+        // Robot 0 looks, then robot 2 moves, then robot 0 executes its stale move.
+        let c = cfg(&[1, 1, 4]); // robots at 0, 2, 4 on a 9-ring
+        let mut engine = Engine::new(
+            GreedyGapWalker,
+            c,
+            EngineOptions {
+                enforce_exclusivity: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let before = engine.positions();
+        engine.step(&cycle(2), &mut ()).unwrap();
+        // Robot 0 still executes the move it computed before robot 2 moved.
+        let report = engine.step(&SchedulerStep::Execute(0), &mut ()).unwrap();
+        assert_eq!(report.moves.len(), 1, "stale move still executes");
+        assert_eq!(report.moves[0].from, before[0]);
+    }
+
+    #[test]
+    fn double_look_does_not_recompute() {
+        let c = cfg(&[3, 4]);
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let r1 = engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let looks = engine.look_count();
+        let r2 = engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        assert_eq!(engine.look_count(), looks, "second look is a no-op");
+        assert_eq!(r1.looks, 1);
+        assert_eq!(
+            r2.looks, 0,
+            "re-look of a pending robot is not a fresh look"
+        );
+    }
+
+    #[test]
+    fn exclusivity_violation_is_reported() {
+        // Two adjacent robots walking towards each other's node.
+        #[derive(Debug)]
+        struct TowardsOther;
+        impl Protocol for TowardsOther {
+            fn name(&self) -> &str {
+                "towards-other"
+            }
+            fn compute(&self, snapshot: &Snapshot) -> Decision {
+                // Move towards the closer occupied node.
+                let a = snapshot.views[0].gap(0);
+                let b = snapshot.views[1].gap(0);
+                if a <= b {
+                    Decision::Move(ViewIndex::First)
+                } else {
+                    Decision::Move(ViewIndex::Second)
+                }
+            }
+        }
+        let c = cfg(&[0, 6]); // adjacent robots on an 8-ring
+        let mut engine = Engine::with_default_options(TowardsOther, c).unwrap();
+        let err = engine.step(&cycle(0), &mut ()).unwrap_err();
+        assert!(matches!(err, SimError::ExclusivityViolation { .. }));
+    }
+
+    #[test]
+    fn ssync_round_looks_before_moving() {
+        // Under a fully synchronous round both adjacent robots see each other
+        // *before* either moves; with the greedy walker both walk away from
+        // each other into their larger gaps — no collision.
+        let c = cfg(&[0, 6]);
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let report = engine
+            .step(&SchedulerStep::SsyncRound(vec![0, 1]), &mut ())
+            .unwrap();
+        assert_eq!(report.moves.len(), 2);
+        assert_eq!(report.looks, 2);
+        assert!(engine.configuration().is_exclusive());
+    }
+
+    #[test]
+    fn run_until_stops_on_condition() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        let report = engine.run_until(&mut sched, 1000, |e| e.move_count() >= 5);
+        assert!(report.succeeded());
+        assert_eq!(engine.move_count(), 5);
+    }
+
+    #[test]
+    fn run_reports_step_budget_exhaustion() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut engine = Engine::with_default_options(IdleProtocol, c).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        let report = engine.run_until(&mut sched, 17, |_| false);
+        assert_eq!(report.outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(report.steps, 17);
+        assert_eq!(report.moves, 0);
+    }
+
+    #[test]
+    fn run_feeds_the_monitor_and_stop_sees_it() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut engine = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        let mut log = MoveLog::default();
+        let report = engine.run(&mut sched, &mut log, 1000, |_, log: &MoveLog| {
+            log.moves.len() >= 3
+        });
+        assert!(report.succeeded());
+        assert_eq!(log.moves.len(), 3);
+        assert_eq!(engine.move_count(), 3);
+    }
+
+    #[test]
+    fn unknown_robot_is_rejected() {
+        let c = cfg(&[0, 1, 2, 5]);
+        let mut engine = Engine::with_default_options(IdleProtocol, c).unwrap();
+        let look = engine.step(&SchedulerStep::Look(99), &mut ());
+        assert!(matches!(look, Err(SimError::UnknownRobot { .. })));
+        let execute = engine.step(&SchedulerStep::Execute(99), &mut ());
+        assert!(matches!(execute, Err(SimError::UnknownRobot { .. })));
+    }
+}

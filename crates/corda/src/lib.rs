@@ -16,24 +16,31 @@
 //!   asynchronous with pending moves, and scripted adversaries used by the
 //!   impossibility arguments.
 //!
-//! The [`Simulator`] owns the global configuration and robot bookkeeping (ids,
-//! pending moves); protocols never see any of it.
+//! The [`Engine`] owns the global configuration and robot bookkeeping (ids,
+//! pending moves); protocols never see any of it.  Every way of advancing a
+//! run goes through the single [`Engine::step`] pipeline, and observation is
+//! composed from [`Monitor`] implementations rather than hard-wired per task.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
+pub mod monitor;
 pub mod protocol;
 pub mod robot;
 pub mod scheduler;
-pub mod simulator;
 pub mod snapshot;
 pub mod trace;
 
+pub use engine::{
+    Engine, EngineOptions, MoveRecord, RunOutcome, RunReport, Simulator, SimulatorOptions,
+    StepReport, ViewOrder,
+};
 pub use error::SimError;
+pub use monitor::{Monitor, MoveLog};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
 pub use scheduler::{Scheduler, SchedulerStep, SchedulerView};
-pub use simulator::{MoveRecord, RunOutcome, RunReport, Simulator, SimulatorOptions};
 pub use snapshot::{MultiplicityCapability, Snapshot};
 pub use trace::{Event, Trace};

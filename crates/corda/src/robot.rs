@@ -43,7 +43,12 @@ impl RobotState {
     /// A freshly placed robot, ready to Look.
     #[must_use]
     pub fn new(node: NodeId) -> Self {
-        RobotState { node, phase: Phase::Ready, cycles: 0, moves: 0 }
+        RobotState {
+            node,
+            phase: Phase::Ready,
+            cycles: 0,
+            moves: 0,
+        }
     }
 
     /// Whether the robot has a pending (move or idle) action.

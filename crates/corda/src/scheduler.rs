@@ -91,7 +91,9 @@ impl SemiSynchronousScheduler {
     /// Creates the scheduler from a seed (deterministic given the seed).
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        SemiSynchronousScheduler { rng: ChaCha8Rng::seed_from_u64(seed) }
+        SemiSynchronousScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -157,7 +159,11 @@ impl AsynchronousScheduler {
     /// Creates the scheduler from a seed (deterministic given the seed).
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        AsynchronousScheduler { rng: ChaCha8Rng::seed_from_u64(seed), fairness_window: 64, ages: Vec::new() }
+        AsynchronousScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            fairness_window: 64,
+            ages: Vec::new(),
+        }
     }
 
     /// Sets the fairness window (maximum delay, in scheduler steps, before a
@@ -176,14 +182,16 @@ impl Scheduler for AsynchronousScheduler {
             self.ages = vec![view.step; k];
         }
         // Forcibly flush actions that have been pending too long.
-        if let Some(r) = (0..k).find(|&r| view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window)
-        {
+        if let Some(r) = (0..k).find(|&r| {
+            view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window
+        }) {
             self.ages[r] = view.step;
             return SchedulerStep::Execute(r);
         }
         // Forcibly wake robots that have been silent too long.
         if let Some(r) = (0..k).find(|&r| {
-            !view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
+            !view.pending[r]
+                && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
         }) {
             self.ages[r] = view.step;
             return SchedulerStep::Look(r);
@@ -349,7 +357,11 @@ mod tests {
 
     #[test]
     fn scripted_scheduler_replays_and_loops() {
-        let script = vec![SchedulerStep::Look(0), SchedulerStep::Execute(0), SchedulerStep::SsyncRound(vec![1])];
+        let script = vec![
+            SchedulerStep::Look(0),
+            SchedulerStep::Execute(0),
+            SchedulerStep::SsyncRound(vec![1]),
+        ];
         let mut s = ScriptedScheduler::looping(script.clone());
         let v = view(2, &[false, false]);
         for i in 0..9 {

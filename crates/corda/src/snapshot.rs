@@ -80,7 +80,11 @@ impl Snapshot {
             }
             _ => None,
         };
-        Snapshot { views, on_multiplicity, global_multiplicities }
+        Snapshot {
+            views,
+            on_multiplicity,
+            global_multiplicities,
+        }
     }
 
     /// Number of occupied nodes visible in the snapshot.

@@ -71,13 +71,19 @@ impl Trace {
     /// A trace that records events.
     #[must_use]
     pub fn recording() -> Self {
-        Trace { events: Vec::new(), recording: true }
+        Trace {
+            events: Vec::new(),
+            recording: true,
+        }
     }
 
     /// A trace that drops events (for long benchmark runs).
     #[must_use]
     pub fn disabled() -> Self {
-        Trace { events: Vec::new(), recording: false }
+        Trace {
+            events: Vec::new(),
+            recording: false,
+        }
     }
 
     /// Appends an event (no-op when recording is disabled).
@@ -108,7 +114,9 @@ impl Trace {
     /// Iterator over the recorded move events.
     pub fn moves(&self) -> impl Iterator<Item = (RobotId, NodeId, NodeId)> + '_ {
         self.events.iter().filter_map(|e| match e {
-            Event::Moved { robot, from, to, .. } => Some((*robot, *from, *to)),
+            Event::Moved {
+                robot, from, to, ..
+            } => Some((*robot, *from, *to)),
             _ => None,
         })
     }
@@ -133,21 +141,45 @@ mod tests {
     #[test]
     fn recording_and_disabled_traces() {
         let mut t = Trace::recording();
-        t.push(Event::Looked { robot: 0, step: 1, decided_to_move: true });
-        t.push(Event::Moved { robot: 0, from: 3, to: 4, step: 2 });
+        t.push(Event::Looked {
+            robot: 0,
+            step: 1,
+            decided_to_move: true,
+        });
+        t.push(Event::Moved {
+            robot: 0,
+            from: 3,
+            to: 4,
+            step: 2,
+        });
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         let mut d = Trace::disabled();
-        d.push(Event::Moved { robot: 0, from: 3, to: 4, step: 2 });
+        d.push(Event::Moved {
+            robot: 0,
+            from: 3,
+            to: 4,
+            step: 2,
+        });
         assert!(d.is_empty());
     }
 
     #[test]
     fn move_extraction() {
         let mut t = Trace::recording();
-        t.push(Event::Moved { robot: 1, from: 0, to: 1, step: 0 });
+        t.push(Event::Moved {
+            robot: 1,
+            from: 0,
+            to: 1,
+            step: 0,
+        });
         t.push(Event::StayedIdle { robot: 0, step: 1 });
-        t.push(Event::Moved { robot: 1, from: 1, to: 2, step: 2 });
+        t.push(Event::Moved {
+            robot: 1,
+            from: 1,
+            to: 2,
+            step: 2,
+        });
         let moves: Vec<_> = t.moves().collect();
         assert_eq!(moves, vec![(1, 0, 1), (1, 1, 2)]);
         assert_eq!(t.moves_per_robot(3), vec![0, 2, 0]);
@@ -155,10 +187,19 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let e = Event::Moved { robot: 5, from: 0, to: 1, step: 9 };
+        let e = Event::Moved {
+            robot: 5,
+            from: 0,
+            to: 1,
+            step: 9,
+        };
         assert_eq!(e.robot(), 5);
         assert_eq!(e.step(), 9);
-        let e = Event::Looked { robot: 2, step: 4, decided_to_move: false };
+        let e = Event::Looked {
+            robot: 2,
+            step: 4,
+            decided_to_move: false,
+        };
         assert_eq!(e.robot(), 2);
         assert_eq!(e.step(), 4);
     }

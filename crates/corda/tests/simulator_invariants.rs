@@ -7,8 +7,7 @@ use rr_corda::scheduler::{
     AsynchronousScheduler, FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
 };
 use rr_corda::{
-    Decision, Event, Protocol, Scheduler, SchedulerStep, Simulator, SimulatorOptions, Snapshot,
-    ViewIndex,
+    Decision, Engine, EngineOptions, Event, Protocol, Scheduler, SchedulerStep, Snapshot, ViewIndex,
 };
 use rr_ring::{Configuration, Ring};
 
@@ -42,24 +41,32 @@ impl Protocol for DriftProtocol {
 
 fn config_strategy() -> impl Strategy<Value = Configuration> {
     (6usize..16, 2usize..6).prop_flat_map(|(n, k)| {
-        proptest::collection::vec(0usize..n, k..=k).prop_filter_map("distinct nodes", move |nodes| {
-            let mut sorted = nodes.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            if sorted.len() != nodes.len() {
-                return None;
-            }
-            Configuration::new_exclusive(Ring::new(n), &nodes).ok()
-        })
+        proptest::collection::vec(0usize..n, k..=k).prop_filter_map(
+            "distinct nodes",
+            move |nodes| {
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != nodes.len() {
+                    return None;
+                }
+                Configuration::new_exclusive(Ring::new(n), &nodes).ok()
+            },
+        )
     })
 }
 
-fn run_with<S: Scheduler>(config: &Configuration, mut scheduler: S, steps: u64) -> Simulator<DriftProtocol> {
-    let options = SimulatorOptions::for_protocol(&DriftProtocol).with_trace();
-    let mut sim = Simulator::new(DriftProtocol, config.clone(), options).expect("valid");
+fn run_with<S: Scheduler>(
+    config: &Configuration,
+    mut scheduler: S,
+    steps: u64,
+) -> Engine<DriftProtocol> {
+    let options = EngineOptions::for_protocol(&DriftProtocol).with_trace();
+    let mut sim = Engine::new(DriftProtocol, config.clone(), options).expect("valid");
     for _ in 0..steps {
         let step = scheduler.next(&sim.scheduler_view());
-        sim.apply(&step).expect("exclusivity is not enforced for the drift protocol");
+        sim.step(&step, &mut ())
+            .expect("exclusivity is not enforced for the drift protocol");
     }
     sim
 }
@@ -86,8 +93,8 @@ proptest! {
             for p in sim.positions() {
                 counts[p] += 1;
             }
-            for v in 0..config.n() {
-                prop_assert_eq!(counts[v], sim.configuration().count_at(v));
+            for (v, count) in counts.iter().enumerate() {
+                prop_assert_eq!(*count, sim.configuration().count_at(v));
             }
         }
     }
@@ -125,8 +132,8 @@ proptest! {
     /// Schedulers only ever name existing robots.
     #[test]
     fn schedulers_name_existing_robots(config in config_strategy(), seed in 0u64..1_000) {
-        let options = SimulatorOptions::for_protocol(&DriftProtocol);
-        let sim = Simulator::new(DriftProtocol, config.clone(), options).expect("valid");
+        let options = EngineOptions::for_protocol(&DriftProtocol);
+        let sim = Engine::new(DriftProtocol, config.clone(), options).expect("valid");
         let view = sim.scheduler_view();
         let k = config.num_robots();
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
@@ -152,14 +159,101 @@ proptest! {
 #[test]
 fn alternating_view_order_flips_snapshot_orientation() {
     let config = Configuration::from_gaps_at_origin(&[1, 2, 4]);
-    let options = SimulatorOptions::for_protocol(&DriftProtocol)
-        .with_view_order(rr_corda::simulator::ViewOrder::Alternating)
+    let options = EngineOptions::for_protocol(&DriftProtocol)
+        .with_view_order(rr_corda::ViewOrder::Alternating)
         .with_trace();
-    let mut sim = Simulator::new(DriftProtocol, config, options).unwrap();
+    let mut sim = Engine::new(DriftProtocol, config, options).unwrap();
     // Two consecutive looks by the same robot id on a frozen configuration
     // would alternate orientation; here we simply check the run stays valid.
     for r in 0..sim.num_robots() {
-        sim.activate(r).unwrap();
+        sim.step(&SchedulerStep::SsyncRound(vec![r]), &mut ())
+            .unwrap();
     }
     assert_eq!(sim.configuration().num_robots(), 3);
+}
+
+/// Replays `steps` scheduler decisions against a fresh engine, recording the
+/// emitted schedule.  Used by the determinism tests below.
+fn schedule_of<S: Scheduler>(
+    config: &Configuration,
+    mut scheduler: S,
+    steps: u64,
+) -> Vec<SchedulerStep> {
+    let options = EngineOptions::for_protocol(&DriftProtocol);
+    let mut sim = Engine::new(DriftProtocol, config.clone(), options).expect("valid");
+    let mut out = Vec::new();
+    for _ in 0..steps {
+        let step = scheduler.next(&sim.scheduler_view());
+        sim.step(&step, &mut ())
+            .expect("drift protocol never fails");
+        out.push(step);
+    }
+    out
+}
+
+#[test]
+fn round_robin_schedule_is_deterministic() {
+    let config = Configuration::from_gaps_at_origin(&[0, 1, 2, 5]);
+    let a = schedule_of(&config, RoundRobinScheduler::new(), 64);
+    let b = schedule_of(&config, RoundRobinScheduler::new(), 64);
+    assert_eq!(a, b);
+    // And it is exactly the cyclic single-robot round sequence.
+    for (i, step) in a.iter().enumerate() {
+        assert_eq!(*step, SchedulerStep::SsyncRound(vec![i % 4]));
+    }
+}
+
+#[test]
+fn asynchronous_schedule_is_deterministic_per_seed() {
+    let config = Configuration::from_gaps_at_origin(&[0, 1, 2, 5]);
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let a = schedule_of(&config, AsynchronousScheduler::seeded(seed), 300);
+        let b = schedule_of(&config, AsynchronousScheduler::seeded(seed), 300);
+        assert_eq!(a, b, "seed {seed}");
+    }
+    // Different seeds must produce different interleavings (with overwhelming
+    // probability; these two fixed seeds are checked to differ).
+    let a = schedule_of(&config, AsynchronousScheduler::seeded(1), 300);
+    let b = schedule_of(&config, AsynchronousScheduler::seeded(2), 300);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn asynchronous_fairness_window_flushes_deterministically() {
+    // With a tiny fairness window every pending action is flushed within
+    // `window` scheduler steps, and the flush decisions are a pure function
+    // of the seed: the same run replayed twice emits identical schedules and
+    // identical flush points.
+    let config = Configuration::from_gaps_at_origin(&[0, 1, 2, 5]);
+    let window = 4u64;
+    let runs: Vec<Vec<SchedulerStep>> = (0..2)
+        .map(|_| {
+            schedule_of(
+                &config,
+                AsynchronousScheduler::seeded(9).with_fairness_window(window),
+                400,
+            )
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    // Fairness: replay the schedule and check no robot stays pending longer
+    // than the window.
+    let options = EngineOptions::for_protocol(&DriftProtocol);
+    let mut sim = Engine::new(DriftProtocol, config, options).expect("valid");
+    let mut pending_since = vec![None::<u64>; sim.num_robots()];
+    for (t, step) in runs[0].iter().enumerate() {
+        sim.step(step, &mut ()).expect("drift protocol never fails");
+        let view = sim.scheduler_view();
+        for (r, since_slot) in pending_since.iter_mut().enumerate() {
+            if view.pending[r] {
+                let since = *since_slot.get_or_insert(t as u64);
+                assert!(
+                    (t as u64) - since <= window * view.num_robots as u64,
+                    "robot {r} pending since {since}, still pending at {t}"
+                );
+            } else {
+                *since_slot = None;
+            }
+        }
+    }
 }

@@ -23,10 +23,11 @@
 pub mod reductions;
 
 use rr_corda::{
-    Decision, MultiplicityCapability, Protocol, RunOutcome, Scheduler, SimError, Simulator,
-    SimulatorOptions, Snapshot, ViewIndex,
+    Decision, MultiplicityCapability, Protocol, Scheduler, SimError, Snapshot, ViewIndex,
 };
 use rr_ring::{pattern, Configuration, View};
+
+use crate::driver::drive;
 
 pub use reductions::{choose_reduction, Reduction, SelectedReduction};
 
@@ -94,20 +95,23 @@ impl Protocol for AlignProtocol {
 ///
 /// This is a convenience harness used by the examples, the benches and the
 /// verification suite; `max_scheduler_steps` bounds the run.
+///
+/// Thin wrapper over the generic engine loop
+/// [`drive`](crate::driver::drive).
 pub fn run_to_c_star<S: Scheduler + ?Sized>(
     initial: &Configuration,
     scheduler: &mut S,
     max_scheduler_steps: u64,
 ) -> Result<(Configuration, u64), SimError> {
-    let options = SimulatorOptions::for_protocol(&AlignProtocol);
-    let mut sim = Simulator::new(AlignProtocol, initial.clone(), options)?;
-    let report = sim.run_until(scheduler, max_scheduler_steps, |s| {
-        AlignProtocol::is_goal(&rr_ring::supermin_view(s.configuration()))
-    });
-    match report.outcome {
-        RunOutcome::Failed(e) => Err(e),
-        _ => Ok((sim.configuration().clone(), report.moves)),
-    }
+    let (engine, report) = drive(
+        AlignProtocol,
+        initial,
+        scheduler,
+        &mut (),
+        max_scheduler_steps,
+        |e, ()| AlignProtocol::is_goal(&rr_ring::supermin_view(e.configuration())),
+    )?;
+    Ok((engine.configuration().clone(), report.moves))
 }
 
 #[cfg(test)]
@@ -117,6 +121,7 @@ mod tests {
         AsynchronousScheduler, FullySynchronousScheduler, RoundRobinScheduler,
         SemiSynchronousScheduler,
     };
+    use rr_corda::Engine;
     use rr_ring::enumerate::enumerate_rigid_configurations;
     use rr_ring::{supermin_view, symmetry, Direction};
 
@@ -148,7 +153,8 @@ mod tests {
                 }
                 let mut movers = 0;
                 for v in config.occupied_nodes() {
-                    let s = Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Cw);
+                    let s =
+                        Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Cw);
                     if AlignProtocol.compute(&s).is_move() {
                         movers += 1;
                     }
@@ -163,7 +169,8 @@ mod tests {
         for config in enumerate_rigid_configurations(11, 5) {
             for v in config.occupied_nodes() {
                 let cw = Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Cw);
-                let ccw = Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Ccw);
+                let ccw =
+                    Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Ccw);
                 match (AlignProtocol.compute(&cw), AlignProtocol.compute(&ccw)) {
                     (Decision::Idle, Decision::Idle) => {}
                     (Decision::Move(a), Decision::Move(b)) => {
@@ -226,14 +233,13 @@ mod tests {
     fn intermediate_configurations_stay_rigid_or_are_the_known_exception() {
         for (n, k) in [(9usize, 4usize), (10, 5), (12, 6)] {
             for config in enumerate_rigid_configurations(n, k) {
-                let options = SimulatorOptions::for_protocol(&AlignProtocol);
-                let mut sim = Simulator::new(AlignProtocol, config.clone(), options).unwrap();
+                let mut sim = Engine::with_default_options(AlignProtocol, config.clone()).unwrap();
                 let mut sched = RoundRobinScheduler::new();
                 let mut guard = 0;
                 while !AlignProtocol::is_goal(&supermin_view(sim.configuration())) {
                     let view = sim.scheduler_view();
                     let step = sched.next(&view);
-                    sim.apply(&step).unwrap();
+                    sim.step(&step, &mut ()).unwrap();
                     let current = sim.configuration();
                     let w = supermin_view(current);
                     assert!(
@@ -252,14 +258,13 @@ mod tests {
         // Theorem 1: every move (or every two consecutive moves, in the
         // reduction_{-1} case) strictly decreases the supermin view.
         for config in enumerate_rigid_configurations(12, 5) {
-            let options = SimulatorOptions::for_protocol(&AlignProtocol);
-            let mut sim = Simulator::new(AlignProtocol, config.clone(), options).unwrap();
+            let mut sim = Engine::with_default_options(AlignProtocol, config.clone()).unwrap();
             let mut sched = RoundRobinScheduler::new();
             let mut superminima = vec![supermin_view(sim.configuration())];
             let mut guard = 0;
             while !AlignProtocol::is_goal(&supermin_view(sim.configuration())) {
                 let step = sched.next(&sim.scheduler_view());
-                let moved = !sim.apply(&step).unwrap().is_empty();
+                let moved = sim.step(&step, &mut ()).unwrap().moved();
                 if moved {
                     superminima.push(supermin_view(sim.configuration()));
                 }
@@ -304,7 +309,10 @@ mod tests {
             for config in enumerate_rigid_configurations(n, k).into_iter().take(50) {
                 let mut sched = RoundRobinScheduler::new();
                 let (_, moves) = run_to_c_star(&config, &mut sched, 200_000).unwrap();
-                assert!(moves <= (n * n) as u64, "n={n} k={k}: {moves} moves from {config}");
+                assert!(
+                    moves <= (n * n) as u64,
+                    "n={n} k={k}: {moves} moves from {config}"
+                );
             }
         }
     }

@@ -85,8 +85,14 @@ pub fn apply(w: &View, rule: Reduction) -> View {
             gaps[l2 + 1] += 1;
         }
         Reduction::MinusOne => {
-            assert!(gaps[k - 1] > 0, "reduction_minus_one requires the last interval to be positive");
-            assert!(k >= 2, "reduction_minus_one requires at least two intervals");
+            assert!(
+                gaps[k - 1] > 0,
+                "reduction_minus_one requires the last interval to be positive"
+            );
+            assert!(
+                k >= 2,
+                "reduction_minus_one requires at least two intervals"
+            );
             gaps[k - 2] += 1;
             gaps[k - 1] -= 1;
         }
@@ -222,7 +228,10 @@ mod tests {
 
     #[test]
     fn apply_reduction_minus_one() {
-        assert_eq!(apply(&v(&[0, 1, 1, 2]), Reduction::MinusOne), v(&[0, 1, 2, 1]));
+        assert_eq!(
+            apply(&v(&[0, 1, 1, 2]), Reduction::MinusOne),
+            v(&[0, 1, 2, 1])
+        );
     }
 
     #[test]
@@ -317,7 +326,12 @@ mod tests {
 
     #[test]
     fn reductions_never_touch_total_gap() {
-        for gaps in [vec![0, 2, 1, 4], vec![1, 2, 3], vec![0, 1, 1, 2], vec![0, 1, 2, 3]] {
+        for gaps in [
+            vec![0, 2, 1, 4],
+            vec![1, 2, 3],
+            vec![0, 1, 1, 2],
+            vec![0, 1, 2, 3],
+        ] {
             let w = v(&gaps);
             if let Some(sel) = choose_reduction(&w) {
                 assert_eq!(sel.resulting_word.total_gap(), w.total_gap());

@@ -38,7 +38,10 @@ pub fn block_structure(view: &View) -> Vec<BlockGap> {
         if g == 0 {
             current_block += 1;
         } else {
-            blocks.push(BlockGap { block: current_block, gap: g });
+            blocks.push(BlockGap {
+                block: current_block,
+                gap: g,
+            });
             current_block = 1;
         }
     }
@@ -52,7 +55,10 @@ pub fn block_structure(view: &View) -> Vec<BlockGap> {
             first.block += current_block;
         }
     } else {
-        blocks.push(BlockGap { block: current_block, gap: last_gap });
+        blocks.push(BlockGap {
+            block: current_block,
+            gap: last_gap,
+        });
     }
     blocks
 }
@@ -149,7 +155,12 @@ mod tests {
 
     #[test]
     fn block_totals_equal_robot_count() {
-        for gaps in [vec![0, 0, 1, 0, 6], vec![1, 0, 6, 0], vec![2, 3, 4], vec![0, 0, 0, 5]] {
+        for gaps in [
+            vec![0, 0, 1, 0, 6],
+            vec![1, 0, 6, 0],
+            vec![2, 3, 4],
+            vec![0, 0, 0, 5],
+        ] {
             let view = v(&gaps);
             let total: usize = block_structure(&view).iter().map(|b| b.block).sum();
             assert_eq!(total, view.len());

@@ -128,7 +128,7 @@ impl Protocol for NaiveAligner {
 mod tests {
     use super::*;
     use rr_corda::scheduler::RoundRobinScheduler;
-    use rr_corda::{MultiplicityCapability, Scheduler, Simulator};
+    use rr_corda::{Engine, MultiplicityCapability, Scheduler, SchedulerStep};
     use rr_ring::{symmetry, Configuration, Direction};
     use rr_search::{Contamination, ExplorationTracker};
 
@@ -140,13 +140,13 @@ mod tests {
     fn single_walker_explores_but_never_clears() {
         let ring = rr_ring::Ring::new(9);
         let initial = Configuration::new_exclusive(ring, &[0]).unwrap();
-        let mut sim = Simulator::with_default_options(SingleWalker, initial.clone()).unwrap();
+        let mut sim = Engine::with_default_options(SingleWalker, initial.clone()).unwrap();
         let mut sched = RoundRobinScheduler::new();
         let mut contamination = Contamination::initial(&initial);
         let mut exploration = ExplorationTracker::new(9, &sim.positions());
         for _ in 0..100 {
             let step = sched.next(&sim.scheduler_view());
-            for rec in sim.apply(&step).unwrap() {
+            for rec in sim.step(&step, &mut ()).unwrap().moves {
                 contamination.observe_move(rec.from, rec.to, sim.configuration());
                 exploration.observe_move(rec.robot, rec.to);
             }
@@ -165,18 +165,28 @@ mod tests {
         // diametral to the anchor: the oblivious walker turns back there, so
         // the ring is never fully cleared (the obstruction behind Theorem 2).
         let initial = cfg(&[0, 7]);
-        let mut sim = Simulator::with_default_options(TwoRobotSlide, initial.clone()).unwrap();
+        let mut sim = Engine::with_default_options(TwoRobotSlide, initial.clone()).unwrap();
         let mut contamination = Contamination::initial(&initial);
         let mut reached_diametral = false;
         for _ in 0..100 {
-            for rec in sim.ssync_round(&[1]).unwrap() {
+            for rec in sim
+                .step(&SchedulerStep::SsyncRound(vec![1]), &mut ())
+                .unwrap()
+                .moves
+            {
                 contamination.observe_move(rec.from, rec.to, sim.configuration());
             }
-            assert!(!contamination.all_clear(), "two oblivious robots must not clear the ring");
+            assert!(
+                !contamination.all_clear(),
+                "two oblivious robots must not clear the ring"
+            );
             let pos = sim.positions();
             reached_diametral |= sim.ring().diametral(pos[0], pos[1]);
         }
-        assert!(reached_diametral, "the walker must reach the diametral zone and stall there");
+        assert!(
+            reached_diametral,
+            "the walker must reach the diametral zone and stall there"
+        );
     }
 
     #[test]
@@ -184,9 +194,12 @@ mod tests {
         // On an even ring with the robots diametrally opposed neither robot
         // can distinguish its two sides: the protocol idles forever.
         let initial = cfg(&[3, 3]);
-        let mut sim = Simulator::with_default_options(TwoRobotSlide, initial).unwrap();
+        let mut sim = Engine::with_default_options(TwoRobotSlide, initial).unwrap();
         for r in 0..sim.num_robots() {
-            assert!(sim.activate(r).unwrap().is_none());
+            assert!(!sim
+                .step(&SchedulerStep::SsyncRound(vec![r]), &mut ())
+                .unwrap()
+                .moved());
         }
         assert_eq!(sim.move_count(), 0);
     }
@@ -197,12 +210,12 @@ mod tests {
         // symmetric configuration (0,0,3,3), which real Align avoids.
         let initial = cfg(&[0, 1, 2, 3]);
         assert!(symmetry::is_rigid(&initial));
-        let mut sim = Simulator::with_default_options(NaiveAligner, initial).unwrap();
+        let mut sim = Engine::with_default_options(NaiveAligner, initial).unwrap();
         let mut sched = RoundRobinScheduler::new();
         let mut reached_symmetric = false;
         for _ in 0..200 {
             let step = sched.next(&sim.scheduler_view());
-            if sim.apply(&step).is_err() {
+            if sim.step(&step, &mut ()).is_err() {
                 // A collision caused by the broken rule also proves the point.
                 reached_symmetric = true;
                 break;
@@ -215,7 +228,10 @@ mod tests {
                 break;
             }
         }
-        assert!(reached_symmetric, "the unguarded aligner must hit a symmetric trap");
+        assert!(
+            reached_symmetric,
+            "the unguarded aligner must hit a symmetric trap"
+        );
     }
 
     #[test]

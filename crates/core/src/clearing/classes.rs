@@ -36,8 +36,14 @@ pub enum AClass {
 impl AClass {
     /// All classes, in cycle order (A-a → A-b → A-c → A-d → A-e) followed by
     /// the entry class A-f.
-    pub const ALL: [AClass; 6] =
-        [AClass::Aa, AClass::Ab, AClass::Ac, AClass::Ad, AClass::Ae, AClass::Af];
+    pub const ALL: [AClass; 6] = [
+        AClass::Aa,
+        AClass::Ab,
+        AClass::Ac,
+        AClass::Ad,
+        AClass::Ae,
+        AClass::Af,
+    ];
 }
 
 impl std::fmt::Display for AClass {
@@ -225,7 +231,11 @@ mod tests {
         for (gaps, expected) in words {
             let base = v(gaps);
             for i in 0..base.len() {
-                assert_eq!(classify(&base.rotation(i)), *expected, "rotation {i} of {base}");
+                assert_eq!(
+                    classify(&base.rotation(i)),
+                    *expected,
+                    "rotation {i} of {base}"
+                );
                 assert_eq!(
                     classify(&base.rotation(i).opposite_direction()),
                     *expected,

@@ -24,14 +24,14 @@
 pub mod classes;
 
 use rr_corda::{
-    Decision, MoveRecord, MultiplicityCapability, Protocol, RunOutcome, Scheduler, SimError,
-    Simulator, SimulatorOptions, Snapshot, ViewIndex,
+    Decision, MultiplicityCapability, Protocol, Scheduler, SimError, Snapshot, ViewIndex,
 };
 use rr_ring::{Configuration, View};
-use rr_search::SearchMonitors;
 use serde::{Deserialize, Serialize};
 
 use crate::align::AlignProtocol;
+use crate::driver::{run_task, TaskTargets};
+use crate::unified::Task;
 pub use classes::{classify, AClass};
 
 /// The Ring Clearing protocol.
@@ -56,7 +56,10 @@ impl RingClearingProtocol {
     /// robot is not the designated mover.
     #[must_use]
     pub fn phase2_decide(views: &[View; 2]) -> Decision {
-        for (w, idx) in [(&views[0], ViewIndex::First), (&views[1], ViewIndex::Second)] {
+        for (w, idx) in [
+            (&views[0], ViewIndex::First),
+            (&views[1], ViewIndex::Second),
+        ] {
             if moves_towards_last_interval(w) {
                 // "move towards q_{k-1}": into the interval behind this view's
                 // reading direction, i.e. in the direction of the other view.
@@ -129,10 +132,8 @@ pub fn moves_towards_last_interval(w: &View) -> bool {
     // (q_0 > 0, 0, 1, 0^{k-4}, 2).
     let a_d = g[0] > 0 && g[1] == 0 && g[2] == 1 && all_zero(g, 3, k - 2) && g[k - 1] == 2;
     // Line 8, class A-f: (0^{k-2}, q_{k-2} > q_{k-1} > 0) with q_{k-2}+q_{k-1} > 3.
-    let a_f = all_zero(g, 0, k - 3)
-        && g[k - 2] > g[k - 1]
-        && g[k - 1] > 0
-        && g[k - 2] + g[k - 1] > 3;
+    let a_f =
+        all_zero(g, 0, k - 3) && g[k - 2] > g[k - 1] && g[k - 1] > 0 && g[k - 2] + g[k - 1] > 3;
     a_a || a_b || a_c || a_d || a_f
 }
 
@@ -174,6 +175,9 @@ pub struct SearchingRunStats {
 /// stopping once the run has demonstrated `target_clearings` full clearings
 /// and `target_explorations` full exploration sweeps by every robot, or when
 /// the step budget is exhausted.
+///
+/// Thin wrapper over the generic task driver
+/// [`run_task`](crate::driver::run_task).
 pub fn run_searching<P, S>(
     protocol: P,
     initial: &Configuration,
@@ -186,37 +190,26 @@ where
     P: Protocol,
     S: Scheduler + ?Sized,
 {
-    let options = SimulatorOptions::for_protocol(&protocol);
-    let mut sim = Simulator::new(protocol, initial.clone(), options)?;
-    let monitors = std::cell::RefCell::new(SearchMonitors::new(initial, &sim.positions()));
-    let report = sim.run(
+    let targets = TaskTargets::demonstrate(target_clearings, target_explorations);
+    let report = run_task(
+        Task::GraphSearching,
+        protocol,
+        initial,
         scheduler,
+        targets,
         max_scheduler_steps,
-        |_| {
-            target_clearings > 0
-                && monitors.borrow().demonstrated(target_clearings, target_explorations)
-        },
-        |rec: &MoveRecord, after: &Configuration| {
-            monitors.borrow_mut().observe(rec, after);
-        },
-    );
-    if let RunOutcome::Failed(e) = report.outcome {
-        return Err(e);
-    }
-    let monitors = monitors.into_inner();
-    Ok(SearchingRunStats {
-        clearings: monitors.clearings(),
-        clearing_intervals: monitors.clearing_intervals().to_vec(),
-        min_exploration_completions: monitors.min_exploration_completions(),
-        moves: monitors.moves_observed(),
-        steps: report.steps,
-    })
+    )?;
+    Ok(report
+        .searching()
+        .expect("searching task yields searching stats"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
+    use rr_corda::scheduler::{
+        AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
+    };
     use rr_ring::enumerate::enumerate_rigid_configurations;
     use rr_ring::{symmetry, Direction};
 
@@ -262,14 +255,21 @@ mod tests {
 
     #[test]
     fn exactly_one_mover_in_every_reachable_phase2_configuration() {
-        for (n, k) in [(12usize, 5usize), (11, 5), (13, 6), (14, 7), (15, 9), (16, 5)] {
+        for (n, k) in [
+            (12usize, 5usize),
+            (11, 5),
+            (13, 6),
+            (14, 7),
+            (15, 9),
+            (16, 5),
+        ] {
             let mut gaps = vec![0; k - 2];
             gaps.push(1);
             gaps.push(n - k - 1);
             let mut config = cfg(&gaps);
             assert_eq!(config.n(), n);
             // Walk the deterministic cycle for several periods.
-            let period = (n - k + 1) as usize;
+            let period = n - k + 1;
             for step in 0..(6 * period * k) {
                 let movers = enabled_movers(&config);
                 assert_eq!(
@@ -277,7 +277,10 @@ mod tests {
                     1,
                     "n={n} k={k} step={step} config={config}: movers {movers:?}"
                 );
-                assert!(symmetry::is_rigid(&config), "n={n} k={k} {config} not rigid");
+                assert!(
+                    symmetry::is_rigid(&config),
+                    "n={n} k={k} {config} not rigid"
+                );
                 assert!(
                     classes::classify(&View::new(config.gap_sequence())).is_some(),
                     "n={n} k={k} config {config} left the set A"
@@ -318,7 +321,11 @@ mod tests {
         let cycle: Vec<AClass> = seen[1..].to_vec();
         let expected = [AClass::Aa, AClass::Ab, AClass::Ac, AClass::Ad, AClass::Ae];
         for (i, class) in cycle.iter().enumerate() {
-            assert_eq!(*class, expected[i % expected.len()], "position {i} in {cycle:?}");
+            assert_eq!(
+                *class,
+                expected[i % expected.len()],
+                "position {i} in {cycle:?}"
+            );
         }
     }
 
@@ -329,7 +336,8 @@ mod tests {
         let initial = cfg(&[0, 2, 1, 0, 4]); // rigid, n = 12, k = 5
         assert!(symmetry::is_rigid(&initial));
         let mut sched = RoundRobinScheduler::new();
-        let stats = run_searching(RingClearingProtocol, &initial, &mut sched, 0, 0, 60_000).unwrap();
+        let stats =
+            run_searching(RingClearingProtocol, &initial, &mut sched, 0, 0, 60_000).unwrap();
         assert!(stats.clearings >= 5, "only {} clearings", stats.clearings);
         assert!(
             stats.min_exploration_completions >= 1,
@@ -346,12 +354,20 @@ mod tests {
             let mut ssync = SemiSynchronousScheduler::seeded(seed);
             let stats =
                 run_searching(RingClearingProtocol, &initial, &mut ssync, 0, 0, 40_000).unwrap();
-            assert!(stats.clearings >= 3, "ssync seed {seed}: {} clearings", stats.clearings);
+            assert!(
+                stats.clearings >= 3,
+                "ssync seed {seed}: {} clearings",
+                stats.clearings
+            );
 
             let mut asynch = AsynchronousScheduler::seeded(seed);
             let stats =
                 run_searching(RingClearingProtocol, &initial, &mut asynch, 0, 0, 80_000).unwrap();
-            assert!(stats.clearings >= 3, "async seed {seed}: {} clearings", stats.clearings);
+            assert!(
+                stats.clearings >= 3,
+                "async seed {seed}: {} clearings",
+                stats.clearings
+            );
         }
     }
 
@@ -373,7 +389,12 @@ mod tests {
             assert!(stats.clearings >= 4);
             let steady: Vec<u64> = stats.clearing_intervals.iter().copied().skip(1).collect();
             for interval in &steady {
-                assert_eq!(*interval, (n - k) as u64, "n={n} k={k} intervals {:?}", stats.clearing_intervals);
+                assert_eq!(
+                    *interval,
+                    (n - k) as u64,
+                    "n={n} k={k} intervals {:?}",
+                    stats.clearing_intervals
+                );
             }
         }
     }
@@ -387,7 +408,11 @@ mod tests {
             let mut sched = RoundRobinScheduler::new();
             let stats = run_searching(RingClearingProtocol, &config, &mut sched, 0, 0, 20_000)
                 .unwrap_or_else(|e| panic!("{config}: {e}"));
-            assert!(stats.clearings >= 2, "{config}: {} clearings", stats.clearings);
+            assert!(
+                stats.clearings >= 2,
+                "{config}: {} clearings",
+                stats.clearings
+            );
         }
     }
 
@@ -405,8 +430,12 @@ mod tests {
         for config in &configs {
             for v in config.occupied_nodes() {
                 let cw = Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Cw);
-                let ccw = Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Ccw);
-                match (RingClearingProtocol.compute(&cw), RingClearingProtocol.compute(&ccw)) {
+                let ccw =
+                    Snapshot::capture(config, v, MultiplicityCapability::None, Direction::Ccw);
+                match (
+                    RingClearingProtocol.compute(&cw),
+                    RingClearingProtocol.compute(&ccw),
+                ) {
                     (Decision::Idle, Decision::Idle) => {}
                     (Decision::Move(a), Decision::Move(b)) => {
                         if cw.views[0] != cw.views[1] {

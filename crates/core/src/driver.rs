@@ -1,0 +1,398 @@
+//! The generic task driver: **one** run loop for every task of the paper.
+//!
+//! Historically each task had its own copy of the same loop (build a
+//! simulator, hook up its observers through a `RefCell`, run, unpack the
+//! statistics).  This module replaces them with two functions:
+//!
+//! * [`drive_with`] (and its pre-built-monitor shim [`drive`]) — the single
+//!   engine-driving loop: construct an [`Engine`](rr_corda::Engine) with the
+//!   options declared by the protocol, build the observer from the
+//!   constructed engine, run under a scheduler, and surface simulation
+//!   failures as errors;
+//! * [`run_task`] — the task-level driver: given a [`Task`] and a protocol it
+//!   picks the right monitor and stop condition and returns per-task
+//!   statistics.  The public wrappers `run_searching`, `run_gathering` and
+//!   `run_to_c_star` are thin shims over these two functions, and
+//!   [`run_dispatched`] composes `run_task` with the unified dispatcher
+//!   [`protocol_for`](crate::unified::protocol_for) (one call from
+//!   `(task, start)` to verified statistics — this is what `rr-checker` and
+//!   the `exp_*` binaries use).
+
+use rr_corda::{
+    Engine, EngineOptions, Monitor, Protocol, RunOutcome, RunReport, Scheduler, SimError,
+};
+use rr_ring::Configuration;
+use rr_search::{GatheringMonitor, SearchMonitors};
+
+use crate::clearing::SearchingRunStats;
+use crate::gathering::GatheringRunStats;
+use crate::unified::{protocol_for, Task};
+
+/// The single engine-driving loop shared by every harness in this crate.
+///
+/// Builds an [`Engine`] for `protocol` (options from the protocol's own
+/// declaration), builds the observer from the *constructed* engine via
+/// `monitor_from` (so monitors that need the engine's robot-id → node
+/// assignment get it from the single source of truth), then runs under
+/// `scheduler` for at most `max_scheduler_steps` scheduler steps, stopping
+/// early when `stop` holds.  A failed simulation (exclusivity violation,
+/// invalid move) is returned as `Err`; budget exhaustion is not an error —
+/// inspect the returned [`RunReport`].
+pub fn drive_with<P, S, M, G, F>(
+    protocol: P,
+    initial: &Configuration,
+    scheduler: &mut S,
+    monitor_from: G,
+    max_scheduler_steps: u64,
+    stop: F,
+) -> Result<(Engine<P>, M, RunReport), SimError>
+where
+    P: Protocol,
+    S: Scheduler + ?Sized,
+    M: Monitor,
+    G: FnOnce(&Engine<P>) -> M,
+    F: FnMut(&Engine<P>, &M) -> bool,
+{
+    let options = EngineOptions::for_protocol(&protocol);
+    let mut engine = Engine::new(protocol, initial.clone(), options)?;
+    let mut monitor = monitor_from(&engine);
+    let report = engine.run(scheduler, &mut monitor, max_scheduler_steps, stop);
+    if let RunOutcome::Failed(e) = report.outcome {
+        return Err(e);
+    }
+    Ok((engine, monitor, report))
+}
+
+/// [`drive_with`] for a pre-built monitor (the common case when the observer
+/// does not depend on the engine's robot-id assignment).
+pub fn drive<P, S, M, F>(
+    protocol: P,
+    initial: &Configuration,
+    scheduler: &mut S,
+    monitor: &mut M,
+    max_scheduler_steps: u64,
+    mut stop: F,
+) -> Result<(Engine<P>, RunReport), SimError>
+where
+    P: Protocol,
+    S: Scheduler + ?Sized,
+    M: Monitor + ?Sized,
+    F: FnMut(&Engine<P>, &M) -> bool,
+{
+    let (engine, _, report) = drive_with(
+        protocol,
+        initial,
+        scheduler,
+        |_| monitor,
+        max_scheduler_steps,
+        move |engine, m: &&mut M| stop(engine, &**m),
+    )?;
+    Ok((engine, report))
+}
+
+/// Success thresholds for a [`run_task`] call.
+///
+/// Only meaningful for the searching/exploration tasks: the run stops once it
+/// has demonstrated `clearings` full ring clearings **and** `explorations`
+/// full sweeps by every robot.  With `clearings == 0` the run never stops
+/// early (it spends the whole step budget), which is how open-ended
+/// experiment runs are expressed.  Gathering always stops at the gathered
+/// configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskTargets {
+    /// Required number of full ring clearings.
+    pub clearings: u64,
+    /// Required number of full exploration sweeps per robot.
+    pub explorations: u64,
+}
+
+impl TaskTargets {
+    /// Targets requiring `clearings` clearings and `explorations` sweeps.
+    #[must_use]
+    pub fn demonstrate(clearings: u64, explorations: u64) -> Self {
+        TaskTargets {
+            clearings,
+            explorations,
+        }
+    }
+
+    /// Open-ended run: never stop early, spend the whole step budget.
+    #[must_use]
+    pub fn open_ended() -> Self {
+        TaskTargets::default()
+    }
+}
+
+/// Per-task statistics produced by [`run_task`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStats {
+    /// Statistics of a searching/exploration run.
+    Searching(SearchingRunStats),
+    /// Statistics of a gathering run.
+    Gathering(GatheringRunStats),
+}
+
+/// Outcome of one [`run_task`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRunReport {
+    /// The task that was run.
+    pub task: Task,
+    /// The engine-level run report (outcome, steps, moves).
+    pub report: RunReport,
+    /// The task-level statistics.
+    pub stats: TaskStats,
+}
+
+impl TaskRunReport {
+    /// The searching statistics, if this was a searching/exploration run.
+    #[must_use]
+    pub fn searching(self) -> Option<SearchingRunStats> {
+        match self.stats {
+            TaskStats::Searching(s) => Some(s),
+            TaskStats::Gathering(_) => None,
+        }
+    }
+
+    /// The gathering statistics, if this was a gathering run.
+    #[must_use]
+    pub fn gathering(self) -> Option<GatheringRunStats> {
+        match self.stats {
+            TaskStats::Gathering(s) => Some(s),
+            TaskStats::Searching(_) => None,
+        }
+    }
+}
+
+/// Runs `protocol` on `task` from `initial` under `scheduler`: the generic
+/// driver behind `run_searching` and `run_gathering`.
+///
+/// The task decides how the run is observed and when it may stop early:
+///
+/// | task | monitor | stop condition |
+/// |------|---------|----------------|
+/// | [`Task::GraphSearching`] / [`Task::Exploration`] | [`SearchMonitors`] | `targets` demonstrated (never, if `targets.clearings == 0`) |
+/// | [`Task::Gathering`] | [`GatheringMonitor`] | configuration gathered |
+pub fn run_task<P, S>(
+    task: Task,
+    protocol: P,
+    initial: &Configuration,
+    scheduler: &mut S,
+    targets: TaskTargets,
+    max_scheduler_steps: u64,
+) -> Result<TaskRunReport, SimError>
+where
+    P: Protocol,
+    S: Scheduler + ?Sized,
+{
+    match task {
+        Task::Exploration | Task::GraphSearching => {
+            let (_, monitors, report) = drive_with(
+                protocol,
+                initial,
+                scheduler,
+                |engine| SearchMonitors::new(initial, &engine.positions()),
+                max_scheduler_steps,
+                |_, m: &SearchMonitors| {
+                    targets.clearings > 0 && m.demonstrated(targets.clearings, targets.explorations)
+                },
+            )?;
+            let stats = SearchingRunStats {
+                clearings: monitors.clearings(),
+                clearing_intervals: monitors.clearing_intervals().to_vec(),
+                min_exploration_completions: monitors.min_exploration_completions(),
+                moves: monitors.moves_observed(),
+                steps: report.steps,
+            };
+            Ok(TaskRunReport {
+                task,
+                report,
+                stats: TaskStats::Searching(stats),
+            })
+        }
+        Task::Gathering => {
+            let (engine, monitor, report) = drive_with(
+                protocol,
+                initial,
+                scheduler,
+                |_| GatheringMonitor::new(),
+                max_scheduler_steps,
+                |e, _: &GatheringMonitor| e.configuration().is_gathered(),
+            )?;
+            let stats = GatheringRunStats {
+                gathered: engine.configuration().is_gathered(),
+                moves: report.moves,
+                steps: report.steps,
+                broke_gathering: monitor.broke_gathering(),
+            };
+            Ok(TaskRunReport {
+                task,
+                report,
+                stats: TaskStats::Gathering(stats),
+            })
+        }
+    }
+}
+
+/// Why a [`run_dispatched`] call could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The paper claims no algorithm for these parameters (impossible, open,
+    /// or out of the model).
+    NoProtocol {
+        /// The requested task.
+        task: Task,
+        /// Ring size.
+        n: usize,
+        /// Number of robots.
+        k: usize,
+    },
+    /// The simulation itself failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::NoProtocol { task, n, k } => {
+                write!(f, "no algorithm claimed for {task} with n={n}, k={k}")
+            }
+            TaskError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl From<SimError> for TaskError {
+    fn from(e: SimError) -> Self {
+        TaskError::Sim(e)
+    }
+}
+
+/// Composes [`run_task`] with the unified dispatcher: picks the protocol the
+/// paper prescribes for `(task, n, k)` and runs it.
+pub fn run_dispatched<S>(
+    task: Task,
+    initial: &Configuration,
+    scheduler: &mut S,
+    targets: TaskTargets,
+    max_scheduler_steps: u64,
+) -> Result<TaskRunReport, TaskError>
+where
+    S: Scheduler + ?Sized,
+{
+    let (n, k) = (initial.n(), initial.num_robots());
+    let protocol = protocol_for(task, n, k).ok_or(TaskError::NoProtocol { task, n, k })?;
+    Ok(run_task(
+        task,
+        protocol,
+        initial,
+        scheduler,
+        targets,
+        max_scheduler_steps,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clearing::RingClearingProtocol;
+    use crate::gathering::GatheringProtocol;
+    use rr_corda::scheduler::RoundRobinScheduler;
+
+    fn cfg(gaps: &[usize]) -> Configuration {
+        Configuration::from_gaps_at_origin(gaps)
+    }
+
+    #[test]
+    fn drive_with_builds_the_monitor_from_the_constructed_engine() {
+        use rr_corda::protocol::GreedyGapWalker;
+        use rr_search::PositionTracker;
+        let c = cfg(&[0, 2, 1, 0, 4]);
+        let mut sched = RoundRobinScheduler::new();
+        let (engine, tracker, report) = drive_with(
+            GreedyGapWalker,
+            &c,
+            &mut sched,
+            |engine| PositionTracker::new(&engine.positions()),
+            50,
+            |_, _: &PositionTracker| false,
+        )
+        .unwrap();
+        assert_eq!(report.steps, 50);
+        // The tracker followed the run from the engine's own initial
+        // assignment, so it ends in sync with the engine.
+        assert_eq!(tracker.positions(), engine.positions());
+    }
+
+    #[test]
+    fn run_task_searching_produces_stats() {
+        let initial = cfg(&[0, 2, 1, 0, 4]); // rigid, n = 12, k = 5
+        let mut sched = RoundRobinScheduler::new();
+        let report = run_task(
+            Task::GraphSearching,
+            RingClearingProtocol::new(),
+            &initial,
+            &mut sched,
+            TaskTargets::demonstrate(2, 0),
+            60_000,
+        )
+        .unwrap();
+        assert!(report.report.succeeded());
+        let stats = report.searching().expect("searching stats");
+        assert!(stats.clearings >= 2);
+    }
+
+    #[test]
+    fn run_task_gathering_produces_stats() {
+        let initial = cfg(&[0, 0, 0, 1, 6]); // C*, n = 12, k = 5
+        let mut sched = RoundRobinScheduler::new();
+        let report = run_task(
+            Task::Gathering,
+            GatheringProtocol::new(),
+            &initial,
+            &mut sched,
+            TaskTargets::open_ended(),
+            50_000,
+        )
+        .unwrap();
+        let stats = report.gathering().expect("gathering stats");
+        assert!(stats.gathered);
+        assert!(!stats.broke_gathering);
+    }
+
+    #[test]
+    fn run_dispatched_rejects_unclaimed_cells() {
+        let initial = cfg(&[0, 1, 2, 2]); // n = 9, k = 4: open/impossible band
+        let mut sched = RoundRobinScheduler::new();
+        let err = run_dispatched(
+            Task::GraphSearching,
+            &initial,
+            &mut sched,
+            TaskTargets::demonstrate(1, 0),
+            1_000,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TaskError::NoProtocol { n: 9, k: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_dispatched_solves_claimed_cells() {
+        let initial = cfg(&[0, 2, 1, 0, 4]); // n = 12, k = 5
+        let mut sched = RoundRobinScheduler::new();
+        let report = run_dispatched(
+            Task::GraphSearching,
+            &initial,
+            &mut sched,
+            TaskTargets::demonstrate(3, 1),
+            200_000,
+        )
+        .unwrap();
+        let stats = report.searching().unwrap();
+        assert!(stats.clearings >= 3);
+        assert!(stats.min_exploration_completions >= 1);
+    }
+}

@@ -26,14 +26,14 @@
 //! See DESIGN.md §2.
 
 use rr_corda::{
-    Decision, MoveRecord, MultiplicityCapability, Protocol, RunOutcome, Scheduler, SimError,
-    Simulator, SimulatorOptions, Snapshot, ViewIndex,
+    Decision, MultiplicityCapability, Protocol, Scheduler, SimError, Snapshot, ViewIndex,
 };
 use rr_ring::{pattern, Configuration, View};
-use rr_search::GatheringMonitor;
 use serde::{Deserialize, Serialize};
 
 use crate::align::AlignProtocol;
+use crate::driver::{run_task, TaskTargets};
+use crate::unified::Task;
 
 /// The Gathering protocol.
 #[derive(Debug, Default, Clone, Copy)]
@@ -128,32 +128,25 @@ pub struct GatheringRunStats {
 
 /// Runs the gathering protocol from `initial` under `scheduler` until all
 /// robots stand on one node or the step budget is exhausted.
+///
+/// Thin wrapper over the generic task driver
+/// [`run_task`](crate::driver::run_task).
 pub fn run_gathering<S: Scheduler + ?Sized>(
     initial: &Configuration,
     scheduler: &mut S,
     max_scheduler_steps: u64,
 ) -> Result<GatheringRunStats, SimError> {
-    let options = SimulatorOptions::for_protocol(&GatheringProtocol);
-    let mut sim = Simulator::new(GatheringProtocol, initial.clone(), options)?;
-    let monitor = std::cell::RefCell::new(GatheringMonitor::new());
-    let report = sim.run(
+    let report = run_task(
+        Task::Gathering,
+        GatheringProtocol,
+        initial,
         scheduler,
+        TaskTargets::open_ended(),
         max_scheduler_steps,
-        |s| s.configuration().is_gathered(),
-        |rec: &MoveRecord, after: &Configuration| {
-            monitor.borrow_mut().observe(rec, after);
-        },
-    );
-    if let RunOutcome::Failed(e) = report.outcome {
-        return Err(e);
-    }
-    let monitor = monitor.into_inner();
-    Ok(GatheringRunStats {
-        gathered: sim.configuration().is_gathered(),
-        moves: report.moves,
-        steps: report.steps,
-        broke_gathering: monitor.broke_gathering(),
-    })
+    )?;
+    Ok(report
+        .gathering()
+        .expect("gathering task yields gathering stats"))
 }
 
 #[cfg(test)]
@@ -201,9 +194,15 @@ mod tests {
         let s = Snapshot::capture(&c, 0, MultiplicityCapability::Local, Direction::Cw);
         // views[0] is the cw view (0,0,0,1,6) = supermin, so the robot moves
         // in that direction, onto node 1.
-        assert_eq!(GatheringProtocol.compute(&s), Decision::Move(ViewIndex::First));
+        assert_eq!(
+            GatheringProtocol.compute(&s),
+            Decision::Move(ViewIndex::First)
+        );
         let s = Snapshot::capture(&c, 0, MultiplicityCapability::Local, Direction::Ccw);
-        assert_eq!(GatheringProtocol.compute(&s), Decision::Move(ViewIndex::Second));
+        assert_eq!(
+            GatheringProtocol.compute(&s),
+            Decision::Move(ViewIndex::Second)
+        );
     }
 
     #[test]
@@ -258,11 +257,23 @@ mod tests {
     fn gathering_succeeds_under_every_scheduler() {
         let config = cfg(&[0, 2, 1, 0, 4, 3]); // rigid, n = 16, k = 6
         let mut fsync = FullySynchronousScheduler;
-        assert!(run_gathering(&config, &mut fsync, 100_000).unwrap().gathered);
+        assert!(
+            run_gathering(&config, &mut fsync, 100_000)
+                .unwrap()
+                .gathered
+        );
         let mut ssync = SemiSynchronousScheduler::seeded(11);
-        assert!(run_gathering(&config, &mut ssync, 100_000).unwrap().gathered);
+        assert!(
+            run_gathering(&config, &mut ssync, 100_000)
+                .unwrap()
+                .gathered
+        );
         let mut asynch = AsynchronousScheduler::seeded(13);
-        assert!(run_gathering(&config, &mut asynch, 400_000).unwrap().gathered);
+        assert!(
+            run_gathering(&config, &mut asynch, 400_000)
+                .unwrap()
+                .gathered
+        );
         let mut rr = RoundRobinScheduler::new();
         assert!(run_gathering(&config, &mut rr, 100_000).unwrap().gathered);
     }
@@ -287,7 +298,10 @@ mod tests {
         for v in c.occupied_nodes() {
             let cw = Snapshot::capture(&c, v, MultiplicityCapability::Local, Direction::Cw);
             let ccw = Snapshot::capture(&c, v, MultiplicityCapability::Local, Direction::Ccw);
-            match (GatheringProtocol.compute(&cw), GatheringProtocol.compute(&ccw)) {
+            match (
+                GatheringProtocol.compute(&cw),
+                GatheringProtocol.compute(&ccw),
+            ) {
                 (Decision::Idle, Decision::Idle) => {}
                 (Decision::Move(a), Decision::Move(b)) => {
                     if cw.views[0] != cw.views[1] {
@@ -301,7 +315,10 @@ mod tests {
 
     #[test]
     fn capability_and_exclusivity_declarations() {
-        assert_eq!(GatheringProtocol.capability(), MultiplicityCapability::Local);
+        assert_eq!(
+            GatheringProtocol.capability(),
+            MultiplicityCapability::Local
+        );
         assert!(!GatheringProtocol.requires_exclusivity());
         assert_eq!(GatheringProtocol.name(), "gathering");
     }

@@ -20,6 +20,9 @@
 //!   configurations;
 //! * [`unified`] — the unified dispatcher mapping a task and parameters to the
 //!   protocol that solves it;
+//! * [`driver`] — the generic engine loop ([`driver::drive`]) and the task
+//!   driver ([`driver::run_task`]) that every run harness in this workspace
+//!   is a thin wrapper over;
 //! * [`feasibility`] — the (almost complete) characterization of exclusive
 //!   perpetual graph searching on rings, plus the feasibility maps for the
 //!   other two tasks;
@@ -33,6 +36,7 @@ pub mod align;
 pub mod analysis;
 pub mod baselines;
 pub mod clearing;
+pub mod driver;
 pub mod feasibility;
 pub mod gathering;
 pub mod nminus_three;
@@ -40,6 +44,9 @@ pub mod unified;
 
 pub use align::AlignProtocol;
 pub use clearing::RingClearingProtocol;
+pub use driver::{
+    drive, drive_with, run_dispatched, run_task, TaskError, TaskRunReport, TaskStats, TaskTargets,
+};
 pub use feasibility::{searching_feasibility, Feasibility, ImpossibilityReason};
 pub use gathering::GatheringProtocol;
 pub use nminus_three::NminusThreeProtocol;

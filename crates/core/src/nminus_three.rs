@@ -84,7 +84,10 @@ impl Arcs {
     /// Index of the arc with the given size (sizes are pairwise distinct for
     /// rigid configurations, so this is unambiguous).
     fn arc_with_size(&self, size: usize) -> usize {
-        self.sizes.iter().position(|&s| s == size).expect("size present")
+        self.sizes
+            .iter()
+            .position(|&s| s == size)
+            .expect("size present")
     }
 
     /// The empty node shared by arcs `x` and `y` when they are considered as
@@ -224,7 +227,9 @@ impl Protocol for NminusThreeProtocol {
 mod tests {
     use super::*;
     use crate::clearing::run_searching;
-    use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
+    use rr_corda::scheduler::{
+        AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
+    };
     use rr_corda::Simulator;
     use rr_corda::SimulatorOptions;
     use rr_ring::enumerate::enumerate_rigid_configurations;
@@ -291,7 +296,7 @@ mod tests {
         // Start in the final configuration (0, 2, k-2).
         let mut gaps = vec![0usize; 1]; // block of 2 robots => 1 zero
         gaps.push(1); // one empty node
-        gaps.extend(std::iter::repeat(0).take(k - 3)); // block of k-2 robots
+        gaps.extend(std::iter::repeat_n(0, k - 3)); // block of k-2 robots
         gaps.push(2); // two adjacent empty nodes
         let config = Configuration::from_gaps_at_origin(&gaps);
         assert_eq!(config.n(), n);
@@ -311,8 +316,7 @@ mod tests {
             };
             current.move_robot_dir(node, dir).unwrap();
         }
-        let expected_cycle =
-            [vec![0, 2, k - 2], vec![0, 3, k - 3], vec![1, 2, k - 3]];
+        let expected_cycle = [vec![0, 2, k - 2], vec![0, 3, k - 3], vec![1, 2, k - 3]];
         for (i, sizes) in seen.iter().enumerate() {
             assert_eq!(*sizes, expected_cycle[i % 3], "step {i}: {seen:?}");
         }
@@ -370,7 +374,7 @@ mod tests {
         let k = n - 3;
         let mut gaps = vec![0usize; 1];
         gaps.push(1);
-        gaps.extend(std::iter::repeat(0).take(k - 3));
+        gaps.extend(std::iter::repeat_n(0, k - 3));
         gaps.push(2);
         let config = Configuration::from_gaps_at_origin(&gaps);
         let mut sched = RoundRobinScheduler::new();
@@ -386,10 +390,14 @@ mod tests {
     fn works_under_adversarial_schedulers() {
         let n = 11usize;
         let k = n - 3;
-        let config = enumerate_rigid_configurations(n, k).into_iter().next().unwrap();
+        let config = enumerate_rigid_configurations(n, k)
+            .into_iter()
+            .next()
+            .unwrap();
         for seed in [5u64, 23] {
             let mut ssync = SemiSynchronousScheduler::seeded(seed);
-            let stats = run_searching(NminusThreeProtocol, &config, &mut ssync, 0, 0, 40_000).unwrap();
+            let stats =
+                run_searching(NminusThreeProtocol, &config, &mut ssync, 0, 0, 40_000).unwrap();
             assert!(stats.clearings >= 3, "ssync seed {seed}");
             let mut asynch = AsynchronousScheduler::seeded(seed);
             let stats =
@@ -403,8 +411,12 @@ mod tests {
         for config in enumerate_rigid_configurations(11, 8) {
             for v in config.occupied_nodes() {
                 let cw = Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Cw);
-                let ccw = Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Ccw);
-                match (NminusThreeProtocol.compute(&cw), NminusThreeProtocol.compute(&ccw)) {
+                let ccw =
+                    Snapshot::capture(&config, v, MultiplicityCapability::None, Direction::Ccw);
+                match (
+                    NminusThreeProtocol.compute(&cw),
+                    NminusThreeProtocol.compute(&ccw),
+                ) {
                     (Decision::Idle, Decision::Idle) => {}
                     (Decision::Move(a), Decision::Move(b)) => {
                         if cw.views[0] != cw.views[1] {

@@ -166,13 +166,19 @@ mod tests {
         // Graph searching via the dispatcher on (n, k) = (12, 5) and (12, 9).
         for (n, k) in [(12usize, 5usize), (12, 9)] {
             let protocol = protocol_for(Task::GraphSearching, n, k).unwrap();
-            let config = enumerate_rigid_configurations(n, k).into_iter().next().unwrap();
+            let config = enumerate_rigid_configurations(n, k)
+                .into_iter()
+                .next()
+                .unwrap();
             let mut sched = RoundRobinScheduler::new();
             let stats = run_searching(protocol, &config, &mut sched, 3, 0, 60_000).unwrap();
             assert!(stats.clearings >= 3, "n={n} k={k}");
         }
         // Gathering via the dispatcher.
-        let config = enumerate_rigid_configurations(11, 4).into_iter().next().unwrap();
+        let config = enumerate_rigid_configurations(11, 4)
+            .into_iter()
+            .next()
+            .unwrap();
         let mut sched = RoundRobinScheduler::new();
         let stats = run_gathering(&config, &mut sched, 100_000).unwrap();
         assert!(stats.gathered);

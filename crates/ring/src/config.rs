@@ -57,7 +57,10 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "node {node} out of range for a ring of {n} nodes")
             }
             ConfigError::DuplicateNode { node } => {
-                write!(f, "node {node} occupied twice in an exclusive configuration")
+                write!(
+                    f,
+                    "node {node} occupied twice in an exclusive configuration"
+                )
             }
             ConfigError::Empty => write!(f, "a configuration must contain at least one robot"),
             ConfigError::SourceNotOccupied { node } => {
@@ -93,7 +96,10 @@ impl Configuration {
         let mut counts = vec![0u32; ring.len()];
         for &v in occupied {
             if v >= ring.len() {
-                return Err(ConfigError::NodeOutOfRange { node: v, n: ring.len() });
+                return Err(ConfigError::NodeOutOfRange {
+                    node: v,
+                    n: ring.len(),
+                });
             }
             if counts[v] > 0 {
                 return Err(ConfigError::DuplicateNode { node: v });
@@ -127,11 +133,17 @@ impl Configuration {
             return Err(ConfigError::Empty);
         }
         if start >= ring.len() {
-            return Err(ConfigError::NodeOutOfRange { node: start, n: ring.len() });
+            return Err(ConfigError::NodeOutOfRange {
+                node: start,
+                n: ring.len(),
+            });
         }
         let implied_n: usize = gaps.iter().sum::<usize>() + gaps.len();
         if implied_n != ring.len() {
-            return Err(ConfigError::GapMismatch { implied_n, n: ring.len() });
+            return Err(ConfigError::GapMismatch {
+                implied_n,
+                n: ring.len(),
+            });
         }
         let mut occupied = Vec::with_capacity(gaps.len());
         let mut cur = start;
@@ -182,7 +194,9 @@ impl Configuration {
     /// The occupied nodes, in increasing node order.
     #[must_use]
     pub fn occupied_nodes(&self) -> Vec<NodeId> {
-        (0..self.ring.len()).filter(|&v| self.counts[v] > 0).collect()
+        (0..self.ring.len())
+            .filter(|&v| self.counts[v] > 0)
+            .collect()
     }
 
     /// Number of robots on node `v`.
@@ -224,10 +238,16 @@ impl Configuration {
     /// Moves one robot from `from` to the adjacent node `to`.
     pub fn move_robot(&mut self, from: NodeId, to: NodeId) -> Result<(), ConfigError> {
         if from >= self.ring.len() {
-            return Err(ConfigError::NodeOutOfRange { node: from, n: self.ring.len() });
+            return Err(ConfigError::NodeOutOfRange {
+                node: from,
+                n: self.ring.len(),
+            });
         }
         if to >= self.ring.len() {
-            return Err(ConfigError::NodeOutOfRange { node: to, n: self.ring.len() });
+            return Err(ConfigError::NodeOutOfRange {
+                node: to,
+                n: self.ring.len(),
+            });
         }
         if self.counts[from] == 0 {
             return Err(ConfigError::SourceNotOccupied { node: from });
@@ -345,7 +365,9 @@ impl Configuration {
         }
         let mut blocks = Vec::new();
         // Find a starting empty node so blocks are not split across the seam.
-        let start = (0..n).find(|&v| !self.is_occupied(v)).expect("some empty node");
+        let start = (0..n)
+            .find(|&v| !self.is_occupied(v))
+            .expect("some empty node");
         let mut current: Vec<NodeId> = Vec::new();
         for step in 1..=n {
             let v = (start + step) % n;

@@ -27,7 +27,12 @@ pub fn enumerate_gap_sequences(n: usize, k: usize) -> Vec<Vec<usize>> {
     out
 }
 
-fn enumerate_rec(remaining: usize, slots: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+fn enumerate_rec(
+    remaining: usize,
+    slots: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
     if slots == 0 {
         if remaining == 0 {
             let view = View::new(current.clone());
@@ -153,7 +158,11 @@ mod tests {
         // isomorphism classes.
         for n in 5..=11usize {
             for k in 1..n {
-                assert_eq!(count_configurations(n, k), count_configurations(n, n - k), "n={n} k={k}");
+                assert_eq!(
+                    count_configurations(n, k),
+                    count_configurations(n, n - k),
+                    "n={n} k={k}"
+                );
             }
         }
     }

@@ -128,7 +128,10 @@ pub fn ell1(supermin: &[usize]) -> Option<usize> {
 #[must_use]
 pub fn ell2(supermin: &[usize]) -> Option<usize> {
     let first = ell1(supermin)?;
-    supermin[first + 1..].iter().position(|&q| q > 0).map(|p| first + 1 + p)
+    supermin[first + 1..]
+        .iter()
+        .position(|&q| q > 0)
+        .map(|p| first + 1 + p)
 }
 
 /// Whether the supermin view is exactly the paper's `C^s`: `(0, 1, 1, 2)`.
@@ -165,7 +168,9 @@ pub fn lemma3_conditions(supermin: &[usize]) -> bool {
     if k < 2 || supermin[0] != 0 {
         return false;
     }
-    let Some(l1) = ell1(supermin) else { return false };
+    let Some(l1) = ell1(supermin) else {
+        return false;
+    };
     if supermin[..l1].iter().any(|&q| q != 0) {
         return false;
     }
@@ -200,7 +205,9 @@ pub fn lemma4_condition5(supermin: &[usize]) -> bool {
 /// `(0^{ℓ1}, 1, {0^{ℓ1-1}, 1}+, 0^{ℓ1-2}, 1)`.
 #[must_use]
 pub fn lemma4_condition6(supermin: &[usize]) -> bool {
-    let Some(l1) = ell1(supermin) else { return false };
+    let Some(l1) = ell1(supermin) else {
+        return false;
+    };
     if l1 < 2 {
         // The pattern requires ℓ1 - 2 >= 0 repetitions of 0 near the end.
         return false;
@@ -221,7 +228,7 @@ pub fn lemma4_condition6(supermin: &[usize]) -> bool {
     // Middle: one or more groups of (0^{ℓ1-1}, 1).
     let middle = &supermin[l1 + 1..suffix_start];
     let group = l1; // ℓ1 - 1 zeros followed by a single 1.
-    if middle.is_empty() || middle.len() % group != 0 {
+    if middle.is_empty() || !middle.len().is_multiple_of(group) {
         return false;
     }
     middle

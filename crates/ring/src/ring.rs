@@ -106,7 +106,7 @@ impl Ring {
     pub fn diametral(&self, a: NodeId, b: NodeId) -> bool {
         let d = self.distance_cw(a, b);
         let other = self.n - d;
-        if self.n % 2 == 0 {
+        if self.n.is_multiple_of(2) {
             d == other
         } else {
             d.abs_diff(other) == 1
@@ -187,7 +187,7 @@ mod tests {
             for b in r.nodes() {
                 assert_eq!(r.distance(a, b), r.distance(b, a));
                 assert!(r.distance(a, b) <= 4);
-                assert_eq!(r.distance_cw(a, b) + r.distance_cw(b, a) == 9 || a == b, true);
+                assert!(r.distance_cw(a, b) + r.distance_cw(b, a) == 9 || a == b);
             }
         }
     }
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn incident_edges_cover_all_edges_twice() {
         let r = Ring::new(8);
-        let mut count = vec![0usize; 8];
+        let mut count = [0usize; 8];
         for v in r.nodes() {
             for e in r.incident_edges(v) {
                 count[e] += 1;

@@ -65,7 +65,11 @@ pub fn supermin_intervals(config: &Configuration) -> SuperminInfo {
         }
     }
     interval_indices.sort_unstable();
-    SuperminInfo { view: min, interval_indices, witnesses }
+    SuperminInfo {
+        view: min,
+        interval_indices,
+        witnesses,
+    }
 }
 
 #[cfg(test)]

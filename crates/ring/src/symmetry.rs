@@ -125,7 +125,12 @@ pub fn analyze(config: &Configuration) -> SymmetryInfo {
     }
     let symmetric = !axes.is_empty();
 
-    SymmetryInfo { periodic, symmetric, period, axes }
+    SymmetryInfo {
+        periodic,
+        symmetric,
+        period,
+        axes,
+    }
 }
 
 /// Whether `config` is rigid (aperiodic and asymmetric).
@@ -163,9 +168,7 @@ pub fn check_lemma1(config: &Configuration) -> Result<(), String> {
     match ic {
         1 => {
             // Rigid, or a unique axis passing through the supermin interval.
-            if info.is_rigid() {
-                Ok(())
-            } else if !info.periodic && info.axes.len() == 1 {
+            if info.is_rigid() || (!info.periodic && info.axes.len() == 1) {
                 Ok(())
             } else {
                 Err(format!(
@@ -174,7 +177,7 @@ pub fn check_lemma1(config: &Configuration) -> Result<(), String> {
             }
         }
         2 => {
-            let half_period = info.periodic && info.period == n / 2 && n % 2 == 0;
+            let half_period = info.periodic && info.period == n / 2 && n.is_multiple_of(2);
             let sym_not_through = !info.periodic && info.symmetric;
             if half_period || sym_not_through {
                 Ok(())
@@ -338,7 +341,10 @@ mod tests {
     #[test]
     fn class_enum_round_trip() {
         assert_eq!(classify(&cfg(&[0, 1, 1, 2])), ConfigurationClass::Rigid);
-        assert_eq!(classify(&cfg(&[0, 0, 2, 2])), ConfigurationClass::SymmetricAperiodic);
+        assert_eq!(
+            classify(&cfg(&[0, 0, 2, 2])),
+            ConfigurationClass::SymmetricAperiodic
+        );
         assert_eq!(classify(&cfg(&[1, 1, 1, 1])), ConfigurationClass::Periodic);
     }
 

@@ -134,7 +134,7 @@ impl View {
     #[must_use]
     pub fn period(&self) -> usize {
         (1..=self.gaps.len())
-            .find(|&p| self.gaps.len() % p == 0 && self.rotation(p) == *self)
+            .find(|&p| self.gaps.len().is_multiple_of(p) && self.rotation(p) == *self)
             .expect("the full length is always a period")
     }
 

@@ -15,7 +15,10 @@ impl Contamination {
     /// All edges contaminated (the initial state of the graph searching task).
     #[must_use]
     pub fn all_contaminated(ring: Ring) -> Self {
-        Contamination { ring, clear: vec![false; ring.len()] }
+        Contamination {
+            ring,
+            clear: vec![false; ring.len()],
+        }
     }
 
     /// All edges contaminated, then immediately updated with the guards of the
@@ -158,7 +161,10 @@ mod tests {
         // immediately recontaminated!
         c.move_robot(4, 5).unwrap();
         cont.observe_move(4, 5, &c);
-        assert!(!cont.is_clear(4), "cleared edge behind the robot is recontaminated");
+        assert!(
+            !cont.is_clear(4),
+            "cleared edge behind the robot is recontaminated"
+        );
         assert!(cont.is_clear(0));
     }
 
@@ -178,7 +184,11 @@ mod tests {
             cont.observe_move(pos, next, &c);
             pos = next;
         }
-        assert!(cont.all_clear(), "sweep must clear every edge: {:?}", cont.contaminated_edges());
+        assert!(
+            cont.all_clear(),
+            "sweep must clear every edge: {:?}",
+            cont.contaminated_edges()
+        );
     }
 
     #[test]
@@ -217,7 +227,10 @@ mod tests {
         cont.observe_configuration(&c);
         assert!(cont.is_clear(2));
         cont.recontaminate(&c);
-        assert!(cont.is_clear(2), "an edge with both endpoints occupied cannot be recontaminated");
+        assert!(
+            cont.is_clear(2),
+            "an edge with both endpoints occupied cannot be recontaminated"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-robot node-visit tracking for the exclusive perpetual exploration task.
 
-use rr_ring::NodeId;
 use rr_corda::RobotId;
+use rr_ring::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Tracks, for every robot, which nodes it has visited since the last reset.
@@ -27,7 +27,11 @@ impl ExplorationTracker {
         for (r, &v) in initial_positions.iter().enumerate() {
             visited[r][v] = true;
         }
-        ExplorationTracker { n, visited, completions: vec![0; k] }
+        ExplorationTracker {
+            n,
+            visited,
+            completions: vec![0; k],
+        }
     }
 
     /// Number of robots tracked.

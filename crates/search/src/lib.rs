@@ -11,9 +11,10 @@
 //! * [`exploration`] — per-robot node-visit tracking for the exclusive
 //!   perpetual exploration task (every robot must visit every node infinitely
 //!   often);
-//! * [`monitor`] — composable monitors that plug into
-//!   `rr_corda::Simulator::run` and count how often the perpetual properties
-//!   (full clearing, full exploration, gathering) are achieved.
+//! * [`monitor`] — implementations of the `rr_corda::Monitor` trait that plug
+//!   into the `rr_corda::Engine` stepping pipeline and count how often the
+//!   perpetual properties (full clearing, full exploration, gathering) are
+//!   achieved.
 //!
 //! Nothing in this crate makes decisions; it only observes runs.
 
@@ -26,4 +27,4 @@ pub mod monitor;
 
 pub use contamination::Contamination;
 pub use exploration::ExplorationTracker;
-pub use monitor::{GatheringMonitor, SearchMonitors};
+pub use monitor::{GatheringMonitor, PositionTracker, SearchMonitors};

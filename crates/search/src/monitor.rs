@@ -1,16 +1,29 @@
 //! Composable run monitors for the three tasks.
 //!
-//! The monitors are designed to be driven from the `on_move` callback of
-//! `rr_corda::Simulator::run`: after every executed move they update the
-//! contamination state, the exploration tracker and the gathering status, and
-//! count how many times each perpetual property has been achieved.
+//! Every observer in this crate implements `rr_corda::Monitor`, so it plugs
+//! directly into the `Engine::step` pipeline (alone or composed in tuples):
+//! after every executed move the contamination state, the exploration tracker
+//! and the gathering status are updated, and the number of times each
+//! perpetual property has been achieved is counted.
 
-use rr_corda::{MoveRecord, RobotId};
+use rr_corda::{Monitor, MoveRecord, RobotId};
 use rr_ring::{Configuration, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::contamination::Contamination;
 use crate::exploration::ExplorationTracker;
+
+impl Monitor for Contamination {
+    fn on_move(&mut self, record: &MoveRecord, after: &Configuration) {
+        self.observe_move(record.from, record.to, after);
+    }
+}
+
+impl Monitor for ExplorationTracker {
+    fn on_move(&mut self, record: &MoveRecord, _after: &Configuration) {
+        self.observe_move(record.robot, record.to);
+    }
+}
 
 /// Counts clearing and exploration achievements along a run.
 ///
@@ -49,11 +62,13 @@ impl SearchMonitors {
     /// Observes one executed move and the configuration after it.
     pub fn observe(&mut self, record: &MoveRecord, after: &Configuration) {
         self.moves_observed += 1;
-        self.contamination.observe_move(record.from, record.to, after);
+        self.contamination
+            .observe_move(record.from, record.to, after);
         self.exploration.observe_move(record.robot, record.to);
         if self.contamination.all_clear() {
             self.clearings += 1;
-            self.clearing_intervals.push(self.moves_observed - self.moves_at_last_clearing);
+            self.clearing_intervals
+                .push(self.moves_observed - self.moves_at_last_clearing);
             self.moves_at_last_clearing = self.moves_observed;
             self.contamination.reset();
             self.contamination.observe_configuration(after);
@@ -102,6 +117,12 @@ impl SearchMonitors {
     #[must_use]
     pub fn demonstrated(&self, clearings: u64, explorations: u64) -> bool {
         self.clearings >= clearings && self.exploration.min_completions() >= explorations
+    }
+}
+
+impl Monitor for SearchMonitors {
+    fn on_move(&mut self, record: &MoveRecord, after: &Configuration) {
+        self.observe(record, after);
     }
 }
 
@@ -161,6 +182,12 @@ impl GatheringMonitor {
     }
 }
 
+impl Monitor for GatheringMonitor {
+    fn on_move(&mut self, record: &MoveRecord, after: &Configuration) {
+        self.observe(record, after);
+    }
+}
+
 /// Convenience: positions vector (robot id → node) maintained incrementally
 /// from move records; useful when a monitor needs robot positions but the
 /// simulator is owned elsewhere.
@@ -173,7 +200,9 @@ impl PositionTracker {
     /// Creates the tracker from initial positions (indexed by robot id).
     #[must_use]
     pub fn new(initial_positions: &[NodeId]) -> Self {
-        PositionTracker { positions: initial_positions.to_vec() }
+        PositionTracker {
+            positions: initial_positions.to_vec(),
+        }
     }
 
     /// Applies a move record.
@@ -196,13 +225,24 @@ impl PositionTracker {
     }
 }
 
+impl Monitor for PositionTracker {
+    fn on_move(&mut self, record: &MoveRecord, _after: &Configuration) {
+        self.observe(record);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rr_ring::Ring;
 
     fn record(robot: RobotId, from: NodeId, to: NodeId) -> MoveRecord {
-        MoveRecord { robot, from, to, step: 0 }
+        MoveRecord {
+            robot,
+            from,
+            to,
+            step: 0,
+        }
     }
 
     #[test]

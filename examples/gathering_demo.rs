@@ -12,14 +12,14 @@ use ring_robots::prelude::*;
 fn trace_small_run() {
     println!("-- step-by-step gathering of 4 robots on a 10-node ring --");
     let start = Configuration::from_gaps_at_origin(&[0, 1, 2, 3]);
-    let mut sim = Simulator::with_default_options(GatheringProtocol::new(), start).expect("valid");
+    let mut sim = Engine::with_default_options(GatheringProtocol::new(), start).expect("valid");
     let mut scheduler = RoundRobinScheduler::new();
     println!("  start: {}", sim.configuration());
     let mut guard = 0;
     while !sim.configuration().is_gathered() && guard < 10_000 {
         let step = scheduler.next(&sim.scheduler_view());
-        let records = sim.apply(&step).expect("no failure");
-        for rec in records {
+        let report = sim.step(&step, &mut ()).expect("no failure");
+        for rec in report.moves {
             println!(
                 "  robot {} moves {} -> {}   {}",
                 rec.robot,
@@ -37,7 +37,10 @@ fn main() {
     trace_small_run();
 
     println!("-- gathering across ring sizes and schedulers --");
-    println!("{:>4} {:>4} {:>14} {:>14} {:>14}", "n", "k", "round-robin", "ssync", "async");
+    println!(
+        "{:>4} {:>4} {:>14} {:>14} {:>14}",
+        "n", "k", "round-robin", "ssync", "async"
+    );
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
     for (n, k) in [(8usize, 4usize), (12, 5), (16, 7), (24, 11), (40, 9)] {
         let start = ring_robots::ring::enumerate::random_rigid_configuration(n, k, &mut rng)
@@ -54,7 +57,11 @@ fn main() {
         ] {
             row.push_str(&format!(
                 " {:>8} moves",
-                if stats.gathered { stats.moves.to_string() } else { "FAILED".to_string() }
+                if stats.gathered {
+                    stats.moves.to_string()
+                } else {
+                    "FAILED".to_string()
+                }
             ));
         }
         println!("{row}");

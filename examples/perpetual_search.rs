@@ -13,17 +13,17 @@ use ring_robots::prelude::*;
 fn watch_cycle(n: usize, k: usize, start: &Configuration, steps: usize) {
     println!("-- Ring Clearing phase-2 cycle on (n = {n}, k = {k}) --");
     let protocol = RingClearingProtocol::new();
-    let mut sim = Simulator::with_default_options(protocol, start.clone()).expect("valid start");
+    let mut sim = Engine::with_default_options(protocol, start.clone()).expect("valid start");
     let mut scheduler = RoundRobinScheduler::new();
     let mut last_class = None;
     let mut moves = 0usize;
     while moves < steps {
         let step = scheduler.next(&sim.scheduler_view());
-        let records = sim.apply(&step).expect("no exclusivity violation");
-        if records.is_empty() {
+        let report = sim.step(&step, &mut ()).expect("no exclusivity violation");
+        if !report.moved() {
             continue;
         }
-        moves += records.len();
+        moves += report.moves.len();
         let word = View::new(sim.configuration().gap_sequence());
         let class = classify(&word);
         if class != last_class {
@@ -54,9 +54,13 @@ fn main() {
             .next()
             .expect("rigid configuration exists");
         let mut scheduler = RoundRobinScheduler::new();
-        let stats =
-            run_searching(protocol, &start, &mut scheduler, 10, 1, 400_000).expect("runs");
-        let period = stats.clearing_intervals.iter().skip(1).copied().collect::<Vec<_>>();
+        let stats = run_searching(protocol, &start, &mut scheduler, 10, 1, 400_000).expect("runs");
+        let period = stats
+            .clearing_intervals
+            .iter()
+            .skip(1)
+            .copied()
+            .collect::<Vec<_>>();
         println!(
             "(n={n:>2}, k={k:>2}) {:<14} clearings={:<3} steady period={:?} moves={}",
             protocol.name(),
@@ -74,8 +78,15 @@ fn main() {
         .next()
         .expect("rigid configuration exists");
     let mut scheduler = AsynchronousScheduler::seeded(7);
-    let stats = run_searching(NminusThreeProtocol::new(), &start, &mut scheduler, 5, 0, 400_000)
-        .expect("runs");
+    let stats = run_searching(
+        NminusThreeProtocol::new(),
+        &start,
+        &mut scheduler,
+        5,
+        0,
+        400_000,
+    )
+    .expect("runs");
     println!(
         "(n={n}, k={}) clearings={} min exploration sweeps={}",
         n - 3,

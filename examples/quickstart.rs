@@ -13,7 +13,10 @@ fn main() {
     let start = Configuration::from_gaps_at_origin(&[0, 2, 1, 0, 5]);
     assert_eq!(start.n(), n);
     assert_eq!(start.num_robots(), k);
-    println!("initial configuration: {start}  (rigid = {})", ring_robots::ring::symmetry::is_rigid(&start));
+    println!(
+        "initial configuration: {start}  (rigid = {})",
+        ring_robots::ring::symmetry::is_rigid(&start)
+    );
 
     // 1. Exclusive perpetual graph searching + exploration.
     match protocol_for(Task::GraphSearching, n, k) {

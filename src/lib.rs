@@ -22,7 +22,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`ring`] (`rr-ring`) | anonymous ring, configurations, views, supermin, symmetry, enumeration |
-//! | [`corda`] (`rr-corda`) | Look–Compute–Move simulator, snapshots, schedulers (FSYNC/SSYNC/ASYNC/adversarial) |
+//! | [`corda`] (`rr-corda`) | the Look–Compute–Move [`Engine`](corda::Engine), snapshots, schedulers (FSYNC/SSYNC/ASYNC/adversarial), composable monitors |
 //! | [`search`] (`rr-search`) | contamination / exploration / gathering monitors |
 //! | [`core`] (`rr-core`) | the paper's algorithms: Align, Ring Clearing, NminusThree, Gathering, feasibility |
 //! | [`checker`] (`rr-checker`) | configuration graphs, impossibility checks, protocol-synthesis search, characterization |
@@ -64,15 +64,16 @@ pub mod prelude {
         SemiSynchronousScheduler,
     };
     pub use rr_corda::{
-        Decision, MultiplicityCapability, Protocol, Scheduler, Simulator, SimulatorOptions,
-        Snapshot, ViewIndex,
+        Decision, Engine, EngineOptions, Monitor, MultiplicityCapability, Protocol, Scheduler,
+        SchedulerStep, Snapshot, StepReport, ViewIndex,
     };
     pub use rr_core::align::{run_to_c_star, AlignProtocol};
     pub use rr_core::clearing::{run_searching, RingClearingProtocol};
+    pub use rr_core::driver::{drive, run_dispatched, run_task, TaskTargets};
+    pub use rr_core::feasibility::{searching_feasibility, Feasibility};
     pub use rr_core::gathering::{run_gathering, GatheringProtocol};
     pub use rr_core::nminus_three::NminusThreeProtocol;
     pub use rr_core::unified::{protocol_for, Task};
-    pub use rr_core::feasibility::{searching_feasibility, Feasibility};
     pub use rr_ring::{Configuration, Direction, Ring, View};
     pub use rr_search::{Contamination, ExplorationTracker, GatheringMonitor, SearchMonitors};
 }

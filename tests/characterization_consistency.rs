@@ -38,7 +38,10 @@ fn figure_counts_match_the_enumeration_crate() {
     // The configuration-graph node counts (Figures 4–9) must agree with the
     // plain enumeration counts from rr-ring.
     for (k, n) in [(4usize, 7usize), (4, 8), (5, 8), (6, 9), (4, 9), (5, 9)] {
-        assert_eq!(configuration_graph(n, k).num_classes(), count_configurations(n, k));
+        assert_eq!(
+            configuration_graph(n, k).num_classes(),
+            count_configurations(n, k)
+        );
     }
 }
 

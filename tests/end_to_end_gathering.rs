@@ -1,11 +1,11 @@
 //! Cross-crate integration tests for the gathering task.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use ring_robots::core::gathering::run_gathering;
 use ring_robots::core::unified::{protocol_for, Task};
 use ring_robots::prelude::*;
 use ring_robots::ring::enumerate::{enumerate_rigid_configurations, random_rigid_configuration};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 #[test]
 fn gathering_from_random_rigid_configurations() {
@@ -22,7 +22,10 @@ fn gathering_from_random_rigid_configurations() {
 #[test]
 fn gathering_is_robust_to_the_asynchronous_adversary() {
     for seed in [10u64, 20, 30] {
-        let start = enumerate_rigid_configurations(14, 6).into_iter().next().unwrap();
+        let start = enumerate_rigid_configurations(14, 6)
+            .into_iter()
+            .next()
+            .unwrap();
         let mut scheduler = AsynchronousScheduler::seeded(seed);
         let stats = run_gathering(&start, &mut scheduler, 2_000_000).unwrap();
         assert!(stats.gathered, "seed {seed}");
@@ -50,16 +53,21 @@ fn gathering_verification_harness() {
 #[test]
 fn gathered_runs_stay_gathered() {
     // After gathering is reached, scheduling more cycles must not move anyone.
-    let start = enumerate_rigid_configurations(11, 4).into_iter().next().unwrap();
+    let start = enumerate_rigid_configurations(11, 4)
+        .into_iter()
+        .next()
+        .unwrap();
     let protocol = GatheringProtocol::new();
-    let mut sim = Simulator::with_default_options(protocol, start).unwrap();
+    let mut sim = Engine::with_default_options(protocol, start).unwrap();
     let mut scheduler = RoundRobinScheduler::new();
-    let report = sim.run_until(&mut scheduler, 1_000_000, |s| s.configuration().is_gathered());
+    let report = sim.run_until(&mut scheduler, 1_000_000, |s| {
+        s.configuration().is_gathered()
+    });
     assert!(report.succeeded());
     let moves_at_gathering = sim.move_count();
     for _ in 0..200 {
         let step = scheduler.next(&sim.scheduler_view());
-        sim.apply(&step).unwrap();
+        sim.step(&step, &mut ()).unwrap();
     }
     assert_eq!(sim.move_count(), moves_at_gathering);
     assert!(sim.configuration().is_gathered());

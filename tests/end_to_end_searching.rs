@@ -21,7 +21,11 @@ fn ring_clearing_across_a_parameter_spread() {
         let start = first_rigid(n, k);
         let mut scheduler = RoundRobinScheduler::new();
         let stats = run_searching(protocol, &start, &mut scheduler, 4, 1, 600_000).unwrap();
-        assert!(stats.clearings >= 4, "(n={n}, k={k}): {} clearings", stats.clearings);
+        assert!(
+            stats.clearings >= 4,
+            "(n={n}, k={k}): {} clearings",
+            stats.clearings
+        );
         assert!(
             stats.min_exploration_completions >= 1,
             "(n={n}, k={k}): exploration sweeps {}",
@@ -62,13 +66,26 @@ fn searching_never_violates_exclusivity_under_async_adversaries() {
         let protocol = protocol_for(Task::GraphSearching, 12, 5).unwrap();
         let mut scheduler = AsynchronousScheduler::seeded(seed);
         let stats = run_searching(protocol, &start, &mut scheduler, 3, 0, 200_000).unwrap();
-        assert!(stats.clearings >= 3, "seed {seed}: {} clearings", stats.clearings);
+        assert!(
+            stats.clearings >= 3,
+            "seed {seed}: {} clearings",
+            stats.clearings
+        );
     }
 }
 
 #[test]
 fn impossible_and_open_cells_have_no_dispatched_protocol() {
-    for (n, k) in [(9usize, 5usize), (8, 4), (12, 2), (12, 3), (12, 10), (12, 11), (10, 5), (15, 4)] {
+    for (n, k) in [
+        (9usize, 5usize),
+        (8, 4),
+        (12, 2),
+        (12, 3),
+        (12, 10),
+        (12, 11),
+        (10, 5),
+        (15, 4),
+    ] {
         assert!(
             protocol_for(Task::GraphSearching, n, k).is_none(),
             "(n={n}, k={k}) must not be dispatched"

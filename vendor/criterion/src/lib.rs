@@ -1,0 +1,350 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of the criterion API the `rr-bench` targets use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple wall-clock harness: each benchmark
+//! is warmed up, then timed over a fixed measurement window, and the
+//! mean/min per-iteration times are printed.  No statistics, no HTML reports;
+//! swap the real criterion back in from the workspace manifest for those.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iterations: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: first for the warm-up window, then for the
+    /// measurement window, and records the timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, up to the warm-up window.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Measurement.
+        let mut iterations = 0u64;
+        let mut best = Duration::MAX;
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed();
+            best = best.min(dt);
+            iterations += 1;
+            if started.elapsed() >= self.config.measurement_time
+                && iterations >= self.config.sample_size as u64
+            {
+                break;
+            }
+        }
+        self.result = Some(Sample {
+            iterations,
+            total: started.elapsed(),
+            best,
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark manager (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    /// When true (the `--test` flag cargo passes under `cargo test`), each
+    /// benchmark body runs exactly once, untimed.
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up window.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, a name filter).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                "--exact" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with("--") => {
+                    // Consume a value for unknown --key value options.
+                    let _ = args.next();
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = id.to_string();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            // `cargo test` runs bench binaries: execute once for correctness.
+            let once = Config {
+                sample_size: 1,
+                warm_up_time: Duration::ZERO,
+                measurement_time: Duration::ZERO,
+            };
+            let mut b = Bencher {
+                config: &once,
+                result: None,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => {
+                let mean = s.total.as_nanos() as f64 / s.iterations.max(1) as f64;
+                println!(
+                    "{id:<56} mean {:>12} min {:>12} ({} iters)",
+                    format_ns(mean),
+                    format_ns(s.best.as_nanos() as f64),
+                    s.iterations
+                );
+            }
+            None => println!("{id:<56} (no measurement)"),
+        }
+    }
+
+    /// Runs registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, F: FnMut(&mut Bencher<'_>, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Overrides the minimum sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's `black_box` (deprecated there in favour of
+/// `std::hint::black_box`, which the benches already use directly).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let config = Config {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            config: &config,
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        let s = b.result.expect("measured");
+        assert!(s.iterations >= 3);
+        assert!(count > s.iterations); // warm-up also ran
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

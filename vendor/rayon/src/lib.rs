@@ -1,0 +1,186 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! slice of the rayon API the workspace uses — `vec.into_par_iter()`,
+//! `slice.par_iter()`, `.map(...)`, `.collect()` — with *real* parallelism:
+//! a fixed pool of `std::thread::scope` workers claim items through an atomic
+//! cursor and results are reassembled in input order.  There is no work
+//! stealing and no nested-parallelism scheduling; for the coarse-grained
+//! embarrassingly-parallel sweeps in this workspace that is all that is
+//! needed.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a worker pool, preserving input order.
+fn ordered_parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec<O> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let output: Vec<Mutex<Option<O>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = input[i].lock().expect("input poisoned").take();
+                let Some(item) = item else { break };
+                let result = f(item);
+                *output[i].lock().expect("output poisoned") = Some(result);
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("output poisoned")
+                .expect("worker completed")
+        })
+        .collect()
+}
+
+/// A parallel iterator pipeline: the collected items plus a mapping stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    /// Adds another mapping stage.
+    pub fn map<O2: Send, G: Fn(O) -> O2 + Sync>(self, g: G) -> ParMap<T, impl Fn(T) -> O2 + Sync>
+    where
+        F: Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| g(f(t)),
+        }
+    }
+
+    /// Runs the pipeline in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        ordered_parallel_map(self.items, self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A not-yet-mapped parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Adds a mapping stage.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items unchanged (identity pipeline).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Types convertible into an owning parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the iterator (a shared reference).
+    type Item: Send;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The common imports (subset of `rayon::prelude`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        let sums: Vec<usize> = v.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x + 1).map(|x| x * 3).collect();
+        assert_eq!(out[0], 3);
+        assert_eq!(out[63], 192);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

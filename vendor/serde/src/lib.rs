@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! workspace serializes data yet: the `#[derive(Serialize, Deserialize)]`
+//! annotations on the domain types declare intent for future tooling (JSON
+//! experiment dumps, trace persistence).  This crate provides the two traits
+//! as markers and re-exports no-op derives, so the annotations compile
+//! unchanged and the real serde can be swapped back in from the workspace
+//! manifest alone.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent for future tooling.  These
+//! derives therefore expand to marker-trait impls and nothing else.  Swapping
+//! the real serde back in is a two-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// Extracts the type name and a usable impl-generics / ty-generics split from
+/// the item the derive is attached to.
+///
+/// This is a deliberately small parser: it handles the `struct Name<...>` /
+/// `enum Name<...>` shapes that occur in this workspace (plain named generics
+/// and lifetimes, no const generics, no defaults with nested angle brackets
+/// beyond one level).
+fn parse_name_and_generics(input: &str) -> Option<(String, String)> {
+    let mut rest = input;
+    // Skip attributes and doc comments conservatively: find the first
+    // `struct` or `enum` keyword at a word boundary.
+    let kw_pos = ["struct ", "enum "]
+        .iter()
+        .filter_map(|kw| rest.find(kw).map(|p| p + kw.len()))
+        .min()?;
+    rest = &rest[kw_pos..];
+    let rest = rest.trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = rest[..name_end].to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name_end..].trim_start();
+    let generics = if after.starts_with('<') {
+        let mut depth = 0usize;
+        let mut end = 0usize;
+        for (i, c) in after.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        after[..end].to_string()
+    } else {
+        String::new()
+    };
+    Some((name, generics))
+}
+
+/// Strips bounds from a generics list: `<T: Clone, 'a>` -> `<T, 'a>`.
+fn ty_generics(generics: &str) -> String {
+    if generics.is_empty() {
+        return String::new();
+    }
+    let inner = &generics[1..generics.len() - 1];
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                params.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    params.push(&inner[start..]);
+    let names: Vec<String> = params
+        .iter()
+        .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let text = input.to_string();
+    let Some((name, generics)) = parse_name_and_generics(&text) else {
+        return TokenStream::new();
+    };
+    let ty = ty_generics(&generics);
+    let (impl_generics, where_de) = if trait_path.contains("Deserialize") {
+        // Add the deserializer lifetime to the impl generics.
+        if generics.is_empty() {
+            ("<'de>".to_string(), String::new())
+        } else {
+            (format!("<'de, {}", &generics[1..]), String::new())
+        }
+    } else {
+        (generics.clone(), String::new())
+    };
+    let lifetime = if trait_path.contains("Deserialize") {
+        "<'de>"
+    } else {
+        ""
+    };
+    let code = format!("impl{impl_generics} {trait_path}{lifetime} for {name}{ty} {where_de} {{}}");
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits a marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
