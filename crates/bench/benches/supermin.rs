@@ -3,9 +3,40 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rr_bench::rigid_start;
-use rr_ring::{supermin_intervals, supermin_view, symmetry};
+use rr_ring::{supermin_intervals, supermin_view, symmetry, View};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// Booth's least-rotation vs the all-rotations reference implementation
+/// (`min_rotation_naive` / `supermin_naive`) — the regression guard for the
+/// PR that replaced the Vec-of-Vecs materialization.
+fn bench_booth_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("booth_vs_naive");
+    for &(n, k) in &[(32usize, 12usize), (64, 16), (256, 64), (1024, 128)] {
+        let view = View::new(rigid_start(n, k).gap_sequence());
+        group.bench_with_input(
+            BenchmarkId::new("min_rotation_booth", format!("n{n}_k{k}")),
+            &view,
+            |b, w| b.iter(|| black_box(black_box(w).min_rotation())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_rotation_naive", format!("n{n}_k{k}")),
+            &view,
+            |b, w| b.iter(|| black_box(black_box(w).min_rotation_naive())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supermin_booth", format!("n{n}_k{k}")),
+            &view,
+            |b, w| b.iter(|| black_box(black_box(w).supermin())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supermin_naive", format!("n{n}_k{k}")),
+            &view,
+            |b, w| b.iter(|| black_box(black_box(w).supermin_naive())),
+        );
+    }
+    group.finish();
+}
 
 fn bench_supermin(c: &mut Criterion) {
     let mut group = c.benchmark_group("supermin");
@@ -42,6 +73,6 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_supermin
+    targets = bench_supermin, bench_booth_vs_naive
 }
 criterion_main!(benches);

@@ -2,10 +2,11 @@
 //! scheduler model affects the cost of the tasks.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_ablation
+//! cargo run --release -p rr-bench --bin exp_ablation -- [--quick] [--json <path>] [--sequential]
 //! ```
 
 use rr_bench::spread_out_rigid_start;
+use rr_bench::sweep::{grid_map, ExpArgs};
 use rr_corda::scheduler::{
     AsynchronousScheduler, FullySynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler,
 };
@@ -16,6 +17,29 @@ use rr_core::clearing::RingClearingProtocol;
 use rr_core::driver::{run_task, TaskTargets};
 use rr_core::unified::Task;
 use rr_ring::{supermin_view, symmetry};
+use serde::Serialize;
+
+/// One guarded-vs-naive Align comparison (E9a), as recorded in the report.
+#[derive(Debug, Clone, Serialize)]
+struct AblationRecord {
+    experiment: String,
+    n: usize,
+    k: usize,
+    guarded_moves: u64,
+    guarded_reached: bool,
+    naive_outcome: String,
+    ok: bool,
+}
+
+/// One scheduler-cost row (E9b), as recorded in the report.
+#[derive(Debug, Clone, Serialize)]
+struct SchedulerCostRecord {
+    experiment: String,
+    scheduler: String,
+    moves: u64,
+    activations: u64,
+    ok: bool,
+}
 
 fn naive_aligner_outcome(n: usize, k: usize) -> String {
     let start = spread_out_rigid_start(n, k);
@@ -42,24 +66,49 @@ fn naive_aligner_outcome(n: usize, k: usize) -> String {
 }
 
 fn main() {
+    // Default seed 23 matches the E9b numbers recorded in EXPERIMENTS.md.
+    let args = ExpArgs::parse(23);
+    let cases: Vec<(usize, usize)> = if args.quick {
+        vec![(9, 4), (12, 5)]
+    } else {
+        vec![(9, 4), (12, 5), (13, 5), (16, 7)]
+    };
+
+    let e9a: Vec<AblationRecord> = grid_map(cases, args.mode(), |(n, k)| {
+        let start = spread_out_rigid_start(n, k);
+        let mut sched = RoundRobinScheduler::new();
+        let (guarded_moves, guarded_reached) = match run_to_c_star(&start, &mut sched, 10_000_000) {
+            Ok((_, moves)) => (moves, true),
+            Err(_) => (0, false),
+        };
+        AblationRecord {
+            experiment: "E9a".to_string(),
+            n,
+            k,
+            guarded_moves,
+            guarded_reached,
+            naive_outcome: naive_aligner_outcome(n, k),
+            // The ablation demonstrates that the *guarded* algorithm always
+            // converges; the naive baseline is expected (and allowed) to
+            // fail in its own instructive ways.
+            ok: guarded_reached,
+        }
+    });
+
     println!("# E9a — Align ablation: guarded rule order (paper) vs unguarded reduction_1");
     println!(
         "{:>4} {:>4} {:>28} {:>44}",
         "n", "k", "Align (guarded)", "NaiveAligner (no symmetry guards)"
     );
-    for (n, k) in [(9usize, 4usize), (12, 5), (13, 5), (16, 7)] {
-        let start = spread_out_rigid_start(n, k);
-        let mut sched = RoundRobinScheduler::new();
-        let guarded = match run_to_c_star(&start, &mut sched, 10_000_000) {
-            Ok((_, moves)) => format!("C* in {moves} moves"),
-            Err(e) => format!("failed: {e}"),
+    for r in &e9a {
+        let guarded = if r.guarded_reached {
+            format!("C* in {} moves", r.guarded_moves)
+        } else {
+            "failed".to_string()
         };
         println!(
             "{:>4} {:>4} {:>28} {:>44}",
-            n,
-            k,
-            guarded,
-            naive_aligner_outcome(n, k)
+            r.n, r.k, guarded, r.naive_outcome
         );
     }
 
@@ -69,12 +118,19 @@ fn main() {
     let start = spread_out_rigid_start(14, 6);
     let runs: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("fsync", Box::new(FullySynchronousScheduler)),
-        ("ssync", Box::new(SemiSynchronousScheduler::seeded(23))),
+        (
+            "ssync",
+            Box::new(SemiSynchronousScheduler::seeded(args.root_seed)),
+        ),
         ("round-robin", Box::new(RoundRobinScheduler::new())),
-        ("async", Box::new(AsynchronousScheduler::seeded(23))),
+        (
+            "async",
+            Box::new(AsynchronousScheduler::seeded(args.root_seed)),
+        ),
     ];
+    let mut e9b: Vec<SchedulerCostRecord> = Vec::new();
     for (name, mut scheduler) in runs {
-        let stats = run_task(
+        let report = run_task(
             Task::GraphSearching,
             RingClearingProtocol::new(),
             &start,
@@ -82,12 +138,35 @@ fn main() {
             TaskTargets::demonstrate(5, 0),
             4_000_000,
         )
-        .expect("runs")
-        .searching()
-        .expect("searching stats");
+        .expect("runs");
+        let ok = report.report.succeeded();
+        let stats = report.searching().expect("searching stats");
         println!("{:>14} {:>10} {:>12}", name, stats.moves, stats.steps);
+        e9b.push(SchedulerCostRecord {
+            experiment: "E9b".to_string(),
+            scheduler: name.to_string(),
+            moves: stats.moves,
+            activations: stats.steps,
+            ok,
+        });
     }
     println!();
     println!("# shape check: the number of *moves* to clear is scheduler-independent; the number");
     println!("# of activations grows from FSYNC to ASYNC because most activations are idle.");
+
+    // One JSON report with both record families: E9a rows first, then E9b.
+    if args.json.is_some() {
+        #[derive(Debug, Serialize)]
+        struct Combined {
+            align_ablation: Vec<AblationRecord>,
+            scheduler_cost: Vec<SchedulerCostRecord>,
+        }
+        let combined = Combined {
+            align_ablation: e9a.clone(),
+            scheduler_cost: e9b.clone(),
+        };
+        args.write_json("E9", std::slice::from_ref(&combined));
+    }
+    let failures = e9a.iter().filter(|r| !r.ok).count() + e9b.iter().filter(|r| !r.ok).count();
+    rr_bench::sweep::exit_if_failed("E9", failures, e9a.len() + e9b.len());
 }

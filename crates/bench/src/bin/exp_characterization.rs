@@ -3,20 +3,20 @@
 //! cross-validate every solvable cell by simulation.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_characterization [-- --max-n 24 --no-validate]
+//! cargo run --release -p rr-bench --bin exp_characterization -- \
+//!     [--quick] [--json <path>] [--seed <u64>] [--max-n 24] [--no-validate]
 //! ```
 
+use rr_bench::sweep::ExpArgs;
 use rr_checker::characterization::{build_characterization, render_table, CellStatus};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let validate = !args.iter().any(|a| a == "--no-validate");
+    let args = ExpArgs::parse(17);
+    let validate = !args.flag("--no-validate");
     let max_n: usize = args
-        .iter()
-        .position(|a| a == "--max-n")
-        .and_then(|i| args.get(i + 1))
+        .value("--max-n")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+        .unwrap_or(if args.quick { 12 } else { 20 });
 
     println!("# E1 — characterization of exclusive perpetual graph searching (3 <= n <= {max_n})");
     println!(
@@ -27,7 +27,7 @@ fn main() {
             "claims only"
         }
     );
-    let cells = build_characterization(3..=max_n, validate, 17);
+    let cells = build_characterization(3..=max_n, validate, args.root_seed);
     println!("{}", render_table(&cells));
 
     let mut solvable = 0usize;
@@ -56,5 +56,12 @@ fn main() {
         println!("validation failures: none");
     } else {
         println!("validation failures: {failed:?}");
+    }
+
+    args.write_json("E1", &cells);
+    if validate {
+        rr_bench::sweep::exit_if_failed("E1", failed.len(), solvable);
+    } else {
+        println!("# E1: claims only — nothing was verified (--no-validate)");
     }
 }

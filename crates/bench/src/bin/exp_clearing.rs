@@ -3,73 +3,57 @@
 //! three scheduler models.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_clearing
+//! cargo run --release -p rr-bench --bin exp_clearing -- [--quick] [--json <path>] [--seed <u64>] [--sequential]
 //! ```
 
-use rayon::prelude::*;
-use rr_bench::{rigid_start, CLEARING_INSTANCES};
-use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_core::driver::{run_dispatched, TaskTargets};
+use rr_bench::sweep::{ExpArgs, Sweep};
+use rr_bench::CLEARING_INSTANCES;
+use rr_corda::SchedulerKind;
+use rr_core::driver::TaskTargets;
 use rr_core::unified::Task;
 
 fn main() {
+    let args = ExpArgs::parse(0xE4);
+    let instances: Vec<(usize, usize)> = if args.quick {
+        CLEARING_INSTANCES
+            .iter()
+            .copied()
+            .filter(|&(n, _)| n <= 16)
+            .collect()
+    } else {
+        CLEARING_INSTANCES.to_vec()
+    };
+    let sweep = Sweep {
+        experiment: "E4",
+        task: Task::GraphSearching,
+        instances,
+        schedulers: SchedulerKind::ALL.to_vec(),
+        seeds_per_cell: 1,
+        root_seed: args.root_seed,
+        targets: TaskTargets::demonstrate(10, 1),
+        budget_per_n: 30_000,
+        budget_flat: 0,
+        async_budget_factor: 2,
+    };
+    let records = sweep.run(args.mode());
+
     println!("# E4 — Ring Clearing (5 <= k < n-3): clearings, steady period, exploration");
     println!(
         "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
         "n", "k", "scheduler", "clearings", "steady period", "exploration", "moves"
     );
-    let mut jobs = Vec::new();
-    for &(n, k) in CLEARING_INSTANCES {
-        for scheduler in ["round-robin", "ssync", "async"] {
-            jobs.push((n, k, scheduler));
-        }
-    }
-    let rows: Vec<_> = jobs
-        .par_iter()
-        .map(|&(n, k, scheduler)| {
-            let start = rigid_start(n, k);
-            let budget = 30_000 * n as u64;
-            let targets = TaskTargets::demonstrate(10, 1);
-            let report = match scheduler {
-                "round-robin" => {
-                    let mut s = RoundRobinScheduler::new();
-                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, budget)
-                }
-                "ssync" => {
-                    let mut s = SemiSynchronousScheduler::seeded(3);
-                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, budget)
-                }
-                _ => {
-                    let mut s = AsynchronousScheduler::seeded(3);
-                    run_dispatched(Task::GraphSearching, &start, &mut s, targets, 2 * budget)
-                }
-            }
-            .expect("run succeeds");
-            let stats = report.searching().expect("searching stats");
-            (n, k, scheduler, stats)
-        })
-        .collect();
-    for (n, k, scheduler, stats) in rows {
-        let steady = stats
-            .clearing_intervals
-            .iter()
-            .skip(1)
-            .copied()
-            .max()
-            .unwrap_or(0);
+    for r in &records {
         println!(
             "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
-            n,
-            k,
-            scheduler,
-            stats.clearings,
-            steady,
-            stats.min_exploration_completions,
-            stats.moves
+            r.n, r.k, r.scheduler, r.clearings, r.steady_period, r.explorations, r.moves
         );
     }
     println!();
     println!("# shape check: the steady clearing period equals n-k moves per cycle, independent");
     println!("# of the scheduler (the adversary changes how many activations it takes, not the");
     println!("# number of moves).");
+
+    args.write_json("E4", &records);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    rr_bench::sweep::exit_if_failed("E4", failures, records.len());
 }

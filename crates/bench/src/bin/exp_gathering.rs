@@ -2,59 +2,60 @@
 //! scheduler models across ring sizes and team sizes.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_gathering
+//! cargo run --release -p rr-bench --bin exp_gathering -- [--quick] [--json <path>] [--seed <u64>] [--sequential]
 //! ```
 
-use rayon::prelude::*;
-use rr_bench::{rigid_start, GATHERING_INSTANCES};
-use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_core::driver::{run_dispatched, TaskTargets};
+use rr_bench::sweep::{ExpArgs, Sweep};
+use rr_bench::GATHERING_INSTANCES;
+use rr_corda::SchedulerKind;
+use rr_core::driver::TaskTargets;
 use rr_core::unified::Task;
 
 fn main() {
+    let args = ExpArgs::parse(0xE6);
+    let instances: Vec<(usize, usize)> = if args.quick {
+        GATHERING_INSTANCES
+            .iter()
+            .copied()
+            .filter(|&(n, _)| n <= 16)
+            .collect()
+    } else {
+        GATHERING_INSTANCES.to_vec()
+    };
+    let sweep = Sweep {
+        experiment: "E6",
+        task: Task::Gathering,
+        instances,
+        schedulers: SchedulerKind::ALL.to_vec(),
+        seeds_per_cell: 1,
+        root_seed: args.root_seed,
+        targets: TaskTargets::open_ended(),
+        budget_per_n: 100_000,
+        budget_flat: 0,
+        async_budget_factor: 2,
+    };
+    let records = sweep.run(args.mode());
+
     println!("# E6 — Gathering with local multiplicity detection (2 < k < n-2)");
     println!(
         "{:>4} {:>4} {:>16} {:>16} {:>16}",
         "n", "k", "rr moves", "ssync moves", "async moves"
     );
-    let rows: Vec<_> = GATHERING_INSTANCES
-        .par_iter()
-        .map(|&(n, k)| {
-            let start = rigid_start(n, k);
-            let budget = 100_000 * n as u64;
-            let gather = |s: &mut dyn rr_corda::Scheduler, budget: u64| {
-                run_dispatched(
-                    Task::Gathering,
-                    &start,
-                    s,
-                    TaskTargets::open_ended(),
-                    budget,
-                )
-                .expect("runs")
-                .gathering()
-                .expect("gathering stats")
-            };
-            let a = gather(&mut RoundRobinScheduler::new(), budget);
-            let b = gather(&mut SemiSynchronousScheduler::seeded(5), budget);
-            let c = gather(&mut AsynchronousScheduler::seeded(5), 2 * budget);
-            (n, k, a, b, c)
-        })
-        .collect();
-    for (n, k, a, b, c) in rows {
-        let fmt = |s: &rr_core::gathering::GatheringRunStats| {
-            if s.gathered {
-                s.moves.to_string()
+    for row in records.chunks(SchedulerKind::ALL.len()) {
+        let fmt = |r: &rr_bench::sweep::RunRecord| {
+            if r.ok {
+                r.moves.to_string()
             } else {
                 "FAILED".to_string()
             }
         };
         println!(
             "{:>4} {:>4} {:>16} {:>16} {:>16}",
-            n,
-            k,
-            fmt(&a),
-            fmt(&b),
-            fmt(&c)
+            row[0].n,
+            row[0].k,
+            fmt(&row[0]),
+            fmt(&row[1]),
+            fmt(&row[2])
         );
     }
     println!();
@@ -62,4 +63,8 @@ fn main() {
     println!("# move per robot for the contraction, and is identical in order of magnitude");
     println!("# across schedulers (the adversary cannot inflate the number of moves, only the");
     println!("# number of activations).");
+
+    args.write_json("E6", &records);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    rr_bench::sweep::exit_if_failed("E6", failures, records.len());
 }

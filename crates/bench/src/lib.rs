@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rr_ring::enumerate::{enumerate_rigid_configurations, random_rigid_configuration};

@@ -1,0 +1,513 @@
+//! The sweep subsystem: parallel batch experiment runs with deterministic,
+//! machine-readable results.
+//!
+//! A [`Sweep`] declares an instance grid — `(n, k)` pairs × scheduler
+//! families × seeds — and expands it into [`BatchJob`]s for the `rr-core`
+//! batch driver.  Execution either walks the jobs sequentially or shards them
+//! over a rayon worker pool ([`ExecMode`]); each shard recycles **one**
+//! engine allocation through a [`BatchRunner`].  Every job's randomness is
+//! derived from the sweep's root seed and the job's grid coordinates alone
+//! (never from shard layout or thread identity), so **a sharded sweep and a
+//! sequential sweep with the same root seed produce byte-identical JSON
+//! records** — the property CI's bench-regression gate and the
+//! `sweep_determinism` test suite rest on.
+//!
+//! The eight `exp_*` binaries are thin grid declarations over this module:
+//! they parse the shared [`ExpArgs`] CLI (`--quick`, `--json <path>`,
+//! `--seed <u64>`, `--sequential`), run their sweep, print the human table,
+//! write the JSON report, and exit non-zero when any instance fails
+//! verification (see [`exit_if_failed`]).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use rr_corda::SchedulerKind;
+use rr_core::driver::{BatchJob, BatchRunner, TaskTargets};
+use rr_core::unified::Task;
+use serde::Serialize;
+
+/// Stable short slug for a task, used in records and file names.
+#[must_use]
+pub fn task_slug(task: Task) -> &'static str {
+    match task {
+        Task::Exploration => "exploration",
+        Task::GraphSearching => "graph-searching",
+        Task::Gathering => "gathering",
+    }
+}
+
+/// How a sweep executes its jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One worker, one engine, jobs in declaration order.
+    Sequential,
+    /// Jobs sharded over the rayon pool (one recycled engine per shard);
+    /// results are reassembled in declaration order.
+    Sharded,
+}
+
+/// A declarative instance grid: the cross product of `(n, k)` instances,
+/// scheduler kinds and per-cell seeds, run as one task with uniform targets
+/// and a linear step budget.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Experiment identifier recorded in every run record (e.g. "E6").
+    pub experiment: &'static str,
+    /// The task every instance runs.
+    pub task: Task,
+    /// The `(n, k)` grid.
+    pub instances: Vec<(usize, usize)>,
+    /// Scheduler families to run each instance under.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Number of seeded repetitions per (instance, scheduler) cell.
+    pub seeds_per_cell: u64,
+    /// Root seed; every job's randomness is derived from it and the job's
+    /// grid coordinates.
+    pub root_seed: u64,
+    /// Early-stop targets passed to the driver.
+    pub targets: TaskTargets,
+    /// Scheduler-step budget: `budget_per_n * n + budget_flat`.
+    pub budget_per_n: u64,
+    /// Flat part of the step budget.
+    pub budget_flat: u64,
+    /// Extra budget factor for the asynchronous adversary (it interleaves
+    /// Look and Move steps, so it needs roughly twice the steps for the same
+    /// progress).
+    pub async_budget_factor: u64,
+}
+
+/// SplitMix64 finalizer: the per-job seed derivation.  Deterministic in the
+/// root seed and the job's grid coordinates only.
+#[must_use]
+fn splitmix64(z: u64) -> u64 {
+    rand::RngCore::next_u64(&mut rand::SplitMix64::new(z))
+}
+
+/// One measured instance run, as recorded in the JSON report.
+///
+/// `wall_nanos` is measured but **excluded from serialization** — it is the
+/// one field that legitimately differs between a sharded and a sequential
+/// execution of the same sweep, and the JSON records are guaranteed
+/// byte-identical across execution modes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RunRecord {
+    /// Experiment identifier (e.g. "E6").
+    pub experiment: String,
+    /// Task slug ("graph-searching", "gathering", ...).
+    pub task: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Scheduler name ("round-robin", "ssync", "async").
+    pub scheduler: String,
+    /// The derived per-job seed the scheduler was built from.
+    pub seed: u64,
+    /// Scheduler steps (rounds) applied.
+    pub rounds: u64,
+    /// Completed Look–Compute–Move cycles summed over all robots.
+    pub cycles: u64,
+    /// Robot moves executed.
+    pub moves: u64,
+    /// Full ring clearings demonstrated (searching tasks; 0 for gathering).
+    pub clearings: u64,
+    /// Steady-state clearing period: max moves between consecutive clearings
+    /// after the first (searching tasks; 0 otherwise).
+    pub steady_period: u64,
+    /// Minimum full exploration sweeps completed by any robot (searching
+    /// tasks; 0 otherwise).
+    pub explorations: u64,
+    /// Whether the configuration ended gathered (gathering task only).
+    pub gathered: bool,
+    /// Whether this run demonstrated the property the experiment verifies.
+    pub ok: bool,
+    /// Failure detail (empty on success).
+    pub detail: String,
+    /// Wall-clock nanoseconds for this instance (not serialized).
+    #[serde(skip)]
+    pub wall_nanos: u128,
+}
+
+impl Sweep {
+    /// Expands the grid into batch jobs, in deterministic declaration order
+    /// (instances outermost, then schedulers, then seeds).
+    #[must_use]
+    pub fn jobs(&self) -> Vec<BatchJob> {
+        let mut jobs = Vec::new();
+        for &(n, k) in &self.instances {
+            for (si, &scheduler) in self.schedulers.iter().enumerate() {
+                for rep in 0..self.seeds_per_cell {
+                    let coords = (n as u64) << 40 | (k as u64) << 24 | (si as u64) << 16 | rep;
+                    let seed = splitmix64(self.root_seed ^ coords);
+                    let budget = self.budget_per_n * n as u64 + self.budget_flat;
+                    let budget = if scheduler == SchedulerKind::Asynchronous {
+                        budget * self.async_budget_factor.max(1)
+                    } else {
+                        budget
+                    };
+                    jobs.push(BatchJob {
+                        task: self.task,
+                        start: crate::rigid_start(n, k),
+                        scheduler,
+                        seed,
+                        targets: self.targets,
+                        max_scheduler_steps: budget,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Runs one job on `runner` and turns the outcome into a record.
+    fn run_job(&self, runner: &mut BatchRunner, job: &BatchJob) -> RunRecord {
+        let started = Instant::now();
+        let (n, k) = (job.start.n(), job.start.num_robots());
+        let mut record = RunRecord {
+            experiment: self.experiment.to_string(),
+            task: task_slug(job.task).to_string(),
+            n,
+            k,
+            scheduler: job.scheduler.name().to_string(),
+            seed: job.seed,
+            rounds: 0,
+            cycles: 0,
+            moves: 0,
+            clearings: 0,
+            steady_period: 0,
+            explorations: 0,
+            gathered: false,
+            ok: false,
+            detail: String::new(),
+            wall_nanos: 0,
+        };
+        match runner.run(job) {
+            Ok(outcome) => {
+                record.rounds = outcome.report.report.steps;
+                record.moves = outcome.report.report.moves;
+                record.cycles = outcome.cycles;
+                match &outcome.report.stats {
+                    rr_core::driver::TaskStats::Searching(stats) => {
+                        record.clearings = stats.clearings;
+                        record.steady_period = stats
+                            .clearing_intervals
+                            .iter()
+                            .skip(1)
+                            .copied()
+                            .max()
+                            .unwrap_or(0);
+                        record.explorations = stats.min_exploration_completions;
+                        record.ok = outcome.report.report.succeeded();
+                        if !record.ok {
+                            record.detail =
+                                format!("budget exhausted after {} clearings", stats.clearings);
+                        }
+                    }
+                    rr_core::driver::TaskStats::Gathering(stats) => {
+                        record.gathered = stats.gathered;
+                        record.ok = stats.gathered && !stats.broke_gathering;
+                        if !record.ok {
+                            record.detail = if stats.broke_gathering {
+                                "left a gathered configuration".to_string()
+                            } else {
+                                "budget exhausted before gathering".to_string()
+                            };
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                record.detail = e.to_string();
+            }
+        }
+        record.wall_nanos = started.elapsed().as_nanos();
+        record
+    }
+
+    /// Runs the sweep, returning one record per job in declaration order.
+    #[must_use]
+    pub fn run(&self, mode: ExecMode) -> Vec<RunRecord> {
+        let jobs = self.jobs();
+        match mode {
+            ExecMode::Sequential => {
+                let mut runner = BatchRunner::new();
+                jobs.iter()
+                    .map(|job| self.run_job(&mut runner, job))
+                    .collect()
+            }
+            ExecMode::Sharded => {
+                let workers = std::thread::available_parallelism()
+                    .map_or(4, usize::from)
+                    .min(jobs.len().max(1));
+                let shard_len = jobs.len().div_ceil(workers).max(1);
+                let shards: Vec<Vec<BatchJob>> =
+                    jobs.chunks(shard_len).map(<[BatchJob]>::to_vec).collect();
+                let nested: Vec<Vec<RunRecord>> = shards
+                    .into_par_iter()
+                    .map(|shard| {
+                        let mut runner = BatchRunner::new();
+                        shard
+                            .iter()
+                            .map(|job| self.run_job(&mut runner, job))
+                            .collect()
+                    })
+                    .collect();
+                nested.into_iter().flatten().collect()
+            }
+        }
+    }
+}
+
+/// An order-preserving parallel (or sequential) map, for experiment grids
+/// that do not go through the batch driver (Align statistics, configuration
+/// graphs, ...).  Sharded results equal sequential results whenever `f` is a
+/// pure function of its item.
+pub fn grid_map<T: Send, O: Send>(
+    items: Vec<T>,
+    mode: ExecMode,
+    f: impl Fn(T) -> O + Sync,
+) -> Vec<O> {
+    match mode {
+        ExecMode::Sequential => items.into_iter().map(f).collect(),
+        ExecMode::Sharded => items.into_par_iter().map(f).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON reports.
+// ---------------------------------------------------------------------------
+
+/// Envelope written by [`write_json_records`].
+#[derive(Debug, Serialize)]
+struct SweepReport<'a, T> {
+    schema: &'static str,
+    experiment: &'a str,
+    root_seed: u64,
+    records: &'a [T],
+}
+
+/// Renders a JSON report document (schema `rr-sweep/v1`) for `records`.
+pub fn json_report<T: Serialize>(
+    experiment: &str,
+    root_seed: u64,
+    records: &[T],
+) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&SweepReport {
+        schema: "rr-sweep/v1",
+        experiment,
+        root_seed,
+        records,
+    })
+}
+
+/// Writes a JSON report to `path` (a trailing newline is appended).
+///
+/// # Panics
+///
+/// Panics when the file cannot be written or a record fails to serialize —
+/// in an experiment binary either is a fatal configuration error.
+pub fn write_json_records<T: Serialize>(
+    path: &Path,
+    experiment: &str,
+    root_seed: u64,
+    records: &[T],
+) {
+    let body = json_report(experiment, root_seed, records)
+        .unwrap_or_else(|e| panic!("serializing {experiment} records: {e}"));
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+    file.write_all(body.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("# wrote {} records to {}", records.len(), path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Shared experiment CLI.
+// ---------------------------------------------------------------------------
+
+/// The command-line arguments shared by every `exp_*` binary.
+///
+/// ```text
+/// exp_foo [--quick] [--json <path>] [--seed <u64>] [--sequential] [binary-specific flags]
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Run the reduced CI-smoke grid instead of the full grid.
+    pub quick: bool,
+    /// Write the machine-readable JSON report here.
+    pub json: Option<PathBuf>,
+    /// Root seed for the sweep (each binary sets its own default).
+    pub root_seed: u64,
+    /// Force sequential execution (the default is sharded).
+    pub sequential: bool,
+    rest: Vec<String>,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments; unrecognized flags are kept for
+    /// binary-specific lookup via [`ExpArgs::flag`] / [`ExpArgs::value`].
+    #[must_use]
+    pub fn parse(default_seed: u64) -> Self {
+        Self::from_args(std::env::args().skip(1), default_seed)
+    }
+
+    /// [`ExpArgs::parse`] over an explicit argument list (testable).
+    #[must_use]
+    pub fn from_args(args: impl Iterator<Item = String>, default_seed: u64) -> Self {
+        let mut parsed = ExpArgs {
+            quick: false,
+            json: None,
+            root_seed: default_seed,
+            sequential: false,
+            rest: Vec::new(),
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => parsed.quick = true,
+                "--sequential" => parsed.sequential = true,
+                "--json" => {
+                    let path = args.next().expect("--json requires a path");
+                    parsed.json = Some(PathBuf::from(path));
+                }
+                "--seed" => {
+                    let seed = args.next().expect("--seed requires a value");
+                    parsed.root_seed = seed.parse().expect("--seed takes a u64");
+                }
+                _ => parsed.rest.push(arg),
+            }
+        }
+        parsed
+    }
+
+    /// The execution mode implied by the flags.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        if self.sequential {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Sharded
+        }
+    }
+
+    /// Whether a binary-specific boolean flag was passed.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| a == name)
+    }
+
+    /// The value following a binary-specific `--name value` pair.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Writes the JSON report if `--json` was passed.
+    pub fn write_json<T: Serialize>(&self, experiment: &str, records: &[T]) {
+        if let Some(path) = &self.json {
+            write_json_records(path, experiment, self.root_seed, records);
+        }
+    }
+}
+
+/// Exits with status 1 when any record failed verification, printing a
+/// summary first — this is what makes the CI smoke job an actual gate.
+pub fn exit_if_failed(experiment: &str, failures: usize, total: usize) {
+    if failures > 0 {
+        eprintln!("{experiment}: {failures}/{total} instances FAILED verification");
+        std::process::exit(1);
+    }
+    println!("# {experiment}: all {total} instances verified");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_seeds_depend_on_coordinates_not_order() {
+        let sweep = Sweep {
+            experiment: "T",
+            task: Task::Gathering,
+            instances: vec![(8, 4), (10, 3)],
+            schedulers: vec![SchedulerKind::RoundRobin, SchedulerKind::SemiSynchronous],
+            seeds_per_cell: 2,
+            root_seed: 7,
+            targets: TaskTargets::open_ended(),
+            budget_per_n: 1_000,
+            budget_flat: 0,
+            async_budget_factor: 2,
+        };
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 8);
+        // All seeds distinct.
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+        // Reversing the instance list permutes jobs but keeps per-cell seeds.
+        let mut reversed = sweep.clone();
+        reversed.instances.reverse();
+        let rjobs = reversed.jobs();
+        assert_eq!(jobs[0].seed, rjobs[4].seed);
+    }
+
+    #[test]
+    fn exp_args_parse_all_flags() {
+        let args = ExpArgs::from_args(
+            [
+                "--quick",
+                "--json",
+                "out.json",
+                "--seed",
+                "99",
+                "--max-n",
+                "14",
+                "--sequential",
+            ]
+            .iter()
+            .map(ToString::to_string),
+            5,
+        );
+        assert!(args.quick);
+        assert!(args.sequential);
+        assert_eq!(args.mode(), ExecMode::Sequential);
+        assert_eq!(args.root_seed, 99);
+        assert_eq!(args.json.as_deref(), Some(Path::new("out.json")));
+        assert_eq!(args.value("--max-n"), Some("14"));
+        assert!(!args.flag("--no-validate"));
+    }
+
+    #[test]
+    fn run_record_json_skips_wall_time() {
+        let record = RunRecord {
+            experiment: "T".into(),
+            task: "gathering".into(),
+            n: 8,
+            k: 4,
+            scheduler: "round-robin".into(),
+            seed: 1,
+            rounds: 10,
+            cycles: 10,
+            moves: 5,
+            clearings: 0,
+            steady_period: 0,
+            explorations: 0,
+            gathered: true,
+            ok: true,
+            detail: String::new(),
+            wall_nanos: 123_456,
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(!json.contains("wall"));
+        assert!(json.contains("\"task\":\"gathering\""));
+        assert!(json.contains("\"ok\":true"));
+    }
+}

@@ -7,8 +7,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rr_corda::scheduler::{AsynchronousScheduler, RoundRobinScheduler, SemiSynchronousScheduler};
-use rr_corda::Scheduler;
+use rr_corda::scheduler::RoundRobinScheduler;
 use rr_core::align::run_to_c_star;
 use rr_core::clearing::SearchingRunStats;
 use rr_core::driver::{run_dispatched, TaskError, TaskTargets};
@@ -18,25 +17,9 @@ use rr_ring::enumerate::{enumerate_rigid_configurations, random_rigid_configurat
 use rr_ring::{supermin_view, Configuration};
 use serde::{Deserialize, Serialize};
 
-/// Which scheduler to use in a verification run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// Sequential round-robin (one robot per step).
-    RoundRobin,
-    /// Random semi-synchronous (random non-empty subset per round).
-    SemiSynchronous,
-    /// Random asynchronous with pending moves.
-    Asynchronous,
-}
-
-impl SchedulerKind {
-    /// All scheduler kinds.
-    pub const ALL: [SchedulerKind; 3] = [
-        SchedulerKind::RoundRobin,
-        SchedulerKind::SemiSynchronous,
-        SchedulerKind::Asynchronous,
-    ];
-}
+// `SchedulerKind` moved down to `rr-corda` so the driver and the sweep runner
+// can share it; re-exported here for continuity.
+pub use rr_corda::SchedulerKind;
 
 /// Outcome of one verification.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,22 +38,13 @@ pub struct VerificationReport {
     pub details: String,
 }
 
-/// Builds the scheduler described by `kind` and hands it to `f`.
-fn with_scheduler<R>(kind: SchedulerKind, seed: u64, f: impl FnOnce(&mut dyn Scheduler) -> R) -> R {
-    match kind {
-        SchedulerKind::RoundRobin => f(&mut RoundRobinScheduler::new()),
-        SchedulerKind::SemiSynchronous => f(&mut SemiSynchronousScheduler::seeded(seed)),
-        SchedulerKind::Asynchronous => f(&mut AsynchronousScheduler::seeded(seed)),
-    }
-}
-
 fn scheduler_run_searching(
     config: &Configuration,
     kind: SchedulerKind,
     seed: u64,
     budget: u64,
 ) -> Result<SearchingRunStats, TaskError> {
-    let report = with_scheduler(kind, seed, |s| {
+    let report = kind.with(seed, |s| {
         run_dispatched(
             Task::GraphSearching,
             config,
@@ -88,7 +62,7 @@ fn scheduler_run_gathering(
     seed: u64,
     budget: u64,
 ) -> Result<GatheringRunStats, TaskError> {
-    let report = with_scheduler(kind, seed, |s| {
+    let report = kind.with(seed, |s| {
         run_dispatched(
             Task::Gathering,
             config,

@@ -186,23 +186,8 @@ impl<P: Protocol> Engine<P> {
         initial: Configuration,
         options: EngineOptions,
     ) -> Result<Self, SimError> {
-        if options.enforce_exclusivity && !initial.is_exclusive() {
-            return Err(SimError::BadInitialConfiguration {
-                reason: "exclusivity is required but the initial configuration has a multiplicity"
-                    .to_string(),
-            });
-        }
         let mut robots = Vec::with_capacity(initial.num_robots());
-        for v in initial.occupied_nodes() {
-            for _ in 0..initial.count_at(v) {
-                robots.push(RobotState::new(v));
-            }
-        }
-        if robots.is_empty() {
-            return Err(SimError::BadInitialConfiguration {
-                reason: "no robot in the initial configuration".to_string(),
-            });
-        }
+        Self::place_robots(&mut robots, &initial, options)?;
         let trace = if options.record_trace {
             Trace::recording()
         } else {
@@ -219,6 +204,60 @@ impl<P: Protocol> Engine<P> {
             moves: 0,
             looks: 0,
         })
+    }
+
+    /// Validates `initial` against `options` and (re)fills `robots` with one
+    /// robot per unit of multiplicity.
+    fn place_robots(
+        robots: &mut Vec<RobotState>,
+        initial: &Configuration,
+        options: EngineOptions,
+    ) -> Result<(), SimError> {
+        if options.enforce_exclusivity && !initial.is_exclusive() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "exclusivity is required but the initial configuration has a multiplicity"
+                    .to_string(),
+            });
+        }
+        robots.clear();
+        for v in initial.occupied_nodes() {
+            for _ in 0..initial.count_at(v) {
+                robots.push(RobotState::new(v));
+            }
+        }
+        if robots.is_empty() {
+            return Err(SimError::BadInitialConfiguration {
+                reason: "no robot in the initial configuration".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rewinds this engine to a fresh run of `protocol` from `initial`,
+    /// reusing the robot vector, trace buffer and configuration storage of
+    /// the previous run.
+    ///
+    /// Semantically identical to replacing the engine with
+    /// `Engine::new(protocol, initial.clone(), options)?`, but without the
+    /// per-run allocations — this is what makes batch sweeps reuse one engine
+    /// per worker.  On error the engine is left in an unspecified (but safe)
+    /// state and must be reset again before use.
+    pub fn reset(
+        &mut self,
+        protocol: P,
+        initial: &Configuration,
+        options: EngineOptions,
+    ) -> Result<(), SimError> {
+        Self::place_robots(&mut self.robots, initial, options)?;
+        self.ring = initial.ring();
+        self.config.clone_from(initial);
+        self.protocol = protocol;
+        self.options = options;
+        self.trace.reset(options.record_trace);
+        self.step = 0;
+        self.moves = 0;
+        self.looks = 0;
+        Ok(())
     }
 
     /// Creates an engine with the options implied by the protocol declaration
@@ -732,6 +771,48 @@ mod tests {
         assert_eq!(report.moves.len(), 2);
         assert_eq!(report.looks, 2);
         assert!(engine.configuration().is_exclusive());
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_a_fresh_engine() {
+        // Run an engine for a while, reset it to a different configuration,
+        // and check it behaves exactly like a freshly constructed one.
+        let first = cfg(&[0, 1, 2, 5]);
+        let second = cfg(&[3, 4]);
+        let options = EngineOptions::for_protocol(&GreedyGapWalker).with_trace();
+        let mut recycled = Engine::new(GreedyGapWalker, first, options).unwrap();
+        let mut sched = RoundRobinScheduler::new();
+        recycled.run_until(&mut sched, 40, |_| false);
+        assert!(recycled.move_count() > 0);
+
+        recycled.reset(GreedyGapWalker, &second, options).unwrap();
+        assert_eq!(recycled.configuration(), &second);
+        assert_eq!(recycled.step_count(), 0);
+        assert_eq!(recycled.move_count(), 0);
+        assert_eq!(recycled.look_count(), 0);
+        assert!(recycled.trace().is_empty());
+        assert!(recycled.robots().iter().all(|r| r.cycles == 0));
+
+        let mut fresh = Engine::new(GreedyGapWalker, second, options).unwrap();
+        let mut s1 = RoundRobinScheduler::new();
+        let mut s2 = RoundRobinScheduler::new();
+        let r1 = recycled.run_until(&mut s1, 25, |_| false);
+        let r2 = fresh.run_until(&mut s2, 25, |_| false);
+        assert_eq!(r1, r2);
+        assert_eq!(recycled.configuration(), fresh.configuration());
+        assert_eq!(recycled.positions(), fresh.positions());
+        assert_eq!(recycled.trace().events(), fresh.trace().events());
+    }
+
+    #[test]
+    fn reset_revalidates_exclusivity() {
+        let ring = Ring::new(8);
+        let multiplicity = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 0, 0, 0]).unwrap();
+        let mut engine = Engine::with_default_options(IdleProtocol, cfg(&[0, 1, 2, 5])).unwrap();
+        let err = engine
+            .reset(IdleProtocol, &multiplicity, EngineOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadInitialConfiguration { .. }));
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use error::SimError;
 pub use monitor::{Monitor, MoveLog};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
-pub use scheduler::{Scheduler, SchedulerStep, SchedulerView};
+pub use scheduler::{Scheduler, SchedulerKind, SchedulerStep, SchedulerView};
 pub use snapshot::{MultiplicityCapability, Snapshot};
 pub use trace::{Event, Trace};

@@ -276,6 +276,59 @@ impl Scheduler for ScriptedScheduler {
     }
 }
 
+/// The scheduler families used by verification and sweep runs, as data.
+///
+/// This is the declarative counterpart of the concrete scheduler types above:
+/// batch runners and experiment grids carry a `SchedulerKind` (+ seed) in
+/// their job descriptions and construct the scheduler at run time with
+/// [`SchedulerKind::with`].  Lives here (not in `rr-checker`) so that every
+/// layer — driver, checker, bench — can share the one vocabulary;
+/// `rr_checker::verify` re-exports it for continuity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Sequential round-robin (one robot per step).
+    RoundRobin,
+    /// Random semi-synchronous (random non-empty subset per round).
+    SemiSynchronous,
+    /// Random asynchronous with pending moves.
+    Asynchronous,
+}
+
+impl SchedulerKind {
+    /// All scheduler kinds.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::SemiSynchronous,
+        SchedulerKind::Asynchronous,
+    ];
+
+    /// Stable lower-case name, used in experiment records and tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::SemiSynchronous => "ssync",
+            SchedulerKind::Asynchronous => "async",
+        }
+    }
+
+    /// Builds the scheduler this kind describes (seeded where randomized) and
+    /// hands it to `f`.
+    pub fn with<R>(self, seed: u64, f: impl FnOnce(&mut dyn Scheduler) -> R) -> R {
+        match self {
+            SchedulerKind::RoundRobin => f(&mut RoundRobinScheduler::new()),
+            SchedulerKind::SemiSynchronous => f(&mut SemiSynchronousScheduler::seeded(seed)),
+            SchedulerKind::Asynchronous => f(&mut AsynchronousScheduler::seeded(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

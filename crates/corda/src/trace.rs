@@ -86,6 +86,14 @@ impl Trace {
         }
     }
 
+    /// Clears the log and sets whether future events are recorded, keeping
+    /// the allocated buffer (used by `Engine::reset` to recycle engines
+    /// across batch runs).
+    pub fn reset(&mut self, recording: bool) {
+        self.events.clear();
+        self.recording = recording;
+    }
+
     /// Appends an event (no-op when recording is disabled).
     pub fn push(&mut self, event: Event) {
         if self.recording {

@@ -97,7 +97,7 @@ impl Protocol for AlignProtocol {
 /// verification suite; `max_scheduler_steps` bounds the run.
 ///
 /// Thin wrapper over the generic engine loop
-/// [`drive`](crate::driver::drive).
+/// [`drive`](crate::driver::drive()).
 pub fn run_to_c_star<S: Scheduler + ?Sized>(
     initial: &Configuration,
     scheduler: &mut S,

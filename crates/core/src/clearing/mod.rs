@@ -177,7 +177,7 @@ pub struct SearchingRunStats {
 /// the step budget is exhausted.
 ///
 /// Thin wrapper over the generic task driver
-/// [`run_task`](crate::driver::run_task).
+/// [`run_task`](crate::driver::run_task()).
 pub fn run_searching<P, S>(
     protocol: P,
     initial: &Configuration,

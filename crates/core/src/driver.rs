@@ -5,7 +5,7 @@
 //! statistics).  This module replaces them with two functions:
 //!
 //! * [`drive_with`] (and its pre-built-monitor shim [`drive`]) — the single
-//!   engine-driving loop: construct an [`Engine`](rr_corda::Engine) with the
+//!   engine-driving loop: construct an [`Engine`] with the
 //!   options declared by the protocol, build the observer from the
 //!   constructed engine, run under a scheduler, and surface simulation
 //!   failures as errors;
@@ -14,19 +14,20 @@
 //!   statistics.  The public wrappers `run_searching`, `run_gathering` and
 //!   `run_to_c_star` are thin shims over these two functions, and
 //!   [`run_dispatched`] composes `run_task` with the unified dispatcher
-//!   [`protocol_for`](crate::unified::protocol_for) (one call from
+//!   [`protocol_for`](crate::unified::protocol_for()) (one call from
 //!   `(task, start)` to verified statistics — this is what `rr-checker` and
 //!   the `exp_*` binaries use).
 
 use rr_corda::{
-    Engine, EngineOptions, Monitor, Protocol, RunOutcome, RunReport, Scheduler, SimError,
+    Engine, EngineOptions, Monitor, Protocol, RunOutcome, RunReport, Scheduler, SchedulerKind,
+    SimError,
 };
 use rr_ring::Configuration;
 use rr_search::{GatheringMonitor, SearchMonitors};
 
 use crate::clearing::SearchingRunStats;
 use crate::gathering::GatheringRunStats;
-use crate::unified::{protocol_for, Task};
+use crate::unified::{protocol_for, Task, UnifiedProtocol};
 
 /// The single engine-driving loop shared by every harness in this crate.
 ///
@@ -184,18 +185,40 @@ where
     P: Protocol,
     S: Scheduler + ?Sized,
 {
+    let options = EngineOptions::for_protocol(&protocol);
+    let mut engine = Engine::new(protocol, initial.clone(), options)?;
+    run_task_on_engine(task, &mut engine, scheduler, targets, max_scheduler_steps)
+}
+
+/// The body of [`run_task`], operating on an already-prepared engine (fresh
+/// from [`Engine::new`] or rewound with [`Engine::reset`]).  This is what
+/// lets [`BatchRunner`] reuse one engine allocation across a whole batch.
+pub fn run_task_on_engine<P, S>(
+    task: Task,
+    engine: &mut Engine<P>,
+    scheduler: &mut S,
+    targets: TaskTargets,
+    max_scheduler_steps: u64,
+) -> Result<TaskRunReport, SimError>
+where
+    P: Protocol,
+    S: Scheduler + ?Sized,
+{
     match task {
         Task::Exploration | Task::GraphSearching => {
-            let (_, monitors, report) = drive_with(
-                protocol,
-                initial,
+            let initial = engine.configuration().clone();
+            let mut monitors = SearchMonitors::new(&initial, &engine.positions());
+            let report = engine.run(
                 scheduler,
-                |engine| SearchMonitors::new(initial, &engine.positions()),
+                &mut monitors,
                 max_scheduler_steps,
                 |_, m: &SearchMonitors| {
                     targets.clearings > 0 && m.demonstrated(targets.clearings, targets.explorations)
                 },
-            )?;
+            );
+            if let RunOutcome::Failed(e) = report.outcome {
+                return Err(e);
+            }
             let stats = SearchingRunStats {
                 clearings: monitors.clearings(),
                 clearing_intervals: monitors.clearing_intervals().to_vec(),
@@ -210,14 +233,16 @@ where
             })
         }
         Task::Gathering => {
-            let (engine, monitor, report) = drive_with(
-                protocol,
-                initial,
+            let mut monitor = GatheringMonitor::new();
+            let report = engine.run(
                 scheduler,
-                |_| GatheringMonitor::new(),
+                &mut monitor,
                 max_scheduler_steps,
                 |e, _: &GatheringMonitor| e.configuration().is_gathered(),
-            )?;
+            );
+            if let RunOutcome::Failed(e) = report.outcome {
+                return Err(e);
+            }
             let stats = GatheringRunStats {
                 gathered: engine.configuration().is_gathered(),
                 moves: report.moves,
@@ -291,6 +316,87 @@ where
         targets,
         max_scheduler_steps,
     )?)
+}
+
+/// One instance of a batch run: everything needed to reproduce a single
+/// dispatched task run, as data.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The task to run.
+    pub task: Task,
+    /// Starting configuration.
+    pub start: Configuration,
+    /// Scheduler family.
+    pub scheduler: SchedulerKind,
+    /// Seed for the scheduler's randomness (ignored by round-robin).
+    pub seed: u64,
+    /// Early-stop targets.
+    pub targets: TaskTargets,
+    /// Scheduler-step budget.
+    pub max_scheduler_steps: u64,
+}
+
+/// Outcome of one [`BatchJob`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The task-level report (engine outcome + per-task statistics).
+    pub report: TaskRunReport,
+    /// Total completed Look–Compute–Move cycles across all robots.
+    pub cycles: u64,
+}
+
+/// Runs [`BatchJob`]s back to back while reusing **one** engine allocation:
+/// the robot vector, configuration storage and trace buffer are recycled via
+/// [`Engine::reset`] between jobs.  Sweep runners hold one `BatchRunner` per
+/// worker.
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    engine: Option<Engine<UnifiedProtocol>>,
+}
+
+impl BatchRunner {
+    /// Creates an empty runner (the engine is allocated by the first job).
+    #[must_use]
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Runs one job, reusing the engine left behind by the previous job.
+    pub fn run(&mut self, job: &BatchJob) -> Result<BatchOutcome, TaskError> {
+        let (n, k) = (job.start.n(), job.start.num_robots());
+        let protocol = protocol_for(job.task, n, k).ok_or(TaskError::NoProtocol {
+            task: job.task,
+            n,
+            k,
+        })?;
+        let options = EngineOptions::for_protocol(&protocol);
+        let engine = match &mut self.engine {
+            Some(engine) => {
+                engine.reset(protocol, &job.start, options)?;
+                engine
+            }
+            slot @ None => slot.insert(Engine::new(protocol, job.start.clone(), options)?),
+        };
+        let report = job.scheduler.with(job.seed, |scheduler| {
+            run_task_on_engine(
+                job.task,
+                engine,
+                scheduler,
+                job.targets,
+                job.max_scheduler_steps,
+            )
+        })?;
+        let cycles = engine.robots().iter().map(|r| r.cycles).sum();
+        Ok(BatchOutcome { report, cycles })
+    }
+}
+
+/// Runs a whole batch sequentially on one recycled engine, one result per
+/// job, in order.  This is the batch entry point sweeps build on: shard the
+/// job list, call `run_batch` per shard, concatenate.
+pub fn run_batch(jobs: &[BatchJob]) -> Vec<Result<BatchOutcome, TaskError>> {
+    let mut runner = BatchRunner::new();
+    jobs.iter().map(|job| runner.run(job)).collect()
 }
 
 #[cfg(test)]
@@ -377,6 +483,88 @@ mod tests {
             matches!(err, TaskError::NoProtocol { n: 9, k: 4, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn batch_runner_matches_individual_runs() {
+        // A mixed batch: searching and gathering instances, all three
+        // scheduler families.  The recycled-engine batch path must produce
+        // exactly the reports of fresh individual runs.
+        use rr_corda::SchedulerKind;
+        let mut jobs = Vec::new();
+        for (task, gaps, targets) in [
+            (
+                Task::GraphSearching,
+                vec![0usize, 2, 1, 0, 4],
+                TaskTargets::demonstrate(2, 0),
+            ),
+            (
+                Task::Gathering,
+                vec![0, 0, 0, 1, 6],
+                TaskTargets::open_ended(),
+            ),
+            (
+                Task::Gathering,
+                vec![0, 2, 1, 0, 4],
+                TaskTargets::open_ended(),
+            ),
+        ] {
+            for scheduler in SchedulerKind::ALL {
+                jobs.push(BatchJob {
+                    task,
+                    start: cfg(&gaps),
+                    scheduler,
+                    seed: 11,
+                    targets,
+                    max_scheduler_steps: 200_000,
+                });
+            }
+        }
+        let batched = run_batch(&jobs);
+        assert_eq!(batched.len(), jobs.len());
+        for (job, result) in jobs.iter().zip(batched) {
+            let outcome = result.expect("batch job runs");
+            let individual = job
+                .scheduler
+                .with(job.seed, |s| {
+                    run_dispatched(
+                        job.task,
+                        &job.start,
+                        s,
+                        job.targets,
+                        job.max_scheduler_steps,
+                    )
+                })
+                .expect("individual run");
+            assert_eq!(outcome.report.report, individual.report);
+            assert_eq!(outcome.report.stats, individual.stats);
+            assert!(outcome.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn batch_runner_reports_unclaimed_cells() {
+        let job = BatchJob {
+            task: Task::GraphSearching,
+            start: cfg(&[0, 1, 2, 2]), // n = 9, k = 4: unclaimed
+            scheduler: rr_corda::SchedulerKind::RoundRobin,
+            seed: 0,
+            targets: TaskTargets::demonstrate(1, 0),
+            max_scheduler_steps: 100,
+        };
+        let mut runner = BatchRunner::new();
+        assert!(matches!(
+            runner.run(&job),
+            Err(TaskError::NoProtocol { n: 9, k: 4, .. })
+        ));
+        // The runner stays usable after a dispatch failure.
+        let ok_job = BatchJob {
+            start: cfg(&[0, 2, 1, 0, 4]),
+            targets: TaskTargets::demonstrate(1, 0),
+            max_scheduler_steps: 60_000,
+            ..job
+        };
+        assert!(runner.run(&ok_job).is_ok());
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub struct GatheringRunStats {
 /// robots stand on one node or the step budget is exhausted.
 ///
 /// Thin wrapper over the generic task driver
-/// [`run_task`](crate::driver::run_task).
+/// [`run_task`](crate::driver::run_task()).
 pub fn run_gathering<S: Scheduler + ?Sized>(
     initial: &Configuration,
     scheduler: &mut S,

@@ -105,20 +105,90 @@ impl View {
         (0..self.gaps.len()).map(|i| self.rotation(i)).collect()
     }
 
+    /// Starting index of the lexicographically smallest rotation, reading the
+    /// cyclic word through `gap` (an index-to-value accessor, so callers can
+    /// scan the reversed word without materializing it).
+    ///
+    /// This is the O(k)-time, O(1)-space least-rotation algorithm (Booth's
+    /// two-candidate variant): `i` and `j` are the two live candidate start
+    /// positions, `len` the length of their common prefix.  A mismatch at
+    /// offset `len` eliminates the larger candidate *and* every start inside
+    /// its matched prefix.
+    fn least_rotation_start(k: usize, gap: impl Fn(usize) -> usize) -> usize {
+        let (mut i, mut j, mut len) = (0usize, 1usize, 0usize);
+        while i < k && j < k && len < k {
+            let a = gap((i + len) % k);
+            let b = gap((j + len) % k);
+            if a == b {
+                len += 1;
+                continue;
+            }
+            if a > b {
+                i += len + 1;
+            } else {
+                j += len + 1;
+            }
+            if i == j {
+                j += 1;
+            }
+            len = 0;
+        }
+        i.min(j)
+    }
+
     /// The lexicographically smallest rotation of this view (not considering
     /// reflections).
+    ///
+    /// Runs in O(k) time with no intermediate allocation (only the returned
+    /// view is materialized); [`View::min_rotation_naive`] is the
+    /// all-rotations reference implementation it is tested against.
     #[must_use]
     pub fn min_rotation(&self) -> View {
+        self.rotation(Self::least_rotation_start(self.gaps.len(), |t| {
+            self.gaps[t]
+        }))
+    }
+
+    /// Reference implementation of [`View::min_rotation`] that materializes
+    /// every rotation; kept for equivalence tests and benchmarks.
+    #[must_use]
+    pub fn min_rotation_naive(&self) -> View {
         self.all_rotations().into_iter().min().expect("non-empty")
     }
 
     /// The lexicographically smallest view obtainable by rotating and/or
     /// reflecting this view.  For any view of a configuration `C`, this equals
     /// the supermin configuration view `W_min^C` of the paper.
+    ///
+    /// Computed allocation-free: one least-rotation scan over the word, one
+    /// over its reversal, and one element-wise comparison of the two winning
+    /// rotations; only the overall winner is materialized.
     #[must_use]
     pub fn supermin(&self) -> View {
-        let a = self.min_rotation();
-        let b = self.opposite_direction().min_rotation();
+        let k = self.gaps.len();
+        let fwd = |t: usize| self.gaps[t];
+        let rev = |t: usize| self.gaps[k - 1 - t];
+        let fi = Self::least_rotation_start(k, fwd);
+        let ri = Self::least_rotation_start(k, rev);
+        let reversed_wins = (0..k).find_map(|t| {
+            let a = fwd((fi + t) % k);
+            let b = rev((ri + t) % k);
+            (a != b).then_some(b < a)
+        });
+        if reversed_wins == Some(true) {
+            View::new((0..k).map(|t| rev((ri + t) % k)).collect())
+        } else {
+            self.rotation(fi)
+        }
+    }
+
+    /// Reference implementation of [`View::supermin`] via
+    /// [`View::min_rotation_naive`]; kept for equivalence tests and
+    /// benchmarks.
+    #[must_use]
+    pub fn supermin_naive(&self) -> View {
+        let a = self.min_rotation_naive();
+        let b = self.opposite_direction().min_rotation_naive();
         a.min(b)
     }
 
@@ -126,24 +196,53 @@ impl View {
     /// equals one of its non-trivial rotations.
     #[must_use]
     pub fn is_periodic(&self) -> bool {
-        (1..self.gaps.len()).any(|i| self.rotation(i) == *self)
+        self.period() < self.gaps.len()
     }
 
     /// The smallest non-trivial period of the cyclic gap sequence, in number
     /// of intervals; equals `len()` iff the view is aperiodic.
+    ///
+    /// Computed from the KMP border array in O(k): the smallest period of a
+    /// word that divides its length is `k - border(k)`, and a cyclic word has
+    /// period `p | k` iff the underlying linear word does.
     #[must_use]
     pub fn period(&self) -> usize {
-        (1..=self.gaps.len())
-            .find(|&p| self.gaps.len().is_multiple_of(p) && self.rotation(p) == *self)
-            .expect("the full length is always a period")
+        let g = &self.gaps;
+        let k = g.len();
+        let mut border = vec![0usize; k];
+        for i in 1..k {
+            let mut b = border[i - 1];
+            while b > 0 && g[i] != g[b] {
+                b = border[b - 1];
+            }
+            if g[i] == g[b] {
+                b += 1;
+            }
+            border[i] = b;
+        }
+        let p = k - border[k - 1];
+        if k.is_multiple_of(p) {
+            p
+        } else {
+            k
+        }
     }
 
     /// Property 1 (ii) of the paper: the configuration is symmetric iff the
     /// view equals some rotation of its reflection.
+    ///
+    /// The reflection is itself a rotation of the reversed word, so this is
+    /// exactly cyclic equality of the word and its reversal: the two
+    /// least-rotation canonical forms coincide.  O(k) instead of the naive
+    /// O(k^2) rotation scan.
     #[must_use]
     pub fn is_symmetric(&self) -> bool {
-        let refl = self.reflection();
-        (0..self.gaps.len()).any(|i| refl.rotation(i) == *self)
+        let k = self.gaps.len();
+        let fwd = |t: usize| self.gaps[t];
+        let rev = |t: usize| self.gaps[k - 1 - t];
+        let fi = Self::least_rotation_start(k, fwd);
+        let ri = Self::least_rotation_start(k, rev);
+        (0..k).all(|t| fwd((fi + t) % k) == rev((ri + t) % k))
     }
 
     /// Whether the configuration seen by this view is *rigid*: aperiodic and

@@ -53,6 +53,33 @@ proptest! {
         prop_assert_eq!(w.is_periodic(), p < w.len());
     }
 
+    /// Booth's least-rotation `min_rotation`/`supermin` agree with the
+    /// all-rotations reference implementations on random gap vectors.
+    #[test]
+    fn booth_matches_naive_min_rotation_and_supermin(gaps in gap_word()) {
+        let w = View::new(gaps);
+        prop_assert_eq!(w.min_rotation(), w.min_rotation_naive());
+        prop_assert_eq!(w.supermin(), w.supermin_naive());
+        prop_assert_eq!(w.opposite_direction().min_rotation(),
+                        w.opposite_direction().min_rotation_naive());
+        prop_assert_eq!(w.reflection().supermin(), w.supermin_naive());
+    }
+
+    /// The KMP-based `period` and canonical-form `is_symmetric` agree with
+    /// naive scans over all rotations (the seed implementations).
+    #[test]
+    fn fast_period_and_symmetry_match_naive_scans(gaps in gap_word()) {
+        let w = View::new(gaps);
+        let k = w.len();
+        let naive_period = (1..=k)
+            .find(|&p| k.is_multiple_of(p) && w.rotation(p) == w)
+            .expect("the full length is always a period");
+        prop_assert_eq!(w.period(), naive_period);
+        let refl = w.reflection();
+        let naive_symmetric = (0..k).any(|i| refl.rotation(i) == w);
+        prop_assert_eq!(w.is_symmetric(), naive_symmetric);
+    }
+
     /// `from_gaps` round-trips through `gap_sequence` up to rotation.
     #[test]
     fn gap_round_trip(gaps in gap_word(), start in 0usize..20) {

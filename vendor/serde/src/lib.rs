@@ -1,15 +1,18 @@
 //! Offline stand-in for `serde`.
 //!
-//! The build environment cannot reach crates.io, and nothing in this
-//! workspace serializes data yet: the `#[derive(Serialize, Deserialize)]`
-//! annotations on the domain types declare intent for future tooling (JSON
-//! experiment dumps, trace persistence).  This crate provides the two traits
-//! as markers and re-exports no-op derives, so the annotations compile
-//! unchanged and the real serde can be swapped back in from the workspace
-//! manifest alone.
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde 1.x that the workspace actually uses: a **functional**
+//! [`Serialize`] trait with the serde data model (structs, sequences, maps,
+//! the four enum-variant shapes), implementations for the std types that
+//! occur as field types in this workspace, and a real `#[derive(Serialize)]`
+//! in `serde_derive`.  `Deserialize` remains a marker trait — nothing in the
+//! workspace deserializes yet — so the derive annotations compile unchanged
+//! and the real serde can be swapped back in from the workspace manifest
+//! alone (call sites only use signatures that exist verbatim in serde 1.x).
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
 
 /// Marker stand-in for `serde::Deserialize`.
 pub trait Deserialize<'de> {}

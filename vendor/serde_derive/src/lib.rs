@@ -1,42 +1,440 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The build environment has no access to crates.io, and nothing in this
-//! workspace actually serializes data yet — the `#[derive(Serialize,
-//! Deserialize)]` annotations only declare intent for future tooling.  These
-//! derives therefore expand to marker-trait impls and nothing else.  Swapping
-//! the real serde back in is a two-line change in the workspace manifest.
+//! The build environment has no access to crates.io, so this crate implements
+//! `#[derive(Serialize)]` for real: it parses the item declaration (structs
+//! with named, tuple or no fields; enums with unit, newtype, tuple and struct
+//! variants) and generates a `serde::Serialize` impl that drives the serde
+//! data model exactly as the real derive does, including `#[serde(skip)]` on
+//! named struct fields.  `#[derive(Deserialize)]` still expands to a marker
+//! impl — nothing in the workspace deserializes yet.
+//!
+//! The parser works on the stringified token stream.  That is deliberately
+//! low-tech (no `syn` available offline), but it is written against the token
+//! grammar, not source text: attributes and doc comments are stripped
+//! string-literal-aware before any structural parsing, and every shape that
+//! occurs in this workspace is covered by unit tests below.
 
 use proc_macro::TokenStream;
 
-/// Extracts the type name and a usable impl-generics / ty-generics split from
-/// the item the derive is attached to.
-///
-/// This is a deliberately small parser: it handles the `struct Name<...>` /
-/// `enum Name<...>` shapes that occur in this workspace (plain named generics
-/// and lifetimes, no const generics, no defaults with nested angle brackets
-/// beyond one level).
-fn parse_name_and_generics(input: &str) -> Option<(String, String)> {
-    let mut rest = input;
-    // Skip attributes and doc comments conservatively: find the first
-    // `struct` or `enum` keyword at a word boundary.
-    let kw_pos = ["struct ", "enum "]
-        .iter()
-        .filter_map(|kw| rest.find(kw).map(|p| p + kw.len()))
-        .min()?;
-    rest = &rest[kw_pos..];
-    let rest = rest.trim_start();
-    let name_end = rest
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    let name = rest[..name_end].to_string();
-    if name.is_empty() {
-        return None;
+// ---------------------------------------------------------------------------
+// Lexing helpers (string-literal aware).
+// ---------------------------------------------------------------------------
+
+/// Marker injected where a `#[serde(skip)]` attribute was stripped; it is an
+/// ordinary identifier so the downstream parser treats it as a token, and it
+/// never survives into generated code.
+const SKIP_MARKER: &str = "__serde_skip_marker__";
+
+/// Advances `i` past a string literal starting at `i` (which must point at
+/// `"`); handles escapes.
+fn skip_string(chars: &[char], mut i: usize) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
     }
-    let after = rest[name_end..].trim_start();
-    let generics = if after.starts_with('<') {
+    i
+}
+
+/// Advances past a raw string literal `r"..."` / `r#"..."#` whose `r` is at
+/// `i - 1`; `i` points at the first `#` or `"`.
+fn skip_raw_string(chars: &[char], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= chars.len() || chars[i] != '"' {
+        return i;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < chars.len() && chars[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Removes every attribute (`#[...]` / `#![...]`) from `input`, replacing a
+/// `#[serde(skip)]` attribute with [`SKIP_MARKER`] so field parsing can see
+/// it.  String literals inside attributes (doc comments) are skipped
+/// correctly.
+fn strip_attributes(input: &str) -> String {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' {
+            let end = skip_string(&chars, i);
+            out.extend(&chars[i..end]);
+            i = end;
+            continue;
+        }
+        if c == 'r' && i + 1 < chars.len() && (chars[i + 1] == '"' || chars[i + 1] == '#') {
+            let end = skip_raw_string(&chars, i + 1);
+            out.extend(&chars[i..end]);
+            i = end;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment (doc comments survive stringification verbatim).
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.push(' ');
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(' ');
+            continue;
+        }
+        if c == '#' {
+            // Attribute: `#` [`!`] `[` ... `]`, brackets matched
+            // string-literal-aware.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '!' {
+                j += 1;
+                while j < chars.len() && chars[j].is_whitespace() {
+                    j += 1;
+                }
+            }
+            if j < chars.len() && chars[j] == '[' {
+                // `structure` collects the attribute body *outside* string
+                // literals, so doc-comment text can never look like a serde
+                // attribute.
+                let mut depth = 0usize;
+                let mut k = j;
+                let mut structure = String::new();
+                while k < chars.len() {
+                    let ck = chars[k];
+                    if ck == '"' {
+                        let end = skip_string(&chars, k);
+                        structure.push('"');
+                        k = end;
+                        continue;
+                    }
+                    if ck == '[' {
+                        depth += 1;
+                        if depth == 1 {
+                            k += 1;
+                            continue;
+                        }
+                    } else if ck == ']' {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    structure.push(ck);
+                    k += 1;
+                }
+                let squashed: String = structure.chars().filter(|c| !c.is_whitespace()).collect();
+                // Exactly `#[serde(skip)]` — `skip_serializing_if` and
+                // friends are conditional in real serde and must not be
+                // treated as an unconditional skip.
+                if squashed == "serde(skip)" {
+                    out.push(' ');
+                    out.push_str(SKIP_MARKER);
+                }
+                out.push(' ');
+                i = k;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Splits `s` at top-level occurrences of `sep`, tracking `()[]{}<>` nesting
+/// (`->` arrows and stray `>` never go negative thanks to saturation).
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' {
+            let end = skip_string(&chars, i);
+            current.extend(&chars[i..end]);
+            i = end;
+            continue;
+        }
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if c == sep && depth == 0 {
+            parts.push(current.trim().to_string());
+            current.clear();
+        } else {
+            current.push(c);
+        }
+        i += 1;
+    }
+    let tail = current.trim().to_string();
+    if !tail.is_empty() {
+        parts.push(tail);
+    }
+    parts
+}
+
+/// Finds the byte offset of the first top-level occurrence of any char in
+/// `targets`, with the same nesting rules as [`split_top_level`].
+fn find_top_level(s: &str, targets: &[char]) -> Option<usize> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    let mut byte = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' {
+            let end = skip_string(&chars, i);
+            byte += chars[i..end].iter().map(|c| c.len_utf8()).sum::<usize>();
+            i = end;
+            continue;
+        }
+        if depth == 0 && targets.contains(&c) {
+            return Some(byte);
+        }
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        byte += c.len_utf8();
+        i += 1;
+    }
+    None
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The last identifier in `s` (used for "the token right before the `:`").
+fn last_ident(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .rfind(|c: char| !is_ident_char(c))
+        .map_or(0, |p| p + c_len(trimmed, p));
+    let ident = &trimmed[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+fn c_len(s: &str, byte_pos: usize) -> usize {
+    s[byte_pos..].chars().next().map_or(1, char::len_utf8)
+}
+
+/// The first identifier in `s`.
+fn first_ident(s: &str) -> Option<(String, usize)> {
+    let mut start = None;
+    for (i, c) in s.char_indices() {
+        match (start, is_ident_char(c)) {
+            (None, true) => start = Some(i),
+            (Some(b), false) => return Some((s[b..i].to_string(), i)),
+            _ => {}
+        }
+    }
+    start.map(|b| (s[b..].to_string(), s.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq, Eq)]
+enum Fields {
+    Unit,
+    /// Named fields in declaration order, with their skip flag.
+    Named(Vec<(String, bool)>),
+    /// Tuple fields: per-position skip flag.
+    Tuple(Vec<bool>),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Item {
+    name: String,
+    generics: String,
+    kind: ItemKind,
+}
+
+/// Consumes a leading visibility (`pub`, `pub(crate)`, ...) from `s`.
+fn skip_visibility(s: &str) -> &str {
+    let t = s.trim_start();
+    if let Some(rest) = t.strip_prefix("pub") {
+        if rest.chars().next().is_none_or(|c| !is_ident_char(c)) {
+            let rest = rest.trim_start();
+            if let Some(inner) = rest.strip_prefix('(') {
+                // pub(crate) / pub(super) / pub(in path)
+                let mut depth = 1usize;
+                for (i, c) in inner.char_indices() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return &inner[i + 1..];
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            return rest;
+        }
+    }
+    t
+}
+
+/// Parses one named-field chunk like `__serde_skip_marker__ pub foo : Vec<usize>`.
+fn parse_named_field(chunk: &str) -> Option<(String, bool)> {
+    let mut rest = chunk.trim();
+    let mut skip = false;
+    if let Some(after) = rest.strip_prefix(SKIP_MARKER) {
+        skip = true;
+        rest = after.trim_start();
+    }
+    let rest = skip_visibility(rest);
+    // The field colon is the first top-level `:` that is not part of `::`.
+    let chars: Vec<char> = rest.chars().collect();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    let mut byte = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth = depth.saturating_sub(1),
+            ':' if depth == 0 => {
+                let next_is_colon = chars.get(i + 1) == Some(&':');
+                let prev_is_colon = i > 0 && chars[i - 1] == ':';
+                if next_is_colon {
+                    i += 2;
+                    byte += 2;
+                    continue;
+                }
+                if !prev_is_colon {
+                    return last_ident(&rest[..byte]).map(|name| (name, skip));
+                }
+            }
+            _ => {}
+        }
+        byte += c.len_utf8();
+        i += 1;
+    }
+    None
+}
+
+fn parse_named_fields(body: &str) -> Vec<(String, bool)> {
+    split_top_level(body, ',')
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .filter_map(|chunk| parse_named_field(chunk))
+        .collect()
+}
+
+fn parse_tuple_fields(body: &str) -> Vec<bool> {
+    split_top_level(body, ',')
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| chunk.trim_start().starts_with(SKIP_MARKER))
+        .collect()
+}
+
+fn parse_variant(chunk: &str) -> Option<Variant> {
+    let rest = chunk.trim();
+    let rest = rest.strip_prefix(SKIP_MARKER).unwrap_or(rest).trim_start();
+    let (name, after) = first_ident(rest)?;
+    let payload = rest[after..].trim();
+    let fields = if payload.is_empty() {
+        Fields::Unit
+    } else if let Some(inner) = payload.strip_prefix('(') {
+        let inner = inner.strip_suffix(')')?;
+        Fields::Tuple(parse_tuple_fields(inner))
+    } else if let Some(inner) = payload.strip_prefix('{') {
+        let inner = inner.strip_suffix('}')?;
+        Fields::Named(parse_named_fields(inner))
+    } else {
+        // Explicit discriminant (`= expr`) — not used in this workspace.
+        return None;
+    };
+    Some(Variant { name, fields })
+}
+
+/// Parses a struct/enum declaration (attributes must already be stripped
+/// except for the injected skip markers).
+fn parse_item(clean: &str) -> Option<Item> {
+    let rest = skip_visibility(clean);
+    let (kw, rest) = if let Some(r) = rest.trim_start().strip_prefix("struct") {
+        ("struct", r)
+    } else if let Some(r) = rest.trim_start().strip_prefix("enum") {
+        ("enum", r)
+    } else {
+        return None;
+    };
+    let rest = rest.trim_start();
+    let (name, after) = first_ident(rest)?;
+    let mut rest = rest[after..].trim_start();
+    let mut generics = String::new();
+    if rest.starts_with('<') {
+        let chars: Vec<char> = rest.chars().collect();
         let mut depth = 0usize;
         let mut end = 0usize;
-        for (i, c) in after.char_indices() {
+        for (i, c) in chars.iter().enumerate() {
             match c {
                 '<' => depth += 1,
                 '>' => {
@@ -49,12 +447,42 @@ fn parse_name_and_generics(input: &str) -> Option<(String, String)> {
                 _ => {}
             }
         }
-        after[..end].to_string()
+        generics = chars[..end].iter().collect();
+        let byte_end: usize = chars[..end].iter().map(|c| c.len_utf8()).sum();
+        rest = rest[byte_end..].trim_start();
+    }
+    let kind = if kw == "struct" {
+        if rest.starts_with(';') || rest.is_empty() {
+            ItemKind::Struct(Fields::Unit)
+        } else if let Some(inner) = rest.strip_prefix('{') {
+            let inner = inner.trim_end().strip_suffix('}')?;
+            ItemKind::Struct(Fields::Named(parse_named_fields(inner)))
+        } else if let Some(inner) = rest.strip_prefix('(') {
+            let close = find_top_level(inner, &[')'])?;
+            ItemKind::Struct(Fields::Tuple(parse_tuple_fields(&inner[..close])))
+        } else {
+            return None;
+        }
     } else {
-        String::new()
+        let inner = rest.strip_prefix('{')?;
+        let inner = inner.trim_end().strip_suffix('}')?;
+        let variants = split_top_level(inner, ',')
+            .iter()
+            .filter(|chunk| !chunk.is_empty())
+            .map(|chunk| parse_variant(chunk))
+            .collect::<Option<Vec<_>>>()?;
+        ItemKind::Enum(variants)
     };
-    Some((name, generics))
+    Some(Item {
+        name,
+        generics,
+        kind,
+    })
 }
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
 
 /// Strips bounds from a generics list: `<T: Clone, 'a>` -> `<T, 'a>`.
 fn ty_generics(generics: &str) -> String {
@@ -62,22 +490,7 @@ fn ty_generics(generics: &str) -> String {
         return String::new();
     }
     let inner = &generics[1..generics.len() - 1];
-    let mut params = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in inner.char_indices() {
-        match c {
-            '<' | '(' | '[' => depth += 1,
-            '>' | ')' | ']' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                params.push(&inner[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    params.push(&inner[start..]);
-    let names: Vec<String> = params
+    let names: Vec<String> = split_top_level(inner, ',')
         .iter()
         .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
         .filter(|p| !p.is_empty())
@@ -85,39 +498,282 @@ fn ty_generics(generics: &str) -> String {
     format!("<{}>", names.join(", "))
 }
 
-fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
-    let text = input.to_string();
-    let Some((name, generics)) = parse_name_and_generics(&text) else {
-        return TokenStream::new();
-    };
-    let ty = ty_generics(&generics);
-    let (impl_generics, where_de) = if trait_path.contains("Deserialize") {
-        // Add the deserializer lifetime to the impl generics.
-        if generics.is_empty() {
-            ("<'de>".to_string(), String::new())
-        } else {
-            (format!("<'de, {}", &generics[1..]), String::new())
-        }
-    } else {
-        (generics.clone(), String::new())
-    };
-    let lifetime = if trait_path.contains("Deserialize") {
-        "<'de>"
-    } else {
-        ""
-    };
-    let code = format!("impl{impl_generics} {trait_path}{lifetime} for {name}{ty} {where_de} {{}}");
-    code.parse().unwrap_or_default()
+/// Type parameters (not lifetimes) of a generics list.
+fn type_params(generics: &str) -> Vec<String> {
+    if generics.is_empty() {
+        return Vec::new();
+    }
+    let inner = &generics[1..generics.len() - 1];
+    split_top_level(inner, ',')
+        .iter()
+        .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+        .filter(|p| !p.is_empty() && !p.starts_with('\'') && !p.starts_with("const "))
+        .collect()
 }
 
-/// No-op `Serialize` derive: emits a marker impl.
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let ty = ty_generics(&item.generics);
+    let bounds: Vec<String> = type_params(&item.generics)
+        .iter()
+        .map(|p| format!("{p}: ::serde::Serialize"))
+        .collect();
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", bounds.join(", "))
+    };
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let live: Vec<&(String, bool)> = fields.iter().filter(|(_, skip)| !skip).collect();
+            let mut code = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                live.len()
+            );
+            for (field, _) in &live {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(__state)");
+            code
+        }
+        ItemKind::Struct(Fields::Tuple(skips)) => {
+            if skips.len() == 1 && !skips[0] {
+                format!(
+                    "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                )
+            } else {
+                let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+                let mut code = format!(
+                    "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {}usize)?;\n",
+                    live.len()
+                );
+                for i in &live {
+                    code.push_str(&format!(
+                        "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                    ));
+                }
+                code.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+                code
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(skips) if skips.len() == 1 => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        ));
+                    }
+                    Fields::Tuple(skips) => {
+                        let binders: Vec<String> =
+                            (0..skips.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binders.join(", "),
+                            skips.len()
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                        let live: Vec<&str> = fields
+                            .iter()
+                            .filter(|(_, skip)| !skip)
+                            .map(|(f, _)| f.as_str())
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binders.join(", "),
+                            live.len()
+                        );
+                        for f in &live {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {name}{ty} {where_clause} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        generics = item.generics,
+    )
+}
+
+/// Real `Serialize` derive.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "::serde::Serialize")
+    let text = input.to_string();
+    let clean = strip_attributes(&text);
+    let Some(item) = parse_item(&clean) else {
+        panic!("serde_derive (offline stand-in): could not parse item for Serialize: {clean}");
+    };
+    serialize_impl(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
-/// No-op `Deserialize` derive: emits a marker impl.
+/// No-op `Deserialize` derive: emits a marker impl (nothing in the workspace
+/// deserializes yet).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "::serde::Deserialize")
+    let text = input.to_string();
+    let clean = strip_attributes(&text);
+    let Some(item) = parse_item(&clean) else {
+        panic!("serde_derive (offline stand-in): could not parse item for Deserialize: {clean}");
+    };
+    let ty = ty_generics(&item.generics);
+    let impl_generics = if item.generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", &item.generics[1..])
+    };
+    format!(
+        "#[automatically_derived]\nimpl{impl_generics} ::serde::Deserialize<'de> for {}{ty} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_doc_attributes_with_tricky_contents() {
+        let cleaned = strip_attributes(
+            "# [doc = \" a struct, with } and ] and \\\" inside\"] pub struct Foo { a : usize }",
+        );
+        assert!(!cleaned.contains("doc"));
+        assert!(cleaned.contains("struct Foo"));
+    }
+
+    #[test]
+    fn skip_marker_is_injected() {
+        let cleaned = strip_attributes("struct F { # [serde (skip)] wall : u64 , n : usize }");
+        assert!(cleaned.contains(SKIP_MARKER));
+        let item = parse_item(&cleaned).unwrap();
+        assert_eq!(
+            item.kind,
+            ItemKind::Struct(Fields::Named(vec![
+                ("wall".into(), true),
+                ("n".into(), false)
+            ]))
+        );
+    }
+
+    #[test]
+    fn skip_marker_requires_an_exact_serde_skip_attribute() {
+        // A doc comment *mentioning* serde(skip) must not skip the field.
+        let cleaned = strip_attributes(
+            "struct F { # [doc = \" mirrors serde(skip) behavior\"] wall : u64 , n : usize }",
+        );
+        assert!(!cleaned.contains(SKIP_MARKER));
+        // `skip_serializing_if` is conditional in real serde — not a skip.
+        let cleaned = strip_attributes(
+            "struct F { # [serde (skip_serializing_if = \"Option::is_none\")] a : Option < u64 > }",
+        );
+        assert!(!cleaned.contains(SKIP_MARKER));
+    }
+
+    #[test]
+    fn parses_named_struct() {
+        let item =
+            parse_item("pub struct Rec { pub n : usize , pub gaps : Vec < usize > , }").unwrap();
+        assert_eq!(item.name, "Rec");
+        assert_eq!(
+            item.kind,
+            ItemKind::Struct(Fields::Named(vec![
+                ("n".into(), false),
+                ("gaps".into(), false)
+            ]))
+        );
+    }
+
+    #[test]
+    fn parses_field_with_qualified_path_type() {
+        let item =
+            parse_item("struct P { inner : std :: collections :: BTreeMap < String , usize > }")
+                .unwrap();
+        assert_eq!(
+            item.kind,
+            ItemKind::Struct(Fields::Named(vec![("inner".into(), false)]))
+        );
+    }
+
+    #[test]
+    fn parses_enum_with_all_variant_shapes() {
+        let item = parse_item(
+            "pub enum E { Unit , New (usize) , Tup (usize , String) , Str { a : bool , b : Vec < (usize , usize) > } }",
+        )
+        .unwrap();
+        let ItemKind::Enum(variants) = item.kind else {
+            panic!("expected enum");
+        };
+        assert_eq!(variants.len(), 4);
+        assert_eq!(variants[0].fields, Fields::Unit);
+        assert_eq!(variants[1].fields, Fields::Tuple(vec![false]));
+        assert_eq!(variants[2].fields, Fields::Tuple(vec![false, false]));
+        assert_eq!(
+            variants[3].fields,
+            Fields::Named(vec![("a".into(), false), ("b".into(), false)])
+        );
+    }
+
+    #[test]
+    fn parses_generic_struct() {
+        let item = parse_item("pub struct W < T : Clone , 'a > { v : & 'a T }").unwrap();
+        assert_eq!(ty_generics(&item.generics), "<T, 'a>");
+        assert_eq!(type_params(&item.generics), vec!["T".to_string()]);
+    }
+
+    #[test]
+    fn generated_struct_impl_mentions_every_live_field() {
+        let item = parse_item(&strip_attributes(
+            "pub struct R { n : usize , # [serde (skip)] wall : u64 , ok : bool }",
+        ))
+        .unwrap();
+        let code = serialize_impl(&item);
+        assert!(code.contains("serialize_struct(__serializer, \"R\", 2usize)"));
+        assert!(code.contains("\"n\""));
+        assert!(code.contains("\"ok\""));
+        assert!(!code.contains("\"wall\""));
+    }
+
+    #[test]
+    fn generated_enum_impl_uses_variant_indices() {
+        let item = parse_item("enum E { A , B (usize) }").unwrap();
+        let code = serialize_impl(&item);
+        assert!(code.contains("serialize_unit_variant(__serializer, \"E\", 0u32, \"A\")"));
+        assert!(code.contains("serialize_newtype_variant(__serializer, \"E\", 1u32, \"B\", __f0)"));
+    }
 }

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_json` (serialization only).
+//!
+//! Implements a [`serde::Serializer`] that writes compact JSON with the same
+//! data-model mapping as the real crate: unit variants become strings,
+//! newtype/tuple/struct variants become single-key objects, `None`/`()`
+//! become `null`, map keys must serialize as strings, and non-finite floats
+//! are errors.  Field order is declaration order, so output is deterministic
+//! — the property the sweep runner's byte-identical-records guarantee rests
+//! on.
+//!
+//! Known honest deviation from the real crate: floats are printed with Rust's
+//! shortest-round-trip `Display` (plus a forced `.0` for integral values),
+//! which can differ from ryu in exotic cases.
+
+use std::fmt;
+
+use serde::ser::{
+    self, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::{Serialize, Serializer};
+
+/// Serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: ?Sized + Serialize>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error(e.to_string()))
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The compact JSON serializer: writes directly into a `String`.
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+/// In-progress JSON container: `close` is appended by `end()`.
+struct Compound<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    fn element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.comma();
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn named_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.comma();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if !v.is_finite() {
+            return Err(Error("cannot serialize non-finite float".into()));
+        }
+        if v == v.trunc() && v.abs() < 1e16 {
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&v.to_string());
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        write_escaped(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.comma();
+        let mut rendered = String::new();
+        key.serialize(JsonSerializer { out: &mut rendered })?;
+        if !rendered.starts_with('"') {
+            return Err(Error("map keys must serialize as strings".into()));
+        }
+        self.out.push_str(&rendered);
+        self.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.named_field(key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.named_field(key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&vec![1usize, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&(1usize, "x")).unwrap(), "[1,\"x\"]");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(5u8)).unwrap(), "5");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn derived_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Rec {
+            n: usize,
+            name: String,
+            #[serde(skip)]
+            #[allow(dead_code)]
+            wall: u64,
+            tags: Vec<(usize, usize)>,
+        }
+        #[derive(Serialize)]
+        enum Shape {
+            Unit,
+            New(u32),
+            Pair(u32, u32),
+            Named { a: bool },
+        }
+        let rec = Rec {
+            n: 3,
+            name: "e6".into(),
+            wall: 999,
+            tags: vec![(1, 2)],
+        };
+        assert_eq!(
+            to_string(&rec).unwrap(),
+            "{\"n\":3,\"name\":\"e6\",\"tags\":[[1,2]]}"
+        );
+        assert_eq!(to_string(&Shape::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(to_string(&Shape::New(7)).unwrap(), "{\"New\":7}");
+        assert_eq!(to_string(&Shape::Pair(1, 2)).unwrap(), "{\"Pair\":[1,2]}");
+        assert_eq!(
+            to_string(&Shape::Named { a: true }).unwrap(),
+            "{\"Named\":{\"a\":true}}"
+        );
+    }
+
+    #[test]
+    fn btree_map_keys() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(to_string(&m).unwrap(), "{\"a\":1,\"b\":2}");
+        let mut bad = std::collections::BTreeMap::new();
+        bad.insert(1u32, 2u32);
+        assert!(to_string(&bad).is_err());
+    }
+}
