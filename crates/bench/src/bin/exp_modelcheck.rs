@@ -1,0 +1,324 @@
+//! E10 — exhaustive adversarial model checking over scheduler interleavings.
+//!
+//! Where E3–E6 *sample* the adversary (64 seeds per cell), this experiment
+//! *exhausts* it on small instances: for every rigid initial configuration
+//! class of each cell, the checker enumerates **all** SSYNC activation
+//! subsets and **all** ASYNC Look/Move interleavings, checks the per-task
+//! safety invariants on every edge, and decides fair liveness by SCC
+//! analysis — upgrading "verified on sampled schedules" to "proved for all
+//! schedules".
+//!
+//! Grid: gathering and Align on every claimed cell with `n ≤ 8, k ≤ 4`
+//! (quick: `n ≤ 6`); graph searching additionally at its two smallest
+//! feasible instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)`
+//! (NminusThree) in the full grid — below `n = 10` searching is impossible
+//! (Theorem 5) and those cells are recorded as vacuous.
+//!
+//! ```text
+//! exp_modelcheck [--quick] [--json <path>] [--seed <u64>] [--sequential]
+//!                [--selftest] [--max-n <usize>]
+//! ```
+//!
+//! `--selftest` additionally checks that a deliberately broken protocol (one
+//! decision-table entry mutated) is *falsified* with a counterexample that
+//! replays on the engine — a canary for the checker itself.
+
+use std::time::Instant;
+
+use rr_bench::sweep::{exit_if_failed, grid_map, ExpArgs, ModelCheckRecord};
+use rr_checker::explore::{
+    check_protocol, replay_counterexample, CheckOutcome, ExploreOptions, MutatedProtocol,
+    ViolationKind,
+};
+use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
+use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, Invariant, SearchingInvariant};
+use rr_core::unified::{protocol_for, Task};
+use rr_core::{AlignProtocol, GatheringProtocol};
+use rr_ring::enumerate::enumerate_rigid_configurations;
+use rr_ring::Configuration;
+
+/// The tasks of the model-check grid (Align is checked as its own task: it
+/// is the shared first phase the other algorithms build on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellTask {
+    Gathering,
+    Alignment,
+    Searching,
+}
+
+impl CellTask {
+    fn slug(self) -> &'static str {
+        match self {
+            CellTask::Gathering => "gathering",
+            CellTask::Alignment => "alignment",
+            CellTask::Searching => "graph-searching",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    task: CellTask,
+    n: usize,
+    k: usize,
+    mode: InterleavingMode,
+}
+
+/// Whether the paper claims an algorithm for the cell.
+fn claimed(task: CellTask, n: usize, k: usize) -> bool {
+    match task {
+        CellTask::Gathering => protocol_for(Task::Gathering, n, k).is_some(),
+        // Align needs k ≥ 3 robots and a rigid configuration to exist.
+        CellTask::Alignment => k >= 3 && k + 2 < n,
+        CellTask::Searching => protocol_for(Task::GraphSearching, n, k).is_some(),
+    }
+}
+
+fn check_cell_protocol<P: Protocol + Clone>(
+    protocol: &P,
+    invariant: &dyn Invariant,
+    cell: &Cell,
+    record: &mut ModelCheckRecord,
+) {
+    let initials = enumerate_rigid_configurations(cell.n, cell.k);
+    record.initial_classes = initials.len() as u64;
+    if initials.is_empty() {
+        record.vacuous = true;
+        record.ok = true;
+        return;
+    }
+    record.ok = true;
+    for initial in &initials {
+        let report = match check_protocol(
+            protocol,
+            initial,
+            invariant,
+            &ExploreOptions::new(cell.mode),
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                record.ok = false;
+                record.counterexample = format!("engine rejected the initial state: {e}");
+                return;
+            }
+        };
+        record.states += report.states as u64;
+        record.quotient_states += report.quotient_states as u64;
+        record.edges += report.edges;
+        record.target_states += report.target_states as u64;
+        record.progress_edges += report.progress_edges;
+        match &report.outcome {
+            CheckOutcome::Verified => {}
+            CheckOutcome::BudgetExceeded { explored } => {
+                record.ok = false;
+                record.counterexample =
+                    format!("state budget exceeded after {explored} states from {initial}");
+                return;
+            }
+            CheckOutcome::Falsified(ce) => {
+                record.ok = false;
+                record.counterexample = format!("from {initial}: {}", ce.render());
+                return;
+            }
+        }
+    }
+}
+
+fn run_cell(cell: Cell, experiment: &str) -> ModelCheckRecord {
+    let started = Instant::now();
+    let mut record = ModelCheckRecord {
+        experiment: experiment.to_string(),
+        task: cell.task.slug().to_string(),
+        n: cell.n,
+        k: cell.k,
+        mode: cell.mode.name().to_string(),
+        initial_classes: 0,
+        states: 0,
+        quotient_states: 0,
+        edges: 0,
+        target_states: 0,
+        progress_edges: 0,
+        vacuous: false,
+        ok: false,
+        counterexample: String::new(),
+        wall_nanos: 0,
+    };
+    if !claimed(cell.task, cell.n, cell.k) {
+        record.vacuous = true;
+        record.ok = true;
+        record.wall_nanos = started.elapsed().as_nanos();
+        return record;
+    }
+    match cell.task {
+        CellTask::Gathering => check_cell_protocol(
+            &GatheringProtocol::new(),
+            &GatheringInvariant::new(),
+            &cell,
+            &mut record,
+        ),
+        CellTask::Alignment => check_cell_protocol(
+            &AlignProtocol::new(),
+            &AlignmentInvariant::new(),
+            &cell,
+            &mut record,
+        ),
+        CellTask::Searching => {
+            let protocol =
+                protocol_for(Task::GraphSearching, cell.n, cell.k).expect("claimed cell");
+            check_cell_protocol(&protocol, &SearchingInvariant::new(), &cell, &mut record);
+        }
+    }
+    record.wall_nanos = started.elapsed().as_nanos();
+    record
+}
+
+/// The canary: a gathering protocol with ONE decision-table entry mutated
+/// (the initial class idles → fair no-progress lasso) and an Align protocol
+/// with one entry mutated into a move (→ collision).  Both must be falsified
+/// with counterexamples that replay on the engine.
+fn selftest() -> Result<(), String> {
+    // Liveness mutant.
+    let initial = enumerate_rigid_configurations(7, 3)
+        .into_iter()
+        .next()
+        .expect("rigid (7,3)");
+    let mutant = MutatedProtocol::new(
+        GatheringProtocol::new(),
+        MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+        Decision::Idle,
+    );
+    for mode in [
+        InterleavingMode::SsyncSubsets,
+        InterleavingMode::AsyncPhases,
+    ] {
+        let report = check_protocol(
+            &mutant,
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(mode),
+        )
+        .map_err(|e| e.to_string())?;
+        let Some(ce) = report.counterexample() else {
+            return Err(format!("{mode}: idle mutant was NOT falsified"));
+        };
+        if ce.kind != ViolationKind::Liveness {
+            return Err(format!("{mode}: expected a liveness counterexample"));
+        }
+        let replay = replay_counterexample(&mutant, &initial, &GatheringInvariant::new(), ce)
+            .map_err(|e| e.to_string())?;
+        if !replay.reproduced {
+            return Err(format!("{mode}: lasso did not replay: {}", replay.detail));
+        }
+        println!("# selftest {mode}: idle mutant falsified: {}", ce.render());
+    }
+    // Safety mutant: at C* of (8, 4) a robot's clockwise neighbour is
+    // occupied; forcing that class to move lets the adversary collide.
+    let c_star = Configuration::from_gaps_at_origin(&[0, 0, 1, 3]);
+    let mutant = MutatedProtocol::new(
+        AlignProtocol::new(),
+        MutatedProtocol::<AlignProtocol>::trigger_for(&c_star),
+        Decision::Move(ViewIndex::First),
+    );
+    let report = check_protocol(
+        &mutant,
+        &c_star,
+        &AlignmentInvariant::new(),
+        &ExploreOptions::new(InterleavingMode::AsyncPhases),
+    )
+    .map_err(|e| e.to_string())?;
+    let Some(ce) = report.counterexample() else {
+        return Err("move mutant was NOT falsified".to_string());
+    };
+    if ce.kind != ViolationKind::Safety || ce.prefix.len() != 2 {
+        return Err(format!(
+            "expected a minimal 2-step safety trace, got {}",
+            ce.render()
+        ));
+    }
+    let replay = replay_counterexample(&mutant, &c_star, &AlignmentInvariant::new(), ce)
+        .map_err(|e| e.to_string())?;
+    if !replay.reproduced {
+        return Err(format!("safety trace did not replay: {}", replay.detail));
+    }
+    println!(
+        "# selftest: move mutant falsified minimally: {}",
+        ce.render()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args = ExpArgs::parse(0);
+    let max_n: usize = args
+        .value("--max-n")
+        .map_or(if args.quick { 6 } else { 8 }, |v| {
+            v.parse().expect("--max-n takes a usize")
+        });
+
+    if args.flag("--selftest") {
+        if let Err(e) = selftest() {
+            eprintln!("E10 selftest FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut cells = Vec::new();
+    for task in [
+        CellTask::Gathering,
+        CellTask::Alignment,
+        CellTask::Searching,
+    ] {
+        for n in 4..=max_n {
+            for k in 2..=4usize.min(n) {
+                for mode in [
+                    InterleavingMode::SsyncSubsets,
+                    InterleavingMode::AsyncPhases,
+                ] {
+                    cells.push(Cell { task, n, k, mode });
+                }
+            }
+        }
+    }
+    if !args.quick && max_n >= 8 {
+        // The two smallest *feasible* searching instances, beyond the n ≤ 8
+        // acceptance floor: Ring Clearing and NminusThree.
+        for (n, k) in [(11usize, 5usize), (10, 7)] {
+            for mode in [
+                InterleavingMode::SsyncSubsets,
+                InterleavingMode::AsyncPhases,
+            ] {
+                cells.push(Cell {
+                    task: CellTask::Searching,
+                    n,
+                    k,
+                    mode,
+                });
+            }
+        }
+    }
+
+    let records = grid_map(cells, args.mode(), |cell| run_cell(cell, "E10"));
+
+    println!(
+        "# E10 — exhaustive model check (all schedules), {} cells",
+        records.len()
+    );
+    println!("# task            n   k  mode   classes    states  quotient     edges  verdict");
+    for r in &records {
+        let verdict = if r.vacuous {
+            "vacuous".to_string()
+        } else if r.ok {
+            "PROVED".to_string()
+        } else {
+            format!("FALSIFIED {}", r.counterexample)
+        };
+        println!(
+            "  {:<14} {:>2}  {:>2}  {:<5} {:>8} {:>9} {:>9} {:>9}  {verdict}",
+            r.task, r.n, r.k, r.mode, r.initial_classes, r.states, r.quotient_states, r.edges
+        );
+    }
+
+    args.write_json("E10", &records);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    exit_if_failed("E10", failures, records.len());
+}

@@ -12,7 +12,7 @@
 //! records** — the property CI's bench-regression gate and the
 //! `sweep_determinism` test suite rest on.
 //!
-//! The eight `exp_*` binaries are thin grid declarations over this module:
+//! The `exp_*` binaries are thin grid declarations over this module:
 //! they parse the shared [`ExpArgs`] CLI (`--quick`, `--json <path>`,
 //! `--seed <u64>`, `--sequential`), run their sweep, print the human table,
 //! write the JSON report, and exit non-zero when any instance fails
@@ -126,6 +126,53 @@ pub struct RunRecord {
     /// Failure detail (empty on success).
     pub detail: String,
     /// Wall-clock nanoseconds for this instance (not serialized).
+    #[serde(skip)]
+    pub wall_nanos: u128,
+}
+
+/// One exhaustively model-checked cell, as recorded in the JSON report
+/// (schema `rr-sweep/v1`, experiment `E10`).
+///
+/// Where a [`RunRecord`] says "this seed succeeded", a `ModelCheckRecord`
+/// says "**every** schedule of this interleaving mode succeeds" — `states`/
+/// `edges` quantify the exhausted state space, and a non-verified cell
+/// carries its minimal counterexample schedule in `counterexample`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ModelCheckRecord {
+    /// Experiment identifier (e.g. "E10").
+    pub experiment: String,
+    /// Task slug ("gathering", "alignment", "graph-searching").
+    pub task: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Interleaving mode ("ssync" = all activation subsets, "async" = all
+    /// Look/Move phase interleavings).
+    pub mode: String,
+    /// Rigid initial configuration classes checked (one exhaustive search
+    /// each).
+    pub initial_classes: u64,
+    /// Concrete states explored, summed over the initial classes.
+    pub states: u64,
+    /// Canonical (rotation/reflection/relabeling) engine-state classes among
+    /// them (auxiliary contamination state excluded from the class key).
+    pub quotient_states: u64,
+    /// Edges of the explored state graphs.
+    pub edges: u64,
+    /// Liveness-target states seen (Reach invariants).
+    pub target_states: u64,
+    /// Progress edges seen (ReachRepeatedly invariants).
+    pub progress_edges: u64,
+    /// Whether the paper claims no algorithm for this cell (nothing to
+    /// check; `ok` is vacuously true).
+    pub vacuous: bool,
+    /// Whether every schedule of every initial class was verified.
+    pub ok: bool,
+    /// Rendered minimal counterexample schedule (empty when `ok`).
+    pub counterexample: String,
+    /// Wall-clock nanoseconds (not serialized; may differ across execution
+    /// modes).
     #[serde(skip)]
     pub wall_nanos: u128,
 }

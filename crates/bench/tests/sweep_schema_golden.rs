@@ -1,0 +1,187 @@
+//! Golden-file test for the `rr-sweep/v1` JSON record schema.
+//!
+//! The sweep reports are consumed downstream (CI's BENCH.json artifacts, the
+//! perf-trajectory tooling), so their **exact bytes** — field order, field
+//! names, string escaping, float/bool rendering — are a contract.  The
+//! vendored serde/serde_json stand-ins serialize struct fields in
+//! declaration order; these tests pin that order and the escaping rules
+//! against checked-in golden files, so a vendored-serializer change (or an
+//! accidental field reorder in `RunRecord`/`ModelCheckRecord`) cannot
+//! silently break BENCH.json consumers.
+//!
+//! If a change here is *intentional*, regenerate the golden files with
+//! `UPDATE_GOLDEN=1 cargo test -p rr-bench --test sweep_schema_golden` and
+//! bump the schema consumers.
+
+use std::path::PathBuf;
+
+use rr_bench::sweep::{json_report, ModelCheckRecord, RunRecord};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "\n{} drifted from the golden bytes — field order or escaping changed; \
+         if intentional, regenerate with UPDATE_GOLDEN=1 and update consumers",
+        path.display()
+    );
+}
+
+/// Two run records: a vanilla success and a failure whose `detail` exercises
+/// every escaping rule of the serializer (quote, backslash, newline, tab,
+/// carriage return, a sub-0x20 control character, and non-ASCII passthrough).
+fn sample_run_records() -> Vec<RunRecord> {
+    vec![
+        RunRecord {
+            experiment: "E-golden".into(),
+            task: "gathering".into(),
+            n: 12,
+            k: 5,
+            scheduler: "round-robin".into(),
+            seed: 0xDEAD_BEEF,
+            rounds: 120,
+            cycles: 120,
+            moves: 37,
+            clearings: 0,
+            steady_period: 0,
+            explorations: 0,
+            gathered: true,
+            ok: true,
+            detail: String::new(),
+            wall_nanos: 123_456_789,
+        },
+        RunRecord {
+            experiment: "E-golden".into(),
+            task: "graph-searching".into(),
+            n: 13,
+            k: 6,
+            scheduler: "async".into(),
+            seed: 1,
+            rounds: 99_999,
+            cycles: 4_002,
+            moves: 3_000,
+            clearings: 2,
+            steady_period: 41,
+            explorations: 1,
+            gathered: false,
+            ok: false,
+            detail: "budget \"exhausted\"\\after 2 clearings\n\ttab & unit\u{1}; naïve ✓".into(),
+            wall_nanos: 1,
+        },
+    ]
+}
+
+fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
+    vec![
+        ModelCheckRecord {
+            experiment: "E-golden".into(),
+            task: "gathering".into(),
+            n: 8,
+            k: 4,
+            mode: "async".into(),
+            initial_classes: 2,
+            states: 320,
+            quotient_states: 202,
+            edges: 1280,
+            target_states: 4,
+            progress_edges: 0,
+            vacuous: false,
+            ok: true,
+            counterexample: String::new(),
+            wall_nanos: 55,
+        },
+        ModelCheckRecord {
+            experiment: "E-golden".into(),
+            task: "alignment".into(),
+            n: 8,
+            k: 4,
+            mode: "ssync".into(),
+            initial_classes: 1,
+            states: 9,
+            quotient_states: 7,
+            edges: 60,
+            target_states: 0,
+            progress_edges: 0,
+            vacuous: false,
+            ok: false,
+            counterexample: "from [o.o\"o\\o...]: collision: R{0,1}\r\n(L2 E2)*".into(),
+            wall_nanos: 55,
+        },
+    ]
+}
+
+#[test]
+fn run_record_report_matches_golden_bytes() {
+    let json = json_report("E-golden", 42, &sample_run_records()).unwrap() + "\n";
+    assert_matches_golden("rr_sweep_v1_run.json", &json);
+}
+
+#[test]
+fn modelcheck_record_report_matches_golden_bytes() {
+    let json = json_report("E-golden", 7, &sample_modelcheck_records()).unwrap() + "\n";
+    assert_matches_golden("rr_sweep_v1_modelcheck.json", &json);
+}
+
+#[test]
+fn envelope_and_field_order_are_pinned() {
+    // Belt and braces next to the byte-for-byte golden: the envelope keys
+    // and the record keys appear in their declared order, `wall_nanos` is
+    // skipped, and the schema tag is the `rr-sweep/v1` contract.
+    let json = json_report("E-golden", 42, &sample_run_records()).unwrap();
+    let key_order = [
+        "\"schema\"",
+        "\"experiment\"",
+        "\"root_seed\"",
+        "\"records\"",
+        "\"task\"",
+        "\"n\"",
+        "\"k\"",
+        "\"scheduler\"",
+        "\"seed\"",
+        "\"rounds\"",
+        "\"cycles\"",
+        "\"moves\"",
+        "\"clearings\"",
+        "\"steady_period\"",
+        "\"explorations\"",
+        "\"gathered\"",
+        "\"ok\"",
+        "\"detail\"",
+    ];
+    let mut cursor = 0usize;
+    for key in key_order {
+        let at = json[cursor..]
+            .find(key)
+            .unwrap_or_else(|| panic!("key {key} missing or out of order"));
+        cursor += at;
+    }
+    assert!(json.starts_with("{\"schema\":\"rr-sweep/v1\""));
+    assert!(!json.contains("wall_nanos"), "skipped field leaked");
+}
+
+#[test]
+fn escaping_rules_are_pinned() {
+    let json = json_report("E-golden", 42, &sample_run_records()).unwrap();
+    // Quote, backslash, newline, tab, control char as \u00XX; non-ASCII
+    // passes through unescaped.
+    let expected = r#"budget \"exhausted\"\\after 2 clearings\n\ttab & unit\u0001; na"#;
+    assert!(json.contains(expected), "escaping drifted: {json}");
+}

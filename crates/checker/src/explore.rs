@@ -1,0 +1,1069 @@
+//! Exhaustive adversarial model checking over scheduler interleavings.
+//!
+//! The paper's correctness statements quantify over *every* activation
+//! schedule of the adversary; the randomized verification harnesses in
+//! [`crate::verify`] only sample that space (64 seeds per cell).  This module
+//! closes the gap for small instances: it enumerates the **complete**
+//! reachable state graph of a protocol under a
+//! [`NondeterministicScheduler`]'s branching frontier — every SSYNC
+//! activation subset, or every ASYNC Look/Move interleaving with pending
+//! moves — and checks a pluggable [`Invariant`] on it:
+//!
+//! * **safety** is checked on every edge (collisions raised by the engine,
+//!   plus the invariant's own edge conditions), and a breadth-first search
+//!   order guarantees a *minimal* counterexample trace;
+//! * **liveness** is decided on the explored graph by SCC analysis under the
+//!   weak-fairness assumption (every robot is activated infinitely often): a
+//!   violation is a reachable strongly connected subgraph, free of
+//!   target/progress, whose internal edges activate *every* robot — from
+//!   which a concrete fair lasso (prefix + cycle) is extracted.
+//!
+//! Two deduplication regimes are offered.  [`check_protocol`] keys states by
+//! their exact behavioural identity ([`EngineState::exact_key`]) — robot
+//! identities preserved, as per-robot fairness is **not** invariant under
+//! relabeling — and reports, as a statistic, how many canonical classes
+//! ([`EngineState::canonical_key`], the Booth least-rotation quotient by ring
+//! rotation/reflection + robot relabeling) the concrete states collapse to.
+//! [`check_safety_quotient`] dedups directly on canonical classes, which is
+//! sound for safety (a bad state is reachable iff an isomorphic one is) and
+//! explores the `≈ 2n`-fold smaller quotient graph; the two regimes must
+//! agree on every safety verdict, which the test suite pins.
+//!
+//! Counterexamples [`replay`](replay_counterexample) on a fresh [`Engine`]:
+//! a safety trace reproduces its violation at the final step, a liveness
+//! lasso closes back on the exact state it entered the cycle with, making no
+//! progress — so the reported schedule is a certificate, not a search
+//! artifact.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rr_corda::{
+    Decision, Engine, EngineOptions, EngineState, InterleavingMode, NondeterministicScheduler,
+    Protocol, SchedulerStep, SimError, Snapshot, ViewOrder,
+};
+use rr_core::invariant::{AugState, Invariant, LivenessMode, StateView};
+use rr_ring::{Configuration, View};
+
+/// Default state budget: generous for every `n ≤ 8` instance, a guard rail
+/// against accidentally pointing the checker at a huge one.
+pub const DEFAULT_MAX_STATES: usize = 4_000_000;
+
+/// Options for one exhaustive check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Which space of adversarial interleavings to branch over.
+    pub interleaving: InterleavingMode,
+    /// State budget; exceeding it yields [`CheckOutcome::BudgetExceeded`]
+    /// instead of a verdict.
+    pub max_states: usize,
+    /// Whether to run the liveness (SCC) analysis after the safety sweep.
+    pub check_liveness: bool,
+}
+
+impl ExploreOptions {
+    /// Full checking (safety + liveness) under the given interleavings with
+    /// the default state budget.
+    #[must_use]
+    pub fn new(interleaving: InterleavingMode) -> Self {
+        ExploreOptions {
+            interleaving,
+            max_states: DEFAULT_MAX_STATES,
+            check_liveness: true,
+        }
+    }
+
+    /// Replaces the state budget.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Disables the liveness analysis (safety sweep only).
+    #[must_use]
+    pub fn safety_only(mut self) -> Self {
+        self.check_liveness = false;
+        self
+    }
+}
+
+/// Which kind of property a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A bad edge: collision, invariant breach.
+    Safety,
+    /// A fair schedule making no progress: a lasso avoiding the target.
+    Liveness,
+}
+
+/// A concrete adversarial schedule demonstrating a violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// What is violated.
+    pub kind: ViolationKind,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Schedule from the initial configuration to the violation (safety: the
+    /// last step *is* the violation) or to the entry of the lasso cycle.
+    pub prefix: Vec<SchedulerStep>,
+    /// For liveness: the fair cycle (activating every robot, making no
+    /// progress) that the adversary repeats forever.  Empty for safety.
+    pub cycle: Vec<SchedulerStep>,
+}
+
+impl Counterexample {
+    /// Compact single-line rendering (`L2` = Look robot 2, `E0` = Execute
+    /// robot 0, `R{0,2}` = SSYNC round of robots 0 and 2).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}: {}", self.message, render_steps(&self.prefix));
+        if !self.cycle.is_empty() {
+            out.push_str(" (");
+            out.push_str(&render_steps(&self.cycle));
+            out.push_str(")*");
+        }
+        out
+    }
+}
+
+fn render_steps(steps: &[SchedulerStep]) -> String {
+    let rendered: Vec<String> = steps
+        .iter()
+        .map(|s| match s {
+            SchedulerStep::Look(r) => format!("L{r}"),
+            SchedulerStep::Execute(r) => format!("E{r}"),
+            SchedulerStep::SsyncRound(robots) => {
+                let ids: Vec<String> = robots.iter().map(ToString::to_string).collect();
+                format!("R{{{}}}", ids.join(","))
+            }
+        })
+        .collect();
+    rendered.join(" ")
+}
+
+/// The verdict of one exhaustive check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Every reachable edge is safe and (if checked) every fair schedule
+    /// makes the required progress.
+    Verified,
+    /// A violation was found, with its concrete schedule.
+    Falsified(Box<Counterexample>),
+    /// The state budget was exhausted before the graph was covered.
+    BudgetExceeded {
+        /// States explored before giving up.
+        explored: usize,
+    },
+}
+
+/// Result of one exhaustive check.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The invariant that was checked.
+    pub invariant: &'static str,
+    /// The interleaving space that was branched over.
+    pub interleaving: InterleavingMode,
+    /// Concrete states explored (canonical classes when the quotient
+    /// explorer was used).
+    pub states: usize,
+    /// Distinct canonical (rotation/reflection/relabeling) classes among the
+    /// explored *engine* states (auxiliary path state, e.g. contamination, is
+    /// not part of the class key — for invariants carrying one, this counts
+    /// the engine-state classes the full states project onto).
+    pub quotient_states: usize,
+    /// Edges of the explored graph.
+    pub edges: u64,
+    /// States satisfying the liveness target ([`LivenessMode::Reach`]).
+    pub target_states: usize,
+    /// Edges on which liveness progress happened
+    /// ([`LivenessMode::ReachRepeatedly`]).
+    pub progress_edges: u64,
+    /// The verdict.
+    pub outcome: CheckOutcome,
+}
+
+impl ExploreReport {
+    /// Whether the check completed and found no violation.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        matches!(self.outcome, CheckOutcome::Verified)
+    }
+
+    /// The counterexample, if the check falsified the invariant.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.outcome {
+            CheckOutcome::Falsified(ce) => Some(ce),
+            _ => None,
+        }
+    }
+}
+
+/// How explored states are deduplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dedup {
+    /// Exact behavioural identity (robot ids preserved).
+    Exact,
+    /// Canonical class (quotient by ring automorphism + robot relabeling).
+    /// Falls back to exact keys for invariants carrying auxiliary path state,
+    /// whose canonicalization would have to be joint to stay sound.
+    Canonical,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum Key {
+    Exact(Vec<u64>, u64),
+    Canonical(Vec<usize>, u64),
+}
+
+fn make_key(state: &EngineState, aug: &AugState, dedup: Dedup) -> Key {
+    match (dedup, aug) {
+        (Dedup::Canonical, AugState::None) => Key::Canonical(state.canonical_key(), 0),
+        _ => Key::Exact(state.exact_key(), aug.key_bits()),
+    }
+}
+
+struct NodeData {
+    state: EngineState,
+    aug: AugState,
+    parent: Option<(usize, SchedulerStep)>,
+    target: bool,
+}
+
+struct Edge {
+    to: usize,
+    robots: u32,
+    progress: bool,
+    step: SchedulerStep,
+}
+
+fn state_view(state: &EngineState) -> StateView<'_> {
+    StateView {
+        config: state.configuration(),
+        robots: state.robots(),
+    }
+}
+
+/// Exhaustively checks `protocol` against `invariant` from `initial`,
+/// deduplicating on exact behavioural state identity (sound for safety *and*
+/// per-robot fairness liveness).
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine; violations found during the search are reported as
+/// [`CheckOutcome::Falsified`].
+pub fn check_protocol<P: Protocol + Clone>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+) -> Result<ExploreReport, SimError> {
+    explore(protocol, initial, invariant, options, Dedup::Exact)
+}
+
+/// Safety-only exhaustive check deduplicating on canonical state classes:
+/// the `≈ 2n`-fold smaller symmetry quotient of the state graph.
+///
+/// Sound and complete for safety (a violating edge exists iff an isomorphic
+/// one does); liveness is intentionally unavailable here because per-robot
+/// fairness is not invariant under the robot relabeling the quotient
+/// performs — use [`check_protocol`] for liveness.
+///
+/// Only invariants without auxiliary path state get the quotient: for an
+/// invariant carrying one (the searching contamination state), a sound class
+/// key would have to canonicalize the engine state and the auxiliary state
+/// *jointly*, so this function falls back to exact keys — same exploration
+/// cost as [`check_protocol`], minus its liveness analysis.  Prefer
+/// [`check_protocol`] for those invariants.
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine.
+pub fn check_safety_quotient<P: Protocol + Clone>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+) -> Result<ExploreReport, SimError> {
+    let options = options.safety_only();
+    explore(protocol, initial, invariant, &options, Dedup::Canonical)
+}
+
+fn explore<P: Protocol + Clone>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+    dedup: Dedup,
+) -> Result<ExploreReport, SimError> {
+    let engine_options = EngineOptions::for_protocol(protocol);
+    assert!(
+        engine_options.view_order != ViewOrder::Alternating,
+        "alternating view order makes behaviour depend on the look counter; \
+         the state graph would not be well-defined"
+    );
+    let mut engine = Engine::new(protocol.clone(), initial.clone(), engine_options)?;
+    let k = engine.num_robots();
+    assert!(k <= 20, "exhaustive checking is for small instances");
+    let full_mask: u32 = (1u32 << k) - 1;
+    let scheduler = NondeterministicScheduler::new(options.interleaving);
+    let reach_mode = invariant.liveness_mode() == LivenessMode::Reach;
+
+    let root_state = engine.save_state();
+    let root_aug = invariant.initial_aug(initial);
+    let root_target = reach_mode && invariant.is_target(&state_view(&root_state), &root_aug);
+    let mut visited: HashMap<Key, usize> = HashMap::new();
+    visited.insert(make_key(&root_state, &root_aug, dedup), 0);
+    let mut canonical_classes: HashSet<Vec<usize>> = HashSet::new();
+    canonical_classes.insert(root_state.canonical_key());
+    let mut nodes = vec![NodeData {
+        state: root_state,
+        aug: root_aug,
+        parent: None,
+        target: root_target,
+    }];
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
+
+    let mut edge_count: u64 = 0;
+    let mut progress_edges: u64 = 0;
+    let mut budget_hit = false;
+    let mut safety_ce: Option<Counterexample> = None;
+
+    let mut i = 0usize;
+    'bfs: while i < nodes.len() {
+        let before_state = nodes[i].state.clone();
+        let before_aug = nodes[i].aug.clone();
+        engine.restore_state(&before_state);
+        let frontier = scheduler.frontier(&engine.scheduler_view());
+        for step in frontier {
+            engine.restore_state(&before_state);
+            let report = match engine.step(&step, &mut ()) {
+                Ok(report) => report,
+                Err(e) => {
+                    let mut prefix = path_from_root(&nodes, i);
+                    prefix.push(step);
+                    safety_ce = Some(Counterexample {
+                        kind: ViolationKind::Safety,
+                        message: e.to_string(),
+                        prefix,
+                        cycle: Vec::new(),
+                    });
+                    break 'bfs;
+                }
+            };
+            let mut aug = before_aug.clone();
+            let progress = invariant.observe_step(&mut aug, &report, engine.configuration());
+            let after_state = engine.save_state();
+            if let Err(message) =
+                invariant.check_edge(&state_view(&before_state), &state_view(&after_state), &aug)
+            {
+                let mut prefix = path_from_root(&nodes, i);
+                prefix.push(step);
+                safety_ce = Some(Counterexample {
+                    kind: ViolationKind::Safety,
+                    message,
+                    prefix,
+                    cycle: Vec::new(),
+                });
+                break 'bfs;
+            }
+            let target = reach_mode && invariant.is_target(&state_view(&after_state), &aug);
+            let key = make_key(&after_state, &aug, dedup);
+            let to = match visited.entry(key) {
+                Entry::Occupied(entry) => *entry.get(),
+                Entry::Vacant(entry) => {
+                    if nodes.len() >= options.max_states {
+                        budget_hit = true;
+                        break 'bfs;
+                    }
+                    canonical_classes.insert(after_state.canonical_key());
+                    nodes.push(NodeData {
+                        state: after_state,
+                        aug,
+                        parent: Some((i, step.clone())),
+                        target,
+                    });
+                    edges.push(Vec::new());
+                    *entry.insert(nodes.len() - 1)
+                }
+            };
+            edge_count += 1;
+            progress_edges += u64::from(progress);
+            edges[i].push(Edge {
+                to,
+                robots: NondeterministicScheduler::activation_mask(&step),
+                progress,
+                step,
+            });
+        }
+        i += 1;
+    }
+
+    let target_states = nodes.iter().filter(|n| n.target).count();
+    let quotient_states = match dedup {
+        Dedup::Exact => canonical_classes.len(),
+        Dedup::Canonical => nodes.len(),
+    };
+    let outcome = if let Some(ce) = safety_ce {
+        CheckOutcome::Falsified(Box::new(ce))
+    } else if budget_hit {
+        CheckOutcome::BudgetExceeded {
+            explored: nodes.len(),
+        }
+    } else if options.check_liveness {
+        match liveness_violation(&nodes, &edges, full_mask, invariant) {
+            Some(ce) => CheckOutcome::Falsified(Box::new(ce)),
+            None => CheckOutcome::Verified,
+        }
+    } else {
+        CheckOutcome::Verified
+    };
+
+    Ok(ExploreReport {
+        invariant: invariant.name(),
+        interleaving: options.interleaving,
+        states: nodes.len(),
+        quotient_states,
+        edges: edge_count,
+        target_states,
+        progress_edges,
+        outcome,
+    })
+}
+
+/// Schedule from the root to node `i`, following BFS parent pointers.
+fn path_from_root(nodes: &[NodeData], mut i: usize) -> Vec<SchedulerStep> {
+    let mut steps = Vec::new();
+    while let Some((parent, step)) = &nodes[i].parent {
+        steps.push(step.clone());
+        i = *parent;
+    }
+    steps.reverse();
+    steps
+}
+
+/// Searches the explored graph for a fair schedule that never makes
+/// progress: a strongly connected subgraph of non-target states, reachable
+/// from the root through non-target states, whose non-progress internal
+/// edges activate every robot.  Returns the corresponding lasso.
+fn liveness_violation(
+    nodes: &[NodeData],
+    edges: &[Vec<Edge>],
+    full_mask: u32,
+    invariant: &dyn Invariant,
+) -> Option<Counterexample> {
+    if nodes[0].target {
+        return None;
+    }
+    // Non-target states reachable from the root through non-target states
+    // (a fair path that visits a target has satisfied a Reach obligation, so
+    // lassos must be reachable while avoiding targets).
+    let mut reachable = vec![false; nodes.len()];
+    let mut bfs_parent: Vec<Option<(usize, usize)>> = vec![None; nodes.len()]; // (node, edge idx)
+    reachable[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for (ei, e) in edges[u].iter().enumerate() {
+            if !nodes[e.to].target && !reachable[e.to] {
+                reachable[e.to] = true;
+                bfs_parent[e.to] = Some((u, ei));
+                queue.push_back(e.to);
+            }
+        }
+    }
+    // Eligible lasso edges: non-progress, between reachable non-target
+    // states.  (Target states are never `reachable`, except the root which
+    // was checked above.)
+    let eligible = |u: usize, e: &Edge| reachable[u] && reachable[e.to] && !e.progress;
+
+    let (scc, scc_count) = tarjan_scc(nodes.len(), edges, &eligible);
+
+    // Fairness coverage per SCC: the union of activation masks over internal
+    // eligible edges, plus whether the SCC has any internal edge at all.
+    let mut coverage = vec![0u32; scc_count];
+    let mut has_edge = vec![false; scc_count];
+    for (u, out) in edges.iter().enumerate() {
+        for e in out {
+            if eligible(u, e) && scc[e.to] == scc[u] {
+                coverage[scc[u]] |= e.robots;
+                has_edge[scc[u]] = true;
+            }
+        }
+    }
+    let bad = (0..scc_count).find(|&c| has_edge[c] && coverage[c] == full_mask)?;
+
+    // Entry node: the first (lowest-index, hence BFS-closest) node of the bad
+    // SCC; its prefix avoids targets by construction of `bfs_parent`.
+    let entry = (0..nodes.len())
+        .find(|&u| scc[u] == bad)
+        .expect("non-empty SCC");
+    let mut prefix = Vec::new();
+    let mut cur = entry;
+    while let Some((p, ei)) = bfs_parent[cur] {
+        prefix.push(edges[p][ei].step.clone());
+        cur = p;
+    }
+    prefix.reverse();
+
+    let cycle = covering_cycle(edges, &scc, bad, entry, full_mask, &eligible);
+    let what = match invariant.liveness_mode() {
+        LivenessMode::Reach => "never reaching the target",
+        LivenessMode::ReachRepeatedly => "never making progress again",
+    };
+    Some(Counterexample {
+        kind: ViolationKind::Liveness,
+        message: format!("fair schedule (every robot activated in each cycle iteration) {what}"),
+        prefix,
+        cycle,
+    })
+}
+
+/// A closed walk from `entry` back to `entry` inside SCC `target_scc`, using
+/// only eligible edges, whose activation masks cover `full_mask`.
+fn covering_cycle(
+    edges: &[Vec<Edge>],
+    scc: &[usize],
+    target_scc: usize,
+    entry: usize,
+    full_mask: u32,
+    eligible: &dyn Fn(usize, &Edge) -> bool,
+) -> Vec<SchedulerStep> {
+    // BFS inside the SCC from `from`, stopping as soon as `stop(u, e)` holds
+    // for an edge about to be relaxed; returns the end node and the walk
+    // (as (node, edge-index) pairs) including that stopping edge.
+    #[allow(clippy::type_complexity)]
+    let walk_until =
+        |from: usize, stop: &dyn Fn(usize, &Edge) -> bool| -> (usize, Vec<(usize, usize)>) {
+            let mut parent: HashMap<usize, (usize, usize)> = HashMap::new();
+            let mut queue = VecDeque::from([from]);
+            let mut seen: HashSet<usize> = HashSet::from([from]);
+            while let Some(u) = queue.pop_front() {
+                for (ei, e) in edges[u].iter().enumerate() {
+                    if !eligible(u, e) || scc[e.to] != target_scc {
+                        continue;
+                    }
+                    if stop(u, e) {
+                        // Reconstruct from → u, then append (u, ei).
+                        let mut walk = vec![(u, ei)];
+                        let mut cur = u;
+                        while cur != from {
+                            let (p, pei) = parent[&cur];
+                            walk.push((p, pei));
+                            cur = p;
+                        }
+                        walk.reverse();
+                        return (e.to, walk);
+                    }
+                    if seen.insert(e.to) {
+                        parent.insert(e.to, (u, ei));
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            unreachable!("SCC is strongly connected and covers the mask");
+        };
+    let append = |walk: Vec<(usize, usize)>, steps: &mut Vec<SchedulerStep>, covered: &mut u32| {
+        for (n, ei) in walk {
+            *covered |= edges[n][ei].robots;
+            steps.push(edges[n][ei].step.clone());
+        }
+    };
+
+    let mut steps = Vec::new();
+    let mut covered = 0u32;
+    let mut cur = entry;
+    while covered != full_mask {
+        let missing = full_mask & !covered;
+        let (end, walk) = walk_until(cur, &|_, e: &Edge| e.robots & missing != 0);
+        append(walk, &mut steps, &mut covered);
+        cur = end;
+    }
+    if cur != entry {
+        let (end, walk) = walk_until(cur, &|_, e: &Edge| e.to == entry);
+        append(walk, &mut steps, &mut covered);
+        debug_assert_eq!(end, entry);
+    }
+    steps
+}
+
+/// Iterative Tarjan SCC over the subgraph of eligible edges.  Every node gets
+/// an SCC id (nodes without eligible edges become singletons); returns the
+/// per-node id assignment and the number of SCCs.
+fn tarjan_scc(
+    n: usize,
+    edges: &[Vec<Edge>],
+    eligible: &dyn Fn(usize, &Edge) -> bool,
+) -> (Vec<usize>, usize) {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc = vec![0usize; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS stack: (node, next edge position); a node is initialized
+    // the first time its frame is on top (pos == 0 implies first visit, as
+    // pos is incremented before any child frame is pushed).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let mut advanced = false;
+            while *pos < edges[v].len() {
+                let e = &edges[v][*pos];
+                *pos += 1;
+                if !eligible(v, e) {
+                    continue;
+                }
+                let w = e.to;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // v is finished.
+            if low[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on_stack[w] = false;
+                    scc[w] = scc_count;
+                    if w == v {
+                        break;
+                    }
+                }
+                scc_count += 1;
+            }
+            let low_v = low[v];
+            call.pop();
+            if let Some(&(parent, _)) = call.last() {
+                low[parent] = low[parent].min(low_v);
+            }
+        }
+    }
+    (scc, scc_count)
+}
+
+/// Result of replaying a counterexample on a fresh engine.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Whether the replay reproduced exactly the reported violation.
+    pub reproduced: bool,
+    /// What the replay observed (the violation message, or why it failed to
+    /// reproduce).
+    pub detail: String,
+}
+
+/// Replays `ce` on a fresh [`Engine`] and checks that it demonstrates its
+/// violation: a safety trace must run cleanly up to its final step and
+/// violate there; a liveness lasso must run cleanly, return to the exact
+/// state it entered the cycle with, and make no progress / reach no target
+/// during the cycle (so the adversary can repeat it forever, fairly).
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine.
+pub fn replay_counterexample<P: Protocol + Clone>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    ce: &Counterexample,
+) -> Result<ReplayReport, SimError> {
+    let engine_options = EngineOptions::for_protocol(protocol);
+    let mut engine = Engine::new(protocol.clone(), initial.clone(), engine_options)?;
+    let mut aug = invariant.initial_aug(initial);
+    let reach_mode = invariant.liveness_mode() == LivenessMode::Reach;
+
+    // Applies one step; returns Some(violation message) if it violates.
+    let apply = |engine: &mut Engine<P>,
+                 aug: &mut AugState,
+                 step: &SchedulerStep|
+     -> Result<(bool, bool), String> {
+        let before = engine.save_state();
+        let report = engine.step(step, &mut ()).map_err(|e| e.to_string())?;
+        let progress = invariant.observe_step(aug, &report, engine.configuration());
+        let after = engine.save_state();
+        invariant.check_edge(&state_view(&before), &state_view(&after), aug)?;
+        let target = reach_mode && invariant.is_target(&state_view(&after), aug);
+        Ok((progress, target))
+    };
+
+    match ce.kind {
+        ViolationKind::Safety => {
+            for (idx, step) in ce.prefix.iter().enumerate() {
+                let last = idx + 1 == ce.prefix.len();
+                match apply(&mut engine, &mut aug, step) {
+                    Ok(_) if last => {
+                        return Ok(ReplayReport {
+                            reproduced: false,
+                            detail: "final step did not violate".to_string(),
+                        })
+                    }
+                    Ok(_) => {}
+                    Err(detail) => {
+                        return Ok(ReplayReport {
+                            reproduced: last,
+                            detail,
+                        })
+                    }
+                }
+            }
+            Ok(ReplayReport {
+                reproduced: false,
+                detail: "empty safety trace".to_string(),
+            })
+        }
+        ViolationKind::Liveness => {
+            for step in &ce.prefix {
+                if let Err(detail) = apply(&mut engine, &mut aug, step) {
+                    return Ok(ReplayReport {
+                        reproduced: false,
+                        detail: format!("prefix violated safety: {detail}"),
+                    });
+                }
+            }
+            if ce.cycle.is_empty() {
+                return Ok(ReplayReport {
+                    reproduced: false,
+                    detail: "empty lasso cycle".to_string(),
+                });
+            }
+            let loop_state = engine.save_state();
+            let loop_aug_bits = aug.key_bits();
+            if reach_mode && invariant.is_target(&state_view(&loop_state), &aug) {
+                return Ok(ReplayReport {
+                    reproduced: false,
+                    detail: "lasso entry already satisfies the target".to_string(),
+                });
+            }
+            let mut progress_seen = false;
+            let mut target_seen = false;
+            let mut activated = 0u32;
+            for step in &ce.cycle {
+                match apply(&mut engine, &mut aug, step) {
+                    Ok((progress, target)) => {
+                        progress_seen |= progress;
+                        target_seen |= target;
+                        activated |= NondeterministicScheduler::activation_mask(step);
+                    }
+                    Err(detail) => {
+                        return Ok(ReplayReport {
+                            reproduced: false,
+                            detail: format!("cycle violated safety: {detail}"),
+                        });
+                    }
+                }
+            }
+            let closes = engine.save_state().exact_key() == loop_state.exact_key()
+                && aug.key_bits() == loop_aug_bits;
+            let fair = activated == (1u32 << engine.num_robots()) - 1;
+            let reproduced = closes && fair && !progress_seen && !target_seen;
+            let detail = if reproduced {
+                format!(
+                    "lasso closes after {} steps, activates all robots, no progress",
+                    ce.cycle.len()
+                )
+            } else {
+                format!("closes={closes} fair={fair} progress={progress_seen} target={target_seen}")
+            };
+            Ok(ReplayReport { reproduced, detail })
+        }
+    }
+}
+
+/// A deliberately broken protocol: `inner` with **one decision-table entry
+/// overridden** — whenever the observing robot's supermin configuration view
+/// equals `trigger`, the protocol returns `replacement` instead of the
+/// inner decision.
+///
+/// Since an oblivious min-CORDA protocol *is* a function from view classes
+/// to decisions, this is exactly a single-entry table mutation; the
+/// exhaustive checker must detect it with a counterexample that replays.
+#[derive(Debug, Clone)]
+pub struct MutatedProtocol<P> {
+    inner: P,
+    trigger: View,
+    replacement: Decision,
+}
+
+impl<P: Protocol> MutatedProtocol<P> {
+    /// Wraps `inner`, overriding the decision of the view class whose
+    /// supermin is `trigger`.
+    #[must_use]
+    pub fn new(inner: P, trigger: View, replacement: Decision) -> Self {
+        MutatedProtocol {
+            inner,
+            trigger,
+            replacement,
+        }
+    }
+
+    /// The trigger for the configuration class of `config`.
+    #[must_use]
+    pub fn trigger_for(config: &Configuration) -> View {
+        View::new(config.gap_sequence()).supermin()
+    }
+}
+
+impl<P: Protocol> Protocol for MutatedProtocol<P> {
+    fn name(&self) -> &str {
+        "mutant"
+    }
+
+    fn capability(&self) -> rr_corda::MultiplicityCapability {
+        self.inner.capability()
+    }
+
+    fn requires_exclusivity(&self) -> bool {
+        self.inner.requires_exclusivity()
+    }
+
+    fn compute(&self, snapshot: &Snapshot) -> Decision {
+        if snapshot.supermin() == self.trigger {
+            self.replacement
+        } else {
+            self.inner.compute(snapshot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, SearchingInvariant};
+    use rr_core::{AlignProtocol, GatheringProtocol};
+    use rr_ring::enumerate::enumerate_rigid_configurations;
+
+    const MODES: [InterleavingMode; 2] = [
+        InterleavingMode::SsyncSubsets,
+        InterleavingMode::AsyncPhases,
+    ];
+
+    #[test]
+    fn gathering_is_verified_exhaustively_on_small_rings() {
+        // Every rigid initial class of (6, 3) and (7, 3), both interleaving
+        // spaces: safety + liveness proved, not sampled.
+        for (n, k) in [(6usize, 3usize), (7, 3)] {
+            for initial in enumerate_rigid_configurations(n, k) {
+                for mode in MODES {
+                    let report = check_protocol(
+                        &GatheringProtocol::new(),
+                        &initial,
+                        &GatheringInvariant::new(),
+                        &ExploreOptions::new(mode),
+                    )
+                    .unwrap();
+                    assert!(
+                        report.verified(),
+                        "n={n} k={k} mode={mode}: {:?}",
+                        report.outcome
+                    );
+                    assert!(report.target_states > 0, "n={n} k={k} mode={mode}");
+                    assert!(report.quotient_states <= report.states);
+                    assert!(report.edges > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_safety_pass_agrees_and_is_smaller() {
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        for mode in MODES {
+            let concrete = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode).safety_only(),
+            )
+            .unwrap();
+            let quotient = check_safety_quotient(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode),
+            )
+            .unwrap();
+            assert!(concrete.verified() && quotient.verified(), "mode={mode}");
+            // The quotient explorer's state count is exactly the number of
+            // canonical classes the concrete explorer reports.
+            assert_eq!(quotient.states, concrete.quotient_states, "mode={mode}");
+            assert!(quotient.states <= concrete.states, "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn quotient_dedup_strictly_shrinks_symmetric_state_spaces() {
+        // Two idle robots on a 6-ring: the concrete ASYNC graph has all four
+        // ready/idle-pending phase combinations, but "robot 0 pending" and
+        // "robot 1 pending" are isomorphic under the reflection exchanging
+        // the two robots — the canonical quotient merges them (4 → 3).
+        let initial = Configuration::from_gaps_at_origin(&[1, 3]);
+        let options = ExploreOptions::new(InterleavingMode::AsyncPhases).safety_only();
+        let concrete = check_protocol(
+            &rr_corda::protocol::IdleProtocol,
+            &initial,
+            &GatheringInvariant::new(),
+            &options,
+        )
+        .unwrap();
+        let quotient = check_safety_quotient(
+            &rr_corda::protocol::IdleProtocol,
+            &initial,
+            &GatheringInvariant::new(),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(concrete.states, 4);
+        assert_eq!(quotient.states, 3);
+        assert_eq!(concrete.quotient_states, 3);
+    }
+
+    #[test]
+    fn idle_mutant_yields_a_liveness_counterexample_that_replays() {
+        // Mutate ONE decision-table entry of the gathering protocol: robots
+        // observing the initial configuration class stay idle.  From that
+        // class no robot ever moves, so a fair schedule loops forever — the
+        // checker must find the lasso and it must replay on the engine.
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        let mutant = MutatedProtocol::new(
+            GatheringProtocol::new(),
+            MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+            Decision::Idle,
+        );
+        for mode in MODES {
+            let report = check_protocol(
+                &mutant,
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode),
+            )
+            .unwrap();
+            let ce = report.counterexample().expect("mutant must be falsified");
+            assert_eq!(ce.kind, ViolationKind::Liveness);
+            assert!(!ce.cycle.is_empty());
+            let replay =
+                replay_counterexample(&mutant, &initial, &GatheringInvariant::new(), ce).unwrap();
+            assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+            assert!(!ce.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn collision_mutant_yields_a_minimal_safety_counterexample_that_replays() {
+        // C* on (8, 4) contains a robot whose clockwise neighbour is
+        // occupied; overriding that class's decision with "move" lets the
+        // adversary force a collision.  BFS order makes the reported trace
+        // minimal: one SSYNC round, or Look + Execute under ASYNC.
+        let initial = Configuration::from_gaps_at_origin(&[0, 0, 1, 3]);
+        let mutant = MutatedProtocol::new(
+            AlignProtocol::new(),
+            MutatedProtocol::<AlignProtocol>::trigger_for(&initial),
+            Decision::Move(rr_corda::ViewIndex::First),
+        );
+        for (mode, minimal_len) in [
+            (InterleavingMode::SsyncSubsets, 1),
+            (InterleavingMode::AsyncPhases, 2),
+        ] {
+            let report = check_protocol(
+                &mutant,
+                &initial,
+                &AlignmentInvariant::new(),
+                &ExploreOptions::new(mode),
+            )
+            .unwrap();
+            let ce = report.counterexample().expect("mutant must be falsified");
+            assert_eq!(ce.kind, ViolationKind::Safety);
+            assert_eq!(ce.prefix.len(), minimal_len, "mode={mode}: {}", ce.render());
+            assert!(ce.cycle.is_empty());
+            let replay =
+                replay_counterexample(&mutant, &initial, &AlignmentInvariant::new(), ce).unwrap();
+            assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+            assert!(replay.detail.contains("exclusivity") || replay.detail.contains("occupied"));
+        }
+    }
+
+    #[test]
+    fn alignment_is_verified_exhaustively() {
+        for initial in enumerate_rigid_configurations(7, 3) {
+            for mode in MODES {
+                let report = check_protocol(
+                    &AlignProtocol::new(),
+                    &initial,
+                    &AlignmentInvariant::new(),
+                    &ExploreOptions::new(mode),
+                )
+                .unwrap();
+                assert!(report.verified(), "mode={mode}: {:?}", report.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn searching_liveness_falsifies_a_protocol_that_never_clears() {
+        // The idle protocol trivially never clears the ring: the checker
+        // reports a fair no-progress lasso under the perpetual-searching
+        // invariant, and the lasso replays.
+        let initial = Configuration::from_gaps_at_origin(&[1, 3]); // n=6, k=2
+        let inv = SearchingInvariant::new();
+        let report = check_protocol(
+            &rr_corda::protocol::IdleProtocol,
+            &initial,
+            &inv,
+            &ExploreOptions::new(InterleavingMode::AsyncPhases),
+        )
+        .unwrap();
+        let ce = report.counterexample().expect("idle never clears");
+        assert_eq!(ce.kind, ViolationKind::Liveness);
+        assert_eq!(report.progress_edges, 0);
+        let replay =
+            replay_counterexample(&rr_corda::protocol::IdleProtocol, &initial, &inv, ce).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn state_budget_is_respected() {
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        let report = check_protocol(
+            &GatheringProtocol::new(),
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(InterleavingMode::AsyncPhases).with_max_states(3),
+        )
+        .unwrap();
+        assert!(matches!(
+            report.outcome,
+            CheckOutcome::BudgetExceeded { explored: 3 }
+        ));
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let ce = Counterexample {
+            kind: ViolationKind::Liveness,
+            message: "m".to_string(),
+            prefix: vec![SchedulerStep::Look(1), SchedulerStep::Execute(1)],
+            cycle: vec![SchedulerStep::SsyncRound(vec![0, 2])],
+        };
+        assert_eq!(ce.render(), "m: L1 E1 (R{0,2})*");
+    }
+}

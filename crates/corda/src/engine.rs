@@ -10,7 +10,7 @@
 //! any [`Monitor`] (look/move/step hooks), and [`Engine::run`] loops
 //! scheduler → step → monitor until a stop condition holds.
 
-use rr_ring::{Configuration, Direction, NodeId, Ring};
+use rr_ring::{Configuration, Direction, NodeId, Ring, View};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -155,6 +155,130 @@ impl RunReport {
     }
 }
 
+/// A saved execution state of an [`Engine`]: the configuration, the per-robot
+/// bookkeeping and the step counters — everything [`Engine::step`] reads or
+/// writes except the protocol, the options and the trace.
+///
+/// Produced by [`Engine::save_state`] and consumed by
+/// [`Engine::restore_state`]; this is the branch-and-bound primitive the
+/// exhaustive model checker (`rr_checker::explore`) is built on: save, apply
+/// one frontier step, record the successor, restore, apply the next.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineState {
+    config: Configuration,
+    robots: Vec<RobotState>,
+    step: u64,
+    moves: u64,
+    looks: u64,
+}
+
+impl EngineState {
+    /// The saved configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The saved per-robot states.
+    #[must_use]
+    pub fn robots(&self) -> &[RobotState] {
+        &self.robots
+    }
+
+    /// Exact behavioural identity of the state: the occupancy counts plus
+    /// each robot's `(node, phase)`, *excluding* the monotonically growing
+    /// step/move/look counters (two states differing only in those counters
+    /// behave identically under every future schedule, provided the engine's
+    /// view order is not [`ViewOrder::Alternating`]).
+    ///
+    /// This is the hash key for concrete-state model checking, where robot
+    /// identities must be preserved (per-robot fairness is not invariant
+    /// under relabeling).
+    #[must_use]
+    pub fn exact_key(&self) -> Vec<u64> {
+        let ring = self.config.ring();
+        let mut key = Vec::with_capacity(1 + self.robots.len());
+        key.push(ring.len() as u64);
+        for r in &self.robots {
+            let phase = match r.phase {
+                Phase::Ready => 0u64,
+                Phase::IdlePending => 1,
+                Phase::MovePending { target } => {
+                    if ring.neighbor(r.node, Direction::Cw) == target {
+                        2
+                    } else {
+                        3
+                    }
+                }
+            };
+            key.push((r.node as u64) << 2 | phase);
+        }
+        key
+    }
+
+    /// Canonical behavioural identity of the state *up to ring automorphism
+    /// and robot relabeling*: the lexicographically smallest, over all `2n`
+    /// rotations/reflections of the ring, of the per-node encoded word
+    /// `(robots ready, idle-pending, move-pending-cw, move-pending-ccw)`.
+    ///
+    /// Two engine states with equal canonical keys are isomorphic: some ring
+    /// automorphism maps one onto the other (reflections swap the cw/ccw
+    /// pending-move directions, which the encoding accounts for).  The
+    /// minimization reuses the Booth least-rotation machinery of
+    /// [`View::min_rotation`] on the encoded word — one O(n) scan for the
+    /// word and one for its reflection, exactly like `View::supermin`.
+    ///
+    /// This quotient is sound for reachability/safety questions (a state is
+    /// reachable iff an isomorphic one is); it deliberately forgets robot
+    /// identities, so per-robot fairness arguments must use
+    /// [`EngineState::exact_key`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 15 robots share a node and phase (the per-node
+    /// encoding packs each phase count into 4 bits; model-checked instances
+    /// are far smaller).
+    #[must_use]
+    pub fn canonical_key(&self) -> Vec<usize> {
+        let ring = self.config.ring();
+        let n = ring.len();
+        let mut ready = vec![0usize; n];
+        let mut idle = vec![0usize; n];
+        let mut pend_cw = vec![0usize; n];
+        let mut pend_ccw = vec![0usize; n];
+        for r in &self.robots {
+            match r.phase {
+                Phase::Ready => ready[r.node] += 1,
+                Phase::IdlePending => idle[r.node] += 1,
+                Phase::MovePending { target } => {
+                    if ring.neighbor(r.node, Direction::Cw) == target {
+                        pend_cw[r.node] += 1;
+                    } else {
+                        pend_ccw[r.node] += 1;
+                    }
+                }
+            }
+        }
+        let enc = |v: usize, cw: &[usize], ccw: &[usize]| {
+            assert!(
+                ready[v] < 16 && idle[v] < 16 && cw[v] < 16 && ccw[v] < 16,
+                "canonical_key packs per-node phase counts into 4 bits"
+            );
+            ready[v] | idle[v] << 4 | cw[v] << 8 | ccw[v] << 12
+        };
+        // Forward reading of the ring, and the reflection through node 0
+        // (v ↦ n - v mod n).  All 2n automorphisms are rotations of one of
+        // the two words; reflections swap the cw/ccw pending directions.
+        let forward: Vec<usize> = (0..n).map(|v| enc(v, &pend_cw, &pend_ccw)).collect();
+        let reflected: Vec<usize> = (0..n)
+            .map(|v| enc((n - v) % n, &pend_ccw, &pend_cw))
+            .collect();
+        let a = View::new(forward).min_rotation();
+        let b = View::new(reflected).min_rotation();
+        a.min(b).gaps().to_vec()
+    }
+}
+
 /// The Look–Compute–Move execution engine.
 ///
 /// One `Engine` owns one run: the protocol, the evolving configuration, the
@@ -258,6 +382,51 @@ impl<P: Protocol> Engine<P> {
         self.moves = 0;
         self.looks = 0;
         Ok(())
+    }
+
+    /// Saves the current execution state (configuration, robot bookkeeping,
+    /// step counters) for a later [`Engine::restore_state`].
+    ///
+    /// The protocol, the options and the trace are **not** part of the saved
+    /// state: a save/restore pair brackets a speculative excursion of the
+    /// *same* run, which is exactly what an exhaustive state-space search
+    /// needs (the trace, if any, keeps accumulating across excursions and is
+    /// normally disabled there).
+    #[must_use]
+    pub fn save_state(&self) -> EngineState {
+        EngineState {
+            config: self.config.clone(),
+            robots: self.robots.clone(),
+            step: self.step,
+            moves: self.moves,
+            looks: self.looks,
+        }
+    }
+
+    /// Rewinds the engine to a state previously captured with
+    /// [`Engine::save_state`], reusing the configuration and robot storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` belongs to a different instance shape (ring size or
+    /// robot count mismatch) — states may only be restored into the engine
+    /// family they were saved from.
+    pub fn restore_state(&mut self, state: &EngineState) {
+        assert_eq!(
+            state.config.n(),
+            self.ring.len(),
+            "restore_state: ring size mismatch"
+        );
+        assert_eq!(
+            state.robots.len(),
+            self.robots.len(),
+            "restore_state: robot count mismatch"
+        );
+        self.config.clone_from(&state.config);
+        self.robots.clone_from(&state.robots);
+        self.step = state.step;
+        self.moves = state.moves;
+        self.looks = state.looks;
     }
 
     /// Creates an engine with the options implied by the protocol declaration
@@ -848,6 +1017,115 @@ mod tests {
         assert!(report.succeeded());
         assert_eq!(log.moves.len(), 3);
         assert_eq!(engine.move_count(), 3);
+    }
+
+    #[test]
+    fn save_restore_round_trips_mid_cycle() {
+        // Save in the middle of an asynchronous cycle (robot 0 has a pending
+        // move), wander off, restore, and check the two futures coincide.
+        let c = cfg(&[1, 1, 4]);
+        let options = EngineOptions {
+            enforce_exclusivity: false,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(GreedyGapWalker, c, options).unwrap();
+        engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let saved = engine.save_state();
+        assert!(saved.robots()[0].has_pending_move());
+
+        // Excursion: complete other robots' cycles and robot 0's move.
+        engine.step(&cycle(2), &mut ()).unwrap();
+        engine.step(&SchedulerStep::Execute(0), &mut ()).unwrap();
+        let excursion_positions = engine.positions();
+
+        engine.restore_state(&saved);
+        assert_eq!(engine.configuration(), saved.configuration());
+        assert_eq!(engine.robots(), saved.robots());
+        assert_eq!(engine.save_state(), saved);
+
+        // Replaying the same steps reproduces the excursion exactly.
+        engine.step(&cycle(2), &mut ()).unwrap();
+        engine.step(&SchedulerStep::Execute(0), &mut ()).unwrap();
+        assert_eq!(engine.positions(), excursion_positions);
+    }
+
+    #[test]
+    fn exact_key_ignores_counters_but_not_phases() {
+        let c = cfg(&[1, 1, 4]);
+        let mut a = Engine::with_default_options(IdleProtocol, c.clone()).unwrap();
+        let mut b = Engine::with_default_options(IdleProtocol, c).unwrap();
+        // Advance `a` through a full idle cycle: same behavioural state,
+        // different counters.
+        a.step(&cycle(1), &mut ()).unwrap();
+        assert_ne!(a.save_state(), b.save_state());
+        assert_eq!(a.save_state().exact_key(), b.save_state().exact_key());
+        // A pending phase *is* part of the key.
+        b.step(&SchedulerStep::Look(1), &mut ()).unwrap();
+        assert_ne!(a.save_state().exact_key(), b.save_state().exact_key());
+    }
+
+    #[test]
+    fn canonical_key_is_invariant_under_rotation_and_reflection() {
+        use rr_ring::Configuration;
+        let ring = Ring::new(9);
+        // Base: robots at 0, 2, 3 — rotate by r and reflect (v ↦ -v).
+        let base = Configuration::new_exclusive(ring, &[0, 2, 3]).unwrap();
+        let base_key = Engine::with_default_options(GreedyGapWalker, base)
+            .unwrap()
+            .save_state()
+            .canonical_key();
+        for rot in 0..9usize {
+            for reflect in [false, true] {
+                let nodes: Vec<usize> = [0usize, 2, 3]
+                    .iter()
+                    .map(|&v| {
+                        let v = if reflect { (9 - v) % 9 } else { v };
+                        (v + rot) % 9
+                    })
+                    .collect();
+                let c = Configuration::new_exclusive(ring, &nodes).unwrap();
+                let key = Engine::with_default_options(GreedyGapWalker, c)
+                    .unwrap()
+                    .save_state()
+                    .canonical_key();
+                assert_eq!(key, base_key, "rot={rot} reflect={reflect}");
+            }
+        }
+        // A genuinely different configuration has a different key.
+        let other = Configuration::new_exclusive(ring, &[0, 2, 4]).unwrap();
+        let other_key = Engine::with_default_options(GreedyGapWalker, other)
+            .unwrap()
+            .save_state()
+            .canonical_key();
+        assert_ne!(other_key, base_key);
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_pending_directions_up_to_reflection() {
+        // One robot with a pending cw move vs a pending ccw move: these are
+        // reflections of each other on a symmetric occupancy, so their
+        // canonical keys agree; but a pending move differs from no pending.
+        let c = cfg(&[3, 3]); // robots at 0 and 4 on an 8-ring (symmetric)
+        let mut cw = Engine::with_default_options(GreedyGapWalker, c.clone()).unwrap();
+        let ready_key = cw.save_state().canonical_key();
+        cw.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let cw_key = cw.save_state().canonical_key();
+        assert_ne!(ready_key, cw_key);
+
+        // Mirror: build the reflected engine state by letting the *other*
+        // robot look (by symmetry its pending move is the reflection).
+        let mut ccw = Engine::with_default_options(GreedyGapWalker, c).unwrap();
+        ccw.step(&SchedulerStep::Look(1), &mut ()).unwrap();
+        assert_eq!(ccw.save_state().canonical_key(), cw_key);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size mismatch")]
+    fn restore_rejects_mismatched_states() {
+        let mut a = Engine::with_default_options(IdleProtocol, cfg(&[0, 1, 2, 5])).unwrap();
+        let b = Engine::with_default_options(IdleProtocol, cfg(&[3, 4])).unwrap();
+        let state = b.save_state();
+        a.restore_state(&state);
     }
 
     #[test]

@@ -34,13 +34,16 @@ pub mod snapshot;
 pub mod trace;
 
 pub use engine::{
-    Engine, EngineOptions, MoveRecord, RunOutcome, RunReport, Simulator, SimulatorOptions,
-    StepReport, ViewOrder,
+    Engine, EngineOptions, EngineState, MoveRecord, RunOutcome, RunReport, Simulator,
+    SimulatorOptions, StepReport, ViewOrder,
 };
 pub use error::SimError;
 pub use monitor::{Monitor, MoveLog};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
-pub use scheduler::{Scheduler, SchedulerKind, SchedulerStep, SchedulerView};
+pub use scheduler::{
+    InterleavingMode, NondeterministicScheduler, Scheduler, SchedulerKind, SchedulerStep,
+    SchedulerView,
+};
 pub use snapshot::{MultiplicityCapability, Snapshot};
 pub use trace::{Event, Trace};

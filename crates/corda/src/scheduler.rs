@@ -181,18 +181,30 @@ impl Scheduler for AsynchronousScheduler {
         if self.ages.len() != k {
             self.ages = vec![view.step; k];
         }
-        // Forcibly flush actions that have been pending too long.
-        if let Some(r) = (0..k).find(|&r| {
-            view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window
-        }) {
+        // Forcibly flush actions that have been pending too long, most
+        // overdue first (oldest age wins; lowest id breaks exact ties).
+        // Serving the *most* overdue robot matters: picking the first overdue
+        // id would let small ids win every tie and starve the largest id
+        // outright once the window is tight enough for the forced branches to
+        // dominate the random one.
+        if let Some(r) = (0..k)
+            .filter(|&r| {
+                view.pending[r] && view.step.saturating_sub(self.ages[r]) >= self.fairness_window
+            })
+            .min_by_key(|&r| self.ages[r])
+        {
             self.ages[r] = view.step;
             return SchedulerStep::Execute(r);
         }
-        // Forcibly wake robots that have been silent too long.
-        if let Some(r) = (0..k).find(|&r| {
-            !view.pending[r]
-                && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
-        }) {
+        // Forcibly wake robots that have been silent too long, most overdue
+        // first.
+        if let Some(r) = (0..k)
+            .filter(|&r| {
+                !view.pending[r]
+                    && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
+            })
+            .min_by_key(|&r| self.ages[r])
+        {
             self.ages[r] = view.step;
             return SchedulerStep::Look(r);
         }
@@ -208,6 +220,113 @@ impl Scheduler for AsynchronousScheduler {
 
     fn name(&self) -> &str {
         "async"
+    }
+}
+
+/// Which space of adversarial interleavings a [`NondeterministicScheduler`]
+/// branches over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterleavingMode {
+    /// Semi-synchronous rounds: every non-empty subset of robots performs a
+    /// complete Look–Compute–Move cycle simultaneously.
+    SsyncSubsets,
+    /// Asynchronous phase interleavings: at every step the adversary advances
+    /// exactly one robot by one phase (a fresh Look, or the Execute of its
+    /// pending action).  Sequential Looks on an unchanged configuration are
+    /// indistinguishable from simultaneous ones, so this frontier generates
+    /// every CORDA interleaving of Look and Move operations — including all
+    /// pending-move executions on outdated snapshots.
+    AsyncPhases,
+}
+
+impl InterleavingMode {
+    /// Stable lower-case name, used in experiment records and tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InterleavingMode::SsyncSubsets => "ssync",
+            InterleavingMode::AsyncPhases => "async",
+        }
+    }
+}
+
+impl std::fmt::Display for InterleavingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The *whole* adversary at once: instead of sampling one schedule (like the
+/// randomized schedulers above), exposes the complete branching frontier —
+/// every scheduler step the adversary could take next from a given state.
+///
+/// This is what turns the engine into a model-checking transition relation:
+/// the exhaustive checker (`rr_checker::explore`) saves the engine state,
+/// applies each frontier step in turn, and restores.  A protocol verified
+/// against this frontier is verified against **all** schedules of the mode,
+/// not a seed sample of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NondeterministicScheduler {
+    mode: InterleavingMode,
+}
+
+impl NondeterministicScheduler {
+    /// Creates the scheduler for the given interleaving mode.
+    #[must_use]
+    pub fn new(mode: InterleavingMode) -> Self {
+        NondeterministicScheduler { mode }
+    }
+
+    /// The interleaving mode.
+    #[must_use]
+    pub fn mode(&self) -> InterleavingMode {
+        self.mode
+    }
+
+    /// All scheduler steps the adversary may take next from `view`, in a
+    /// deterministic order (subset bitmask order for SSYNC, robot id order
+    /// for ASYNC).  Never empty for a system with at least one robot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in SSYNC mode for more than 20 robots (the subset frontier is
+    /// exponential in `k`; exhaustive exploration is for small instances).
+    #[must_use]
+    pub fn frontier(&self, view: &SchedulerView) -> Vec<SchedulerStep> {
+        let k = view.num_robots;
+        match self.mode {
+            InterleavingMode::SsyncSubsets => {
+                assert!(k <= 20, "SSYNC subset frontier is exponential in k");
+                (1u32..1 << k)
+                    .map(|mask| {
+                        SchedulerStep::SsyncRound(
+                            (0..k).filter(|&r| mask & (1 << r) != 0).collect(),
+                        )
+                    })
+                    .collect()
+            }
+            InterleavingMode::AsyncPhases => (0..k)
+                .map(|r| {
+                    if view.pending[r] {
+                        SchedulerStep::Execute(r)
+                    } else {
+                        SchedulerStep::Look(r)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The robots a frontier step activates, as a bitmask — the edge label
+    /// the model checker's fairness analysis is built on.
+    #[must_use]
+    pub fn activation_mask(step: &SchedulerStep) -> u32 {
+        match step {
+            SchedulerStep::SsyncRound(robots) => {
+                robots.iter().fold(0u32, |m, &r| m | 1 << (r as u32 % 32))
+            }
+            SchedulerStep::Look(r) | SchedulerStep::Execute(r) => 1 << (*r as u32 % 32),
+        }
     }
 }
 
@@ -406,6 +525,46 @@ mod tests {
         let v2 = SchedulerView { step: 200, ..v };
         let step = s.next(&v2);
         assert_eq!(step, SchedulerStep::Execute(2));
+    }
+
+    #[test]
+    fn ssync_frontier_enumerates_every_nonempty_subset() {
+        let s = NondeterministicScheduler::new(InterleavingMode::SsyncSubsets);
+        let frontier = s.frontier(&view(3, &[false; 3]));
+        assert_eq!(frontier.len(), 7);
+        let mut masks: Vec<u32> = frontier
+            .iter()
+            .map(NondeterministicScheduler::activation_mask)
+            .collect();
+        masks.sort_unstable();
+        assert_eq!(masks, (1..=7).collect::<Vec<u32>>());
+        assert!(frontier
+            .iter()
+            .all(|f| matches!(f, SchedulerStep::SsyncRound(v) if !v.is_empty())));
+    }
+
+    #[test]
+    fn async_frontier_advances_each_robot_by_one_phase() {
+        let s = NondeterministicScheduler::new(InterleavingMode::AsyncPhases);
+        let frontier = s.frontier(&view(4, &[false, true, false, true]));
+        assert_eq!(
+            frontier,
+            vec![
+                SchedulerStep::Look(0),
+                SchedulerStep::Execute(1),
+                SchedulerStep::Look(2),
+                SchedulerStep::Execute(3),
+            ]
+        );
+        for (r, step) in frontier.iter().enumerate() {
+            assert_eq!(NondeterministicScheduler::activation_mask(step), 1 << r);
+        }
+    }
+
+    #[test]
+    fn interleaving_mode_names() {
+        assert_eq!(InterleavingMode::SsyncSubsets.name(), "ssync");
+        assert_eq!(InterleavingMode::AsyncPhases.to_string(), "async");
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! * [`feasibility`] — the (almost complete) characterization of exclusive
 //!   perpetual graph searching on rings, plus the feasibility maps for the
 //!   other two tasks;
+//! * [`invariant`] — the per-task safety/liveness [`Invariant`]s the
+//!   exhaustive model checker (`rr_checker::explore`) enforces along every
+//!   scheduler interleaving;
 //! * [`baselines`] — simple comparison protocols used in the paper's
 //!   discussion and in the ablation experiments.
 
@@ -39,6 +42,7 @@ pub mod clearing;
 pub mod driver;
 pub mod feasibility;
 pub mod gathering;
+pub mod invariant;
 pub mod nminus_three;
 pub mod unified;
 
@@ -49,5 +53,9 @@ pub use driver::{
 };
 pub use feasibility::{searching_feasibility, Feasibility, ImpossibilityReason};
 pub use gathering::GatheringProtocol;
+pub use invariant::{
+    AlignmentInvariant, AugState, GatheringInvariant, Invariant, LivenessMode, SearchingInvariant,
+    StateView,
+};
 pub use nminus_three::NminusThreeProtocol;
 pub use unified::{protocol_for, Task, UnifiedProtocol};
