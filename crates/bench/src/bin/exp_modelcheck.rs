@@ -1,25 +1,36 @@
-//! E10 — exhaustive adversarial model checking over scheduler interleavings.
+//! E10/E11 — exhaustive adversarial model checking over scheduler
+//! interleavings.
 //!
 //! Where E3–E6 *sample* the adversary (64 seeds per cell), this experiment
 //! *exhausts* it on small instances: for every rigid initial configuration
 //! class of each cell, the checker enumerates **all** SSYNC activation
-//! subsets and **all** ASYNC Look/Move interleavings, checks the per-task
-//! safety invariants on every edge, and decides fair liveness by SCC
-//! analysis — upgrading "verified on sampled schedules" to "proved for all
-//! schedules".
+//! subsets and **all** ASYNC Look-Move phase interleavings, checks the
+//! per-task safety invariants on every edge, and decides fair liveness by
+//! SCC analysis — upgrading "verified on sampled schedules" to "proved for
+//! all schedules".  The checker runs its packed-state parallel engine
+//! (experiment E11): states are stored bit-packed, expansion is sharded over
+//! a worker pool, and the reports are byte-identical for every worker count.
 //!
-//! Grid: gathering and Align on every claimed cell with `n ≤ 8, k ≤ 4`
-//! (quick: `n ≤ 6`); graph searching additionally at its two smallest
-//! feasible instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)`
-//! (NminusThree) in the full grid — below `n = 10` searching is impossible
-//! (Theorem 5) and those cells are recorded as vacuous.
+//! Grid: gathering and Align on every claimed cell with `n ≤ 10, k ≤ 5`
+//! (quick: `n ≤ 6`); graph searching additionally at its smallest feasible
+//! instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)` (NminusThree),
+//! plus the larger `(12, 5)` and `(11, 8)` in the full grid — below `n = 10`
+//! searching is impossible (Theorem 5) and those cells are recorded as
+//! vacuous.  Every record carries the cell's exploration throughput
+//! (states/second) and peak resident node count, so the uploaded JSON
+//! accumulates a perf trajectory.
 //!
 //! ```text
 //! exp_modelcheck [--quick] [--json <path>] [--seed <u64>] [--sequential]
-//!                [--selftest] [--max-n <usize>]
+//!                [--selftest] [--max-n <usize>] [--max-k <usize>]
+//!                [--workers <usize>] [--old-frontier]
 //! ```
 //!
-//! `--selftest` additionally checks that a deliberately broken protocol (one
+//! `--workers` sets the checker's per-cell worker threads (0 = one per
+//! core); `--sequential` additionally serializes the cell grid itself.
+//! `--max-n 8 --max-k 4 --old-frontier` reproduces the pre-E11 grid, the
+//! baseline the E11 speedup in EXPERIMENTS.md is measured against.
+//! `--selftest` checks that a deliberately broken protocol (one
 //! decision-table entry mutated) is *falsified* with a counterexample that
 //! replays on the engine — a canary for the checker itself.
 
@@ -74,10 +85,11 @@ fn claimed(task: CellTask, n: usize, k: usize) -> bool {
     }
 }
 
-fn check_cell_protocol<P: Protocol + Clone>(
+fn check_cell_protocol<P: Protocol + Clone + Send>(
     protocol: &P,
     invariant: &dyn Invariant,
     cell: &Cell,
+    workers: usize,
     record: &mut ModelCheckRecord,
 ) {
     let initials = enumerate_rigid_configurations(cell.n, cell.k);
@@ -93,7 +105,7 @@ fn check_cell_protocol<P: Protocol + Clone>(
             protocol,
             initial,
             invariant,
-            &ExploreOptions::new(cell.mode),
+            &ExploreOptions::new(cell.mode).with_workers(workers),
         ) {
             Ok(report) => report,
             Err(e) => {
@@ -107,12 +119,20 @@ fn check_cell_protocol<P: Protocol + Clone>(
         record.edges += report.edges;
         record.target_states += report.target_states as u64;
         record.progress_edges += report.progress_edges;
+        record.peak_resident_nodes = record
+            .peak_resident_nodes
+            .max(report.peak_resident_nodes as u64);
         match &report.outcome {
             CheckOutcome::Verified => {}
-            CheckOutcome::BudgetExceeded { explored } => {
+            CheckOutcome::BudgetExceeded {
+                discovered,
+                completed_expansions,
+            } => {
                 record.ok = false;
-                record.counterexample =
-                    format!("state budget exceeded after {explored} states from {initial}");
+                record.counterexample = format!(
+                    "state budget exceeded from {initial}: {discovered} states discovered, \
+                     {completed_expansions} expansions completed"
+                );
                 return;
             }
             CheckOutcome::Falsified(ce) => {
@@ -124,7 +144,7 @@ fn check_cell_protocol<P: Protocol + Clone>(
     }
 }
 
-fn run_cell(cell: Cell, experiment: &str) -> ModelCheckRecord {
+fn run_cell(cell: Cell, experiment: &str, workers: usize) -> ModelCheckRecord {
     let started = Instant::now();
     let mut record = ModelCheckRecord {
         experiment: experiment.to_string(),
@@ -138,6 +158,8 @@ fn run_cell(cell: Cell, experiment: &str) -> ModelCheckRecord {
         edges: 0,
         target_states: 0,
         progress_edges: 0,
+        peak_resident_nodes: 0,
+        states_per_sec: 0,
         vacuous: false,
         ok: false,
         counterexample: String::new(),
@@ -154,21 +176,32 @@ fn run_cell(cell: Cell, experiment: &str) -> ModelCheckRecord {
             &GatheringProtocol::new(),
             &GatheringInvariant::new(),
             &cell,
+            workers,
             &mut record,
         ),
         CellTask::Alignment => check_cell_protocol(
             &AlignProtocol::new(),
             &AlignmentInvariant::new(),
             &cell,
+            workers,
             &mut record,
         ),
         CellTask::Searching => {
             let protocol =
                 protocol_for(Task::GraphSearching, cell.n, cell.k).expect("claimed cell");
-            check_cell_protocol(&protocol, &SearchingInvariant::new(), &cell, &mut record);
+            check_cell_protocol(
+                &protocol,
+                &SearchingInvariant::new(),
+                &cell,
+                workers,
+                &mut record,
+            );
         }
     }
     record.wall_nanos = started.elapsed().as_nanos();
+    record.states_per_sec = (u128::from(record.states) * 1_000_000_000)
+        .checked_div(record.wall_nanos)
+        .unwrap_or(0) as u64;
     record
 }
 
@@ -251,9 +284,16 @@ fn main() {
     let args = ExpArgs::parse(0);
     let max_n: usize = args
         .value("--max-n")
-        .map_or(if args.quick { 6 } else { 8 }, |v| {
+        .map_or(if args.quick { 6 } else { 10 }, |v| {
             v.parse().expect("--max-n takes a usize")
         });
+    let workers: usize = args
+        .value("--workers")
+        .map_or(0, |v| v.parse().expect("--workers takes a usize"));
+    let max_k: usize = args
+        .value("--max-k")
+        .map_or(5, |v| v.parse().expect("--max-k takes a usize"));
+    let old_frontier = args.flag("--old-frontier");
 
     if args.flag("--selftest") {
         if let Err(e) = selftest() {
@@ -262,6 +302,10 @@ fn main() {
         }
     }
 
+    let both_modes = [
+        InterleavingMode::SsyncSubsets,
+        InterleavingMode::AsyncPhases,
+    ];
     let mut cells = Vec::new();
     for task in [
         CellTask::Gathering,
@@ -269,41 +313,56 @@ fn main() {
         CellTask::Searching,
     ] {
         for n in 4..=max_n {
-            for k in 2..=4usize.min(n) {
-                for mode in [
-                    InterleavingMode::SsyncSubsets,
-                    InterleavingMode::AsyncPhases,
-                ] {
+            for k in 2..=max_k.min(n) {
+                for mode in both_modes {
                     cells.push(Cell { task, n, k, mode });
                 }
             }
         }
     }
-    if !args.quick && max_n >= 8 {
-        // The two smallest *feasible* searching instances, beyond the n ≤ 8
-        // acceptance floor: Ring Clearing and NminusThree.
-        for (n, k) in [(11usize, 5usize), (10, 7)] {
-            for mode in [
-                InterleavingMode::SsyncSubsets,
-                InterleavingMode::AsyncPhases,
-            ] {
-                cells.push(Cell {
-                    task: CellTask::Searching,
-                    n,
-                    k,
-                    mode,
-                });
-            }
+    // The smallest *feasible* searching instances (Ring Clearing and
+    // NminusThree) sit beyond the gathering/Align grid; the quick CI grid
+    // proves them under every SSYNC subset (small graphs, real liveness),
+    // the full grid adds the ASYNC interleavings and the larger (12,5) and
+    // (11,8) cells.
+    let searching_frontier: &[(usize, usize, &[InterleavingMode])] = if args.quick {
+        &[
+            (11, 5, &[InterleavingMode::SsyncSubsets]),
+            (10, 7, &[InterleavingMode::SsyncSubsets]),
+        ]
+    } else if old_frontier {
+        &[(11, 5, &both_modes), (10, 7, &both_modes)]
+    } else {
+        &[
+            (11, 5, &both_modes),
+            (10, 7, &both_modes),
+            (12, 5, &both_modes),
+            (11, 8, &both_modes),
+        ]
+    };
+    for &(n, k, modes) in searching_frontier {
+        if n <= max_n && k <= max_k {
+            continue; // already in the grid above (custom --max-n/--max-k runs)
+        }
+        for &mode in modes {
+            cells.push(Cell {
+                task: CellTask::Searching,
+                n,
+                k,
+                mode,
+            });
         }
     }
 
-    let records = grid_map(cells, args.mode(), |cell| run_cell(cell, "E10"));
+    let records = grid_map(cells, args.mode(), |cell| run_cell(cell, "E10", workers));
 
     println!(
         "# E10 — exhaustive model check (all schedules), {} cells",
         records.len()
     );
-    println!("# task            n   k  mode   classes    states  quotient     edges  verdict");
+    println!(
+        "# task            n   k  mode   classes    states  quotient     edges   st/sec  verdict"
+    );
     for r in &records {
         let verdict = if r.vacuous {
             "vacuous".to_string()
@@ -313,8 +372,16 @@ fn main() {
             format!("FALSIFIED {}", r.counterexample)
         };
         println!(
-            "  {:<14} {:>2}  {:>2}  {:<5} {:>8} {:>9} {:>9} {:>9}  {verdict}",
-            r.task, r.n, r.k, r.mode, r.initial_classes, r.states, r.quotient_states, r.edges
+            "  {:<14} {:>2}  {:>2}  {:<5} {:>8} {:>9} {:>9} {:>9} {:>8}  {verdict}",
+            r.task,
+            r.n,
+            r.k,
+            r.mode,
+            r.initial_classes,
+            r.states,
+            r.quotient_states,
+            r.edges,
+            r.states_per_sec
         );
     }
 

@@ -164,6 +164,15 @@ pub struct ModelCheckRecord {
     pub target_states: u64,
     /// Progress edges seen (ReachRepeatedly invariants).
     pub progress_edges: u64,
+    /// Peak resident nodes (stored packed states + buffered successors at
+    /// the search's high-water mark), maximized over the initial classes —
+    /// the checker's memory footprint.  Deterministic.
+    pub peak_resident_nodes: u64,
+    /// Exploration throughput in states per second over the cell's wall
+    /// time.  **Not deterministic** (machine- and load-dependent): this is
+    /// the one record field excluded from cross-run comparisons; it exists
+    /// to accumulate the perf trajectory in the CI artifacts.
+    pub states_per_sec: u64,
     /// Whether the paper claims no algorithm for this cell (nothing to
     /// check; `ok` is vacuously true).
     pub vacuous: bool,

@@ -103,6 +103,8 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             edges: 1280,
             target_states: 4,
             progress_edges: 0,
+            peak_resident_nodes: 352,
+            states_per_sec: 160_000,
             vacuous: false,
             ok: true,
             counterexample: String::new(),
@@ -120,6 +122,8 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             edges: 60,
             target_states: 0,
             progress_edges: 0,
+            peak_resident_nodes: 16,
+            states_per_sec: 0,
             vacuous: false,
             ok: false,
             counterexample: "from [o.o\"o\\o...]: collision: R{0,1}\r\n(L2 E2)*".into(),

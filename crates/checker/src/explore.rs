@@ -18,16 +18,38 @@
 //!   target/progress, whose internal edges activate *every* robot — from
 //!   which a concrete fair lasso (prefix + cycle) is extracted.
 //!
+//! # The compact, parallel exploration engine
+//!
+//! The state graph is held in a memory-compact form: each discovered state is
+//! stored as a bit-packed [`PackedState`] plus the 64-bit key of its
+//! auxiliary invariant state ([`AugState::key_bits`], rebuilt exactly on
+//! expansion via [`AugState::from_key_bits`]); edges carry a `u32` step code
+//! instead of a materialized [`SchedulerStep`], in a CSR layout; and the
+//! visited map keys on fixed-size inline signatures
+//! ([`PackedState::behavior_sig`] / [`PackedState::canonical_sig`]) sharded
+//! by hash.  Nothing in the hot loop allocates proportionally to `n`.
+//!
+//! Expansion runs **batch-parallel**: the BFS order of node ids is a sequence
+//! of contiguous index windows; each window is expanded by a pool of workers
+//! (one reusable [`Engine`] per worker, driven through
+//! [`Engine::restore_packed`] / `save_state`/`restore_state`), and the
+//! results are merged *sequentially in window order*.  Node ids, edge order,
+//! every [`ExploreReport`] field and every extracted counterexample are
+//! therefore **byte-identical for any worker count** — the same discipline
+//! the rr-sweep records already pin.  Set the worker count with
+//! [`ExploreOptions::with_workers`] (default: one per available core).
+//!
 //! Two deduplication regimes are offered.  [`check_protocol`] keys states by
-//! their exact behavioural identity ([`EngineState::exact_key`]) — robot
-//! identities preserved, as per-robot fairness is **not** invariant under
-//! relabeling — and reports, as a statistic, how many canonical classes
-//! ([`EngineState::canonical_key`], the Booth least-rotation quotient by ring
-//! rotation/reflection + robot relabeling) the concrete states collapse to.
-//! [`check_safety_quotient`] dedups directly on canonical classes, which is
-//! sound for safety (a bad state is reachable iff an isomorphic one is) and
-//! explores the `≈ 2n`-fold smaller quotient graph; the two regimes must
-//! agree on every safety verdict, which the test suite pins.
+//! their exact behavioural identity ([`PackedState::behavior_sig`], the
+//! packed form of [`EngineState::exact_key`]) — robot identities preserved,
+//! as per-robot fairness is **not** invariant under relabeling — and
+//! reports, as a statistic, how many canonical classes
+//! ([`PackedState::canonical_sig`], the Booth least-rotation quotient by
+//! ring rotation/reflection + robot relabeling) the concrete states collapse
+//! to.  [`check_safety_quotient`] dedups directly on canonical classes,
+//! which is sound for safety (a bad state is reachable iff an isomorphic one
+//! is) and explores the `≈ 2n`-fold smaller quotient graph; the two regimes
+//! must agree on every safety verdict, which the test suite pins.
 //!
 //! Counterexamples [`replay`](replay_counterexample) on a fresh [`Engine`]:
 //! a safety trace reproduces its violation at the final step, a liveness
@@ -35,19 +57,25 @@
 //! progress — so the reported schedule is a certificate, not a search
 //! artifact.
 
-use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hasher;
 
 use rr_corda::{
     Decision, Engine, EngineOptions, EngineState, InterleavingMode, NondeterministicScheduler,
-    Protocol, SchedulerStep, SimError, Snapshot, ViewOrder,
+    PackedState, Protocol, RobotState, SchedulerStep, SimError, Snapshot, StateSig, ViewOrder,
+    MAX_CANONICAL_N,
 };
 use rr_core::invariant::{AugState, Invariant, LivenessMode, StateView};
 use rr_ring::{Configuration, View};
 
-/// Default state budget: generous for every `n ≤ 8` instance, a guard rail
-/// against accidentally pointing the checker at a huge one.
+/// Default state budget: generous for every cell of the acceptance grid, a
+/// guard rail against accidentally pointing the checker at a huge instance.
 pub const DEFAULT_MAX_STATES: usize = 4_000_000;
+
+/// Nodes expanded per merge window.  A constant (never derived from the
+/// worker count) so that the reported peak memory statistic — and the point
+/// at which a state budget trips — are identical for every worker count.
+const BATCH: usize = 4096;
 
 /// Options for one exhaustive check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,17 +87,22 @@ pub struct ExploreOptions {
     pub max_states: usize,
     /// Whether to run the liveness (SCC) analysis after the safety sweep.
     pub check_liveness: bool,
+    /// Expansion worker threads; `0` means one per available core.  The
+    /// verdict, the report and any counterexample are identical for every
+    /// value.
+    pub workers: usize,
 }
 
 impl ExploreOptions {
     /// Full checking (safety + liveness) under the given interleavings with
-    /// the default state budget.
+    /// the default state budget and one worker per available core.
     #[must_use]
     pub fn new(interleaving: InterleavingMode) -> Self {
         ExploreOptions {
             interleaving,
             max_states: DEFAULT_MAX_STATES,
             check_liveness: true,
+            workers: 0,
         }
     }
 
@@ -77,6 +110,13 @@ impl ExploreOptions {
     #[must_use]
     pub fn with_max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
+        self
+    }
+
+    /// Replaces the worker count (`0` = one per available core).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -151,14 +191,22 @@ pub enum CheckOutcome {
     /// A violation was found, with its concrete schedule.
     Falsified(Box<Counterexample>),
     /// The state budget was exhausted before the graph was covered.
+    ///
+    /// The two counts differ in general: the budget trips in the middle of a
+    /// node's frontier, so the last expansion is incomplete — its
+    /// already-recorded edges reference discovered states, but the node does
+    /// not count as expanded.
     BudgetExceeded {
-        /// States explored before giving up.
-        explored: usize,
+        /// States discovered (= stored) before giving up.
+        discovered: usize,
+        /// Nodes whose full frontier was expanded and recorded; always less
+        /// than `discovered`.
+        completed_expansions: usize,
     },
 }
 
 /// Result of one exhaustive check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreReport {
     /// The invariant that was checked.
     pub invariant: &'static str,
@@ -179,6 +227,11 @@ pub struct ExploreReport {
     /// Edges on which liveness progress happened
     /// ([`LivenessMode::ReachRepeatedly`]).
     pub progress_edges: u64,
+    /// Peak resident node count: stored states plus buffered successor
+    /// records at the high-water mark of the search — the checker's memory
+    /// footprint in units of packed states.  Deterministic (independent of
+    /// the worker count).
+    pub peak_resident_nodes: usize,
     /// The verdict.
     pub outcome: CheckOutcome,
 }
@@ -211,31 +264,203 @@ enum Dedup {
     Canonical,
 }
 
-#[derive(Debug, PartialEq, Eq, Hash)]
-enum Key {
-    Exact(Vec<u64>, u64),
-    Canonical(Vec<usize>, u64),
-}
+// ---------------------------------------------------------------------------
+// Compact step codes: a SchedulerStep as one u32 edge label.
+// ---------------------------------------------------------------------------
 
-fn make_key(state: &EngineState, aug: &AugState, dedup: Dedup) -> Key {
-    match (dedup, aug) {
-        (Dedup::Canonical, AugState::None) => Key::Canonical(state.canonical_key(), 0),
-        _ => Key::Exact(state.exact_key(), aug.key_bits()),
+/// Low 2 bits: the step kind; upper bits: the activation subset bitmask
+/// (SSYNC round) or the robot id (Look / Execute).
+const STEP_SSYNC: u32 = 0;
+const STEP_LOOK: u32 = 1;
+const STEP_EXECUTE: u32 = 2;
+
+/// Materializes the [`SchedulerStep`] a code stands for.
+fn decode_step(code: u32) -> SchedulerStep {
+    let payload = code >> 2;
+    match code & 3 {
+        STEP_LOOK => SchedulerStep::Look(payload as usize),
+        STEP_EXECUTE => SchedulerStep::Execute(payload as usize),
+        _ => SchedulerStep::SsyncRound((0..32usize).filter(|&r| payload & (1 << r) != 0).collect()),
     }
 }
 
+/// [`decode_step`] recycling `buf` as the SSYNC robot vector (the hot loop
+/// never allocates per step); return the vector with [`recycle_step`].
+fn decode_step_with(code: u32, buf: &mut Vec<usize>) -> SchedulerStep {
+    let payload = code >> 2;
+    match code & 3 {
+        STEP_LOOK => SchedulerStep::Look(payload as usize),
+        STEP_EXECUTE => SchedulerStep::Execute(payload as usize),
+        _ => {
+            let mut robots = std::mem::take(buf);
+            robots.clear();
+            robots.extend((0..32usize).filter(|&r| payload & (1 << r) != 0));
+            SchedulerStep::SsyncRound(robots)
+        }
+    }
+}
+
+/// Takes the robot vector back out of a step produced by
+/// [`decode_step_with`].
+fn recycle_step(step: SchedulerStep, buf: &mut Vec<usize>) {
+    if let SchedulerStep::SsyncRound(robots) = step {
+        *buf = robots;
+    }
+}
+
+/// The robots a coded step activates, as a bitmask — the edge label the
+/// fairness analysis is built on (equals
+/// [`NondeterministicScheduler::activation_mask`] of the decoded step).
+fn step_activation_mask(code: u32) -> u32 {
+    match code & 3 {
+        STEP_SSYNC => code >> 2,
+        _ => 1 << (code >> 2),
+    }
+}
+
+/// The branching frontier of the adversary from a state with the given
+/// per-robot pending status, as step codes, in the exact order
+/// [`NondeterministicScheduler::frontier`] produces (subset bitmask order for
+/// SSYNC, robot id order for ASYNC).
+fn frontier_codes(mode: InterleavingMode, robots: &[RobotState], out: &mut Vec<u32>) {
+    out.clear();
+    let k = robots.len();
+    match mode {
+        InterleavingMode::SsyncSubsets => {
+            out.extend((1u32..1 << k).map(|mask| mask << 2 | STEP_SSYNC));
+        }
+        InterleavingMode::AsyncPhases => {
+            out.extend(robots.iter().enumerate().map(|(r, robot)| {
+                let kind = if robot.has_pending() {
+                    STEP_EXECUTE
+                } else {
+                    STEP_LOOK
+                };
+                (r as u32) << 2 | kind
+            }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact state keys and the sharded visited map.
+// ---------------------------------------------------------------------------
+
+/// Inline, allocation-free visited-map key: a fixed state signature plus the
+/// 64-bit auxiliary-state key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
+    sig: StateSig,
+    aug: u64,
+}
+
+impl Key {
+    /// One multiply-xor pass over the key words; feeds both the shard
+    /// selector and the per-shard hash map (via the single `write_u64` the
+    /// manual [`Hash`] impl emits).
+    fn mix(&self) -> u64 {
+        let mut h = self.aug;
+        for &word in &self.sig {
+            // Trailing signature words are zero for every key of a run
+            // (fixed n and k), so skipping them is consistent — and halves
+            // the mixing work for small instances.
+            if word != 0 {
+                h = (h ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 29;
+            }
+        }
+        h.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.mix());
+    }
+}
+
+/// Computes the dedup key straight from the live engine (no codec round
+/// trip); equals `make_key(&engine.pack_state(), aug_bits, dedup)`.
+fn make_key_from_engine<P: Protocol>(engine: &Engine<P>, aug_bits: u64, dedup: Dedup) -> Key {
+    let sig = match dedup {
+        Dedup::Exact => engine.behavior_sig(),
+        Dedup::Canonical => engine.canonical_sig(),
+    };
+    Key { sig, aug: aug_bits }
+}
+
+fn make_key(packed: &PackedState, aug_bits: u64, dedup: Dedup) -> Key {
+    let sig = match dedup {
+        Dedup::Exact => packed.behavior_sig(),
+        Dedup::Canonical => packed.canonical_sig(),
+    };
+    Key { sig, aug: aug_bits }
+}
+
+const VISITED_SHARDS: usize = 64;
+
+/// The visited map, sharded by the top bits of the key hash.  Shards stay
+/// individually small (cheaper growth, better locality), and the expansion
+/// phase probes the whole structure **read-only and lock-free** from every
+/// worker — successors whose key is already mapped skip the packing work
+/// entirely; only the sequential merge mutates.
+struct Visited {
+    shards: Vec<HashMap<Key, u32, rr_corda::packed::SigHashBuilder>>,
+}
+
+impl Visited {
+    fn new() -> Self {
+        Visited {
+            shards: (0..VISITED_SHARDS).map(|_| HashMap::default()).collect(),
+        }
+    }
+
+    /// Read-only probe, safe to run concurrently from expansion workers.
+    fn get(&self, key: &Key) -> Option<u32> {
+        self.shards[(key.mix() >> 58) as usize].get(key).copied()
+    }
+
+    fn shard_mut(&mut self, key: &Key) -> &mut HashMap<Key, u32, rr_corda::packed::SigHashBuilder> {
+        &mut self.shards[(key.mix() >> 58) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compact state graph.
+// ---------------------------------------------------------------------------
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One stored state: the packed engine state, the 64-bit auxiliary key, the
+/// BFS parent pointer (node + step code) and the liveness-target flag —
+/// a few dozen bytes where the old explorer held a full [`EngineState`].
 struct NodeData {
-    state: EngineState,
-    aug: AugState,
-    parent: Option<(usize, SchedulerStep)>,
+    packed: PackedState,
+    aug_bits: u64,
+    parent: u32,
+    parent_code: u32,
     target: bool,
 }
 
+/// One edge of the explored graph, CSR-packed: 9 bytes instead of a
+/// materialized [`SchedulerStep`].
 struct Edge {
-    to: usize,
-    robots: u32,
+    to: u32,
+    code: u32,
     progress: bool,
-    step: SchedulerStep,
+}
+
+/// CSR view of the (fully explored) graph for the liveness analysis.
+struct Graph<'a> {
+    nodes: &'a [NodeData],
+    offsets: &'a [u32],
+    edges: &'a [Edge],
+}
+
+impl Graph<'_> {
+    fn out(&self, u: usize) -> &[Edge] {
+        &self.edges[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
 }
 
 fn state_view(state: &EngineState) -> StateView<'_> {
@@ -244,6 +469,10 @@ fn state_view(state: &EngineState) -> StateView<'_> {
         robots: state.robots(),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
 
 /// Exhaustively checks `protocol` against `invariant` from `initial`,
 /// deduplicating on exact behavioural state identity (sound for safety *and*
@@ -254,7 +483,7 @@ fn state_view(state: &EngineState) -> StateView<'_> {
 /// Returns `Err` only when the initial configuration is rejected by the
 /// engine; violations found during the search are reported as
 /// [`CheckOutcome::Falsified`].
-pub fn check_protocol<P: Protocol + Clone>(
+pub fn check_protocol<P: Protocol + Clone + Send>(
     protocol: &P,
     initial: &Configuration,
     invariant: &dyn Invariant,
@@ -282,7 +511,7 @@ pub fn check_protocol<P: Protocol + Clone>(
 ///
 /// Returns `Err` only when the initial configuration is rejected by the
 /// engine.
-pub fn check_safety_quotient<P: Protocol + Clone>(
+pub fn check_safety_quotient<P: Protocol + Clone + Send>(
     protocol: &P,
     initial: &Configuration,
     invariant: &dyn Invariant,
@@ -292,7 +521,176 @@ pub fn check_safety_quotient<P: Protocol + Clone>(
     explore(protocol, initial, invariant, &options, Dedup::Canonical)
 }
 
-fn explore<P: Protocol + Clone>(
+// ---------------------------------------------------------------------------
+// The exploration engine.
+// ---------------------------------------------------------------------------
+
+/// Everything a worker's expansion loop reads; shared immutably across the
+/// pool.
+struct ExploreCtx<'a> {
+    invariant: &'a dyn Invariant,
+    /// Template fixing the auxiliary-state variant and instance; each node's
+    /// stored 64 bits rehydrate through it.
+    aug_template: &'a AugState,
+    mode: InterleavingMode,
+    dedup: Dedup,
+    reach_mode: bool,
+}
+
+/// One expansion worker: a reusable engine plus scratch buffers.  Workers
+/// never share mutable state; all cross-worker agreement happens in the
+/// sequential merge.
+struct Worker<P> {
+    engine: Engine<P>,
+    before: EngineState,
+    frontier: Vec<u32>,
+    ssync_buf: Vec<usize>,
+    report: rr_corda::StepReport,
+}
+
+/// What expansion learned about a successor state from its lock-free
+/// pre-probe of the visited map.
+enum SuccState {
+    /// The key was already mapped before this batch: a certain duplicate —
+    /// no state was packed, only the node id travels to the merge.
+    Known(u32),
+    /// Not yet mapped at expansion time (it may still turn out to be a
+    /// duplicate of a state discovered earlier in the same batch; the merge
+    /// re-probes).
+    Fresh {
+        packed: PackedState,
+        key: Key,
+        aug_bits: u64,
+        target: bool,
+    },
+}
+
+/// One successor produced by expanding a node: the step code, the edge
+/// flags, and the packed after-state when it looked new.
+struct Succ {
+    code: u32,
+    progress: bool,
+    state: SuccState,
+}
+
+/// The full expansion of one node: its successors in frontier order and, if
+/// one of the frontier steps violated safety, the offending step + message
+/// (successors after it are not produced, matching the sequential
+/// short-circuit).
+struct Expansion {
+    succs: Vec<Succ>,
+    violation: Option<(u32, String)>,
+}
+
+fn expand_node<P: Protocol>(
+    worker: &mut Worker<P>,
+    node: &NodeData,
+    visited: &Visited,
+    ctx: &ExploreCtx<'_>,
+) -> Expansion {
+    let Worker {
+        engine,
+        before,
+        frontier,
+        ssync_buf,
+        report,
+    } = worker;
+    engine.restore_packed(&node.packed);
+    engine.save_state_into(before);
+    let before_aug = ctx.aug_template.from_key_bits(node.aug_bits);
+    let before_view = state_view(before);
+    frontier_codes(ctx.mode, before.robots(), frontier);
+
+    let mut succs = Vec::with_capacity(frontier.len());
+    let mut violation = None;
+    for (idx, &code) in frontier.iter().enumerate() {
+        if idx > 0 {
+            engine.restore_state(before);
+        }
+        let step = decode_step_with(code, ssync_buf);
+        let result = engine.step_into(&step, &mut (), report);
+        recycle_step(step, ssync_buf);
+        if let Err(e) = result {
+            violation = Some((code, e.to_string()));
+            break;
+        }
+        let mut aug = before_aug.clone();
+        let progress = ctx
+            .invariant
+            .observe_step(&mut aug, report, engine.configuration());
+        let after_view = StateView {
+            config: engine.configuration(),
+            robots: engine.robots(),
+        };
+        if let Err(message) = ctx.invariant.check_edge(&before_view, &after_view, &aug) {
+            violation = Some((code, message));
+            break;
+        }
+        let aug_bits = aug.key_bits();
+        let key = make_key_from_engine(engine, aug_bits, ctx.dedup);
+        let state = match visited.get(&key) {
+            Some(id) => SuccState::Known(id),
+            None => SuccState::Fresh {
+                packed: engine.pack_behavior(),
+                key,
+                aug_bits,
+                target: ctx.reach_mode && ctx.invariant.is_target(&after_view, &aug),
+            },
+        };
+        succs.push(Succ {
+            code,
+            progress,
+            state,
+        });
+    }
+    Expansion { succs, violation }
+}
+
+/// Expands `batch` over the worker pool: contiguous chunks, one worker and
+/// one engine per chunk, results reassembled in batch order.  With a single
+/// worker (or a single node) the expansion runs inline.
+fn expand_batch<P: Protocol + Clone + Send>(
+    pool: &mut [Worker<P>],
+    batch: &[NodeData],
+    visited: &Visited,
+    ctx: &ExploreCtx<'_>,
+) -> Vec<Expansion> {
+    let workers = pool.len().min(batch.len()).max(1);
+    if workers <= 1 {
+        let worker = &mut pool[0];
+        return batch
+            .iter()
+            .map(|node| expand_node(worker, node, visited, ctx))
+            .collect();
+    }
+    let chunk_len = batch.len().div_ceil(workers);
+    let mut outputs: Vec<Vec<Expansion>> = (0..workers).map(|_| Vec::new()).collect();
+    rayon::scope(|scope| {
+        for ((chunk, worker), out) in batch
+            .chunks(chunk_len)
+            .zip(pool.iter_mut())
+            .zip(outputs.iter_mut())
+        {
+            scope.spawn(move |_| {
+                *out = chunk
+                    .iter()
+                    .map(|node| expand_node(worker, node, visited, ctx))
+                    .collect();
+            });
+        }
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+fn explore<P: Protocol + Clone + Send>(
     protocol: &P,
     initial: &Configuration,
     invariant: &dyn Invariant,
@@ -305,63 +703,138 @@ fn explore<P: Protocol + Clone>(
         "alternating view order makes behaviour depend on the look counter; \
          the state graph would not be well-defined"
     );
-    let mut engine = Engine::new(protocol.clone(), initial.clone(), engine_options)?;
-    let k = engine.num_robots();
+    let mut root_engine = Engine::new(protocol.clone(), initial.clone(), engine_options)?;
+    // Oblivious protocols are pure functions of the snapshot: memoize the
+    // Look decisions per (configuration, node) — behaviour is identical, and
+    // the myriad re-Looks at shared configurations become hash probes.
+    root_engine.enable_look_memo();
+    let k = root_engine.num_robots();
     assert!(k <= 20, "exhaustive checking is for small instances");
+    assert!(
+        initial.n() <= MAX_CANONICAL_N,
+        "exhaustive checking supports n ≤ {MAX_CANONICAL_N}"
+    );
+    assert!(options.max_states < u32::MAX as usize, "node ids are u32");
     let full_mask: u32 = (1u32 << k) - 1;
-    let scheduler = NondeterministicScheduler::new(options.interleaving);
     let reach_mode = invariant.liveness_mode() == LivenessMode::Reach;
+    let aug_template = invariant.initial_aug(initial);
+    // The quotient is sound only when the whole model-checking state is the
+    // engine state; with auxiliary path state, fall back to exact keys (the
+    // invariant's variant is fixed for the entire run).
+    let effective_dedup = match (dedup, &aug_template) {
+        (Dedup::Canonical, AugState::None) => Dedup::Canonical,
+        _ => Dedup::Exact,
+    };
+    let workers = resolve_workers(options.workers);
 
-    let root_state = engine.save_state();
-    let root_aug = invariant.initial_aug(initial);
-    let root_target = reach_mode && invariant.is_target(&state_view(&root_state), &root_aug);
-    let mut visited: HashMap<Key, usize> = HashMap::new();
-    visited.insert(make_key(&root_state, &root_aug, dedup), 0);
-    let mut canonical_classes: HashSet<Vec<usize>> = HashSet::new();
-    canonical_classes.insert(root_state.canonical_key());
+    let root_state = root_engine.save_state();
+    let root_packed = root_engine.pack_behavior();
+    let root_bits = aug_template.key_bits();
+    let root_target = reach_mode && invariant.is_target(&state_view(&root_state), &aug_template);
+
+    let mut visited = Visited::new();
+    let root_key = make_key(&root_packed, root_bits, effective_dedup);
+    visited.shard_mut(&root_key).insert(root_key, 0);
+    // Canonical classes among the stored states (exact-dedup statistic):
+    // each signature is computed once, straight from the worker engine, when
+    // its state is first discovered.
+    let track_canon = dedup == Dedup::Exact;
+    let mut canonical_classes: HashSet<StateSig, rr_corda::packed::SigHashBuilder> =
+        HashSet::default();
+    if track_canon {
+        canonical_classes.insert(root_packed.canonical_sig());
+    }
     let mut nodes = vec![NodeData {
-        state: root_state,
-        aug: root_aug,
-        parent: None,
+        packed: root_packed,
+        aug_bits: root_bits,
+        parent: NO_PARENT,
+        parent_code: 0,
         target: root_target,
     }];
-    let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
+    let mut offsets: Vec<u32> = vec![0];
+    let mut edges: Vec<Edge> = Vec::new();
 
-    let mut edge_count: u64 = 0;
     let mut progress_edges: u64 = 0;
-    let mut budget_hit = false;
+    let mut peak_resident = 1usize;
+    let mut budget: Option<(usize, usize)> = None;
     let mut safety_ce: Option<Counterexample> = None;
 
-    let mut i = 0usize;
-    'bfs: while i < nodes.len() {
-        let before_state = nodes[i].state.clone();
-        let before_aug = nodes[i].aug.clone();
-        engine.restore_state(&before_state);
-        let frontier = scheduler.frontier(&engine.scheduler_view());
-        for step in frontier {
-            engine.restore_state(&before_state);
-            let report = match engine.step(&step, &mut ()) {
-                Ok(report) => report,
-                Err(e) => {
-                    let mut prefix = path_from_root(&nodes, i);
-                    prefix.push(step);
-                    safety_ce = Some(Counterexample {
-                        kind: ViolationKind::Safety,
-                        message: e.to_string(),
-                        prefix,
-                        cycle: Vec::new(),
-                    });
-                    break 'bfs;
-                }
-            };
-            let mut aug = before_aug.clone();
-            let progress = invariant.observe_step(&mut aug, &report, engine.configuration());
-            let after_state = engine.save_state();
-            if let Err(message) =
-                invariant.check_edge(&state_view(&before_state), &state_view(&after_state), &aug)
-            {
+    let mut pool: Vec<Worker<P>> = (0..workers)
+        .map(|_| Worker {
+            engine: root_engine.clone(),
+            before: root_state.clone(),
+            frontier: Vec::new(),
+            ssync_buf: Vec::new(),
+            report: rr_corda::StepReport::default(),
+        })
+        .collect();
+    let ctx = ExploreCtx {
+        invariant,
+        aug_template: &aug_template,
+        mode: options.interleaving,
+        dedup: effective_dedup,
+        reach_mode,
+    };
+
+    // Batch-synchronous BFS: expand the next window of nodes in parallel,
+    // then merge sequentially in window order — node ids, edge order and
+    // early stops are exactly those of a sequential breadth-first sweep.
+    let mut next = 0usize;
+    'bfs: while next < nodes.len() {
+        let batch_end = nodes.len().min(next + BATCH);
+        let expansions = expand_batch(&mut pool, &nodes[next..batch_end], &visited, &ctx);
+        let buffered: usize = expansions
+            .iter()
+            .flat_map(|e| &e.succs)
+            .filter(|s| matches!(s.state, SuccState::Fresh { .. }))
+            .count();
+        peak_resident = peak_resident.max(nodes.len() + buffered);
+
+        for (offset, expansion) in expansions.into_iter().enumerate() {
+            let i = next + offset;
+            for succ in expansion.succs {
+                let to = match succ.state {
+                    SuccState::Known(id) => id,
+                    SuccState::Fresh {
+                        packed,
+                        key,
+                        aug_bits,
+                        target,
+                    } => match visited.shard_mut(&key).entry(key) {
+                        std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            if nodes.len() >= options.max_states {
+                                budget = Some((nodes.len(), offsets.len() - 1));
+                                break 'bfs;
+                            }
+                            if track_canon {
+                                // One decode-based signature per *stored*
+                                // state (cheaper than computing it for every
+                                // fresh-looking successor in expansion).
+                                canonical_classes.insert(packed.canonical_sig());
+                            }
+                            let id = nodes.len() as u32;
+                            nodes.push(NodeData {
+                                packed,
+                                aug_bits,
+                                parent: i as u32,
+                                parent_code: succ.code,
+                                target,
+                            });
+                            *entry.insert(id)
+                        }
+                    },
+                };
+                progress_edges += u64::from(succ.progress);
+                edges.push(Edge {
+                    to,
+                    code: succ.code,
+                    progress: succ.progress,
+                });
+            }
+            if let Some((code, message)) = expansion.violation {
                 let mut prefix = path_from_root(&nodes, i);
-                prefix.push(step);
+                prefix.push(decode_step(code));
                 safety_ce = Some(Counterexample {
                     kind: ViolationKind::Safety,
                     message,
@@ -370,36 +843,9 @@ fn explore<P: Protocol + Clone>(
                 });
                 break 'bfs;
             }
-            let target = reach_mode && invariant.is_target(&state_view(&after_state), &aug);
-            let key = make_key(&after_state, &aug, dedup);
-            let to = match visited.entry(key) {
-                Entry::Occupied(entry) => *entry.get(),
-                Entry::Vacant(entry) => {
-                    if nodes.len() >= options.max_states {
-                        budget_hit = true;
-                        break 'bfs;
-                    }
-                    canonical_classes.insert(after_state.canonical_key());
-                    nodes.push(NodeData {
-                        state: after_state,
-                        aug,
-                        parent: Some((i, step.clone())),
-                        target,
-                    });
-                    edges.push(Vec::new());
-                    *entry.insert(nodes.len() - 1)
-                }
-            };
-            edge_count += 1;
-            progress_edges += u64::from(progress);
-            edges[i].push(Edge {
-                to,
-                robots: NondeterministicScheduler::activation_mask(&step),
-                progress,
-                step,
-            });
+            offsets.push(edges.len() as u32);
         }
-        i += 1;
+        next = batch_end;
     }
 
     let target_states = nodes.iter().filter(|n| n.target).count();
@@ -409,12 +855,18 @@ fn explore<P: Protocol + Clone>(
     };
     let outcome = if let Some(ce) = safety_ce {
         CheckOutcome::Falsified(Box::new(ce))
-    } else if budget_hit {
+    } else if let Some((discovered, completed_expansions)) = budget {
         CheckOutcome::BudgetExceeded {
-            explored: nodes.len(),
+            discovered,
+            completed_expansions,
         }
     } else if options.check_liveness {
-        match liveness_violation(&nodes, &edges, full_mask, invariant) {
+        let graph = Graph {
+            nodes: &nodes,
+            offsets: &offsets,
+            edges: &edges,
+        };
+        match liveness_violation(&graph, full_mask, invariant) {
             Some(ce) => CheckOutcome::Falsified(Box::new(ce)),
             None => CheckOutcome::Verified,
         }
@@ -427,9 +879,10 @@ fn explore<P: Protocol + Clone>(
         interleaving: options.interleaving,
         states: nodes.len(),
         quotient_states,
-        edges: edge_count,
+        edges: edges.len() as u64,
         target_states,
         progress_edges,
+        peak_resident_nodes: peak_resident,
         outcome,
     })
 }
@@ -437,9 +890,9 @@ fn explore<P: Protocol + Clone>(
 /// Schedule from the root to node `i`, following BFS parent pointers.
 fn path_from_root(nodes: &[NodeData], mut i: usize) -> Vec<SchedulerStep> {
     let mut steps = Vec::new();
-    while let Some((parent, step)) = &nodes[i].parent {
-        steps.push(step.clone());
-        i = *parent;
+    while nodes[i].parent != NO_PARENT {
+        steps.push(decode_step(nodes[i].parent_code));
+        i = nodes[i].parent as usize;
     }
     steps.reverse();
     steps
@@ -450,11 +903,11 @@ fn path_from_root(nodes: &[NodeData], mut i: usize) -> Vec<SchedulerStep> {
 /// from the root through non-target states, whose non-progress internal
 /// edges activate every robot.  Returns the corresponding lasso.
 fn liveness_violation(
-    nodes: &[NodeData],
-    edges: &[Vec<Edge>],
+    graph: &Graph<'_>,
     full_mask: u32,
     invariant: &dyn Invariant,
 ) -> Option<Counterexample> {
+    let nodes = graph.nodes;
     if nodes[0].target {
         return None;
     }
@@ -466,29 +919,30 @@ fn liveness_violation(
     reachable[0] = true;
     let mut queue = VecDeque::from([0usize]);
     while let Some(u) = queue.pop_front() {
-        for (ei, e) in edges[u].iter().enumerate() {
-            if !nodes[e.to].target && !reachable[e.to] {
-                reachable[e.to] = true;
-                bfs_parent[e.to] = Some((u, ei));
-                queue.push_back(e.to);
+        for (ei, e) in graph.out(u).iter().enumerate() {
+            let to = e.to as usize;
+            if !nodes[to].target && !reachable[to] {
+                reachable[to] = true;
+                bfs_parent[to] = Some((u, ei));
+                queue.push_back(to);
             }
         }
     }
     // Eligible lasso edges: non-progress, between reachable non-target
     // states.  (Target states are never `reachable`, except the root which
     // was checked above.)
-    let eligible = |u: usize, e: &Edge| reachable[u] && reachable[e.to] && !e.progress;
+    let eligible = |u: usize, e: &Edge| reachable[u] && reachable[e.to as usize] && !e.progress;
 
-    let (scc, scc_count) = tarjan_scc(nodes.len(), edges, &eligible);
+    let (scc, scc_count) = tarjan_scc(graph, &eligible);
 
     // Fairness coverage per SCC: the union of activation masks over internal
     // eligible edges, plus whether the SCC has any internal edge at all.
     let mut coverage = vec![0u32; scc_count];
     let mut has_edge = vec![false; scc_count];
-    for (u, out) in edges.iter().enumerate() {
-        for e in out {
-            if eligible(u, e) && scc[e.to] == scc[u] {
-                coverage[scc[u]] |= e.robots;
+    for u in 0..nodes.len() {
+        for e in graph.out(u) {
+            if eligible(u, e) && scc[e.to as usize] == scc[u] {
+                coverage[scc[u]] |= step_activation_mask(e.code);
                 has_edge[scc[u]] = true;
             }
         }
@@ -503,12 +957,12 @@ fn liveness_violation(
     let mut prefix = Vec::new();
     let mut cur = entry;
     while let Some((p, ei)) = bfs_parent[cur] {
-        prefix.push(edges[p][ei].step.clone());
+        prefix.push(decode_step(graph.out(p)[ei].code));
         cur = p;
     }
     prefix.reverse();
 
-    let cycle = covering_cycle(edges, &scc, bad, entry, full_mask, &eligible);
+    let cycle = covering_cycle(graph, &scc, bad, entry, full_mask, &eligible);
     let what = match invariant.liveness_mode() {
         LivenessMode::Reach => "never reaching the target",
         LivenessMode::ReachRepeatedly => "never making progress again",
@@ -524,7 +978,7 @@ fn liveness_violation(
 /// A closed walk from `entry` back to `entry` inside SCC `target_scc`, using
 /// only eligible edges, whose activation masks cover `full_mask`.
 fn covering_cycle(
-    edges: &[Vec<Edge>],
+    graph: &Graph<'_>,
     scc: &[usize],
     target_scc: usize,
     entry: usize,
@@ -541,8 +995,8 @@ fn covering_cycle(
             let mut queue = VecDeque::from([from]);
             let mut seen: HashSet<usize> = HashSet::from([from]);
             while let Some(u) = queue.pop_front() {
-                for (ei, e) in edges[u].iter().enumerate() {
-                    if !eligible(u, e) || scc[e.to] != target_scc {
+                for (ei, e) in graph.out(u).iter().enumerate() {
+                    if !eligible(u, e) || scc[e.to as usize] != target_scc {
                         continue;
                     }
                     if stop(u, e) {
@@ -555,11 +1009,11 @@ fn covering_cycle(
                             cur = p;
                         }
                         walk.reverse();
-                        return (e.to, walk);
+                        return (e.to as usize, walk);
                     }
-                    if seen.insert(e.to) {
-                        parent.insert(e.to, (u, ei));
-                        queue.push_back(e.to);
+                    if seen.insert(e.to as usize) {
+                        parent.insert(e.to as usize, (u, ei));
+                        queue.push_back(e.to as usize);
                     }
                 }
             }
@@ -567,8 +1021,9 @@ fn covering_cycle(
         };
     let append = |walk: Vec<(usize, usize)>, steps: &mut Vec<SchedulerStep>, covered: &mut u32| {
         for (n, ei) in walk {
-            *covered |= edges[n][ei].robots;
-            steps.push(edges[n][ei].step.clone());
+            let e = &graph.out(n)[ei];
+            *covered |= step_activation_mask(e.code);
+            steps.push(decode_step(e.code));
         }
     };
 
@@ -577,12 +1032,14 @@ fn covering_cycle(
     let mut cur = entry;
     while covered != full_mask {
         let missing = full_mask & !covered;
-        let (end, walk) = walk_until(cur, &|_, e: &Edge| e.robots & missing != 0);
+        let (end, walk) = walk_until(cur, &|_, e: &Edge| {
+            step_activation_mask(e.code) & missing != 0
+        });
         append(walk, &mut steps, &mut covered);
         cur = end;
     }
     if cur != entry {
-        let (end, walk) = walk_until(cur, &|_, e: &Edge| e.to == entry);
+        let (end, walk) = walk_until(cur, &|_, e: &Edge| e.to as usize == entry);
         append(walk, &mut steps, &mut covered);
         debug_assert_eq!(end, entry);
     }
@@ -592,11 +1049,8 @@ fn covering_cycle(
 /// Iterative Tarjan SCC over the subgraph of eligible edges.  Every node gets
 /// an SCC id (nodes without eligible edges become singletons); returns the
 /// per-node id assignment and the number of SCCs.
-fn tarjan_scc(
-    n: usize,
-    edges: &[Vec<Edge>],
-    eligible: &dyn Fn(usize, &Edge) -> bool,
-) -> (Vec<usize>, usize) {
+fn tarjan_scc(graph: &Graph<'_>, eligible: &dyn Fn(usize, &Edge) -> bool) -> (Vec<usize>, usize) {
+    let n = graph.nodes.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -622,13 +1076,14 @@ fn tarjan_scc(
                 on_stack[v] = true;
             }
             let mut advanced = false;
-            while *pos < edges[v].len() {
-                let e = &edges[v][*pos];
+            let out = graph.out(v);
+            while *pos < out.len() {
+                let e = &out[*pos];
                 *pos += 1;
                 if !eligible(v, e) {
                     continue;
                 }
-                let w = e.to;
+                let w = e.to as usize;
                 if index[w] == usize::MAX {
                     call.push((w, 0));
                     advanced = true;
@@ -859,6 +1314,34 @@ mod tests {
     ];
 
     #[test]
+    fn frontier_codes_match_the_nondeterministic_scheduler() {
+        // The coded frontier is the scheduler's frontier, step for step, in
+        // the same order — for ready robots, pending robots and both modes.
+        let c = Configuration::from_gaps_at_origin(&[1, 1, 4]);
+        let mut engine =
+            Engine::with_default_options(rr_corda::protocol::GreedyGapWalker, c).unwrap();
+        engine.step(&SchedulerStep::Look(1), &mut ()).unwrap();
+        for mode in MODES {
+            let scheduler = NondeterministicScheduler::new(mode);
+            let expected = scheduler.frontier(&engine.scheduler_view());
+            let mut codes = Vec::new();
+            frontier_codes(mode, engine.robots(), &mut codes);
+            let decoded: Vec<SchedulerStep> = codes.iter().map(|&c| decode_step(c)).collect();
+            assert_eq!(decoded, expected, "mode={mode}");
+            for (code, step) in codes.iter().zip(&expected) {
+                assert_eq!(
+                    step_activation_mask(*code),
+                    NondeterministicScheduler::activation_mask(step)
+                );
+                let mut buf = Vec::new();
+                let with_buf = decode_step_with(*code, &mut buf);
+                assert_eq!(&with_buf, step);
+                recycle_step(with_buf, &mut buf);
+            }
+        }
+    }
+
+    #[test]
     fn gathering_is_verified_exhaustively_on_small_rings() {
         // Every rigid initial class of (6, 3) and (7, 3), both interleaving
         // spaces: safety + liveness proved, not sampled.
@@ -880,8 +1363,34 @@ mod tests {
                     assert!(report.target_states > 0, "n={n} k={k} mode={mode}");
                     assert!(report.quotient_states <= report.states);
                     assert!(report.edges > 0);
+                    assert!(report.peak_resident_nodes >= report.states);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        // The headline determinism guarantee, in its smallest form: 1, 2 and
+        // 5 workers produce identical reports on a verified cell and
+        // identical counterexamples on a falsified one.  (The test suite in
+        // tests/parallel_determinism.rs covers this property more broadly.)
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        for mode in MODES {
+            let reports: Vec<ExploreReport> = [1usize, 2, 5]
+                .iter()
+                .map(|&w| {
+                    check_protocol(
+                        &GatheringProtocol::new(),
+                        &initial,
+                        &GatheringInvariant::new(),
+                        &ExploreOptions::new(mode).with_workers(w),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            assert_eq!(reports[0], reports[1], "mode={mode}");
+            assert_eq!(reports[0], reports[2], "mode={mode}");
         }
     }
 
@@ -1041,7 +1550,14 @@ mod tests {
     }
 
     #[test]
-    fn state_budget_is_respected() {
+    fn budget_hit_exactly_at_the_frontier_edge_is_reported_as_incomplete() {
+        // ASYNC from a rigid (7, 3) class: the root has exactly 3 successors
+        // (Look 0, Look 1, Look 2), all distinct.  A budget of 3 is hit
+        // precisely when the LAST frontier edge of the root discovers its
+        // state: both earlier root edges were recorded (and reference
+        // discovered states), yet the root's expansion is still incomplete —
+        // discovered (3) and completed expansions (0) must say so
+        // separately, where the old report claimed `explored = 3`.
         let initial = enumerate_rigid_configurations(7, 3).remove(0);
         let report = check_protocol(
             &GatheringProtocol::new(),
@@ -1050,10 +1566,43 @@ mod tests {
             &ExploreOptions::new(InterleavingMode::AsyncPhases).with_max_states(3),
         )
         .unwrap();
-        assert!(matches!(
+        assert_eq!(
             report.outcome,
-            CheckOutcome::BudgetExceeded { explored: 3 }
-        ));
+            CheckOutcome::BudgetExceeded {
+                discovered: 3,
+                completed_expansions: 0,
+            }
+        );
+        // One more state of budget: the root's whole frontier fits, its
+        // expansion completes, and the budget trips during node 1's
+        // expansion instead — completed expansions advance to 1.
+        let report = check_protocol(
+            &GatheringProtocol::new(),
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(InterleavingMode::AsyncPhases).with_max_states(4),
+        )
+        .unwrap();
+        assert_eq!(
+            report.outcome,
+            CheckOutcome::BudgetExceeded {
+                discovered: 4,
+                completed_expansions: 1,
+            }
+        );
+        // Budget reporting is worker-independent like everything else.
+        for workers in [2usize, 7] {
+            let again = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(InterleavingMode::AsyncPhases)
+                    .with_max_states(4)
+                    .with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(again, report, "workers={workers}");
+        }
     }
 
     #[test]

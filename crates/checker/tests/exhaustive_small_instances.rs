@@ -18,7 +18,7 @@ const MODES: [InterleavingMode; 2] = [
     InterleavingMode::AsyncPhases,
 ];
 
-fn assert_cell_proved<P: Protocol + Clone>(
+fn assert_cell_proved<P: Protocol + Clone + Send>(
     protocol: &P,
     invariant: &dyn Invariant,
     n: usize,

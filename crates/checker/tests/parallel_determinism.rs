@@ -1,0 +1,186 @@
+//! The parallel checker's headline guarantee: exploration with 1, 2 and N
+//! workers yields **identical** `ExploreReport`s — every field, including
+//! state/edge counts, the canonical-class statistic and the peak-memory
+//! figure — and identical counterexample traces (schedules, step for step),
+//! for verified protocols, mutated (falsified) protocols, budget-limited
+//! runs, and the symmetry-quotient explorer alike.
+
+use proptest::prelude::*;
+use rr_checker::explore::{
+    check_protocol, check_safety_quotient, replay_counterexample, ExploreOptions, MutatedProtocol,
+};
+use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
+use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, Invariant, SearchingInvariant};
+use rr_core::unified::{protocol_for, Task};
+use rr_core::{AlignProtocol, GatheringProtocol};
+use rr_ring::enumerate::enumerate_rigid_configurations;
+use rr_ring::Configuration;
+
+const MODES: [InterleavingMode; 2] = [
+    InterleavingMode::SsyncSubsets,
+    InterleavingMode::AsyncPhases,
+];
+
+/// Worker counts every run is checked under: sequential, genuinely
+/// concurrent, and oversubscribed (more workers than the machine has cores
+/// — and, for small graphs, more than there are nodes to expand).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_worker_invariant<P: Protocol + Clone + Send>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    base: &ExploreOptions,
+    label: &str,
+) {
+    let reference = check_protocol(protocol, initial, invariant, &base.with_workers(1)).unwrap();
+    for workers in &WORKER_COUNTS[1..] {
+        let report =
+            check_protocol(protocol, initial, invariant, &base.with_workers(*workers)).unwrap();
+        assert_eq!(report, reference, "{label}: workers={workers}");
+    }
+    // The quotient explorer obeys the same discipline.
+    let quotient_reference =
+        check_safety_quotient(protocol, initial, invariant, &base.with_workers(1)).unwrap();
+    for workers in &WORKER_COUNTS[1..] {
+        let report =
+            check_safety_quotient(protocol, initial, invariant, &base.with_workers(*workers))
+                .unwrap();
+        assert_eq!(
+            report, quotient_reference,
+            "{label} quotient: workers={workers}"
+        );
+    }
+    // Any counterexample must replay regardless of which run produced it.
+    if let Some(ce) = reference.counterexample() {
+        let replay = replay_counterexample(protocol, initial, invariant, ce).unwrap();
+        assert!(replay.reproduced, "{label}: {}", replay.detail);
+    }
+}
+
+#[test]
+fn verified_cells_are_worker_invariant() {
+    for (n, k) in [(7usize, 3usize), (8, 4)] {
+        for initial in enumerate_rigid_configurations(n, k) {
+            for mode in MODES {
+                assert_worker_invariant(
+                    &GatheringProtocol::new(),
+                    &initial,
+                    &GatheringInvariant::new(),
+                    &ExploreOptions::new(mode),
+                    &format!("gathering ({n},{k}) {mode}"),
+                );
+                assert_worker_invariant(
+                    &AlignProtocol::new(),
+                    &initial,
+                    &AlignmentInvariant::new(),
+                    &ExploreOptions::new(mode),
+                    &format!("alignment ({n},{k}) {mode}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn searching_with_aug_state_is_worker_invariant() {
+    // The searching invariant exercises the auxiliary-state path (the
+    // 64-bit contamination key stored per node).  SSYNC keeps the graph
+    // small enough for a test; exp_modelcheck covers ASYNC.
+    let initial = enumerate_rigid_configurations(11, 5).remove(0);
+    let protocol = protocol_for(Task::GraphSearching, 11, 5).expect("feasible");
+    assert_worker_invariant(
+        &protocol,
+        &initial,
+        &SearchingInvariant::new(),
+        &ExploreOptions::new(InterleavingMode::SsyncSubsets),
+        "searching (11,5) ssync",
+    );
+}
+
+#[test]
+fn falsified_cells_yield_identical_counterexamples_across_workers() {
+    let initial = enumerate_rigid_configurations(7, 3).remove(0);
+    // Liveness lasso (idle mutant) and minimal safety trace (move mutant).
+    let idle_mutant = MutatedProtocol::new(
+        GatheringProtocol::new(),
+        MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+        Decision::Idle,
+    );
+    for mode in MODES {
+        assert_worker_invariant(
+            &idle_mutant,
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(mode),
+            &format!("idle mutant {mode}"),
+        );
+    }
+    let c_star = Configuration::from_gaps_at_origin(&[0, 0, 1, 3]);
+    let move_mutant = MutatedProtocol::new(
+        AlignProtocol::new(),
+        MutatedProtocol::<AlignProtocol>::trigger_for(&c_star),
+        Decision::Move(ViewIndex::First),
+    );
+    for mode in MODES {
+        assert_worker_invariant(
+            &move_mutant,
+            &c_star,
+            &AlignmentInvariant::new(),
+            &ExploreOptions::new(mode),
+            &format!("move mutant {mode}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized sweep over the space the fixed tests cannot enumerate:
+    /// random initial class, random single-entry protocol mutation (or
+    /// none), random interleaving mode, random state budget — 1, 2 and 8
+    /// workers always emit the identical report and trace.
+    #[test]
+    fn random_mutants_and_budgets_are_worker_invariant(
+        class_pick in 0usize..4,
+        // 0 = unmutated; 1..=12 decomposes into a (trigger class, decision)
+        // single-entry table mutation.
+        mutate_pick in 0usize..13,
+        mode_pick in 0usize..2,
+        // 0 = unbounded (the default budget); otherwise a tight budget that
+        // usually trips mid-frontier.
+        budget_pick in 0usize..61,
+    ) {
+        let classes = enumerate_rigid_configurations(8, 4);
+        let initial = classes[class_pick % classes.len()].clone();
+        let mode = MODES[mode_pick];
+        let budget = if budget_pick == 0 {
+            rr_checker::explore::DEFAULT_MAX_STATES
+        } else {
+            budget_pick
+        };
+        let base = ExploreOptions::new(mode).with_max_states(budget);
+        let invariant = GatheringInvariant::new();
+        if mutate_pick == 0 {
+            assert_worker_invariant(
+                &GatheringProtocol::new(),
+                &initial,
+                &invariant,
+                &base,
+                "random unmutated",
+            );
+        } else {
+            let (trigger_pick, decision_pick) = ((mutate_pick - 1) % 4, (mutate_pick - 1) / 4);
+            let trigger = MutatedProtocol::<GatheringProtocol>::trigger_for(
+                &classes[trigger_pick % classes.len()],
+            );
+            let replacement = match decision_pick {
+                0 => Decision::Idle,
+                1 => Decision::Move(ViewIndex::First),
+                _ => Decision::Move(ViewIndex::Second),
+            };
+            let mutant = MutatedProtocol::new(GatheringProtocol::new(), trigger, replacement);
+            assert_worker_invariant(&mutant, &initial, &invariant, &base, "random mutant");
+        }
+    }
+}

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::monitor::Monitor;
+use crate::packed::{self, PackedRobot, PackedState};
 use crate::protocol::{Decision, Protocol, ViewIndex};
 use crate::robot::{Phase, RobotId, RobotState};
 use crate::scheduler::{Scheduler, SchedulerStep, SchedulerView};
@@ -277,6 +278,109 @@ impl EngineState {
         let b = View::new(reflected).min_rotation();
         a.min(b).gaps().to_vec()
     }
+
+    /// Bit-packs this state into a single small allocation; the exact
+    /// inverse is [`Engine::restore_packed`], which reproduces the state
+    /// **byte for byte** (configuration, per-robot phases *and* the monotone
+    /// counters).  See [`crate::packed`] for the format.
+    #[must_use]
+    pub fn pack(&self) -> PackedState {
+        let n = self.config.ring().len();
+        packed::encode(
+            n,
+            self.step,
+            self.moves,
+            self.looks,
+            self.robots.iter().map(|r| PackedRobot {
+                node: r.node,
+                phase: packed::phase_code(n, r.node, r.phase),
+                cycles: r.cycles,
+                moves: r.moves,
+            }),
+        )
+    }
+}
+
+/// A memo of Look decisions, keyed by the packed per-node occupancy counts
+/// and the observing node.
+///
+/// Soundness: an oblivious protocol's decision is a pure function of the
+/// robot's [`Snapshot`], and for a *fixed* view-order policy and capability
+/// the snapshot is a pure function of `(configuration, node)` — so caching
+/// the decision changes nothing observable (counters, trace events, monitor
+/// hooks all fire identically).  The exhaustive model checker, which
+/// revisits the same configurations along vast numbers of interleavings, is
+/// the intended customer.  The memo stays valid across
+/// `save_state`/`restore_state` excursions and is dropped on
+/// [`Engine::reset`] (a reset may change the protocol or the options).
+#[derive(Debug, Clone, Default)]
+struct LookMemo {
+    enabled: bool,
+    /// Dense table for exclusive configurations on rings with
+    /// `n ≤ DENSE_MEMO_N` nodes, indexed `occupancy_bitmask * n + node`:
+    /// 0 = not yet computed, otherwise the encoded decision + 1.  Allocated
+    /// lazily on first use (≤ `2^12 · 12` bytes).
+    dense: Vec<u8>,
+    map: std::collections::HashMap<(u64, u32), Decision, crate::packed::SigHashBuilder>,
+}
+
+/// Largest ring size served by the dense memo table.
+const DENSE_MEMO_N: usize = 12;
+
+/// How a configuration is presented to the memo.
+enum MemoKey {
+    /// Exclusive occupancy on a small ring: a direct index into the dense
+    /// table.
+    Dense(usize),
+    /// General per-node counts packed 4 bits each: a hash-map key.
+    Sparse(u64),
+    /// Instance too large for either encoding; memo bypassed.
+    None,
+}
+
+/// Classifies the configuration for the memo (see [`MemoKey`]); `k` is the
+/// total robot count (occupancy is exclusive iff it spreads over `k` nodes).
+fn memo_key(config: &Configuration, k: usize, node: NodeId) -> MemoKey {
+    let n = config.n();
+    if n <= DENSE_MEMO_N {
+        let mut mask = 0usize;
+        for v in 0..n {
+            mask |= usize::from(config.is_occupied(v)) << v;
+        }
+        if mask.count_ones() as usize == k {
+            return MemoKey::Dense(mask * n + node);
+        }
+    }
+    if n > 16 {
+        return MemoKey::None;
+    }
+    let mut packed = 0u64;
+    for v in 0..n {
+        let c = config.count_at(v);
+        if c > 15 {
+            return MemoKey::None;
+        }
+        packed |= u64::from(c) << (4 * v);
+    }
+    MemoKey::Sparse(packed)
+}
+
+/// Encodes a decision into the dense table's non-zero byte range.
+fn encode_decision(decision: Decision) -> u8 {
+    match decision {
+        Decision::Idle => 1,
+        Decision::Move(ViewIndex::First) => 2,
+        Decision::Move(ViewIndex::Second) => 3,
+    }
+}
+
+fn decode_decision(byte: u8) -> Decision {
+    match byte {
+        1 => Decision::Idle,
+        2 => Decision::Move(ViewIndex::First),
+        3 => Decision::Move(ViewIndex::Second),
+        _ => unreachable!("dense memo byte"),
+    }
 }
 
 /// The Look–Compute–Move execution engine.
@@ -292,6 +396,7 @@ pub struct Engine<P> {
     robots: Vec<RobotState>,
     options: EngineOptions,
     trace: Trace,
+    memo: LookMemo,
     step: u64,
     moves: u64,
     looks: u64,
@@ -324,10 +429,29 @@ impl<P: Protocol> Engine<P> {
             robots,
             options,
             trace,
+            memo: LookMemo::default(),
             step: 0,
             moves: 0,
             looks: 0,
         })
+    }
+
+    /// Enables the Look-decision memo: identical observable behaviour,
+    /// `compute` evaluated once per `(configuration, node)` pair instead of
+    /// once per Look (see the `LookMemo` internals for the soundness
+    /// argument).  Dropped
+    /// again by [`Engine::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`ViewOrder::Alternating`], where the snapshot is *not*
+    /// a pure function of `(configuration, node)`.
+    pub fn enable_look_memo(&mut self) {
+        assert!(
+            self.options.view_order != ViewOrder::Alternating,
+            "look memo is unsound under an alternating view order"
+        );
+        self.memo.enabled = true;
     }
 
     /// Validates `initial` against `options` and (re)fills `robots` with one
@@ -378,6 +502,7 @@ impl<P: Protocol> Engine<P> {
         self.protocol = protocol;
         self.options = options;
         self.trace.reset(options.record_trace);
+        self.memo = LookMemo::default();
         self.step = 0;
         self.moves = 0;
         self.looks = 0;
@@ -427,6 +552,138 @@ impl<P: Protocol> Engine<P> {
         self.step = state.step;
         self.moves = state.moves;
         self.looks = state.looks;
+    }
+
+    /// Like [`Engine::save_state`], but reuses the storage of `state`
+    /// instead of allocating — the zero-allocation save the model checker's
+    /// inner loop runs on.
+    pub fn save_state_into(&self, state: &mut EngineState) {
+        state.config.clone_from(&self.config);
+        state.robots.clone_from(&self.robots);
+        state.step = self.step;
+        state.moves = self.moves;
+        state.looks = self.looks;
+    }
+
+    /// Bit-packs the current execution state directly from the live engine:
+    /// identical bytes to `self.save_state().pack()`, without materializing
+    /// the intermediate [`EngineState`].
+    #[must_use]
+    pub fn pack_state(&self) -> PackedState {
+        let n = self.ring.len();
+        packed::encode(
+            n,
+            self.step,
+            self.moves,
+            self.looks,
+            self.robots.iter().map(|r| PackedRobot {
+                node: r.node,
+                phase: packed::phase_code(n, r.node, r.phase),
+                cycles: r.cycles,
+                moves: r.moves,
+            }),
+        )
+    }
+
+    /// Bit-packs the **behavioural projection** of the current state: like
+    /// [`Engine::pack_state`] but with every monotone counter (global
+    /// step/move/look and per-robot cycle/move counts) stored as zero, which
+    /// shrinks the packed words to the header plus `⌈log₂ n⌉ + 2` bits per
+    /// robot.
+    ///
+    /// Restoring it reproduces the configuration and every robot phase
+    /// exactly, with counters reset — the canonical representative of the
+    /// state's behaviour class ([`PackedState::behavior_sig`] equality).
+    /// Under a non-[`ViewOrder::Alternating`] view order the counters never
+    /// influence behaviour, so the model checker stores these instead of
+    /// full states: the old checker kept whatever counter values the first
+    /// discovery happened to carry (a search artifact); the projection is
+    /// both smaller and better defined.
+    #[must_use]
+    pub fn pack_behavior(&self) -> PackedState {
+        let n = self.ring.len();
+        packed::encode(
+            n,
+            0,
+            0,
+            0,
+            self.robots.iter().map(|r| PackedRobot {
+                node: r.node,
+                phase: packed::phase_code(n, r.node, r.phase),
+                cycles: 0,
+                moves: 0,
+            }),
+        )
+    }
+
+    /// The behavioural signature of the current state, straight from the
+    /// live engine: identical to `self.pack_state().behavior_sig()` without
+    /// touching the codec (see [`PackedState::behavior_sig`]).
+    #[must_use]
+    pub fn behavior_sig(&self) -> crate::packed::StateSig {
+        let n = self.ring.len();
+        packed::behavior_sig_from(
+            n,
+            self.robots.len(),
+            self.robots
+                .iter()
+                .map(|r| (r.node, packed::phase_code(n, r.node, r.phase))),
+        )
+    }
+
+    /// The canonical (symmetry-quotient) signature of the current state,
+    /// straight from the live engine: identical to
+    /// `self.pack_state().canonical_sig()` (see
+    /// [`PackedState::canonical_sig`] for the encoding and its bounds).
+    #[must_use]
+    pub fn canonical_sig(&self) -> crate::packed::StateSig {
+        let n = self.ring.len();
+        packed::canonical_sig_from(
+            n,
+            self.robots.len(),
+            self.robots
+                .iter()
+                .map(|r| (r.node, packed::phase_code(n, r.node, r.phase))),
+        )
+    }
+
+    /// Rewinds the engine to a state previously packed with
+    /// [`EngineState::pack`] / [`Engine::pack_state`], reusing the
+    /// configuration and robot storage.  The restored state is byte-identical
+    /// to the one that was packed: `engine.restore_packed(&s.pack())`
+    /// followed by `engine.save_state()` yields `s` again, exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` belongs to a different instance shape (ring size or
+    /// robot count mismatch) — like [`Engine::restore_state`], packed states
+    /// may only be restored into the engine family they were saved from.
+    pub fn restore_packed(&mut self, packed: &PackedState) {
+        let mut decoder = packed::Decoder::new(packed);
+        assert_eq!(
+            decoder.n,
+            self.ring.len(),
+            "restore_packed: ring size mismatch"
+        );
+        assert_eq!(
+            decoder.k,
+            self.robots.len(),
+            "restore_packed: robot count mismatch"
+        );
+        self.step = decoder.step;
+        self.moves = decoder.moves;
+        self.looks = decoder.looks;
+        for robot in &mut self.robots {
+            let r = decoder.next_robot();
+            robot.node = r.node;
+            robot.phase = packed::code_phase(decoder.n, r.node, r.phase);
+            robot.cycles = r.cycles;
+            robot.moves = r.moves;
+        }
+        // The occupancy vector is the multiset of robot positions (one robot
+        // per unit of multiplicity, an Engine invariant since construction).
+        self.config
+            .assign_positions(self.robots.iter().map(|r| r.node));
     }
 
     /// Creates an engine with the options implied by the protocol declaration
@@ -575,8 +832,46 @@ impl<P: Protocol> Engine<P> {
         }
         let node = self.robots[robot].node;
         let first_dir = self.first_direction();
-        let snapshot = Snapshot::capture(&self.config, node, self.options.capability, first_dir);
-        let decision = self.protocol.compute(&snapshot);
+        let key = if self.memo.enabled {
+            memo_key(&self.config, self.robots.len(), node)
+        } else {
+            MemoKey::None
+        };
+        let decision = match key {
+            MemoKey::Dense(idx) => {
+                if self.memo.dense.is_empty() {
+                    self.memo.dense = vec![0; (1 << self.config.n()) * self.config.n()];
+                }
+                match self.memo.dense[idx] {
+                    0 => {
+                        let snapshot = Snapshot::capture(
+                            &self.config,
+                            node,
+                            self.options.capability,
+                            first_dir,
+                        );
+                        let decision = self.protocol.compute(&snapshot);
+                        self.memo.dense[idx] = encode_decision(decision);
+                        decision
+                    }
+                    byte => decode_decision(byte),
+                }
+            }
+            MemoKey::Sparse(packed) => match self.memo.map.entry((packed, node as u32)) {
+                std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    let snapshot =
+                        Snapshot::capture(&self.config, node, self.options.capability, first_dir);
+                    let decision = self.protocol.compute(&snapshot);
+                    *entry.insert(decision)
+                }
+            },
+            MemoKey::None => {
+                let snapshot =
+                    Snapshot::capture(&self.config, node, self.options.capability, first_dir);
+                self.protocol.compute(&snapshot)
+            }
+        };
         self.looks += 1;
         self.step += 1;
         match decision {
@@ -678,6 +973,25 @@ impl<P: Protocol> Engine<P> {
         monitor: &mut M,
     ) -> Result<StepReport, SimError> {
         let mut report = StepReport::default();
+        self.step_into(step, monitor, &mut report)?;
+        Ok(report)
+    }
+
+    /// [`Engine::step`] writing into a caller-owned report (cleared first):
+    /// reusing one report across steps keeps the move vector's allocation
+    /// alive, which is what the model checker's million-edge loops want.
+    ///
+    /// On `Err` the engine state is identical to what [`Engine::step`] would
+    /// leave; the report contents are unspecified.
+    pub fn step_into<M: Monitor + ?Sized>(
+        &mut self,
+        step: &SchedulerStep,
+        monitor: &mut M,
+        report: &mut StepReport,
+    ) -> Result<(), SimError> {
+        report.moves.clear();
+        report.looks = 0;
+        report.idles = 0;
         match step {
             SchedulerStep::SsyncRound(robots) => {
                 for &r in robots {
@@ -686,7 +1000,7 @@ impl<P: Protocol> Engine<P> {
                     }
                 }
                 for &r in robots {
-                    self.execute_move(r, &mut report)?;
+                    self.execute_move(r, report)?;
                 }
             }
             SchedulerStep::Look(robot) => {
@@ -695,14 +1009,14 @@ impl<P: Protocol> Engine<P> {
                 }
             }
             SchedulerStep::Execute(robot) => {
-                self.execute_move(*robot, &mut report)?;
+                self.execute_move(*robot, report)?;
             }
         }
         for record in &report.moves {
             monitor.on_move(record, &self.config);
         }
-        monitor.on_step(&report, &self.config);
-        Ok(report)
+        monitor.on_step(report, &self.config);
+        Ok(())
     }
 
     /// Drives the engine with `scheduler` until `stop` returns true or
@@ -1117,6 +1431,111 @@ mod tests {
         let mut ccw = Engine::with_default_options(GreedyGapWalker, c).unwrap();
         ccw.step(&SchedulerStep::Look(1), &mut ()).unwrap();
         assert_eq!(ccw.save_state().canonical_key(), cw_key);
+    }
+
+    #[test]
+    fn pack_round_trips_mid_cycle_states_byte_for_byte() {
+        // Drive an engine through a partial asynchronous cycle (pending move
+        // + pending idle + completed cycles), pack, restore, and require the
+        // restored state to equal the saved one field for field.
+        let c = cfg(&[1, 1, 4]);
+        let options = EngineOptions {
+            enforce_exclusivity: false,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(GreedyGapWalker, c, options).unwrap();
+        engine.step(&cycle(1), &mut ()).unwrap();
+        engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let saved = engine.save_state();
+        let packed = saved.pack();
+        assert_eq!(packed, engine.pack_state(), "both pack entry points agree");
+
+        // Wander off, restore from the packed bits alone.
+        engine.step(&cycle(2), &mut ()).unwrap();
+        engine.step(&SchedulerStep::Execute(0), &mut ()).unwrap();
+        engine.restore_packed(&packed);
+        assert_eq!(engine.save_state(), saved);
+        assert_eq!(engine.configuration(), saved.configuration());
+        assert_eq!(engine.robots(), saved.robots());
+
+        // save_state_into reuses storage and produces the same state.
+        let mut reused = engine.save_state();
+        engine.step(&cycle(2), &mut ()).unwrap();
+        engine.restore_packed(&packed);
+        engine.save_state_into(&mut reused);
+        assert_eq!(reused, saved);
+    }
+
+    #[test]
+    fn behavior_sig_matches_exact_key_equality() {
+        let c = cfg(&[1, 1, 4]);
+        let mut a = Engine::with_default_options(IdleProtocol, c.clone()).unwrap();
+        let mut b = Engine::with_default_options(IdleProtocol, c).unwrap();
+        // Different counters, same behaviour: equal sigs.
+        a.step(&cycle(1), &mut ()).unwrap();
+        assert_ne!(a.pack_state(), b.pack_state(), "counters differ");
+        assert_eq!(a.pack_state().behavior_sig(), b.pack_state().behavior_sig());
+        // A pending phase is part of the signature.
+        b.step(&SchedulerStep::Look(1), &mut ()).unwrap();
+        assert_ne!(a.pack_state().behavior_sig(), b.pack_state().behavior_sig());
+        assert_eq!(
+            a.save_state().exact_key() == b.save_state().exact_key(),
+            a.pack_state().behavior_sig() == b.pack_state().behavior_sig()
+        );
+    }
+
+    #[test]
+    fn canonical_sig_matches_canonical_key_equality() {
+        use rr_ring::Configuration;
+        let ring = Ring::new(9);
+        let base = Configuration::new_exclusive(ring, &[0, 2, 3]).unwrap();
+        let base_sig = Engine::with_default_options(GreedyGapWalker, base)
+            .unwrap()
+            .pack_state()
+            .canonical_sig();
+        for rot in 0..9usize {
+            for reflect in [false, true] {
+                let nodes: Vec<usize> = [0usize, 2, 3]
+                    .iter()
+                    .map(|&v| {
+                        let v = if reflect { (9 - v) % 9 } else { v };
+                        (v + rot) % 9
+                    })
+                    .collect();
+                let c = Configuration::new_exclusive(ring, &nodes).unwrap();
+                let sig = Engine::with_default_options(GreedyGapWalker, c)
+                    .unwrap()
+                    .pack_state()
+                    .canonical_sig();
+                assert_eq!(sig, base_sig, "rot={rot} reflect={reflect}");
+            }
+        }
+        let other = Configuration::new_exclusive(ring, &[0, 2, 4]).unwrap();
+        let other_sig = Engine::with_default_options(GreedyGapWalker, other)
+            .unwrap()
+            .pack_state()
+            .canonical_sig();
+        assert_ne!(other_sig, base_sig);
+
+        // Pending-move directions up to reflection, like canonical_key.
+        let sym = cfg(&[3, 3]);
+        let mut cw = Engine::with_default_options(GreedyGapWalker, sym.clone()).unwrap();
+        let ready_sig = cw.pack_state().canonical_sig();
+        cw.step(&SchedulerStep::Look(0), &mut ()).unwrap();
+        let cw_sig = cw.pack_state().canonical_sig();
+        assert_ne!(ready_sig, cw_sig);
+        let mut ccw = Engine::with_default_options(GreedyGapWalker, sym).unwrap();
+        ccw.step(&SchedulerStep::Look(1), &mut ()).unwrap();
+        assert_eq!(ccw.pack_state().canonical_sig(), cw_sig);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size mismatch")]
+    fn restore_packed_rejects_mismatched_states() {
+        let mut a = Engine::with_default_options(IdleProtocol, cfg(&[0, 1, 2, 5])).unwrap();
+        let b = Engine::with_default_options(IdleProtocol, cfg(&[3, 4])).unwrap();
+        let packed = b.pack_state();
+        a.restore_packed(&packed);
     }
 
     #[test]

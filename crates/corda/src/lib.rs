@@ -27,6 +27,7 @@
 pub mod engine;
 pub mod error;
 pub mod monitor;
+pub mod packed;
 pub mod protocol;
 pub mod robot;
 pub mod scheduler;
@@ -39,6 +40,7 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use monitor::{Monitor, MoveLog};
+pub use packed::{PackedState, StateSig, MAX_CANONICAL_N, SIG_WORDS};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
 pub use scheduler::{

@@ -1,0 +1,615 @@
+//! Bit-packed engine states: the memory-compact storage format of the
+//! exhaustive model checker.
+//!
+//! A [`crate::EngineState`] is faithful but fat: it owns a full
+//! per-node occupancy vector and a `RobotState` vector — several heap
+//! allocations and hundreds of bytes per state, which is what capped the
+//! checker at `n ≤ 8`.  A [`PackedState`] encodes the *same information* into
+//! a handful of `u64` words (inline for every checkable instance — no heap
+//! allocation at all):
+//!
+//! * the occupancy vector is **not stored at all** — the engine maintains one
+//!   robot per unit of multiplicity, so the configuration is exactly the
+//!   multiset of robot positions and is rebuilt on restore;
+//! * a pending move's target is always adjacent to the robot, so each robot
+//!   needs only its node (`⌈log₂ n⌉` bits) and a 2-bit phase code (ready /
+//!   idle-pending / move-pending-cw / move-pending-ccw);
+//! * the monotone step/move/look counters are stored at the width of the
+//!   largest one (chosen per state), so shallow states — the only kind an
+//!   exhaustive search meets — stay small while arbitrarily old states still
+//!   round-trip exactly.
+//!
+//! The contract is **byte-identical round-tripping**: for every reachable
+//! engine state, `engine.restore_packed(&state.pack())` leaves the engine in
+//! a state whose `save_state()` equals `state` field for field (the
+//! `packed_roundtrip` proptest suite serializes both sides to JSON and
+//! compares the bytes).  Besides storage, a packed state answers the two
+//! identity questions the checker asks — behavioural equality and canonical
+//! (symmetry-quotient) equality — directly from the packed bits via
+//! [`PackedState::behavior_sig`] and [`PackedState::canonical_sig`], without
+//! unpacking.
+
+use crate::robot::Phase;
+
+/// Number of `u64` words in a state signature: 384 bits, enough for the
+/// behavioural signature of `k ≤ 20` robots and the canonical signature of
+/// rings with `n ≤ 24` nodes (16 bits of per-node phase counts each) — both
+/// beyond what exhaustive checking can reach anyway.
+pub const SIG_WORDS: usize = 6;
+
+/// Largest ring size whose canonical signature fits [`SIG_WORDS`] words.
+pub const MAX_CANONICAL_N: usize = SIG_WORDS * 64 / 16;
+
+/// Fixed-size signature of a state: an inline, allocation-free hash-map key.
+pub type StateSig = [u64; SIG_WORDS];
+
+/// A fast multiply-xor hasher for small fixed-size keys built from `u64`
+/// words — the engine's Look memo and the model checker's visited maps and
+/// canonical-class sets all hash through it.  Not DoS-hardened: the keys
+/// are internal to the simulation, never attacker-supplied.
+#[derive(Debug, Default, Clone)]
+pub struct SigHasher(u64);
+
+impl std::hash::Hasher for SigHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mixed = (self.0 ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = mixed ^ (mixed >> 29);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`SigHasher`]-keyed maps and sets.
+pub type SigHashBuilder = std::hash::BuildHasherDefault<SigHasher>;
+
+/// Robot phase as stored in a packed state: 2 bits.
+const PHASE_READY: u64 = 0;
+const PHASE_IDLE: u64 = 1;
+const PHASE_MOVE_CW: u64 = 2;
+const PHASE_MOVE_CCW: u64 = 3;
+
+/// A bit-packed [`crate::EngineState`]: one small word vector holding
+/// everything [`crate::Engine::restore_packed`] needs to reproduce the state
+/// byte for byte.
+///
+/// Produced by [`crate::EngineState::pack`] or directly from a live engine
+/// by [`crate::Engine::pack_state`] (both encodings are identical), or as
+/// the counter-free behavioural projection by
+/// [`crate::Engine::pack_behavior`].  Packed states order and compare by
+/// their bits, which makes them usable as deterministic map keys; note that
+/// — unlike [`crate::EngineState::exact_key`] — a full pack's bits *include*
+/// the monotone counters, so two behaviourally equal states reached along
+/// different paths generally pack differently.  Use
+/// [`PackedState::behavior_sig`] for counter-free behavioural identity.
+///
+/// States of up to [`INLINE_WORDS`] words — every behavioural projection of
+/// a checkable instance, and full packs of shallow states — are stored
+/// inline with **no heap allocation at all**; longer streams spill to a
+/// boxed slice.  The model checker allocates nothing per discovered state.
+#[derive(Debug, Clone)]
+pub struct PackedState {
+    words: WordStore,
+}
+
+/// Inline capacity of a [`PackedState`], in 64-bit words.
+pub const INLINE_WORDS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum WordStore {
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    Heap(Box<[u64]>),
+}
+
+impl PackedState {
+    fn from_words(words: Vec<u64>) -> Self {
+        let store = if words.len() <= INLINE_WORDS {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            WordStore::Inline {
+                len: words.len() as u8,
+                words: inline,
+            }
+        } else {
+            WordStore::Heap(words.into_boxed_slice())
+        };
+        PackedState { words: store }
+    }
+}
+
+impl PartialEq for PackedState {
+    fn eq(&self, other: &Self) -> bool {
+        self.words() == other.words()
+    }
+}
+
+impl Eq for PackedState {}
+
+impl PartialOrd for PackedState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PackedState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.words().cmp(other.words())
+    }
+}
+
+impl std::hash::Hash for PackedState {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.words().hash(state);
+    }
+}
+
+/// Field layout of the bit stream (LSB-first within each word, in order):
+/// `n:16, k:16, w:7`, then `step:w, moves:w, looks:w`, then per robot
+/// `node:bn, phase:2, cycles:w, moves:w` where `bn = bits(n-1)` and `w` is
+/// the width of the largest counter.
+const N_BITS: u32 = 16;
+const K_BITS: u32 = 16;
+const W_BITS: u32 = 7;
+
+/// Bits needed to store values `0..=max`.
+fn bits_for(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+/// Appends `bits` low bits of `value` to the stream.
+struct BitWriter {
+    words: Vec<u64>,
+    /// Bits already used in the last word.
+    filled: u32,
+}
+
+impl BitWriter {
+    fn with_capacity(bits: usize) -> Self {
+        BitWriter {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            filled: 64,
+        }
+    }
+
+    fn push(&mut self, value: u64, bits: u32) {
+        debug_assert!(bits == 64 || value < 1u64 << bits);
+        if bits == 0 {
+            return;
+        }
+        if self.filled == 64 {
+            self.words.push(0);
+            self.filled = 0;
+        }
+        let last = self.words.last_mut().expect("word pushed above");
+        *last |= value << self.filled;
+        let room = 64 - self.filled;
+        if bits <= room {
+            self.filled += bits;
+        } else {
+            self.words.push(value >> room);
+            self.filled = bits - room;
+        }
+    }
+
+    fn finish(self) -> PackedState {
+        PackedState::from_words(self.words)
+    }
+}
+
+/// Reads fields back in the order they were pushed.
+struct BitReader<'a> {
+    words: &'a [u64],
+    consumed: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(packed: &'a PackedState) -> Self {
+        BitReader {
+            words: packed.words(),
+            consumed: 0,
+        }
+    }
+
+    fn pull(&mut self, bits: u32) -> u64 {
+        if bits == 0 {
+            return 0;
+        }
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        let mut value = (self.words[0] >> self.consumed) & mask;
+        let room = 64 - self.consumed;
+        if bits <= room {
+            self.consumed += bits;
+            if self.consumed == 64 {
+                self.words = &self.words[1..];
+                self.consumed = 0;
+            }
+        } else {
+            self.words = &self.words[1..];
+            value |= (self.words[0] & (mask >> room)) << room;
+            self.consumed = bits - room;
+        }
+        value
+    }
+}
+
+/// One robot as encoded in a packed state.
+pub(crate) struct PackedRobot {
+    pub node: usize,
+    /// 0 ready, 1 idle-pending, 2 move-pending-cw, 3 move-pending-ccw.
+    pub phase: u64,
+    pub cycles: u64,
+    pub moves: u64,
+}
+
+/// The encoder shared by [`crate::EngineState::pack`] and
+/// [`crate::Engine::pack_state`].
+pub(crate) fn encode(
+    n: usize,
+    step: u64,
+    moves: u64,
+    looks: u64,
+    robots: impl ExactSizeIterator<Item = PackedRobot> + Clone,
+) -> PackedState {
+    let k = robots.len();
+    assert!(n < 1 << N_BITS, "packed states support n < 2^16");
+    assert!(k < 1 << K_BITS, "packed states support k < 2^16");
+    let bn = bits_for(n as u64 - 1).max(1);
+    let max_counter = robots
+        .clone()
+        .map(|r| r.cycles.max(r.moves))
+        .fold(step.max(moves).max(looks), u64::max);
+    let w = bits_for(max_counter);
+    let total_bits = (N_BITS + K_BITS + W_BITS + 3 * w) as usize + k * (bn + 2 + 2 * w) as usize;
+    let mut out = BitWriter::with_capacity(total_bits);
+    out.push(n as u64, N_BITS);
+    out.push(k as u64, K_BITS);
+    out.push(u64::from(w), W_BITS);
+    out.push(step, w);
+    out.push(moves, w);
+    out.push(looks, w);
+    for r in robots {
+        out.push(r.node as u64, bn);
+        out.push(r.phase, 2);
+        out.push(r.cycles, w);
+        out.push(r.moves, w);
+    }
+    out.finish()
+}
+
+/// Decoded header + per-robot stream of a packed state.
+pub(crate) struct Decoder<'a> {
+    reader: BitReader<'a>,
+    pub n: usize,
+    pub k: usize,
+    pub step: u64,
+    pub moves: u64,
+    pub looks: u64,
+    bn: u32,
+    w: u32,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(packed: &'a PackedState) -> Self {
+        let mut reader = BitReader::new(packed);
+        let n = reader.pull(N_BITS) as usize;
+        let k = reader.pull(K_BITS) as usize;
+        let w = reader.pull(W_BITS) as u32;
+        let step = reader.pull(w);
+        let moves = reader.pull(w);
+        let looks = reader.pull(w);
+        Decoder {
+            reader,
+            n,
+            k,
+            step,
+            moves,
+            looks,
+            bn: bits_for(n as u64 - 1).max(1),
+            w,
+        }
+    }
+
+    /// Reads the next robot; must be called exactly `k` times.
+    pub fn next_robot(&mut self) -> PackedRobot {
+        let node = self.reader.pull(self.bn) as usize;
+        let phase = self.reader.pull(2);
+        let cycles = self.reader.pull(self.w);
+        let moves = self.reader.pull(self.w);
+        PackedRobot {
+            node,
+            phase,
+            cycles,
+            moves,
+        }
+    }
+}
+
+/// Converts an engine [`Phase`] into the 2-bit packed code, classifying a
+/// pending move as cw/ccw relative to the robot's node on a ring of `n`.
+pub(crate) fn phase_code(n: usize, node: usize, phase: Phase) -> u64 {
+    match phase {
+        Phase::Ready => PHASE_READY,
+        Phase::IdlePending => PHASE_IDLE,
+        Phase::MovePending { target } => {
+            if (node + 1) % n == target {
+                PHASE_MOVE_CW
+            } else {
+                debug_assert_eq!((node + n - 1) % n, target, "pending target not adjacent");
+                PHASE_MOVE_CCW
+            }
+        }
+    }
+}
+
+/// Inverse of [`phase_code`].
+pub(crate) fn code_phase(n: usize, node: usize, code: u64) -> Phase {
+    match code {
+        PHASE_READY => Phase::Ready,
+        PHASE_IDLE => Phase::IdlePending,
+        PHASE_MOVE_CW => Phase::MovePending {
+            target: (node + 1) % n,
+        },
+        PHASE_MOVE_CCW => Phase::MovePending {
+            target: (node + n - 1) % n,
+        },
+        _ => unreachable!("2-bit phase code"),
+    }
+}
+
+impl PackedState {
+    /// The packed words (exposed for size accounting; the layout is private).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        match &self.words {
+            WordStore::Inline { len, words } => &words[..usize::from(*len)],
+            WordStore::Heap(words) => words,
+        }
+    }
+
+    /// Heap bytes held by this packed state (zero when stored inline).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match &self.words {
+            WordStore::Inline { .. } => 0,
+            WordStore::Heap(words) => words.len() * 8,
+        }
+    }
+
+    /// The **behavioural signature** of the packed state: robot nodes and
+    /// phases, *excluding* the monotone counters — the allocation-free
+    /// equivalent of [`crate::EngineState::exact_key`].  Two packed states of
+    /// the same instance have equal signatures iff their engine states
+    /// behave identically under every future schedule (for non-alternating
+    /// view orders).  [`crate::Engine::behavior_sig`] computes the identical
+    /// signature straight from a live engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-robot encoding does not fit [`SIG_WORDS`] words
+    /// (`k · (⌈log₂ n⌉ + 2) > 384` — far beyond exhaustively checkable
+    /// instances).
+    #[must_use]
+    pub fn behavior_sig(&self) -> StateSig {
+        let mut decoder = Decoder::new(self);
+        let (n, k) = (decoder.n, decoder.k);
+        behavior_sig_from(
+            n,
+            k,
+            std::iter::from_fn(|| {
+                let r = decoder.next_robot();
+                Some((r.node, r.phase))
+            }),
+        )
+    }
+
+    /// The **canonical signature** of the packed state: the behavioural
+    /// identity *up to ring automorphism and robot relabeling*, packed into
+    /// a fixed [`StateSig`].  Equal signatures ⇔ equal
+    /// [`crate::EngineState::canonical_key`]s; this is the allocation-free
+    /// form the model checker's symmetry quotient and class statistics run
+    /// on.
+    ///
+    /// The encoding mirrors `canonical_key`: per node, the 16-bit word
+    /// `ready | idle << 4 | pending-cw << 8 | pending-ccw << 12`; the
+    /// signature is the lexicographically smallest among the `2n`
+    /// rotations/reflections of that word sequence (reflections swap cw and
+    /// ccw), found with two Booth least-rotation scans
+    /// ([`rr_ring::View::least_rotation_start`]) and packed four nodes per
+    /// `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >` [`MAX_CANONICAL_N`] or if more than 15 robots share a
+    /// node and phase (the 4-bit per-phase count).
+    #[must_use]
+    pub fn canonical_sig(&self) -> StateSig {
+        let mut decoder = Decoder::new(self);
+        let (n, k) = (decoder.n, decoder.k);
+        canonical_sig_from(
+            n,
+            k,
+            std::iter::from_fn(|| {
+                let r = decoder.next_robot();
+                Some((r.node, r.phase))
+            }),
+        )
+    }
+}
+
+/// [`PackedState::behavior_sig`] over any `(node, phase code)` stream of
+/// exactly `k` robots — shared by the packed and the live-engine entry
+/// points.
+pub(crate) fn behavior_sig_from(
+    n: usize,
+    k: usize,
+    robots: impl Iterator<Item = (usize, u64)>,
+) -> StateSig {
+    let bits = bits_for(n as u64 - 1).max(1) + 2;
+    assert!(
+        k as u32 * bits <= (SIG_WORDS as u32) * 64,
+        "behavior_sig: instance too large for the fixed signature"
+    );
+    let mut sig = [0u64; SIG_WORDS];
+    let mut cursor = 0u32;
+    for (node, phase) in robots.take(k) {
+        let field = (node as u64) << 2 | phase;
+        let (word, shift) = ((cursor / 64) as usize, cursor % 64);
+        sig[word] |= field << shift;
+        let room = 64 - shift;
+        if bits > room {
+            sig[word + 1] |= field >> room;
+        }
+        cursor += bits;
+    }
+    sig
+}
+
+/// Booth's two-candidate least-rotation scan over a short slice, with
+/// branch-based wraparound (no division) — the hot-path twin of
+/// [`View::least_rotation_start`], against which the tests pin it.
+fn booth_start(word: &[u16]) -> usize {
+    let k = word.len();
+    let at = |t: usize| word[if t >= k { t - k } else { t }];
+    let (mut i, mut j, mut len) = (0usize, 1usize, 0usize);
+    while i < k && j < k && len < k {
+        let a = at(i + len);
+        let b = at(j + len);
+        if a == b {
+            len += 1;
+            continue;
+        }
+        if a > b {
+            i += len + 1;
+        } else {
+            j += len + 1;
+        }
+        if i == j {
+            j += 1;
+        }
+        len = 0;
+    }
+    i.min(j)
+}
+
+/// [`PackedState::canonical_sig`] over any `(node, phase code)` stream of
+/// exactly `k` robots — shared by the packed and the live-engine entry
+/// points.  Runs on stack arrays end to end: the model checker calls this
+/// once per discovered state.
+pub(crate) fn canonical_sig_from(
+    n: usize,
+    k: usize,
+    robots: impl Iterator<Item = (usize, u64)>,
+) -> StateSig {
+    assert!(
+        n <= MAX_CANONICAL_N,
+        "canonical_sig supports n ≤ {MAX_CANONICAL_N}"
+    );
+    let mut counts = [[0u16; 4]; MAX_CANONICAL_N];
+    for (node, phase) in robots.take(k) {
+        let slot = &mut counts[node][phase as usize];
+        *slot += 1;
+        assert!(*slot < 16, "canonical_sig packs per-node counts in 4 bits");
+    }
+    // Forward word and the reflection through node 0 (v ↦ n - v mod n),
+    // which also swaps the cw/ccw pending directions.
+    let enc = |c: &[u16; 4], swap: bool| -> u16 {
+        let (cw, ccw) = if swap { (c[3], c[2]) } else { (c[2], c[3]) };
+        c[0] | c[1] << 4 | cw << 8 | ccw << 12
+    };
+    let mut fwd = [0u16; MAX_CANONICAL_N];
+    let mut rev = [0u16; MAX_CANONICAL_N];
+    for v in 0..n {
+        fwd[v] = enc(&counts[v], false);
+        rev[v] = enc(&counts[(n - v) % n], true);
+    }
+    let (fwd, rev) = (&fwd[..n], &rev[..n]);
+    let fi = booth_start(fwd);
+    let ri = booth_start(rev);
+    let wrap = |t: usize| if t >= n { t - n } else { t };
+    let reversed_wins = (0..n).find_map(|t| {
+        let a = fwd[wrap(fi + t)];
+        let b = rev[wrap(ri + t)];
+        (a != b).then_some(b < a)
+    });
+    let (word, start) = if reversed_wins == Some(true) {
+        (rev, ri)
+    } else {
+        (fwd, fi)
+    };
+    let mut sig = [0u64; SIG_WORDS];
+    for t in 0..n {
+        sig[t / 4] |= u64::from(word[wrap(start + t)]) << (16 * (t % 4));
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_stream_round_trips_mixed_widths() {
+        let mut w = BitWriter::with_capacity(300);
+        let fields: [(u64, u32); 8] = [
+            (0x5A5A, 16),
+            (0, 0),
+            (1, 1),
+            (u64::MAX, 64),
+            (0x1F, 5),
+            ((1 << 63) - 7, 63),
+            (0, 7),
+            (42, 17),
+        ];
+        for &(v, bits) in &fields {
+            w.push(v, bits);
+        }
+        let packed = w.finish();
+        let mut r = BitReader::new(&packed);
+        for &(v, bits) in &fields {
+            assert_eq!(r.pull(bits), v, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn booth_start_matches_the_view_reference() {
+        use rr_ring::View;
+        let words: [&[u16]; 6] = [
+            &[3, 1, 2, 1, 2],
+            &[0, 0, 0],
+            &[5],
+            &[2, 1],
+            &[1, 2, 1, 2],
+            &[9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+        ];
+        for word in words {
+            let expected =
+                View::least_rotation_start(word.len(), |t| usize::from(word[t % word.len()]));
+            assert_eq!(booth_start(word), expected, "{word:?}");
+        }
+    }
+
+    #[test]
+    fn bits_for_edge_cases() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

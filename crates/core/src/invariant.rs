@@ -81,14 +81,33 @@ pub enum AugState {
 
 impl AugState {
     /// A compact hashable encoding, appended to the engine state key by the
-    /// checker's deduplication.
+    /// checker's deduplication.  For every variant the encoding is
+    /// **lossless** given a template of the same variant and instance:
+    /// [`AugState::from_key_bits`] inverts it exactly, which is what lets the
+    /// checker store just these 64 bits next to each packed engine state
+    /// instead of the full auxiliary state.
     #[must_use]
     pub fn key_bits(&self) -> u64 {
         match self {
             AugState::None => 0,
+            AugState::Contamination(c) => c.clear_bits(),
+        }
+    }
+
+    /// Rebuilds the auxiliary state encoded by `bits`, using `self` as the
+    /// template that fixes the variant and the instance (the ring, for a
+    /// contamination state).  Exact inverse of [`AugState::key_bits`]:
+    /// `template.from_key_bits(aug.key_bits()) == aug` for every `aug` of
+    /// the template's variant.
+    #[must_use]
+    pub fn from_key_bits(&self, bits: u64) -> AugState {
+        match self {
+            AugState::None => {
+                debug_assert_eq!(bits, 0, "AugState::None encodes as 0");
+                AugState::None
+            }
             AugState::Contamination(c) => {
-                assert!(c.ring().len() <= 64, "contamination key packs 64 edges");
-                (0..c.ring().len()).fold(0u64, |m, e| m | u64::from(c.is_clear(e)) << e)
+                AugState::Contamination(Contamination::from_clear_bits(c.ring(), bits))
             }
         }
     }
@@ -96,7 +115,11 @@ impl AugState {
 
 /// A task-level correctness property, checkable along every edge of the
 /// reachable state graph.
-pub trait Invariant {
+///
+/// `Sync` is a supertrait because the exhaustive checker shares one invariant
+/// across its worker threads; invariants are stateless descriptions (all
+/// per-path state lives in [`AugState`]), so this costs implementors nothing.
+pub trait Invariant: Sync {
     /// Short name used in reports ("gathering", "searching", ...).
     fn name(&self) -> &'static str;
 
@@ -225,10 +248,20 @@ impl Invariant for SearchingInvariant {
         after: &StateView<'_>,
         aug: &AugState,
     ) -> Result<(), String> {
+        // One pass over the occupancy: the exclusivity check and the bitmask
+        // the closure check consumes (this runs on every edge the model
+        // checker explores).
+        let mut occupied = 0u64;
+        let mut exclusive = true;
+        for v in 0..after.config.n() {
+            let c = after.config.count_at(v);
+            exclusive &= c <= 1;
+            occupied |= u64::from(c > 0) << v;
+        }
         // The exclusive tasks never create a multiplicity (the engine raises
         // a SimError first, but a checker running with exclusivity disabled
         // would still be caught here).
-        if !after.config.is_exclusive() {
+        if !exclusive {
             return Err("exclusivity violated: two robots share a node".to_string());
         }
         // Contamination monotonicity: the clear-edge set must be closed under
@@ -237,9 +270,7 @@ impl Invariant for SearchingInvariant {
         let AugState::Contamination(contamination) = aug else {
             unreachable!("searching invariant always carries a contamination state");
         };
-        let mut closure = contamination.clone();
-        closure.recontaminate(after.config);
-        if &closure != contamination {
+        if !contamination.is_recontamination_closed_mask(occupied) {
             return Err("contamination state is not recontamination-closed".to_string());
         }
         Ok(())
@@ -380,6 +411,35 @@ mod tests {
             .check_edge(&view(&two, &robots), &view(&two, &robots), &bad)
             .unwrap_err();
         assert!(err.contains("recontamination"), "{err}");
+    }
+
+    #[test]
+    fn aug_key_bits_round_trip_through_the_template() {
+        // None: trivial.
+        assert_eq!(AugState::None.from_key_bits(0), AugState::None);
+        // Contamination: every mid-run state survives the 64-bit encoding.
+        let inv = SearchingInvariant::new();
+        let ring = Ring::new(6);
+        let mut config = Configuration::new_exclusive(ring, &[0, 1]).unwrap();
+        let template = inv.initial_aug(&config);
+        let mut aug = template.clone();
+        let mut pos = 1usize;
+        for next in [2usize, 3, 4, 5] {
+            config.move_robot(pos, next).unwrap();
+            let report = StepReport {
+                moves: vec![rr_corda::MoveRecord {
+                    robot: 1,
+                    from: pos,
+                    to: next,
+                    step: 0,
+                }],
+                looks: 1,
+                idles: 0,
+            };
+            inv.observe_step(&mut aug, &report, &config);
+            assert_eq!(template.from_key_bits(aug.key_bits()), aug);
+            pos = next;
+        }
     }
 
     #[test]

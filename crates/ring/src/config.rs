@@ -260,6 +260,31 @@ impl Configuration {
         Ok(())
     }
 
+    /// Replaces the whole placement with one robot per item of `positions`
+    /// (repeats create multiplicities), reusing the per-node count storage —
+    /// the allocation-free bulk mutation the engine's packed-state restore
+    /// is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range or the iterator is empty; callers
+    /// supply positions that were validated when the placement was first
+    /// created.
+    pub fn assign_positions(&mut self, positions: impl IntoIterator<Item = NodeId>) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        let mut any = false;
+        for v in positions {
+            assert!(
+                v < self.ring.len(),
+                "node {v} out of range for a ring of {} nodes",
+                self.ring.len()
+            );
+            self.counts[v] += 1;
+            any = true;
+        }
+        assert!(any, "a configuration must contain at least one robot");
+    }
+
     /// Moves one robot from `from` one step in direction `dir`, returning the
     /// target node.
     pub fn move_robot_dir(&mut self, from: NodeId, dir: Direction) -> Result<NodeId, ConfigError> {
@@ -292,24 +317,21 @@ impl Configuration {
     #[must_use]
     pub fn view_from(&self, v: NodeId, dir: Direction) -> View {
         assert!(self.is_occupied(v), "view requested at empty node {v}");
-        let occ = self.occupied_nodes();
-        let k = occ.len();
-        if k == 1 {
-            return View::new(vec![self.ring.len() - 1]);
-        }
-        let mut gaps = Vec::with_capacity(k);
-        let mut cur = v;
-        for _ in 0..k {
-            // Walk in `dir` until the next occupied node, counting empty nodes.
-            let mut g = 0usize;
-            let mut next = self.ring.neighbor(cur, dir);
-            while !self.is_occupied(next) {
+        // One walk around the ring: close a gap at every occupied node met.
+        // (A single robot sees the one interval closing the cycle, n - 1.)
+        let mut gaps = Vec::new();
+        let mut g = 0usize;
+        let mut cur = self.ring.neighbor(v, dir);
+        while cur != v {
+            if self.is_occupied(cur) {
+                gaps.push(g);
+                g = 0;
+            } else {
                 g += 1;
-                next = self.ring.neighbor(next, dir);
             }
-            gaps.push(g);
-            cur = next;
+            cur = self.ring.neighbor(cur, dir);
         }
+        gaps.push(g);
         View::new(gaps)
     }
 

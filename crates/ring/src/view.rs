@@ -22,13 +22,19 @@ pub struct View {
 impl View {
     /// Builds a view from its interval lengths.
     ///
-    /// # Panics
+    /// The view of a robot in a configuration always contains at least one
+    /// interval (the one closing the cycle back to the observing robot), but
+    /// `View` doubles as the workspace's generic cyclic-word type (canonical
+    /// state signatures, Booth scans over encoded words), so **every** length
+    /// is accepted — including the degenerate cases:
     ///
-    /// Panics if `gaps` is empty — a view always contains at least one
-    /// interval (the one closing the cycle back to the observing robot).
+    /// * the **empty** view (`k = 0`) is the empty cyclic word: aperiodic
+    ///   ([`View::period`] `== 0 == len()`), symmetric, and fixed by every
+    ///   rotation and reflection;
+    /// * a **singleton** view (`k = 1`) is aperiodic (its only period is the
+    ///   trivial one, `period() == 1 == len()`) and symmetric.
     #[must_use]
     pub fn new(gaps: Vec<usize>) -> Self {
-        assert!(!gaps.is_empty(), "a view contains at least one interval");
         View { gaps }
     }
 
@@ -44,7 +50,9 @@ impl View {
         self.gaps.len()
     }
 
-    /// Whether the view is empty (never true for a valid view).
+    /// Whether the view is empty (the degenerate `k = 0` cyclic word; never
+    /// produced by reading a configuration, which always has at least one
+    /// interval).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.gaps.is_empty()
@@ -63,10 +71,13 @@ impl View {
     }
 
     /// The view `W_i` of the paper: the same cyclic sequence read starting
-    /// from interval `i`.
+    /// from interval `i`.  The empty view is fixed by every rotation.
     #[must_use]
     pub fn rotation(&self, i: usize) -> View {
         let k = self.gaps.len();
+        if k == 0 {
+            return self.clone();
+        }
         let i = i % k;
         let mut gaps = Vec::with_capacity(k);
         gaps.extend_from_slice(&self.gaps[i..]);
@@ -84,11 +95,15 @@ impl View {
     }
 
     /// The paper's `W̄ = (q_0, q_{k-1}, q_{k-2}, ..., q_1)`: the reflection of
-    /// the view that keeps the first interval in place.
+    /// the view that keeps the first interval in place.  The empty view is
+    /// its own reflection.
     #[must_use]
     pub fn reflection(&self) -> View {
+        let Some(&first) = self.gaps.first() else {
+            return self.clone();
+        };
         let mut gaps = Vec::with_capacity(self.gaps.len());
-        gaps.push(self.gaps[0]);
+        gaps.push(first);
         gaps.extend(self.gaps[1..].iter().rev().copied());
         View { gaps }
     }
@@ -107,14 +122,16 @@ impl View {
 
     /// Starting index of the lexicographically smallest rotation, reading the
     /// cyclic word through `gap` (an index-to-value accessor, so callers can
-    /// scan the reversed word without materializing it).
+    /// scan the reversed word — or any encoded word that is not a `View` at
+    /// all, like the engine's canonical state signatures — without
+    /// materializing it).  Returns 0 for the empty word.
     ///
     /// This is the O(k)-time, O(1)-space least-rotation algorithm (Booth's
     /// two-candidate variant): `i` and `j` are the two live candidate start
     /// positions, `len` the length of their common prefix.  A mismatch at
     /// offset `len` eliminates the larger candidate *and* every start inside
     /// its matched prefix.
-    fn least_rotation_start(k: usize, gap: impl Fn(usize) -> usize) -> usize {
+    pub fn least_rotation_start(k: usize, gap: impl Fn(usize) -> usize) -> usize {
         let (mut i, mut j, mut len) = (0usize, 1usize, 0usize);
         while i < k && j < k && len < k {
             let a = gap((i + len) % k);
@@ -150,10 +167,14 @@ impl View {
     }
 
     /// Reference implementation of [`View::min_rotation`] that materializes
-    /// every rotation; kept for equivalence tests and benchmarks.
+    /// every rotation; kept for equivalence tests and benchmarks.  The empty
+    /// view has no non-trivial rotation and is returned unchanged.
     #[must_use]
     pub fn min_rotation_naive(&self) -> View {
-        self.all_rotations().into_iter().min().expect("non-empty")
+        self.all_rotations()
+            .into_iter()
+            .min()
+            .unwrap_or_else(|| self.clone())
     }
 
     /// The lexicographically smallest view obtainable by rotating and/or
@@ -200,7 +221,8 @@ impl View {
     }
 
     /// The smallest non-trivial period of the cyclic gap sequence, in number
-    /// of intervals; equals `len()` iff the view is aperiodic.
+    /// of intervals; equals `len()` iff the view is aperiodic.  The empty
+    /// view has `period() == 0 == len()` and is therefore aperiodic.
     ///
     /// Computed from the KMP border array in O(k): the smallest period of a
     /// word that divides its length is `k - border(k)`, and a cyclic word has
@@ -209,6 +231,9 @@ impl View {
     pub fn period(&self) -> usize {
         let g = &self.gaps;
         let k = g.len();
+        if k == 0 {
+            return 0;
+        }
         let mut border = vec![0usize; k];
         for i in 1..k {
             let mut b = border[i - 1];
@@ -287,9 +312,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one interval")]
-    fn rejects_empty_views() {
-        let _ = View::new(vec![]);
+    fn empty_view_contract_covers_every_method() {
+        // The degenerate k = 0 cyclic word: aperiodic (period 0), symmetric,
+        // fixed by every rotation/reflection — and, crucially, no method
+        // panics (period/is_periodic/min_rotation_naive all used to).
+        let e = View::new(vec![]);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert_eq!(e.gaps(), &[] as &[usize]);
+        assert_eq!(e.total_gap(), 0);
+        assert_eq!(e.rotation(0), e);
+        assert_eq!(e.rotation(17), e);
+        assert_eq!(e.opposite_direction(), e);
+        assert_eq!(e.reflection(), e);
+        assert_eq!(e.reflection_rotation(3), e);
+        assert_eq!(e.all_rotations(), Vec::<View>::new());
+        assert_eq!(e.min_rotation(), e);
+        assert_eq!(e.min_rotation_naive(), e);
+        assert_eq!(e.supermin(), e);
+        assert_eq!(e.supermin_naive(), e);
+        assert_eq!(e.period(), 0, "empty is aperiodic with period 0 = len");
+        assert!(!e.is_periodic());
+        assert!(e.is_symmetric());
+        assert!(!e.is_rigid(), "symmetric, hence not rigid");
+        assert_eq!(View::least_rotation_start(0, |_| unreachable!()), 0);
+        assert_eq!(e.to_string(), "()");
+    }
+
+    #[test]
+    fn singleton_view_contract_covers_every_method() {
+        let s = v(&[5]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.total_gap(), 5);
+        assert_eq!(s.gap(0), 5);
+        assert_eq!(s.rotation(0), s);
+        assert_eq!(s.rotation(4), s);
+        assert_eq!(s.opposite_direction(), s);
+        assert_eq!(s.reflection(), s);
+        assert_eq!(s.reflection_rotation(2), s);
+        assert_eq!(s.all_rotations(), vec![s.clone()]);
+        assert_eq!(s.min_rotation(), s);
+        assert_eq!(s.min_rotation_naive(), s);
+        assert_eq!(s.supermin(), s);
+        assert_eq!(s.supermin_naive(), s);
+        assert_eq!(s.period(), 1, "the only period of a singleton is trivial");
+        assert!(!s.is_periodic());
+        assert!(s.is_symmetric());
+        assert!(!s.is_rigid());
+        assert_eq!(s.to_string(), "(5)");
     }
 
     #[test]

@@ -4,21 +4,31 @@
 use rr_ring::{Configuration, EdgeId, NodeId, Ring};
 use serde::{Deserialize, Serialize};
 
-/// The contamination state of every edge of the ring.
+/// The contamination state of every edge of the ring, stored as a 64-bit set
+/// (bit `e` set ⇔ edge `e` clear).
+///
+/// The bitset bounds the ring at 64 edges — far beyond any instance the
+/// searching monitors or the exhaustive model checker meet — and makes the
+/// state `Copy`-cheap: cloning it per explored edge and converting to/from
+/// the model checker's 64-bit auxiliary-state key
+/// ([`Contamination::clear_bits`] / [`Contamination::from_clear_bits`]) are
+/// free.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Contamination {
     ring: Ring,
-    clear: Vec<bool>,
+    clear: u64,
 }
 
 impl Contamination {
     /// All edges contaminated (the initial state of the graph searching task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has more than 64 edges (the bitset width).
     #[must_use]
     pub fn all_contaminated(ring: Ring) -> Self {
-        Contamination {
-            ring,
-            clear: vec![false; ring.len()],
-        }
+        assert!(ring.len() <= 64, "contamination bitset packs 64 edges");
+        Contamination { ring, clear: 0 }
     }
 
     /// All edges contaminated, then immediately updated with the guards of the
@@ -30,6 +40,32 @@ impl Contamination {
         c
     }
 
+    /// Rebuilds a contamination state from the 64-bit clear-edge set
+    /// produced by [`Contamination::clear_bits`] — the exact inverse, used by
+    /// the model checker to store only the bits next to each packed engine
+    /// state and rehydrate the full state on expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has more than 64 edges or `bits` sets an edge the
+    /// ring does not have.
+    #[must_use]
+    pub fn from_clear_bits(ring: Ring, bits: u64) -> Self {
+        assert!(ring.len() <= 64, "contamination bitset packs 64 edges");
+        assert!(
+            ring.len() == 64 || bits < 1u64 << ring.len(),
+            "clear bits beyond the ring's edges"
+        );
+        Contamination { ring, clear: bits }
+    }
+
+    /// The clear-edge set as raw bits (bit `e` set ⇔ edge `e` clear); the
+    /// hashable key the model checker stores per state.
+    #[must_use]
+    pub fn clear_bits(&self) -> u64 {
+        self.clear
+    }
+
     /// The ring this state refers to.
     #[must_use]
     pub fn ring(&self) -> Ring {
@@ -39,34 +75,60 @@ impl Contamination {
     /// Whether edge `e` is currently clear.
     #[must_use]
     pub fn is_clear(&self, e: EdgeId) -> bool {
-        self.clear[e]
+        self.clear >> e & 1 != 0
     }
 
     /// Number of currently clear edges.
     #[must_use]
     pub fn clear_count(&self) -> usize {
-        self.clear.iter().filter(|&&c| c).count()
+        self.clear.count_ones() as usize
     }
 
     /// Whether every edge of the ring is simultaneously clear.
     #[must_use]
     pub fn all_clear(&self) -> bool {
-        self.clear.iter().all(|&c| c)
+        self.clear == self.full_mask()
     }
 
     /// The currently contaminated edges.
     #[must_use]
     pub fn contaminated_edges(&self) -> Vec<EdgeId> {
-        (0..self.ring.len()).filter(|&e| !self.clear[e]).collect()
+        (0..self.ring.len())
+            .filter(|&e| !self.is_clear(e))
+            .collect()
     }
 
     /// Resets every edge to contaminated (used to check the *perpetual*
     /// property: restart the contamination at an arbitrary point of the run
     /// and verify that the strategy clears the ring again).
     pub fn reset(&mut self) {
-        self.clear.iter_mut().for_each(|c| *c = false);
+        self.clear = 0;
     }
 
+    /// Bitmask with one set bit per edge of the ring.
+    fn full_mask(&self) -> u64 {
+        if self.ring.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ring.len()) - 1
+        }
+    }
+}
+
+/// The occupancy bitmask of a configuration (bit `v` set ⇔ node `v`
+/// occupied); the form the bit-parallel contamination operators consume.
+///
+/// # Panics
+///
+/// Panics if the ring has more than 64 nodes.
+#[must_use]
+pub fn occupied_mask(config: &Configuration) -> u64 {
+    let n = config.n();
+    assert!(n <= 64, "occupancy bitmask packs 64 nodes");
+    (0..n).fold(0u64, |m, v| m | u64::from(config.is_occupied(v)) << v)
+}
+
+impl Contamination {
     /// Marks clear the edges whose two endpoints are both occupied, then
     /// applies the recontamination closure.  Call this on the initial
     /// configuration and after any externally applied change.
@@ -75,7 +137,7 @@ impl Contamination {
         for e in 0..self.ring.len() {
             let (u, v) = self.ring.edge_endpoints(e);
             if config.is_occupied(u) && config.is_occupied(v) {
-                self.clear[e] = true;
+                self.clear |= 1 << e;
             }
         }
         self.recontaminate(config);
@@ -84,40 +146,76 @@ impl Contamination {
     /// Observes a robot move from `from` to `to` resulting in configuration
     /// `after`: the traversed edge is cleared, guarded edges are cleared, and
     /// the recontamination closure is applied.
+    ///
+    /// The guard scan is deliberately the full
+    /// [`Contamination::observe_configuration`], not an update local to
+    /// `to`: within one SSYNC round every move record is observed against
+    /// the *final* post-round configuration, so the edges newly guarded by
+    /// `after` can sit anywhere on the ring (next to the other movers of
+    /// the round), not just at this move's target.
     pub fn observe_move(&mut self, from: NodeId, to: NodeId, after: &Configuration) {
         debug_assert_eq!(after.ring(), self.ring);
         let traversed = self.ring.edge_between(from, to);
-        self.clear[traversed] = true;
+        self.clear |= 1 << traversed;
         self.observe_configuration(after);
     }
 
-    /// The recontamination closure: repeatedly, a clear edge that shares an
-    /// unoccupied endpoint with a contaminated edge becomes contaminated,
+    /// Whether this state is a fixpoint of the recontamination rule — i.e.
+    /// [`Contamination::recontaminate`] would change nothing: no clear edge
+    /// shares an unoccupied endpoint with a contaminated edge.  Equivalent
+    /// to cloning and recontaminating, without the clone.  The model
+    /// checker's safety sweep asks this on every explored edge.
+    #[must_use]
+    pub fn is_recontamination_closed(&self, config: &Configuration) -> bool {
+        debug_assert_eq!(config.ring(), self.ring);
+        self.is_recontamination_closed_mask(occupied_mask(config))
+    }
+
+    /// [`Contamination::is_recontamination_closed`] against a precomputed
+    /// occupancy bitmask (bit `v` set ⇔ node `v` occupied) — O(1): edges
+    /// `e-1` and `e` share node `e`, so the state is closed exactly when no
+    /// unoccupied node sits between a clear and a contaminated edge:
+    /// `(clear ⊕ rot1(clear)) ∧ ¬occupied = 0`.
+    #[must_use]
+    pub fn is_recontamination_closed_mask(&self, occupied: u64) -> bool {
+        let n = self.ring.len();
+        let mask = self.full_mask();
+        // Bit e of `prev`: whether edge e-1 (cyclically) is clear.
+        let prev = ((self.clear << 1) | (self.clear >> (n - 1))) & mask;
+        (self.clear ^ prev) & !occupied & mask == 0
+    }
+
+    /// The recontamination closure: a clear edge that shares an unoccupied
+    /// endpoint with a contaminated edge becomes contaminated, transitively,
     /// until a fixpoint is reached.
+    ///
+    /// Contamination propagates between two edges exactly when their common
+    /// node is unoccupied, so the maximal runs of edges joined by unoccupied
+    /// interior nodes (delimited by occupied nodes) are all-or-nothing — a
+    /// run containing any contaminated edge is wholly contaminated, a run of
+    /// clear edges guarded at both ends stays clear.  Computed bit-parallel
+    /// over the whole edge set; the model checker runs this closure on every
+    /// move of every explored edge, so the constants matter.
     pub fn recontaminate(&mut self, config: &Configuration) {
         debug_assert_eq!(config.ring(), self.ring);
         let n = self.ring.len();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for e in 0..n {
-                if self.clear[e] {
-                    continue;
-                }
-                // Edge e is contaminated: spread through its unoccupied endpoints.
-                let (u, v) = self.ring.edge_endpoints(e);
-                for w in [u, v] {
-                    if config.is_occupied(w) {
-                        continue;
-                    }
-                    for other in self.ring.incident_edges(w) {
-                        if other != e && self.clear[other] {
-                            self.clear[other] = false;
-                            changed = true;
-                        }
-                    }
-                }
+        let mask = self.full_mask();
+        let through = !occupied_mask(config) & mask; // spread-through nodes
+                                                     // Bit-parallel spread to a fixpoint: edges e-1 and e share node e,
+                                                     // so a contaminated edge e wipes e-1 when node e is unoccupied
+                                                     // (`ror1`), and a contaminated e-1 wipes e when node e is unoccupied
+                                                     // (`rol1 ∧ through`).  Runs shrink from both ends every round, so
+                                                     // the loop converges in at most ⌈n/2⌉ iterations — in practice a
+                                                     // handful — each O(1).
+        loop {
+            let cont = !self.clear & mask;
+            let from_next = ((cont & through) >> 1) | ((cont & through & 1) << (n - 1));
+            let from_prev = (((cont << 1) | (cont >> (n - 1))) & mask) & through;
+            let spread = (from_next | from_prev) & self.clear;
+            if spread == 0 {
+                return;
             }
+            self.clear &= !spread;
         }
     }
 }
@@ -196,10 +294,8 @@ mod tests {
         // Robots at 0 and 4 guard both ends of the cleared arc 0–1–2–3–4:
         // the arc stays clear.
         let c = cfg(8, &[0, 4]);
-        let mut cont = Contamination::all_contaminated(c.ring());
-        for e in 0..4 {
-            cont.clear[e] = true;
-        }
+        // Edges 0..4 clear: the arc 0–1–2–3–4.
+        let mut cont = Contamination::from_clear_bits(c.ring(), 0b1111);
         cont.recontaminate(&c);
         assert_eq!(cont.clear_count(), 4);
         assert!(cont.is_clear(0) && cont.is_clear(3));
@@ -212,10 +308,7 @@ mod tests {
         // whole arc (node 0 is occupied but the creep comes from the other
         // side of every edge).
         let c = cfg(8, &[0, 5]);
-        let mut cont = Contamination::all_contaminated(c.ring());
-        for e in 0..4 {
-            cont.clear[e] = true;
-        }
+        let mut cont = Contamination::from_clear_bits(c.ring(), 0b1111);
         cont.recontaminate(&c);
         assert_eq!(cont.clear_count(), 0);
     }
@@ -271,6 +364,81 @@ mod tests {
         c.move_robot(1, 2).unwrap();
         cont.observe_move(1, 2, &c);
         assert!(cont.all_clear());
+    }
+
+    #[test]
+    fn closed_predicate_matches_clone_and_recontaminate() {
+        // Over every clear-edge subset of a couple of occupancies, the
+        // allocation-free predicate agrees with the definitional check.
+        for occupied in [&[0usize, 3][..], &[0, 1, 4], &[2]] {
+            let c = cfg(6, occupied);
+            for bits in 0u64..(1 << 6) {
+                let cont = Contamination::from_clear_bits(c.ring(), bits);
+                let mut closed = cont.clone();
+                closed.recontaminate(&c);
+                assert_eq!(
+                    cont.is_recontamination_closed(&c),
+                    closed == cont,
+                    "occupied={occupied:?} bits={bits:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observe_move_clears_guards_created_by_other_movers_of_the_round() {
+        // SSYNC round: robots at {1, 3, 6} on an 8-ring, with 6 → 5 and
+        // 3 → 2 moving simultaneously; every move record is observed
+        // against the FINAL configuration {1, 2, 5}.  While observing the
+        // 6 → 5 record, the edge (1, 2) — guarded only because the *other*
+        // mover arrived at 2 — must be cleared too: the guard scan is
+        // global, not local to this move's target.
+        let before = cfg(8, &[1, 3, 6]);
+        let mut after = before.clone();
+        after.move_robot(6, 5).unwrap();
+        after.move_robot(3, 2).unwrap();
+        let mut cont = Contamination::initial(&before);
+        cont.observe_move(6, 5, &after);
+        assert!(
+            cont.is_clear(1),
+            "edge (1,2), guarded by the other mover's arrival, must be clear"
+        );
+        // And the state equals the definitional clear-then-observe form.
+        let mut reference = Contamination::initial(&before);
+        reference = Contamination::from_clear_bits(
+            reference.ring(),
+            reference.clear_bits() | 1 << 5, // traversed edge (5,6)
+        );
+        reference.observe_configuration(&after);
+        assert_eq!(cont, reference);
+    }
+
+    #[test]
+    fn clear_bits_round_trips_exactly() {
+        // Every mid-run state converts to bits and back without loss.
+        let n = 7;
+        let mut c = cfg(n, &[0, 1]);
+        let mut cont = Contamination::initial(&c);
+        let mut pos = 1;
+        while pos != n - 1 {
+            let rebuilt = Contamination::from_clear_bits(cont.ring(), cont.clear_bits());
+            assert_eq!(rebuilt, cont);
+            let next = pos + 1;
+            c.move_robot(pos, next).unwrap();
+            cont.observe_move(pos, next, &c);
+            pos = next;
+        }
+        assert!(cont.all_clear());
+        assert_eq!(
+            Contamination::from_clear_bits(cont.ring(), cont.clear_bits()),
+            cont
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the ring's edges")]
+    fn from_clear_bits_rejects_out_of_range_bits() {
+        let _ = Contamination::from_clear_bits(Ring::new(6), 1 << 6);
     }
 
     #[test]

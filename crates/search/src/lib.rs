@@ -25,6 +25,6 @@ pub mod contamination;
 pub mod exploration;
 pub mod monitor;
 
-pub use contamination::Contamination;
+pub use contamination::{occupied_mask, Contamination};
 pub use exploration::ExplorationTracker;
 pub use monitor::{GatheringMonitor, PositionTracker, SearchMonitors};
