@@ -1,0 +1,324 @@
+//! E12 — engine-wide throughput of the CORDA stepping pipeline.
+//!
+//! Where E3–E6 verify *what* the protocols do and E10/E11 prove it, this
+//! experiment measures *how fast* the engine does it: scheduler steps per
+//! second of `Engine::step` across ring sizes, team sizes and scheduler
+//! families, for both Look pipelines:
+//!
+//! * `LookPath::Incremental` — the O(k), zero-allocation pipeline (views
+//!   read off the configuration's maintained occupancy cycle into
+//!   engine-owned scratch buffers);
+//! * `LookPath::ScanBaseline` — the pre-incremental O(n)-walk, allocating
+//!   pipeline, kept alive exactly so this binary can measure the speedup
+//!   against a live, provably equivalent baseline (each cell asserts the two
+//!   runs agree on every deterministic counter and on the final robot
+//!   positions; `ok` is false otherwise).
+//!
+//! A third measurement per cell — a Look/Execute micro-loop over prebuilt
+//! scheduler steps and a reused `StepReport` — isolates the Look phase from
+//! scheduler overhead and, thanks to the counting global allocator installed
+//! by this binary, pins the "zero allocations per Look" claim as a measured
+//! number (`look_allocs_per_kstep`).
+//!
+//! The workload is the `GreedyGapWalker` with exclusivity off and traces
+//! disabled: every robot keeps moving forever, so the engine is saturated
+//! with fresh Look + Move work on every cell.
+//!
+//! ```text
+//! exp_throughput [--quick] [--json <path>] [--seed <u64>] [--sequential]
+//!                [--steps <u64>]
+//! ```
+//!
+//! Cells always run sequentially (parallel timing would distort the
+//! per-second figures); `--sequential` is accepted for CLI uniformity.
+//! Records go to the JSON report in `rr-sweep/v1` schema
+//! (`ThroughputRecord`); the `*_per_sec` fields are machine-dependent and
+//! exist to accumulate the perf trajectory in the CI artifacts.
+
+// The counting allocator is the one purposeful use of `unsafe` in the
+// workspace: it forwards to `System` verbatim and only bumps a counter.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rr_bench::rigid_start;
+use rr_bench::sweep::{exit_if_failed, ExpArgs, ThroughputRecord};
+use rr_corda::protocol::GreedyGapWalker;
+use rr_corda::{
+    Engine, EngineOptions, LookPath, MultiplicityCapability, SchedulerKind, SchedulerStep,
+    StepReport, TraceMode, ViewOrder,
+};
+use rr_ring::NodeId;
+
+/// Global allocator that counts allocation calls (alloc, alloc_zeroed,
+/// realloc) and otherwise forwards to [`System`].  `allocs_per_kstep` and
+/// `look_allocs_per_kstep` in the records are read off this counter.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards the exact arguments to `System`, whose
+// `GlobalAlloc` contract we inherit unchanged; the counter update has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds `layout` validity.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds `layout` validity.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the realloc contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller upholds the dealloc contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// The `(n, k)` grid: every cross product cell with room for a rigid
+/// configuration (`k + 2 < n`).
+fn grid(quick: bool) -> Vec<(usize, usize)> {
+    let (ns, ks): (&[usize], &[usize]) = if quick {
+        (&[16, 256], &[4, 8])
+    } else {
+        (&[16, 64, 256, 1024], &[4, 8, 16])
+    };
+    let mut cells = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            if k + 2 < n {
+                cells.push((n, k));
+            }
+        }
+    }
+    cells
+}
+
+/// Engine options of the throughput workload for one Look pipeline.
+fn workload_options(path: LookPath) -> EngineOptions {
+    EngineOptions {
+        capability: MultiplicityCapability::None,
+        enforce_exclusivity: false,
+        trace: TraceMode::Disabled,
+        view_order: ViewOrder::CwFirst,
+        look_path: path,
+    }
+}
+
+/// Deterministic per-cell seed, derived from the root seed and the cell
+/// coordinates exactly like `Sweep::jobs` derives job seeds.
+fn cell_seed(root: u64, n: usize, k: usize, scheduler_index: usize) -> u64 {
+    let coords = (n as u64) << 40 | (k as u64) << 24 | (scheduler_index as u64) << 16;
+    rand::RngCore::next_u64(&mut rand::SplitMix64::new(root ^ coords))
+}
+
+/// One timed scheduler-driven engine run.
+struct PipelineRun {
+    steps: u64,
+    looks: u64,
+    moves: u64,
+    nanos: u128,
+    allocs: u64,
+    positions: Vec<NodeId>,
+}
+
+fn run_pipeline(
+    n: usize,
+    k: usize,
+    kind: SchedulerKind,
+    seed: u64,
+    budget: u64,
+    path: LookPath,
+) -> PipelineRun {
+    let start = rigid_start(n, k);
+    let mut engine =
+        Engine::new(GreedyGapWalker, start, workload_options(path)).expect("valid workload");
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    let report = kind.with(seed, |scheduler| {
+        engine.run_until(scheduler, budget, |_| false)
+    });
+    let nanos = started.elapsed().as_nanos();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    PipelineRun {
+        steps: report.steps,
+        looks: engine.look_count(),
+        moves: engine.move_count(),
+        nanos,
+        allocs,
+        positions: engine.positions(),
+    }
+}
+
+/// The Look/Execute micro-loop: alternating `SchedulerStep::Look` /
+/// `SchedulerStep::Execute` over prebuilt steps and a reused report, so the
+/// measured loop contains nothing but the Look pipeline and the move
+/// executor.  Returns (steps, looks, nanos, allocs) measured *after* one
+/// warm-up round has grown every scratch buffer to its final capacity.
+fn run_look_microloop(n: usize, k: usize, budget: u64) -> (u64, u64, u128, u64) {
+    let start = rigid_start(n, k);
+    let mut engine = Engine::new(
+        GreedyGapWalker,
+        start,
+        workload_options(LookPath::Incremental),
+    )
+    .expect("valid workload");
+    let look_steps: Vec<SchedulerStep> = (0..k).map(SchedulerStep::Look).collect();
+    let exec_steps: Vec<SchedulerStep> = (0..k).map(SchedulerStep::Execute).collect();
+    let mut report = StepReport::default();
+    let step_pair = |engine: &mut Engine<GreedyGapWalker>, report: &mut StepReport, r: usize| {
+        engine
+            .step_into(&look_steps[r], &mut (), report)
+            .expect("look step");
+        engine
+            .step_into(&exec_steps[r], &mut (), report)
+            .expect("execute step");
+    };
+    // Warm-up round: grows the scratch views, the report's move vector and
+    // the per-robot bookkeeping to their steady-state capacities.
+    for r in 0..k {
+        step_pair(&mut engine, &mut report, r);
+    }
+    let looks_before = engine.look_count();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    let mut steps = 0u64;
+    'driving: loop {
+        for r in 0..k {
+            step_pair(&mut engine, &mut report, r);
+            steps += 2;
+            if steps >= budget {
+                break 'driving;
+            }
+        }
+    }
+    let nanos = started.elapsed().as_nanos();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    (steps, engine.look_count() - looks_before, nanos, allocs)
+}
+
+fn per_sec(count: u64, nanos: u128) -> u64 {
+    u64::try_from(u128::from(count) * 1_000_000_000 / nanos.max(1)).unwrap_or(u64::MAX)
+}
+
+fn main() {
+    let args = ExpArgs::parse(0xE12);
+    let budget: u64 = args
+        .value("--steps")
+        .map_or(if args.quick { 20_000 } else { 100_000 }, |s| {
+            s.parse().expect("--steps takes a u64")
+        });
+
+    let mut records = Vec::new();
+    for (n, k) in grid(args.quick) {
+        for (si, &kind) in SchedulerKind::ALL.iter().enumerate() {
+            let seed = cell_seed(args.root_seed, n, k, si);
+            let cell_started = Instant::now();
+            let incremental = run_pipeline(n, k, kind, seed, budget, LookPath::Incremental);
+            let baseline = run_pipeline(n, k, kind, seed, budget, LookPath::ScanBaseline);
+            let (micro_steps, micro_looks, micro_nanos, micro_allocs) =
+                run_look_microloop(n, k, budget);
+
+            let agree = incremental.steps == baseline.steps
+                && incremental.looks == baseline.looks
+                && incremental.moves == baseline.moves
+                && incremental.positions == baseline.positions;
+            let steps_per_sec = per_sec(incremental.steps, incremental.nanos);
+            let baseline_steps_per_sec = per_sec(baseline.steps, baseline.nanos);
+            records.push(ThroughputRecord {
+                experiment: "E12".to_string(),
+                task: "throughput".to_string(),
+                n,
+                k,
+                scheduler: kind.name().to_string(),
+                seed,
+                steps: incremental.steps,
+                looks: incremental.looks,
+                moves: incremental.moves,
+                steps_per_sec,
+                baseline_steps_per_sec,
+                speedup_x100: steps_per_sec * 100 / baseline_steps_per_sec.max(1),
+                looks_per_sec: per_sec(micro_looks, micro_nanos),
+                allocs_per_kstep: incremental.allocs * 1000 / incremental.steps.max(1),
+                look_allocs_per_kstep: micro_allocs * 1000 / micro_steps.max(1),
+                ok: agree,
+                detail: if agree {
+                    String::new()
+                } else {
+                    format!(
+                        "pipelines diverged: incremental (steps {}, looks {}, moves {}) \
+                         vs baseline (steps {}, looks {}, moves {})",
+                        incremental.steps,
+                        incremental.looks,
+                        incremental.moves,
+                        baseline.steps,
+                        baseline.looks,
+                        baseline.moves
+                    )
+                },
+                wall_nanos: cell_started.elapsed().as_nanos(),
+            });
+        }
+    }
+
+    println!("# E12 — engine throughput: incremental O(k) Look pipeline vs O(n) scan baseline");
+    println!("# budget {budget} scheduler steps per run; speedup = incremental / baseline");
+    println!(
+        "{:>5} {:>3} {:>12} {:>12} {:>12} {:>8} {:>11} {:>10}",
+        "n", "k", "scheduler", "steps/s", "base/s", "speedup", "looks/s", "lk-alloc/k"
+    );
+    for r in &records {
+        println!(
+            "{:>5} {:>3} {:>12} {:>12} {:>12} {:>7}x {:>11} {:>10}",
+            r.n,
+            r.k,
+            r.scheduler,
+            r.steps_per_sec,
+            r.baseline_steps_per_sec,
+            format!("{}.{:02}", r.speedup_x100 / 100, r.speedup_x100 % 100),
+            r.looks_per_sec,
+            r.look_allocs_per_kstep,
+        );
+    }
+    let min_large = records
+        .iter()
+        .filter(|r| r.n >= 256)
+        .map(|r| r.speedup_x100)
+        .min();
+    if let Some(min) = min_large {
+        println!();
+        println!(
+            "# minimum speedup on n >= 256 cells: {}.{:02}x (acceptance target: >= 3x)",
+            min / 100,
+            min % 100
+        );
+    }
+    let zero_alloc = records.iter().all(|r| r.look_allocs_per_kstep == 0);
+    println!(
+        "# look micro-loop allocations: {}",
+        if zero_alloc {
+            "0 per step on every cell (zero-allocation Look pipeline)"
+        } else {
+            "NON-ZERO on some cell — see look_allocs_per_kstep"
+        }
+    );
+
+    args.write_json("E12", &records);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    exit_if_failed("E12", failures, records.len());
+}

@@ -186,6 +186,66 @@ pub struct ModelCheckRecord {
     pub wall_nanos: u128,
 }
 
+/// One engine-throughput cell (schema `rr-sweep/v1`, experiment `E12`).
+///
+/// Written by `exp_throughput`: a fixed scheduler-step budget is driven
+/// through `Engine::step` twice per cell — once on the incremental O(k)
+/// Look pipeline and once on the `LookPath::ScanBaseline` pre-incremental
+/// pipeline — plus a Look/Execute micro-loop that isolates the Look phase.
+/// The two pipelines must agree on every deterministic counter and on the
+/// final configuration (`ok` is false otherwise), so the speedup figures
+/// are measured against a provably equivalent baseline.  Like
+/// `states_per_sec` in [`ModelCheckRecord`], the `*_per_sec` and allocation
+/// fields are machine-dependent: they accumulate the perf trajectory in the
+/// CI artifacts and are excluded from cross-run byte comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ThroughputRecord {
+    /// Experiment identifier (e.g. "E12").
+    pub experiment: String,
+    /// Workload slug ("throughput": greedy walker, exclusivity off).
+    pub task: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Scheduler name ("round-robin", "ssync", "async").
+    pub scheduler: String,
+    /// The derived per-cell seed the scheduler was built from.
+    pub seed: u64,
+    /// Scheduler steps applied per pipeline run (the cell's budget).
+    pub steps: u64,
+    /// Fresh Look + Compute phases performed during the scheduler run.
+    pub looks: u64,
+    /// Robot moves executed during the scheduler run.
+    pub moves: u64,
+    /// Scheduler steps per second on the incremental pipeline.
+    pub steps_per_sec: u64,
+    /// Scheduler steps per second on the `ScanBaseline` pipeline.
+    pub baseline_steps_per_sec: u64,
+    /// Incremental / baseline steps-per-second ratio, in hundredths
+    /// (`350` = 3.5×).
+    pub speedup_x100: u64,
+    /// Looks per second in the Look/Execute micro-loop (Look phase isolated
+    /// from scheduler overhead).
+    pub looks_per_sec: u64,
+    /// Heap allocations per 1000 scheduler steps over the full engine loop
+    /// (includes the scheduler's step materialization); 0 when the binary's
+    /// counting allocator is not installed.
+    pub allocs_per_kstep: u64,
+    /// Heap allocations per 1000 steps of the Look/Execute micro-loop — the
+    /// zero-allocation Look pipeline claim, measured.
+    pub look_allocs_per_kstep: u64,
+    /// Whether the incremental and baseline runs agreed on every
+    /// deterministic counter and the final configuration.
+    pub ok: bool,
+    /// Failure detail (empty on success).
+    pub detail: String,
+    /// Wall-clock nanoseconds for the cell (not serialized; machine
+    /// dependent).
+    #[serde(skip)]
+    pub wall_nanos: u128,
+}
+
 impl Sweep {
     /// Expands the grid into batch jobs, in deterministic declaration order
     /// (instances outermost, then schedulers, then seeds).

@@ -15,7 +15,7 @@
 
 use std::path::PathBuf;
 
-use rr_bench::sweep::{json_report, ModelCheckRecord, RunRecord};
+use rr_bench::sweep::{json_report, ModelCheckRecord, RunRecord, ThroughputRecord};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -130,6 +130,67 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             wall_nanos: 55,
         },
     ]
+}
+
+fn sample_throughput_records() -> Vec<ThroughputRecord> {
+    vec![
+        ThroughputRecord {
+            experiment: "E-golden".into(),
+            task: "throughput".into(),
+            n: 256,
+            k: 8,
+            scheduler: "round-robin".into(),
+            seed: 0xBEEF,
+            steps: 100_000,
+            looks: 50_000,
+            moves: 49_999,
+            steps_per_sec: 9_000_000,
+            baseline_steps_per_sec: 500_000,
+            speedup_x100: 1_800,
+            looks_per_sec: 20_000_000,
+            allocs_per_kstep: 1_000,
+            look_allocs_per_kstep: 0,
+            ok: true,
+            detail: String::new(),
+            wall_nanos: 123,
+        },
+        ThroughputRecord {
+            experiment: "E-golden".into(),
+            task: "throughput".into(),
+            n: 16,
+            k: 4,
+            scheduler: "async".into(),
+            seed: 7,
+            steps: 100,
+            looks: 60,
+            moves: 40,
+            steps_per_sec: 1,
+            baseline_steps_per_sec: 1,
+            speedup_x100: 100,
+            looks_per_sec: 2,
+            allocs_per_kstep: 990,
+            look_allocs_per_kstep: 3,
+            ok: false,
+            detail: "pipelines diverged: incremental (steps 100, looks 60, moves 40) \
+                     vs baseline (steps 100, looks 61, moves 39)"
+                .into(),
+            wall_nanos: 55,
+        },
+    ]
+}
+
+#[test]
+fn throughput_record_report_matches_golden_bytes() {
+    let json = json_report("E-golden", 18, &sample_throughput_records()).unwrap() + "\n";
+    assert_matches_golden("rr_sweep_v1_throughput.json", &json);
+}
+
+#[test]
+fn throughput_record_skips_wall_time() {
+    let json = json_report("E-golden", 18, &sample_throughput_records()).unwrap();
+    assert!(!json.contains("wall_nanos"), "skipped field leaked");
+    assert!(json.contains("\"speedup_x100\":1800"));
+    assert!(json.contains("\"look_allocs_per_kstep\":0"));
 }
 
 #[test]

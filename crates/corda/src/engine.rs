@@ -20,7 +20,7 @@ use crate::protocol::{Decision, Protocol, ViewIndex};
 use crate::robot::{Phase, RobotId, RobotState};
 use crate::scheduler::{Scheduler, SchedulerStep, SchedulerView};
 use crate::snapshot::{MultiplicityCapability, Snapshot};
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, Trace, TraceMode};
 
 /// Which global direction is presented as `views[0]` of a snapshot.
 ///
@@ -38,6 +38,22 @@ pub enum ViewOrder {
     Alternating,
 }
 
+/// Which implementation the Look phase uses to materialize snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LookPath {
+    /// O(k) and allocation-free: both views (and the `Global` multiplicity
+    /// flags) are read off the configuration's incrementally maintained
+    /// occupancy cycle into engine-owned scratch buffers
+    /// ([`Snapshot::capture_into`]).  The default.
+    #[default]
+    Incremental,
+    /// The pre-incremental pipeline — O(n) ring scans and two heap
+    /// allocations per Look ([`Snapshot::capture_scan`]).  Observable
+    /// behaviour is identical; this exists so the E12 throughput experiment
+    /// can measure the incremental pipeline against a live baseline.
+    ScanBaseline,
+}
+
 /// Options controlling an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineOptions {
@@ -46,10 +62,13 @@ pub struct EngineOptions {
     /// Whether a move onto an occupied node is a fatal error (true for the
     /// exclusive tasks, false for gathering).
     pub enforce_exclusivity: bool,
-    /// Whether to record an event [`Trace`].
-    pub record_trace: bool,
+    /// Whether to record an event [`Trace`] (disabled by default: hot loops
+    /// skip event construction entirely).
+    pub trace: TraceMode,
     /// Snapshot view ordering policy.
     pub view_order: ViewOrder,
+    /// Look-phase implementation (incremental O(k) by default).
+    pub look_path: LookPath,
 }
 
 /// Former name of [`EngineOptions`], kept for continuity.
@@ -60,8 +79,9 @@ impl Default for EngineOptions {
         EngineOptions {
             capability: MultiplicityCapability::None,
             enforce_exclusivity: true,
-            record_trace: false,
+            trace: TraceMode::Disabled,
             view_order: ViewOrder::CwFirst,
+            look_path: LookPath::Incremental,
         }
     }
 }
@@ -81,7 +101,7 @@ impl EngineOptions {
     /// Enables trace recording.
     #[must_use]
     pub fn with_trace(mut self) -> Self {
-        self.record_trace = true;
+        self.trace = TraceMode::Recording;
         self
     }
 
@@ -89,6 +109,13 @@ impl EngineOptions {
     #[must_use]
     pub fn with_view_order(mut self, order: ViewOrder) -> Self {
         self.view_order = order;
+        self
+    }
+
+    /// Sets the Look-phase implementation.
+    #[must_use]
+    pub fn with_look_path(mut self, path: LookPath) -> Self {
+        self.look_path = path;
         self
     }
 }
@@ -325,7 +352,18 @@ struct LookMemo {
 }
 
 /// Largest ring size served by the dense memo table.
+///
+/// The table is `2^n · n` bytes — the cap is what keeps `enable_look_memo`
+/// from being a memory bomb on larger rings (`n = 12` tops out at 48 KiB;
+/// `n = 26` would already be 1.7 GiB).  Exclusive configurations above the
+/// cap fall back to the sparse hash map like everything else; above
+/// [`SPARSE_MEMO_N`] the memo is bypassed entirely (the per-node counts no
+/// longer pack into the 64-bit key).
 const DENSE_MEMO_N: usize = 12;
+
+/// Largest ring size served by the sparse memo map (counts packed 4 bits per
+/// node into a `u64`).
+const SPARSE_MEMO_N: usize = 16;
 
 /// How a configuration is presented to the memo.
 enum MemoKey {
@@ -338,24 +376,26 @@ enum MemoKey {
     None,
 }
 
-/// Classifies the configuration for the memo (see [`MemoKey`]); `k` is the
-/// total robot count (occupancy is exclusive iff it spreads over `k` nodes).
-fn memo_key(config: &Configuration, k: usize, node: NodeId) -> MemoKey {
+/// Classifies the configuration for the memo (see [`MemoKey`]).  O(k): both
+/// encodings are read off the configuration's incremental occupancy cycle
+/// (and its O(1) exclusivity counter) instead of re-scanning all `n` nodes;
+/// the produced key values are identical to the historical full-occupancy
+/// re-hash.
+fn memo_key(config: &Configuration, node: NodeId) -> MemoKey {
     let n = config.n();
-    if n <= DENSE_MEMO_N {
+    let anchor = config.occupied_anchor();
+    if n <= DENSE_MEMO_N && config.is_exclusive() {
         let mut mask = 0usize;
-        for v in 0..n {
-            mask |= usize::from(config.is_occupied(v)) << v;
+        for v in config.occupied_cycle(anchor, Direction::Cw) {
+            mask |= 1 << v;
         }
-        if mask.count_ones() as usize == k {
-            return MemoKey::Dense(mask * n + node);
-        }
+        return MemoKey::Dense(mask * n + node);
     }
-    if n > 16 {
+    if n > SPARSE_MEMO_N {
         return MemoKey::None;
     }
     let mut packed = 0u64;
-    for v in 0..n {
+    for v in config.occupied_cycle(anchor, Direction::Cw) {
         let c = config.count_at(v);
         if c > 15 {
             return MemoKey::None;
@@ -397,6 +437,10 @@ pub struct Engine<P> {
     options: EngineOptions,
     trace: Trace,
     memo: LookMemo,
+    /// Engine-owned scratch snapshot the incremental Look pipeline fills in
+    /// place: after warm-up, `look_compute` performs zero heap allocations
+    /// on the memo-miss path.
+    scratch: Snapshot,
     step: u64,
     moves: u64,
     looks: u64,
@@ -417,19 +461,15 @@ impl<P: Protocol> Engine<P> {
     ) -> Result<Self, SimError> {
         let mut robots = Vec::with_capacity(initial.num_robots());
         Self::place_robots(&mut robots, &initial, options)?;
-        let trace = if options.record_trace {
-            Trace::recording()
-        } else {
-            Trace::disabled()
-        };
         Ok(Engine {
             protocol,
             ring: initial.ring(),
             config: initial,
             robots,
             options,
-            trace,
+            trace: Trace::for_mode(options.trace),
             memo: LookMemo::default(),
+            scratch: Snapshot::empty(),
             step: 0,
             moves: 0,
             looks: 0,
@@ -439,8 +479,12 @@ impl<P: Protocol> Engine<P> {
     /// Enables the Look-decision memo: identical observable behaviour,
     /// `compute` evaluated once per `(configuration, node)` pair instead of
     /// once per Look (see the `LookMemo` internals for the soundness
-    /// argument).  Dropped
-    /// again by [`Engine::reset`].
+    /// argument).  Dropped again by [`Engine::reset`].
+    ///
+    /// Storage is bounded: exclusive configurations on rings with
+    /// `n ≤ 12` get a dense `2^n · n`-byte table (≤ 48 KiB), anything else
+    /// up to `n ≤ 16` goes to a sparse hash map, and larger instances bypass
+    /// the memo entirely — enabling it is never a memory hazard.
     ///
     /// # Panics
     ///
@@ -501,7 +545,7 @@ impl<P: Protocol> Engine<P> {
         self.config.clone_from(initial);
         self.protocol = protocol;
         self.options = options;
-        self.trace.reset(options.record_trace);
+        self.trace.reset(options.trace);
         self.memo = LookMemo::default();
         self.step = 0;
         self.moves = 0;
@@ -800,6 +844,28 @@ impl<P: Protocol> Engine<P> {
         }
     }
 
+    /// Materializes the snapshot at `node` and runs the protocol on it
+    /// (memo-miss path of the Look phase).
+    ///
+    /// On [`LookPath::Incremental`] the snapshot is filled into the
+    /// engine-owned scratch buffers — O(k) and, after warm-up, zero heap
+    /// allocations; [`LookPath::ScanBaseline`] reproduces the historical
+    /// allocating O(n) pipeline for benchmark comparisons.
+    fn compute_decision(&mut self, node: NodeId, first_dir: Direction) -> Decision {
+        match self.options.look_path {
+            LookPath::Incremental => {
+                self.scratch
+                    .capture_into(&self.config, node, self.options.capability, first_dir);
+                self.protocol.compute(&self.scratch)
+            }
+            LookPath::ScanBaseline => {
+                let snapshot =
+                    Snapshot::capture_scan(&self.config, node, self.options.capability, first_dir);
+                self.protocol.compute(&snapshot)
+            }
+        }
+    }
+
     /// Look + Compute phase of one robot (pipeline stage, private).
     ///
     /// Takes a snapshot of the **current** configuration and stores the
@@ -833,7 +899,7 @@ impl<P: Protocol> Engine<P> {
         let node = self.robots[robot].node;
         let first_dir = self.first_direction();
         let key = if self.memo.enabled {
-            memo_key(&self.config, self.robots.len(), node)
+            memo_key(&self.config, node)
         } else {
             MemoKey::None
         };
@@ -844,33 +910,24 @@ impl<P: Protocol> Engine<P> {
                 }
                 match self.memo.dense[idx] {
                     0 => {
-                        let snapshot = Snapshot::capture(
-                            &self.config,
-                            node,
-                            self.options.capability,
-                            first_dir,
-                        );
-                        let decision = self.protocol.compute(&snapshot);
+                        let decision = self.compute_decision(node, first_dir);
                         self.memo.dense[idx] = encode_decision(decision);
                         decision
                     }
                     byte => decode_decision(byte),
                 }
             }
-            MemoKey::Sparse(packed) => match self.memo.map.entry((packed, node as u32)) {
-                std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
-                std::collections::hash_map::Entry::Vacant(entry) => {
-                    let snapshot =
-                        Snapshot::capture(&self.config, node, self.options.capability, first_dir);
-                    let decision = self.protocol.compute(&snapshot);
-                    *entry.insert(decision)
+            MemoKey::Sparse(packed) => {
+                let map_key = (packed, node as u32);
+                if let Some(&decision) = self.memo.map.get(&map_key) {
+                    decision
+                } else {
+                    let decision = self.compute_decision(node, first_dir);
+                    self.memo.map.insert(map_key, decision);
+                    decision
                 }
-            },
-            MemoKey::None => {
-                let snapshot =
-                    Snapshot::capture(&self.config, node, self.options.capability, first_dir);
-                self.protocol.compute(&snapshot)
             }
+            MemoKey::None => self.compute_decision(node, first_dir),
         };
         self.looks += 1;
         self.step += 1;
@@ -887,11 +944,13 @@ impl<P: Protocol> Engine<P> {
                 self.robots[robot].phase = Phase::MovePending { target };
             }
         }
-        self.trace.push(Event::Looked {
-            robot,
-            step: self.step,
-            decided_to_move: decision.is_move(),
-        });
+        if self.trace.is_recording() {
+            self.trace.push(Event::Looked {
+                robot,
+                step: self.step,
+                decided_to_move: decision.is_move(),
+            });
+        }
         monitor.on_look(robot, decision, &self.config);
         Ok((true, decision))
     }
@@ -907,10 +966,12 @@ impl<P: Protocol> Engine<P> {
                 self.step += 1;
                 self.robots[robot].phase = Phase::Ready;
                 self.robots[robot].cycles += 1;
-                self.trace.push(Event::StayedIdle {
-                    robot,
-                    step: self.step,
-                });
+                if self.trace.is_recording() {
+                    self.trace.push(Event::StayedIdle {
+                        robot,
+                        step: self.step,
+                    });
+                }
                 report.idles += 1;
                 Ok(())
             }
@@ -939,12 +1000,14 @@ impl<P: Protocol> Engine<P> {
                     to: target,
                     step: self.step,
                 };
-                self.trace.push(Event::Moved {
-                    robot,
-                    from,
-                    to: target,
-                    step: self.step,
-                });
+                if self.trace.is_recording() {
+                    self.trace.push(Event::Moved {
+                        robot,
+                        from,
+                        to: target,
+                        step: self.step,
+                    });
+                }
                 report.moves.push(record);
                 Ok(())
             }
@@ -1545,6 +1608,96 @@ mod tests {
         let b = Engine::with_default_options(IdleProtocol, cfg(&[3, 4])).unwrap();
         let state = b.save_state();
         a.restore_state(&state);
+    }
+
+    /// Drives two engines in lockstep through the same schedule and requires
+    /// identical reports, counters, configurations and traces.
+    fn assert_lockstep_equal<P: Protocol + Clone>(mut a: Engine<P>, mut b: Engine<P>, steps: u64) {
+        let mut sched_a = RoundRobinScheduler::new();
+        let mut sched_b = RoundRobinScheduler::new();
+        let ra = a.run_until(&mut sched_a, steps, |_| false);
+        let rb = b.run_until(&mut sched_b, steps, |_| false);
+        assert_eq!(ra, rb);
+        assert_eq!(a.configuration(), b.configuration());
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.look_count(), b.look_count());
+        assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    #[test]
+    fn scan_baseline_look_path_is_observably_identical() {
+        // The benchmark baseline pipeline must not be a different semantics.
+        let c = cfg(&[0, 1, 2, 5]);
+        let incremental = EngineOptions::for_protocol(&GreedyGapWalker).with_trace();
+        let baseline = incremental.with_look_path(LookPath::ScanBaseline);
+        assert_eq!(incremental.look_path, LookPath::Incremental);
+        assert_lockstep_equal(
+            Engine::new(GreedyGapWalker, c.clone(), incremental).unwrap(),
+            Engine::new(GreedyGapWalker, c, baseline).unwrap(),
+            200,
+        );
+    }
+
+    #[test]
+    fn disabled_trace_mode_changes_nothing_but_the_trace() {
+        // TraceMode::Disabled skips event construction in the hot loops;
+        // every other observable of the run must be byte-identical, and
+        // Recording mode still produces the full event sequence.
+        let c = cfg(&[0, 1, 2, 5]);
+        let recording = EngineOptions::for_protocol(&GreedyGapWalker).with_trace();
+        assert_eq!(recording.trace, TraceMode::Recording);
+        let disabled = EngineOptions::for_protocol(&GreedyGapWalker);
+        assert_eq!(disabled.trace, TraceMode::Disabled);
+
+        let mut with_trace = Engine::new(GreedyGapWalker, c.clone(), recording).unwrap();
+        let mut without = Engine::new(GreedyGapWalker, c, disabled).unwrap();
+        let mut sched_a = RoundRobinScheduler::new();
+        let mut sched_b = RoundRobinScheduler::new();
+        let ra = with_trace.run_until(&mut sched_a, 120, |_| false);
+        let rb = without.run_until(&mut sched_b, 120, |_| false);
+        assert_eq!(ra, rb);
+        assert_eq!(with_trace.configuration(), without.configuration());
+        assert_eq!(with_trace.step_count(), without.step_count());
+        assert_eq!(with_trace.look_count(), without.look_count());
+        // Recording mode logged one event per completed phase; disabled
+        // mode logged none.
+        assert_eq!(with_trace.trace().len() as u64, with_trace.step_count());
+        assert!(without.trace().is_empty());
+    }
+
+    #[test]
+    fn look_memo_dense_table_caps_at_threshold() {
+        // n = 16 > DENSE_MEMO_N: an exclusive configuration must use the
+        // sparse map — never the 2^16 · 16-byte dense table.
+        let big = cfg(&[2, 2, 2, 6]); // n = 16, exclusive
+        let mut sparse_engine = Engine::with_default_options(GreedyGapWalker, big.clone()).unwrap();
+        sparse_engine.enable_look_memo();
+        let mut sched = RoundRobinScheduler::new();
+        sparse_engine.run_until(&mut sched, 50, |_| false);
+        assert!(
+            sparse_engine.memo.dense.is_empty(),
+            "dense table allocated beyond DENSE_MEMO_N"
+        );
+        assert!(!sparse_engine.memo.map.is_empty(), "sparse map unused");
+
+        // n = 12 ≤ DENSE_MEMO_N: the dense table serves exclusive configs.
+        let small = cfg(&[0, 1, 2, 5]); // n = 12, exclusive
+        let mut dense_engine = Engine::with_default_options(GreedyGapWalker, small).unwrap();
+        dense_engine.enable_look_memo();
+        let mut sched = RoundRobinScheduler::new();
+        dense_engine.run_until(&mut sched, 50, |_| false);
+        assert!(!dense_engine.memo.dense.is_empty(), "dense table unused");
+        assert!(dense_engine.memo.map.is_empty());
+
+        // And above the cap the memo is still *correct*: identical run to an
+        // unmemoized engine.
+        let memoized = {
+            let mut e = Engine::with_default_options(GreedyGapWalker, big.clone()).unwrap();
+            e.enable_look_memo();
+            e
+        };
+        let plain = Engine::with_default_options(GreedyGapWalker, big).unwrap();
+        assert_lockstep_equal(memoized, plain, 200);
     }
 
     #[test]

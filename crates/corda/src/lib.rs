@@ -35,7 +35,7 @@ pub mod snapshot;
 pub mod trace;
 
 pub use engine::{
-    Engine, EngineOptions, EngineState, MoveRecord, RunOutcome, RunReport, Simulator,
+    Engine, EngineOptions, EngineState, LookPath, MoveRecord, RunOutcome, RunReport, Simulator,
     SimulatorOptions, StepReport, ViewOrder,
 };
 pub use error::SimError;
@@ -48,4 +48,4 @@ pub use scheduler::{
     SchedulerView,
 };
 pub use snapshot::{MultiplicityCapability, Snapshot};
-pub use trace::{Event, Trace};
+pub use trace::{Event, Trace, TraceMode};

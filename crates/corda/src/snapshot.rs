@@ -40,6 +40,17 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// An empty snapshot, ready to be filled by [`Snapshot::capture_into`]:
+    /// the scratch buffer engines own for the zero-allocation Look pipeline.
+    #[must_use]
+    pub fn empty() -> Self {
+        Snapshot {
+            views: [View::new(Vec::new()), View::new(Vec::new())],
+            on_multiplicity: None,
+            global_multiplicities: None,
+        }
+    }
+
     /// Builds the snapshot perceived by a robot standing at `node` in
     /// `config`, with the given capability.  `first_direction` determines
     /// which global direction is presented as `views[0]`; protocols must not
@@ -51,9 +62,73 @@ impl Snapshot {
         capability: MultiplicityCapability,
         first_direction: Direction,
     ) -> Self {
+        let mut snapshot = Snapshot::empty();
+        snapshot.capture_into(config, node, capability, first_direction);
+        snapshot
+    }
+
+    /// Fills `self` with the snapshot [`Snapshot::capture`] would return,
+    /// reusing the existing view buffers and multiplicity-flag vector: O(k)
+    /// end to end (both views and the `Global` flags read straight off the
+    /// configuration's maintained occupancy cycle) and allocation-free once
+    /// the buffers have capacity `k`.  This is the Look hot path the engine
+    /// runs on its own scratch snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not occupied.
+    pub fn capture_into(
+        &mut self,
+        config: &Configuration,
+        node: NodeId,
+        capability: MultiplicityCapability,
+        first_direction: Direction,
+    ) {
         let d0 = first_direction;
         let d1 = first_direction.opposite();
-        let views = [config.view_from(node, d0), config.view_from(node, d1)];
+        config.view_from_into(node, d0, &mut self.views[0]);
+        config.view_from_into(node, d1, &mut self.views[1]);
+        self.on_multiplicity = match capability {
+            MultiplicityCapability::None => None,
+            MultiplicityCapability::Local | MultiplicityCapability::Global => {
+                Some(config.is_multiplicity(node))
+            }
+        };
+        if capability == MultiplicityCapability::Global {
+            // One O(k) pass over the occupied cycle, in the order of
+            // views[0] (which starts at the robot's own node).
+            let flags = self.global_multiplicities.get_or_insert_with(Vec::new);
+            flags.clear();
+            flags.extend(
+                config
+                    .occupied_cycle(node, d0)
+                    .map(|v| config.is_multiplicity(v)),
+            );
+        } else {
+            self.global_multiplicities = None;
+        }
+    }
+
+    /// Reference implementation of [`Snapshot::capture`]: the
+    /// pre-incremental pipeline — O(n) ring walks per view
+    /// ([`Configuration::view_from_scan`]) and an O(n·k) empty-node re-walk
+    /// for the `Global` flags, two heap allocations per Look.  Kept for
+    /// equivalence tests and as the live baseline the engine's
+    /// `LookPath::ScanBaseline` option (and with it the E12 throughput
+    /// experiment) measures the incremental pipeline against.
+    #[must_use]
+    pub fn capture_scan(
+        config: &Configuration,
+        node: NodeId,
+        capability: MultiplicityCapability,
+        first_direction: Direction,
+    ) -> Self {
+        let d0 = first_direction;
+        let d1 = first_direction.opposite();
+        let views = [
+            config.view_from_scan(node, d0),
+            config.view_from_scan(node, d1),
+        ];
         let on_multiplicity = match capability {
             MultiplicityCapability::None => None,
             MultiplicityCapability::Local | MultiplicityCapability::Global => {
@@ -178,6 +253,37 @@ mod tests {
             for dir in Direction::BOTH {
                 let s = Snapshot::capture(&c, node, MultiplicityCapability::None, dir);
                 assert_eq!(s.supermin(), rr_ring::supermin_view(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn capture_into_and_scan_agree_with_capture_everywhere() {
+        // Every capability × direction × node, with multiplicities: the
+        // buffer-reusing capture, the allocating wrapper and the O(n)-scan
+        // reference must produce identical snapshots — including a reused
+        // scratch that previously held a different instance's data.
+        let ring = Ring::new(9);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 3, 1, 0, 0]).unwrap();
+        let mut scratch = Snapshot::capture(
+            &cfg(&[0, 1, 3]),
+            0,
+            MultiplicityCapability::Global,
+            Direction::Cw,
+        );
+        for capability in [
+            MultiplicityCapability::None,
+            MultiplicityCapability::Local,
+            MultiplicityCapability::Global,
+        ] {
+            for node in c.occupied_nodes() {
+                for dir in Direction::BOTH {
+                    let fresh = Snapshot::capture(&c, node, capability, dir);
+                    let scan = Snapshot::capture_scan(&c, node, capability, dir);
+                    scratch.capture_into(&c, node, capability, dir);
+                    assert_eq!(fresh, scan, "node={node} capability={capability:?}");
+                    assert_eq!(scratch, scan, "node={node} capability={capability:?}");
+                }
             }
         }
     }

@@ -60,43 +60,80 @@ impl Event {
     }
 }
 
+/// Whether an engine's trace records events.
+///
+/// [`TraceMode::Disabled`] is the hot-loop default: the engine's stepping
+/// pipeline checks [`Trace::is_recording`] *before* constructing an
+/// [`Event`], so sweeps, benchmarks and the model checker pay nothing for
+/// the tracing machinery.  [`TraceMode::Recording`] produces exactly the
+/// event sequences it always did (pinned by the engine's trace tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Append every event to the trace.
+    Recording,
+    /// Drop events without even constructing them (the default for sweeps
+    /// and benches).
+    #[default]
+    Disabled,
+}
+
+impl TraceMode {
+    /// Whether this mode records events.
+    #[must_use]
+    pub fn is_recording(self) -> bool {
+        matches!(self, TraceMode::Recording)
+    }
+}
+
 /// An append-only log of [`Event`]s.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<Event>,
-    recording: bool,
+    mode: TraceMode,
 }
 
 impl Trace {
     /// A trace that records events.
     #[must_use]
     pub fn recording() -> Self {
-        Trace {
-            events: Vec::new(),
-            recording: true,
-        }
+        Trace::for_mode(TraceMode::Recording)
     }
 
     /// A trace that drops events (for long benchmark runs).
     #[must_use]
     pub fn disabled() -> Self {
+        Trace::for_mode(TraceMode::Disabled)
+    }
+
+    /// A trace with the given mode.
+    #[must_use]
+    pub fn for_mode(mode: TraceMode) -> Self {
         Trace {
             events: Vec::new(),
-            recording: false,
+            mode,
         }
     }
 
-    /// Clears the log and sets whether future events are recorded, keeping
-    /// the allocated buffer (used by `Engine::reset` to recycle engines
-    /// across batch runs).
-    pub fn reset(&mut self, recording: bool) {
+    /// Clears the log and sets the mode of future events, keeping the
+    /// allocated buffer (used by `Engine::reset` to recycle engines across
+    /// batch runs).
+    pub fn reset(&mut self, mode: TraceMode) {
         self.events.clear();
-        self.recording = recording;
+        self.mode = mode;
+    }
+
+    /// Whether events are currently recorded.  Hot loops branch on this
+    /// before constructing an [`Event`] at all.
+    #[inline]
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.mode.is_recording()
     }
 
     /// Appends an event (no-op when recording is disabled).
+    #[inline]
     pub fn push(&mut self, event: Event) {
-        if self.recording {
+        if self.mode.is_recording() {
             self.events.push(event);
         }
     }

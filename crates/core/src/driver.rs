@@ -346,9 +346,12 @@ pub struct BatchOutcome {
 }
 
 /// Runs [`BatchJob`]s back to back while reusing **one** engine allocation:
-/// the robot vector, configuration storage and trace buffer are recycled via
-/// [`Engine::reset`] between jobs.  Sweep runners hold one `BatchRunner` per
-/// worker.
+/// the robot vector, configuration storage (including its incremental
+/// occupancy index), Look-scratch snapshot and trace buffer are recycled via
+/// [`Engine::reset`] between jobs — so across a whole batch the Look phase
+/// stays on the zero-allocation O(k) pipeline (engines own their scratch;
+/// nothing needs threading through here).  Sweep runners hold one
+/// `BatchRunner` per worker.
 #[derive(Debug, Default)]
 pub struct BatchRunner {
     engine: Option<Engine<UnifiedProtocol>>,

@@ -80,10 +80,90 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// A placement of robots on the nodes of a [`Ring`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Next to the per-node robot counts, a `Configuration` maintains an
+/// **incremental occupancy index** — the cyclic doubly-linked list of
+/// occupied nodes (equivalently, the inter-robot gap ring the paper's
+/// unified algorithm reasons over) plus O(1) aggregate counters — updated in
+/// O(1) by [`Configuration::move_robot`].  The index is what makes the Look
+/// phase O(k) ([`Configuration::view_from_into`]) instead of an O(n) walk
+/// around the ring; it is derived state, excluded from equality, hashing and
+/// serialization, and cross-checked against a from-scratch scan in debug
+/// builds after every mutation.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Configuration {
     ring: Ring,
     counts: Vec<u32>,
+    /// Next occupied node clockwise of an occupied node (undefined at empty
+    /// nodes; self-loop when only one node is occupied).
+    #[serde(skip)]
+    next_occ: Vec<u32>,
+    /// Next occupied node counter-clockwise of an occupied node.
+    #[serde(skip)]
+    prev_occ: Vec<u32>,
+    /// An arbitrary but deterministically maintained occupied node: the
+    /// entry point into the linked list.
+    #[serde(skip)]
+    anchor: u32,
+    /// Number of occupied nodes (`k` of the paper's gap sequences).
+    #[serde(skip)]
+    occupied: u32,
+    /// Total robots, counting multiplicities.
+    #[serde(skip)]
+    robots: u64,
+    /// Number of nodes hosting more than one robot.
+    #[serde(skip)]
+    multis: u32,
+    /// Reusable scratch for [`Configuration::assign_positions`] (distinct
+    /// occupied nodes of the incoming placement).
+    #[serde(skip)]
+    scratch_nodes: Vec<u32>,
+}
+
+impl Clone for Configuration {
+    fn clone(&self) -> Self {
+        Configuration {
+            ring: self.ring,
+            counts: self.counts.clone(),
+            next_occ: self.next_occ.clone(),
+            prev_occ: self.prev_occ.clone(),
+            anchor: self.anchor,
+            occupied: self.occupied,
+            robots: self.robots,
+            multis: self.multis,
+            scratch_nodes: Vec::new(),
+        }
+    }
+
+    /// Allocation-reusing clone: `Engine::reset` / `restore_state` rewind
+    /// configurations through this without touching the heap once the
+    /// buffers have their final length.
+    fn clone_from(&mut self, source: &Self) {
+        self.ring = source.ring;
+        self.counts.clone_from(&source.counts);
+        self.next_occ.clone_from(&source.next_occ);
+        self.prev_occ.clone_from(&source.prev_occ);
+        self.anchor = source.anchor;
+        self.occupied = source.occupied;
+        self.robots = source.robots;
+        self.multis = source.multis;
+    }
+}
+
+// The occupancy index is derived state: identity is the ring + the counts.
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        self.ring == other.ring && self.counts == other.counts
+    }
+}
+
+impl Eq for Configuration {}
+
+impl std::hash::Hash for Configuration {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ring.hash(state);
+        self.counts.hash(state);
+    }
 }
 
 impl Configuration {
@@ -106,7 +186,86 @@ impl Configuration {
             }
             counts[v] = 1;
         }
-        Ok(Configuration { ring, counts })
+        Ok(Configuration::from_parts(ring, counts))
+    }
+
+    /// Builds the configuration and its occupancy index from validated
+    /// per-node counts (at least one robot).
+    fn from_parts(ring: Ring, counts: Vec<u32>) -> Self {
+        let mut config = Configuration {
+            ring,
+            counts,
+            next_occ: Vec::new(),
+            prev_occ: Vec::new(),
+            anchor: 0,
+            occupied: 0,
+            robots: 0,
+            multis: 0,
+            scratch_nodes: Vec::new(),
+        };
+        config.rebuild_index();
+        config
+    }
+
+    /// Recomputes the occupancy index (linked list + counters) from the
+    /// per-node counts with one O(n) scan.  Constructors and bulk mutations
+    /// go through here; single-robot moves maintain the index in O(1).
+    fn rebuild_index(&mut self) {
+        let n = self.ring.len();
+        // Only the *occupied* nodes' links are ever read, so stale entries
+        // need no clearing — resize is a no-op when the ring size is
+        // unchanged (the restore-heavy model-checker path).
+        self.next_occ.resize(n, 0);
+        self.prev_occ.resize(n, 0);
+        self.robots = 0;
+        self.multis = 0;
+        let mut first: Option<usize> = None;
+        let mut last: Option<usize> = None;
+        let mut occupied = 0u32;
+        for v in 0..n {
+            let c = self.counts[v];
+            if c == 0 {
+                continue;
+            }
+            self.robots += u64::from(c);
+            if c > 1 {
+                self.multis += 1;
+            }
+            occupied += 1;
+            if let Some(p) = last {
+                self.next_occ[p] = v as u32;
+                self.prev_occ[v] = p as u32;
+            } else {
+                first = Some(v);
+            }
+            last = Some(v);
+        }
+        self.occupied = occupied;
+        if let (Some(f), Some(l)) = (first, last) {
+            self.next_occ[l] = f as u32;
+            self.prev_occ[f] = l as u32;
+            self.anchor = f as u32;
+        }
+        debug_assert!(self.index_is_consistent());
+    }
+
+    /// Debug cross-check: the incremental index equals what a from-scratch
+    /// scan of the counts would produce.  O(n); only ever called behind
+    /// `debug_assert!`.
+    fn index_is_consistent(&self) -> bool {
+        let n = self.ring.len();
+        let occ: Vec<usize> = (0..n).filter(|&v| self.counts[v] > 0).collect();
+        let robots: u64 = self.counts.iter().map(|&c| u64::from(c)).sum();
+        let multis = self.counts.iter().filter(|&&c| c > 1).count();
+        !occ.is_empty()
+            && self.occupied as usize == occ.len()
+            && self.robots == robots
+            && self.multis as usize == multis
+            && self.counts[self.anchor as usize] > 0
+            && occ.iter().enumerate().all(|(i, &v)| {
+                let next = occ[(i + 1) % occ.len()];
+                self.next_occ[v] as usize == next && self.prev_occ[next] as usize == v
+            })
     }
 
     /// Creates a configuration from explicit per-node robot counts.
@@ -120,7 +279,7 @@ impl Configuration {
         if counts.iter().all(|&c| c == 0) {
             return Err(ConfigError::Empty);
         }
-        Ok(Configuration { ring, counts })
+        Ok(Configuration::from_parts(ring, counts))
     }
 
     /// Creates an exclusive configuration from a clockwise gap sequence.
@@ -179,24 +338,84 @@ impl Configuration {
         self.ring.len()
     }
 
-    /// Total number of robots (counting multiplicities).
+    /// Total number of robots (counting multiplicities).  O(1).
     #[must_use]
     pub fn num_robots(&self) -> usize {
-        self.counts.iter().map(|&c| c as usize).sum()
+        self.robots as usize
     }
 
-    /// Number of occupied nodes (ignoring multiplicities).
+    /// Number of occupied nodes (ignoring multiplicities).  O(1).
     #[must_use]
     pub fn num_occupied(&self) -> usize {
-        self.counts.iter().filter(|&&c| c > 0).count()
+        self.occupied as usize
     }
 
-    /// The occupied nodes, in increasing node order.
+    /// The occupied nodes, in increasing node order.  O(k): reads the
+    /// maintained occupancy cycle and rotates it to start at the smallest
+    /// node (the cyclic successor order ascends between wraparounds, so one
+    /// rotation sorts it).
     #[must_use]
     pub fn occupied_nodes(&self) -> Vec<NodeId> {
-        (0..self.ring.len())
-            .filter(|&v| self.counts[v] > 0)
-            .collect()
+        let k = self.occupied as usize;
+        let mut out = Vec::with_capacity(k);
+        let mut cur = self.anchor as usize;
+        let mut min_idx = 0;
+        for i in 0..k {
+            out.push(cur);
+            if cur < out[min_idx] {
+                min_idx = i;
+            }
+            cur = self.next_occ[cur] as usize;
+        }
+        out.rotate_left(min_idx);
+        out
+    }
+
+    /// An occupied node, arbitrary but deterministically maintained (the
+    /// entry point of the occupancy cycle).  O(1).
+    #[must_use]
+    pub fn occupied_anchor(&self) -> NodeId {
+        self.anchor as usize
+    }
+
+    /// The next occupied node strictly after occupied node `v` in direction
+    /// `dir` (cyclically; `v` itself when it is the only occupied node).
+    /// O(1) off the maintained occupancy index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is not occupied.
+    #[must_use]
+    pub fn occupied_after(&self, v: NodeId, dir: Direction) -> NodeId {
+        debug_assert!(self.is_occupied(v), "occupied_after at empty node {v}");
+        match dir {
+            Direction::Cw => self.next_occ[v] as usize,
+            Direction::Ccw => self.prev_occ[v] as usize,
+        }
+    }
+
+    /// Iterator over all `k` occupied nodes in walking order of `dir`,
+    /// starting at occupied node `start`.  O(k) total, no allocation — this
+    /// is the pass the `Global` multiplicity snapshot reads its flags from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not occupied.
+    pub fn occupied_cycle(
+        &self,
+        start: NodeId,
+        dir: Direction,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        assert!(
+            self.is_occupied(start),
+            "occupied_cycle at empty node {start}"
+        );
+        let mut cur = start;
+        (0..self.occupied as usize).map(move |_| {
+            let v = cur;
+            cur = self.occupied_after(v, dir);
+            v
+        })
     }
 
     /// Number of robots on node `v`.
@@ -217,22 +436,23 @@ impl Configuration {
         self.counts[v] > 1
     }
 
-    /// Whether every node hosts at most one robot (the *exclusivity* property).
+    /// Whether every node hosts at most one robot (the *exclusivity*
+    /// property).  O(1) off the maintained multiplicity counter.
     #[must_use]
     pub fn is_exclusive(&self) -> bool {
-        self.counts.iter().all(|&c| c <= 1)
+        self.multis == 0
     }
 
-    /// Whether some node hosts more than one robot.
+    /// Whether some node hosts more than one robot.  O(1).
     #[must_use]
     pub fn has_multiplicity(&self) -> bool {
         !self.is_exclusive()
     }
 
-    /// Whether all robots stand on a single node (the gathering goal).
+    /// Whether all robots stand on a single node (the gathering goal).  O(1).
     #[must_use]
     pub fn is_gathered(&self) -> bool {
-        self.num_occupied() == 1
+        self.occupied == 1
     }
 
     /// Moves one robot from `from` to the adjacent node `to`.
@@ -255,8 +475,73 @@ impl Configuration {
         if !self.ring.adjacent(from, to) {
             return Err(ConfigError::NotAdjacent { from, to });
         }
-        self.counts[from] -= 1;
-        self.counts[to] += 1;
+        let cf = self.counts[from];
+        let ct = self.counts[to];
+        self.counts[from] = cf - 1;
+        self.counts[to] = ct + 1;
+        // Incremental O(1) maintenance of the occupancy index: a move only
+        // touches the two gaps adjacent to the moving robot.
+        if cf == 2 {
+            self.multis -= 1; // `from` stops being a multiplicity
+        }
+        if ct == 1 {
+            self.multis += 1; // `to` becomes one
+        }
+        let from_emptied = cf == 1;
+        let to_filled = ct == 0;
+        match (from_emptied, to_filled) {
+            (false, false) => {}
+            (true, false) => {
+                // `to` is occupied elsewhere in the cycle, so k >= 2 here:
+                // unlink `from`.
+                if self.anchor as usize == from {
+                    self.anchor = self.next_occ[from];
+                }
+                let p = self.prev_occ[from] as usize;
+                let nx = self.next_occ[from] as usize;
+                self.next_occ[p] = nx as u32;
+                self.prev_occ[nx] = p as u32;
+            }
+            (false, true) => {
+                // `to` is the first node of the gap adjacent to `from` on
+                // one side: splice it in right next to `from` on that side.
+                if to == self.ring.neighbor(from, Direction::Cw) {
+                    let nx = self.next_occ[from] as usize;
+                    self.next_occ[from] = to as u32;
+                    self.prev_occ[to] = from as u32;
+                    self.next_occ[to] = nx as u32;
+                    self.prev_occ[nx] = to as u32;
+                } else {
+                    let p = self.prev_occ[from] as usize;
+                    self.next_occ[p] = to as u32;
+                    self.prev_occ[to] = p as u32;
+                    self.next_occ[to] = from as u32;
+                    self.prev_occ[from] = to as u32;
+                }
+            }
+            (true, true) => {
+                // The robot carries `from`'s slot in the cycle over to `to`;
+                // cyclic order is preserved because `to` lies strictly inside
+                // one of the gaps bordering `from`.
+                let nx = self.next_occ[from] as usize;
+                if nx == from {
+                    // Sole occupied node: the cycle is a self-loop.
+                    self.next_occ[to] = to as u32;
+                    self.prev_occ[to] = to as u32;
+                } else {
+                    let p = self.prev_occ[from] as usize;
+                    self.next_occ[p] = to as u32;
+                    self.prev_occ[to] = p as u32;
+                    self.next_occ[to] = nx as u32;
+                    self.prev_occ[nx] = to as u32;
+                }
+                if self.anchor as usize == from {
+                    self.anchor = to as u32;
+                }
+            }
+        }
+        self.occupied = self.occupied + u32::from(to_filled) - u32::from(from_emptied);
+        debug_assert!(self.index_is_consistent());
         Ok(())
     }
 
@@ -265,24 +550,58 @@ impl Configuration {
     /// the allocation-free bulk mutation the engine's packed-state restore
     /// is built on.
     ///
+    /// O(k_old + k log k), **not** O(n): the outgoing occupancy is erased by
+    /// walking the maintained occupancy cycle, and the incoming index is
+    /// rebuilt from the sorted distinct positions — the ring size never
+    /// enters, which is what keeps million-restore model-checking loops
+    /// cheap on large rings.
+    ///
     /// # Panics
     ///
     /// Panics if a position is out of range or the iterator is empty; callers
     /// supply positions that were validated when the placement was first
     /// created.
     pub fn assign_positions(&mut self, positions: impl IntoIterator<Item = NodeId>) {
-        self.counts.iter_mut().for_each(|c| *c = 0);
-        let mut any = false;
+        // Erase the old placement via the old index: O(k_old).
+        let mut cur = self.anchor as usize;
+        for _ in 0..self.occupied as usize {
+            let next = self.next_occ[cur] as usize;
+            self.counts[cur] = 0;
+            cur = next;
+        }
+        self.robots = 0;
+        self.multis = 0;
+        let mut nodes = std::mem::take(&mut self.scratch_nodes);
+        nodes.clear();
         for v in positions {
             assert!(
                 v < self.ring.len(),
                 "node {v} out of range for a ring of {} nodes",
                 self.ring.len()
             );
+            if self.counts[v] == 0 {
+                nodes.push(v as u32);
+            }
             self.counts[v] += 1;
-            any = true;
+            if self.counts[v] == 2 {
+                self.multis += 1;
+            }
+            self.robots += 1;
         }
-        assert!(any, "a configuration must contain at least one robot");
+        assert!(
+            !nodes.is_empty(),
+            "a configuration must contain at least one robot"
+        );
+        nodes.sort_unstable();
+        for (i, &v) in nodes.iter().enumerate() {
+            let next = nodes[(i + 1) % nodes.len()];
+            self.next_occ[v as usize] = next;
+            self.prev_occ[next as usize] = v;
+        }
+        self.anchor = nodes[0];
+        self.occupied = nodes.len() as u32;
+        self.scratch_nodes = nodes;
+        debug_assert!(self.index_is_consistent());
     }
 
     /// Moves one robot from `from` one step in direction `dir`, returning the
@@ -295,30 +614,81 @@ impl Configuration {
 
     /// The clockwise gap sequence: entry `i` is the number of empty nodes
     /// between occupied node `i` and occupied node `i + 1` (indices into
-    /// [`Configuration::occupied_nodes`], cyclically).
+    /// [`Configuration::occupied_nodes`], cyclically).  O(k) off the
+    /// maintained occupancy cycle.
     #[must_use]
     pub fn gap_sequence(&self) -> Vec<usize> {
-        let occ = self.occupied_nodes();
-        let k = occ.len();
-        (0..k)
-            .map(|i| {
-                let a = occ[i];
-                let b = occ[(i + 1) % k];
-                (self.ring.distance_cw(a, b) + self.ring.len() - 1) % self.ring.len()
-            })
-            .collect()
+        let n = self.ring.len();
+        let anchor = self.anchor as usize;
+        let mut min = anchor;
+        let mut cur = self.next_occ[anchor] as usize;
+        while cur != anchor {
+            min = min.min(cur);
+            cur = self.next_occ[cur] as usize;
+        }
+        let k = self.occupied as usize;
+        let mut gaps = Vec::with_capacity(k);
+        let mut cur = min;
+        for _ in 0..k {
+            let next = self.next_occ[cur] as usize;
+            gaps.push((next + n - cur - 1) % n);
+            cur = next;
+        }
+        gaps
     }
 
-    /// The view of the robot(s) at occupied node `v`, reading in direction `dir`.
+    /// The view of the robot(s) at occupied node `v`, reading in direction
+    /// `dir`.  Thin allocating wrapper over
+    /// [`Configuration::view_from_into`].
     ///
     /// # Panics
     ///
     /// Panics if `v` is not occupied.
     #[must_use]
     pub fn view_from(&self, v: NodeId, dir: Direction) -> View {
+        let mut out = View::new(Vec::with_capacity(self.occupied as usize));
+        self.view_from_into(v, dir, &mut out);
+        out
+    }
+
+    /// Fills `out` with the view at occupied node `v` in direction `dir`,
+    /// reusing the caller's gap buffer: O(k) reads off the maintained
+    /// occupancy cycle, zero heap allocations once the buffer has capacity
+    /// `k`.  This is the Look hot path of the CORDA engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not occupied.
+    pub fn view_from_into(&self, v: NodeId, dir: Direction, out: &mut View) {
         assert!(self.is_occupied(v), "view requested at empty node {v}");
-        // One walk around the ring: close a gap at every occupied node met.
-        // (A single robot sees the one interval closing the cycle, n - 1.)
+        let n = self.ring.len();
+        out.clear();
+        let mut cur = v;
+        for _ in 0..self.occupied as usize {
+            let next = self.occupied_after(cur, dir);
+            // Walking distance from `cur` to `next` in `dir`, minus one, is
+            // the gap between them; a sole robot sees the full cycle, n - 1.
+            let gap = match dir {
+                Direction::Cw => (next + n - cur - 1) % n,
+                Direction::Ccw => (cur + n - next - 1) % n,
+            };
+            out.push(gap);
+            cur = next;
+        }
+    }
+
+    /// Reference implementation of [`Configuration::view_from`]: the
+    /// pre-incremental O(n) walk around the ring, closing a gap at every
+    /// occupied node met.  Kept for equivalence tests and as the
+    /// `LookPath::ScanBaseline` pipeline the engine throughput experiment
+    /// (E12) measures its speedup against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not occupied.
+    #[must_use]
+    pub fn view_from_scan(&self, v: NodeId, dir: Direction) -> View {
+        assert!(self.is_occupied(v), "view requested at empty node {v}");
         let mut gaps = Vec::new();
         let mut g = 0usize;
         let mut cur = self.ring.neighbor(v, dir);
@@ -564,5 +934,126 @@ mod tests {
     fn display_marks_occupation() {
         let c = Configuration::from_counts(ring(4), vec![1, 0, 3, 0]).unwrap();
         assert_eq!(c.to_string(), "[o.3.]");
+    }
+
+    /// The incremental occupancy index agrees with a from-scratch rebuild on
+    /// every observable quantity.
+    fn assert_index_matches_scratch(c: &Configuration) {
+        assert!(c.index_is_consistent());
+        let fresh = Configuration::from_counts(c.ring(), c.counts.clone()).unwrap();
+        assert_eq!(c.occupied_nodes(), fresh.occupied_nodes());
+        assert_eq!(c.gap_sequence(), fresh.gap_sequence());
+        assert_eq!(c.num_robots(), fresh.num_robots());
+        assert_eq!(c.num_occupied(), fresh.num_occupied());
+        assert_eq!(c.is_exclusive(), fresh.is_exclusive());
+        for v in c.occupied_nodes() {
+            for dir in Direction::BOTH {
+                assert_eq!(c.view_from(v, dir), c.view_from_scan(v, dir), "v={v}");
+                let mut reused = View::new(vec![99; 7]);
+                c.view_from_into(v, dir, &mut reused);
+                assert_eq!(reused, c.view_from_scan(v, dir), "reused buffer, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_index_tracks_merges_splits_and_wraps() {
+        // Exercise every list-update case: plain slide (replace), merge into
+        // a multiplicity (detach), split out of one (insert), wraparound
+        // through node 0, and anchor handoff.
+        let mut c = Configuration::from_counts(ring(8), vec![1, 1, 0, 0, 1, 0, 0, 1]).unwrap();
+        assert_index_matches_scratch(&c);
+        c.move_robot(1, 0).unwrap(); // merge: 0 becomes a multiplicity
+        assert_index_matches_scratch(&c);
+        assert!(c.is_multiplicity(0));
+        c.move_robot(0, 7).unwrap(); // merge again at 7 (ccw, wraps)
+        assert_index_matches_scratch(&c);
+        c.move_robot(0, 1).unwrap(); // split: 0 empties, 1 fills
+        assert_index_matches_scratch(&c);
+        c.move_robot(7, 0).unwrap(); // split the 7-multiplicity across the seam
+        assert_index_matches_scratch(&c);
+        c.move_robot(4, 3).unwrap(); // plain slide of an isolated robot
+        assert_index_matches_scratch(&c);
+        assert_eq!(c.num_robots(), 4);
+    }
+
+    #[test]
+    fn incremental_index_survives_a_single_robot_walking_the_ring() {
+        // k = 1 exercises the self-loop replace path on every step.
+        let mut c = Configuration::new_exclusive(ring(5), &[2]).unwrap();
+        for _ in 0..7 {
+            let at = c.occupied_nodes()[0];
+            c.move_robot_dir(at, Direction::Cw).unwrap();
+            assert_index_matches_scratch(&c);
+            assert_eq!(
+                c.view_from(c.occupied_nodes()[0], Direction::Cw).gaps(),
+                &[4]
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_index_survives_gathering_everything() {
+        // Collapse five robots onto one node, then walk the tower around.
+        let mut c = Configuration::new_exclusive(ring(6), &[0, 1, 2, 3, 4]).unwrap();
+        for v in [1usize, 2, 3, 4] {
+            for _ in 0..v {
+                let step_from = c
+                    .occupied_nodes()
+                    .into_iter()
+                    .find(|&w| w != 0 && c.count_at(w) > 0)
+                    .unwrap();
+                c.move_robot_dir(step_from, Direction::Ccw).unwrap();
+                assert_index_matches_scratch(&c);
+            }
+        }
+        assert!(c.is_gathered());
+        assert_eq!(c.count_at(0), 5);
+        c.move_robot(0, 5).unwrap(); // peel one off the tower
+        assert_index_matches_scratch(&c);
+        assert_eq!(c.num_occupied(), 2);
+    }
+
+    #[test]
+    fn clone_from_and_assign_positions_keep_the_index_valid() {
+        let a = Configuration::from_counts(ring(9), vec![2, 0, 1, 0, 0, 1, 0, 0, 0]).unwrap();
+        let mut b = Configuration::new_exclusive(ring(9), &[4]).unwrap();
+        b.clone_from(&a);
+        assert_eq!(a, b);
+        assert_index_matches_scratch(&b);
+        b.assign_positions([3usize, 3, 8]);
+        assert_index_matches_scratch(&b);
+        assert_eq!(b.occupied_nodes(), vec![3, 8]);
+        assert!(b.is_multiplicity(3));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_the_derived_index() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same occupancy reached through different histories (hence
+        // different anchors/links) must compare and hash equal.
+        let direct = Configuration::new_exclusive(ring(6), &[1, 4]).unwrap();
+        let mut walked = Configuration::new_exclusive(ring(6), &[0, 4]).unwrap();
+        walked.move_robot(0, 1).unwrap();
+        assert_eq!(direct, walked);
+        let hash = |c: &Configuration| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&direct), hash(&walked));
+    }
+
+    #[test]
+    fn occupied_cycle_and_after_walk_the_maintained_ring() {
+        let c = Configuration::new_exclusive(ring(8), &[0, 1, 4]).unwrap();
+        assert_eq!(c.occupied_after(0, Direction::Cw), 1);
+        assert_eq!(c.occupied_after(0, Direction::Ccw), 4);
+        let cw: Vec<_> = c.occupied_cycle(1, Direction::Cw).collect();
+        assert_eq!(cw, vec![1, 4, 0]);
+        let ccw: Vec<_> = c.occupied_cycle(1, Direction::Ccw).collect();
+        assert_eq!(ccw, vec![1, 0, 4]);
+        assert!(c.is_occupied(c.occupied_anchor()));
     }
 }

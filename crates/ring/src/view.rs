@@ -44,6 +44,27 @@ impl View {
         &self.gaps
     }
 
+    /// Consumes the view, returning the underlying gap vector.
+    #[must_use]
+    pub fn into_gaps(self) -> Vec<usize> {
+        self.gaps
+    }
+
+    /// Empties the view in place, keeping the gap buffer's allocation.
+    ///
+    /// Together with [`View::push`] this is the buffer-reuse surface of the
+    /// zero-allocation Look pipeline: `Configuration::view_from_into` clears
+    /// a caller-owned view and refills it without touching the heap.
+    pub fn clear(&mut self) {
+        self.gaps.clear();
+    }
+
+    /// Appends one interval length (the in-place counterpart of building a
+    /// view from a `Vec`; see [`View::clear`]).
+    pub fn push(&mut self, gap: usize) {
+        self.gaps.push(gap);
+    }
+
     /// Number of intervals in the view (equals the number of occupied nodes).
     #[must_use]
     pub fn len(&self) -> usize {

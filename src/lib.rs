@@ -64,8 +64,8 @@ pub mod prelude {
         SemiSynchronousScheduler,
     };
     pub use rr_corda::{
-        Decision, Engine, EngineOptions, Monitor, MultiplicityCapability, Protocol, Scheduler,
-        SchedulerStep, Snapshot, StepReport, ViewIndex,
+        Decision, Engine, EngineOptions, LookPath, Monitor, MultiplicityCapability, Protocol,
+        Scheduler, SchedulerStep, Snapshot, StepReport, TraceMode, ViewIndex,
     };
     pub use rr_core::align::{run_to_c_star, AlignProtocol};
     pub use rr_core::clearing::{run_searching, RingClearingProtocol};
