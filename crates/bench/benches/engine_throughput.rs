@@ -15,7 +15,8 @@ use rr_bench::rigid_start;
 use rr_corda::protocol::GreedyGapWalker;
 use rr_corda::scheduler::RoundRobinScheduler;
 use rr_corda::{
-    Engine, EngineOptions, LookPath, MultiplicityCapability, Snapshot, TraceMode, ViewOrder,
+    Engine, EngineOptions, LookPath, MultiplicityCapability, Snapshot, StepPath, TraceMode,
+    ViewOrder,
 };
 use rr_ring::Direction;
 use std::hint::black_box;
@@ -29,6 +30,7 @@ fn workload_options(path: LookPath) -> EngineOptions {
         trace: TraceMode::Disabled,
         view_order: ViewOrder::CwFirst,
         look_path: path,
+        step_path: StepPath::StepBaseline,
     }
 }
 

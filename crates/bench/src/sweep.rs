@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use rayon::prelude::*;
-use rr_corda::SchedulerKind;
+use rr_corda::{SchedulerKind, StepPath};
 use rr_core::driver::{BatchJob, BatchRunner, TaskTargets};
 use rr_core::unified::Task;
 use serde::Serialize;
@@ -345,10 +345,27 @@ impl Sweep {
     /// Runs the sweep, returning one record per job in declaration order.
     #[must_use]
     pub fn run(&self, mode: ExecMode) -> Vec<RunRecord> {
+        self.run_with(mode, BatchRunner::new)
+    }
+
+    /// [`Sweep::run`] with every job forced onto `path`, overriding the
+    /// driver's per-task step-path default.  This is the knob the
+    /// round-leaping lockstep harness turns: the same sweep run with leaping
+    /// forced on and forced off must produce byte-identical JSON records.
+    #[must_use]
+    pub fn run_forced(&self, mode: ExecMode, path: StepPath) -> Vec<RunRecord> {
+        self.run_with(mode, move || BatchRunner::with_step_path(path))
+    }
+
+    fn run_with(
+        &self,
+        mode: ExecMode,
+        make_runner: impl Fn() -> BatchRunner + Sync,
+    ) -> Vec<RunRecord> {
         let jobs = self.jobs();
         match mode {
             ExecMode::Sequential => {
-                let mut runner = BatchRunner::new();
+                let mut runner = make_runner();
                 jobs.iter()
                     .map(|job| self.run_job(&mut runner, job))
                     .collect()
@@ -363,7 +380,7 @@ impl Sweep {
                 let nested: Vec<Vec<RunRecord>> = shards
                     .into_par_iter()
                     .map(|shard| {
-                        let mut runner = BatchRunner::new();
+                        let mut runner = make_runner();
                         shard
                             .iter()
                             .map(|job| self.run_job(&mut runner, job))

@@ -1,0 +1,176 @@
+//! The round-leaping engine's headline guarantee: a sweep run with
+//! `StepPath::Leap` forced on emits **byte-identical** JSON records to the
+//! same sweep with `StepPath::StepBaseline` forced on (and to the per-task
+//! default), for every task family and scheduler kind.
+//!
+//! Leaping is a pure execution-strategy change: when the leap certificate
+//! holds the engine replays memoized decisions (or jumps whole rounds under
+//! the fully synchronous scheduler), and when it does not hold the engine
+//! falls back to baseline stepping.  Either way every counter, report and
+//! trace event must be exactly what the step-by-step pipeline would have
+//! produced, so the sweep records — which fold in rounds, cycles, moves,
+//! clearings, steady periods and gathering verdicts — must not move by a
+//! single byte.
+
+use proptest::prelude::*;
+use rr_bench::sweep::{json_report, ExecMode, RunRecord, Sweep};
+use rr_corda::{SchedulerKind, StepPath};
+use rr_core::driver::TaskTargets;
+use rr_core::unified::Task;
+
+fn strip_wall(mut records: Vec<RunRecord>) -> Vec<RunRecord> {
+    for r in &mut records {
+        r.wall_nanos = 0;
+    }
+    records
+}
+
+/// E6-shaped grid: gathering, the task whose driver defaults to
+/// `StepPath::Leap` and whose endgame certificate actually fires.
+fn gathering_sweep(root_seed: u64) -> Sweep {
+    Sweep {
+        experiment: "L-gathering",
+        task: Task::Gathering,
+        instances: vec![(8, 4), (10, 3), (12, 5)],
+        schedulers: SchedulerKind::ALL.to_vec(),
+        seeds_per_cell: 2,
+        root_seed,
+        targets: TaskTargets::open_ended(),
+        budget_per_n: 20_000,
+        budget_flat: 0,
+        async_budget_factor: 2,
+    }
+}
+
+/// E4-shaped grid: exclusive perpetual graph searching (the greedy-gap
+/// walker certificate path, with clearing targets checked per record).
+fn searching_sweep(root_seed: u64) -> Sweep {
+    Sweep {
+        experiment: "L-searching",
+        task: Task::GraphSearching,
+        instances: vec![(12, 5), (13, 6)],
+        schedulers: SchedulerKind::ALL.to_vec(),
+        seeds_per_cell: 1,
+        root_seed,
+        targets: TaskTargets::demonstrate(3, 0),
+        budget_per_n: 10_000,
+        budget_flat: 10_000,
+        async_budget_factor: 2,
+    }
+}
+
+/// E5-shaped grid: the dense `k = n - 3` searching teams.
+fn dense_searching_sweep(root_seed: u64) -> Sweep {
+    Sweep {
+        experiment: "L-nminus3",
+        task: Task::GraphSearching,
+        instances: vec![(10, 7), (12, 9)],
+        schedulers: vec![SchedulerKind::RoundRobin],
+        seeds_per_cell: 1,
+        root_seed,
+        targets: TaskTargets::demonstrate(5, 1),
+        budget_per_n: 60_000,
+        budget_flat: 0,
+        async_budget_factor: 2,
+    }
+}
+
+/// Exploration rides the same unified protocol stack; include it so every
+/// task variant is pinned.
+fn exploration_sweep(root_seed: u64) -> Sweep {
+    Sweep {
+        experiment: "L-exploration",
+        task: Task::Exploration,
+        instances: vec![(12, 5), (13, 6)],
+        schedulers: SchedulerKind::ALL.to_vec(),
+        seeds_per_cell: 1,
+        root_seed,
+        targets: TaskTargets::demonstrate(3, 1),
+        budget_per_n: 10_000,
+        budget_flat: 10_000,
+        async_budget_factor: 2,
+    }
+}
+
+/// Run one sweep under forced-Leap, forced-baseline and the per-task
+/// default, and require byte-identical JSON from all three.
+fn assert_lockstep(sweep: &Sweep, label: &str) -> Vec<RunRecord> {
+    let leap = sweep.run_forced(ExecMode::Sequential, StepPath::Leap);
+    let baseline = sweep.run_forced(ExecMode::Sequential, StepPath::StepBaseline);
+    let default = sweep.run(ExecMode::Sequential);
+    assert_eq!(leap.len(), sweep.jobs().len(), "{label}: job coverage");
+    assert_eq!(
+        strip_wall(leap.clone()),
+        strip_wall(baseline.clone()),
+        "{label}: leap vs baseline records"
+    );
+    assert_eq!(
+        strip_wall(leap.clone()),
+        strip_wall(default),
+        "{label}: leap vs default records"
+    );
+    let a = json_report(sweep.experiment, sweep.root_seed, &leap).unwrap();
+    let b = json_report(sweep.experiment, sweep.root_seed, &baseline).unwrap();
+    assert_eq!(a, b, "{label}: JSON reports must be byte-identical");
+    leap
+}
+
+#[test]
+fn leap_matches_baseline_on_gathering_grid() {
+    let records = assert_lockstep(&gathering_sweep(42), "gathering");
+    assert!(records.iter().all(|r| r.ok), "{records:?}");
+    assert!(
+        records.iter().any(|r| r.gathered),
+        "the grid should contain gathered runs for the comparison to bite"
+    );
+}
+
+#[test]
+fn leap_matches_baseline_on_searching_grid() {
+    let records = assert_lockstep(&searching_sweep(7), "searching");
+    assert!(
+        records.iter().all(|r| r.ok && r.clearings >= 3),
+        "{records:?}"
+    );
+}
+
+#[test]
+fn leap_matches_baseline_on_dense_searching_grid() {
+    let records = assert_lockstep(&dense_searching_sweep(11), "n-3 searching");
+    assert!(records.iter().all(|r| r.ok), "{records:?}");
+}
+
+#[test]
+fn leap_matches_baseline_on_exploration_grid() {
+    let records = assert_lockstep(&exploration_sweep(3), "exploration");
+    assert!(
+        records.iter().all(|r| r.ok && r.explorations >= 1),
+        "{records:?}"
+    );
+}
+
+#[test]
+fn sharded_leap_sweeps_stay_deterministic() {
+    let sweep = gathering_sweep(1234);
+    let sequential = sweep.run_forced(ExecMode::Sequential, StepPath::Leap);
+    let sharded = sweep.run_forced(ExecMode::Sharded, StepPath::Leap);
+    assert_eq!(strip_wall(sequential), strip_wall(sharded));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Byte-identical leap vs baseline JSON for arbitrary root seeds (small
+    /// grid to keep the property affordable).
+    #[test]
+    fn leap_matches_baseline_for_any_root_seed(root_seed in 0u64..u64::MAX) {
+        let sweep = Sweep {
+            instances: vec![(8, 4), (10, 3)],
+            seeds_per_cell: 1,
+            ..gathering_sweep(root_seed)
+        };
+        let a = json_report("L", root_seed, &sweep.run_forced(ExecMode::Sequential, StepPath::Leap)).unwrap();
+        let b = json_report("L", root_seed, &sweep.run_forced(ExecMode::Sequential, StepPath::StepBaseline)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod leap;
 pub mod monitor;
 pub mod packed;
 pub mod protocol;
@@ -36,9 +37,10 @@ pub mod trace;
 
 pub use engine::{
     Engine, EngineOptions, EngineState, LookPath, MoveRecord, RunOutcome, RunReport, Simulator,
-    SimulatorOptions, StepReport, ViewOrder,
+    SimulatorOptions, StepPath, StepReport, ViewOrder,
 };
 pub use error::SimError;
+pub use leap::{LeapPlan, LeapRecord};
 pub use monitor::{Monitor, MoveLog};
 pub use packed::{PackedState, StateSig, MAX_CANONICAL_N, SIG_WORDS};
 pub use protocol::{Decision, Protocol, ViewIndex};

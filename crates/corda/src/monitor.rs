@@ -16,6 +16,7 @@
 use rr_ring::Configuration;
 
 use crate::engine::{MoveRecord, StepReport};
+use crate::leap::LeapRecord;
 use crate::protocol::Decision;
 use crate::robot::RobotId;
 
@@ -43,6 +44,16 @@ pub trait Monitor {
     fn on_step(&mut self, report: &StepReport, config: &Configuration) {
         let _ = (report, config);
     }
+
+    /// Called once per batched leap (`Engine::leap` in `StepPath::Leap`
+    /// mode) with the aggregate record of the leaped rounds and the
+    /// configuration *after* them, replacing the per-look/move/step hooks
+    /// for those rounds.  Monitors that need individual move records (e.g.
+    /// contamination tracking) must not be combined with batched leaping;
+    /// aggregate monitors implement this to stay consistent.
+    fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
+        let _ = (record, after);
+    }
 }
 
 /// The null monitor: observes nothing.
@@ -60,6 +71,10 @@ impl<M: Monitor + ?Sized> Monitor for &mut M {
     fn on_step(&mut self, report: &StepReport, config: &Configuration) {
         (**self).on_step(report, config);
     }
+
+    fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
+        (**self).on_leap(record, after);
+    }
 }
 
 macro_rules! tuple_monitors {
@@ -75,6 +90,10 @@ macro_rules! tuple_monitors {
 
             fn on_step(&mut self, report: &StepReport, config: &Configuration) {
                 $(self.$idx.on_step(report, config);)+
+            }
+
+            fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
+                $(self.$idx.on_leap(record, after);)+
             }
         }
     )*};

@@ -64,6 +64,15 @@ pub trait Scheduler {
     fn name(&self) -> &str {
         "scheduler"
     }
+
+    /// Whether this scheduler is *round-uniform*: every [`Scheduler::next`]
+    /// returns a full-activation [`SchedulerStep::SsyncRound`] regardless of
+    /// the view, and skipping calls is unobservable (the scheduler is
+    /// stateless).  Round-uniform schedulers are the ones `Engine::leap` may
+    /// batch whole rounds for without consulting the scheduler per round.
+    fn is_round_uniform(&self) -> bool {
+        false
+    }
 }
 
 /// FSYNC: every robot performs a complete cycle in every round.
@@ -77,6 +86,10 @@ impl Scheduler for FullySynchronousScheduler {
 
     fn name(&self) -> &str {
         "fsync"
+    }
+
+    fn is_round_uniform(&self) -> bool {
+        true
     }
 }
 
@@ -411,10 +424,15 @@ pub enum SchedulerKind {
     SemiSynchronous,
     /// Random asynchronous with pending moves.
     Asynchronous,
+    /// Deterministic fully synchronous (every robot, every round).  Not part
+    /// of [`SchedulerKind::ALL`]: the verification grids adversarially
+    /// subsume it, but throughput experiments carry it explicitly because it
+    /// is the round-uniform family `Engine::leap` can batch.
+    FullySynchronous,
 }
 
 impl SchedulerKind {
-    /// All scheduler kinds.
+    /// The adversarial scheduler kinds the verification sweeps run under.
     pub const ALL: [SchedulerKind; 3] = [
         SchedulerKind::RoundRobin,
         SchedulerKind::SemiSynchronous,
@@ -428,6 +446,7 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin => "round-robin",
             SchedulerKind::SemiSynchronous => "ssync",
             SchedulerKind::Asynchronous => "async",
+            SchedulerKind::FullySynchronous => "fsync",
         }
     }
 
@@ -438,6 +457,7 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin => f(&mut RoundRobinScheduler::new()),
             SchedulerKind::SemiSynchronous => f(&mut SemiSynchronousScheduler::seeded(seed)),
             SchedulerKind::Asynchronous => f(&mut AsynchronousScheduler::seeded(seed)),
+            SchedulerKind::FullySynchronous => f(&mut FullySynchronousScheduler),
         }
     }
 }

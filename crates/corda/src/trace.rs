@@ -36,16 +36,29 @@ pub enum Event {
         /// Global step counter at which the event happened.
         step: u64,
     },
+    /// The engine applied many full rounds as one batched leap
+    /// (`StepPath::Leap` under a round-uniform scheduler): a single summary
+    /// event stands in for the per-robot events of those rounds.
+    Leaped {
+        /// Full rounds applied.
+        rounds: u64,
+        /// Robot moves executed across those rounds.
+        moves: u64,
+        /// Global step counter *after* the leap.
+        step: u64,
+    },
 }
 
 impl Event {
-    /// The robot involved in the event.
+    /// The robot involved in the event ([`None`] for aggregate events such
+    /// as [`Event::Leaped`]).
     #[must_use]
-    pub fn robot(&self) -> RobotId {
+    pub fn robot(&self) -> Option<RobotId> {
         match self {
             Event::Looked { robot, .. }
             | Event::Moved { robot, .. }
-            | Event::StayedIdle { robot, .. } => *robot,
+            | Event::StayedIdle { robot, .. } => Some(*robot),
+            Event::Leaped { .. } => None,
         }
     }
 
@@ -55,7 +68,8 @@ impl Event {
         match self {
             Event::Looked { step, .. }
             | Event::Moved { step, .. }
-            | Event::StayedIdle { step, .. } => *step,
+            | Event::StayedIdle { step, .. }
+            | Event::Leaped { step, .. } => *step,
         }
     }
 }
@@ -238,14 +252,21 @@ mod tests {
             to: 1,
             step: 9,
         };
-        assert_eq!(e.robot(), 5);
+        assert_eq!(e.robot(), Some(5));
         assert_eq!(e.step(), 9);
         let e = Event::Looked {
             robot: 2,
             step: 4,
             decided_to_move: false,
         };
-        assert_eq!(e.robot(), 2);
+        assert_eq!(e.robot(), Some(2));
         assert_eq!(e.step(), 4);
+        let e = Event::Leaped {
+            rounds: 7,
+            moves: 7,
+            step: 42,
+        };
+        assert_eq!(e.robot(), None);
+        assert_eq!(e.step(), 42);
     }
 }

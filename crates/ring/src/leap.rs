@@ -1,0 +1,138 @@
+//! Horizon arithmetic for round-leaping engines.
+//!
+//! A *leap certificate* (see `rr-corda`) asserts that every robot's decision
+//! is constant for the next `L` full rounds, so the engine may apply `L`
+//! rounds as one batched index update.  The horizon `L` is the minimum of a
+//! handful of per-gap and per-node linear constraints of the form
+//! "`value + rate·t` stays on the right side of a bound": a gap shrinking at
+//! `rate` per round must not collapse, a decision comparing two gaps must not
+//! flip, an idle robot's zero gaps must stay zero.
+//!
+//! This module holds exactly that arithmetic — how many consecutive rounds
+//! `t = 0, 1, 2, …` a linear inequality survives — on plain integers, with
+//! `u64::MAX` as the "forever" sentinel.  Everything is `O(1)`,
+//! allocation-free and total (no overflow panics for the `i64` ranges that
+//! ring gaps and ±2 rates can produce).
+//!
+//! The degenerate occupancy cycles these horizons are computed over are
+//! covered by contract tests in `crates/ring/tests/config_incremental.rs`:
+//! `k = 1` yields the self-loop cycle (`gap_sequence() == [n - 1]`,
+//! `occupied_after(v, _) == v`), and `k = 0` is rejected at configuration
+//! construction, so every horizon computation sees at least one occupied
+//! node.
+
+/// Number of consecutive rounds `t = 0, 1, 2, …` for which
+/// `value + rate * t >= floor` holds, or [`u64::MAX`] if it holds forever.
+///
+/// Returns `0` when the inequality already fails at `t = 0`.
+///
+/// ```
+/// use rr_ring::leap::rounds_at_least;
+/// assert_eq!(rounds_at_least(5, -2, 1), 3); // 5, 3, 1, then -1 < 1
+/// assert_eq!(rounds_at_least(5, 0, 1), u64::MAX);
+/// assert_eq!(rounds_at_least(0, -1, 1), 0);
+/// ```
+#[must_use]
+pub fn rounds_at_least(value: i64, rate: i64, floor: i64) -> u64 {
+    if value < floor {
+        return 0;
+    }
+    if rate >= 0 {
+        return u64::MAX;
+    }
+    // Largest t with value + rate * t >= floor is (value - floor) / (-rate),
+    // and t counts from 0, so the round count is one more.
+    let slack = value.wrapping_sub(floor) as u64;
+    slack / rate.unsigned_abs() + 1
+}
+
+/// Number of consecutive rounds `t = 0, 1, 2, …` for which
+/// `value + rate * t <= ceil` holds, or [`u64::MAX`] if it holds forever.
+///
+/// Returns `0` when the inequality already fails at `t = 0`.
+#[must_use]
+pub fn rounds_at_most(value: i64, rate: i64, ceil: i64) -> u64 {
+    if value > ceil {
+        return 0;
+    }
+    if rate <= 0 {
+        return u64::MAX;
+    }
+    let slack = ceil.wrapping_sub(value) as u64;
+    slack / rate.unsigned_abs() + 1
+}
+
+/// Number of consecutive rounds `t = 0, 1, 2, …` for which
+/// `value + rate * t == target` holds, or [`u64::MAX`] if it holds forever.
+#[must_use]
+pub fn rounds_exactly(value: i64, rate: i64, target: i64) -> u64 {
+    if value != target {
+        0
+    } else if rate == 0 {
+        u64::MAX
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_counts_surviving_rounds() {
+        // 7, 4, 1 are >= 1; the next value (-2) is not.
+        assert_eq!(rounds_at_least(7, -3, 1), 3);
+        // Boundary hit exactly: 4, 2, 0 with floor 0.
+        assert_eq!(rounds_at_least(4, -2, 0), 3);
+        // Fails immediately.
+        assert_eq!(rounds_at_least(0, -5, 1), 0);
+        assert_eq!(rounds_at_least(-3, 2, 0), 0);
+        // Non-shrinking values never fail.
+        assert_eq!(rounds_at_least(1, 0, 0), u64::MAX);
+        assert_eq!(rounds_at_least(1, 7, 1), u64::MAX);
+    }
+
+    #[test]
+    fn at_most_is_the_mirror_image() {
+        assert_eq!(rounds_at_most(1, 3, 7), 3); // 1, 4, 7, then 10 > 7
+        assert_eq!(rounds_at_most(8, 1, 7), 0);
+        assert_eq!(rounds_at_most(5, 0, 7), u64::MAX);
+        assert_eq!(rounds_at_most(5, -2, 7), u64::MAX);
+    }
+
+    #[test]
+    fn exactly_is_one_round_unless_static() {
+        assert_eq!(rounds_exactly(0, 0, 0), u64::MAX);
+        assert_eq!(rounds_exactly(0, 1, 0), 1);
+        assert_eq!(rounds_exactly(0, -2, 0), 1);
+        assert_eq!(rounds_exactly(3, 0, 0), 0);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_ranges() {
+        for value in -6i64..=6 {
+            for rate in -3i64..=3 {
+                for bound in -2i64..=2 {
+                    let brute = |ok: &dyn Fn(i64) -> bool| -> u64 {
+                        let mut t = 0u64;
+                        while t < 50 {
+                            if !ok(value + rate * t as i64) {
+                                return t;
+                            }
+                            t += 1;
+                        }
+                        u64::MAX
+                    };
+                    let ge = brute(&|v| v >= bound);
+                    let got = rounds_at_least(value, rate, bound);
+                    assert!(got == ge || (ge == u64::MAX && got == u64::MAX));
+                    let le = brute(&|v| v <= bound);
+                    assert_eq!(rounds_at_most(value, rate, bound).min(50), le.min(50));
+                    let eq = brute(&|v| v == bound);
+                    assert_eq!(rounds_exactly(value, rate, bound).min(50), eq.min(50));
+                }
+            }
+        }
+    }
+}

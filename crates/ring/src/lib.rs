@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod enumerate;
+pub mod leap;
 pub mod node;
 pub mod pattern;
 pub mod ring;

@@ -12,7 +12,49 @@
 //! cross-checks its own index after each mutation.)
 
 use proptest::prelude::*;
+use rr_ring::config::ConfigError;
 use rr_ring::{Configuration, Direction, Ring, View};
+
+/// Degenerate-occupancy contracts the leap certificates lean on:
+/// a single occupied node is its own cw/ccw successor, its occupancy cycle
+/// is the one-element cycle, and its gap sequence is the whole ring minus
+/// the node itself.  These hold whether the node carries one robot or a
+/// tower, and regardless of where the node sits.
+#[test]
+fn single_occupied_node_contracts() {
+    for n in [3usize, 5, 9] {
+        for node in [0usize, 1, n - 1] {
+            for tower in [1u32, 4] {
+                let mut counts = vec![0u32; n];
+                counts[node] = tower;
+                let c = Configuration::from_counts(Ring::new(n), counts).unwrap();
+                assert_eq!(c.num_occupied(), 1);
+                assert_eq!(c.occupied_anchor(), node);
+                assert_eq!(c.gap_sequence(), vec![n - 1]);
+                assert!(c.is_gathered());
+                for dir in Direction::BOTH {
+                    assert_eq!(c.occupied_after(node, dir), node, "self-successor");
+                    let cycle: Vec<_> = c.occupied_cycle(node, dir).collect();
+                    assert_eq!(cycle, vec![node], "one-element cycle");
+                }
+            }
+        }
+    }
+}
+
+/// An empty occupancy (k = 0) is unrepresentable: construction fails, so no
+/// consumer of the occupancy index ever has to handle a zero-length cycle.
+#[test]
+fn empty_occupancy_is_rejected_at_construction() {
+    assert_eq!(
+        Configuration::from_counts(Ring::new(7), vec![0; 7]).unwrap_err(),
+        ConfigError::Empty
+    );
+    assert_eq!(
+        Configuration::from_gaps(Ring::new(7), 0, &[]).unwrap_err(),
+        ConfigError::Empty
+    );
+}
 
 /// A random instance: ring size, per-node robot counts (at least one robot),
 /// and a script of (occupied-node selector, direction bit) moves.
