@@ -3,75 +3,40 @@
 //! for larger ones.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_align -- [--quick] [--json <path>] [--sequential]
+//! cargo run --release -p rr-bench --bin exp_align -- [--quick] [--json <path>] [--sequential] [--ledger <path>] [--cache <dir>]
 //! ```
 
-use rr_bench::sweep::{grid_map, ExpArgs};
-use rr_bench::{mean, ALIGN_INSTANCES};
-use rr_checker::verify::measure_align;
-use serde::Serialize;
-
-/// One Align convergence measurement, as recorded in the JSON report.
-#[derive(Debug, Clone, Serialize)]
-struct AlignRecord {
-    experiment: String,
-    n: usize,
-    k: usize,
-    starts: usize,
-    min_moves: u64,
-    max_moves: u64,
-    total_moves: u64,
-    ok: bool,
-}
+use rr_bench::grid::preset;
+use rr_bench::mean;
+use rr_bench::sweep::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse(0xE3);
-    let instances: Vec<(usize, usize)> = if args.quick {
-        ALIGN_INSTANCES
-            .iter()
-            .copied()
-            .filter(|&(n, _)| n <= 16)
-            .collect()
-    } else {
-        ALIGN_INSTANCES.to_vec()
-    };
-    let records: Vec<AlignRecord> = grid_map(instances, args.mode(), |(n, k)| {
-        let max_starts = if n <= 14 { usize::MAX } else { 64 };
-        let stats = measure_align(n, k, max_starts);
-        AlignRecord {
-            experiment: "E3".to_string(),
-            n,
-            k,
-            starts: stats.starts,
-            min_moves: stats.min_moves,
-            max_moves: stats.max_moves,
-            total_moves: stats.total_moves,
-            ok: stats.all_converged,
-        }
-    });
+    let spec = preset("align", args.quick, Some(args.root_seed)).expect("builtin preset");
+    let run = args.run_grid(&spec);
 
     println!("# E3 — Align convergence to C* (round-robin scheduler)");
-    println!(
-        "{:>4} {:>4} {:>8} {:>10} {:>10} {:>10} {:>12}",
-        "n", "k", "starts", "min moves", "avg moves", "max moves", "all reached"
-    );
-    for r in &records {
+    if let Some(records) = run.records.align().filter(|r| !r.is_empty()) {
         println!(
-            "{:>4} {:>4} {:>8} {:>10} {:>10.1} {:>10} {:>12}",
-            r.n,
-            r.k,
-            r.starts,
-            r.min_moves,
-            mean(r.total_moves, r.starts as u64),
-            r.max_moves,
-            r.ok
+            "{:>4} {:>4} {:>8} {:>10} {:>10} {:>10} {:>12}",
+            "n", "k", "starts", "min moves", "avg moves", "max moves", "all reached"
         );
+        for r in records {
+            println!(
+                "{:>4} {:>4} {:>8} {:>10} {:>10.1} {:>10} {:>12}",
+                r.n,
+                r.k,
+                r.starts,
+                r.min_moves,
+                mean(r.total_moves, r.starts as u64),
+                r.max_moves,
+                r.ok
+            );
+        }
+        println!();
+        println!("# shape check: max moves grows roughly like n*k (the supermin view decreases");
+        println!("# lexicographically and each of its k entries is bounded by n).");
     }
-    println!();
-    println!("# shape check: max moves grows roughly like n*k (the supermin view decreases");
-    println!("# lexicographically and each of its k entries is bounded by n).");
 
-    args.write_json("E3", &records);
-    let failures = records.iter().filter(|r| !r.ok).count();
-    rr_bench::sweep::exit_if_failed("E3", failures, records.len());
+    args.finish_grid(&spec, &run);
 }

@@ -3,57 +3,38 @@
 //! three scheduler models.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_clearing -- [--quick] [--json <path>] [--seed <u64>] [--sequential]
+//! cargo run --release -p rr-bench --bin exp_clearing -- [--quick] [--json <path>] [--seed <u64>] [--sequential] [--ledger <path>] [--cache <dir>]
 //! ```
 
-use rr_bench::sweep::{ExpArgs, Sweep};
-use rr_bench::CLEARING_INSTANCES;
-use rr_corda::SchedulerKind;
-use rr_core::driver::TaskTargets;
-use rr_core::unified::Task;
+use rr_bench::grid::preset;
+use rr_bench::sweep::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse(0xE4);
-    let instances: Vec<(usize, usize)> = if args.quick {
-        CLEARING_INSTANCES
-            .iter()
-            .copied()
-            .filter(|&(n, _)| n <= 16)
-            .collect()
-    } else {
-        CLEARING_INSTANCES.to_vec()
-    };
-    let sweep = Sweep {
-        experiment: "E4",
-        task: Task::GraphSearching,
-        instances,
-        schedulers: SchedulerKind::ALL.to_vec(),
-        seeds_per_cell: 1,
-        root_seed: args.root_seed,
-        targets: TaskTargets::demonstrate(10, 1),
-        budget_per_n: 30_000,
-        budget_flat: 0,
-        async_budget_factor: 2,
-    };
-    let records = sweep.run(args.mode());
+    let spec = preset("clearing", args.quick, Some(args.root_seed)).expect("builtin preset");
+    let run = args.run_grid(&spec);
 
     println!("# E4 — Ring Clearing (5 <= k < n-3): clearings, steady period, exploration");
-    println!(
-        "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
-        "n", "k", "scheduler", "clearings", "steady period", "exploration", "moves"
-    );
-    for r in &records {
+    if let Some(records) = run.records.sweep().filter(|r| !r.is_empty()) {
         println!(
             "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
-            r.n, r.k, r.scheduler, r.clearings, r.steady_period, r.explorations, r.moves
+            "n", "k", "scheduler", "clearings", "steady period", "exploration", "moves"
         );
+        for r in records {
+            println!(
+                "{:>4} {:>4} {:>12} {:>10} {:>14} {:>12} {:>10}",
+                r.n, r.k, r.scheduler, r.clearings, r.steady_period, r.explorations, r.moves
+            );
+        }
+        println!();
+        println!(
+            "# shape check: the steady clearing period equals n-k moves per cycle, independent"
+        );
+        println!(
+            "# of the scheduler (the adversary changes how many activations it takes, not the"
+        );
+        println!("# number of moves).");
     }
-    println!();
-    println!("# shape check: the steady clearing period equals n-k moves per cycle, independent");
-    println!("# of the scheduler (the adversary changes how many activations it takes, not the");
-    println!("# number of moves).");
 
-    args.write_json("E4", &records);
-    let failures = records.iter().filter(|r| !r.ok).count();
-    rr_bench::sweep::exit_if_failed("E4", failures, records.len());
+    args.finish_grid(&spec, &run);
 }

@@ -2,69 +2,47 @@
 //! scheduler models across ring sizes and team sizes.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_gathering -- [--quick] [--json <path>] [--seed <u64>] [--sequential]
+//! cargo run --release -p rr-bench --bin exp_gathering -- [--quick] [--json <path>] [--seed <u64>] [--sequential] [--ledger <path>] [--cache <dir>]
 //! ```
 
-use rr_bench::sweep::{ExpArgs, Sweep};
-use rr_bench::GATHERING_INSTANCES;
+use rr_bench::grid::preset;
+use rr_bench::sweep::ExpArgs;
 use rr_corda::SchedulerKind;
-use rr_core::driver::TaskTargets;
-use rr_core::unified::Task;
 
 fn main() {
     let args = ExpArgs::parse(0xE6);
-    let instances: Vec<(usize, usize)> = if args.quick {
-        GATHERING_INSTANCES
-            .iter()
-            .copied()
-            .filter(|&(n, _)| n <= 16)
-            .collect()
-    } else {
-        GATHERING_INSTANCES.to_vec()
-    };
-    let sweep = Sweep {
-        experiment: "E6",
-        task: Task::Gathering,
-        instances,
-        schedulers: SchedulerKind::ALL.to_vec(),
-        seeds_per_cell: 1,
-        root_seed: args.root_seed,
-        targets: TaskTargets::open_ended(),
-        budget_per_n: 100_000,
-        budget_flat: 0,
-        async_budget_factor: 2,
-    };
-    let records = sweep.run(args.mode());
+    let spec = preset("gathering", args.quick, Some(args.root_seed)).expect("builtin preset");
+    let run = args.run_grid(&spec);
 
     println!("# E6 — Gathering with local multiplicity detection (2 < k < n-2)");
-    println!(
-        "{:>4} {:>4} {:>16} {:>16} {:>16}",
-        "n", "k", "rr moves", "ssync moves", "async moves"
-    );
-    for row in records.chunks(SchedulerKind::ALL.len()) {
-        let fmt = |r: &rr_bench::sweep::RunRecord| {
-            if r.ok {
-                r.moves.to_string()
-            } else {
-                "FAILED".to_string()
-            }
-        };
+    if let Some(records) = run.records.sweep().filter(|r| r.len() == spec.cells()) {
         println!(
             "{:>4} {:>4} {:>16} {:>16} {:>16}",
-            row[0].n,
-            row[0].k,
-            fmt(&row[0]),
-            fmt(&row[1]),
-            fmt(&row[2])
+            "n", "k", "rr moves", "ssync moves", "async moves"
         );
+        for row in records.chunks(SchedulerKind::ALL.len()) {
+            let fmt = |r: &rr_bench::sweep::RunRecord| {
+                if r.ok {
+                    r.moves.to_string()
+                } else {
+                    "FAILED".to_string()
+                }
+            };
+            println!(
+                "{:>4} {:>4} {:>16} {:>16} {:>16}",
+                row[0].n,
+                row[0].k,
+                fmt(&row[0]),
+                fmt(&row[1]),
+                fmt(&row[2])
+            );
+        }
+        println!();
+        println!("# shape check: the move count is dominated by the Align phase plus roughly one");
+        println!("# move per robot for the contraction, and is identical in order of magnitude");
+        println!("# across schedulers (the adversary cannot inflate the number of moves, only the");
+        println!("# number of activations).");
     }
-    println!();
-    println!("# shape check: the move count is dominated by the Align phase plus roughly one");
-    println!("# move per robot for the contraction, and is identical in order of magnitude");
-    println!("# across schedulers (the adversary cannot inflate the number of moves, only the");
-    println!("# number of activations).");
 
-    args.write_json("E6", &records);
-    let failures = records.iter().filter(|r| !r.ok).count();
-    rr_bench::sweep::exit_if_failed("E6", failures, records.len());
+    args.finish_grid(&spec, &run);
 }

@@ -2,52 +2,35 @@
 //! clearing cycle with `k = n - 3` robots.
 //!
 //! ```text
-//! cargo run --release -p rr-bench --bin exp_nminus_three -- [--quick] [--json <path>] [--seed <u64>] [--sequential]
+//! cargo run --release -p rr-bench --bin exp_nminus_three -- [--quick] [--json <path>] [--seed <u64>] [--sequential] [--ledger <path>] [--cache <dir>]
 //! ```
 
-use rr_bench::sweep::{ExpArgs, Sweep};
-use rr_bench::NMINUS3_RINGS;
-use rr_corda::SchedulerKind;
-use rr_core::driver::TaskTargets;
-use rr_core::unified::Task;
+use rr_bench::grid::preset;
+use rr_bench::sweep::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse(0xE5);
-    let rings: Vec<usize> = if args.quick {
-        NMINUS3_RINGS.iter().copied().filter(|&n| n <= 16).collect()
-    } else {
-        NMINUS3_RINGS.to_vec()
-    };
-    let sweep = Sweep {
-        experiment: "E5",
-        task: Task::GraphSearching,
-        instances: rings.iter().map(|&n| (n, n - 3)).collect(),
-        schedulers: vec![SchedulerKind::RoundRobin],
-        seeds_per_cell: 1,
-        root_seed: args.root_seed,
-        targets: TaskTargets::demonstrate(20, 1),
-        budget_per_n: 60_000,
-        budget_flat: 0,
-        async_budget_factor: 2,
-    };
-    let records = sweep.run(args.mode());
+    let spec = preset("nminus3", args.quick, Some(args.root_seed)).expect("builtin preset");
+    let run = args.run_grid(&spec);
 
     println!("# E5 — NminusThree (k = n-3): clearings and steady period");
-    println!(
-        "{:>4} {:>4} {:>10} {:>14} {:>12} {:>10}",
-        "n", "k", "clearings", "steady period", "exploration", "moves"
-    );
-    for r in &records {
+    if let Some(records) = run.records.sweep().filter(|r| !r.is_empty()) {
         println!(
             "{:>4} {:>4} {:>10} {:>14} {:>12} {:>10}",
-            r.n, r.k, r.clearings, r.steady_period, r.explorations, r.moves
+            "n", "k", "clearings", "steady period", "exploration", "moves"
         );
+        for r in records {
+            println!(
+                "{:>4} {:>4} {:>10} {:>14} {:>12} {:>10}",
+                r.n, r.k, r.clearings, r.steady_period, r.explorations, r.moves
+            );
+        }
+        println!();
+        println!(
+            "# shape check: in the steady state the ring is cleared every 3 moves (the R2.1 ->"
+        );
+        println!("# R2.2 -> R2.3 cycle of Section 4.4), independently of n.");
     }
-    println!();
-    println!("# shape check: in the steady state the ring is cleared every 3 moves (the R2.1 ->");
-    println!("# R2.2 -> R2.3 cycle of Section 4.4), independently of n.");
 
-    args.write_json("E5", &records);
-    let failures = records.iter().filter(|r| !r.ok).count();
-    rr_bench::sweep::exit_if_failed("E5", failures, records.len());
+    args.finish_grid(&spec, &run);
 }

@@ -10,6 +10,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod grid;
+pub mod ledger;
 pub mod sweep;
 
 use rand::SeedableRng;

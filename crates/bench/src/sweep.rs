@@ -48,13 +48,92 @@ pub enum ExecMode {
     Sharded,
 }
 
+/// A per-record progress callback: `(cell_index, record)`.
+///
+/// Under [`ExecMode::Sharded`] the sink is invoked from worker threads and
+/// cell indices arrive out of order (within one shard they are ascending);
+/// sinks that need declaration order reorder on the index — which is exactly
+/// what [`Ledger::append`](crate::ledger::Ledger::append) does.
+pub type ProgressSink<'a> = &'a (dyn Fn(usize, &RunRecord) + Sync);
+
+/// Options for one [`Sweep::run_with`] call — the single run entry point
+/// that replaced the old `run(mode)` / `run_forced(mode, path)` pair.
+///
+/// ```
+/// # use rr_bench::sweep::{ExecMode, RunOptions};
+/// let opts = RunOptions::new().sharded();
+/// # let _ = opts;
+/// ```
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    mode: Option<ExecMode>,
+    step_path: Option<StepPath>,
+    progress: Option<ProgressSink<'a>>,
+    skip_cells: usize,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Sequential execution, per-task step paths, no progress sink.
+    #[must_use]
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Sets the execution mode explicitly.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Shorthand for [`RunOptions::mode`]`(ExecMode::Sharded)`.
+    #[must_use]
+    pub fn sharded(self) -> Self {
+        self.mode(ExecMode::Sharded)
+    }
+
+    /// Forces every job onto `path`, overriding the driver's per-task
+    /// step-path default.  This is the knob the round-leaping lockstep
+    /// harness turns: the same sweep run with leaping forced on and forced
+    /// off must produce byte-identical JSON records.
+    #[must_use]
+    pub fn step_path(mut self, path: StepPath) -> Self {
+        self.step_path = Some(path);
+        self
+    }
+
+    /// Streams each completed record to `sink` as `(cell_index, record)`.
+    /// This is how the sweep service's ledger observes a run incrementally
+    /// instead of waiting for the full record vector.
+    #[must_use]
+    pub fn progress(mut self, sink: ProgressSink<'a>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Skips the first `cells` jobs of the declaration order — the resume
+    /// primitive.  Because every job's seed derives from the root seed and
+    /// the job's grid coordinates alone, the records for cells `cells..` are
+    /// byte-identical whether or not the earlier cells were run in the same
+    /// process.
+    #[must_use]
+    pub fn resume_at(mut self, cells: usize) -> Self {
+        self.skip_cells = cells;
+        self
+    }
+
+    fn exec_mode(&self) -> ExecMode {
+        self.mode.unwrap_or(ExecMode::Sequential)
+    }
+}
+
 /// A declarative instance grid: the cross product of `(n, k)` instances,
 /// scheduler kinds and per-cell seeds, run as one task with uniform targets
 /// and a linear step budget.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     /// Experiment identifier recorded in every run record (e.g. "E6").
-    pub experiment: &'static str,
+    pub experiment: String,
     /// The task every instance runs.
     pub task: Task,
     /// The `(n, k)` grid.
@@ -282,7 +361,7 @@ impl Sweep {
         let started = Instant::now();
         let (n, k) = (job.start.n(), job.start.num_robots());
         let mut record = RunRecord {
-            experiment: self.experiment.to_string(),
+            experiment: self.experiment.clone(),
             task: task_slug(job.task).to_string(),
             n,
             k,
@@ -343,31 +422,64 @@ impl Sweep {
     }
 
     /// Runs the sweep, returning one record per job in declaration order.
+    ///
+    /// Superseded by [`Sweep::run_with`]; kept one release for out-of-tree
+    /// callers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_with(&RunOptions::new().mode(mode))`"
+    )]
     #[must_use]
     pub fn run(&self, mode: ExecMode) -> Vec<RunRecord> {
-        self.run_with(mode, BatchRunner::new)
+        self.run_with(&RunOptions::new().mode(mode))
     }
 
-    /// [`Sweep::run`] with every job forced onto `path`, overriding the
-    /// driver's per-task step-path default.  This is the knob the
-    /// round-leaping lockstep harness turns: the same sweep run with leaping
-    /// forced on and forced off must produce byte-identical JSON records.
+    /// Runs the sweep with every job forced onto `path`.
+    ///
+    /// Superseded by [`Sweep::run_with`]; kept one release for out-of-tree
+    /// callers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_with(&RunOptions::new().mode(mode).step_path(path))`"
+    )]
     #[must_use]
     pub fn run_forced(&self, mode: ExecMode, path: StepPath) -> Vec<RunRecord> {
-        self.run_with(mode, move || BatchRunner::with_step_path(path))
+        self.run_with(&RunOptions::new().mode(mode).step_path(path))
     }
 
-    fn run_with(
-        &self,
-        mode: ExecMode,
-        make_runner: impl Fn() -> BatchRunner + Sync,
-    ) -> Vec<RunRecord> {
-        let jobs = self.jobs();
-        match mode {
+    /// **The** run entry point: executes the grid as declared by `options`
+    /// and returns one record per executed job, in declaration order.
+    ///
+    /// With [`RunOptions::resume_at`]`(c)` the first `c` cells are skipped
+    /// and the returned vector covers cells `c..` only; their contents are
+    /// byte-for-byte what an uninterrupted run would have produced for those
+    /// cells (per-cell seeds derive from the root seed and grid coordinates,
+    /// never from execution history).  A [`RunOptions::progress`] sink
+    /// observes every record as it completes, tagged with its cell index.
+    #[must_use]
+    pub fn run_with(&self, options: &RunOptions<'_>) -> Vec<RunRecord> {
+        let make_runner = || match options.step_path {
+            Some(path) => BatchRunner::with_step_path(path),
+            None => BatchRunner::new(),
+        };
+        let report = |index: usize, record: &RunRecord| {
+            if let Some(sink) = options.progress {
+                sink(index, record);
+            }
+        };
+        let skip = options.skip_cells;
+        let all_jobs = self.jobs();
+        let jobs = &all_jobs[skip.min(all_jobs.len())..];
+        match options.exec_mode() {
             ExecMode::Sequential => {
                 let mut runner = make_runner();
                 jobs.iter()
-                    .map(|job| self.run_job(&mut runner, job))
+                    .enumerate()
+                    .map(|(i, job)| {
+                        let record = self.run_job(&mut runner, job);
+                        report(skip + i, &record);
+                        record
+                    })
                     .collect()
             }
             ExecMode::Sharded => {
@@ -375,21 +487,35 @@ impl Sweep {
                     .map_or(4, usize::from)
                     .min(jobs.len().max(1));
                 let shard_len = jobs.len().div_ceil(workers).max(1);
-                let shards: Vec<Vec<BatchJob>> =
-                    jobs.chunks(shard_len).map(<[BatchJob]>::to_vec).collect();
+                let shards: Vec<(usize, Vec<BatchJob>)> = jobs
+                    .chunks(shard_len)
+                    .enumerate()
+                    .map(|(s, shard)| (skip + s * shard_len, shard.to_vec()))
+                    .collect();
                 let nested: Vec<Vec<RunRecord>> = shards
                     .into_par_iter()
-                    .map(|shard| {
+                    .map(|(base, shard)| {
                         let mut runner = make_runner();
                         shard
                             .iter()
-                            .map(|job| self.run_job(&mut runner, job))
+                            .enumerate()
+                            .map(|(i, job)| {
+                                let record = self.run_job(&mut runner, job);
+                                report(base + i, &record);
+                                record
+                            })
                             .collect()
                     })
                     .collect();
                 nested.into_iter().flatten().collect()
             }
         }
+    }
+
+    /// The number of cells (= records) this sweep's grid expands to.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.instances.len() * self.schedulers.len() * self.seeds_per_cell as usize
     }
 }
 
@@ -412,27 +538,76 @@ pub fn grid_map<T: Send, O: Send>(
 // JSON reports.
 // ---------------------------------------------------------------------------
 
-/// Envelope written by [`write_json_records`].
-#[derive(Debug, Serialize)]
-struct SweepReport<'a, T> {
-    schema: &'static str,
-    experiment: &'a str,
-    root_seed: u64,
-    records: &'a [T],
+/// The shared `rr-sweep/v1` preamble: schema tag, explicit schema version,
+/// the engine's semantic version, the experiment id and the root seed.
+///
+/// Every producer of `rr-sweep/v1` bytes goes through this one type instead
+/// of hand-rolling its own preamble: [`json_report`] opens its envelope with
+/// these fields (in this declaration order), and a sweep
+/// [`Ledger`](crate::ledger::Ledger) writes [`SweepHeader::to_json_line`] as
+/// its first line.  Consumers can therefore dispatch on
+/// `(schema, schema_version)` and detect stale cached results on
+/// `engine_version` without knowing which record family follows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SweepHeader {
+    /// Schema family tag; always `"rr-sweep/v1"`.
+    pub schema: &'static str,
+    /// Explicit schema version within the family (this is version 1).
+    pub schema_version: u32,
+    /// [`rr_corda::ENGINE_VERSION`]: the semantic version of the engine that
+    /// produced the records.  Part of the result-cache key — two ledgers
+    /// with different engine versions are never interchangeable.
+    pub engine_version: &'static str,
+    /// Experiment identifier (e.g. "E6").
+    pub experiment: String,
+    /// Root seed every per-cell seed was derived from.
+    pub root_seed: u64,
+}
+
+impl SweepHeader {
+    /// The header for `experiment` under the current engine.
+    #[must_use]
+    pub fn new(experiment: &str, root_seed: u64) -> Self {
+        SweepHeader {
+            schema: "rr-sweep/v1",
+            schema_version: 1,
+            engine_version: rr_corda::ENGINE_VERSION,
+            experiment: experiment.to_string(),
+            root_seed,
+        }
+    }
+
+    /// The header as one JSON object, **without** a trailing newline —
+    /// exactly the first line of a sweep ledger.
+    ///
+    /// # Panics
+    ///
+    /// Serialization of this plain struct cannot fail; a panic indicates a
+    /// broken vendored serializer.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("serializing a SweepHeader")
+    }
 }
 
 /// Renders a JSON report document (schema `rr-sweep/v1`) for `records`.
+///
+/// The envelope is the [`SweepHeader`] object with one extra trailing
+/// `records` field — the bytes up to that field are literally
+/// [`SweepHeader::to_json_line`], so the report envelope and the ledger
+/// header cannot drift apart.
 pub fn json_report<T: Serialize>(
     experiment: &str,
     root_seed: u64,
     records: &[T],
 ) -> Result<String, serde_json::Error> {
-    serde_json::to_string(&SweepReport {
-        schema: "rr-sweep/v1",
-        experiment,
-        root_seed,
-        records,
-    })
+    let mut doc = SweepHeader::new(experiment, root_seed).to_json_line();
+    let closing = doc.pop();
+    debug_assert_eq!(closing, Some('}'));
+    doc.push_str(",\"records\":");
+    doc.push_str(&serde_json::to_string(&records)?);
+    doc.push('}');
+    Ok(doc)
 }
 
 /// Writes a JSON report to `path` (a trailing newline is appended).
@@ -464,8 +639,14 @@ pub fn write_json_records<T: Serialize>(
 /// The command-line arguments shared by every `exp_*` binary.
 ///
 /// ```text
-/// exp_foo [--quick] [--json <path>] [--seed <u64>] [--sequential] [binary-specific flags]
+/// exp_foo [--quick] [--json <path>] [--seed <u64>] [--sequential]
+///         [--ledger <path>] [--cache <dir>] [binary-specific flags]
 /// ```
+///
+/// `--ledger` streams records into a durable, resumable `rr-sweep/v1`
+/// ledger and `--cache` consults/feeds a content-addressed result cache —
+/// both via [`execute_grid`](crate::grid::execute_grid), the same path the
+/// `rr-sweepd` service runs jobs through.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
     /// Run the reduced CI-smoke grid instead of the full grid.
@@ -476,6 +657,12 @@ pub struct ExpArgs {
     pub root_seed: u64,
     /// Force sequential execution (the default is sharded).
     pub sequential: bool,
+    /// Stream records into this durable ledger file (resuming any durable
+    /// prefix left by an interrupted run).
+    pub ledger: Option<PathBuf>,
+    /// Consult and feed the content-addressed result cache in this
+    /// directory.
+    pub cache: Option<PathBuf>,
     rest: Vec<String>,
 }
 
@@ -495,6 +682,8 @@ impl ExpArgs {
             json: None,
             root_seed: default_seed,
             sequential: false,
+            ledger: None,
+            cache: None,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -505,6 +694,14 @@ impl ExpArgs {
                 "--json" => {
                     let path = args.next().expect("--json requires a path");
                     parsed.json = Some(PathBuf::from(path));
+                }
+                "--ledger" => {
+                    let path = args.next().expect("--ledger requires a path");
+                    parsed.ledger = Some(PathBuf::from(path));
+                }
+                "--cache" => {
+                    let dir = args.next().expect("--cache requires a directory");
+                    parsed.cache = Some(PathBuf::from(dir));
                 }
                 "--seed" => {
                     let seed = args.next().expect("--seed requires a value");
@@ -548,6 +745,73 @@ impl ExpArgs {
             write_json_records(path, experiment, self.root_seed, records);
         }
     }
+
+    /// Runs `spec` through [`execute_grid`](crate::grid::execute_grid) —
+    /// the same path the `rr-sweepd` daemon runs spooled jobs through —
+    /// honouring `--sequential`, `--ledger` and `--cache`.  This is the one
+    /// grid-execution entry point the `exp_*` binaries share.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ledger/cache I/O errors — in an experiment binary these
+    /// are fatal configuration errors.
+    #[must_use]
+    pub fn run_grid(&self, spec: &crate::grid::GridSpec) -> crate::grid::GridRun {
+        let cache = self.cache.as_deref().map(|dir| {
+            crate::cache::ResultCache::open(dir)
+                .unwrap_or_else(|e| panic!("opening cache {}: {e}", dir.display()))
+        });
+        let options = crate::grid::ExecOptions {
+            mode: Some(self.mode()),
+            ledger: self.ledger.clone(),
+            cache: cache.as_ref(),
+        };
+        let run = crate::grid::execute_grid(spec, &options)
+            .unwrap_or_else(|e| panic!("executing {}: {e}", spec.experiment));
+        if run.stats.from_cache {
+            println!(
+                "# {}: served from result cache ({} cells, key {:016x})",
+                spec.experiment,
+                run.stats.cells_reused,
+                spec.cache_key()
+            );
+        } else if run.stats.cells_reused > 0 {
+            println!(
+                "# {}: resumed ledger with {} durable cells, executed {}",
+                spec.experiment, run.stats.cells_reused, run.stats.cells_executed
+            );
+        }
+        run
+    }
+
+    /// The shared tail of every grid binary: write the `--json` report
+    /// (when this invocation executed the full grid — a cache-served or
+    /// resumed run's complete artifact is the ledger), then exit non-zero
+    /// if any cell of the whole grid failed verification.
+    pub fn finish_grid(&self, spec: &crate::grid::GridSpec, run: &crate::grid::GridRun) {
+        if run.records.len() == run.stats.cells_total {
+            match &run.records {
+                crate::grid::GridRecords::Sweep(records) => {
+                    self.write_json(&spec.experiment, records);
+                }
+                crate::grid::GridRecords::Align(records) => {
+                    self.write_json(&spec.experiment, records);
+                }
+            }
+        } else if self.json.is_some() {
+            println!(
+                "# {}: skipping --json ({} of {} cells executed here; the ledger holds the full record stream)",
+                spec.experiment,
+                run.records.len(),
+                run.stats.cells_total
+            );
+        }
+        exit_if_failed(
+            &spec.experiment,
+            usize::try_from(run.stats.failures).unwrap_or(usize::MAX),
+            run.stats.cells_total,
+        );
+    }
 }
 
 /// Exits with status 1 when any record failed verification, printing a
@@ -567,7 +831,7 @@ mod tests {
     #[test]
     fn job_seeds_depend_on_coordinates_not_order() {
         let sweep = Sweep {
-            experiment: "T",
+            experiment: "T".into(),
             task: Task::Gathering,
             instances: vec![(8, 4), (10, 3)],
             schedulers: vec![SchedulerKind::RoundRobin, SchedulerKind::SemiSynchronous],
@@ -604,6 +868,10 @@ mod tests {
                 "--max-n",
                 "14",
                 "--sequential",
+                "--ledger",
+                "out.jsonl",
+                "--cache",
+                "cachedir",
             ]
             .iter()
             .map(ToString::to_string),
@@ -614,6 +882,8 @@ mod tests {
         assert_eq!(args.mode(), ExecMode::Sequential);
         assert_eq!(args.root_seed, 99);
         assert_eq!(args.json.as_deref(), Some(Path::new("out.json")));
+        assert_eq!(args.ledger.as_deref(), Some(Path::new("out.jsonl")));
+        assert_eq!(args.cache.as_deref(), Some(Path::new("cachedir")));
         assert_eq!(args.value("--max-n"), Some("14"));
         assert!(!args.flag("--no-validate"));
     }

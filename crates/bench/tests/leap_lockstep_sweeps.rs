@@ -13,7 +13,7 @@
 //! single byte.
 
 use proptest::prelude::*;
-use rr_bench::sweep::{json_report, ExecMode, RunRecord, Sweep};
+use rr_bench::sweep::{json_report, RunOptions, RunRecord, Sweep};
 use rr_corda::{SchedulerKind, StepPath};
 use rr_core::driver::TaskTargets;
 use rr_core::unified::Task;
@@ -29,7 +29,7 @@ fn strip_wall(mut records: Vec<RunRecord>) -> Vec<RunRecord> {
 /// `StepPath::Leap` and whose endgame certificate actually fires.
 fn gathering_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "L-gathering",
+        experiment: "L-gathering".into(),
         task: Task::Gathering,
         instances: vec![(8, 4), (10, 3), (12, 5)],
         schedulers: SchedulerKind::ALL.to_vec(),
@@ -46,7 +46,7 @@ fn gathering_sweep(root_seed: u64) -> Sweep {
 /// walker certificate path, with clearing targets checked per record).
 fn searching_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "L-searching",
+        experiment: "L-searching".into(),
         task: Task::GraphSearching,
         instances: vec![(12, 5), (13, 6)],
         schedulers: SchedulerKind::ALL.to_vec(),
@@ -62,7 +62,7 @@ fn searching_sweep(root_seed: u64) -> Sweep {
 /// E5-shaped grid: the dense `k = n - 3` searching teams.
 fn dense_searching_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "L-nminus3",
+        experiment: "L-nminus3".into(),
         task: Task::GraphSearching,
         instances: vec![(10, 7), (12, 9)],
         schedulers: vec![SchedulerKind::RoundRobin],
@@ -79,7 +79,7 @@ fn dense_searching_sweep(root_seed: u64) -> Sweep {
 /// task variant is pinned.
 fn exploration_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "L-exploration",
+        experiment: "L-exploration".into(),
         task: Task::Exploration,
         instances: vec![(12, 5), (13, 6)],
         schedulers: SchedulerKind::ALL.to_vec(),
@@ -95,9 +95,9 @@ fn exploration_sweep(root_seed: u64) -> Sweep {
 /// Run one sweep under forced-Leap, forced-baseline and the per-task
 /// default, and require byte-identical JSON from all three.
 fn assert_lockstep(sweep: &Sweep, label: &str) -> Vec<RunRecord> {
-    let leap = sweep.run_forced(ExecMode::Sequential, StepPath::Leap);
-    let baseline = sweep.run_forced(ExecMode::Sequential, StepPath::StepBaseline);
-    let default = sweep.run(ExecMode::Sequential);
+    let leap = sweep.run_with(&RunOptions::new().step_path(StepPath::Leap));
+    let baseline = sweep.run_with(&RunOptions::new().step_path(StepPath::StepBaseline));
+    let default = sweep.run_with(&RunOptions::new());
     assert_eq!(leap.len(), sweep.jobs().len(), "{label}: job coverage");
     assert_eq!(
         strip_wall(leap.clone()),
@@ -109,8 +109,8 @@ fn assert_lockstep(sweep: &Sweep, label: &str) -> Vec<RunRecord> {
         strip_wall(default),
         "{label}: leap vs default records"
     );
-    let a = json_report(sweep.experiment, sweep.root_seed, &leap).unwrap();
-    let b = json_report(sweep.experiment, sweep.root_seed, &baseline).unwrap();
+    let a = json_report(&sweep.experiment, sweep.root_seed, &leap).unwrap();
+    let b = json_report(&sweep.experiment, sweep.root_seed, &baseline).unwrap();
     assert_eq!(a, b, "{label}: JSON reports must be byte-identical");
     leap
 }
@@ -152,8 +152,8 @@ fn leap_matches_baseline_on_exploration_grid() {
 #[test]
 fn sharded_leap_sweeps_stay_deterministic() {
     let sweep = gathering_sweep(1234);
-    let sequential = sweep.run_forced(ExecMode::Sequential, StepPath::Leap);
-    let sharded = sweep.run_forced(ExecMode::Sharded, StepPath::Leap);
+    let sequential = sweep.run_with(&RunOptions::new().step_path(StepPath::Leap));
+    let sharded = sweep.run_with(&RunOptions::new().sharded().step_path(StepPath::Leap));
     assert_eq!(strip_wall(sequential), strip_wall(sharded));
 }
 
@@ -169,8 +169,8 @@ proptest! {
             seeds_per_cell: 1,
             ..gathering_sweep(root_seed)
         };
-        let a = json_report("L", root_seed, &sweep.run_forced(ExecMode::Sequential, StepPath::Leap)).unwrap();
-        let b = json_report("L", root_seed, &sweep.run_forced(ExecMode::Sequential, StepPath::StepBaseline)).unwrap();
+        let a = json_report("L", root_seed, &sweep.run_with(&RunOptions::new().step_path(StepPath::Leap))).unwrap();
+        let b = json_report("L", root_seed, &sweep.run_with(&RunOptions::new().step_path(StepPath::StepBaseline))).unwrap();
         prop_assert_eq!(a, b);
     }
 }

@@ -1,0 +1,195 @@
+//! The sweep service's durability contract, proven at the byte level:
+//!
+//! 1. Kill a grid execution at **any** point — any byte prefix of its
+//!    ledger, torn lines included — and resuming produces a ledger
+//!    byte-identical to an uninterrupted run.
+//! 2. Re-running an identical grid against the result cache performs
+//!    **zero** engine work (no `Engine::step_into` / `Engine::leap` calls,
+//!    counted by the engine's debug step probe) and serves byte-identical
+//!    ledger bytes.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rr_bench::cache::ResultCache;
+use rr_bench::grid::{execute_grid, ExecOptions, GridKind, GridSpec};
+use rr_bench::sweep::ExecMode;
+use rr_corda::SchedulerKind;
+use rr_core::driver::TaskTargets;
+use rr_core::unified::Task;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr-resume-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but non-trivial grid: 2 instances × 3 schedulers = 6 cells.
+fn small_spec(root_seed: u64) -> GridSpec {
+    GridSpec {
+        experiment: "T-resume".to_string(),
+        root_seed,
+        instances: vec![(8, 4), (10, 3)],
+        kind: GridKind::Sweep {
+            task: Task::Gathering,
+            schedulers: SchedulerKind::ALL.to_vec(),
+            seeds_per_cell: 1,
+            targets: TaskTargets::open_ended(),
+            budget_per_n: 20_000,
+            budget_flat: 0,
+            async_budget_factor: 2,
+        },
+    }
+}
+
+fn run_to_ledger(spec: &GridSpec, path: &PathBuf, mode: ExecMode) -> Vec<u8> {
+    let options = ExecOptions {
+        mode: Some(mode),
+        ledger: Some(path.clone()),
+        cache: None,
+    };
+    let run = execute_grid(spec, &options).unwrap();
+    assert!(!run.stats.from_cache);
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn resume_at_every_record_boundary_is_byte_identical() {
+    let dir = tmp_dir("boundaries");
+    let spec = small_spec(42);
+    let full = run_to_ledger(
+        &spec,
+        &dir.join("uninterrupted.jsonl"),
+        ExecMode::Sequential,
+    );
+
+    // Cut after the header and after each record line (the footer boundary
+    // makes the last iteration a resume-of-complete no-op check).
+    let newline_offsets: Vec<usize> = full
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(
+        newline_offsets.len(),
+        1 + spec.cells() + 1,
+        "header + records + footer"
+    );
+    for (i, &cut) in newline_offsets.iter().enumerate() {
+        let path = dir.join(format!("cut-{i}.jsonl"));
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let resumed = run_to_ledger(&spec, &path, ExecMode::Sequential);
+        assert_eq!(
+            resumed, full,
+            "ledger resumed from record boundary {i} must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn sharded_resume_is_byte_identical_to_sequential() {
+    let dir = tmp_dir("sharded");
+    let spec = small_spec(7);
+    let full = run_to_ledger(&spec, &dir.join("sequential.jsonl"), ExecMode::Sequential);
+
+    let cut = full
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .nth(2)
+        .unwrap(); // header + 2 records
+    let path = dir.join("resume-sharded.jsonl");
+    std::fs::write(&path, &full[..cut]).unwrap();
+    let resumed = run_to_ledger(&spec, &path, ExecMode::Sharded);
+    assert_eq!(resumed, full);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full kill-at-ANY-byte property: truncating the ledger at an
+    /// arbitrary byte offset — torn lines, a torn header, an empty file, a
+    /// torn footer — and resuming reproduces the uninterrupted bytes.
+    #[test]
+    fn resume_from_any_byte_prefix_is_byte_identical(permille in 0usize..=1000) {
+        let dir = tmp_dir("anybyte");
+        let spec = small_spec(1234);
+        let full_path = dir.join("full.jsonl");
+        let full = if full_path.exists() {
+            std::fs::read(&full_path).unwrap()
+        } else {
+            run_to_ledger(&spec, &full_path, ExecMode::Sequential)
+        };
+        let cut = (full.len() * permille / 1000).min(full.len());
+        let path = dir.join(format!("cut-{cut}.jsonl"));
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let resumed = run_to_ledger(&spec, &path, ExecMode::Sequential);
+        prop_assert_eq!(resumed, full, "cut at byte {}", cut);
+    }
+}
+
+#[test]
+fn cache_hit_runs_zero_engine_steps() {
+    let dir = tmp_dir("cache-hit");
+    let spec = small_spec(99);
+    let cache = ResultCache::open(&dir.join("cache")).unwrap();
+
+    // First run executes and publishes.
+    let first_path = dir.join("first.jsonl");
+    let options = ExecOptions {
+        mode: Some(ExecMode::Sequential),
+        ledger: Some(first_path.clone()),
+        cache: Some(&cache),
+    };
+    let first = execute_grid(&spec, &options).unwrap();
+    assert!(!first.stats.from_cache);
+    assert_eq!(first.stats.cells_executed, spec.cells());
+    assert!(cache.lookup(spec.cache_key()).is_some(), "published");
+
+    // Second run of the identical grid into a fresh ledger path: served
+    // entirely from the cache, with zero engine work.
+    let probe_before = rr_corda::debug_step_probe();
+    let second_path = dir.join("second.jsonl");
+    let options = ExecOptions {
+        mode: Some(ExecMode::Sequential),
+        ledger: Some(second_path.clone()),
+        cache: Some(&cache),
+    };
+    let second = execute_grid(&spec, &options).unwrap();
+    let probe_after = rr_corda::debug_step_probe();
+
+    assert!(second.stats.from_cache, "identical grid must hit the cache");
+    assert_eq!(second.stats.cells_executed, 0);
+    assert_eq!(second.stats.cells_reused, spec.cells());
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            probe_after - probe_before,
+            0,
+            "a cache hit must not call Engine::step_into or Engine::leap"
+        );
+    }
+    assert_eq!(
+        std::fs::read(&first_path).unwrap(),
+        std::fs::read(&second_path).unwrap(),
+        "served bytes must equal executed bytes"
+    );
+
+    // A different root seed is a different content address: cache miss.
+    let other = small_spec(100);
+    assert!(cache.lookup(other.cache_key()).is_none());
+}
+
+#[test]
+fn engine_version_partitions_the_cache_key() {
+    let spec = small_spec(5);
+    let enc = spec.canonical_encoding();
+    let current = rr_bench::cache::cache_key(&enc, rr_corda::ENGINE_VERSION);
+    let future = rr_bench::cache::cache_key(&enc, "999.0.0");
+    assert_ne!(
+        current, future,
+        "an engine version bump must invalidate cached ledgers"
+    );
+    assert_eq!(spec.cache_key(), current);
+}

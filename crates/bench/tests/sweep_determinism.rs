@@ -3,7 +3,7 @@
 //! records, for every task family and scheduler kind.
 
 use proptest::prelude::*;
-use rr_bench::sweep::{json_report, ExecMode, RunRecord, Sweep};
+use rr_bench::sweep::{json_report, ExecMode, RunOptions, RunRecord, Sweep};
 use rr_corda::SchedulerKind;
 use rr_core::driver::TaskTargets;
 use rr_core::unified::Task;
@@ -17,7 +17,7 @@ fn strip_wall(mut records: Vec<RunRecord>) -> Vec<RunRecord> {
 
 fn gathering_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "T-gathering",
+        experiment: "T-gathering".into(),
         task: Task::Gathering,
         instances: vec![(8, 4), (10, 3), (12, 5)],
         schedulers: SchedulerKind::ALL.to_vec(),
@@ -32,7 +32,7 @@ fn gathering_sweep(root_seed: u64) -> Sweep {
 
 fn searching_sweep(root_seed: u64) -> Sweep {
     Sweep {
-        experiment: "T-searching",
+        experiment: "T-searching".into(),
         task: Task::GraphSearching,
         instances: vec![(12, 5), (13, 6)],
         schedulers: SchedulerKind::ALL.to_vec(),
@@ -48,8 +48,8 @@ fn searching_sweep(root_seed: u64) -> Sweep {
 #[test]
 fn sharded_equals_sequential_for_gathering() {
     let sweep = gathering_sweep(42);
-    let sequential = sweep.run(ExecMode::Sequential);
-    let sharded = sweep.run(ExecMode::Sharded);
+    let sequential = sweep.run_with(&RunOptions::new());
+    let sharded = sweep.run_with(&RunOptions::new().sharded());
     assert_eq!(sequential.len(), sweep.jobs().len());
     assert_eq!(strip_wall(sequential.clone()), strip_wall(sharded.clone()));
     let a = json_report("T-gathering", 42, &sequential).unwrap();
@@ -61,8 +61,8 @@ fn sharded_equals_sequential_for_gathering() {
 #[test]
 fn sharded_equals_sequential_for_searching() {
     let sweep = searching_sweep(7);
-    let sequential = sweep.run(ExecMode::Sequential);
-    let sharded = sweep.run(ExecMode::Sharded);
+    let sequential = sweep.run_with(&RunOptions::new());
+    let sharded = sweep.run_with(&RunOptions::new().sharded());
     let a = json_report("T-searching", 7, &sequential).unwrap();
     let b = json_report("T-searching", 7, &sharded).unwrap();
     assert_eq!(a, b, "JSON reports must be byte-identical");
@@ -72,9 +72,63 @@ fn sharded_equals_sequential_for_searching() {
 #[test]
 fn rerunning_the_same_sweep_is_reproducible() {
     let sweep = gathering_sweep(1234);
-    let first = sweep.run(ExecMode::Sharded);
-    let second = sweep.run(ExecMode::Sharded);
+    let first = sweep.run_with(&RunOptions::new().sharded());
+    let second = sweep.run_with(&RunOptions::new().sharded());
     assert_eq!(strip_wall(first), strip_wall(second));
+}
+
+/// `resume_at(c)` must produce exactly the suffix an uninterrupted run
+/// produces — the primitive the sweep service's crash resume rests on.
+#[test]
+fn resume_at_reproduces_the_suffix() {
+    let sweep = gathering_sweep(99);
+    let full = strip_wall(sweep.run_with(&RunOptions::new()));
+    for skip in [0, 1, full.len() / 2, full.len() - 1, full.len()] {
+        let suffix = strip_wall(sweep.run_with(&RunOptions::new().resume_at(skip)));
+        assert_eq!(suffix, full[skip..], "resume at {skip}");
+        let sharded = strip_wall(sweep.run_with(&RunOptions::new().sharded().resume_at(skip)));
+        assert_eq!(sharded, full[skip..], "sharded resume at {skip}");
+    }
+}
+
+/// The progress sink sees every record exactly once, tagged with its cell
+/// index, under both execution modes.
+#[test]
+fn progress_sink_observes_every_cell() {
+    use std::sync::Mutex;
+    let sweep = gathering_sweep(5);
+    for options in [RunOptions::new(), RunOptions::new().sharded()] {
+        let seen: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let sink = |i: usize, r: &RunRecord| seen.lock().unwrap().push((i, r.seed));
+        let records = sweep.run_with(&options.progress(&sink));
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expected: Vec<(usize, u64)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.seed))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+}
+
+/// The deprecated `run` / `run_forced` wrappers stay byte-compatible with
+/// `run_with` for the one release they are kept.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_delegate_to_run_with() {
+    let sweep = Sweep {
+        instances: vec![(8, 4)],
+        ..gathering_sweep(21)
+    };
+    assert_eq!(
+        strip_wall(sweep.run(ExecMode::Sequential)),
+        strip_wall(sweep.run_with(&RunOptions::new()))
+    );
+    assert_eq!(
+        strip_wall(sweep.run_forced(ExecMode::Sequential, rr_corda::StepPath::Leap)),
+        strip_wall(sweep.run_with(&RunOptions::new().step_path(rr_corda::StepPath::Leap)))
+    );
 }
 
 proptest! {
@@ -89,8 +143,8 @@ proptest! {
             seeds_per_cell: 1,
             ..gathering_sweep(root_seed)
         };
-        let a = json_report("T", root_seed, &sweep.run(ExecMode::Sequential)).unwrap();
-        let b = json_report("T", root_seed, &sweep.run(ExecMode::Sharded)).unwrap();
+        let a = json_report("T", root_seed, &sweep.run_with(&RunOptions::new())).unwrap();
+        let b = json_report("T", root_seed, &sweep.run_with(&RunOptions::new().sharded())).unwrap();
         prop_assert_eq!(a, b);
     }
 }

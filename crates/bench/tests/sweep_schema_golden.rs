@@ -213,6 +213,8 @@ fn envelope_and_field_order_are_pinned() {
     let json = json_report("E-golden", 42, &sample_run_records()).unwrap();
     let key_order = [
         "\"schema\"",
+        "\"schema_version\"",
+        "\"engine_version\"",
         "\"experiment\"",
         "\"root_seed\"",
         "\"records\"",

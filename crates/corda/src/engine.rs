@@ -23,6 +23,36 @@ use crate::scheduler::{Scheduler, SchedulerStep, SchedulerView};
 use crate::snapshot::{MultiplicityCapability, Snapshot};
 use crate::trace::{Event, Trace, TraceMode};
 
+/// Process-wide count of engine advancements (debug builds only).
+#[cfg(debug_assertions)]
+static STEP_PROBE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A process-wide count of every [`Engine::step`] and [`Engine::leap`]
+/// invocation across **all** engines, maintained only in debug builds
+/// (always 0 in release, where the hot path stays untouched).
+///
+/// This exists for one kind of test: proving that a code path performed
+/// *zero* engine work — e.g. that a sweep served from the content-addressed
+/// result cache never touched an engine.  Sample it before and after the
+/// operation and assert the delta.
+#[must_use]
+pub fn debug_step_probe() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        STEP_PROBE.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+#[inline]
+fn bump_step_probe() {
+    #[cfg(debug_assertions)]
+    STEP_PROBE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Which global direction is presented as `views[0]` of a snapshot.
 ///
 /// Correct protocols must be insensitive to this; the option exists so tests
@@ -1274,6 +1304,7 @@ impl<P: Protocol> Engine<P> {
     /// state (pending robots, uncertifiable configuration, exclusivity
     /// enforced against a protocol that does not promise it, or a zero cap).
     pub fn leap<M: Monitor + ?Sized>(&mut self, max_rounds: u64, monitor: &mut M) -> Option<u64> {
+        bump_step_probe();
         if max_rounds == 0 {
             return None;
         }
@@ -1380,6 +1411,7 @@ impl<P: Protocol> Engine<P> {
         monitor: &mut M,
         report: &mut StepReport,
     ) -> Result<(), SimError> {
+        bump_step_probe();
         report.moves.clear();
         report.looks = 0;
         report.idles = 0;

@@ -1,7 +1,7 @@
 //! Round leaping: certificates that let the engine apply many rounds at once.
 //!
 //! A protocol that can *prove* its next decisions are constant for a while
-//! publishes a [`LeapPlan`] through [`Protocol::leap_plan`]
+//! publishes a [`LeapPlan`] through `Protocol::leap_plan`
 //! (see [`crate::protocol`]): per occupied node, the clockwise velocity the
 //! robots there will keep for the next `horizon` full rounds.  The engine
 //! (in [`StepPath::Leap`](crate::engine::StepPath) mode) uses the plan two

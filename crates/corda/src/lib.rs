@@ -36,8 +36,8 @@ pub mod snapshot;
 pub mod trace;
 
 pub use engine::{
-    Engine, EngineOptions, EngineState, LookPath, MoveRecord, RunOutcome, RunReport, Simulator,
-    SimulatorOptions, StepPath, StepReport, ViewOrder,
+    debug_step_probe, Engine, EngineOptions, EngineState, LookPath, MoveRecord, RunOutcome,
+    RunReport, Simulator, SimulatorOptions, StepPath, StepReport, ViewOrder,
 };
 pub use error::SimError;
 pub use leap::{LeapPlan, LeapRecord};
@@ -51,3 +51,17 @@ pub use scheduler::{
 };
 pub use snapshot::{MultiplicityCapability, Snapshot};
 pub use trace::{Event, Trace, TraceMode};
+
+/// The engine's **semantic** version, stamped into every `rr-sweep/v1`
+/// report header and folded into the sweep service's content-addressed
+/// cache key.
+///
+/// This is deliberately *not* the Cargo package version: it is bumped if
+/// and only if a change can alter the **observable record stream** of a
+/// seeded run — protocol decision tables, scheduler randomness derivation,
+/// per-cell seed derivation, or the record serialization itself.  Pure
+/// performance work (new step paths, packed codecs, allocation reuse) keeps
+/// the version, because the lockstep harnesses prove those paths
+/// byte-identical.  Bumping it invalidates every cached sweep ledger, which
+/// is exactly the intended effect.
+pub const ENGINE_VERSION: &str = "1.0.0";

@@ -1,0 +1,172 @@
+//! The thin sweep-service client.
+//!
+//! ```text
+//! rr-sweep --spool <dir> submit <grid-file>...     queue grid files (idempotent)
+//! rr-sweep --spool <dir> submit --preset <name> [--quick] [--seed <u64>]
+//! rr-sweep --spool <dir> status                    one row per job
+//! rr-sweep --spool <dir> tail <job-id> [--follow]  stream a job's ledger
+//! rr-sweep --spool <dir> gc                        prune stale spool state
+//! rr-sweep grid <preset> [--quick] [--seed <u64>]  print a canonical grid file
+//! ```
+//!
+//! The client never executes cells — it only moves grid files and reads
+//! ledgers, so it is safe to run while a daemon is serving the same spool.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use rr_bench::grid::{preset, GridSpec};
+use rr_bench::ledger;
+use rr_sweepd::Spool;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rr-sweep --spool <dir> <submit|status|tail|gc> [args]\n\
+         \x20      rr-sweep grid <preset> [--quick] [--seed <u64>]\n\
+         presets: e3/align, e4/clearing, e5/nminus3, e6/gathering"
+    );
+    exit(2)
+}
+
+fn fatal(message: &str) -> ! {
+    eprintln!("rr-sweep: {message}");
+    exit(1)
+}
+
+/// Builds a preset spec from `--preset NAME [--quick] [--seed N]` args.
+fn preset_from_args(name: &str, rest: &[String]) -> GridSpec {
+    let quick = rest.iter().any(|a| a == "--quick");
+    let seed = rest
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.parse().unwrap_or_else(|e| fatal(&format!("--seed: {e}"))));
+    preset(name, quick, seed).unwrap_or_else(|| fatal(&format!("unknown preset `{name}`")))
+}
+
+fn open_spool(dir: Option<&PathBuf>) -> Spool {
+    let Some(dir) = dir else {
+        fatal("--spool <dir> is required for this command");
+    };
+    Spool::open(dir).unwrap_or_else(|e| fatal(&format!("opening spool {}: {e}", dir.display())))
+}
+
+fn cmd_submit(spool: &Spool, rest: &[String]) {
+    let mut specs: Vec<GridSpec> = Vec::new();
+    if let Some(i) = rest.iter().position(|a| a == "--preset") {
+        let name = rest
+            .get(i + 1)
+            .unwrap_or_else(|| fatal("--preset requires a name"));
+        specs.push(preset_from_args(name, rest));
+    } else {
+        let files: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+        if files.is_empty() {
+            fatal("submit needs grid files or --preset <name>");
+        }
+        for file in files {
+            let text = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| fatal(&format!("reading {file}: {e}")));
+            let spec = GridSpec::parse(&text)
+                .unwrap_or_else(|why| fatal(&format!("{file}: invalid grid: {why}")));
+            specs.push(spec);
+        }
+    }
+    for spec in &specs {
+        let outcome = spool
+            .submit(spec)
+            .unwrap_or_else(|e| fatal(&format!("submitting {}: {e}", spec.experiment)));
+        println!(
+            "{}\t{}\t{}\tledger {}",
+            outcome.job_id,
+            outcome.state.name(),
+            if outcome.fresh {
+                "submitted"
+            } else {
+                "existing"
+            },
+            spool.ledger_path(&outcome.job_id).display()
+        );
+    }
+}
+
+fn cmd_status(spool: &Spool) {
+    let rows = spool
+        .list()
+        .unwrap_or_else(|e| fatal(&format!("listing spool: {e}")));
+    println!(
+        "{:<40} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "job", "state", "records", "cells", "failures", "complete"
+    );
+    for row in rows {
+        println!(
+            "{:<40} {:>8} {:>8} {:>8} {:>9} {:>9}",
+            row.id,
+            row.state.name(),
+            row.records,
+            row.cells_total
+                .map_or_else(|| "?".to_string(), |c| c.to_string()),
+            row.failures,
+            row.complete
+        );
+    }
+}
+
+fn cmd_tail(spool: &Spool, rest: &[String]) {
+    let Some(job_id) = rest.iter().find(|a| !a.starts_with("--")) else {
+        fatal("tail needs a job id");
+    };
+    let follow = rest.iter().any(|a| a == "--follow");
+    let path = spool.ledger_path(job_id);
+    let mut offset = 0u64;
+    loop {
+        let (lines, new_offset) = ledger::read_new_lines(&path, offset)
+            .unwrap_or_else(|e| fatal(&format!("reading {}: {e}", path.display())));
+        offset = new_offset;
+        let mut complete = false;
+        for line in lines {
+            println!("{line}");
+            complete = complete || ledger::parse_footer(&line).is_some();
+        }
+        if complete || !follow {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn cmd_gc(spool: &Spool) {
+    let removed = spool.gc().unwrap_or_else(|e| fatal(&format!("gc: {e}")));
+    println!("removed {removed} files");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spool_dir: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--spool" && command.is_none() {
+            spool_dir = Some(PathBuf::from(
+                it.next().unwrap_or_else(|| fatal("--spool requires a dir")),
+            ));
+        } else if command.is_none() {
+            command = Some(arg);
+        } else {
+            rest.push(arg);
+        }
+    }
+    match command.as_deref() {
+        Some("grid") => {
+            let Some(name) = rest.first().cloned() else {
+                fatal("grid needs a preset name");
+            };
+            print!("{}", preset_from_args(&name, &rest).canonical_encoding());
+        }
+        Some("submit") => cmd_submit(&open_spool(spool_dir.as_ref()), &rest),
+        Some("status") => cmd_status(&open_spool(spool_dir.as_ref())),
+        Some("tail") => cmd_tail(&open_spool(spool_dir.as_ref()), &rest),
+        Some("gc") => cmd_gc(&open_spool(spool_dir.as_ref())),
+        _ => usage(),
+    }
+}

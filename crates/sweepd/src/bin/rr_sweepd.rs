@@ -1,0 +1,62 @@
+//! The sweep-job daemon.
+//!
+//! ```text
+//! rr-sweepd --spool <dir> [--drain] [--poll-ms <n>] [--sequential]
+//! ```
+//!
+//! Serves the spool forever (or until the queue drains, with `--drain`):
+//! resumes any job a killed daemon left in `jobs/`, then claims queued
+//! grids and executes them into durable, resumable ledgers.  Safe to
+//! `kill -9` at any moment — see `rr_sweepd::daemon`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use rr_sweepd::{run_daemon, DaemonOptions, Spool};
+
+fn main() {
+    let mut spool_dir: Option<PathBuf> = None;
+    let mut options = DaemonOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spool" => {
+                spool_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--spool requires a directory");
+                    exit(2);
+                })));
+            }
+            "--drain" => options.drain = true,
+            "--sequential" => options.sequential = true,
+            "--poll-ms" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--poll-ms requires a value");
+                    exit(2);
+                });
+                options.poll_ms = value.parse().unwrap_or_else(|e| {
+                    eprintln!("--poll-ms: {e}");
+                    exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: rr-sweepd --spool <dir> [--drain] [--poll-ms <n>] [--sequential]"
+                );
+                exit(2);
+            }
+        }
+    }
+    let Some(spool_dir) = spool_dir else {
+        eprintln!("usage: rr-sweepd --spool <dir> [--drain] [--poll-ms <n>] [--sequential]");
+        exit(2);
+    };
+    let spool = Spool::open(&spool_dir).unwrap_or_else(|e| {
+        eprintln!("opening spool {}: {e}", spool_dir.display());
+        exit(1);
+    });
+    if let Err(e) = run_daemon(&spool, &options) {
+        eprintln!("[rr-sweepd] fatal: {e}");
+        exit(1);
+    }
+}

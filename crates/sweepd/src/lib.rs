@@ -1,0 +1,45 @@
+//! # rr-sweepd — the durable sweep-job service
+//!
+//! A long-lived daemon that executes experiment grids as **durable jobs**
+//! over the existing `rr-bench` sweep machinery: plain std threads and a
+//! filesystem spool — no network, no async runtime, no new dependencies.
+//!
+//! ```text
+//!            rr-sweep submit             rr-sweepd
+//! grid file ───────────────▶ queue/ ──claim──▶ jobs/ ──done──▶ done/
+//!                                               │  ▲               (or failed/)
+//!                                       records ▼  │ crash: grid stays in
+//!                                     ledgers/<id>.jsonl   jobs/, ledger keeps
+//!                                               │          its durable prefix,
+//!                                       publish ▼          restart resumes
+//!                                        cache/<key>.jsonl
+//! ```
+//!
+//! * **Jobs are durable records.**  A submitted grid is a canonical
+//!   `rr-sweepd-grid/v1` file; its job id is derived from its content
+//!   (experiment + cache key), so submission is idempotent and claiming is
+//!   one atomic rename.
+//! * **Results are append-only ledgers.**  Each job owns an `rr-sweep/v1`
+//!   JSONL ledger, fsync'd per contiguous record batch.  A killed daemon
+//!   leaves the grid in `jobs/`; on restart the ledger is scanned, a torn
+//!   tail truncated, and execution resumes at the first missing cell —
+//!   producing a ledger **byte-identical** to an uninterrupted run (per-cell
+//!   seeds derive from the root seed and grid coordinates alone).
+//! * **Identical grids are served from content.**  Completed ledgers are
+//!   published to a cache keyed on (canonical grid encoding, root seed,
+//!   engine semantic version); resubmitting an identical grid copies bytes
+//!   and performs zero engine work.
+//!
+//! The execution path is [`rr_bench::grid::execute_grid`] — the very same
+//! function the `exp_*` binaries call — so a grid run at the shell and the
+//! same grid run through the service produce the same ledger bytes by
+//! construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod spool;
+
+pub use daemon::{run_daemon, DaemonOptions};
+pub use spool::{JobState, JobStatus, Spool, SubmitOutcome};

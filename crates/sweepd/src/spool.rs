@@ -1,0 +1,339 @@
+//! The filesystem spool: durable job records and their lifecycle.
+//!
+//! A job is one canonical `rr-sweepd-grid/v1` file whose location encodes
+//! its state:
+//!
+//! ```text
+//! <spool>/queue/<id>.grid    submitted, waiting for a daemon
+//! <spool>/jobs/<id>.grid     claimed by a daemon (a crash leaves it here;
+//!                            the next daemon resumes it from its ledger)
+//! <spool>/done/<id>.grid     completed (ledger carries its footer)
+//! <spool>/failed/<id>.grid   rejected or crashed (+ <id>.error with why)
+//! <spool>/ledgers/<id>.jsonl the job's append-only result ledger
+//! <spool>/cache/<key>.jsonl  content-addressed completed-ledger cache
+//! ```
+//!
+//! Every state transition is a single same-directory-tree `rename`, so it
+//! is atomic on any POSIX filesystem and two daemons sharing one spool
+//! never run the same job: exactly one `rename(queue/x, jobs/x)` wins.
+//!
+//! The job id is content-derived ([`GridSpec::job_id`]: experiment plus the
+//! result-cache key in hex), which makes submission idempotent — submitting
+//! the same grid twice is one job — and ties the job, its ledger and its
+//! cache entry together by name.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use rr_bench::grid::GridSpec;
+use rr_bench::ledger;
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// In `queue/`, waiting for a daemon.
+    Queued,
+    /// In `jobs/` — being executed, or orphaned by a killed daemon and
+    /// awaiting resumption.
+    Running,
+    /// In `done/` — the ledger is complete.
+    Done,
+    /// In `failed/` — rejected (unparseable grid) or crashed; see the
+    /// `.error` file.
+    Failed,
+}
+
+impl JobState {
+    /// Stable lower-case name for tables and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// What [`Spool::submit`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The job's content-derived id.
+    pub job_id: String,
+    /// The job's state after the submit.
+    pub state: JobState,
+    /// Whether this call created the job (false: it already existed in some
+    /// state, and the submit was a no-op).
+    pub fresh: bool,
+}
+
+/// One row of [`Spool::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Cells the grid declares (`None` when the grid file no longer
+    /// parses).
+    pub cells_total: Option<usize>,
+    /// Durable records in the job's ledger.
+    pub records: usize,
+    /// Durable records that failed verification.
+    pub failures: u64,
+    /// Whether the ledger carries its completion footer.
+    pub complete: bool,
+}
+
+/// An open spool directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+const STATE_DIRS: [(&str, JobState); 4] = [
+    ("queue", JobState::Queued),
+    ("jobs", JobState::Running),
+    ("done", JobState::Done),
+    ("failed", JobState::Failed),
+];
+
+impl Spool {
+    /// Opens `root` as a spool, creating the directory layout if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation errors.
+    pub fn open(root: &Path) -> io::Result<Spool> {
+        for (dir, _) in STATE_DIRS {
+            fs::create_dir_all(root.join(dir))?;
+        }
+        fs::create_dir_all(root.join("ledgers"))?;
+        fs::create_dir_all(root.join("cache"))?;
+        Ok(Spool {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The spool root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The content-addressed result cache directory.
+    #[must_use]
+    pub fn cache_dir(&self) -> PathBuf {
+        self.root.join("cache")
+    }
+
+    /// The ledger path owned by `job_id`.
+    #[must_use]
+    pub fn ledger_path(&self, job_id: &str) -> PathBuf {
+        self.root.join("ledgers").join(format!("{job_id}.jsonl"))
+    }
+
+    /// The grid-file path for `job_id` in `state`.
+    #[must_use]
+    pub fn grid_path(&self, job_id: &str, state: JobState) -> PathBuf {
+        let dir = STATE_DIRS
+            .iter()
+            .find(|(_, s)| *s == state)
+            .map(|(d, _)| *d)
+            .unwrap_or("queue");
+        self.root.join(dir).join(format!("{job_id}.grid"))
+    }
+
+    /// The `.error` file written when a job fails.
+    #[must_use]
+    pub fn error_path(&self, job_id: &str) -> PathBuf {
+        self.root.join("failed").join(format!("{job_id}.error"))
+    }
+
+    /// The state `job_id` is currently in, if the job exists.
+    #[must_use]
+    pub fn job_state(&self, job_id: &str) -> Option<JobState> {
+        STATE_DIRS
+            .iter()
+            .find(|(_, state)| self.grid_path(job_id, *state).is_file())
+            .map(|(_, state)| *state)
+    }
+
+    /// Submits `spec`: writes its canonical encoding to `queue/` under its
+    /// content-derived id (via a dot-tempfile and an atomic rename).
+    /// Submitting a grid that already exists in any state is a no-op that
+    /// reports the existing state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn submit(&self, spec: &GridSpec) -> io::Result<SubmitOutcome> {
+        let job_id = spec.job_id();
+        if let Some(state) = self.job_state(&job_id) {
+            return Ok(SubmitOutcome {
+                job_id,
+                state,
+                fresh: false,
+            });
+        }
+        let tmp = self
+            .root
+            .join("queue")
+            .join(format!(".tmp-{job_id}-{}", std::process::id()));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(spec.canonical_encoding().as_bytes())?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, self.grid_path(&job_id, JobState::Queued))?;
+        Ok(SubmitOutcome {
+            job_id,
+            state: JobState::Queued,
+            fresh: true,
+        })
+    }
+
+    /// Job ids present in `dir`, sorted for deterministic claim order.
+    fn ids_in(&self, state: JobState) -> io::Result<Vec<String>> {
+        let dir = self.grid_path("x", state);
+        let dir = dir.parent().expect("state dir");
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name.strip_suffix(".grid") {
+                if !id.starts_with('.') {
+                    ids.push(id.to_string());
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Jobs sitting in `jobs/` — claimed by a live daemon, or orphaned by a
+    /// killed one and awaiting resumption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory reading errors.
+    pub fn claimed_jobs(&self) -> io::Result<Vec<String>> {
+        self.ids_in(JobState::Running)
+    }
+
+    /// Atomically claims the next queued job (`rename(queue/x, jobs/x)`),
+    /// returning its id — or `None` when the queue is empty.  Losing a
+    /// claim race to another daemon moves on to the next candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than claim races.
+    pub fn claim_next(&self) -> io::Result<Option<String>> {
+        for id in self.ids_in(JobState::Queued)? {
+            let from = self.grid_path(&id, JobState::Queued);
+            let to = self.grid_path(&id, JobState::Running);
+            match fs::rename(&from, &to) {
+                Ok(()) => return Ok(Some(id)),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Marks a claimed job done (`rename(jobs/x, done/x)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rename error.
+    pub fn mark_done(&self, job_id: &str) -> io::Result<()> {
+        fs::rename(
+            self.grid_path(job_id, JobState::Running),
+            self.grid_path(job_id, JobState::Done),
+        )
+    }
+
+    /// Marks a claimed job failed, recording `why` in its `.error` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn mark_failed(&self, job_id: &str, why: &str) -> io::Result<()> {
+        fs::write(self.error_path(job_id), format!("{why}\n"))?;
+        fs::rename(
+            self.grid_path(job_id, JobState::Running),
+            self.grid_path(job_id, JobState::Failed),
+        )
+    }
+
+    /// One status row per job, over every state directory, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn list(&self) -> io::Result<Vec<JobStatus>> {
+        let mut rows = Vec::new();
+        for (_, state) in STATE_DIRS {
+            for id in self.ids_in(state)? {
+                rows.push(self.status(&id, state)?);
+            }
+        }
+        rows.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(rows)
+    }
+
+    /// The status row for one job in a known state.
+    fn status(&self, id: &str, state: JobState) -> io::Result<JobStatus> {
+        let cells_total = fs::read_to_string(self.grid_path(id, state))
+            .ok()
+            .and_then(|text| GridSpec::parse(&text).ok())
+            .map(|spec| spec.cells());
+        let found = ledger::scan(&self.ledger_path(id))?;
+        Ok(JobStatus {
+            id: id.to_string(),
+            state,
+            cells_total,
+            records: found.records,
+            failures: found.failures,
+            complete: found.is_complete(),
+        })
+    }
+
+    /// Garbage collection: prunes stale submit tempfiles, incomplete cache
+    /// entries (via [`rr_bench::cache::ResultCache::gc`]), `failed/` job
+    /// records, and the ledgers of jobs that no longer exist in any state.
+    /// Done jobs, their ledgers and complete cache entries are kept — they
+    /// are the service's artifacts.  Returns the number of files removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory reading errors.
+    pub fn gc(&self) -> io::Result<usize> {
+        let mut removed = rr_bench::cache::ResultCache::open(&self.cache_dir())?.gc()?;
+        for entry in fs::read_dir(self.root.join("queue"))? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(".tmp-") && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        for entry in fs::read_dir(self.root.join("failed"))? {
+            let path = entry?.path();
+            if path.is_file() && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        for entry in fs::read_dir(self.root.join("ledgers"))? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(id) = name.strip_suffix(".jsonl") {
+                if self.job_state(id).is_none() && fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}

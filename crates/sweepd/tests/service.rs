@@ -1,0 +1,281 @@
+//! End-to-end tests of the sweep-job service: submit → drain → done,
+//! orphaned-job resume after a simulated crash, cache-served resubmission,
+//! rejected jobs, gc — and a real `kill -9` of the daemon binary mid-job
+//! followed by a resume that must reproduce the uninterrupted ledger bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rr_bench::grid::{GridKind, GridSpec};
+use rr_bench::ledger;
+use rr_corda::SchedulerKind;
+use rr_core::driver::TaskTargets;
+use rr_core::unified::Task;
+use rr_sweepd::{run_daemon, DaemonOptions, JobState, Spool};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr-sweepd-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fast 6-cell gathering grid.
+fn small_spec(root_seed: u64) -> GridSpec {
+    GridSpec {
+        experiment: "T-svc".to_string(),
+        root_seed,
+        instances: vec![(8, 4), (10, 3)],
+        kind: GridKind::Sweep {
+            task: Task::Gathering,
+            schedulers: SchedulerKind::ALL.to_vec(),
+            seeds_per_cell: 1,
+            targets: TaskTargets::open_ended(),
+            budget_per_n: 20_000,
+            budget_flat: 0,
+            async_budget_factor: 2,
+        },
+    }
+}
+
+fn drain_opts() -> DaemonOptions {
+    DaemonOptions {
+        sequential: true,
+        poll_ms: 10,
+        drain: true,
+    }
+}
+
+/// Runs the grid through a throwaway spool and returns the ledger bytes an
+/// uninterrupted service run produces.
+fn uninterrupted_ledger(spec: &GridSpec, dir: &Path) -> Vec<u8> {
+    let spool = Spool::open(dir).unwrap();
+    let outcome = spool.submit(spec).unwrap();
+    run_daemon(&spool, &drain_opts()).unwrap();
+    std::fs::read(spool.ledger_path(&outcome.job_id)).unwrap()
+}
+
+#[test]
+fn submit_drain_status_roundtrip() {
+    let spool = Spool::open(&tmp_dir("roundtrip")).unwrap();
+    let spec = small_spec(42);
+
+    let outcome = spool.submit(&spec).unwrap();
+    assert!(outcome.fresh);
+    assert_eq!(outcome.state, JobState::Queued);
+    assert_eq!(outcome.job_id, spec.job_id());
+
+    // Submission is idempotent.
+    let again = spool.submit(&spec).unwrap();
+    assert!(!again.fresh);
+    assert_eq!(again.state, JobState::Queued);
+
+    run_daemon(&spool, &drain_opts()).unwrap();
+
+    assert_eq!(spool.job_state(&outcome.job_id), Some(JobState::Done));
+    let rows = spool.list().unwrap();
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.state, JobState::Done);
+    assert_eq!(row.cells_total, Some(spec.cells()));
+    assert_eq!(row.records, spec.cells());
+    assert_eq!(row.failures, 0);
+    assert!(row.complete);
+
+    let found = ledger::scan(&spool.ledger_path(&outcome.job_id)).unwrap();
+    assert_eq!(found.footer, Some((spec.cells() as u64, 0)));
+
+    // Resubmitting a done job stays a no-op.
+    let done = spool.submit(&spec).unwrap();
+    assert!(!done.fresh);
+    assert_eq!(done.state, JobState::Done);
+}
+
+#[test]
+fn orphaned_job_resumes_to_identical_bytes() {
+    let spec = small_spec(7);
+    let full = uninterrupted_ledger(&spec, &tmp_dir("orphan-ref"));
+
+    // Simulate a daemon killed mid-job: the grid is claimed (in jobs/) and
+    // the ledger holds a durable prefix ending in a torn line.
+    let spool = Spool::open(&tmp_dir("orphan")).unwrap();
+    let outcome = spool.submit(&spec).unwrap();
+    let claimed = spool.claim_next().unwrap();
+    assert_eq!(claimed.as_deref(), Some(outcome.job_id.as_str()));
+    assert_eq!(spool.job_state(&outcome.job_id), Some(JobState::Running));
+    let newline_offsets: Vec<usize> = full
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let cut = newline_offsets[2] + 17; // 2 durable records + a torn third
+    std::fs::write(spool.ledger_path(&outcome.job_id), &full[..cut]).unwrap();
+
+    // A restarted daemon picks the orphan up before touching the queue.
+    run_daemon(&spool, &drain_opts()).unwrap();
+    assert_eq!(spool.job_state(&outcome.job_id), Some(JobState::Done));
+    let resumed = std::fs::read(spool.ledger_path(&outcome.job_id)).unwrap();
+    assert_eq!(resumed, full, "resumed ledger must be byte-identical");
+}
+
+#[test]
+fn resubmitted_grid_is_served_from_cache() {
+    let spool = Spool::open(&tmp_dir("cache-serve")).unwrap();
+    let spec = small_spec(99);
+    let outcome = spool.submit(&spec).unwrap();
+    run_daemon(&spool, &drain_opts()).unwrap();
+    let first = std::fs::read(spool.ledger_path(&outcome.job_id)).unwrap();
+
+    // Wipe the job and its ledger; the content-addressed cache survives.
+    std::fs::remove_file(spool.grid_path(&outcome.job_id, JobState::Done)).unwrap();
+    std::fs::remove_file(spool.ledger_path(&outcome.job_id)).unwrap();
+    let probe_before = rr_corda::debug_step_probe();
+    let again = spool.submit(&spec).unwrap();
+    assert!(again.fresh);
+    run_daemon(&spool, &drain_opts()).unwrap();
+    let probe_after = rr_corda::debug_step_probe();
+
+    assert_eq!(spool.job_state(&outcome.job_id), Some(JobState::Done));
+    let served = std::fs::read(spool.ledger_path(&outcome.job_id)).unwrap();
+    assert_eq!(served, first, "cache must serve the original bytes");
+    if cfg!(debug_assertions) {
+        assert_eq!(probe_after - probe_before, 0, "zero engine work on a hit");
+    }
+}
+
+#[test]
+fn unparseable_grid_lands_in_failed_with_reason() {
+    let spool = Spool::open(&tmp_dir("reject")).unwrap();
+    std::fs::write(
+        spool.grid_path("bogus", JobState::Queued),
+        "not a grid at all\n",
+    )
+    .unwrap();
+    run_daemon(&spool, &drain_opts()).unwrap();
+    assert_eq!(spool.job_state("bogus"), Some(JobState::Failed));
+    let why = std::fs::read_to_string(spool.error_path("bogus")).unwrap();
+    assert!(why.contains("rejected"), "{why}");
+
+    // gc clears failed records and their orphaned ledgers.
+    let removed = spool.gc().unwrap();
+    assert!(removed >= 2, "grid + error file, got {removed}");
+    assert_eq!(spool.job_state("bogus"), None);
+}
+
+#[test]
+fn gc_keeps_done_jobs_and_their_artifacts() {
+    let spool = Spool::open(&tmp_dir("gc-keep")).unwrap();
+    let spec = small_spec(5);
+    let outcome = spool.submit(&spec).unwrap();
+    run_daemon(&spool, &drain_opts()).unwrap();
+    spool.gc().unwrap();
+    assert_eq!(spool.job_state(&outcome.job_id), Some(JobState::Done));
+    assert!(spool.ledger_path(&outcome.job_id).is_file());
+    let found = ledger::scan(&spool.ledger_path(&outcome.job_id)).unwrap();
+    assert!(found.is_complete());
+}
+
+/// The real thing: `kill -9` the daemon binary mid-job, restart it with
+/// `--drain`, and require the resumed ledger to be byte-identical to an
+/// uninterrupted service run of the same grid.
+#[test]
+fn killed_daemon_binary_resumes_to_identical_bytes() {
+    let spec = small_spec(1234);
+    let full = uninterrupted_ledger(&spec, &tmp_dir("kill-ref"));
+
+    let dir = tmp_dir("kill");
+    let spool = Spool::open(&dir).unwrap();
+
+    // Submit through the client binary (exercises the CLI path).
+    let grid_file = dir.join("job.grid");
+    std::fs::write(&grid_file, spec.canonical_encoding()).unwrap();
+    let submit = Command::new(env!("CARGO_BIN_EXE_rr-sweep"))
+        .args(["--spool"])
+        .arg(&dir)
+        .arg("submit")
+        .arg(&grid_file)
+        .output()
+        .unwrap();
+    assert!(submit.status.success(), "{submit:?}");
+
+    // Start the daemon (no --drain: it would only exit when killed),
+    // let it get into the job, then SIGKILL it.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_rr-sweepd"))
+        .args(["--spool"])
+        .arg(&dir)
+        .args(["--sequential", "--poll-ms", "10"])
+        .spawn()
+        .unwrap();
+    let ledger_path = spool.ledger_path(&spec.job_id());
+    for _ in 0..600 {
+        if ledger_path.is_file() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // The grid must not be lost: it is either still claimed (killed
+    // mid-job) or already done (the job won the race).
+    let state = spool.job_state(&spec.job_id());
+    assert!(
+        matches!(state, Some(JobState::Running | JobState::Done)),
+        "job lost after kill: {state:?}"
+    );
+
+    // Restart in drain mode: resumes the orphan and exits.
+    let restart = Command::new(env!("CARGO_BIN_EXE_rr-sweepd"))
+        .args(["--spool"])
+        .arg(&dir)
+        .args(["--sequential", "--drain"])
+        .output()
+        .unwrap();
+    assert!(restart.status.success(), "{restart:?}");
+
+    assert_eq!(spool.job_state(&spec.job_id()), Some(JobState::Done));
+    let resumed = std::fs::read(&ledger_path).unwrap();
+    assert_eq!(
+        resumed, full,
+        "ledger after kill -9 + resume must be byte-identical to an uninterrupted run"
+    );
+
+    // And the client can stream it back.
+    let tail = Command::new(env!("CARGO_BIN_EXE_rr-sweep"))
+        .args(["--spool"])
+        .arg(&dir)
+        .args(["tail", &spec.job_id()])
+        .output()
+        .unwrap();
+    assert!(tail.status.success());
+    let text = String::from_utf8(tail.stdout).unwrap();
+    assert_eq!(text.lines().count(), 1 + spec.cells() + 1);
+    assert!(text
+        .lines()
+        .next()
+        .unwrap()
+        .contains("\"schema\":\"rr-sweep/v1\""));
+    assert!(text
+        .lines()
+        .last()
+        .unwrap()
+        .starts_with(ledger::FOOTER_PREFIX));
+}
+
+#[test]
+fn client_grid_preset_roundtrips_through_submit() {
+    let output = Command::new(env!("CARGO_BIN_EXE_rr-sweep"))
+        .args(["grid", "e6", "--quick", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    let spec = GridSpec::parse(&text).unwrap();
+    assert_eq!(spec.experiment, "E6");
+    assert_eq!(spec.root_seed, 7);
+    assert_eq!(
+        spec,
+        rr_bench::grid::preset("e6", true, Some(7)).unwrap(),
+        "client preset must equal the in-process preset"
+    );
+}
