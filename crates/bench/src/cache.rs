@@ -10,13 +10,17 @@
 //! step probe.
 //!
 //! Entries are published atomically (write to a dot-tempfile, fsync,
-//! rename), and only ledgers carrying their completion footer are ever
-//! served; [`ResultCache::gc`] sweeps out incomplete or torn entries.
+//! rename), and an entry is only served after validation against the
+//! requesting grid's bound header (header line byte-equality + footer cell
+//! count), so a 64-bit key collision or a corrupted entry is a miss, not
+//! wrong bytes; [`ResultCache::gc`] sweeps out incomplete or torn entries,
+//! leaving recent tempfiles alone so it cannot race a concurrent publish.
 
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use crate::ledger;
+use crate::sweep::SweepHeader;
 
 /// Folds `bytes` into an FNV-1a 64-bit hash.
 fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -70,12 +74,27 @@ impl ResultCache {
         self.dir.join(format!("{key:016x}.jsonl"))
     }
 
-    /// The cached ledger for `key`, if a **complete** one is present.
+    /// Whether a scanned entry actually belongs to the grid asking for it:
+    /// complete, header line byte-equal to the requesting grid's header
+    /// (which binds the grid's content-address and cell count), and footer
+    /// cell count in agreement.  This is what makes a 64-bit key collision
+    /// — or an entry poisoned by external corruption — a cache **miss**
+    /// instead of silently served wrong bytes.
+    fn entry_matches(found: &ledger::LedgerScan, header: &SweepHeader) -> bool {
+        found.is_complete()
+            && found.header.as_deref() == Some(header.to_json_line().as_str())
+            && header
+                .grid_cells()
+                .is_none_or(|cells| found.footer.map(|(c, _)| c) == Some(cells))
+    }
+
+    /// The cached ledger for `key`, if a **complete** one matching
+    /// `header` (the requesting grid's bound header) is present.
     #[must_use]
-    pub fn lookup(&self, key: u64) -> Option<PathBuf> {
+    pub fn lookup(&self, key: u64, header: &SweepHeader) -> Option<PathBuf> {
         let path = self.entry_path(key);
         match ledger::scan(&path) {
-            Ok(found) if found.is_complete() => Some(path),
+            Ok(found) if Self::entry_matches(&found, header) => Some(path),
             _ => None,
         }
     }
@@ -112,13 +131,15 @@ impl ResultCache {
     }
 
     /// Serves the cached ledger for `key` into `dest` (atomically, via a
-    /// sibling tempfile).  Returns whether there was a hit.
+    /// sibling tempfile), after validating the entry against `header` — a
+    /// non-matching entry is a miss, never served.  Returns whether there
+    /// was a hit.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn serve(&self, key: u64, dest: &Path) -> io::Result<bool> {
-        let Some(entry) = self.lookup(key) else {
+    pub fn serve(&self, key: u64, header: &SweepHeader, dest: &Path) -> io::Result<bool> {
+        let Some(entry) = self.lookup(key, header) else {
             return Ok(false);
         };
         let bytes = std::fs::read(&entry)?;
@@ -133,13 +154,25 @@ impl ResultCache {
     }
 
     /// Removes incomplete entries and stale tempfiles, returning how many
-    /// files were deleted.
+    /// files were deleted.  Tempfiles younger than [`GC_TMP_GRACE`] are
+    /// kept: they may belong to a publish that is happening right now, and
+    /// deleting one under it would fail that publish's rename.
     ///
     /// # Errors
     ///
     /// Propagates directory reading errors (individual unlink races are
     /// ignored).
     pub fn gc(&self) -> io::Result<usize> {
+        self.gc_with_grace(GC_TMP_GRACE)
+    }
+
+    /// [`ResultCache::gc`] with an explicit tempfile grace period (tests use
+    /// zero to force collection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory reading errors.
+    pub fn gc_with_grace(&self, grace: std::time::Duration) -> io::Result<usize> {
         let mut removed = 0usize;
         for entry in std::fs::read_dir(&self.dir)? {
             let path = entry?.path();
@@ -147,7 +180,8 @@ impl ResultCache {
                 continue;
             }
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            let stale_tmp = name.starts_with(".tmp-") || name.ends_with(".serving");
+            let is_tmp = name.starts_with(".tmp-") || name.ends_with(".serving");
+            let stale_tmp = is_tmp && file_older_than(&path, grace);
             let incomplete = name.ends_with(".jsonl")
                 && !matches!(ledger::scan(&path), Ok(found) if found.is_complete());
             if (stale_tmp || incomplete) && std::fs::remove_file(&path).is_ok() {
@@ -156,6 +190,22 @@ impl ResultCache {
         }
         Ok(removed)
     }
+}
+
+/// How long a dot-tempfile must sit untouched before [`ResultCache::gc`]
+/// considers it abandoned rather than a publish in flight.
+pub const GC_TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Whether the file at `path` was last modified at least `grace` ago.  A
+/// missing file, an unreadable mtime or a clock that says the file is from
+/// the future all answer `false` — never delete what cannot be aged.
+#[must_use]
+pub fn file_older_than(path: &Path, grace: std::time::Duration) -> bool {
+    std::fs::metadata(path)
+        .and_then(|meta| meta.modified())
+        .ok()
+        .and_then(|mtime| mtime.elapsed().ok())
+        .is_some_and(|age| age >= grace)
 }
 
 #[cfg(test)]
@@ -205,26 +255,82 @@ mod tests {
         // Incomplete ledgers are refused.
         let key = cache_key("g", "v");
         assert!(cache.publish(key, &source).is_err());
-        assert!(cache.lookup(key).is_none());
+        assert!(cache.lookup(key, &header).is_none());
 
         ledger.finish().unwrap();
         cache.publish(key, &source).unwrap();
-        assert!(cache.lookup(key).is_some());
+        assert!(cache.lookup(key, &header).is_some());
 
         let dest = dir.join("served.ledger");
-        assert!(cache.serve(key, &dest).unwrap());
+        assert!(cache.serve(key, &header, &dest).unwrap());
         assert_eq!(
             std::fs::read(&source).unwrap(),
             std::fs::read(&dest).unwrap()
         );
-        assert!(!cache.serve(cache_key("other", "v"), &dest).unwrap());
+        assert!(!cache
+            .serve(cache_key("other", "v"), &header, &dest)
+            .unwrap());
 
         // gc removes a hand-planted incomplete entry but keeps the good one.
         let bad = cache.entry_path(cache_key("bad", "v"));
         std::fs::write(&bad, "{\"schema\":\"rr-sweep/v1\"}\n{\"experiment\"").unwrap();
         let removed = cache.gc().unwrap();
         assert_eq!(removed, 1);
-        assert!(cache.lookup(key).is_some());
+        assert!(cache.lookup(key, &header).is_some());
         assert!(!bad.exists());
+    }
+
+    #[test]
+    fn mismatched_entry_is_a_miss_not_wrong_bytes() {
+        let dir = tmp_dir("validate");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = cache_key("colliding", "v");
+
+        // An entry written by a *different* grid landing under this key (a
+        // key collision, or a poisoned entry) must never be served.
+        let other_header = SweepHeader::new("OTHER", 9).for_grid(key, 1);
+        let source = dir.join("other.ledger");
+        let mut ledger = Ledger::create(&source, &other_header).unwrap();
+        ledger
+            .append(
+                0,
+                &Rec {
+                    experiment: "OTHER",
+                    ok: true,
+                },
+            )
+            .unwrap();
+        ledger.finish().unwrap();
+        cache.publish(key, &source).unwrap();
+
+        let asking = SweepHeader::new("MINE", 9).for_grid(key, 1);
+        assert!(cache.lookup(key, &asking).is_none(), "header must match");
+        let dest = dir.join("dest.ledger");
+        assert!(!cache.serve(key, &asking, &dest).unwrap());
+        assert!(!dest.exists(), "a miss must not touch the destination");
+        assert!(
+            cache.lookup(key, &other_header).is_some(),
+            "the rightful owner still hits"
+        );
+
+        // A grid of the same experiment and seed but a different shape
+        // (different declared cell count) is also a miss.
+        let short = SweepHeader::new("OTHER", 9).for_grid(key, 2);
+        assert!(cache.lookup(key, &short).is_none());
+    }
+
+    #[test]
+    fn gc_spares_recent_tempfiles() {
+        let dir = tmp_dir("tmp-grace");
+        let cache = ResultCache::open(&dir).unwrap();
+        let tmp = dir.join(".tmp-0000000000000001-99999");
+        std::fs::write(&tmp, "half a publish").unwrap();
+        // Default grace: a freshly written tempfile survives gc...
+        cache.gc().unwrap();
+        assert!(tmp.exists(), "gc raced a publish in flight");
+        // ...but with the grace elapsed (forced to zero) it is collected.
+        let removed = cache.gc_with_grace(std::time::Duration::ZERO).unwrap();
+        assert_eq!(removed, 1);
+        assert!(!tmp.exists());
     }
 }

@@ -311,11 +311,16 @@ impl GridSpec {
         format!("{}-{:016x}", self.experiment, self.cache_key())
     }
 
-    /// The `rr-sweep/v1` header every ledger and JSON report of this grid
-    /// opens with.
+    /// The `rr-sweep/v1` header every ledger of this grid opens with —
+    /// **bound to the grid's content**: the header line carries the grid's
+    /// [`cache_key`](GridSpec::cache_key) in hex and its declared cell
+    /// count, so two grids sharing an experiment id and root seed but
+    /// differing in shape (a `--quick` preset vs the full one, say) can
+    /// never byte-match each other's ledgers on resume or in the cache.
     #[must_use]
     pub fn header(&self) -> SweepHeader {
         SweepHeader::new(&self.experiment, self.root_seed)
+            .for_grid(self.cache_key(), self.cells() as u64)
     }
 
     /// The [`Sweep`] this grid declares.
@@ -577,8 +582,9 @@ pub fn execute_grid(spec: &GridSpec, opts: &ExecOptions<'_>) -> io::Result<GridR
         if let Some(ledger_path) = &opts.ledger {
             let existing = ledger::scan(ledger_path)?;
             let dest_complete = existing.is_complete()
-                && existing.header.as_deref() == Some(header.to_json_line().as_str());
-            if !dest_complete && cache.serve(key, ledger_path)? {
+                && existing.header.as_deref() == Some(header.to_json_line().as_str())
+                && existing.footer.map(|(cells, _)| cells) == Some(cells_total as u64);
+            if !dest_complete && cache.serve(key, &header, ledger_path)? {
                 let found = ledger::scan(ledger_path)?;
                 let (cells, failures) = found.footer.unwrap_or((0, 0));
                 return Ok(GridRun {
@@ -592,7 +598,7 @@ pub fn execute_grid(spec: &GridSpec, opts: &ExecOptions<'_>) -> io::Result<GridR
                     records: empty_records_for(spec),
                 });
             }
-        } else if cache.lookup(key).is_some() {
+        } else if cache.lookup(key, &header).is_some() {
             return Ok(GridRun {
                 stats: ExecutionStats {
                     cells_total,
@@ -610,20 +616,38 @@ pub fn execute_grid(spec: &GridSpec, opts: &ExecOptions<'_>) -> io::Result<GridR
         Some(ledger_path) => {
             let (ledger, resume) = Ledger::open_or_create(ledger_path, &header)?;
             if let LedgerResume::Complete { cells, failures } = resume {
-                return Ok(GridRun {
-                    stats: ExecutionStats {
-                        cells_total,
-                        cells_executed: 0,
-                        cells_reused: usize::try_from(cells).unwrap_or(usize::MAX),
-                        failures,
-                        from_cache: false,
-                    },
-                    records: empty_records_for(spec),
-                });
+                if cells == cells_total as u64 {
+                    // Repair a crash that hit between `Ledger::finish` and
+                    // the publish below: the completed ledger enters the
+                    // cache now, so the entry is never permanently missing.
+                    if let Some(cache) = opts.cache {
+                        if cache.lookup(spec.cache_key(), &header).is_none() {
+                            cache.publish(spec.cache_key(), ledger_path)?;
+                        }
+                    }
+                    return Ok(GridRun {
+                        stats: ExecutionStats {
+                            cells_total,
+                            cells_executed: 0,
+                            cells_reused: usize::try_from(cells).unwrap_or(usize::MAX),
+                            failures,
+                            from_cache: false,
+                        },
+                        records: empty_records_for(spec),
+                    });
+                }
             }
-            let skip = match resume {
-                LedgerResume::Partial { records } => records,
-                LedgerResume::Fresh | LedgerResume::Complete { .. } => 0,
+            // The header byte-match already binds the grid's content (cache
+            // key + cell count), so a footer or record count disagreeing
+            // with the declared shape can only be corruption: restart the
+            // ledger rather than adopt foreign records.
+            let (ledger, skip) = match resume {
+                LedgerResume::Partial { records } if records <= cells_total => (ledger, records),
+                LedgerResume::Fresh => (ledger, 0),
+                LedgerResume::Partial { .. } | LedgerResume::Complete { .. } => {
+                    drop(ledger);
+                    (Ledger::create(ledger_path, &header)?, 0)
+                }
             };
             let shared = Mutex::new(ledger);
             let records = run_cells(spec, mode, skip, Some(&shared));

@@ -3,12 +3,19 @@
 //! A ledger is one JSONL file per sweep job:
 //!
 //! ```text
-//! {"schema":"rr-sweep/v1","schema_version":1,"engine_version":...}   header
-//! {"experiment":...,"ok":true,...}                                   record 0
-//! {"experiment":...,"ok":true,...}                                   record 1
+//! {"schema":"rr-sweep/v1",...,"grid":"<hex>","cells":N}   header (grid-bound)
+//! {"experiment":...,"ok":true,...}                        record 0
+//! {"experiment":...,"ok":true,...}                        record 1
 //! ...
-//! {"complete":true,"cells":N,"failures":F}                           footer
+//! {"complete":true,"cells":N,"failures":F}                footer
 //! ```
+//!
+//! A grid ledger's header is **bound to the grid's content**: alongside the
+//! schema/engine preamble it carries the grid's content-address in hex and
+//! its declared cell count (see
+//! [`GridSpec::header`](crate::grid::GridSpec::header)).  Resume and cache
+//! validation compare header lines byte-for-byte, so two grids that merely
+//! share an experiment id and root seed can never be conflated.
 //!
 //! * **Append-only** — records are written in cell declaration order and
 //!   never rewritten; a [`Ledger`] buffers out-of-order completions from
@@ -198,10 +205,11 @@ impl Ledger {
     ///
     /// An existing file is scanned: a torn tail is truncated away, and the
     /// header must byte-match `header` — a mismatch (schema or engine
-    /// version drift, or a different experiment's ledger at this path) is
+    /// version drift, a different experiment's ledger at this path, or a
+    /// different *grid shape* when the header carries its grid binding) is
     /// **not** resumable, and the ledger restarts from scratch, because
-    /// records produced by a different engine version must never be mixed
-    /// into one ledger.
+    /// records produced by a different engine version or a different grid
+    /// must never be mixed into one ledger.
     ///
     /// # Errors
     ///

@@ -538,6 +538,18 @@ pub fn grid_map<T: Send, O: Send>(
 // JSON reports.
 // ---------------------------------------------------------------------------
 
+/// The grid identity a ledger header is bound to: the grid's
+/// content-address and its declared cell count.  See
+/// [`SweepHeader::for_grid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridBinding {
+    /// The grid's [`cache_key`](crate::cache::cache_key) in zero-padded hex
+    /// — the same 16 characters that name the job and its cache entry.
+    pub grid: String,
+    /// The number of cells (= record lines) the grid declares.
+    pub cells: u64,
+}
+
 /// The shared `rr-sweep/v1` preamble: schema tag, explicit schema version,
 /// the engine's semantic version, the experiment id and the root seed.
 ///
@@ -562,6 +574,16 @@ pub struct SweepHeader {
     pub experiment: String,
     /// Root seed every per-cell seed was derived from.
     pub root_seed: u64,
+    /// The grid identity a **ledger** header carries (rendered by
+    /// [`SweepHeader::to_json_line`] as trailing `"grid"`/`"cells"` fields).
+    /// `None` for free-form report envelopes, which are not content-addressed.
+    ///
+    /// This is what makes ledger resume and cache validation sound: two
+    /// grids of the same experiment and root seed but different shapes
+    /// (e.g. a `--quick` and a full preset) produce different header lines,
+    /// so one can never silently adopt the other's records.
+    #[serde(skip)]
+    pub grid: Option<GridBinding>,
 }
 
 impl SweepHeader {
@@ -574,11 +596,30 @@ impl SweepHeader {
             engine_version: rr_corda::ENGINE_VERSION,
             experiment: experiment.to_string(),
             root_seed,
+            grid: None,
         }
     }
 
+    /// Binds this header to a grid's content-address and cell count — the
+    /// form every ledger header takes (see [`GridSpec::header`](crate::grid::GridSpec::header)).
+    #[must_use]
+    pub fn for_grid(mut self, cache_key: u64, cells: u64) -> Self {
+        self.grid = Some(GridBinding {
+            grid: format!("{cache_key:016x}"),
+            cells,
+        });
+        self
+    }
+
+    /// The bound grid's declared cell count, when this is a ledger header.
+    #[must_use]
+    pub fn grid_cells(&self) -> Option<u64> {
+        self.grid.as_ref().map(|b| b.cells)
+    }
+
     /// The header as one JSON object, **without** a trailing newline —
-    /// exactly the first line of a sweep ledger.
+    /// exactly the first line of a sweep ledger.  A grid binding is rendered
+    /// as trailing `"grid"` and `"cells"` fields.
     ///
     /// # Panics
     ///
@@ -586,7 +627,16 @@ impl SweepHeader {
     /// broken vendored serializer.
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(self).expect("serializing a SweepHeader")
+        let mut doc = serde_json::to_string(self).expect("serializing a SweepHeader");
+        if let Some(binding) = &self.grid {
+            let closing = doc.pop();
+            debug_assert_eq!(closing, Some('}'));
+            doc.push_str(&format!(
+                ",\"grid\":\"{}\",\"cells\":{}}}",
+                binding.grid, binding.cells
+            ));
+        }
+        doc
     }
 }
 

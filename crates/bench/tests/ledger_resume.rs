@@ -146,7 +146,10 @@ fn cache_hit_runs_zero_engine_steps() {
     let first = execute_grid(&spec, &options).unwrap();
     assert!(!first.stats.from_cache);
     assert_eq!(first.stats.cells_executed, spec.cells());
-    assert!(cache.lookup(spec.cache_key()).is_some(), "published");
+    assert!(
+        cache.lookup(spec.cache_key(), &spec.header()).is_some(),
+        "published"
+    );
 
     // Second run of the identical grid into a fresh ledger path: served
     // entirely from the cache, with zero engine work.
@@ -178,7 +181,94 @@ fn cache_hit_runs_zero_engine_steps() {
 
     // A different root seed is a different content address: cache miss.
     let other = small_spec(100);
-    assert!(cache.lookup(other.cache_key()).is_none());
+    assert!(cache.lookup(other.cache_key(), &other.header()).is_none());
+}
+
+/// The conflation regression: two grids of the same experiment and root
+/// seed but different shapes (think `--quick` vs the full preset, whose
+/// default seeds are identical) sharing one `--ledger` path must never
+/// adopt each other's records — the ledger header binds the grid's
+/// content-address and cell count, so the shape mismatch restarts the
+/// ledger instead of silently serving or extending the wrong grid.
+#[test]
+fn same_seed_different_shape_grids_never_share_a_ledger() {
+    let dir = tmp_dir("shape");
+    let quick = small_spec(42);
+    let mut full = small_spec(42);
+    // Differ at the *front* so adopted-prefix bytes could never coincide.
+    full.instances.insert(0, (12, 5));
+    assert_eq!(quick.experiment, full.experiment);
+    assert_eq!(quick.root_seed, full.root_seed);
+    assert_ne!(quick.cache_key(), full.cache_key());
+    assert_ne!(
+        quick.header().to_json_line(),
+        full.header().to_json_line(),
+        "ledger headers must bind the grid shape"
+    );
+
+    // The quick grid completes into the shared ledger path...
+    let shared = dir.join("shared.jsonl");
+    let quick_bytes = run_to_ledger(&quick, &shared, ExecMode::Sequential);
+
+    // ...and the full grid at the same path must NOT resume it as complete:
+    // it restarts and executes every one of its own cells.
+    let options = ExecOptions {
+        mode: Some(ExecMode::Sequential),
+        ledger: Some(shared.clone()),
+        cache: None,
+    };
+    let run = execute_grid(&full, &options).unwrap();
+    assert_eq!(run.stats.cells_executed, full.cells());
+    assert_eq!(run.stats.cells_reused, 0);
+    let full_bytes = std::fs::read(&shared).unwrap();
+    let reference = run_to_ledger(&full, &dir.join("full-fresh.jsonl"), ExecMode::Sequential);
+    assert_eq!(full_bytes, reference, "restarted ledger = fresh full run");
+
+    // The reverse direction: a partial full-grid ledger is not a resumable
+    // prefix for the quick grid — the quick run restarts it and reproduces
+    // exactly the fresh quick bytes (no foreign records adopted).
+    let cut = reference
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .nth(2)
+        .unwrap(); // header + 2 full-grid records
+    let partial = dir.join("partial-full.jsonl");
+    std::fs::write(&partial, &reference[..cut]).unwrap();
+    let resumed = run_to_ledger(&quick, &partial, ExecMode::Sequential);
+    assert_eq!(
+        resumed, quick_bytes,
+        "quick grid must restart a foreign partial ledger, not extend it"
+    );
+}
+
+/// A crash between `Ledger::finish` and the cache publish leaves a complete
+/// ledger with no cache entry; the next run over that ledger must repair
+/// the publish instead of skipping it forever.
+#[test]
+fn complete_ledger_resume_publishes_to_the_cache() {
+    let dir = tmp_dir("late-publish");
+    let spec = small_spec(55);
+    let path = dir.join("ledger.jsonl");
+    // Completes without a cache configured — as if the publish was lost.
+    run_to_ledger(&spec, &path, ExecMode::Sequential);
+
+    let cache = ResultCache::open(&dir.join("cache")).unwrap();
+    assert!(cache.lookup(spec.cache_key(), &spec.header()).is_none());
+    let options = ExecOptions {
+        mode: Some(ExecMode::Sequential),
+        ledger: Some(path.clone()),
+        cache: Some(&cache),
+    };
+    let run = execute_grid(&spec, &options).unwrap();
+    assert!(!run.stats.from_cache);
+    assert_eq!(run.stats.cells_executed, 0);
+    assert_eq!(run.stats.cells_reused, spec.cells());
+    assert!(
+        cache.lookup(spec.cache_key(), &spec.header()).is_some(),
+        "resuming a complete ledger must publish the missing cache entry"
+    );
 }
 
 #[test]

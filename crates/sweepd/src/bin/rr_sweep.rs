@@ -17,7 +17,7 @@ use std::process::exit;
 
 use rr_bench::grid::{preset, GridSpec};
 use rr_bench::ledger;
-use rr_sweepd::Spool;
+use rr_sweepd::{JobState, Spool};
 
 fn usage() -> ! {
     eprintln!(
@@ -129,6 +129,18 @@ fn cmd_tail(spool: &Spool, rest: &[String]) {
         }
         if complete || !follow {
             return;
+        }
+        // A failed job's ledger never gains its footer — stop following
+        // instead of polling forever, and say why the job died.
+        match spool.job_state(job_id) {
+            Some(JobState::Failed) => {
+                let why = std::fs::read_to_string(spool.error_path(job_id))
+                    .unwrap_or_else(|_| "unknown failure (no .error file)".to_string());
+                eprintln!("rr-sweep: job {job_id} failed: {}", why.trim_end());
+                exit(1);
+            }
+            None => fatal(&format!("job {job_id} does not exist in this spool")),
+            Some(JobState::Queued | JobState::Running | JobState::Done) => {}
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
     }

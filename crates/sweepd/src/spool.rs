@@ -307,15 +307,34 @@ impl Spool {
     /// Done jobs, their ledgers and complete cache entries are kept — they
     /// are the service's artifacts.  Returns the number of files removed.
     ///
+    /// A `queue/.tmp-*` file younger than
+    /// [`rr_bench::cache::GC_TMP_GRACE`] is left alone: it may be a submit
+    /// happening right now (write → fsync → rename), and unlinking it under
+    /// the submitter would make that submit's rename fail.
+    ///
     /// # Errors
     ///
     /// Propagates directory reading errors.
     pub fn gc(&self) -> io::Result<usize> {
-        let mut removed = rr_bench::cache::ResultCache::open(&self.cache_dir())?.gc()?;
+        self.gc_with_grace(rr_bench::cache::GC_TMP_GRACE)
+    }
+
+    /// [`Spool::gc`] with an explicit tempfile grace period (tests use zero
+    /// to force collection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory reading errors.
+    pub fn gc_with_grace(&self, grace: std::time::Duration) -> io::Result<usize> {
+        let mut removed =
+            rr_bench::cache::ResultCache::open(&self.cache_dir())?.gc_with_grace(grace)?;
         for entry in fs::read_dir(self.root.join("queue"))? {
             let path = entry?.path();
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with(".tmp-") && fs::remove_file(&path).is_ok() {
+            if name.starts_with(".tmp-")
+                && rr_bench::cache::file_older_than(&path, grace)
+                && fs::remove_file(&path).is_ok()
+            {
                 removed += 1;
             }
         }

@@ -163,6 +163,49 @@ fn unparseable_grid_lands_in_failed_with_reason() {
 }
 
 #[test]
+fn gc_spares_fresh_submit_tempfiles() {
+    let spool = Spool::open(&tmp_dir("gc-tmp")).unwrap();
+    // A submit in flight: written to queue/ but not yet renamed.
+    let tmp = spool.root().join("queue").join(".tmp-inflight-1");
+    std::fs::write(&tmp, "half a grid").unwrap();
+    spool.gc().unwrap();
+    assert!(
+        tmp.exists(),
+        "gc must not race a concurrent submit's rename"
+    );
+    // With the grace forced to zero the abandoned tempfile is collected.
+    let removed = spool.gc_with_grace(std::time::Duration::ZERO).unwrap();
+    assert!(removed >= 1);
+    assert!(!tmp.exists());
+}
+
+/// `tail --follow` of a job that lands in `failed/` must terminate with the
+/// failure reason instead of polling forever for a footer that will never
+/// be written.
+#[test]
+fn tail_follow_stops_on_failed_job() {
+    let spool = Spool::open(&tmp_dir("tail-failed")).unwrap();
+    std::fs::write(
+        spool.grid_path("bogus-tail", JobState::Queued),
+        "not a grid at all\n",
+    )
+    .unwrap();
+    run_daemon(&spool, &drain_opts()).unwrap();
+    assert_eq!(spool.job_state("bogus-tail"), Some(JobState::Failed));
+
+    let tail = Command::new(env!("CARGO_BIN_EXE_rr-sweep"))
+        .args(["--spool"])
+        .arg(spool.root())
+        .args(["tail", "bogus-tail", "--follow"])
+        .output()
+        .unwrap();
+    assert!(!tail.status.success(), "a failed job's tail must exit 1");
+    let err = String::from_utf8(tail.stderr).unwrap();
+    assert!(err.contains("failed"), "{err}");
+    assert!(err.contains("rejected"), "{err}");
+}
+
+#[test]
 fn gc_keeps_done_jobs_and_their_artifacts() {
     let spool = Spool::open(&tmp_dir("gc-keep")).unwrap();
     let spec = small_spec(5);
