@@ -265,6 +265,61 @@ pub struct ModelCheckRecord {
     pub wall_nanos: u128,
 }
 
+/// One fault-adversary cell (schema `rr-sweep/v1`, experiment `E14`).
+///
+/// Written by `exp_faults`: the degradation table behind the "paper vs
+/// faults" feasibility matrix.  Model-checked rows (`fault` ∈ `"none"`,
+/// `"crash"`, `"corrupt-look"`) quantify over **every** schedule *and*
+/// every fault placement within the budget; a cell is `ok` when the checker
+/// either proves its invariant or produces a minimal counterexample that
+/// replays on the engine (`replayed`) — an unexplained verdict (budget
+/// blow-up, non-reproducing trace) fails the cell.  Engine-measured rows
+/// (`fault` = `"unfair"`) run the bounded-unfair scheduler and gate on the
+/// clearing/gathering latency staying within the `c·B` degradation bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FaultRecord {
+    /// Experiment identifier (e.g. "E14").
+    pub experiment: String,
+    /// Task slug ("gathering", "alignment").
+    pub task: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Interleaving mode for model-checked rows ("ssync"/"async"), scheduler
+    /// name ("unfair") for engine-measured rows.
+    pub mode: String,
+    /// Fault family ("none", "crash", "corrupt-look", "unfair").
+    pub fault: String,
+    /// Fault parameters ("f=1", "looks=1", "B=64", ...; empty for "none").
+    pub fault_detail: String,
+    /// The invariant or degradation property the cell was checked against.
+    pub property: String,
+    /// Rigid initial configuration classes checked.
+    pub initial_classes: u64,
+    /// Concrete states explored (0 for engine-measured rows).
+    pub states: u64,
+    /// Edges of the explored state graphs (0 for engine-measured rows).
+    pub edges: u64,
+    /// Initial classes the invariant was proved for (all schedules, all
+    /// fault placements within the budget).
+    pub proved: u64,
+    /// Initial classes falsified with a minimal counterexample.
+    pub falsified: u64,
+    /// Whether every counterexample replayed on the engine with its fault
+    /// directives honoured (vacuously true when `falsified == 0`).
+    pub replayed: bool,
+    /// Whether the cell has a valid verdict: proved, degraded-with-replaying-
+    /// counterexample, or (unfair rows) latency within the degradation bound.
+    pub ok: bool,
+    /// Rendered counterexample / failure detail (empty when clean).
+    pub counterexample: String,
+    /// Wall-clock nanoseconds (not serialized; may differ across execution
+    /// modes).
+    #[serde(skip)]
+    pub wall_nanos: u128,
+}
+
 /// One engine-throughput cell (schema `rr-sweep/v1`, experiment `E12`).
 ///
 /// Written by `exp_throughput`: a fixed scheduler-step budget is driven

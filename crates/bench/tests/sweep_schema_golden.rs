@@ -15,7 +15,7 @@
 
 use std::path::PathBuf;
 
-use rr_bench::sweep::{json_report, ModelCheckRecord, RunRecord, ThroughputRecord};
+use rr_bench::sweep::{json_report, FaultRecord, ModelCheckRecord, RunRecord, ThroughputRecord};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -132,6 +132,54 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
     ]
 }
 
+/// Two fault records: a proved crash cell and a degraded cell whose
+/// counterexample exercises the escaping rules (quotes, backslash, newline,
+/// control char, non-ASCII passthrough) plus the `unfair` row shape.
+fn sample_fault_records() -> Vec<FaultRecord> {
+    vec![
+        FaultRecord {
+            experiment: "E-golden".into(),
+            task: "alignment".into(),
+            n: 8,
+            k: 4,
+            mode: "async".into(),
+            fault: "crash".into(),
+            fault_detail: "f=1".into(),
+            property: "exclusivity + alignment under one crash".into(),
+            initial_classes: 2,
+            states: 360,
+            edges: 1440,
+            proved: 2,
+            falsified: 0,
+            replayed: true,
+            ok: true,
+            counterexample: String::new(),
+            wall_nanos: 99,
+        },
+        FaultRecord {
+            experiment: "E-golden".into(),
+            task: "gathering".into(),
+            n: 6,
+            k: 3,
+            mode: "ssync".into(),
+            fault: "corrupt-look".into(),
+            fault_detail: "looks=1".into(),
+            property: "eventual gathering despite one corrupted Look".into(),
+            initial_classes: 1,
+            states: 15,
+            edges: 45,
+            proved: 0,
+            falsified: 1,
+            replayed: true,
+            ok: true,
+            counterexample:
+                "from [oo.o..]: \"fair\" schedule\\lasso\r\n(R{0} R{2})* [corrupt 1 phantom @0]\u{1}; naïve ✓"
+                    .into(),
+            wall_nanos: 99,
+        },
+    ]
+}
+
 fn sample_throughput_records() -> Vec<ThroughputRecord> {
     vec![
         ThroughputRecord {
@@ -191,6 +239,46 @@ fn throughput_record_skips_wall_time() {
     assert!(!json.contains("wall_nanos"), "skipped field leaked");
     assert!(json.contains("\"speedup_x100\":1800"));
     assert!(json.contains("\"look_allocs_per_kstep\":0"));
+}
+
+#[test]
+fn fault_record_report_matches_golden_bytes() {
+    let json = json_report("E-golden", 14, &sample_fault_records()).unwrap() + "\n";
+    assert_matches_golden("rr_sweep_v1_faults.json", &json);
+}
+
+#[test]
+fn fault_record_field_order_and_wall_skip_are_pinned() {
+    let json = json_report("E-golden", 14, &sample_fault_records()).unwrap();
+    assert!(!json.contains("wall_nanos"), "skipped field leaked");
+    let key_order = [
+        "\"experiment\"",
+        "\"task\"",
+        "\"n\"",
+        "\"k\"",
+        "\"mode\"",
+        "\"fault\"",
+        "\"fault_detail\"",
+        "\"property\"",
+        "\"initial_classes\"",
+        "\"states\"",
+        "\"edges\"",
+        "\"proved\"",
+        "\"falsified\"",
+        "\"replayed\"",
+        "\"ok\"",
+        "\"counterexample\"",
+    ];
+    let records_at = json.find("\"records\"").expect("records field");
+    let mut cursor = records_at;
+    for key in key_order {
+        let at = json[cursor..]
+            .find(key)
+            .unwrap_or_else(|| panic!("key {key} missing or out of order"));
+        cursor += at;
+    }
+    assert!(json.contains("\"fault\":\"crash\""));
+    assert!(json.contains("\"fault_detail\":\"looks=1\""));
 }
 
 #[test]

@@ -61,9 +61,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hasher;
 
 use rr_corda::{
-    Decision, Engine, EngineOptions, EngineState, InterleavingMode, NondeterministicScheduler,
-    PackedState, Protocol, RobotState, SchedulerStep, SimError, Snapshot, StateSig, ViewOrder,
-    MAX_CANONICAL_N,
+    CorruptionKind, Decision, Engine, EngineOptions, EngineState, FaultModel, InterleavingMode,
+    NondeterministicScheduler, PackedState, Protocol, RobotId, RobotState, SchedulerStep, SimError,
+    Snapshot, StateSig, ViewOrder, MAX_CANONICAL_N,
 };
 use rr_core::invariant::{AugState, Invariant, LivenessMode, StateView};
 use rr_ring::{Configuration, View};
@@ -76,6 +76,68 @@ pub const DEFAULT_MAX_STATES: usize = 4_000_000;
 /// worker count) so that the reported peak memory statistic — and the point
 /// at which a state budget trips — are identical for every worker count.
 const BATCH: usize = 4096;
+
+/// The fault adversary's powers during one exhaustive check: how many fault
+/// choices the branching frontier may enumerate along any single execution.
+///
+/// The default ([`FaultBudget::none`]) grants nothing — exploration is then
+/// byte-identical to the fault-free checker (same state ids, edges, reports
+/// and counterexamples), which the fault tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultBudget {
+    /// Robots the adversary may crash-stop along one execution.  Each crash
+    /// is a branch point: *which* alive robot, *when* (at any reachable
+    /// state).  A crashed robot is removed from every later frontier; its
+    /// position and any pending action freeze forever.
+    pub crash_budget: u32,
+    /// Fresh Looks the adversary may corrupt along one execution.  Each
+    /// corruption is a branch point: which Look opportunity (robot, and
+    /// under SSYNC which activation subset) observes which
+    /// [`CorruptionKind`] perturbation.
+    pub corrupt_budget: u32,
+    /// Robots a bounded-unfair scheduler with `B = ∞` may starve forever:
+    /// the liveness analysis drops them from its fairness obligation, so a
+    /// lasso needs to activate only the non-starved robots.  (The frontier
+    /// still offers their activations — the adversary *may* starve, not
+    /// must.)
+    pub starve_mask: u32,
+}
+
+impl FaultBudget {
+    /// No fault powers: the fault-free adversary.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultBudget::default()
+    }
+
+    /// Whether this budget grants no fault powers at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == FaultBudget::none()
+    }
+
+    /// Grants `f` crash-stop faults.
+    #[must_use]
+    pub fn with_crashes(mut self, f: u32) -> Self {
+        self.crash_budget = f;
+        self
+    }
+
+    /// Grants `b` corrupted Looks.
+    #[must_use]
+    pub fn with_corrupt_looks(mut self, b: u32) -> Self {
+        self.corrupt_budget = b;
+        self
+    }
+
+    /// Exempts the robots in `mask` from the fairness obligation (starved
+    /// forever by a bounded-unfair scheduler with `B = ∞`).
+    #[must_use]
+    pub fn with_starved(mut self, mask: u32) -> Self {
+        self.starve_mask = mask;
+        self
+    }
+}
 
 /// Options for one exhaustive check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +153,8 @@ pub struct ExploreOptions {
     /// verdict, the report and any counterexample are identical for every
     /// value.
     pub workers: usize,
+    /// The fault adversary's powers (default: none — fault-free checking).
+    pub faults: FaultBudget,
 }
 
 impl ExploreOptions {
@@ -103,7 +167,15 @@ impl ExploreOptions {
             max_states: DEFAULT_MAX_STATES,
             check_liveness: true,
             workers: 0,
+            faults: FaultBudget::none(),
         }
+    }
+
+    /// Replaces the fault adversary's powers.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultBudget) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replaces the state budget.
@@ -137,6 +209,42 @@ pub enum ViolationKind {
     Liveness,
 }
 
+/// One fault choice of the adversary along a counterexample schedule,
+/// positioned by `at`: an index into the combined `prefix ++ cycle` step
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirective {
+    /// Robot `robot` crash-stops immediately **before** the step at index
+    /// `at` executes: no later step activates it (the explorer removes it
+    /// from every frontier; the replay rejects schedules that do).
+    Crash {
+        /// Index into `prefix ++ cycle` before which the crash takes effect.
+        at: usize,
+        /// The crashed robot.
+        robot: RobotId,
+    },
+    /// The step at index `at` (a Look, or an SSYNC round containing the
+    /// robot) delivers a corrupted snapshot to `robot`'s fresh Look.
+    Corrupt {
+        /// Index into `prefix ++ cycle` of the corrupted step.
+        at: usize,
+        /// The robot whose Look is corrupted.
+        robot: RobotId,
+        /// The perturbation applied.
+        kind: CorruptionKind,
+    },
+}
+
+impl FaultDirective {
+    /// The schedule position this directive attaches to.
+    #[must_use]
+    pub fn at(&self) -> usize {
+        match self {
+            FaultDirective::Crash { at, .. } | FaultDirective::Corrupt { at, .. } => *at,
+        }
+    }
+}
+
 /// A concrete adversarial schedule demonstrating a violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
@@ -147,14 +255,23 @@ pub struct Counterexample {
     /// Schedule from the initial configuration to the violation (safety: the
     /// last step *is* the violation) or to the entry of the lasso cycle.
     pub prefix: Vec<SchedulerStep>,
-    /// For liveness: the fair cycle (activating every robot, making no
-    /// progress) that the adversary repeats forever.  Empty for safety.
+    /// For liveness: the fair cycle (activating every robot the fairness
+    /// obligation covers, making no progress) that the adversary repeats
+    /// forever.  Empty for safety.
     pub cycle: Vec<SchedulerStep>,
+    /// The adversary's fault choices along the schedule (empty for
+    /// fault-free checking).
+    pub faults: Vec<FaultDirective>,
+    /// Robots the fairness obligation exempts because a bounded-unfair
+    /// scheduler starves them forever ([`FaultBudget::starve_mask`]); zero
+    /// outside starvation checking.
+    pub starved: u32,
 }
 
 impl Counterexample {
     /// Compact single-line rendering (`L2` = Look robot 2, `E0` = Execute
-    /// robot 0, `R{0,2}` = SSYNC round of robots 0 and 2).
+    /// robot 0, `R{0,2}` = SSYNC round of robots 0 and 2); fault directives
+    /// and starvation exemptions are appended in brackets.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!("{}: {}", self.message, render_steps(&self.prefix));
@@ -162,6 +279,23 @@ impl Counterexample {
             out.push_str(" (");
             out.push_str(&render_steps(&self.cycle));
             out.push_str(")*");
+        }
+        for fault in &self.faults {
+            match fault {
+                FaultDirective::Crash { at, robot } => {
+                    out.push_str(&format!(" [crash {robot} @{at}]"));
+                }
+                FaultDirective::Corrupt { at, robot, kind } => {
+                    out.push_str(&format!(" [corrupt {robot} {} @{at}]", kind.name()));
+                }
+            }
+        }
+        if self.starved != 0 {
+            let ids: Vec<String> = (0..32)
+                .filter(|r| self.starved & (1 << r) != 0)
+                .map(|r: u32| r.to_string())
+                .collect();
+            out.push_str(&format!(" [starved {{{}}}]", ids.join(",")));
         }
         out
     }
@@ -269,13 +403,122 @@ enum Dedup {
 // ---------------------------------------------------------------------------
 
 /// Low 2 bits: the step kind; upper bits: the activation subset bitmask
-/// (SSYNC round) or the robot id (Look / Execute).
+/// (SSYNC round) or the robot id (Look / Execute).  Kind 3 marks a fault
+/// edge; its payload's low 2 bits select the fault subkind.
 const STEP_SSYNC: u32 = 0;
 const STEP_LOOK: u32 = 1;
 const STEP_EXECUTE: u32 = 2;
+const STEP_FAULT: u32 = 3;
 
-/// Materializes the [`SchedulerStep`] a code stands for.
+/// Fault subkinds (payload bits 0..2 of a [`STEP_FAULT`] code).  Crash edges
+/// step nothing (pure adversary bookkeeping); corrupt edges drive their
+/// underlying Look / SSYNC round with a one-shot [`FaultModel::CorruptLook`]
+/// armed.  Payload layout: subkind (2 bits) | robot (5 bits) | corruption
+/// kind (1 bit) | SSYNC activation mask (20 bits) — 28 payload bits, so the
+/// full code fits a `u32` for every `k ≤ 20`.
+const FAULT_CRASH: u32 = 0;
+const FAULT_LOOK: u32 = 1;
+const FAULT_ROUND: u32 = 2;
+
+/// The per-path fault word stored on every node and mixed into its dedup
+/// key: crashed-robot bitmask in the low 24 bits, corrupted-Look count used
+/// so far in the high 8.
+fn fault_word(crashed: u32, corrupts: u32) -> u32 {
+    debug_assert!(crashed < 1 << 24 && corrupts < 1 << 8);
+    crashed | corrupts << 24
+}
+
+fn fault_crashed(word: u32) -> u32 {
+    word & 0x00FF_FFFF
+}
+
+fn fault_corrupts(word: u32) -> u32 {
+    word >> 24
+}
+
+fn corruption_bit(kind: CorruptionKind) -> u32 {
+    match kind {
+        CorruptionKind::PhantomMultiplicity => 0,
+        CorruptionKind::MissingMultiplicity => 1,
+    }
+}
+
+fn corruption_from_bit(bit: u32) -> CorruptionKind {
+    if bit == 0 {
+        CorruptionKind::PhantomMultiplicity
+    } else {
+        CorruptionKind::MissingMultiplicity
+    }
+}
+
+fn crash_code(robot: usize) -> u32 {
+    (FAULT_CRASH | (robot as u32) << 2) << 2 | STEP_FAULT
+}
+
+fn corrupt_look_code(robot: usize, kind: CorruptionKind) -> u32 {
+    (FAULT_LOOK | (robot as u32) << 2 | corruption_bit(kind) << 7) << 2 | STEP_FAULT
+}
+
+fn corrupt_round_code(mask: u32, victim: usize, kind: CorruptionKind) -> u32 {
+    (FAULT_ROUND | (victim as u32) << 2 | corruption_bit(kind) << 7 | mask << 8) << 2 | STEP_FAULT
+}
+
+/// Crash codes: the robot the adversary crashes; `None` for every other
+/// code.
+fn crash_code_robot(code: u32) -> Option<RobotId> {
+    if code & 3 == STEP_FAULT && (code >> 2) & 3 == FAULT_CRASH {
+        Some(((code >> 4) & 31) as RobotId)
+    } else {
+        None
+    }
+}
+
+/// Corrupt codes: the victim, the perturbation, and the victim's fresh-Look
+/// offset within the step (0 for a solo Look; its rank within the
+/// activation mask for an SSYNC round — sound because SSYNC exploration
+/// only rounds Ready robots, so every member Looks freshly in id order).
+fn corrupt_code_parts(code: u32) -> Option<(RobotId, CorruptionKind, u64)> {
+    if code & 3 != STEP_FAULT {
+        return None;
+    }
+    let payload = code >> 2;
+    let victim = ((payload >> 2) & 31) as RobotId;
+    let kind = corruption_from_bit((payload >> 7) & 1);
+    match payload & 3 {
+        FAULT_LOOK => Some((victim, kind, 0)),
+        FAULT_ROUND => {
+            let mask = payload >> 8;
+            let offset = u64::from((mask & ((1 << victim) - 1)).count_ones());
+            Some((victim, kind, offset))
+        }
+        _ => None,
+    }
+}
+
+/// The engine step a code drives: the decoded step for regular codes, the
+/// underlying Look / SSYNC round for corrupt codes, `None` for crash codes
+/// (which step nothing).
+fn code_engine_step(code: u32) -> Option<SchedulerStep> {
+    if code & 3 != STEP_FAULT {
+        return Some(decode_step(code));
+    }
+    let payload = code >> 2;
+    match payload & 3 {
+        FAULT_LOOK => Some(SchedulerStep::Look(((payload >> 2) & 31) as usize)),
+        FAULT_ROUND => {
+            let mask = payload >> 8;
+            Some(SchedulerStep::SsyncRound(
+                (0..32usize).filter(|&r| mask & (1 << r) != 0).collect(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Materializes the [`SchedulerStep`] a regular code stands for.  Fault
+/// codes never reach this (they are realized via [`realize_codes`]).
 fn decode_step(code: u32) -> SchedulerStep {
+    debug_assert_ne!(code & 3, STEP_FAULT, "fault codes have no direct step");
     let payload = code >> 2;
     match code & 3 {
         STEP_LOOK => SchedulerStep::Look(payload as usize),
@@ -310,35 +553,130 @@ fn recycle_step(step: SchedulerStep, buf: &mut Vec<usize>) {
 
 /// The robots a coded step activates, as a bitmask — the edge label the
 /// fairness analysis is built on (equals
-/// [`NondeterministicScheduler::activation_mask`] of the decoded step).
+/// [`NondeterministicScheduler::activation_mask`] of the decoded step; for
+/// corrupt codes, of their underlying step; crash codes activate nobody).
 fn step_activation_mask(code: u32) -> u32 {
     match code & 3 {
         STEP_SSYNC => code >> 2,
-        _ => 1 << (code >> 2),
+        STEP_LOOK | STEP_EXECUTE => 1 << (code >> 2),
+        _ => {
+            let payload = code >> 2;
+            match payload & 3 {
+                FAULT_LOOK => 1 << ((payload >> 2) & 31),
+                FAULT_ROUND => payload >> 8,
+                _ => 0,
+            }
+        }
     }
 }
 
 /// The branching frontier of the adversary from a state with the given
 /// per-robot pending status, as step codes, in the exact order
 /// [`NondeterministicScheduler::frontier`] produces (subset bitmask order for
-/// SSYNC, robot id order for ASYNC).
-fn frontier_codes(mode: InterleavingMode, robots: &[RobotState], out: &mut Vec<u32>) {
+/// SSYNC, robot id order for ASYNC), with crash-stopped robots removed from
+/// every step.
+fn frontier_codes(mode: InterleavingMode, robots: &[RobotState], crashed: u32, out: &mut Vec<u32>) {
     out.clear();
     let k = robots.len();
     match mode {
         InterleavingMode::SsyncSubsets => {
-            out.extend((1u32..1 << k).map(|mask| mask << 2 | STEP_SSYNC));
+            out.extend(
+                (1u32..1 << k)
+                    .filter(|mask| mask & crashed == 0)
+                    .map(|mask| mask << 2 | STEP_SSYNC),
+            );
         }
         InterleavingMode::AsyncPhases => {
-            out.extend(robots.iter().enumerate().map(|(r, robot)| {
-                let kind = if robot.has_pending() {
-                    STEP_EXECUTE
-                } else {
-                    STEP_LOOK
-                };
-                (r as u32) << 2 | kind
-            }));
+            out.extend(
+                robots
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, _)| crashed & 1 << r == 0)
+                    .map(|(r, robot)| {
+                        let kind = if robot.has_pending() {
+                            STEP_EXECUTE
+                        } else {
+                            STEP_LOOK
+                        };
+                        (r as u32) << 2 | kind
+                    }),
+            );
         }
+    }
+}
+
+/// Appends the adversary's fault-choice edges to a node's frontier: crash
+/// edges (one per alive robot while the crash budget lasts) followed by
+/// corrupted-Look edges (one per fresh-Look opportunity × perturbation kind
+/// while the corruption budget lasts), in a fixed order so exploration stays
+/// deterministic for every worker count.
+fn fault_codes(
+    mode: InterleavingMode,
+    robots: &[RobotState],
+    fault: u32,
+    budget: &FaultBudget,
+    out: &mut Vec<u32>,
+) {
+    let k = robots.len();
+    let crashed = fault_crashed(fault);
+    if crashed.count_ones() < budget.crash_budget {
+        out.extend((0..k).filter(|&r| crashed & 1 << r == 0).map(crash_code));
+    }
+    if fault_corrupts(fault) < budget.corrupt_budget {
+        match mode {
+            InterleavingMode::AsyncPhases => {
+                for (r, robot) in robots.iter().enumerate() {
+                    if crashed & 1 << r != 0 || robot.has_pending() {
+                        continue;
+                    }
+                    for kind in CorruptionKind::ALL {
+                        out.push(corrupt_look_code(r, kind));
+                    }
+                }
+            }
+            InterleavingMode::SsyncSubsets => {
+                for mask in 1u32..1 << k {
+                    if mask & crashed != 0 {
+                        continue;
+                    }
+                    for victim in (0..k).filter(|&r| mask & 1 << r != 0) {
+                        if robots[victim].has_pending() {
+                            // A pending robot re-reports without a fresh
+                            // Look — nothing to corrupt (unreachable in
+                            // SSYNC exploration, where every robot is
+                            // Ready, but kept for robustness).
+                            continue;
+                        }
+                        for kind in CorruptionKind::ALL {
+                            out.push(corrupt_round_code(mask, victim, kind));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Converts a path of edge codes into real scheduler steps plus the fault
+/// directives annotating them: crash edges become [`FaultDirective::Crash`]
+/// markers (they step nothing), corrupt edges emit their underlying step
+/// plus a [`FaultDirective::Corrupt`] marker, regular codes decode as-is.
+fn realize_codes(
+    codes: &[u32],
+    step_offset: usize,
+    steps: &mut Vec<SchedulerStep>,
+    faults: &mut Vec<FaultDirective>,
+) {
+    for &code in codes {
+        let at = step_offset + steps.len();
+        if let Some(robot) = crash_code_robot(code) {
+            faults.push(FaultDirective::Crash { at, robot });
+            continue;
+        }
+        if let Some((robot, kind, _)) = corrupt_code_parts(code) {
+            faults.push(FaultDirective::Corrupt { at, robot, kind });
+        }
+        steps.push(code_engine_step(code).expect("non-crash codes drive a step"));
     }
 }
 
@@ -347,11 +685,14 @@ fn frontier_codes(mode: InterleavingMode, robots: &[RobotState], out: &mut Vec<u
 // ---------------------------------------------------------------------------
 
 /// Inline, allocation-free visited-map key: a fixed state signature plus the
-/// 64-bit auxiliary-state key.
+/// 64-bit auxiliary-state key and the per-path fault word (crashed robots +
+/// corruption budget used — two states reached with different fault history
+/// are different model-checking states even on identical engine state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Key {
     sig: StateSig,
     aug: u64,
+    fault: u32,
 }
 
 impl Key {
@@ -359,7 +700,7 @@ impl Key {
     /// selector and the per-shard hash map (via the single `write_u64` the
     /// manual [`Hash`] impl emits).
     fn mix(&self) -> u64 {
-        let mut h = self.aug;
+        let mut h = self.aug ^ u64::from(self.fault).rotate_left(17);
         for &word in &self.sig {
             // Trailing signature words are zero for every key of a run
             // (fixed n and k), so skipping them is consistent — and halves
@@ -380,21 +721,34 @@ impl std::hash::Hash for Key {
 }
 
 /// Computes the dedup key straight from the live engine (no codec round
-/// trip); equals `make_key(&engine.pack_state(), aug_bits, dedup)`.
-fn make_key_from_engine<P: Protocol>(engine: &Engine<P>, aug_bits: u64, dedup: Dedup) -> Key {
+/// trip); equals `make_key(&engine.pack_state(), aug_bits, dedup, fault)`.
+fn make_key_from_engine<P: Protocol>(
+    engine: &Engine<P>,
+    aug_bits: u64,
+    dedup: Dedup,
+    fault: u32,
+) -> Key {
     let sig = match dedup {
         Dedup::Exact => engine.behavior_sig(),
         Dedup::Canonical => engine.canonical_sig(),
     };
-    Key { sig, aug: aug_bits }
+    Key {
+        sig,
+        aug: aug_bits,
+        fault,
+    }
 }
 
-fn make_key(packed: &PackedState, aug_bits: u64, dedup: Dedup) -> Key {
+fn make_key(packed: &PackedState, aug_bits: u64, dedup: Dedup, fault: u32) -> Key {
     let sig = match dedup {
         Dedup::Exact => packed.behavior_sig(),
         Dedup::Canonical => packed.canonical_sig(),
     };
-    Key { sig, aug: aug_bits }
+    Key {
+        sig,
+        aug: aug_bits,
+        fault,
+    }
 }
 
 const VISITED_SHARDS: usize = 64;
@@ -432,11 +786,13 @@ impl Visited {
 const NO_PARENT: u32 = u32::MAX;
 
 /// One stored state: the packed engine state, the 64-bit auxiliary key, the
-/// BFS parent pointer (node + step code) and the liveness-target flag —
-/// a few dozen bytes where the old explorer held a full [`EngineState`].
+/// per-path fault word, the BFS parent pointer (node + step code) and the
+/// liveness-target flag — a few dozen bytes where the old explorer held a
+/// full [`EngineState`].
 struct NodeData {
     packed: PackedState,
     aug_bits: u64,
+    fault: u32,
     parent: u32,
     parent_code: u32,
     target: bool,
@@ -463,11 +819,8 @@ impl Graph<'_> {
     }
 }
 
-fn state_view(state: &EngineState) -> StateView<'_> {
-    StateView {
-        config: state.configuration(),
-        robots: state.robots(),
-    }
+fn state_view(state: &EngineState, crashed: u32) -> StateView<'_> {
+    StateView::new(state.configuration(), state.robots()).with_crashed(crashed)
 }
 
 // ---------------------------------------------------------------------------
@@ -535,6 +888,7 @@ struct ExploreCtx<'a> {
     mode: InterleavingMode,
     dedup: Dedup,
     reach_mode: bool,
+    faults: FaultBudget,
 }
 
 /// One expansion worker: a reusable engine plus scratch buffers.  Workers
@@ -561,6 +915,7 @@ enum SuccState {
         packed: PackedState,
         key: Key,
         aug_bits: u64,
+        fault: u32,
         target: bool,
     },
 }
@@ -597,19 +952,73 @@ fn expand_node<P: Protocol>(
     } = worker;
     engine.restore_packed(&node.packed);
     engine.save_state_into(before);
+    let crashed = fault_crashed(node.fault);
+    let corrupts = fault_corrupts(node.fault);
     let before_aug = ctx.aug_template.from_key_bits(node.aug_bits);
-    let before_view = state_view(before);
-    frontier_codes(ctx.mode, before.robots(), frontier);
+    let before_view = state_view(before, crashed);
+    frontier_codes(ctx.mode, before.robots(), crashed, frontier);
+    fault_codes(ctx.mode, before.robots(), node.fault, &ctx.faults, frontier);
 
     let mut succs = Vec::with_capacity(frontier.len());
     let mut violation = None;
-    for (idx, &code) in frontier.iter().enumerate() {
-        if idx > 0 {
+    let mut engine_dirty = false;
+    for &code in frontier.iter() {
+        // Crash edges are pure adversary bookkeeping: the engine state and
+        // the auxiliary state are untouched; one more robot is removed from
+        // every later frontier.  No step runs, so no safety check — but the
+        // liveness target is re-evaluated, since exempting a robot can
+        // *create* a target ("all non-crashed robots gathered").
+        if let Some(victim) = crash_code_robot(code) {
+            let new_crashed = crashed | 1 << victim;
+            let new_fault = fault_word(new_crashed, corrupts);
+            let key = make_key(&node.packed, node.aug_bits, ctx.dedup, new_fault);
+            let state = match visited.get(&key) {
+                Some(id) => SuccState::Known(id),
+                None => SuccState::Fresh {
+                    packed: node.packed.clone(),
+                    key,
+                    aug_bits: node.aug_bits,
+                    fault: new_fault,
+                    target: ctx.reach_mode
+                        && ctx
+                            .invariant
+                            .is_target(&before_view.with_crashed(new_crashed), &before_aug),
+                },
+            };
+            succs.push(Succ {
+                code,
+                progress: false,
+                state,
+            });
+            continue;
+        }
+        if engine_dirty {
             engine.restore_state(before);
         }
-        let step = decode_step_with(code, ssync_buf);
+        engine_dirty = true;
+        // Corrupt edges drive their underlying step with a one-shot
+        // corruption armed at the victim's fresh-Look ordinal; the model is
+        // disarmed right after, so every other edge of this node (and every
+        // later node this worker expands) steps fault-free.
+        let corruption = corrupt_code_parts(code);
+        let mut new_fault = node.fault;
+        if let Some((_, kind, offset)) = corruption {
+            engine.arm_fault(FaultModel::CorruptLook {
+                look: engine.look_count() + offset,
+                kind,
+            });
+            new_fault = fault_word(crashed, corrupts + 1);
+        }
+        let step = if code & 3 == STEP_FAULT {
+            code_engine_step(code).expect("corrupt codes drive a step")
+        } else {
+            decode_step_with(code, ssync_buf)
+        };
         let result = engine.step_into(&step, &mut (), report);
         recycle_step(step, ssync_buf);
+        if corruption.is_some() {
+            engine.arm_fault(FaultModel::None);
+        }
         if let Err(e) = result {
             violation = Some((code, e.to_string()));
             break;
@@ -618,22 +1027,21 @@ fn expand_node<P: Protocol>(
         let progress = ctx
             .invariant
             .observe_step(&mut aug, report, engine.configuration());
-        let after_view = StateView {
-            config: engine.configuration(),
-            robots: engine.robots(),
-        };
+        let after_view =
+            StateView::new(engine.configuration(), engine.robots()).with_crashed(crashed);
         if let Err(message) = ctx.invariant.check_edge(&before_view, &after_view, &aug) {
             violation = Some((code, message));
             break;
         }
         let aug_bits = aug.key_bits();
-        let key = make_key_from_engine(engine, aug_bits, ctx.dedup);
+        let key = make_key_from_engine(engine, aug_bits, ctx.dedup, new_fault);
         let state = match visited.get(&key) {
             Some(id) => SuccState::Known(id),
             None => SuccState::Fresh {
                 packed: engine.pack_behavior(),
                 key,
                 aug_bits,
+                fault: new_fault,
                 target: ctx.reach_mode && ctx.invariant.is_target(&after_view, &aug),
             },
         };
@@ -716,13 +1124,19 @@ fn explore<P: Protocol + Clone + Send>(
     );
     assert!(options.max_states < u32::MAX as usize, "node ids are u32");
     let full_mask: u32 = (1u32 << k) - 1;
+    assert!(
+        options.faults.starve_mask & !full_mask == 0,
+        "starve_mask names robots outside 0..k"
+    );
     let reach_mode = invariant.liveness_mode() == LivenessMode::Reach;
     let aug_template = invariant.initial_aug(initial);
     // The quotient is sound only when the whole model-checking state is the
     // engine state; with auxiliary path state, fall back to exact keys (the
-    // invariant's variant is fixed for the entire run).
+    // invariant's variant is fixed for the entire run).  Fault budgets also
+    // force exact keys: the crashed mask and the fairness exemptions are
+    // per-robot-id, which relabeling does not preserve.
     let effective_dedup = match (dedup, &aug_template) {
-        (Dedup::Canonical, AugState::None) => Dedup::Canonical,
+        (Dedup::Canonical, AugState::None) if options.faults.is_none() => Dedup::Canonical,
         _ => Dedup::Exact,
     };
     let workers = resolve_workers(options.workers);
@@ -730,10 +1144,10 @@ fn explore<P: Protocol + Clone + Send>(
     let root_state = root_engine.save_state();
     let root_packed = root_engine.pack_behavior();
     let root_bits = aug_template.key_bits();
-    let root_target = reach_mode && invariant.is_target(&state_view(&root_state), &aug_template);
+    let root_target = reach_mode && invariant.is_target(&state_view(&root_state, 0), &aug_template);
 
     let mut visited = Visited::new();
-    let root_key = make_key(&root_packed, root_bits, effective_dedup);
+    let root_key = make_key(&root_packed, root_bits, effective_dedup, 0);
     visited.shard_mut(&root_key).insert(root_key, 0);
     // Canonical classes among the stored states (exact-dedup statistic):
     // each signature is computed once, straight from the worker engine, when
@@ -747,6 +1161,7 @@ fn explore<P: Protocol + Clone + Send>(
     let mut nodes = vec![NodeData {
         packed: root_packed,
         aug_bits: root_bits,
+        fault: 0,
         parent: NO_PARENT,
         parent_code: 0,
         target: root_target,
@@ -774,6 +1189,7 @@ fn explore<P: Protocol + Clone + Send>(
         mode: options.interleaving,
         dedup: effective_dedup,
         reach_mode,
+        faults: options.faults,
     };
 
     // Batch-synchronous BFS: expand the next window of nodes in parallel,
@@ -799,6 +1215,7 @@ fn explore<P: Protocol + Clone + Send>(
                         packed,
                         key,
                         aug_bits,
+                        fault,
                         target,
                     } => match visited.shard_mut(&key).entry(key) {
                         std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
@@ -817,6 +1234,7 @@ fn explore<P: Protocol + Clone + Send>(
                             nodes.push(NodeData {
                                 packed,
                                 aug_bits,
+                                fault,
                                 parent: i as u32,
                                 parent_code: succ.code,
                                 target,
@@ -833,13 +1251,18 @@ fn explore<P: Protocol + Clone + Send>(
                 });
             }
             if let Some((code, message)) = expansion.violation {
-                let mut prefix = path_from_root(&nodes, i);
-                prefix.push(decode_step(code));
+                let mut codes = codes_from_root(&nodes, i);
+                codes.push(code);
+                let mut prefix = Vec::new();
+                let mut faults = Vec::new();
+                realize_codes(&codes, 0, &mut prefix, &mut faults);
                 safety_ce = Some(Counterexample {
                     kind: ViolationKind::Safety,
                     message,
                     prefix,
                     cycle: Vec::new(),
+                    faults,
+                    starved: options.faults.starve_mask,
                 });
                 break 'bfs;
             }
@@ -866,7 +1289,7 @@ fn explore<P: Protocol + Clone + Send>(
             offsets: &offsets,
             edges: &edges,
         };
-        match liveness_violation(&graph, full_mask, invariant) {
+        match liveness_violation(&graph, full_mask, options.faults.starve_mask, invariant) {
             Some(ce) => CheckOutcome::Falsified(Box::new(ce)),
             None => CheckOutcome::Verified,
         }
@@ -887,24 +1310,28 @@ fn explore<P: Protocol + Clone + Send>(
     })
 }
 
-/// Schedule from the root to node `i`, following BFS parent pointers.
-fn path_from_root(nodes: &[NodeData], mut i: usize) -> Vec<SchedulerStep> {
-    let mut steps = Vec::new();
+/// Edge codes from the root to node `i`, following BFS parent pointers.
+fn codes_from_root(nodes: &[NodeData], mut i: usize) -> Vec<u32> {
+    let mut codes = Vec::new();
     while nodes[i].parent != NO_PARENT {
-        steps.push(decode_step(nodes[i].parent_code));
+        codes.push(nodes[i].parent_code);
         i = nodes[i].parent as usize;
     }
-    steps.reverse();
-    steps
+    codes.reverse();
+    codes
 }
 
 /// Searches the explored graph for a fair schedule that never makes
 /// progress: a strongly connected subgraph of non-target states, reachable
 /// from the root through non-target states, whose non-progress internal
-/// edges activate every robot.  Returns the corresponding lasso.
+/// edges activate every robot the fairness obligation covers.  Crash-stopped
+/// robots (constant within an SCC — crash edges strictly grow the mask, so
+/// they can never close a cycle) and starved robots are exempt.  Returns the
+/// corresponding lasso.
 fn liveness_violation(
     graph: &Graph<'_>,
     full_mask: u32,
+    starve_mask: u32,
     invariant: &dyn Invariant,
 ) -> Option<Counterexample> {
     let nodes = graph.nodes;
@@ -936,10 +1363,14 @@ fn liveness_violation(
     let (scc, scc_count) = tarjan_scc(graph, &eligible);
 
     // Fairness coverage per SCC: the union of activation masks over internal
-    // eligible edges, plus whether the SCC has any internal edge at all.
+    // eligible edges, plus whether the SCC has any internal edge at all, and
+    // the fairness obligation — all robots minus the SCC's crashed mask
+    // (every node of an SCC shares it) minus the starved robots.
     let mut coverage = vec![0u32; scc_count];
     let mut has_edge = vec![false; scc_count];
+    let mut required = vec![full_mask & !starve_mask; scc_count];
     for u in 0..nodes.len() {
+        required[scc[u]] = full_mask & !fault_crashed(nodes[u].fault) & !starve_mask;
         for e in graph.out(u) {
             if eligible(u, e) && scc[e.to as usize] == scc[u] {
                 coverage[scc[u]] |= step_activation_mask(e.code);
@@ -947,44 +1378,62 @@ fn liveness_violation(
             }
         }
     }
-    let bad = (0..scc_count).find(|&c| has_edge[c] && coverage[c] == full_mask)?;
+    let bad = (0..scc_count).find(|&c| has_edge[c] && coverage[c] & required[c] == required[c])?;
 
     // Entry node: the first (lowest-index, hence BFS-closest) node of the bad
     // SCC; its prefix avoids targets by construction of `bfs_parent`.
     let entry = (0..nodes.len())
         .find(|&u| scc[u] == bad)
         .expect("non-empty SCC");
-    let mut prefix = Vec::new();
+    let mut prefix_codes = Vec::new();
     let mut cur = entry;
     while let Some((p, ei)) = bfs_parent[cur] {
-        prefix.push(decode_step(graph.out(p)[ei].code));
+        prefix_codes.push(graph.out(p)[ei].code);
         cur = p;
     }
-    prefix.reverse();
+    prefix_codes.reverse();
 
-    let cycle = covering_cycle(graph, &scc, bad, entry, full_mask, &eligible);
+    let cycle_codes = covering_cycle(graph, &scc, bad, entry, required[bad], &eligible);
+    let mut prefix = Vec::new();
+    let mut faults = Vec::new();
+    realize_codes(&prefix_codes, 0, &mut prefix, &mut faults);
+    let mut cycle = Vec::new();
+    realize_codes(&cycle_codes, prefix.len(), &mut cycle, &mut faults);
     let what = match invariant.liveness_mode() {
         LivenessMode::Reach => "never reaching the target",
         LivenessMode::ReachRepeatedly => "never making progress again",
     };
+    let exempt = full_mask & !required[bad];
+    let message = if exempt == 0 {
+        format!("fair schedule (every robot activated in each cycle iteration) {what}")
+    } else {
+        format!(
+            "fair-modulo-faults schedule (every non-crashed, non-starved robot activated in \
+             each cycle iteration) {what}"
+        )
+    };
     Some(Counterexample {
         kind: ViolationKind::Liveness,
-        message: format!("fair schedule (every robot activated in each cycle iteration) {what}"),
+        message,
         prefix,
         cycle,
+        faults,
+        starved: starve_mask,
     })
 }
 
-/// A closed walk from `entry` back to `entry` inside SCC `target_scc`, using
-/// only eligible edges, whose activation masks cover `full_mask`.
+/// A non-empty closed walk from `entry` back to `entry` inside SCC
+/// `target_scc`, using only eligible edges, whose activation masks cover
+/// `required` (the fairness obligation; possibly a strict subset of the
+/// robots, or empty, under fault exemptions).  Returned as edge codes.
 fn covering_cycle(
     graph: &Graph<'_>,
     scc: &[usize],
     target_scc: usize,
     entry: usize,
-    full_mask: u32,
+    required: u32,
     eligible: &dyn Fn(usize, &Edge) -> bool,
-) -> Vec<SchedulerStep> {
+) -> Vec<u32> {
     // BFS inside the SCC from `from`, stopping as soon as `stop(u, e)` holds
     // for an edge about to be relaxed; returns the end node and the walk
     // (as (node, edge-index) pairs) including that stopping edge.
@@ -1019,31 +1468,33 @@ fn covering_cycle(
             }
             unreachable!("SCC is strongly connected and covers the mask");
         };
-    let append = |walk: Vec<(usize, usize)>, steps: &mut Vec<SchedulerStep>, covered: &mut u32| {
+    let append = |walk: Vec<(usize, usize)>, codes: &mut Vec<u32>, covered: &mut u32| {
         for (n, ei) in walk {
             let e = &graph.out(n)[ei];
             *covered |= step_activation_mask(e.code);
-            steps.push(decode_step(e.code));
+            codes.push(e.code);
         }
     };
 
-    let mut steps = Vec::new();
+    let mut codes = Vec::new();
     let mut covered = 0u32;
     let mut cur = entry;
-    while covered != full_mask {
-        let missing = full_mask & !covered;
+    while covered & required != required {
+        let missing = required & !covered;
         let (end, walk) = walk_until(cur, &|_, e: &Edge| {
             step_activation_mask(e.code) & missing != 0
         });
-        append(walk, &mut steps, &mut covered);
+        append(walk, &mut codes, &mut covered);
         cur = end;
     }
-    if cur != entry {
+    // Close the walk — unconditionally when the obligation was empty (fully
+    // exempt SCC), so the lasso cycle is never empty.
+    if cur != entry || codes.is_empty() {
         let (end, walk) = walk_until(cur, &|_, e: &Edge| e.to as usize == entry);
-        append(walk, &mut steps, &mut covered);
+        append(walk, &mut codes, &mut covered);
         debug_assert_eq!(end, entry);
     }
-    steps
+    codes
 }
 
 /// Iterative Tarjan SCC over the subgraph of eligible edges.  Every node gets
@@ -1127,11 +1578,34 @@ pub struct ReplayReport {
     pub detail: String,
 }
 
+/// The victim's fresh-Look offset within `step`, for arming a one-shot
+/// corruption at replay time (0 for its solo Look; its position within the
+/// round's robot vector for SSYNC, where every member Looks freshly).
+fn replay_look_offset(step: &SchedulerStep, robot: RobotId) -> Result<u64, String> {
+    match step {
+        SchedulerStep::Look(r) if *r == robot => Ok(0),
+        SchedulerStep::SsyncRound(robots) => robots
+            .iter()
+            .position(|&r| r == robot)
+            .map(|p| p as u64)
+            .ok_or_else(|| "corrupt directive names a robot outside its round".to_string()),
+        _ => Err("corrupt directive does not match its step".to_string()),
+    }
+}
+
 /// Replays `ce` on a fresh [`Engine`] and checks that it demonstrates its
 /// violation: a safety trace must run cleanly up to its final step and
 /// violate there; a liveness lasso must run cleanly, return to the exact
 /// state it entered the cycle with, and make no progress / reach no target
 /// during the cycle (so the adversary can repeat it forever, fairly).
+///
+/// Fault directives are honoured: a [`FaultDirective::Crash`] removes its
+/// robot from the legal schedule (replay fails if a later step activates
+/// it) and switches the invariant views to the crashed mask; a
+/// [`FaultDirective::Corrupt`] arms a one-shot
+/// [`FaultModel::CorruptLook`] for exactly its step.  The fairness check
+/// exempts crashed and starved robots, mirroring the explorer's per-SCC
+/// obligation.
 ///
 /// # Errors
 ///
@@ -1147,18 +1621,54 @@ pub fn replay_counterexample<P: Protocol + Clone>(
     let mut engine = Engine::new(protocol.clone(), initial.clone(), engine_options)?;
     let mut aug = invariant.initial_aug(initial);
     let reach_mode = invariant.liveness_mode() == LivenessMode::Reach;
+    let full_mask = (1u32 << engine.num_robots()) - 1;
+    let mut crashed: u32 = 0;
 
-    // Applies one step; returns Some(violation message) if it violates.
+    // Applies the directives attached to schedule position `at`, then the
+    // step itself; returns (progress, target) or the violation message.
     let apply = |engine: &mut Engine<P>,
                  aug: &mut AugState,
-                 step: &SchedulerStep|
+                 crashed: &mut u32,
+                 step: &SchedulerStep,
+                 at: usize|
      -> Result<(bool, bool), String> {
+        let mut armed = false;
+        for fault in &ce.faults {
+            if fault.at() != at {
+                continue;
+            }
+            match *fault {
+                FaultDirective::Crash { robot, .. } => *crashed |= 1 << robot,
+                FaultDirective::Corrupt { robot, kind, .. } => {
+                    let offset = replay_look_offset(step, robot)?;
+                    engine.arm_fault(FaultModel::CorruptLook {
+                        look: engine.look_count() + offset,
+                        kind,
+                    });
+                    armed = true;
+                }
+            }
+        }
+        if NondeterministicScheduler::activation_mask(step) & *crashed != 0 {
+            if armed {
+                engine.arm_fault(FaultModel::None);
+            }
+            return Err("schedule activates a crashed robot".to_string());
+        }
         let before = engine.save_state();
-        let report = engine.step(step, &mut ()).map_err(|e| e.to_string())?;
+        let result = engine.step(step, &mut ());
+        if armed {
+            engine.arm_fault(FaultModel::None);
+        }
+        let report = result.map_err(|e| e.to_string())?;
         let progress = invariant.observe_step(aug, &report, engine.configuration());
         let after = engine.save_state();
-        invariant.check_edge(&state_view(&before), &state_view(&after), aug)?;
-        let target = reach_mode && invariant.is_target(&state_view(&after), aug);
+        invariant.check_edge(
+            &state_view(&before, *crashed),
+            &state_view(&after, *crashed),
+            aug,
+        )?;
+        let target = reach_mode && invariant.is_target(&state_view(&after, *crashed), aug);
         Ok((progress, target))
     };
 
@@ -1166,7 +1676,7 @@ pub fn replay_counterexample<P: Protocol + Clone>(
         ViolationKind::Safety => {
             for (idx, step) in ce.prefix.iter().enumerate() {
                 let last = idx + 1 == ce.prefix.len();
-                match apply(&mut engine, &mut aug, step) {
+                match apply(&mut engine, &mut aug, &mut crashed, step, idx) {
                     Ok(_) if last => {
                         return Ok(ReplayReport {
                             reproduced: false,
@@ -1188,8 +1698,8 @@ pub fn replay_counterexample<P: Protocol + Clone>(
             })
         }
         ViolationKind::Liveness => {
-            for step in &ce.prefix {
-                if let Err(detail) = apply(&mut engine, &mut aug, step) {
+            for (idx, step) in ce.prefix.iter().enumerate() {
+                if let Err(detail) = apply(&mut engine, &mut aug, &mut crashed, step, idx) {
                     return Ok(ReplayReport {
                         reproduced: false,
                         detail: format!("prefix violated safety: {detail}"),
@@ -1202,19 +1712,36 @@ pub fn replay_counterexample<P: Protocol + Clone>(
                     detail: "empty lasso cycle".to_string(),
                 });
             }
+            // Crash directives positioned at the cycle entry (trailing crash
+            // edges of the explorer's prefix) take effect before the entry
+            // checks.
+            for fault in &ce.faults {
+                if let FaultDirective::Crash { at, robot } = *fault {
+                    if at == ce.prefix.len() {
+                        crashed |= 1 << robot;
+                    }
+                }
+            }
             let loop_state = engine.save_state();
             let loop_aug_bits = aug.key_bits();
-            if reach_mode && invariant.is_target(&state_view(&loop_state), &aug) {
+            if reach_mode && invariant.is_target(&state_view(&loop_state, crashed), &aug) {
                 return Ok(ReplayReport {
                     reproduced: false,
                     detail: "lasso entry already satisfies the target".to_string(),
                 });
             }
+            let required = full_mask & !crashed & !ce.starved;
             let mut progress_seen = false;
             let mut target_seen = false;
             let mut activated = 0u32;
-            for step in &ce.cycle {
-                match apply(&mut engine, &mut aug, step) {
+            for (idx, step) in ce.cycle.iter().enumerate() {
+                match apply(
+                    &mut engine,
+                    &mut aug,
+                    &mut crashed,
+                    step,
+                    ce.prefix.len() + idx,
+                ) {
                     Ok((progress, target)) => {
                         progress_seen |= progress;
                         target_seen |= target;
@@ -1230,11 +1757,11 @@ pub fn replay_counterexample<P: Protocol + Clone>(
             }
             let closes = engine.save_state().exact_key() == loop_state.exact_key()
                 && aug.key_bits() == loop_aug_bits;
-            let fair = activated == (1u32 << engine.num_robots()) - 1;
+            let fair = activated & required == required && activated & crashed == 0;
             let reproduced = closes && fair && !progress_seen && !target_seen;
             let detail = if reproduced {
                 format!(
-                    "lasso closes after {} steps, activates all robots, no progress",
+                    "lasso closes after {} steps, activates all non-exempt robots, no progress",
                     ce.cycle.len()
                 )
             } else {
@@ -1325,7 +1852,7 @@ mod tests {
             let scheduler = NondeterministicScheduler::new(mode);
             let expected = scheduler.frontier(&engine.scheduler_view());
             let mut codes = Vec::new();
-            frontier_codes(mode, engine.robots(), &mut codes);
+            frontier_codes(mode, engine.robots(), 0, &mut codes);
             let decoded: Vec<SchedulerStep> = codes.iter().map(|&c| decode_step(c)).collect();
             assert_eq!(decoded, expected, "mode={mode}");
             for (code, step) in codes.iter().zip(&expected) {
@@ -1607,12 +2134,266 @@ mod tests {
 
     #[test]
     fn render_is_compact() {
-        let ce = Counterexample {
+        let mut ce = Counterexample {
             kind: ViolationKind::Liveness,
             message: "m".to_string(),
             prefix: vec![SchedulerStep::Look(1), SchedulerStep::Execute(1)],
             cycle: vec![SchedulerStep::SsyncRound(vec![0, 2])],
+            faults: Vec::new(),
+            starved: 0,
         };
         assert_eq!(ce.render(), "m: L1 E1 (R{0,2})*");
+        ce.faults.push(FaultDirective::Crash { at: 1, robot: 2 });
+        ce.faults.push(FaultDirective::Corrupt {
+            at: 0,
+            robot: 1,
+            kind: CorruptionKind::PhantomMultiplicity,
+        });
+        ce.starved = 0b100;
+        assert_eq!(
+            ce.render(),
+            "m: L1 E1 (R{0,2})* [crash 2 @1] [corrupt 1 phantom @0] [starved {2}]"
+        );
+    }
+
+    #[test]
+    fn fault_codes_round_trip_and_label_their_activations() {
+        // Crash codes: no engine step, no activation, robot recoverable.
+        for r in 0..20usize {
+            let code = crash_code(r);
+            assert_eq!(crash_code_robot(code), Some(r));
+            assert_eq!(corrupt_code_parts(code), None);
+            assert_eq!(code_engine_step(code), None);
+            assert_eq!(step_activation_mask(code), 0);
+        }
+        // ASYNC corrupt codes: underlying solo Look, offset 0.
+        for r in 0..20usize {
+            for kind in CorruptionKind::ALL {
+                let code = corrupt_look_code(r, kind);
+                assert_eq!(crash_code_robot(code), None);
+                assert_eq!(corrupt_code_parts(code), Some((r, kind, 0)));
+                assert_eq!(code_engine_step(code), Some(SchedulerStep::Look(r)));
+                assert_eq!(step_activation_mask(code), 1 << r);
+            }
+        }
+        // SSYNC corrupt codes: underlying round, offset = victim's rank.
+        let mask = 0b1101u32;
+        for (victim, offset) in [(0usize, 0u64), (2, 1), (3, 2)] {
+            for kind in CorruptionKind::ALL {
+                let code = corrupt_round_code(mask, victim, kind);
+                assert_eq!(corrupt_code_parts(code), Some((victim, kind, offset)));
+                assert_eq!(
+                    code_engine_step(code),
+                    Some(SchedulerStep::SsyncRound(vec![0, 2, 3]))
+                );
+                assert_eq!(step_activation_mask(code), mask);
+            }
+        }
+        // Fault words: crashed mask and corruption count round-trip.
+        let word = fault_word(0b1010, 3);
+        assert_eq!(fault_crashed(word), 0b1010);
+        assert_eq!(fault_corrupts(word), 3);
+    }
+
+    #[test]
+    fn crashed_robots_leave_the_frontier() {
+        let c = Configuration::from_gaps_at_origin(&[1, 1, 4]);
+        let engine = Engine::with_default_options(rr_corda::protocol::GreedyGapWalker, c).unwrap();
+        let mut codes = Vec::new();
+        frontier_codes(
+            InterleavingMode::AsyncPhases,
+            engine.robots(),
+            0b010,
+            &mut codes,
+        );
+        let decoded: Vec<SchedulerStep> = codes.iter().map(|&c| decode_step(c)).collect();
+        assert_eq!(
+            decoded,
+            vec![SchedulerStep::Look(0), SchedulerStep::Look(2)]
+        );
+        frontier_codes(
+            InterleavingMode::SsyncSubsets,
+            engine.robots(),
+            0b010,
+            &mut codes,
+        );
+        assert!(codes.iter().all(|&c| step_activation_mask(c) & 0b010 == 0));
+        assert_eq!(codes.len(), 3, "subsets of {{0, 2}}");
+    }
+
+    #[test]
+    fn empty_fault_budget_explores_byte_identically() {
+        // The fault-free adversary and a FaultBudget::none() adversary are
+        // the SAME exploration: identical reports, field for field.
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        for mode in MODES {
+            let plain = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode),
+            )
+            .unwrap();
+            let budgeted = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode).with_faults(FaultBudget::none()),
+            )
+            .unwrap();
+            assert_eq!(plain, budgeted, "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn one_crash_fault_falsifies_plain_gathering_with_a_replaying_lasso() {
+        // GatheringInvariant demands ALL robots gather; a crash-stopped
+        // robot never moves again, so the adversary crashes one robot and
+        // loops fairly-modulo-the-crash forever.  The counterexample must
+        // carry the crash directive and replay on a fresh engine.
+        let initial = enumerate_rigid_configurations(6, 3).remove(0);
+        for mode in MODES {
+            let report = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_crashes(1)),
+            )
+            .unwrap();
+            let ce = report.counterexample().expect("crash defeats gathering");
+            assert_eq!(ce.kind, ViolationKind::Liveness);
+            assert!(
+                ce.faults
+                    .iter()
+                    .any(|f| matches!(f, FaultDirective::Crash { .. })),
+                "mode={mode}: {}",
+                ce.render()
+            );
+            let replay = replay_counterexample(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                ce,
+            )
+            .unwrap();
+            assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+        }
+    }
+
+    #[test]
+    fn crash_branching_strictly_grows_the_state_space() {
+        let initial = enumerate_rigid_configurations(6, 3).remove(0);
+        let inv = rr_core::invariant::CrashTolerantGatheringInvariant::new();
+        for mode in MODES {
+            let plain = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &inv,
+                &ExploreOptions::new(mode).safety_only(),
+            )
+            .unwrap();
+            let crashy = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &inv,
+                &ExploreOptions::new(mode)
+                    .safety_only()
+                    .with_faults(FaultBudget::none().with_crashes(1)),
+            )
+            .unwrap();
+            assert!(
+                crashy.states > plain.states,
+                "mode={mode}: {} !> {}",
+                crashy.states,
+                plain.states
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_look_branching_verifies_or_replays() {
+        // Gathering under one corrupted Look: whatever the verdict, a
+        // falsification must be a certificate (the replay reproduces it,
+        // corruption directive and all).  The liveness-only invariant keeps
+        // the durable-gathering safety clause out of the way: a corrupted
+        // Look may legitimately break an existing multiplicity.
+        let initial = enumerate_rigid_configurations(6, 3).remove(0);
+        let inv = rr_core::invariant::EventualGatheringInvariant::new();
+        for mode in MODES {
+            let report = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &inv,
+                &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_corrupt_looks(1)),
+            )
+            .unwrap();
+            match report.counterexample() {
+                None => assert!(report.verified(), "mode={mode}: {:?}", report.outcome),
+                Some(ce) => {
+                    let replay =
+                        replay_counterexample(&GatheringProtocol::new(), &initial, &inv, ce)
+                            .unwrap();
+                    assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starving_one_robot_yields_an_unfair_lasso_that_replays() {
+        // IdleProtocol never gathers; with robot 0 starved forever the
+        // reported lasso must not activate robot 0 in its cycle, must name
+        // the starved robot, and must replay under the relaxed fairness.
+        let initial = Configuration::from_gaps_at_origin(&[1, 3]); // n=6, k=2
+        let report = check_protocol(
+            &rr_corda::protocol::IdleProtocol,
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(InterleavingMode::AsyncPhases)
+                .with_faults(FaultBudget::none().with_starved(0b01)),
+        )
+        .unwrap();
+        let ce = report.counterexample().expect("idle never gathers");
+        assert_eq!(ce.kind, ViolationKind::Liveness);
+        assert_eq!(ce.starved, 0b01);
+        for step in &ce.cycle {
+            assert_eq!(
+                NondeterministicScheduler::activation_mask(step) & 0b01,
+                0,
+                "cycle must not need the starved robot: {}",
+                ce.render()
+            );
+        }
+        let replay = replay_counterexample(
+            &rr_corda::protocol::IdleProtocol,
+            &initial,
+            &GatheringInvariant::new(),
+            ce,
+        )
+        .unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn crash_tolerant_gathering_under_one_crash_has_a_verdict_that_replays() {
+        // The degradation question itself: does gathering-of-the-survivors
+        // hold under one crash?  Either answer is acceptable — but a
+        // falsification must replay.  (The E14 experiment sweeps the grid.)
+        let initial = enumerate_rigid_configurations(6, 3).remove(0);
+        let inv = rr_core::invariant::CrashTolerantGatheringInvariant::new();
+        for mode in MODES {
+            let report = check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &inv,
+                &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_crashes(1)),
+            )
+            .unwrap();
+            if let Some(ce) = report.counterexample() {
+                let replay =
+                    replay_counterexample(&GatheringProtocol::new(), &initial, &inv, ce).unwrap();
+                assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+            }
+        }
     }
 }

@@ -36,7 +36,8 @@ pub use characterization::{build_characterization, CellStatus, CharacterizationC
 pub use enumeration::{configuration_graph, ConfigurationGraph};
 pub use explore::{
     check_protocol, check_safety_quotient, replay_counterexample, CheckOutcome, Counterexample,
-    ExploreOptions, ExploreReport, MutatedProtocol, ReplayReport, ViolationKind,
+    ExploreOptions, ExploreReport, FaultBudget, FaultDirective, MutatedProtocol, ReplayReport,
+    ViolationKind,
 };
 pub use game::{exhaustive_impossibility, GameOutcome};
 pub use verify::{verify_gathering, verify_searching, VerificationReport};

@@ -7,10 +7,14 @@
 
 use proptest::prelude::*;
 use rr_checker::explore::{
-    check_protocol, check_safety_quotient, replay_counterexample, ExploreOptions, MutatedProtocol,
+    check_protocol, check_safety_quotient, replay_counterexample, ExploreOptions, FaultBudget,
+    MutatedProtocol,
 };
 use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
-use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, Invariant, SearchingInvariant};
+use rr_core::invariant::{
+    AlignmentInvariant, CrashTolerantGatheringInvariant, EventualGatheringInvariant,
+    GatheringInvariant, Invariant, SearchingInvariant,
+};
 use rr_core::unified::{protocol_for, Task};
 use rr_core::{AlignProtocol, GatheringProtocol};
 use rr_ring::enumerate::enumerate_rigid_configurations;
@@ -129,6 +133,45 @@ fn falsified_cells_yield_identical_counterexamples_across_workers() {
             &AlignmentInvariant::new(),
             &ExploreOptions::new(mode),
             &format!("move mutant {mode}"),
+        );
+    }
+}
+
+#[test]
+fn fault_branching_exploration_is_worker_invariant() {
+    // Fault-choice branch points (crash edges, corrupted Looks, starvation
+    // exemptions) multiply the frontier; the merged reports must still be
+    // byte-identical for every worker count, and any counterexample they
+    // produce must replay with its fault directives honoured.
+    let initial = enumerate_rigid_configurations(6, 3).remove(0);
+    for mode in MODES {
+        assert_worker_invariant(
+            &GatheringProtocol::new(),
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_crashes(1)),
+            &format!("one-crash gathering {mode}"),
+        );
+        assert_worker_invariant(
+            &GatheringProtocol::new(),
+            &initial,
+            &CrashTolerantGatheringInvariant::new(),
+            &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_crashes(1)),
+            &format!("one-crash crash-tolerant gathering {mode}"),
+        );
+        assert_worker_invariant(
+            &GatheringProtocol::new(),
+            &initial,
+            &EventualGatheringInvariant::new(),
+            &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_corrupt_looks(1)),
+            &format!("corrupt-look gathering {mode}"),
+        );
+        assert_worker_invariant(
+            &GatheringProtocol::new(),
+            &initial,
+            &GatheringInvariant::new(),
+            &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_starved(0b001)),
+            &format!("starved gathering {mode}"),
         );
     }
 }

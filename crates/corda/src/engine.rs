@@ -14,6 +14,7 @@ use rr_ring::{Configuration, Direction, NodeId, Ring, View};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
+use crate::fault::{CorruptionKind, FaultEvent, FaultModel};
 use crate::leap::{LeapPlan, LeapRecord};
 use crate::monitor::Monitor;
 use crate::packed::{self, PackedRobot, PackedState};
@@ -533,6 +534,21 @@ impl LeapState {
     }
 }
 
+/// Engine-side state of the fault-injection layer: the armed model plus the
+/// once-only bookkeeping for the crash event.  Default-constructed it is
+/// [`FaultModel::None`], and the stepping pipeline's only extra cost is one
+/// discriminant check per scheduler step — the fault-free engine stays
+/// byte-identical to the pre-fault engine (pinned by
+/// `crates/corda/tests/fault_lockstep.rs`).
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    /// The armed fault schedule.
+    model: FaultModel,
+    /// Whether the crash-stop fault already emitted its once-only
+    /// [`Event::FaultCrash`] / [`Monitor::on_fault`] notification.
+    crash_fired: bool,
+}
+
 /// The Look–Compute–Move execution engine.
 ///
 /// One `Engine` owns one run: the protocol, the evolving configuration, the
@@ -553,6 +569,8 @@ pub struct Engine<P> {
     scratch: Snapshot,
     /// Round-leaping state (only consulted in [`StepPath::Leap`] mode).
     leap: LeapState,
+    /// Fault-injection state ([`FaultModel::None`] unless armed).
+    fault: FaultState,
     step: u64,
     moves: u64,
     looks: u64,
@@ -583,10 +601,35 @@ impl<P: Protocol> Engine<P> {
             memo: LookMemo::default(),
             scratch: Snapshot::empty(),
             leap: LeapState::default(),
+            fault: FaultState::default(),
             step: 0,
             moves: 0,
             looks: 0,
         })
+    }
+
+    /// Arms (or, with [`FaultModel::None`], disarms) a fault schedule on
+    /// this engine.
+    ///
+    /// The model is *configuration*, not execution state: it survives
+    /// [`Engine::save_state`]/[`Engine::restore_state`] excursions (like the
+    /// protocol and the options) and is cleared by [`Engine::reset`].
+    /// Arming any fault also invalidates the round-leap certificate, and
+    /// [`Engine::leap`]/the `SsyncRound` fast path refuse to serve while a
+    /// fault is armed — a crash mid-horizon would falsify the memoized
+    /// velocities, so faulted runs always take the baseline
+    /// Look–Compute–Move pipeline (the `leap × fault` regression tests pin
+    /// the fallback).
+    pub fn arm_fault(&mut self, model: FaultModel) {
+        self.fault.model = model;
+        self.fault.crash_fired = false;
+        self.leap.invalidate();
+    }
+
+    /// The currently armed fault schedule ([`FaultModel::None`] by default).
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault.model
     }
 
     /// Enables the Look-decision memo: identical observable behaviour,
@@ -668,6 +711,9 @@ impl<P: Protocol> Engine<P> {
         // `reset_equivalence` suite checks.
         self.memo = LookMemo::default();
         self.leap.invalidate();
+        // Fault schedules are per-run adversaries: a recycled engine starts
+        // fault-free, like a fresh one (callers re-arm per run).
+        self.fault = FaultState::default();
         self.step = 0;
         self.moves = 0;
         self.looks = 0;
@@ -989,6 +1035,31 @@ impl<P: Protocol> Engine<P> {
         }
     }
 
+    /// [`Engine::compute_decision`] for a corrupted Look: the snapshot is
+    /// captured truthfully by the configured Look path, then perturbed by
+    /// [`Snapshot::corrupt`] *before* the protocol sees it.
+    fn compute_decision_corrupt(
+        &mut self,
+        node: NodeId,
+        first_dir: Direction,
+        kind: CorruptionKind,
+    ) -> Decision {
+        match self.options.look_path {
+            LookPath::Incremental => {
+                self.scratch
+                    .capture_into(&self.config, node, self.options.capability, first_dir);
+                self.scratch.corrupt(kind);
+                self.protocol.compute(&self.scratch)
+            }
+            LookPath::ScanBaseline => {
+                let mut snapshot =
+                    Snapshot::capture_scan(&self.config, node, self.options.capability, first_dir);
+                snapshot.corrupt(kind);
+                self.protocol.compute(&snapshot)
+            }
+        }
+    }
+
     /// Look + Compute phase of one robot (pipeline stage, private).
     ///
     /// Takes a snapshot of the **current** configuration and stores the
@@ -1021,36 +1092,45 @@ impl<P: Protocol> Engine<P> {
         }
         let node = self.robots[robot].node;
         let first_dir = self.first_direction();
-        let key = if self.memo.enabled {
+        // An armed sensor corruption hijacks exactly one fresh Look (matched
+        // by its global look ordinal).  The memo is bypassed — neither read
+        // nor written — because its key is `(configuration, node)` only,
+        // which is unsound in both directions for a snapshot that lies.
+        let corruption = self.fault.model.corruption_at(self.looks);
+        let key = if self.memo.enabled && corruption.is_none() {
             memo_key(&self.config, node)
         } else {
             MemoKey::None
         };
-        let decision = match key {
-            MemoKey::Dense(idx) => {
-                if self.memo.dense.is_empty() {
-                    self.memo.dense = vec![0; (1 << self.config.n()) * self.config.n()];
+        let decision = if let Some(kind) = corruption {
+            self.compute_decision_corrupt(node, first_dir, kind)
+        } else {
+            match key {
+                MemoKey::Dense(idx) => {
+                    if self.memo.dense.is_empty() {
+                        self.memo.dense = vec![0; (1 << self.config.n()) * self.config.n()];
+                    }
+                    match self.memo.dense[idx] {
+                        0 => {
+                            let decision = self.compute_decision(node, first_dir);
+                            self.memo.dense[idx] = encode_decision(decision);
+                            decision
+                        }
+                        byte => decode_decision(byte),
+                    }
                 }
-                match self.memo.dense[idx] {
-                    0 => {
+                MemoKey::Sparse(packed) => {
+                    let map_key = (packed, node as u32);
+                    if let Some(&decision) = self.memo.map.get(&map_key) {
+                        decision
+                    } else {
                         let decision = self.compute_decision(node, first_dir);
-                        self.memo.dense[idx] = encode_decision(decision);
+                        self.memo.map.insert(map_key, decision);
                         decision
                     }
-                    byte => decode_decision(byte),
                 }
+                MemoKey::None => self.compute_decision(node, first_dir),
             }
-            MemoKey::Sparse(packed) => {
-                let map_key = (packed, node as u32);
-                if let Some(&decision) = self.memo.map.get(&map_key) {
-                    decision
-                } else {
-                    let decision = self.compute_decision(node, first_dir);
-                    self.memo.map.insert(map_key, decision);
-                    decision
-                }
-            }
-            MemoKey::None => self.compute_decision(node, first_dir),
         };
         self.looks += 1;
         self.step += 1;
@@ -1066,6 +1146,23 @@ impl<P: Protocol> Engine<P> {
                 let target = self.ring.neighbor(node, dir);
                 self.robots[robot].phase = Phase::MovePending { target };
             }
+        }
+        if let Some(kind) = corruption {
+            if self.trace.is_recording() {
+                self.trace.push(Event::FaultCorruption {
+                    robot,
+                    step: self.step,
+                    kind,
+                });
+            }
+            monitor.on_fault(
+                &FaultEvent::CorruptedLook {
+                    robot,
+                    step: self.step,
+                    kind,
+                },
+                &self.config,
+            );
         }
         if self.trace.is_recording() {
             self.trace.push(Event::Looked {
@@ -1208,6 +1305,13 @@ impl<P: Protocol> Engine<P> {
         monitor: &mut M,
         report: &mut StepReport,
     ) -> Result<bool, SimError> {
+        // Leap certificates are not fault-aware: a crash or a corrupted Look
+        // mid-horizon would falsify the memoized per-node velocities.  While
+        // any fault is armed the fast path declines and the caller single
+        // steps (identical outcomes, pinned by the leap × fault tests).
+        if self.fault.model.is_armed() {
+            return Ok(false);
+        }
         if self.leap.dirty {
             self.refresh_leap_plan();
         }
@@ -1306,6 +1410,12 @@ impl<P: Protocol> Engine<P> {
     pub fn leap<M: Monitor + ?Sized>(&mut self, max_rounds: u64, monitor: &mut M) -> Option<u64> {
         bump_step_probe();
         if max_rounds == 0 {
+            return None;
+        }
+        // Certificates are computed against a fault-free future: refuse to
+        // serve while any fault is armed (the run loop falls back to
+        // single-stepping, which applies the fault semantics per step).
+        if self.fault.model.is_armed() {
             return None;
         }
         if self.leap.dirty {
@@ -1415,6 +1525,88 @@ impl<P: Protocol> Engine<P> {
         report.moves.clear();
         report.looks = 0;
         report.idles = 0;
+        // Crash-stop semantics: once the global step counter reaches the
+        // scheduled crash step (evaluated at scheduler-step entry), every
+        // activation of the victim is suppressed — the scheduler does not
+        // know, the engine filters.  `FaultModel::None` costs exactly this
+        // one discriminant check.
+        if let FaultModel::Crash {
+            robot: victim,
+            after_step,
+        } = self.fault.model
+        {
+            if self.step >= after_step && Self::step_activates(step, victim) {
+                return self.step_into_crashed(step, victim, monitor, report);
+            }
+        }
+        self.step_into_inner(step, monitor, report)
+    }
+
+    /// Whether `step` activates `robot` (in any phase).
+    fn step_activates(step: &SchedulerStep, robot: RobotId) -> bool {
+        match step {
+            SchedulerStep::SsyncRound(robots) => robots.contains(&robot),
+            SchedulerStep::Look(r) | SchedulerStep::Execute(r) => *r == robot,
+        }
+    }
+
+    /// Emits the once-only crash notification (trace event + monitor hook)
+    /// the first time an activation of the crashed robot is suppressed.
+    fn note_crash<M: Monitor + ?Sized>(&mut self, victim: RobotId, monitor: &mut M) {
+        if self.fault.crash_fired {
+            return;
+        }
+        self.fault.crash_fired = true;
+        if self.trace.is_recording() {
+            self.trace.push(Event::FaultCrash {
+                robot: victim,
+                step: self.step,
+            });
+        }
+        monitor.on_fault(
+            &FaultEvent::Crashed {
+                robot: victim,
+                step: self.step,
+            },
+            &self.config,
+        );
+    }
+
+    /// [`Engine::step_into`] for a step that activates the crashed robot:
+    /// the victim is filtered out of rounds and its solo steps become
+    /// no-ops (its pending action, if any, stays frozen forever).
+    fn step_into_crashed<M: Monitor + ?Sized>(
+        &mut self,
+        step: &SchedulerStep,
+        victim: RobotId,
+        monitor: &mut M,
+        report: &mut StepReport,
+    ) -> Result<(), SimError> {
+        self.check_robot(victim)?;
+        self.note_crash(victim, monitor);
+        match step {
+            SchedulerStep::SsyncRound(robots) => {
+                let alive: Vec<RobotId> = robots.iter().copied().filter(|&r| r != victim).collect();
+                self.step_into_inner(&SchedulerStep::SsyncRound(alive), monitor, report)
+            }
+            SchedulerStep::Look(_) | SchedulerStep::Execute(_) => {
+                // The whole step addressed the crashed robot: nothing
+                // happens, but the scheduler step still completes and
+                // observers see it (with an empty report).
+                monitor.on_step(report, &self.config);
+                Ok(())
+            }
+        }
+    }
+
+    /// The fault-free stepping pipeline shared by [`Engine::step_into`] and
+    /// the crash filter (which re-enters it with the victim removed).
+    fn step_into_inner<M: Monitor + ?Sized>(
+        &mut self,
+        step: &SchedulerStep,
+        monitor: &mut M,
+        report: &mut StepReport,
+    ) -> Result<(), SimError> {
         match step {
             SchedulerStep::SsyncRound(robots) => {
                 let fast = self.options.step_path == StepPath::Leap

@@ -26,6 +26,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod leap;
 pub mod monitor;
 pub mod packed;
@@ -40,14 +41,15 @@ pub use engine::{
     RunReport, Simulator, SimulatorOptions, StepPath, StepReport, ViewOrder,
 };
 pub use error::SimError;
+pub use fault::{CorruptionKind, FaultEvent, FaultModel};
 pub use leap::{LeapPlan, LeapRecord};
 pub use monitor::{Monitor, MoveLog};
 pub use packed::{PackedState, StateSig, MAX_CANONICAL_N, SIG_WORDS};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
 pub use scheduler::{
-    InterleavingMode, NondeterministicScheduler, Scheduler, SchedulerKind, SchedulerStep,
-    SchedulerView,
+    BoundedUnfairScheduler, InterleavingMode, NondeterministicScheduler, Scheduler, SchedulerKind,
+    SchedulerStep, SchedulerView,
 };
 pub use snapshot::{MultiplicityCapability, Snapshot};
 pub use trace::{Event, Trace, TraceMode};

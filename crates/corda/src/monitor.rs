@@ -16,6 +16,7 @@
 use rr_ring::Configuration;
 
 use crate::engine::{MoveRecord, StepReport};
+use crate::fault::FaultEvent;
 use crate::leap::LeapRecord;
 use crate::protocol::Decision;
 use crate::robot::RobotId;
@@ -54,6 +55,15 @@ pub trait Monitor {
     fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
         let _ = (record, after);
     }
+
+    /// Called when an armed [`FaultModel`](crate::fault::FaultModel) takes
+    /// observable effect: once when a crash-stop fault first suppresses an
+    /// activation, and once per corrupted Look (before the corrupted
+    /// decision's `on_look`).  `config` is the configuration at the moment
+    /// the fault fired.  Never called while `FaultModel::None` is armed.
+    fn on_fault(&mut self, event: &FaultEvent, config: &Configuration) {
+        let _ = (event, config);
+    }
 }
 
 /// The null monitor: observes nothing.
@@ -75,6 +85,10 @@ impl<M: Monitor + ?Sized> Monitor for &mut M {
     fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
         (**self).on_leap(record, after);
     }
+
+    fn on_fault(&mut self, event: &FaultEvent, config: &Configuration) {
+        (**self).on_fault(event, config);
+    }
 }
 
 macro_rules! tuple_monitors {
@@ -94,6 +108,10 @@ macro_rules! tuple_monitors {
 
             fn on_leap(&mut self, record: &LeapRecord, after: &Configuration) {
                 $(self.$idx.on_leap(record, after);)+
+            }
+
+            fn on_fault(&mut self, event: &FaultEvent, config: &Configuration) {
+                $(self.$idx.on_fault(event, config);)+
             }
         }
     )*};

@@ -236,6 +236,128 @@ impl Scheduler for AsynchronousScheduler {
     }
 }
 
+/// The bounded-unfair fault adversary
+/// ([`FaultModel::BoundedUnfair`](crate::fault::FaultModel::BoundedUnfair)):
+/// behaves like [`AsynchronousScheduler`], except one *victim* robot is
+/// withheld for the first `budget` scheduler steps (`u64::MAX`: forever).
+///
+/// While the budget lasts, the victim is excluded from the forced-fairness
+/// branches *and* from the random pick — its fairness window is effectively
+/// stretched by the budget, exactly the "starve one robot up to B rounds"
+/// adversary.  Once the budget is exhausted the scheduler is the standard
+/// fair asynchronous scheduler again, and since the victim is by then the
+/// most overdue robot, the forced branches serve it promptly: the victim's
+/// activation gap is bounded by `budget + window·k + O(k)` for finite
+/// budgets.  With `budget == 1`, the single withheld step is absorbed by the
+/// ordinary fairness slack, so the PR-3 starvation bounds still hold
+/// (pinned by `crates/corda/tests/fairness_window.rs`).
+///
+/// Degenerate cases: with a single robot, or a victim id out of range, there
+/// is nobody to starve and the scheduler is simply fair.
+#[derive(Debug, Clone)]
+pub struct BoundedUnfairScheduler {
+    rng: ChaCha8Rng,
+    fairness_window: u64,
+    ages: Vec<u64>,
+    victim: RobotId,
+    budget: u64,
+    issued: u64,
+}
+
+impl BoundedUnfairScheduler {
+    /// Creates the scheduler from a seed (deterministic given the seed),
+    /// withholding `victim` for the first `budget` scheduler steps.
+    #[must_use]
+    pub fn seeded(seed: u64, victim: RobotId, budget: u64) -> Self {
+        BoundedUnfairScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            fairness_window: 64,
+            ages: Vec::new(),
+            victim,
+            budget,
+            issued: 0,
+        }
+    }
+
+    /// Sets the fairness window applied to the non-starved robots (and to
+    /// everybody once the budget is exhausted).
+    #[must_use]
+    pub fn with_fairness_window(mut self, window: u64) -> Self {
+        self.fairness_window = window.max(1);
+        self
+    }
+
+    /// The starved robot.
+    #[must_use]
+    pub fn victim(&self) -> RobotId {
+        self.victim
+    }
+
+    /// Whether the victim is still being withheld.
+    #[must_use]
+    pub fn starving(&self) -> bool {
+        self.issued < self.budget
+    }
+}
+
+impl Scheduler for BoundedUnfairScheduler {
+    fn next(&mut self, view: &SchedulerView) -> SchedulerStep {
+        let k = view.num_robots;
+        if self.ages.len() != k {
+            self.ages = vec![view.step; k];
+        }
+        let starve = self.issued < self.budget && self.victim < k && k > 1;
+        self.issued = self.issued.saturating_add(1);
+        let victim = self.victim;
+        let skip = |r: usize| starve && r == victim;
+        // Forced branches mirror AsynchronousScheduler, minus the victim.
+        if let Some(r) = (0..k)
+            .filter(|&r| {
+                !skip(r)
+                    && view.pending[r]
+                    && view.step.saturating_sub(self.ages[r]) >= self.fairness_window
+            })
+            .min_by_key(|&r| self.ages[r])
+        {
+            self.ages[r] = view.step;
+            return SchedulerStep::Execute(r);
+        }
+        if let Some(r) = (0..k)
+            .filter(|&r| {
+                !skip(r)
+                    && !view.pending[r]
+                    && view.step.saturating_sub(self.ages[r]) >= self.fairness_window * k as u64
+            })
+            .min_by_key(|&r| self.ages[r])
+        {
+            self.ages[r] = view.step;
+            return SchedulerStep::Look(r);
+        }
+        // Random pick over the eligible robots (one draw, no rejection loop,
+        // so the schedule is a deterministic function of the seed).
+        let r = if starve {
+            let idx = self.rng.gen_range(0..k - 1);
+            if idx >= victim {
+                idx + 1
+            } else {
+                idx
+            }
+        } else {
+            self.rng.gen_range(0..k)
+        };
+        self.ages[r] = view.step;
+        if view.pending[r] {
+            SchedulerStep::Execute(r)
+        } else {
+            SchedulerStep::Look(r)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "unfair"
+    }
+}
+
 /// Which space of adversarial interleavings a [`NondeterministicScheduler`]
 /// branches over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -545,6 +667,62 @@ mod tests {
         let v2 = SchedulerView { step: 200, ..v };
         let step = s.next(&v2);
         assert_eq!(step, SchedulerStep::Execute(2));
+    }
+
+    #[test]
+    fn bounded_unfair_withholds_the_victim_then_recovers() {
+        // Infinite budget: the victim is never activated.
+        let mut s = BoundedUnfairScheduler::seeded(7, 1, u64::MAX);
+        for step in 0..500 {
+            let v = SchedulerView {
+                step,
+                pending: vec![false, true, false],
+                pending_moves: vec![false, true, false],
+                num_robots: 3,
+            };
+            match s.next(&v) {
+                SchedulerStep::Look(r) | SchedulerStep::Execute(r) => {
+                    assert_ne!(r, 1, "victim activated at step {step}");
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+            assert!(s.starving());
+        }
+        // Finite budget: once exhausted, the overdue victim is served by the
+        // forced branches within the ordinary fairness slack.
+        let mut s = BoundedUnfairScheduler::seeded(7, 1, 10).with_fairness_window(4);
+        let mut first_victim_activation = None;
+        for step in 0..200 {
+            let v = SchedulerView {
+                step,
+                pending: vec![false, true, false],
+                pending_moves: vec![false, true, false],
+                num_robots: 3,
+            };
+            match s.next(&v) {
+                SchedulerStep::Look(r) | SchedulerStep::Execute(r) => {
+                    if r == 1 && first_victim_activation.is_none() {
+                        first_victim_activation = Some(step);
+                    }
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+        let first = first_victim_activation.expect("victim served after budget");
+        assert!(first >= 10, "victim activated during its budget: {first}");
+        assert!(first <= 10 + 4 * 3 + 6, "victim served late: {first}");
+        assert!(!s.starving());
+        assert_eq!(s.victim(), 1);
+        assert_eq!(s.name(), "unfair");
+    }
+
+    #[test]
+    fn bounded_unfair_with_one_robot_cannot_starve() {
+        let mut s = BoundedUnfairScheduler::seeded(3, 0, u64::MAX);
+        match s.next(&view(1, &[false])) {
+            SchedulerStep::Look(0) => {}
+            other => panic!("unexpected step {other:?}"),
+        }
     }
 
     #[test]

@@ -162,6 +162,40 @@ impl Snapshot {
         }
     }
 
+    /// Applies one bounded sensor corruption to a captured snapshot: the
+    /// fault-injection hook behind
+    /// [`FaultModel::CorruptLook`](crate::fault::FaultModel::CorruptLook).
+    ///
+    /// Only the multiplicity channel is perturbed — the gap views stay
+    /// truthful, so the lie is a single sensor bit:
+    ///
+    /// * [`CorruptionKind::PhantomMultiplicity`](crate::fault::CorruptionKind::PhantomMultiplicity)
+    ///   reports the robot's own node
+    ///   as a multiplicity (raising the own-node flag of the `Global` vector
+    ///   too, when present);
+    /// * [`CorruptionKind::MissingMultiplicity`](crate::fault::CorruptionKind::MissingMultiplicity)
+    ///   hides a real multiplicity on
+    ///   the robot's own node (lowering the own-node `Global` flag too).
+    ///
+    /// Under [`MultiplicityCapability::None`] the snapshot carries no
+    /// multiplicity channel and the corruption is a no-op: a sensor the
+    /// robots do not have cannot lie to them.
+    pub fn corrupt(&mut self, kind: crate::fault::CorruptionKind) {
+        use crate::fault::CorruptionKind;
+        let lie = match kind {
+            CorruptionKind::PhantomMultiplicity => true,
+            CorruptionKind::MissingMultiplicity => false,
+        };
+        if let Some(own) = self.on_multiplicity.as_mut() {
+            *own = lie;
+        }
+        if let Some(flags) = self.global_multiplicities.as_mut() {
+            if let Some(own) = flags.first_mut() {
+                *own = lie;
+            }
+        }
+    }
+
     /// Number of occupied nodes visible in the snapshot.
     #[must_use]
     pub fn occupied_nodes(&self) -> usize {
@@ -286,6 +320,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn corrupt_perturbs_only_the_multiplicity_channel() {
+        use crate::fault::CorruptionKind;
+        let ring = Ring::new(8);
+        let c = Configuration::from_counts(ring, vec![2, 0, 1, 0, 0, 3, 0, 0]).unwrap();
+        // Phantom on a non-multiplicity node (Local).
+        let clean = Snapshot::capture(&c, 2, MultiplicityCapability::Local, Direction::Cw);
+        let mut s = clean.clone();
+        s.corrupt(CorruptionKind::PhantomMultiplicity);
+        assert_eq!(s.on_multiplicity, Some(true));
+        assert_eq!(s.views, clean.views, "views stay truthful");
+        // Missing on a real multiplicity (Global): own-node flag drops too.
+        let clean = Snapshot::capture(&c, 0, MultiplicityCapability::Global, Direction::Cw);
+        let mut s = clean.clone();
+        s.corrupt(CorruptionKind::MissingMultiplicity);
+        assert_eq!(s.on_multiplicity, Some(false));
+        let flags = s.global_multiplicities.as_ref().unwrap();
+        assert!(!flags[0]);
+        assert_eq!(
+            &flags[1..],
+            &clean.global_multiplicities.as_ref().unwrap()[1..],
+            "other nodes' flags untouched"
+        );
+        // Capability None: nothing to corrupt.
+        let clean = Snapshot::capture(&c, 2, MultiplicityCapability::None, Direction::Cw);
+        let mut s = clean.clone();
+        s.corrupt(CorruptionKind::PhantomMultiplicity);
+        assert_eq!(s, clean);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use rr_ring::NodeId;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::CorruptionKind;
 use crate::robot::RobotId;
 
 /// A single observable event of the simulation.
@@ -47,6 +48,25 @@ pub enum Event {
         /// Global step counter *after* the leap.
         step: u64,
     },
+    /// An armed crash-stop fault took effect: the robot's first activation
+    /// was suppressed and it will never act again.  Emitted once per run,
+    /// at the first suppressed activation.
+    FaultCrash {
+        /// The crashed robot.
+        robot: RobotId,
+        /// Global step counter when the first activation was suppressed.
+        step: u64,
+    },
+    /// A fresh Look observed a corrupted snapshot (emitted before the
+    /// corresponding [`Event::Looked`]).
+    FaultCorruption {
+        /// The robot whose Look was corrupted.
+        robot: RobotId,
+        /// Global step counter *after* the corrupted Look.
+        step: u64,
+        /// The perturbation applied.
+        kind: CorruptionKind,
+    },
 }
 
 impl Event {
@@ -57,7 +77,9 @@ impl Event {
         match self {
             Event::Looked { robot, .. }
             | Event::Moved { robot, .. }
-            | Event::StayedIdle { robot, .. } => Some(*robot),
+            | Event::StayedIdle { robot, .. }
+            | Event::FaultCrash { robot, .. }
+            | Event::FaultCorruption { robot, .. } => Some(*robot),
             Event::Leaped { .. } => None,
         }
     }
@@ -69,7 +91,9 @@ impl Event {
             Event::Looked { step, .. }
             | Event::Moved { step, .. }
             | Event::StayedIdle { step, .. }
-            | Event::Leaped { step, .. } => *step,
+            | Event::Leaped { step, .. }
+            | Event::FaultCrash { step, .. }
+            | Event::FaultCorruption { step, .. } => *step,
         }
     }
 }
@@ -268,5 +292,15 @@ mod tests {
         };
         assert_eq!(e.robot(), None);
         assert_eq!(e.step(), 42);
+        let e = Event::FaultCrash { robot: 3, step: 17 };
+        assert_eq!(e.robot(), Some(3));
+        assert_eq!(e.step(), 17);
+        let e = Event::FaultCorruption {
+            robot: 1,
+            step: 8,
+            kind: CorruptionKind::PhantomMultiplicity,
+        };
+        assert_eq!(e.robot(), Some(1));
+        assert_eq!(e.step(), 8);
     }
 }

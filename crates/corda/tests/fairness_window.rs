@@ -7,21 +7,23 @@
 //!   activations of a robot is bounded by the documented
 //!   `fairness_window * k` (plus the slack of serving one forced action per
 //!   step), even for huge windows where the bound, not the randomness, is
-//!   the only guarantee.
+//!   the only guarantee;
+//! * bounded-unfair edges — the `BoundedUnfairScheduler` fault adversary at
+//!   `B = 1` degenerates to the fair bounds above (the single withheld step
+//!   is absorbed by the ordinary slack), while `B = ∞` starves its victim
+//!   forever without compromising fairness among the survivors.
 
 use rr_corda::protocol::GreedyGapWalker;
 use rr_corda::scheduler::AsynchronousScheduler;
-use rr_corda::{Engine, EngineOptions, Scheduler, SchedulerStep, SchedulerView};
+use rr_corda::{
+    BoundedUnfairScheduler, Engine, EngineOptions, Scheduler, SchedulerStep, SchedulerView,
+};
 use rr_ring::Configuration;
 
 /// Drives `scheduler` against a synthetic pending-flag state machine that
 /// mirrors the engine's bookkeeping (one step-counter tick per Look and per
 /// Execute), returning the emitted steps.
-fn drive_synthetic(
-    scheduler: &mut AsynchronousScheduler,
-    k: usize,
-    ops: usize,
-) -> Vec<SchedulerStep> {
+fn drive_synthetic<S: Scheduler>(scheduler: &mut S, k: usize, ops: usize) -> Vec<SchedulerStep> {
     let mut pending = vec![false; k];
     let mut out = Vec::with_capacity(ops);
     for step in 0..ops as u64 {
@@ -148,6 +150,63 @@ fn huge_window_is_still_fair_by_the_bound() {
             .filter(|s| matches!(s, SchedulerStep::Look(x) | SchedulerStep::Execute(x) if *x == r))
             .count();
         assert!(count > 100, "robot {r} activated only {count} times");
+    }
+}
+
+#[test]
+fn budget_one_unfair_degenerates_to_the_fair_bounds() {
+    // Satellite pin: `B = 1` withholds the victim for a single scheduler
+    // step, which the ordinary fairness slack absorbs — the starvation
+    // bounds of the fair asynchronous scheduler (pinned above against the
+    // PR-3 tests) hold unchanged, victim included.
+    let k = 4usize;
+    for (seed, window) in [(7u64, 7u64), (9, 16), (3, 64)] {
+        for victim in 0..k {
+            let mut s =
+                BoundedUnfairScheduler::seeded(seed, victim, 1).with_fairness_window(window);
+            let steps = drive_synthetic(&mut s, k, 20_000);
+            let bound = window * k as u64 + 2 * k as u64;
+            let gap = max_activation_gap(&steps, k);
+            assert!(
+                gap <= bound,
+                "seed {seed} window {window} victim {victim}: gap {gap} > fair bound {bound}"
+            );
+            assert!(!s.starving(), "a B=1 budget must be spent immediately");
+        }
+    }
+}
+
+#[test]
+fn infinite_budget_starves_the_victim_and_nobody_else() {
+    // `B = ∞`: the victim is never activated — the engine-side half of the
+    // starvation story (the checker half, `starving_one_robot_yields_an_
+    // unfair_lasso_that_replays`, shows gathering liveness then fails with a
+    // fair-modulo-starvation lasso).  The survivors keep their fair bound
+    // with the victim's share of the schedule redistributed.
+    let k = 4usize;
+    let victim = 2usize;
+    let window = 16u64;
+    let mut s = BoundedUnfairScheduler::seeded(9, victim, u64::MAX).with_fairness_window(window);
+    let steps = drive_synthetic(&mut s, k, 20_000);
+    assert!(s.starving(), "an infinite budget never runs out");
+    let mut last = vec![0u64; k];
+    for (i, step) in steps.iter().enumerate() {
+        let r = match step {
+            SchedulerStep::Look(r) | SchedulerStep::Execute(r) => *r,
+            SchedulerStep::SsyncRound(_) => unreachable!(),
+        };
+        assert_ne!(r, victim, "starved victim activated at step {i}");
+        last[r] = i as u64 + 1;
+    }
+    // Every survivor is served within the fair bound right up to the end.
+    let bound = window * k as u64 + 2 * k as u64;
+    for (r, &seen) in last.iter().enumerate() {
+        if r != victim {
+            assert!(
+                steps.len() as u64 - seen <= bound,
+                "survivor {r} starved at the tail"
+            );
+        }
     }
 }
 

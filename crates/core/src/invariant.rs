@@ -32,21 +32,58 @@ use rr_search::Contamination;
 use crate::align::AlignProtocol;
 
 /// A read-only view of one model-checker state: the configuration plus the
-/// per-robot engine bookkeeping (positions, pending phases).
+/// per-robot engine bookkeeping (positions, pending phases) and, under a
+/// fault-injecting exploration, the set of crash-stopped robots.
 #[derive(Debug, Clone, Copy)]
 pub struct StateView<'a> {
     /// The configuration at this state.
     pub config: &'a Configuration,
     /// Per-robot engine state (node + Look–Compute–Move phase).
     pub robots: &'a [RobotState],
+    /// Bitmask of crash-stopped robots (bit `r` set ⇔ robot `r` has crashed
+    /// and will never be activated again).  Zero in fault-free exploration.
+    pub crashed: u32,
 }
 
-impl StateView<'_> {
+impl<'a> StateView<'a> {
+    /// A fault-free view (no crashed robots).
+    #[must_use]
+    pub fn new(config: &'a Configuration, robots: &'a [RobotState]) -> Self {
+        StateView {
+            config,
+            robots,
+            crashed: 0,
+        }
+    }
+
+    /// The same view with the given crashed-robot mask.
+    #[must_use]
+    pub fn with_crashed(mut self, crashed: u32) -> Self {
+        self.crashed = crashed;
+        self
+    }
+
+    /// Whether robot `r` has crash-stopped.
+    #[must_use]
+    pub fn is_crashed(&self, r: usize) -> bool {
+        r < 32 && self.crashed & (1 << r) != 0
+    }
+
     /// Whether any robot holds a pending move (a Look taken but not yet
     /// executed).
     #[must_use]
     pub fn has_pending_move(&self) -> bool {
         self.robots.iter().any(RobotState::has_pending_move)
+    }
+
+    /// Whether any **non-crashed** robot holds a pending move.  A crashed
+    /// robot's pending move is frozen forever and can never break anything.
+    #[must_use]
+    pub fn has_live_pending_move(&self) -> bool {
+        self.robots
+            .iter()
+            .enumerate()
+            .any(|(r, robot)| !self.is_crashed(r) && robot.has_pending_move())
     }
 }
 
@@ -199,6 +236,122 @@ impl Invariant for GatheringInvariant {
     }
 }
 
+/// Degradation invariant for crash-stop faults: **all non-crashed robots
+/// gather** (the crashed robot's final position is wherever it froze, and
+/// nothing is required of it).
+///
+/// This is the strongest gathering property one can still ask for once a
+/// robot may crash — the paper's full gathering claim is unattainable (a
+/// crashed robot cannot walk to the tower), so the fault sweeps check this
+/// instead and report which cells survive.  The crashed set comes from the
+/// checker's fault channel ([`StateView::crashed`]); with no crashes the
+/// invariant coincides with [`GatheringInvariant`].
+///
+/// Note the target does **not** require the live robots' node to differ from
+/// the crashed robot's: gathering *on* the crashed robot is allowed (and is
+/// in fact what multiplicity-seeking protocols do when the crashed robot
+/// already sits on the tower).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashTolerantGatheringInvariant;
+
+impl CrashTolerantGatheringInvariant {
+    /// Creates the invariant.
+    #[must_use]
+    pub fn new() -> Self {
+        CrashTolerantGatheringInvariant
+    }
+
+    /// Whether every non-crashed robot sits on one common node.
+    fn live_gathered(state: &StateView<'_>) -> bool {
+        let mut node = None;
+        for (r, robot) in state.robots.iter().enumerate() {
+            if state.is_crashed(r) {
+                continue;
+            }
+            match node {
+                None => node = Some(robot.node),
+                Some(v) if v == robot.node => {}
+                Some(_) => return false,
+            }
+        }
+        node.is_some()
+    }
+}
+
+impl Invariant for CrashTolerantGatheringInvariant {
+    fn name(&self) -> &'static str {
+        "gathering-crash-tolerant"
+    }
+
+    fn liveness_mode(&self) -> LivenessMode {
+        LivenessMode::Reach
+    }
+
+    fn check_edge(
+        &self,
+        before: &StateView<'_>,
+        after: &StateView<'_>,
+        _aug: &AugState,
+    ) -> Result<(), String> {
+        // Same durability clause as the fault-free invariant, over the live
+        // robots only.  A crash on the edge itself (before fault-free, after
+        // crashed) can only weaken the target's demands, never abandon it.
+        if self.is_target(before, &AugState::None) && !self.is_target(after, &AugState::None) {
+            return Err("a durably gathered live configuration was abandoned".to_string());
+        }
+        Ok(())
+    }
+
+    fn is_target(&self, state: &StateView<'_>, _aug: &AugState) -> bool {
+        Self::live_gathered(state) && !state.has_live_pending_move()
+    }
+}
+
+/// Degradation invariant for transient sensor corruption: **eventual**
+/// gathering only.
+///
+/// One corrupted Look can make a robot step off an already-gathered tower
+/// (a phantom multiplicity elsewhere, a missing one under its feet), so the
+/// paper's safety clause "a durably gathered configuration is never
+/// abandoned" is forfeit under this adversary.  What survives is the
+/// liveness half: every fair schedule still ends durably gathered, because
+/// the corruption budget is bounded and the protocol re-converges from
+/// whatever configuration the lie produced.  This invariant checks exactly
+/// that — same target as [`GatheringInvariant`], no safety obligation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventualGatheringInvariant;
+
+impl EventualGatheringInvariant {
+    /// Creates the invariant.
+    #[must_use]
+    pub fn new() -> Self {
+        EventualGatheringInvariant
+    }
+}
+
+impl Invariant for EventualGatheringInvariant {
+    fn name(&self) -> &'static str {
+        "gathering-eventual"
+    }
+
+    fn liveness_mode(&self) -> LivenessMode {
+        LivenessMode::Reach
+    }
+
+    fn check_edge(
+        &self,
+        _before: &StateView<'_>,
+        _after: &StateView<'_>,
+        _aug: &AugState,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn is_target(&self, state: &StateView<'_>, _aug: &AugState) -> bool {
+        state.config.is_gathered() && !state.has_pending_move()
+    }
+}
+
 /// Correctness of exclusive perpetual graph searching (Sections 4.3–4.4).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchingInvariant;
@@ -332,7 +485,7 @@ mod tests {
     }
 
     fn view<'a>(config: &'a Configuration, robots: &'a [RobotState]) -> StateView<'a> {
-        StateView { config, robots }
+        StateView::new(config, robots)
     }
 
     #[test]
@@ -486,10 +639,72 @@ mod tests {
         let mut engine = Engine::new(protocol, c, options).unwrap();
         engine.step(&SchedulerStep::Look(0), &mut ()).unwrap();
         let state = engine.save_state();
-        let sv = StateView {
-            config: state.configuration(),
-            robots: state.robots(),
-        };
+        let sv = StateView::new(state.configuration(), state.robots());
         assert!(!inv.is_target(&sv, &AugState::None));
+    }
+
+    #[test]
+    fn crash_tolerant_gathering_ignores_the_crashed_robot() {
+        let inv = CrashTolerantGatheringInvariant::new();
+        let ring = Ring::new(6);
+        // Robots 0, 1 on node 2; robot 2 stranded on node 5.
+        let apart = Configuration::from_counts(ring, vec![0, 0, 2, 0, 0, 1]).unwrap();
+        let robots = [RobotState::new(2), RobotState::new(2), RobotState::new(5)];
+        // Fault-free: not a target (robot 2 is apart) — coincides with the
+        // plain gathering invariant.
+        assert!(!inv.is_target(&view(&apart, &robots), &AugState::None));
+        // Robot 2 crashed: the live robots are gathered.
+        let crashed = view(&apart, &robots).with_crashed(1 << 2);
+        assert!(inv.is_target(&crashed, &AugState::None));
+        // A frozen pending move on the crashed robot does not spoil
+        // durability...
+        let mut frozen = robots.clone();
+        frozen[2].phase = rr_corda::robot::Phase::MovePending { target: 4 };
+        assert!(inv.is_target(&view(&apart, &frozen).with_crashed(1 << 2), &AugState::None));
+        // ...but a live pending move does.
+        let mut live_pending = robots.clone();
+        live_pending[0].phase = rr_corda::robot::Phase::MovePending { target: 3 };
+        assert!(!inv.is_target(
+            &view(&apart, &live_pending).with_crashed(1 << 2),
+            &AugState::None
+        ));
+        // Abandoning the live tower is a safety violation.
+        let spread = Configuration::from_counts(ring, vec![0, 1, 1, 0, 0, 1]).unwrap();
+        let spread_robots = [RobotState::new(1), RobotState::new(2), RobotState::new(5)];
+        let err = inv
+            .check_edge(
+                &crashed,
+                &view(&spread, &spread_robots).with_crashed(1 << 2),
+                &AugState::None,
+            )
+            .unwrap_err();
+        assert!(err.contains("abandoned"), "{err}");
+    }
+
+    #[test]
+    fn eventual_gathering_waives_the_safety_clause() {
+        let inv = EventualGatheringInvariant::new();
+        let ring = Ring::new(6);
+        let gathered = Configuration::from_counts(ring, vec![0, 3, 0, 0, 0, 0]).unwrap();
+        let ready: Vec<RobotState> = (0..3).map(|_| RobotState::new(1)).collect();
+        assert!(inv.is_target(&view(&gathered, &ready), &AugState::None));
+        // The strict invariant flags this edge; the eventual one does not —
+        // a corrupted Look may transiently break the tower.
+        let apart = Configuration::from_counts(ring, vec![1, 2, 0, 0, 0, 0]).unwrap();
+        let apart_robots = [RobotState::new(0), RobotState::new(1), RobotState::new(1)];
+        assert!(GatheringInvariant::new()
+            .check_edge(
+                &view(&gathered, &ready),
+                &view(&apart, &apart_robots),
+                &AugState::None,
+            )
+            .is_err());
+        inv.check_edge(
+            &view(&gathered, &ready),
+            &view(&apart, &apart_robots),
+            &AugState::None,
+        )
+        .unwrap();
+        assert!(!inv.is_target(&view(&apart, &apart_robots), &AugState::None));
     }
 }

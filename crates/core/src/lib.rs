@@ -54,8 +54,8 @@ pub use driver::{
 pub use feasibility::{searching_feasibility, Feasibility, ImpossibilityReason};
 pub use gathering::GatheringProtocol;
 pub use invariant::{
-    AlignmentInvariant, AugState, GatheringInvariant, Invariant, LivenessMode, SearchingInvariant,
-    StateView,
+    AlignmentInvariant, AugState, CrashTolerantGatheringInvariant, EventualGatheringInvariant,
+    GatheringInvariant, Invariant, LivenessMode, SearchingInvariant, StateView,
 };
 pub use nminus_three::NminusThreeProtocol;
 pub use unified::{protocol_for, Task, UnifiedProtocol};
