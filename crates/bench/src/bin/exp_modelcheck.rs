@@ -1,4 +1,4 @@
-//! E10/E11 — exhaustive adversarial model checking over scheduler
+//! E10/E11/E15 — exhaustive adversarial model checking over scheduler
 //! interleavings.
 //!
 //! Where E3–E6 *sample* the adversary (64 seeds per cell), this experiment
@@ -9,38 +9,57 @@
 //! SCC analysis — upgrading "verified on sampled schedules" to "proved for
 //! all schedules".  The checker runs its packed-state parallel engine
 //! (experiment E11): states are stored bit-packed, expansion is sharded over
-//! a worker pool, and the reports are byte-identical for every worker count.
+//! a worker pool, and the reports are byte-identical for every worker count
+//! and storage backend.
 //!
-//! Grid: gathering and Align on every claimed cell with `n ≤ 10, k ≤ 5`
-//! (quick: `n ≤ 6`); graph searching additionally at its smallest feasible
-//! instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)` (NminusThree),
-//! plus the larger `(12, 5)` and `(11, 8)` in the full grid — below `n = 10`
-//! searching is impossible (Theorem 5) and those cells are recorded as
-//! vacuous.  Every record carries the cell's exploration throughput
-//! (states/second) and peak resident node count, so the uploaded JSON
-//! accumulates a perf trajectory.
+//! Gathering and alignment cells run on the **canonical symmetry quotient**
+//! with σ-threaded liveness (`check_protocol_quotient`): states are
+//! deduplicated up to ring rotation/reflection *and* robot relabeling, and
+//! fairness is re-established over concrete robots by threading the
+//! accumulated relabeling along quotient edges.  On the previously-proved
+//! `n ≤ 10, k ≤ 5` grid every such cell is *additionally* checked concretely
+//! and the two verdicts are compared — a verdict mismatch fails the cell.
+//! Graph-searching cells carry auxiliary contamination state, which forces
+//! exact keys; for them the quotient entry point degrades to the concrete
+//! checker.
+//!
+//! Grid: gathering and Align on every claimed cell with `n ≤ 12, k ≤ 6`
+//! (quick: `n ≤ 6, k ≤ 5`); graph searching additionally at its smallest
+//! feasible instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)`
+//! (NminusThree), plus the larger `(12, 5)` and `(11, 8)` in the full grid —
+//! below `n = 10` searching is impossible (Theorem 5) and those cells are
+//! recorded as vacuous.  Every record carries the cell's exploration
+//! throughput (states/second), its deterministic memory profile
+//! (`peak_resident_nodes`/`peak_resident_bytes`/`bytes_per_state`) and, under
+//! `--store spill`, the bytes spilled to disk (experiment E15).
 //!
 //! ```text
 //! exp_modelcheck [--quick] [--json <path>] [--seed <u64>] [--sequential]
 //!                [--selftest] [--max-n <usize>] [--max-k <usize>]
-//!                [--workers <usize>] [--old-frontier]
+//!                [--workers <usize>] [--store mem|spill]
+//!                [--mem-budget <bytes|KiB|MiB|GiB>] [--only task:n:k[:mode]]
 //! ```
 //!
 //! `--workers` sets the checker's per-cell worker threads (0 = one per
 //! core); `--sequential` additionally serializes the cell grid itself.
-//! `--max-n 8 --max-k 4 --old-frontier` reproduces the pre-E11 grid, the
-//! baseline the E11 speedup in EXPERIMENTS.md is measured against.
-//! `--selftest` checks that a deliberately broken protocol (one
-//! decision-table entry mutated) is *falsified* with a counterexample that
-//! replays on the engine — a canary for the checker itself.
+//! `--store spill` keeps packed states in delta-compressed clusters on disk
+//! with a resident cache bounded by `--mem-budget` (default 64MiB) — the
+//! report is byte-identical to `--store mem` minus the `store` and
+//! `spilled_bytes` fields, which is exactly what CI's spill-smoke leg gates
+//! on.  `--only gathering:12:6` (optionally `:ssync`/`:async`) restricts the
+//! grid to one cell for targeted out-of-core runs.  `--selftest` checks that
+//! a deliberately broken protocol (one decision-table entry mutated) is
+//! *falsified* with a counterexample that replays on the engine — a canary
+//! for the checker itself.
 
 use std::time::Instant;
 
-use rr_bench::sweep::{exit_if_failed, grid_map, ExpArgs, ModelCheckRecord};
+use rr_bench::sweep::{exit_if_failed, grid_map, parse_byte_size, ExpArgs, ModelCheckRecord};
 use rr_checker::explore::{
-    check_protocol, replay_counterexample, CheckOutcome, ExploreOptions, MutatedProtocol,
-    ViolationKind,
+    check_protocol, check_protocol_quotient_with_stats, replay_counterexample, CheckOutcome,
+    ExploreOptions, MutatedProtocol, ViolationKind, DEFAULT_MEM_BUDGET,
 };
+use rr_checker::StoreKind;
 use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
 use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, Invariant, SearchingInvariant};
 use rr_core::unified::{protocol_for, Task};
@@ -75,6 +94,14 @@ struct Cell {
     mode: InterleavingMode,
 }
 
+/// Per-cell checker configuration derived from the CLI.
+#[derive(Debug, Clone, Copy)]
+struct CheckCfg {
+    workers: usize,
+    store: StoreKind,
+    mem_budget: u64,
+}
+
 /// Whether the paper claims an algorithm for the cell.
 fn claimed(task: CellTask, n: usize, k: usize) -> bool {
     match task {
@@ -85,11 +112,18 @@ fn claimed(task: CellTask, n: usize, k: usize) -> bool {
     }
 }
 
+/// The grid PR 8 and earlier proved with the concrete (exact-dedup) checker.
+/// Cells inside it are dual-run — quotient *and* concrete — and their
+/// verdicts compared; cells beyond it are proved on the quotient alone.
+fn previously_proved(cell: &Cell) -> bool {
+    cell.n <= 10 && cell.k <= 5
+}
+
 fn check_cell_protocol<P: Protocol + Clone + Send>(
     protocol: &P,
     invariant: &dyn Invariant,
     cell: &Cell,
-    workers: usize,
+    cfg: &CheckCfg,
     record: &mut ModelCheckRecord,
 ) {
     let initials = enumerate_rigid_configurations(cell.n, cell.k);
@@ -100,20 +134,47 @@ fn check_cell_protocol<P: Protocol + Clone + Send>(
         return;
     }
     record.ok = true;
+    // Accumulated packed payload bytes; divided down to `bytes_per_state`
+    // by the caller once every class is in.
+    let mut state_bytes = 0u64;
     for initial in &initials {
-        let report = match check_protocol(
-            protocol,
-            initial,
-            invariant,
-            &ExploreOptions::new(cell.mode).with_workers(workers),
-        ) {
-            Ok(report) => report,
-            Err(e) => {
+        let options = ExploreOptions::new(cell.mode)
+            .with_workers(cfg.workers)
+            .with_store(cfg.store)
+            .with_mem_budget(cfg.mem_budget);
+        let (report, stats) =
+            match check_protocol_quotient_with_stats(protocol, initial, invariant, &options) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    record.ok = false;
+                    record.counterexample = format!("engine rejected the initial state: {e}");
+                    return;
+                }
+            };
+        if previously_proved(cell) {
+            // Cross-check: on the grid the concrete checker already proved,
+            // the quotient verdict must agree with the concrete one —
+            // verified/falsified, and the violation kind when falsified.
+            let concrete = match check_protocol(protocol, initial, invariant, &options) {
+                Ok(concrete) => concrete,
+                Err(e) => {
+                    record.ok = false;
+                    record.counterexample = format!("engine rejected the initial state: {e}");
+                    return;
+                }
+            };
+            let quotient_kind = report.counterexample().map(|ce| ce.kind);
+            let concrete_kind = concrete.counterexample().map(|ce| ce.kind);
+            if report.verified() != concrete.verified() || quotient_kind != concrete_kind {
                 record.ok = false;
-                record.counterexample = format!("engine rejected the initial state: {e}");
+                record.counterexample = format!(
+                    "quotient/concrete verdict mismatch from {initial}: \
+                     quotient {:?} vs concrete {:?}",
+                    report.outcome, concrete.outcome
+                );
                 return;
             }
-        };
+        }
         record.states += report.states as u64;
         record.quotient_states += report.quotient_states as u64;
         record.edges += report.edges;
@@ -122,6 +183,9 @@ fn check_cell_protocol<P: Protocol + Clone + Send>(
         record.peak_resident_nodes = record
             .peak_resident_nodes
             .max(report.peak_resident_nodes as u64);
+        record.peak_resident_bytes = record.peak_resident_bytes.max(report.peak_resident_bytes);
+        record.spilled_bytes += stats.spilled_bytes;
+        state_bytes += report.state_bytes;
         match &report.outcome {
             CheckOutcome::Verified => {}
             CheckOutcome::BudgetExceeded {
@@ -142,9 +206,10 @@ fn check_cell_protocol<P: Protocol + Clone + Send>(
             }
         }
     }
+    record.bytes_per_state = state_bytes.checked_div(record.states).unwrap_or(0);
 }
 
-fn run_cell(cell: Cell, experiment: &str, workers: usize) -> ModelCheckRecord {
+fn run_cell(cell: Cell, experiment: &str, cfg: &CheckCfg) -> ModelCheckRecord {
     let started = Instant::now();
     let mut record = ModelCheckRecord {
         experiment: experiment.to_string(),
@@ -159,6 +224,10 @@ fn run_cell(cell: Cell, experiment: &str, workers: usize) -> ModelCheckRecord {
         target_states: 0,
         progress_edges: 0,
         peak_resident_nodes: 0,
+        peak_resident_bytes: 0,
+        bytes_per_state: 0,
+        spilled_bytes: 0,
+        store: cfg.store.to_string(),
         states_per_sec: 0,
         vacuous: false,
         ok: false,
@@ -176,14 +245,14 @@ fn run_cell(cell: Cell, experiment: &str, workers: usize) -> ModelCheckRecord {
             &GatheringProtocol::new(),
             &GatheringInvariant::new(),
             &cell,
-            workers,
+            cfg,
             &mut record,
         ),
         CellTask::Alignment => check_cell_protocol(
             &AlignProtocol::new(),
             &AlignmentInvariant::new(),
             &cell,
-            workers,
+            cfg,
             &mut record,
         ),
         CellTask::Searching => {
@@ -193,7 +262,7 @@ fn run_cell(cell: Cell, experiment: &str, workers: usize) -> ModelCheckRecord {
                 &protocol,
                 &SearchingInvariant::new(),
                 &cell,
-                workers,
+                cfg,
                 &mut record,
             );
         }
@@ -280,20 +349,69 @@ fn selftest() -> Result<(), String> {
     Ok(())
 }
 
+/// A `--only task:n:k[:mode]` cell filter for targeted out-of-core runs.
+struct OnlyFilter {
+    task: String,
+    n: usize,
+    k: usize,
+    mode: Option<String>,
+}
+
+impl OnlyFilter {
+    fn parse(spec: &str) -> Self {
+        let parts: Vec<&str> = spec.split(':').collect();
+        assert!(
+            parts.len() == 3 || parts.len() == 4,
+            "--only takes task:n:k[:mode], got {spec:?}"
+        );
+        OnlyFilter {
+            task: parts[0].to_string(),
+            n: parts[1].parse().expect("--only: n must be a usize"),
+            k: parts[2].parse().expect("--only: k must be a usize"),
+            mode: parts.get(3).map(|m| (*m).to_string()),
+        }
+    }
+
+    fn matches(&self, cell: &Cell) -> bool {
+        cell.task.slug() == self.task
+            && cell.n == self.n
+            && cell.k == self.k
+            && self
+                .mode
+                .as_ref()
+                .is_none_or(|m| cell.mode.name() == m.as_str())
+    }
+}
+
 fn main() {
     let args = ExpArgs::parse(0);
     let max_n: usize = args
         .value("--max-n")
-        .map_or(if args.quick { 6 } else { 10 }, |v| {
+        .map_or(if args.quick { 6 } else { 12 }, |v| {
             v.parse().expect("--max-n takes a usize")
+        });
+    let max_k: usize = args
+        .value("--max-k")
+        .map_or(if args.quick { 5 } else { 6 }, |v| {
+            v.parse().expect("--max-k takes a usize")
         });
     let workers: usize = args
         .value("--workers")
         .map_or(0, |v| v.parse().expect("--workers takes a usize"));
-    let max_k: usize = args
-        .value("--max-k")
-        .map_or(5, |v| v.parse().expect("--max-k takes a usize"));
-    let old_frontier = args.flag("--old-frontier");
+    let store = match args.value("--store") {
+        None | Some("mem") => StoreKind::Mem,
+        Some("spill") => StoreKind::Spill,
+        Some(other) => panic!("--store takes mem or spill, got {other:?}"),
+    };
+    let mem_budget = args.value("--mem-budget").map_or(DEFAULT_MEM_BUDGET, |v| {
+        parse_byte_size(v).unwrap_or_else(|| panic!("--mem-budget: malformed size {v:?}"))
+    });
+    let cfg = CheckCfg {
+        workers,
+        store,
+        mem_budget,
+    };
+    let only = args.value("--only").map(OnlyFilter::parse);
 
     if args.flag("--selftest") {
         if let Err(e) = selftest() {
@@ -330,8 +448,6 @@ fn main() {
             (11, 5, &[InterleavingMode::SsyncSubsets]),
             (10, 7, &[InterleavingMode::SsyncSubsets]),
         ]
-    } else if old_frontier {
-        &[(11, 5, &both_modes), (10, 7, &both_modes)]
     } else {
         &[
             (11, 5, &both_modes),
@@ -353,15 +469,19 @@ fn main() {
             });
         }
     }
+    if let Some(filter) = &only {
+        cells.retain(|cell| filter.matches(cell));
+        assert!(!cells.is_empty(), "--only matched no cell of the grid");
+    }
 
-    let records = grid_map(cells, args.mode(), |cell| run_cell(cell, "E10", workers));
+    let records = grid_map(cells, args.mode(), |cell| run_cell(cell, "E10", &cfg));
 
     println!(
-        "# E10 — exhaustive model check (all schedules), {} cells",
+        "# E10 — exhaustive model check (all schedules), {} cells, store={store}",
         records.len()
     );
     println!(
-        "# task            n   k  mode   classes    states  quotient     edges   st/sec  verdict"
+        "# task            n   k  mode   classes    states  quotient     edges  b/st   spilled   st/sec  verdict"
     );
     for r in &records {
         let verdict = if r.vacuous {
@@ -372,7 +492,7 @@ fn main() {
             format!("FALSIFIED {}", r.counterexample)
         };
         println!(
-            "  {:<14} {:>2}  {:>2}  {:<5} {:>8} {:>9} {:>9} {:>9} {:>8}  {verdict}",
+            "  {:<14} {:>2}  {:>2}  {:<5} {:>8} {:>9} {:>9} {:>9} {:>5} {:>9} {:>8}  {verdict}",
             r.task,
             r.n,
             r.k,
@@ -381,6 +501,8 @@ fn main() {
             r.states,
             r.quotient_states,
             r.edges,
+            r.bytes_per_state,
+            r.spilled_bytes,
             r.states_per_sec
         );
     }

@@ -244,9 +244,26 @@ pub struct ModelCheckRecord {
     /// Progress edges seen (ReachRepeatedly invariants).
     pub progress_edges: u64,
     /// Peak resident nodes (stored packed states + buffered successors at
-    /// the search's high-water mark), maximized over the initial classes —
+    /// the search's high-water mark, sampled immediately before each
+    /// window's sequential merge), maximized over the initial classes —
     /// the checker's memory footprint.  Deterministic.
     pub peak_resident_nodes: u64,
+    /// Peak resident packed-state payload bytes at the same sample point,
+    /// maximized over the initial classes.  Deterministic and
+    /// backend-independent (the spill backend changes where the bytes live,
+    /// not how many are live).
+    pub peak_resident_bytes: u64,
+    /// Packed payload bytes per stored state (`state_bytes / states`,
+    /// summed over the initial classes before dividing).  Deterministic.
+    pub bytes_per_state: u64,
+    /// Bytes written to the spill files (states + edges), summed over the
+    /// initial classes; 0 under the in-memory backend.  Deterministic for a
+    /// given backend — sealed clusters are always written, whatever the
+    /// budget — but naturally differs between backends, so cross-backend
+    /// report comparisons normalize it away alongside `store`.
+    pub spilled_bytes: u64,
+    /// Storage backend the cell ran under ("mem" or "spill").
+    pub store: String,
     /// Exploration throughput in states per second over the cell's wall
     /// time.  **Not deterministic** (machine- and load-dependent): this is
     /// the one record field excluded from cross-run comparisons; it exists
@@ -474,32 +491,6 @@ impl Sweep {
         }
         record.wall_nanos = started.elapsed().as_nanos();
         record
-    }
-
-    /// Runs the sweep, returning one record per job in declaration order.
-    ///
-    /// Superseded by [`Sweep::run_with`]; kept one release for out-of-tree
-    /// callers.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_with(&RunOptions::new().mode(mode))`"
-    )]
-    #[must_use]
-    pub fn run(&self, mode: ExecMode) -> Vec<RunRecord> {
-        self.run_with(&RunOptions::new().mode(mode))
-    }
-
-    /// Runs the sweep with every job forced onto `path`.
-    ///
-    /// Superseded by [`Sweep::run_with`]; kept one release for out-of-tree
-    /// callers.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_with(&RunOptions::new().mode(mode).step_path(path))`"
-    )]
-    #[must_use]
-    pub fn run_forced(&self, mode: ExecMode, path: StepPath) -> Vec<RunRecord> {
-        self.run_with(&RunOptions::new().mode(mode).step_path(path))
     }
 
     /// **The** run entry point: executes the grid as declared by `options`
@@ -919,6 +910,29 @@ impl ExpArgs {
     }
 }
 
+/// Parses a byte-size CLI value: a plain integer (bytes) or an integer with
+/// a binary suffix — `KiB`/`MiB`/`GiB`, or the shorthands `K`/`M`/`G`
+/// (case-insensitive).  `None` on malformed input or overflow.
+#[must_use]
+pub fn parse_byte_size(input: &str) -> Option<u64> {
+    let lower = input.trim().to_ascii_lowercase();
+    let units: [(&str, u64); 6] = [
+        ("kib", 1 << 10),
+        ("mib", 1 << 20),
+        ("gib", 1 << 30),
+        ("k", 1 << 10),
+        ("m", 1 << 20),
+        ("g", 1 << 30),
+    ];
+    for (suffix, mult) in units {
+        if let Some(number) = lower.strip_suffix(suffix) {
+            let value: u64 = number.trim().parse().ok()?;
+            return value.checked_mul(mult);
+        }
+    }
+    lower.parse().ok()
+}
+
 /// Exits with status 1 when any record failed verification, printing a
 /// summary first — this is what makes the CI smoke job an actual gate.
 pub fn exit_if_failed(experiment: &str, failures: usize, total: usize) {
@@ -991,6 +1005,20 @@ mod tests {
         assert_eq!(args.cache.as_deref(), Some(Path::new("cachedir")));
         assert_eq!(args.value("--max-n"), Some("14"));
         assert!(!args.flag("--no-validate"));
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_and_without_suffixes() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("4096"), Some(4096));
+        assert_eq!(parse_byte_size("64KiB"), Some(64 << 10));
+        assert_eq!(parse_byte_size("64MiB"), Some(64 << 20));
+        assert_eq!(parse_byte_size("2gib"), Some(2 << 30));
+        assert_eq!(parse_byte_size(" 8 M "), Some(8 << 20));
+        assert_eq!(parse_byte_size("1G"), Some(1 << 30));
+        assert_eq!(parse_byte_size("banana"), None);
+        assert_eq!(parse_byte_size("12.5MiB"), None);
+        assert_eq!(parse_byte_size(&format!("{}GiB", u64::MAX)), None);
     }
 
     #[test]

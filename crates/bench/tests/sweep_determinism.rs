@@ -3,7 +3,7 @@
 //! records, for every task family and scheduler kind.
 
 use proptest::prelude::*;
-use rr_bench::sweep::{json_report, ExecMode, RunOptions, RunRecord, Sweep};
+use rr_bench::sweep::{json_report, RunOptions, RunRecord, Sweep};
 use rr_corda::SchedulerKind;
 use rr_core::driver::TaskTargets;
 use rr_core::unified::Task;
@@ -110,25 +110,6 @@ fn progress_sink_observes_every_cell() {
             .collect();
         assert_eq!(seen, expected);
     }
-}
-
-/// The deprecated `run` / `run_forced` wrappers stay byte-compatible with
-/// `run_with` for the one release they are kept.
-#[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_delegate_to_run_with() {
-    let sweep = Sweep {
-        instances: vec![(8, 4)],
-        ..gathering_sweep(21)
-    };
-    assert_eq!(
-        strip_wall(sweep.run(ExecMode::Sequential)),
-        strip_wall(sweep.run_with(&RunOptions::new()))
-    );
-    assert_eq!(
-        strip_wall(sweep.run_forced(ExecMode::Sequential, rr_corda::StepPath::Leap)),
-        strip_wall(sweep.run_with(&RunOptions::new().step_path(rr_corda::StepPath::Leap)))
-    );
 }
 
 proptest! {

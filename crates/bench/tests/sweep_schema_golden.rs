@@ -104,6 +104,10 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             target_states: 4,
             progress_edges: 0,
             peak_resident_nodes: 352,
+            peak_resident_bytes: 8448,
+            bytes_per_state: 24,
+            spilled_bytes: 7680,
+            store: "spill".into(),
             states_per_sec: 160_000,
             vacuous: false,
             ok: true,
@@ -123,6 +127,10 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             target_states: 0,
             progress_edges: 0,
             peak_resident_nodes: 16,
+            peak_resident_bytes: 384,
+            bytes_per_state: 24,
+            spilled_bytes: 0,
+            store: "mem".into(),
             states_per_sec: 0,
             vacuous: false,
             ok: false,

@@ -66,7 +66,12 @@ use rr_corda::{
     Snapshot, StateSig, ViewOrder, MAX_CANONICAL_N,
 };
 use rr_core::invariant::{AugState, Invariant, LivenessMode, StateView};
+use rr_core::relabel::{relabel_onto, RobotPerm, MAX_PERM_ROBOTS};
 use rr_ring::{Configuration, View};
+
+use crate::store::{
+    Edge, EdgeSink, MemEdges, MemStore, SpillEdges, SpillStore, StateStore, StoreKind, StoreStats,
+};
 
 /// Default state budget: generous for every cell of the acceptance grid, a
 /// guard rail against accidentally pointing the checker at a huge instance.
@@ -155,7 +160,18 @@ pub struct ExploreOptions {
     pub workers: usize,
     /// The fault adversary's powers (default: none — fault-free checking).
     pub faults: FaultBudget,
+    /// Where discovered states and edges live during the search (default:
+    /// [`StoreKind::Mem`]).  The verdict, the report and any counterexample
+    /// are identical for every backend.
+    pub store: StoreKind,
+    /// Resident-byte budget of the spill backend's cluster cache (ignored by
+    /// the mem backend).  Smaller budgets trade window-read speed for
+    /// memory; they never change any reported value.
+    pub mem_budget: u64,
 }
+
+/// Default spill-cache budget: 64 MiB of encoded resident clusters.
+pub const DEFAULT_MEM_BUDGET: u64 = 64 << 20;
 
 impl ExploreOptions {
     /// Full checking (safety + liveness) under the given interleavings with
@@ -168,7 +184,23 @@ impl ExploreOptions {
             check_liveness: true,
             workers: 0,
             faults: FaultBudget::none(),
+            store: StoreKind::Mem,
+            mem_budget: DEFAULT_MEM_BUDGET,
         }
+    }
+
+    /// Replaces the storage backend.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Replaces the spill backend's resident-byte budget.
+    #[must_use]
+    pub fn with_mem_budget(mut self, mem_budget: u64) -> Self {
+        self.mem_budget = mem_budget;
+        self
     }
 
     /// Replaces the fault adversary's powers.
@@ -361,11 +393,23 @@ pub struct ExploreReport {
     /// Edges on which liveness progress happened
     /// ([`LivenessMode::ReachRepeatedly`]).
     pub progress_edges: u64,
-    /// Peak resident node count: stored states plus buffered successor
-    /// records at the high-water mark of the search — the checker's memory
-    /// footprint in units of packed states.  Deterministic (independent of
-    /// the worker count).
+    /// Peak resident node count: stored states plus still-buffered successor
+    /// records, sampled at one consistent point — immediately before each
+    /// expansion's sequential merge — and maximized over the run.
+    /// Deterministic: independent of the worker count *and* of the storage
+    /// backend.
     pub peak_resident_nodes: usize,
+    /// The byte-valued analog of [`peak_resident_nodes`]: packed payload
+    /// bytes of stored states plus buffered successors at the same sample
+    /// points.  Counts state payloads, not backend overhead, so the value is
+    /// identical across backends (the spill backend's *actual* residency is
+    /// bounded by [`ExploreOptions::mem_budget`] instead).
+    ///
+    /// [`peak_resident_nodes`]: ExploreReport::peak_resident_nodes
+    pub peak_resident_bytes: u64,
+    /// Total packed payload bytes over all stored states — `bytes_per_state`
+    /// is `state_bytes / states`.  Backend-independent.
+    pub state_bytes: u64,
     /// The verdict.
     pub outcome: CheckOutcome,
 }
@@ -785,12 +829,13 @@ impl Visited {
 
 const NO_PARENT: u32 = u32::MAX;
 
-/// One stored state: the packed engine state, the 64-bit auxiliary key, the
-/// per-path fault word, the BFS parent pointer (node + step code) and the
-/// liveness-target flag — a few dozen bytes where the old explorer held a
-/// full [`EngineState`].
-struct NodeData {
-    packed: PackedState,
+/// The always-resident metadata of one stored state: the 64-bit auxiliary
+/// key, the per-path fault word, the BFS parent pointer (node + step code)
+/// and the liveness-target flag.  The packed engine state itself lives in
+/// the run's [`StateStore`], addressed by the same node id — splitting the
+/// two is what lets the spill backend move the (much larger) state payloads
+/// out of RAM while the graph analyses keep O(1) access to the metadata.
+struct NodeMeta {
     aug_bits: u64,
     fault: u32,
     parent: u32,
@@ -798,17 +843,9 @@ struct NodeData {
     target: bool,
 }
 
-/// One edge of the explored graph, CSR-packed: 9 bytes instead of a
-/// materialized [`SchedulerStep`].
-struct Edge {
-    to: u32,
-    code: u32,
-    progress: bool,
-}
-
 /// CSR view of the (fully explored) graph for the liveness analysis.
 struct Graph<'a> {
-    nodes: &'a [NodeData],
+    meta: &'a [NodeMeta],
     offsets: &'a [u32],
     edges: &'a [Edge],
 }
@@ -842,7 +879,80 @@ pub fn check_protocol<P: Protocol + Clone + Send>(
     invariant: &dyn Invariant,
     options: &ExploreOptions,
 ) -> Result<ExploreReport, SimError> {
-    explore(protocol, initial, invariant, options, Dedup::Exact)
+    Ok(check_protocol_with_stats(protocol, initial, invariant, options)?.0)
+}
+
+/// [`check_protocol`], additionally returning the storage backend's
+/// [`StoreStats`] (spilled bytes and the like) — everything in the report
+/// itself is backend-independent by design.
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine.
+pub fn check_protocol_with_stats<P: Protocol + Clone + Send>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+) -> Result<(ExploreReport, StoreStats), SimError> {
+    let (report, stats, _) = explore(protocol, initial, invariant, options, Dedup::Exact)?;
+    Ok((report, stats))
+}
+
+/// Exhaustive check — safety *and* liveness — on the canonical symmetry
+/// quotient: states are deduplicated up to ring rotation/reflection and
+/// robot relabeling (the `≈ 2n`-fold smaller graph of
+/// [`check_safety_quotient`]), and liveness is decided soundly on that
+/// quotient by threading the accumulated robot relabeling
+/// ([`rr_core::relabel::RobotPerm`]) along quotient edges, so that fairness
+/// — a per-robot property the quotient forgets — is re-established over
+/// *concrete* robots.  The verdict equals [`check_protocol`]'s on every
+/// instance; `tests/exhaustive_small_instances.rs` pins that equality over
+/// the proved grid.
+///
+/// For invariants carrying auxiliary path state, or under fault budgets,
+/// the exploration falls back to exact keys (like [`check_safety_quotient`])
+/// and liveness is decided concretely — same verdict, no quotient savings.
+/// In the (astronomically unlikely) event that the threaded analysis
+/// exceeds its internal state cap, the checker transparently re-runs the
+/// exact exploration, so the verdict is always complete.
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine.
+pub fn check_protocol_quotient<P: Protocol + Clone + Send>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+) -> Result<ExploreReport, SimError> {
+    Ok(check_protocol_quotient_with_stats(protocol, initial, invariant, options)?.0)
+}
+
+/// [`check_protocol_quotient`], additionally returning the storage
+/// backend's [`StoreStats`].
+///
+/// # Errors
+///
+/// Returns `Err` only when the initial configuration is rejected by the
+/// engine.
+pub fn check_protocol_quotient_with_stats<P: Protocol + Clone + Send>(
+    protocol: &P,
+    initial: &Configuration,
+    invariant: &dyn Invariant,
+    options: &ExploreOptions,
+) -> Result<(ExploreReport, StoreStats), SimError> {
+    let (report, stats, overflow) =
+        explore(protocol, initial, invariant, options, Dedup::Canonical)?;
+    if overflow {
+        // The threaded quotient-liveness analysis hit its state cap: fall
+        // back to the exact explorer, whose liveness analysis needs no
+        // relabeling bookkeeping.
+        return check_protocol_with_stats(protocol, initial, invariant, options);
+    }
+    Ok((report, stats))
 }
 
 /// Safety-only exhaustive check deduplicating on canonical state classes:
@@ -871,7 +981,7 @@ pub fn check_safety_quotient<P: Protocol + Clone + Send>(
     options: &ExploreOptions,
 ) -> Result<ExploreReport, SimError> {
     let options = options.safety_only();
-    explore(protocol, initial, invariant, &options, Dedup::Canonical)
+    Ok(explore(protocol, initial, invariant, &options, Dedup::Canonical)?.0)
 }
 
 // ---------------------------------------------------------------------------
@@ -939,7 +1049,8 @@ struct Expansion {
 
 fn expand_node<P: Protocol>(
     worker: &mut Worker<P>,
-    node: &NodeData,
+    packed: &PackedState,
+    node: &NodeMeta,
     visited: &Visited,
     ctx: &ExploreCtx<'_>,
 ) -> Expansion {
@@ -950,7 +1061,7 @@ fn expand_node<P: Protocol>(
         ssync_buf,
         report,
     } = worker;
-    engine.restore_packed(&node.packed);
+    engine.restore_packed(packed);
     engine.save_state_into(before);
     let crashed = fault_crashed(node.fault);
     let corrupts = fault_corrupts(node.fault);
@@ -971,11 +1082,11 @@ fn expand_node<P: Protocol>(
         if let Some(victim) = crash_code_robot(code) {
             let new_crashed = crashed | 1 << victim;
             let new_fault = fault_word(new_crashed, corrupts);
-            let key = make_key(&node.packed, node.aug_bits, ctx.dedup, new_fault);
+            let key = make_key(packed, node.aug_bits, ctx.dedup, new_fault);
             let state = match visited.get(&key) {
                 Some(id) => SuccState::Known(id),
                 None => SuccState::Fresh {
-                    packed: node.packed.clone(),
+                    packed: packed.clone(),
                     key,
                     aug_bits: node.aug_bits,
                     fault: new_fault,
@@ -1059,30 +1170,35 @@ fn expand_node<P: Protocol>(
 /// worker (or a single node) the expansion runs inline.
 fn expand_batch<P: Protocol + Clone + Send>(
     pool: &mut [Worker<P>],
-    batch: &[NodeData],
+    window: &[PackedState],
+    batch: &[NodeMeta],
     visited: &Visited,
     ctx: &ExploreCtx<'_>,
 ) -> Vec<Expansion> {
+    debug_assert_eq!(window.len(), batch.len());
     let workers = pool.len().min(batch.len()).max(1);
     if workers <= 1 {
         let worker = &mut pool[0];
-        return batch
+        return window
             .iter()
-            .map(|node| expand_node(worker, node, visited, ctx))
+            .zip(batch)
+            .map(|(packed, node)| expand_node(worker, packed, node, visited, ctx))
             .collect();
     }
     let chunk_len = batch.len().div_ceil(workers);
     let mut outputs: Vec<Vec<Expansion>> = (0..workers).map(|_| Vec::new()).collect();
     rayon::scope(|scope| {
-        for ((chunk, worker), out) in batch
+        for (((chunk, states), worker), out) in batch
             .chunks(chunk_len)
+            .zip(window.chunks(chunk_len))
             .zip(pool.iter_mut())
             .zip(outputs.iter_mut())
         {
             scope.spawn(move |_| {
-                *out = chunk
+                *out = states
                     .iter()
-                    .map(|node| expand_node(worker, node, visited, ctx))
+                    .zip(chunk)
+                    .map(|(packed, node)| expand_node(worker, packed, node, visited, ctx))
                     .collect();
             });
         }
@@ -1098,13 +1214,17 @@ fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// The exploration engine.  Returns the report, the storage backend's
+/// stats, and whether the quotient-liveness analysis overflowed its thread
+/// cap (in which case the report's outcome is not a verdict and the caller
+/// must fall back to exact exploration).
 fn explore<P: Protocol + Clone + Send>(
     protocol: &P,
     initial: &Configuration,
     invariant: &dyn Invariant,
     options: &ExploreOptions,
     dedup: Dedup,
-) -> Result<ExploreReport, SimError> {
+) -> Result<(ExploreReport, StoreStats, bool), SimError> {
     let engine_options = EngineOptions::for_protocol(protocol);
     assert!(
         engine_options.view_order != ViewOrder::Alternating,
@@ -1158,19 +1278,28 @@ fn explore<P: Protocol + Clone + Send>(
     if track_canon {
         canonical_classes.insert(root_packed.canonical_sig());
     }
-    let mut nodes = vec![NodeData {
-        packed: root_packed,
+    let mut store: Box<dyn StateStore> = match options.store {
+        StoreKind::Mem => Box::new(MemStore::new()),
+        StoreKind::Spill => Box::new(SpillStore::new(options.mem_budget)),
+    };
+    let mut sink: Box<dyn EdgeSink> = match options.store {
+        StoreKind::Mem => Box::new(MemEdges::new()),
+        StoreKind::Spill => Box::new(SpillEdges::new()),
+    };
+    let mut meta = vec![NodeMeta {
         aug_bits: root_bits,
         fault: 0,
         parent: NO_PARENT,
         parent_code: 0,
         target: root_target,
     }];
+    let root_bytes = 8 * root_packed.words().len() as u64;
+    store.push(root_packed);
     let mut offsets: Vec<u32> = vec![0];
-    let mut edges: Vec<Edge> = Vec::new();
 
     let mut progress_edges: u64 = 0;
     let mut peak_resident = 1usize;
+    let mut peak_resident_bytes = root_bytes;
     let mut budget: Option<(usize, usize)> = None;
     let mut safety_ce: Option<Counterexample> = None;
 
@@ -1196,18 +1325,33 @@ fn explore<P: Protocol + Clone + Send>(
     // then merge sequentially in window order — node ids, edge order and
     // early stops are exactly those of a sequential breadth-first sweep.
     let mut next = 0usize;
-    'bfs: while next < nodes.len() {
-        let batch_end = nodes.len().min(next + BATCH);
-        let expansions = expand_batch(&mut pool, &nodes[next..batch_end], &visited, &ctx);
-        let buffered: usize = expansions
-            .iter()
-            .flat_map(|e| &e.succs)
-            .filter(|s| matches!(s.state, SuccState::Fresh { .. }))
-            .count();
-        peak_resident = peak_resident.max(nodes.len() + buffered);
+    'bfs: while next < meta.len() {
+        let batch_end = meta.len().min(next + BATCH);
+        let expansions = {
+            let window = store.window(next, batch_end);
+            expand_batch(&mut pool, &window, &meta[next..batch_end], &visited, &ctx)
+        };
+        // Residency sampling point: immediately before each expansion's
+        // sequential merge — stored states plus every successor still
+        // buffered (this expansion's and later ones').  Suffix sums make the
+        // per-expansion sample O(1).
+        let mut buffered: Vec<(usize, u64)> = vec![(0, 0); expansions.len() + 1];
+        for (i, expansion) in expansions.iter().enumerate().rev() {
+            let mut fresh = buffered[i + 1];
+            for succ in &expansion.succs {
+                if let SuccState::Fresh { packed, .. } = &succ.state {
+                    fresh.0 += 1;
+                    fresh.1 += 8 * packed.words().len() as u64;
+                }
+            }
+            buffered[i] = fresh;
+        }
 
         for (offset, expansion) in expansions.into_iter().enumerate() {
             let i = next + offset;
+            peak_resident = peak_resident.max(meta.len() + buffered[offset].0);
+            peak_resident_bytes =
+                peak_resident_bytes.max(store.payload_bytes() + buffered[offset].1);
             for succ in expansion.succs {
                 let to = match succ.state {
                     SuccState::Known(id) => id,
@@ -1220,8 +1364,8 @@ fn explore<P: Protocol + Clone + Send>(
                     } => match visited.shard_mut(&key).entry(key) {
                         std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
                         std::collections::hash_map::Entry::Vacant(entry) => {
-                            if nodes.len() >= options.max_states {
-                                budget = Some((nodes.len(), offsets.len() - 1));
+                            if meta.len() >= options.max_states {
+                                budget = Some((meta.len(), offsets.len() - 1));
                                 break 'bfs;
                             }
                             if track_canon {
@@ -1230,9 +1374,9 @@ fn explore<P: Protocol + Clone + Send>(
                                 // fresh-looking successor in expansion).
                                 canonical_classes.insert(packed.canonical_sig());
                             }
-                            let id = nodes.len() as u32;
-                            nodes.push(NodeData {
-                                packed,
+                            let id = meta.len() as u32;
+                            store.push(packed);
+                            meta.push(NodeMeta {
                                 aug_bits,
                                 fault,
                                 parent: i as u32,
@@ -1244,14 +1388,14 @@ fn explore<P: Protocol + Clone + Send>(
                     },
                 };
                 progress_edges += u64::from(succ.progress);
-                edges.push(Edge {
+                sink.push(Edge {
                     to,
                     code: succ.code,
                     progress: succ.progress,
                 });
             }
             if let Some((code, message)) = expansion.violation {
-                let mut codes = codes_from_root(&nodes, i);
+                let mut codes = codes_from_root(&meta, i);
                 codes.push(code);
                 let mut prefix = Vec::new();
                 let mut faults = Vec::new();
@@ -1266,16 +1410,24 @@ fn explore<P: Protocol + Clone + Send>(
                 });
                 break 'bfs;
             }
-            offsets.push(edges.len() as u32);
+            assert!(sink.len() <= u64::from(u32::MAX), "edge offsets are u32");
+            offsets.push(sink.len() as u32);
         }
         next = batch_end;
     }
 
-    let target_states = nodes.iter().filter(|n| n.target).count();
+    debug_assert_eq!(store.len(), meta.len(), "store and metadata desynced");
+    let target_states = meta.iter().filter(|n| n.target).count();
     let quotient_states = match dedup {
         Dedup::Exact => canonical_classes.len(),
-        Dedup::Canonical => nodes.len(),
+        Dedup::Canonical => meta.len(),
     };
+    let edge_count = sink.len();
+    // The visited map has served its purpose; free it before the liveness
+    // pass loads the edges back, so the load replaces rather than adds to
+    // the peak footprint.
+    drop(visited);
+    let mut quotient_overflow = false;
     let outcome = if let Some(ce) = safety_ce {
         CheckOutcome::Falsified(Box::new(ce))
     } else if let Some((discovered, completed_expansions)) = budget {
@@ -1284,12 +1436,30 @@ fn explore<P: Protocol + Clone + Send>(
             completed_expansions,
         }
     } else if options.check_liveness {
+        let edges = sink.finish();
         let graph = Graph {
-            nodes: &nodes,
+            meta: &meta,
             offsets: &offsets,
             edges: &edges,
         };
-        match liveness_violation(&graph, full_mask, options.faults.starve_mask, invariant) {
+        let violation = if effective_dedup == Dedup::Canonical {
+            match quotient_liveness_violation(
+                &graph,
+                store.as_mut(),
+                &mut pool[0],
+                full_mask,
+                invariant,
+            ) {
+                Ok(violation) => violation,
+                Err(QuotientOverflow) => {
+                    quotient_overflow = true;
+                    None
+                }
+            }
+        } else {
+            liveness_violation(&graph, full_mask, options.faults.starve_mask, invariant)
+        };
+        match violation {
             Some(ce) => CheckOutcome::Falsified(Box::new(ce)),
             None => CheckOutcome::Verified,
         }
@@ -1297,25 +1467,32 @@ fn explore<P: Protocol + Clone + Send>(
         CheckOutcome::Verified
     };
 
-    Ok(ExploreReport {
+    let stats = StoreStats {
+        store: options.store,
+        spilled_bytes: store.spilled_bytes() + sink.spilled_bytes(),
+    };
+    let report = ExploreReport {
         invariant: invariant.name(),
         interleaving: options.interleaving,
-        states: nodes.len(),
+        states: meta.len(),
         quotient_states,
-        edges: edges.len() as u64,
+        edges: edge_count,
         target_states,
         progress_edges,
         peak_resident_nodes: peak_resident,
+        peak_resident_bytes,
+        state_bytes: store.payload_bytes(),
         outcome,
-    })
+    };
+    Ok((report, stats, quotient_overflow))
 }
 
 /// Edge codes from the root to node `i`, following BFS parent pointers.
-fn codes_from_root(nodes: &[NodeData], mut i: usize) -> Vec<u32> {
+fn codes_from_root(meta: &[NodeMeta], mut i: usize) -> Vec<u32> {
     let mut codes = Vec::new();
-    while nodes[i].parent != NO_PARENT {
-        codes.push(nodes[i].parent_code);
-        i = nodes[i].parent as usize;
+    while meta[i].parent != NO_PARENT {
+        codes.push(meta[i].parent_code);
+        i = meta[i].parent as usize;
     }
     codes.reverse();
     codes
@@ -1334,27 +1511,11 @@ fn liveness_violation(
     starve_mask: u32,
     invariant: &dyn Invariant,
 ) -> Option<Counterexample> {
-    let nodes = graph.nodes;
+    let nodes = graph.meta;
     if nodes[0].target {
         return None;
     }
-    // Non-target states reachable from the root through non-target states
-    // (a fair path that visits a target has satisfied a Reach obligation, so
-    // lassos must be reachable while avoiding targets).
-    let mut reachable = vec![false; nodes.len()];
-    let mut bfs_parent: Vec<Option<(usize, usize)>> = vec![None; nodes.len()]; // (node, edge idx)
-    reachable[0] = true;
-    let mut queue = VecDeque::from([0usize]);
-    while let Some(u) = queue.pop_front() {
-        for (ei, e) in graph.out(u).iter().enumerate() {
-            let to = e.to as usize;
-            if !nodes[to].target && !reachable[to] {
-                reachable[to] = true;
-                bfs_parent[to] = Some((u, ei));
-                queue.push_back(to);
-            }
-        }
-    }
+    let (reachable, bfs_parent) = reach_avoiding_targets(graph);
     // Eligible lasso edges: non-progress, between reachable non-target
     // states.  (Target states are never `reachable`, except the root which
     // was checked above.)
@@ -1497,11 +1658,494 @@ fn covering_cycle(
     codes
 }
 
+// ---------------------------------------------------------------------------
+// Quotient-sound liveness: threading robot relabelings along quotient edges.
+// ---------------------------------------------------------------------------
+//
+// The canonical quotient identifies states up to ring automorphism and robot
+// relabeling, which safety survives but per-robot fairness does not: a cycle
+// in the quotient graph whose raw activation masks cover every robot need
+// not correspond to any fair concrete cycle (the "robots" named by the masks
+// are renamed at every edge), and conversely a fair concrete lasso may
+// project onto a quotient cycle whose raw masks look unfair.  The analysis
+// below restores soundness *and* completeness by threading the accumulated
+// relabeling along quotient edges:
+//
+// * each stored edge `u --code--> v` carries the deterministic alignment
+//   `π = relabel_onto(step(u, code), v)` (robot `i` of the actual successor
+//   is robot `π(i)` of the stored representative);
+// * a *thread* is a pair `(u, σ)` — a quotient state plus the relabeling
+//   accumulated since the thread's seed; traversing the edge above maps
+//   `(u, σ) → (v, σ ∘ π⁻¹)`, and the robots *concretely* activated are
+//   `σ(mask)`;
+// * a fair non-progress concrete lasso exists **iff** some SCC of the
+//   threaded graph (seeded at `(u, id)` for every member `u` of a candidate
+//   quotient SCC) has an internal edge and its internal `σ(mask)` union
+//   covers every robot.  Completeness: a concrete lasso's projection,
+//   walked from `(u₀, id)` and repeated `ord(Λ)` times (Λ the relabeling
+//   composed along one traversal), is a closed threaded walk whose first
+//   traversal already realizes full coverage.  Soundness: a covering closed
+//   threaded walk realizes, from any concrete state aligned to its entry, a
+//   concrete schedule that repeats the *same* step sequence each traversal
+//   (the thread closes, so the alignment recurrence returns to its start),
+//   and by protocol equivariance the reached states differ from the entry
+//   only by a fixed dihedral symmetry `d` — so the concrete run closes
+//   exactly after `ord(d) ≤ n` traversals.  The realization below repeats
+//   the walk until the engine's exact behavioural signature closes, and
+//   panics past `n + 2` traversals (that would be a bookkeeping bug, not an
+//   input property).
+//
+// The whole analysis is a pure function of the stored quotient graph, so
+// verdicts and extracted counterexamples remain byte-identical across
+// worker counts and storage backends.
+
+/// Hard cap on threaded (quotient state × relabeling) pairs per candidate
+/// SCC.  Thread spaces are bounded by |SCC| × |subgroup generated by the
+/// edge relabelings| and stay tiny in practice; the cap is a guard rail —
+/// exceeding it aborts the quotient analysis and the caller falls back to
+/// exact exploration, so verdicts never suffer.
+const THREAD_CAP: usize = 4_000_000;
+
+/// Marker: the quotient-liveness analysis gave up (thread cap); the caller
+/// must decide liveness by exact exploration instead.
+struct QuotientOverflow;
+
+/// One stored edge internal to a candidate SCC, with its relabeling.
+struct AlignedEdge {
+    to_local: u32,
+    mask: u32,
+    code: u32,
+    perm: RobotPerm,
+}
+
+/// One edge of the threaded graph.
+struct ThreadEdge {
+    to: u32,
+    /// The thread-realized activation mask `σ_from(stored mask)`: which
+    /// *concrete* robots this edge activates on threads seeded at the
+    /// identity.
+    mask: u32,
+    code: u32,
+    perm: RobotPerm,
+}
+
+/// The relabeling π of one stored quotient edge `(from, code, to)`: step
+/// `from` by the coded step on the worker's scratch engine and align the
+/// successor onto the stored representative `to` (robot `i` of the actual
+/// successor ↦ robot `π(i)` of `to`).  Pure in the stored bits, hence
+/// identical for every worker count and storage backend.
+fn edge_relabeling<P: Protocol>(
+    worker: &mut Worker<P>,
+    from: &PackedState,
+    to: &PackedState,
+    code: u32,
+) -> RobotPerm {
+    let Worker {
+        engine,
+        ssync_buf,
+        report,
+        ..
+    } = worker;
+    engine.restore_packed(from);
+    let step = decode_step_with(code, ssync_buf);
+    engine
+        .step_into(&step, &mut (), report)
+        .expect("stored quotient edge replays");
+    recycle_step(step, ssync_buf);
+    let after = engine.pack_behavior();
+    relabel_onto(&after, to).expect("quotient edge endpoints share a canonical class")
+}
+
+/// Remaps a regular step code through a robot relabeling: the same step
+/// kind, its activation set read as concrete robots.  Fault codes never
+/// occur here (fault budgets force exact dedup).
+fn remap_code(code: u32, phi: &RobotPerm) -> u32 {
+    let payload = code >> 2;
+    match code & 3 {
+        STEP_SSYNC => phi.image_mask(payload) << 2 | STEP_SSYNC,
+        STEP_LOOK => (phi.apply(payload as usize) as u32) << 2 | STEP_LOOK,
+        STEP_EXECUTE => (phi.apply(payload as usize) as u32) << 2 | STEP_EXECUTE,
+        _ => unreachable!("quotient graphs have no fault edges"),
+    }
+}
+
+/// Decides liveness on the canonical quotient graph — the threaded-analysis
+/// counterpart of [`liveness_violation`], sound and complete for per-robot
+/// weak fairness.  Requires fault-free canonical exploration (the explorer
+/// guarantees it: fault budgets and auxiliary state force exact dedup).
+fn quotient_liveness_violation<P: Protocol + Clone>(
+    graph: &Graph<'_>,
+    store: &mut dyn StateStore,
+    worker: &mut Worker<P>,
+    full_mask: u32,
+    invariant: &dyn Invariant,
+) -> Result<Option<Counterexample>, QuotientOverflow> {
+    let meta = graph.meta;
+    if meta[0].target {
+        return Ok(None);
+    }
+    let k = full_mask.count_ones() as usize;
+    assert!(
+        k <= MAX_PERM_ROBOTS,
+        "quotient liveness supports k ≤ {MAX_PERM_ROBOTS}"
+    );
+    let (reachable, bfs_parent) = reach_avoiding_targets(graph);
+    let eligible = |u: usize, e: &Edge| reachable[u] && reachable[e.to as usize] && !e.progress;
+    let (scc, scc_count) = tarjan_scc(graph, &eligible);
+
+    // Candidate SCCs: any internal eligible edge at all.  No coverage
+    // prefilter on the raw masks — the quotient renames robots at every
+    // edge, so only the threaded analysis can evaluate fairness coverage.
+    let mut has_edge = vec![false; scc_count];
+    for u in 0..meta.len() {
+        for e in graph.out(u) {
+            if eligible(u, e) && scc[e.to as usize] == scc[u] {
+                has_edge[scc[u]] = true;
+            }
+        }
+    }
+    // Group candidate members once, in node-id order; candidates are then
+    // processed in order of their first (lowest-id) member — deterministic
+    // in the quotient graph alone.
+    let mut slot = vec![u32::MAX; scc_count];
+    let mut candidates: Vec<Vec<u32>> = Vec::new();
+    for (u, &c) in scc.iter().enumerate().take(meta.len()) {
+        if !has_edge[c] {
+            continue;
+        }
+        if slot[c] == u32::MAX {
+            slot[c] = candidates.len() as u32;
+            candidates.push(Vec::new());
+        }
+        candidates[slot[c] as usize].push(u as u32);
+    }
+
+    for members in &candidates {
+        if let Some(ce) = threaded_violation_in_scc(
+            graph,
+            store,
+            worker,
+            members,
+            &scc,
+            &eligible,
+            &bfs_parent,
+            invariant,
+            full_mask,
+        )? {
+            return Ok(Some(ce));
+        }
+    }
+    Ok(None)
+}
+
+/// Builds the threaded graph of one candidate SCC, looks for a covering
+/// threaded SCC, and realizes the concrete counterexample if one exists.
+#[allow(clippy::too_many_arguments)]
+fn threaded_violation_in_scc<P: Protocol + Clone>(
+    graph: &Graph<'_>,
+    store: &mut dyn StateStore,
+    worker: &mut Worker<P>,
+    members: &[u32],
+    scc: &[usize],
+    eligible: &dyn Fn(usize, &Edge) -> bool,
+    bfs_parent: &[Option<(usize, usize)>],
+    invariant: &dyn Invariant,
+    full_mask: u32,
+) -> Result<Option<Counterexample>, QuotientOverflow> {
+    let c = scc[members[0] as usize];
+    let k = full_mask.count_ones() as usize;
+    let identity = RobotPerm::identity(k);
+    if members.len() >= THREAD_CAP {
+        return Err(QuotientOverflow);
+    }
+
+    // Stored representatives of the members, and the aligned internal edges.
+    let local: HashMap<u32, u32> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (u, i as u32))
+        .collect();
+    let packed: Vec<PackedState> = members.iter().map(|&u| store.get(u as usize)).collect();
+    let mut out: Vec<Vec<AlignedEdge>> = members.iter().map(|_| Vec::new()).collect();
+    for (lu, &u) in members.iter().enumerate() {
+        for e in graph.out(u as usize) {
+            if !eligible(u as usize, e) || scc[e.to as usize] != c {
+                continue;
+            }
+            let lv = local[&e.to];
+            let perm = edge_relabeling(worker, &packed[lu], &packed[lv as usize], e.code);
+            out[lu].push(AlignedEdge {
+                to_local: lv,
+                mask: step_activation_mask(e.code),
+                code: e.code,
+                perm,
+            });
+        }
+    }
+
+    // Threaded BFS, every member seeded at the identity relabeling (seeding
+    // at the identity is complete: a concrete lasso's threaded projection
+    // from `(u₀, id)` closes within `ord(Λ)` traversals and already covers
+    // fully on its first — see the module commentary above).
+    let mut thread_of: HashMap<(u32, RobotPerm), u32> = HashMap::new();
+    let mut threads: Vec<(u32, RobotPerm)> = Vec::new();
+    let mut t_out: Vec<Vec<ThreadEdge>> = Vec::new();
+    for lu in 0..members.len() as u32 {
+        thread_of.insert((lu, identity), lu);
+        threads.push((lu, identity));
+        t_out.push(Vec::new());
+    }
+    let mut cursor = 0usize;
+    while cursor < threads.len() {
+        let (lu, sigma) = threads[cursor];
+        let mut edges_here = Vec::with_capacity(out[lu as usize].len());
+        for edge in &out[lu as usize] {
+            let next_sigma = sigma.compose(&edge.perm.inverse());
+            let key = (edge.to_local, next_sigma);
+            let to = match thread_of.get(&key) {
+                Some(&t) => t,
+                None => {
+                    if threads.len() >= THREAD_CAP {
+                        return Err(QuotientOverflow);
+                    }
+                    let t = threads.len() as u32;
+                    thread_of.insert(key, t);
+                    threads.push(key);
+                    t_out.push(Vec::new());
+                    t
+                }
+            };
+            edges_here.push(ThreadEdge {
+                to,
+                mask: sigma.image_mask(edge.mask),
+                code: edge.code,
+                perm: edge.perm,
+            });
+        }
+        t_out[cursor] = edges_here;
+        cursor += 1;
+    }
+
+    // SCC + fairness coverage on the threaded graph.
+    let (t_scc, t_count) = tarjan_core(threads.len(), &|v| t_out[v].len(), &|v, i| {
+        Some(t_out[v][i].to as usize)
+    });
+    let mut coverage = vec![0u32; t_count];
+    let mut t_has_edge = vec![false; t_count];
+    for v in 0..threads.len() {
+        for e in &t_out[v] {
+            if t_scc[e.to as usize] == t_scc[v] {
+                coverage[t_scc[v]] |= e.mask;
+                t_has_edge[t_scc[v]] = true;
+            }
+        }
+    }
+    let Some(bad) = (0..t_count).find(|&c| t_has_edge[c] && coverage[c] & full_mask == full_mask)
+    else {
+        return Ok(None);
+    };
+    // Entry: the lowest-index thread node of the bad threaded SCC, and a
+    // covering closed thread-walk through it.
+    let entry_t = (0..threads.len())
+        .find(|&v| t_scc[v] == bad)
+        .expect("non-empty SCC");
+    let walk = covering_thread_cycle(&t_out, &t_scc, bad, entry_t, full_mask);
+
+    // Stored-tree prefix root → entry's stored node, with per-edge
+    // alignments (the worker's engine is the shared scratch).
+    let (entry_local, _) = threads[entry_t];
+    let entry_node = members[entry_local as usize] as usize;
+    let mut tree: Vec<(usize, usize)> = Vec::new();
+    let mut cur = entry_node;
+    while let Some((p, ei)) = bfs_parent[cur] {
+        tree.push((p, ei));
+        cur = p;
+    }
+    tree.reverse();
+    let mut prefix_perms: Vec<(u32, RobotPerm)> = Vec::new();
+    for &(p, ei) in &tree {
+        let e = &graph.out(p)[ei];
+        let from = store.get(p);
+        let to = store.get(e.to as usize);
+        prefix_perms.push((e.code, edge_relabeling(worker, &from, &to, e.code)));
+    }
+
+    // Realize concretely.  The stored root *is* the concrete initial state,
+    // so the alignment φ starts at the identity; every realized step remaps
+    // its stored activation set through the current φ, then advances φ by
+    // the edge's relabeling.
+    let mut engine = worker.engine.clone();
+    engine.restore_packed(&store.get(0));
+    let mut report = rr_corda::StepReport::default();
+    let mut phi = identity;
+    let mut prefix: Vec<SchedulerStep> = Vec::new();
+    for (code, perm) in prefix_perms {
+        let step = decode_step(remap_code(code, &phi));
+        engine
+            .step_into(&step, &mut (), &mut report)
+            .expect("realized prefix step replays");
+        prefix.push(step);
+        phi = phi.compose(&perm.inverse());
+    }
+    debug_assert_eq!(
+        engine.canonical_sig(),
+        packed[entry_local as usize].canonical_sig(),
+        "prefix realization left the entry's canonical class"
+    );
+    let entry_sig = engine.behavior_sig();
+
+    // Repeat the covering walk until the concrete state closes on the exact
+    // entry state (each traversal applies a fixed dihedral symmetry, so
+    // closure happens within ord ≤ n traversals).
+    let (n, _) = packed[entry_local as usize].instance();
+    let max_traversals = n + 2;
+    let mut cycle: Vec<SchedulerStep> = Vec::new();
+    let mut closed = false;
+    for _ in 0..max_traversals {
+        for &(code, ref perm) in &walk {
+            let step = decode_step(remap_code(code, &phi));
+            engine
+                .step_into(&step, &mut (), &mut report)
+                .expect("realized cycle step replays");
+            cycle.push(step);
+            phi = phi.compose(&perm.inverse());
+        }
+        if engine.behavior_sig() == entry_sig {
+            closed = true;
+            break;
+        }
+    }
+    assert!(
+        closed,
+        "quotient lasso failed to close within {max_traversals} traversals — \
+         relabeling bookkeeping bug"
+    );
+
+    let what = match invariant.liveness_mode() {
+        LivenessMode::Reach => "never reaching the target",
+        LivenessMode::ReachRepeatedly => "never making progress again",
+    };
+    Ok(Some(Counterexample {
+        kind: ViolationKind::Liveness,
+        message: format!("fair schedule (every robot activated in each cycle iteration) {what}"),
+        prefix,
+        cycle,
+        faults: Vec::new(),
+        starved: 0,
+    }))
+}
+
+/// A non-empty closed walk `entry → entry` in the threaded graph, inside
+/// threaded SCC `target_scc`, whose realized masks cover `required` —
+/// the threaded counterpart of [`covering_cycle`], returned as
+/// `(stored code, edge relabeling)` pairs ready for realization.
+fn covering_thread_cycle(
+    t_out: &[Vec<ThreadEdge>],
+    t_scc: &[usize],
+    target_scc: usize,
+    entry: usize,
+    required: u32,
+) -> Vec<(u32, RobotPerm)> {
+    #[allow(clippy::type_complexity)]
+    let walk_until =
+        |from: usize, stop: &dyn Fn(&ThreadEdge) -> bool| -> (usize, Vec<(usize, usize)>) {
+            let mut parent: HashMap<usize, (usize, usize)> = HashMap::new();
+            let mut queue = VecDeque::from([from]);
+            let mut seen: HashSet<usize> = HashSet::from([from]);
+            while let Some(u) = queue.pop_front() {
+                for (ei, e) in t_out[u].iter().enumerate() {
+                    if t_scc[e.to as usize] != target_scc {
+                        continue;
+                    }
+                    if stop(e) {
+                        let mut walk = vec![(u, ei)];
+                        let mut cur = u;
+                        while cur != from {
+                            let (p, pei) = parent[&cur];
+                            walk.push((p, pei));
+                            cur = p;
+                        }
+                        walk.reverse();
+                        return (e.to as usize, walk);
+                    }
+                    if seen.insert(e.to as usize) {
+                        parent.insert(e.to as usize, (u, ei));
+                        queue.push_back(e.to as usize);
+                    }
+                }
+            }
+            unreachable!("threaded SCC is strongly connected and covers the mask");
+        };
+    let append =
+        |walk: Vec<(usize, usize)>, steps: &mut Vec<(u32, RobotPerm)>, covered: &mut u32| {
+            for (u, ei) in walk {
+                let e = &t_out[u][ei];
+                *covered |= e.mask;
+                steps.push((e.code, e.perm));
+            }
+        };
+
+    let mut steps = Vec::new();
+    let mut covered = 0u32;
+    let mut cur = entry;
+    while covered & required != required {
+        let missing = required & !covered;
+        let (end, walk) = walk_until(cur, &|e| e.mask & missing != 0);
+        append(walk, &mut steps, &mut covered);
+        cur = end;
+    }
+    if cur != entry || steps.is_empty() {
+        let (end, walk) = walk_until(cur, &|e| e.to as usize == entry);
+        append(walk, &mut steps, &mut covered);
+        debug_assert_eq!(end, entry);
+    }
+    steps
+}
+
+/// The non-target states reachable from the root through non-target states
+/// (a fair path that visits a target has satisfied a Reach obligation, so
+/// lassos must be reachable while avoiding targets), plus the BFS tree as
+/// per-node `(parent, edge index)` — shared by the exact and the quotient
+/// liveness analyses.
+#[allow(clippy::type_complexity)]
+fn reach_avoiding_targets(graph: &Graph<'_>) -> (Vec<bool>, Vec<Option<(usize, usize)>>) {
+    let nodes = graph.meta;
+    let mut reachable = vec![false; nodes.len()];
+    let mut bfs_parent: Vec<Option<(usize, usize)>> = vec![None; nodes.len()];
+    reachable[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for (ei, e) in graph.out(u).iter().enumerate() {
+            let to = e.to as usize;
+            if !nodes[to].target && !reachable[to] {
+                reachable[to] = true;
+                bfs_parent[to] = Some((u, ei));
+                queue.push_back(to);
+            }
+        }
+    }
+    (reachable, bfs_parent)
+}
+
 /// Iterative Tarjan SCC over the subgraph of eligible edges.  Every node gets
 /// an SCC id (nodes without eligible edges become singletons); returns the
 /// per-node id assignment and the number of SCCs.
 fn tarjan_scc(graph: &Graph<'_>, eligible: &dyn Fn(usize, &Edge) -> bool) -> (Vec<usize>, usize) {
-    let n = graph.nodes.len();
+    tarjan_core(graph.meta.len(), &|v| graph.out(v).len(), &|v, i| {
+        let e = &graph.out(v)[i];
+        eligible(v, e).then_some(e.to as usize)
+    })
+}
+
+/// [`tarjan_scc`]'s algorithm over any graph given by an out-degree function
+/// and an indexed edge-target function (`None` = skip this edge) — also run
+/// over the threaded (state × relabeling) graph of the quotient-liveness
+/// analysis.
+fn tarjan_core(
+    n: usize,
+    degree: &dyn Fn(usize) -> usize,
+    edge_target: &dyn Fn(usize, usize) -> Option<usize>,
+) -> (Vec<usize>, usize) {
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -1527,14 +2171,13 @@ fn tarjan_scc(graph: &Graph<'_>, eligible: &dyn Fn(usize, &Edge) -> bool) -> (Ve
                 on_stack[v] = true;
             }
             let mut advanced = false;
-            let out = graph.out(v);
-            while *pos < out.len() {
-                let e = &out[*pos];
+            let out_degree = degree(v);
+            while *pos < out_degree {
+                let target = edge_target(v, *pos);
                 *pos += 1;
-                if !eligible(v, e) {
+                let Some(w) = target else {
                     continue;
-                }
-                let w = e.to as usize;
+                };
                 if index[w] == usize::MAX {
                     call.push((w, 0));
                     advanced = true;
@@ -2001,6 +2644,150 @@ mod tests {
                 replay_counterexample(&mutant, &initial, &GatheringInvariant::new(), ce).unwrap();
             assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
             assert!(!ce.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn quotient_liveness_agrees_with_concrete_on_verified_instances() {
+        // The tentpole soundness claim, smallest form: the full quotient
+        // check (safety + σ-threaded liveness) returns the same verdict as
+        // the concrete check on verified cells, while exploring only the
+        // canonical classes.  tests/exhaustive_small_instances.rs pins the
+        // same equality over the whole proved grid.
+        for (n, k) in [(6usize, 3usize), (7, 3)] {
+            let initial = enumerate_rigid_configurations(n, k).remove(0);
+            for mode in MODES {
+                let concrete = check_protocol(
+                    &GatheringProtocol::new(),
+                    &initial,
+                    &GatheringInvariant::new(),
+                    &ExploreOptions::new(mode),
+                )
+                .unwrap();
+                let quotient = check_protocol_quotient(
+                    &GatheringProtocol::new(),
+                    &initial,
+                    &GatheringInvariant::new(),
+                    &ExploreOptions::new(mode),
+                )
+                .unwrap();
+                assert!(concrete.verified(), "n={n} k={k} mode={mode}");
+                assert!(quotient.verified(), "n={n} k={k} mode={mode}");
+                assert_eq!(quotient.states, concrete.quotient_states, "mode={mode}");
+                assert!(quotient.states <= concrete.states);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_liveness_finds_the_idle_mutant_lasso_and_it_replays() {
+        // The other half of soundness: on a falsified cell the quotient
+        // checker must still find the fair lasso, and — because the
+        // counterexample is realized over *concrete* robots by unwinding the
+        // accumulated relabelings — it must replay on the engine verbatim.
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        let mutant = MutatedProtocol::new(
+            GatheringProtocol::new(),
+            MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+            Decision::Idle,
+        );
+        for mode in MODES {
+            let report = check_protocol_quotient(
+                &mutant,
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(mode),
+            )
+            .unwrap();
+            let ce = report.counterexample().expect("mutant must be falsified");
+            assert_eq!(ce.kind, ViolationKind::Liveness);
+            assert!(!ce.cycle.is_empty());
+            let replay =
+                replay_counterexample(&mutant, &initial, &GatheringInvariant::new(), ce).unwrap();
+            assert!(replay.reproduced, "mode={mode}: {}", replay.detail);
+        }
+    }
+
+    #[test]
+    fn quotient_liveness_handles_a_genuinely_merged_class() {
+        // Two idle robots on a 6-ring: the quotient merges "robot 0 pending"
+        // with "robot 1 pending" (4 concrete states → 3 classes), so the
+        // starving lasso the checker reports passes through a class whose
+        // concrete realization needs a non-identity relabeling.  The verdict
+        // must match the concrete one and the trace must replay.
+        let initial = Configuration::from_gaps_at_origin(&[1, 3]);
+        let inv = GatheringInvariant::new();
+        let options = ExploreOptions::new(InterleavingMode::AsyncPhases);
+        let concrete =
+            check_protocol(&rr_corda::protocol::IdleProtocol, &initial, &inv, &options).unwrap();
+        let quotient =
+            check_protocol_quotient(&rr_corda::protocol::IdleProtocol, &initial, &inv, &options)
+                .unwrap();
+        let concrete_ce = concrete.counterexample().expect("idle never gathers");
+        let ce = quotient.counterexample().expect("idle never gathers");
+        assert_eq!(ce.kind, ViolationKind::Liveness);
+        assert_eq!(concrete_ce.kind, ViolationKind::Liveness);
+        assert_eq!(quotient.states, 3);
+        assert_eq!(concrete.states, 4);
+        let replay =
+            replay_counterexample(&rr_corda::protocol::IdleProtocol, &initial, &inv, ce).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn spill_store_reports_are_byte_identical_to_mem() {
+        // The spill backend must be observationally invisible: identical
+        // ExploreReport (and counterexample, on falsified cells) for every
+        // budget — including budgets landing exactly on a cluster edge, the
+        // point where the resident cache evicts precisely as a window seals.
+        let initial = enumerate_rigid_configurations(7, 3).remove(0);
+        let inv = GatheringInvariant::new();
+        for mode in MODES {
+            let base = ExploreOptions::new(mode);
+            let (mem, mem_stats) =
+                check_protocol_with_stats(&GatheringProtocol::new(), &initial, &inv, &base)
+                    .unwrap();
+            assert_eq!(mem_stats.store, StoreKind::Mem);
+            assert_eq!(mem_stats.spilled_bytes, 0);
+            let per_state = mem.state_bytes / mem.states as u64;
+            let cluster_bytes = per_state * crate::store::CLUSTER as u64;
+            for budget in [0, 1, cluster_bytes, 2 * cluster_bytes, u64::MAX] {
+                let (spill, spill_stats) = check_protocol_with_stats(
+                    &GatheringProtocol::new(),
+                    &initial,
+                    &inv,
+                    &base.with_store(StoreKind::Spill).with_mem_budget(budget),
+                )
+                .unwrap();
+                assert_eq!(spill, mem, "mode={mode} budget={budget}");
+                assert_eq!(spill_stats.store, StoreKind::Spill);
+                assert!(spill_stats.spilled_bytes > 0, "mode={mode}");
+            }
+        }
+        // Falsified cell: the counterexample inside the report must also be
+        // bit-for-bit identical (it is part of the PartialEq above, but
+        // assert the interesting piece explicitly).
+        let mutant = MutatedProtocol::new(
+            GatheringProtocol::new(),
+            MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+            Decision::Idle,
+        );
+        for mode in MODES {
+            let base = ExploreOptions::new(mode);
+            let mem = check_protocol(&mutant, &initial, &inv, &base).unwrap();
+            let spill = check_protocol(
+                &mutant,
+                &initial,
+                &inv,
+                &base.with_store(StoreKind::Spill).with_mem_budget(0),
+            )
+            .unwrap();
+            assert_eq!(mem, spill, "mode={mode}");
+            assert_eq!(
+                mem.counterexample().unwrap().render(),
+                spill.counterexample().unwrap().render(),
+                "mode={mode}"
+            );
         }
     }
 

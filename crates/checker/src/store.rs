@@ -1,0 +1,686 @@
+//! The exploration storage layer: where discovered states and edges live.
+//!
+//! The explorer's BFS (`crate::explore`) touches its stored states through
+//! two narrow access patterns — *sequential windows* (the next `BATCH` node
+//! ids to expand) and *point lookups* (the liveness pass aligning quotient
+//! representatives) — and appends edges it only reads back once, for the SCC
+//! analysis.  `StateStore` and `EdgeSink` (crate-internal traits) capture
+//! exactly those patterns, with two backends each:
+//!
+//! * **mem** (`MemStore` / `MemEdges`): the original in-RAM vectors —
+//!   fastest, bounded by physical memory;
+//! * **spill** (`SpillStore` / `SpillEdges`): packed states are grouped
+//!   into clusters of `CLUSTER` states, each cluster encoded as its first
+//!   state's raw words plus sparse XOR deltas ([`PackedState::delta_from`])
+//!   for the rest, and **every sealed cluster is appended to a temp file
+//!   immediately** — so the bytes written (`spilled_bytes`) are a
+//!   deterministic function of the state sequence, independent of worker
+//!   count and memory budget.  The budget only governs the cache of encoded
+//!   clusters kept resident for window reads; edges stream to a second file
+//!   as fixed 8-byte records and are loaded back only if the liveness pass
+//!   runs (after the visited map has been dropped).
+//!
+//! Both backends present **the same state sequence** — ids, bytes, windows —
+//! so every [`crate::ExploreReport`] field and every counterexample is
+//! byte-identical across backends, which `tests/parallel_determinism.rs`
+//! pins.  I/O errors on the spill files panic: the files are process-private
+//! temporaries, and a checker that cannot read its own spill has no sound
+//! verdict to offer.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rr_corda::PackedState;
+
+/// Which storage backend an exploration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Everything in RAM (the default): fastest, bounded by memory.
+    #[default]
+    Mem,
+    /// Delta-compressed clusters spilled to disk, with a bounded resident
+    /// cache; edges streamed to disk.  Use with
+    /// [`crate::ExploreOptions::with_mem_budget`].
+    Spill,
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StoreKind::Mem => "mem",
+            StoreKind::Spill => "spill",
+        })
+    }
+}
+
+/// Backend-specific statistics of one exploration.  Everything in the
+/// [`crate::ExploreReport`] itself is backend-independent (so reports can be
+/// compared byte for byte across backends); what the backend actually did —
+/// how many bytes it wrote to disk — surfaces here, via
+/// [`crate::check_protocol_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// The backend that ran.
+    pub store: StoreKind,
+    /// Total bytes appended to the spill files (states + edges); `0` for the
+    /// mem backend.  Deterministic: a pure function of the explored graph,
+    /// independent of worker count and memory budget.
+    pub spilled_bytes: u64,
+}
+
+/// States per spill cluster: the first state is the cluster base (raw
+/// words), the rest are sparse XOR deltas against it.
+pub(crate) const CLUSTER: usize = 64;
+
+/// A window of packed states handed to the expansion workers: borrowed
+/// straight from a resident store, or materialized from spilled clusters.
+pub(crate) enum FrontierWindow<'a> {
+    /// The window is a live slice of resident states.
+    Resident(&'a [PackedState]),
+    /// The window was decoded from spilled clusters.
+    Loaded(Vec<PackedState>),
+}
+
+impl std::ops::Deref for FrontierWindow<'_> {
+    type Target = [PackedState];
+
+    fn deref(&self) -> &[PackedState] {
+        match self {
+            FrontierWindow::Resident(slice) => slice,
+            FrontierWindow::Loaded(vec) => vec,
+        }
+    }
+}
+
+/// Append-only storage of discovered states, addressed by node id in
+/// discovery order.  The explorer reads states back in two patterns only:
+/// contiguous [`window`](StateStore::window)s in ascending id order (the
+/// BFS), and random [`get`](StateStore::get)s (the quotient-liveness
+/// alignment) — both after all pushes the ids in question, never
+/// concurrently with a push.
+pub(crate) trait StateStore {
+    /// Appends a state; its id is the previous [`len`](StateStore::len).
+    fn push(&mut self, state: PackedState);
+
+    /// Number of stored states.
+    fn len(&self) -> usize;
+
+    /// Total packed payload bytes (word count × 8) over all stored states —
+    /// a backend-independent size measure: both backends report the same
+    /// value for the same state sequence.
+    fn payload_bytes(&self) -> u64;
+
+    /// Bytes appended to spill files so far; `0` for resident backends.
+    fn spilled_bytes(&self) -> u64;
+
+    /// The state with id `id`.
+    fn get(&mut self, id: usize) -> PackedState;
+
+    /// The states `start..end`, in id order.
+    fn window(&mut self, start: usize, end: usize) -> FrontierWindow<'_>;
+}
+
+/// The in-RAM backend: a plain vector of packed states.
+pub(crate) struct MemStore {
+    states: Vec<PackedState>,
+    payload: u64,
+}
+
+impl MemStore {
+    pub(crate) fn new() -> Self {
+        MemStore {
+            states: Vec::new(),
+            payload: 0,
+        }
+    }
+}
+
+impl StateStore for MemStore {
+    fn push(&mut self, state: PackedState) {
+        self.payload += 8 * state.words().len() as u64;
+        self.states.push(state);
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.payload
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        0
+    }
+
+    fn get(&mut self, id: usize) -> PackedState {
+        self.states[id].clone()
+    }
+
+    fn window(&mut self, start: usize, end: usize) -> FrontierWindow<'_> {
+        FrontierWindow::Resident(&self.states[start..end])
+    }
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-private temp file that deletes itself on drop.
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    written: u64,
+}
+
+impl SpillFile {
+    fn create(tag: &str) -> Self {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "rr-checker-{tag}-{}-{seq}.spill",
+            std::process::id()
+        ));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("creating spill file {}: {e}", path.display()));
+        SpillFile {
+            file,
+            path,
+            written: 0,
+        }
+    }
+
+    /// Appends `bytes` at the end of the file; returns their offset.
+    fn append(&mut self, bytes: &[u8]) -> u64 {
+        let offset = self.written;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.write_all(bytes))
+            .unwrap_or_else(|e| panic!("writing spill file {}: {e}", self.path.display()));
+        self.written += bytes.len() as u64;
+        offset
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .unwrap_or_else(|e| panic!("reading spill file {}: {e}", self.path.display()));
+        buf
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The spill-to-disk backend.
+///
+/// States accumulate in an open tail of up to [`CLUSTER`] states; a full
+/// tail is *sealed*: encoded (base + deltas), appended to the spill file,
+/// and kept in the resident cache of encoded clusters.  The cache is
+/// trimmed to `mem_budget` bytes by evicting the highest-numbered clusters
+/// first — the BFS consumes ids in ascending order, so high clusters are
+/// the ones needed *furthest* in the future; once a window has moved past a
+/// cluster it is dropped from the cache outright (later random access reads
+/// the file).
+pub(crate) struct SpillStore {
+    file: SpillFile,
+    mem_budget: u64,
+    payload: u64,
+    len: usize,
+    /// Open tail cluster (ids `sealed * CLUSTER ..`).
+    tail: Vec<PackedState>,
+    /// Per sealed cluster: file offset and encoded byte length.
+    spans: Vec<(u64, u32)>,
+    /// Encoded sealed clusters still resident, by cluster index.
+    cache: BTreeMap<usize, Vec<u8>>,
+    cache_bytes: u64,
+    /// One decoded cluster for random access (the quotient-liveness pass
+    /// probes states of one SCC, which BFS discovery makes mostly
+    /// contiguous).
+    decoded: Option<(usize, Vec<PackedState>)>,
+}
+
+impl SpillStore {
+    pub(crate) fn new(mem_budget: u64) -> Self {
+        SpillStore {
+            file: SpillFile::create("states"),
+            mem_budget,
+            payload: 0,
+            len: 0,
+            tail: Vec::with_capacity(CLUSTER),
+            spans: Vec::new(),
+            cache: BTreeMap::new(),
+            cache_bytes: 0,
+            decoded: None,
+        }
+    }
+
+    /// Encodes the tail as one cluster: base words raw, then length-prefixed
+    /// deltas.
+    fn encode_tail(&self) -> Vec<u8> {
+        let base = &self.tail[0];
+        let mut out = Vec::with_capacity(16 * self.tail.len());
+        write_uleb(&mut out, base.words().len() as u64);
+        for &word in base.words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for state in &self.tail[1..] {
+            let delta = state.delta_from(base);
+            write_uleb(&mut out, delta.len() as u64);
+            out.extend_from_slice(&delta);
+        }
+        out
+    }
+
+    fn decode_cluster(bytes: &[u8], states: usize) -> Vec<PackedState> {
+        let mut cursor = bytes;
+        let base_len = read_uleb(&mut cursor) as usize;
+        let mut words = Vec::with_capacity(base_len);
+        for _ in 0..base_len {
+            let (chunk, rest) = cursor.split_at(8);
+            words.push(u64::from_le_bytes(chunk.try_into().expect("8-byte word")));
+            cursor = rest;
+        }
+        let base = PackedState::from_raw_words(words);
+        let mut out = Vec::with_capacity(states);
+        out.push(base.clone());
+        for _ in 1..states {
+            let len = read_uleb(&mut cursor) as usize;
+            let (delta, rest) = cursor.split_at(len);
+            out.push(PackedState::apply_delta(&base, delta));
+            cursor = rest;
+        }
+        assert!(cursor.is_empty(), "trailing bytes in spilled cluster");
+        out
+    }
+
+    fn seal_tail(&mut self) {
+        debug_assert_eq!(self.tail.len(), CLUSTER);
+        let encoded = self.encode_tail();
+        let offset = self.file.append(&encoded);
+        let index = self.spans.len();
+        self.spans.push((offset, encoded.len() as u32));
+        self.cache_bytes += encoded.len() as u64;
+        self.cache.insert(index, encoded);
+        self.tail.clear();
+        // Budget: evict the highest-numbered clusters (needed last).
+        while self.cache_bytes > self.mem_budget {
+            let Some((_, bytes)) = self.cache.pop_last() else {
+                break;
+            };
+            self.cache_bytes -= bytes.len() as u64;
+        }
+    }
+
+    /// The encoded bytes of sealed cluster `index`, from cache or disk.
+    fn cluster_bytes(&mut self, index: usize) -> Vec<u8> {
+        if let Some(bytes) = self.cache.get(&index) {
+            return bytes.clone();
+        }
+        let (offset, len) = self.spans[index];
+        self.file.read_at(offset, len as usize)
+    }
+
+    fn cluster_states(&mut self, index: usize) -> &[PackedState] {
+        if self.decoded.as_ref().map(|(i, _)| *i) != Some(index) {
+            let bytes = self.cluster_bytes(index);
+            self.decoded = Some((index, Self::decode_cluster(&bytes, CLUSTER)));
+        }
+        &self.decoded.as_ref().expect("decoded above").1
+    }
+}
+
+impl StateStore for SpillStore {
+    fn push(&mut self, state: PackedState) {
+        self.payload += 8 * state.words().len() as u64;
+        self.len += 1;
+        self.tail.push(state);
+        if self.tail.len() == CLUSTER {
+            self.seal_tail();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.payload
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        self.file.written
+    }
+
+    fn get(&mut self, id: usize) -> PackedState {
+        let tail_base = self.spans.len() * CLUSTER;
+        if id >= tail_base {
+            return self.tail[id - tail_base].clone();
+        }
+        self.cluster_states(id / CLUSTER)[id % CLUSTER].clone()
+    }
+
+    fn window(&mut self, start: usize, end: usize) -> FrontierWindow<'_> {
+        let tail_base = self.spans.len() * CLUSTER;
+        // The BFS has consumed everything below `start`: those clusters
+        // cannot be windowed again, so stop caching them.
+        let mut freed = 0u64;
+        let dead: Vec<usize> = self
+            .cache
+            .range(..start / CLUSTER)
+            .map(|(&i, _)| i)
+            .collect();
+        for index in dead {
+            if let Some(bytes) = self.cache.remove(&index) {
+                freed += bytes.len() as u64;
+            }
+        }
+        self.cache_bytes -= freed;
+        if start >= tail_base {
+            return FrontierWindow::Resident(&self.tail[start - tail_base..end - tail_base]);
+        }
+        let mut out = Vec::with_capacity(end - start);
+        let mut id = start;
+        while id < end {
+            if id >= tail_base {
+                out.extend_from_slice(&self.tail[id - tail_base..end - tail_base]);
+                break;
+            }
+            let index = id / CLUSTER;
+            let bytes = self.cluster_bytes(index);
+            let states = Self::decode_cluster(&bytes, CLUSTER);
+            let hi = end.min((index + 1) * CLUSTER);
+            out.extend_from_slice(&states[id % CLUSTER..hi - index * CLUSTER]);
+            id = hi;
+        }
+        FrontierWindow::Loaded(out)
+    }
+}
+
+/// One edge of the explored graph, CSR-packed: 9 bytes in RAM, 8 on disk.
+pub(crate) struct Edge {
+    pub(crate) to: u32,
+    pub(crate) code: u32,
+    pub(crate) progress: bool,
+}
+
+/// Append-only edge storage.  Edges are written once during the BFS and
+/// read back at most once, all together, for the liveness analysis — after
+/// the caller has dropped its visited map, so the loaded vector replaces
+/// rather than adds to the peak footprint.
+pub(crate) trait EdgeSink {
+    /// Appends an edge.
+    fn push(&mut self, edge: Edge);
+
+    /// Number of edges appended.
+    fn len(&self) -> u64;
+
+    /// Bytes appended to a spill file; `0` for resident backends.
+    fn spilled_bytes(&self) -> u64;
+
+    /// Loads every edge back, in append order, consuming the sink's
+    /// buffers.
+    fn finish(&mut self) -> Vec<Edge>;
+}
+
+/// The in-RAM edge backend.
+pub(crate) struct MemEdges {
+    edges: Vec<Edge>,
+}
+
+impl MemEdges {
+    pub(crate) fn new() -> Self {
+        MemEdges { edges: Vec::new() }
+    }
+}
+
+impl EdgeSink for MemEdges {
+    fn push(&mut self, edge: Edge) {
+        self.edges.push(edge);
+    }
+
+    fn len(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        0
+    }
+
+    fn finish(&mut self) -> Vec<Edge> {
+        std::mem::take(&mut self.edges)
+    }
+}
+
+/// On-disk record: `to` in the low word, `code | progress << 31` in the
+/// high word.  Step codes occupy at most 30 bits (2-bit kind + 28-bit
+/// payload), leaving bit 31 free for the progress flag.
+fn encode_edge(edge: &Edge) -> [u8; 8] {
+    assert!(edge.code < 1 << 31, "step code overflows the edge record");
+    let word = u64::from(edge.to) | u64::from(edge.code | u32::from(edge.progress) << 31) << 32;
+    word.to_le_bytes()
+}
+
+fn decode_edge(bytes: [u8; 8]) -> Edge {
+    let word = u64::from_le_bytes(bytes);
+    let hi = (word >> 32) as u32;
+    Edge {
+        to: word as u32,
+        code: hi & !(1 << 31),
+        progress: hi >> 31 != 0,
+    }
+}
+
+/// The spilled edge backend: fixed 8-byte records streamed through a small
+/// write buffer.
+pub(crate) struct SpillEdges {
+    file: SpillFile,
+    buf: Vec<u8>,
+    len: u64,
+}
+
+/// Write-buffer size for spilled edges.
+const EDGE_BUF: usize = 1 << 16;
+
+impl SpillEdges {
+    pub(crate) fn new() -> Self {
+        SpillEdges {
+            file: SpillFile::create("edges"),
+            buf: Vec::with_capacity(EDGE_BUF),
+            len: 0,
+        }
+    }
+}
+
+impl EdgeSink for SpillEdges {
+    fn push(&mut self, edge: Edge) {
+        self.buf.extend_from_slice(&encode_edge(&edge));
+        self.len += 1;
+        if self.buf.len() >= EDGE_BUF {
+            self.file.append(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        self.file.written + self.buf.len() as u64
+    }
+
+    fn finish(&mut self) -> Vec<Edge> {
+        if !self.buf.is_empty() {
+            self.file.append(&self.buf);
+            self.buf.clear();
+        }
+        let bytes = self.file.read_at(0, self.file.written as usize);
+        bytes
+            .chunks_exact(8)
+            .map(|chunk| decode_edge(chunk.try_into().expect("8-byte record")))
+            .collect()
+    }
+}
+
+/// LEB128 varint append (the cluster framing format).
+fn write_uleb(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 varint read; advances `bytes` past the varint.
+fn read_uleb(bytes: &mut &[u8]) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = bytes.split_first().expect("truncated varint");
+        *bytes = rest;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+        assert!(shift < 64, "varint overflows u64");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(words: &[u64]) -> PackedState {
+        PackedState::from_raw_words(words.to_vec())
+    }
+
+    /// A deterministic pseudo-random state sequence with BFS-like locality.
+    fn sequence(count: usize) -> Vec<PackedState> {
+        let mut seed = 0x1234_5678_9ABC_DEF0u64;
+        let mut step = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        (0..count)
+            .map(|i| {
+                let len = 2 + i % 3;
+                let words: Vec<u64> = (0..len).map(|_| step() & 0xFFFF).collect();
+                state(&words)
+            })
+            .collect()
+    }
+
+    fn check_backend(store: &mut dyn StateStore, states: &[PackedState]) {
+        for s in states {
+            store.push(s.clone());
+        }
+        assert_eq!(store.len(), states.len());
+        let expected_payload: u64 = states.iter().map(|s| 8 * s.words().len() as u64).sum();
+        assert_eq!(store.payload_bytes(), expected_payload);
+        // Random access.
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(&store.get(i), s, "get({i})");
+        }
+        // Windows at awkward boundaries.
+        let probes = [
+            (0usize, states.len()),
+            (0, 1),
+            (states.len().saturating_sub(3), states.len()),
+            (CLUSTER - 1, (CLUSTER + 1).min(states.len())),
+        ];
+        for (start, end) in probes {
+            if start >= end {
+                continue;
+            }
+            let window = store.window(start, end);
+            assert_eq!(&window[..], &states[start..end], "window {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn mem_and_spill_agree_on_the_same_sequence() {
+        let states = sequence(3 * CLUSTER + 17);
+        check_backend(&mut MemStore::new(), &states);
+        // Generous budget: everything stays cached.
+        check_backend(&mut SpillStore::new(1 << 20), &states);
+        // Zero budget: every read decodes from disk.
+        check_backend(&mut SpillStore::new(0), &states);
+    }
+
+    #[test]
+    fn spilled_bytes_are_independent_of_the_budget() {
+        let states = sequence(5 * CLUSTER);
+        let mut roomy = SpillStore::new(1 << 30);
+        let mut tight = SpillStore::new(0);
+        for s in &states {
+            roomy.push(s.clone());
+            tight.push(s.clone());
+        }
+        assert!(roomy.spilled_bytes() > 0);
+        assert_eq!(roomy.spilled_bytes(), tight.spilled_bytes());
+        // Sequential-window consumption (the BFS pattern) sees identical
+        // states under both budgets.
+        for start in (0..states.len()).step_by(7) {
+            let end = (start + 7).min(states.len());
+            assert_eq!(&roomy.window(start, end)[..], &tight.window(start, end)[..]);
+        }
+    }
+
+    #[test]
+    fn spill_file_cleans_up_after_itself() {
+        let path = {
+            let store = SpillStore::new(0);
+            store.file.path.clone()
+        };
+        assert!(!path.exists(), "spill file must be deleted on drop");
+    }
+
+    #[test]
+    fn edge_sinks_round_trip_and_agree() {
+        let edges: Vec<Edge> = (0..10_000u32)
+            .map(|i| Edge {
+                to: i.wrapping_mul(2654435761),
+                code: (i * 7) & ((1 << 30) - 1),
+                progress: i % 3 == 0,
+            })
+            .collect();
+        let mut mem = MemEdges::new();
+        let mut spill = SpillEdges::new();
+        for e in &edges {
+            mem.push(Edge { ..*e });
+            spill.push(Edge { ..*e });
+        }
+        assert_eq!(mem.len(), spill.len());
+        assert!(spill.spilled_bytes() >= 8 * edges.len() as u64);
+        let a = mem.finish();
+        let b = spill.finish();
+        assert_eq!(a.len(), edges.len());
+        for ((x, y), want) in a.iter().zip(&b).zip(&edges) {
+            assert_eq!(
+                (x.to, x.code, x.progress),
+                (want.to, want.code, want.progress)
+            );
+            assert_eq!(
+                (y.to, y.code, y.progress),
+                (want.to, want.code, want.progress)
+            );
+        }
+    }
+}

@@ -6,7 +6,9 @@
 //! smallest feasible instances are proved under SSYNC here (the larger ASYNC
 //! graphs run in `exp_modelcheck`, release-built).
 
-use rr_checker::explore::{check_protocol, check_safety_quotient, ExploreOptions};
+use rr_checker::explore::{
+    check_protocol, check_protocol_quotient, check_safety_quotient, ExploreOptions,
+};
 use rr_corda::{InterleavingMode, Protocol};
 use rr_core::invariant::{AlignmentInvariant, GatheringInvariant, Invariant, SearchingInvariant};
 use rr_core::unified::{protocol_for, Task};
@@ -42,6 +44,20 @@ fn assert_cell_proved<P: Protocol + Clone + Send>(
                     .unwrap();
             assert!(quotient.verified(), "quotient disagrees on n={n} k={k}");
             assert!(quotient.states <= report.states);
+            // ... and so must the *full* quotient check, liveness included:
+            // the σ-threaded fairness analysis re-derives the concrete
+            // verdict from the 2n-fold smaller graph on every cell of the
+            // grid.  (For the searching invariant, whose auxiliary
+            // contamination state forces exact keys, this degrades to the
+            // concrete checker — the verdicts still must match.)
+            let full_quotient =
+                check_protocol_quotient(protocol, initial, invariant, &ExploreOptions::new(mode))
+                    .unwrap();
+            assert!(
+                full_quotient.verified(),
+                "quotient liveness disagrees on n={n} k={k} mode={mode} from {initial}: {:?}",
+                full_quotient.outcome
+            );
         }
     }
 }

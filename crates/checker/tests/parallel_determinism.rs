@@ -7,9 +7,10 @@
 
 use proptest::prelude::*;
 use rr_checker::explore::{
-    check_protocol, check_safety_quotient, replay_counterexample, ExploreOptions, FaultBudget,
-    MutatedProtocol,
+    check_protocol, check_protocol_quotient, check_safety_quotient, replay_counterexample,
+    ExploreOptions, FaultBudget, MutatedProtocol,
 };
+use rr_checker::StoreKind;
 use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
 use rr_core::invariant::{
     AlignmentInvariant, CrashTolerantGatheringInvariant, EventualGatheringInvariant,
@@ -42,6 +43,24 @@ fn assert_worker_invariant<P: Protocol + Clone + Send>(
         let report =
             check_protocol(protocol, initial, invariant, &base.with_workers(*workers)).unwrap();
         assert_eq!(report, reference, "{label}: workers={workers}");
+    }
+    // The spill backend is observationally invisible: for every worker
+    // count, a run that keeps its packed states in delta-compressed clusters
+    // on disk (with a cache budget small enough to actually evict) emits the
+    // identical report — counterexample included, since it is a field of the
+    // report compared here.
+    for workers in WORKER_COUNTS {
+        let spilled = check_protocol(
+            protocol,
+            initial,
+            invariant,
+            &base
+                .with_workers(workers)
+                .with_store(StoreKind::Spill)
+                .with_mem_budget(4 << 10),
+        )
+        .unwrap();
+        assert_eq!(spilled, reference, "{label}: spill workers={workers}");
     }
     // The quotient explorer obeys the same discipline.
     let quotient_reference =
@@ -173,6 +192,59 @@ fn fault_branching_exploration_is_worker_invariant() {
             &ExploreOptions::new(mode).with_faults(FaultBudget::none().with_starved(0b001)),
             &format!("starved gathering {mode}"),
         );
+    }
+}
+
+#[test]
+fn quotient_full_check_is_worker_and_store_invariant() {
+    // The σ-threaded quotient checker (safety + liveness on the canonical
+    // quotient) obeys the same discipline as the concrete checker: identical
+    // reports for every worker count and storage backend, on a verified cell
+    // and on a falsified one — and the falsified cell's lasso, realized over
+    // concrete robots by unwinding the accumulated relabelings, replays.
+    let initial = enumerate_rigid_configurations(7, 3).remove(0);
+    let idle_mutant = MutatedProtocol::new(
+        GatheringProtocol::new(),
+        MutatedProtocol::<GatheringProtocol>::trigger_for(&initial),
+        Decision::Idle,
+    );
+    let invariant = GatheringInvariant::new();
+    for mode in MODES {
+        let base = ExploreOptions::new(mode);
+        let verified_ref =
+            check_protocol_quotient(&GatheringProtocol::new(), &initial, &invariant, &base)
+                .unwrap();
+        assert!(verified_ref.verified(), "{mode}");
+        let falsified_ref =
+            check_protocol_quotient(&idle_mutant, &initial, &invariant, &base).unwrap();
+        let ce = falsified_ref.counterexample().expect("mutant falsified");
+        let replay = replay_counterexample(&idle_mutant, &initial, &invariant, ce).unwrap();
+        assert!(replay.reproduced, "{mode}: {}", replay.detail);
+        for workers in WORKER_COUNTS {
+            for store in [StoreKind::Mem, StoreKind::Spill] {
+                let options = base
+                    .with_workers(workers)
+                    .with_store(store)
+                    .with_mem_budget(4 << 10);
+                let verified = check_protocol_quotient(
+                    &GatheringProtocol::new(),
+                    &initial,
+                    &invariant,
+                    &options,
+                )
+                .unwrap();
+                assert_eq!(
+                    verified, verified_ref,
+                    "{mode}: workers={workers} store={store}"
+                );
+                let falsified =
+                    check_protocol_quotient(&idle_mutant, &initial, &invariant, &options).unwrap();
+                assert_eq!(
+                    falsified, falsified_ref,
+                    "{mode}: workers={workers} store={store}"
+                );
+            }
+        }
     }
 }
 

@@ -44,7 +44,7 @@ pub use error::SimError;
 pub use fault::{CorruptionKind, FaultEvent, FaultModel};
 pub use leap::{LeapPlan, LeapRecord};
 pub use monitor::{Monitor, MoveLog};
-pub use packed::{PackedState, StateSig, MAX_CANONICAL_N, SIG_WORDS};
+pub use packed::{CanonicalTransform, PackedState, StateSig, MAX_CANONICAL_N, SIG_WORDS};
 pub use protocol::{Decision, Protocol, ViewIndex};
 pub use robot::{RobotId, RobotState};
 pub use scheduler::{

@@ -74,11 +74,14 @@ impl std::hash::Hasher for SigHasher {
 /// `BuildHasher` for [`SigHasher`]-keyed maps and sets.
 pub type SigHashBuilder = std::hash::BuildHasherDefault<SigHasher>;
 
-/// Robot phase as stored in a packed state: 2 bits.
-const PHASE_READY: u64 = 0;
-const PHASE_IDLE: u64 = 1;
-const PHASE_MOVE_CW: u64 = 2;
-const PHASE_MOVE_CCW: u64 = 3;
+/// Robot phase as stored in a packed state: 2 bits, ready.
+pub const PHASE_READY: u64 = 0;
+/// Packed phase code: idle-pending (Looked, decided to stay).
+pub const PHASE_IDLE: u64 = 1;
+/// Packed phase code: move-pending clockwise.
+pub const PHASE_MOVE_CW: u64 = 2;
+/// Packed phase code: move-pending counter-clockwise.
+pub const PHASE_MOVE_CCW: u64 = 3;
 
 /// A bit-packed [`crate::EngineState`]: one small word vector holding
 /// everything [`crate::Engine::restore_packed`] needs to reproduce the state
@@ -381,6 +384,16 @@ impl PackedState {
         }
     }
 
+    /// Rebuilds a packed state from raw words previously read off
+    /// [`PackedState::words`] — the decode path of the checker's
+    /// spill-to-disk store, whose cluster bases are written as raw words.
+    /// The words are opaque: nothing is validated until the state is
+    /// decoded, so only feed back words this type produced.
+    #[must_use]
+    pub fn from_raw_words(words: Vec<u64>) -> Self {
+        PackedState::from_words(words)
+    }
+
     /// Heap bytes held by this packed state (zero when stored inline).
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
@@ -449,6 +462,132 @@ impl PackedState {
             }),
         )
     }
+
+    /// The instance header `(n, k)` of this packed state.
+    #[must_use]
+    pub fn instance(&self) -> (usize, usize) {
+        let decoder = Decoder::new(self);
+        (decoder.n, decoder.k)
+    }
+
+    /// The `(node, phase code)` of every robot in robot-id order — the
+    /// behavioural cells the canonical-quotient relabeling aligns on.  Phase
+    /// codes are [`PHASE_READY`]/[`PHASE_IDLE`]/[`PHASE_MOVE_CW`]/
+    /// [`PHASE_MOVE_CCW`].
+    #[must_use]
+    pub fn robot_cells(&self) -> Vec<(usize, u64)> {
+        let mut decoder = Decoder::new(self);
+        (0..decoder.k)
+            .map(|_| {
+                let r = decoder.next_robot();
+                (r.node, r.phase)
+            })
+            .collect()
+    }
+
+    /// The dihedral transform under which this state attains its
+    /// [`canonical_sig`](Self::canonical_sig): apply
+    /// [`CanonicalTransform::canonical_index`] /
+    /// [`CanonicalTransform::canonical_phase`] to every robot cell and the
+    /// resulting per-node phase counts read off the canonical word.
+    /// Deterministic in the state bits — equal packed states always report
+    /// the same transform.
+    #[must_use]
+    pub fn canonical_transform(&self) -> CanonicalTransform {
+        let mut decoder = Decoder::new(self);
+        let (n, k) = (decoder.n, decoder.k);
+        canonical_choice(
+            n,
+            k,
+            std::iter::from_fn(|| {
+                let r = decoder.next_robot();
+                Some((r.node, r.phase))
+            }),
+        )
+        .1
+    }
+
+    /// Encodes this state as a sparse XOR delta against `base` — the
+    /// cluster-compression primitive of the checker's spill-to-disk state
+    /// store.  BFS neighbours differ in a handful of packed words, so the
+    /// delta is usually a few bytes where the raw words are dozens.
+    ///
+    /// Format (all varints LEB128): `word count of self`, `entry count`,
+    /// then per entry `word index`, `xor word`.  Entries cover exactly the
+    /// indices where `self` differs from `base`; indices past the shorter
+    /// state XOR against zero.  [`PackedState::apply_delta`] inverts it.
+    #[must_use]
+    pub fn delta_from(&self, base: &PackedState) -> Vec<u8> {
+        let mine = self.words();
+        let theirs = base.words();
+        let mut out = Vec::with_capacity(8);
+        write_uleb(&mut out, mine.len() as u64);
+        let entries: Vec<(usize, u64)> = (0..mine.len())
+            .filter_map(|i| {
+                let xor = mine[i] ^ theirs.get(i).copied().unwrap_or(0);
+                (xor != 0).then_some((i, xor))
+            })
+            .collect();
+        write_uleb(&mut out, entries.len() as u64);
+        for (i, xor) in entries {
+            write_uleb(&mut out, i as u64);
+            write_uleb(&mut out, xor);
+        }
+        out
+    }
+
+    /// Reconstructs the state that produced `delta` via
+    /// [`PackedState::delta_from`] against the same `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is truncated or malformed (the spill store only
+    /// feeds back bytes it wrote itself).
+    #[must_use]
+    pub fn apply_delta(base: &PackedState, delta: &[u8]) -> PackedState {
+        let mut cursor = delta;
+        let len = read_uleb(&mut cursor) as usize;
+        let base_words = base.words();
+        let mut words = vec![0u64; len];
+        let shared = len.min(base_words.len());
+        words[..shared].copy_from_slice(&base_words[..shared]);
+        let entries = read_uleb(&mut cursor);
+        for _ in 0..entries {
+            let i = read_uleb(&mut cursor) as usize;
+            words[i] ^= read_uleb(&mut cursor);
+        }
+        assert!(cursor.is_empty(), "trailing bytes in packed-state delta");
+        PackedState::from_words(words)
+    }
+}
+
+/// LEB128 varint append: 7 bits per byte, high bit = continuation.
+fn write_uleb(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 varint read; advances `bytes` past the varint.
+fn read_uleb(bytes: &mut &[u8]) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = bytes.split_first().expect("truncated varint");
+        *bytes = rest;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+        assert!(shift < 64, "varint overflows u64");
+    }
 }
 
 /// [`PackedState::behavior_sig`] over any `(node, phase code)` stream of
@@ -515,6 +654,60 @@ pub(crate) fn canonical_sig_from(
     k: usize,
     robots: impl Iterator<Item = (usize, u64)>,
 ) -> StateSig {
+    let (word, transform) = canonical_choice(n, k, robots);
+    let wrap = |t: usize| if t >= n { t - n } else { t };
+    let mut sig = [0u64; SIG_WORDS];
+    for t in 0..n {
+        sig[t / 4] |= u64::from(word[wrap(transform.start + t)]) << (16 * (t % 4));
+    }
+    sig
+}
+
+/// The dihedral transform a state's canonical signature was minimized with:
+/// an optional reflection through node 0 followed by a rotation.  Two states
+/// with equal [`PackedState::canonical_sig`] are mapped onto the *same*
+/// canonical word by their respective transforms, which is what lets the
+/// checker align the robots of two class-equal states deterministically
+/// (the quotient-liveness relabeling in `rr-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalTransform {
+    /// Whether the winning orientation first reflects the ring through node
+    /// 0 (`v ↦ (n - v) mod n`), which also swaps cw/ccw pending moves.
+    pub reflect: bool,
+    /// The rotation offset: the (post-reflection) node placed at canonical
+    /// position 0.
+    pub start: usize,
+}
+
+impl CanonicalTransform {
+    /// Canonical position of ring node `node` on a ring of `n` nodes.
+    #[must_use]
+    pub fn canonical_index(&self, n: usize, node: usize) -> usize {
+        let v = if self.reflect { (n - node) % n } else { node };
+        (v + n - self.start) % n
+    }
+
+    /// Canonical form of a 2-bit phase code: reflections swap the cw/ccw
+    /// pending directions, rotations leave phases alone.
+    #[must_use]
+    pub fn canonical_phase(&self, phase: u64) -> u64 {
+        match (self.reflect, phase) {
+            (true, PHASE_MOVE_CW) => PHASE_MOVE_CCW,
+            (true, PHASE_MOVE_CCW) => PHASE_MOVE_CW,
+            (_, p) => p,
+        }
+    }
+}
+
+/// Shared core of [`canonical_sig_from`] and the transform accessor: the
+/// winning orientation's per-node 16-bit phase-count words and the dihedral
+/// transform that produced it.  Deterministic in the state bits alone — the
+/// same state always picks the same transform, on every worker.
+fn canonical_choice(
+    n: usize,
+    k: usize,
+    robots: impl Iterator<Item = (usize, u64)>,
+) -> ([u16; MAX_CANONICAL_N], CanonicalTransform) {
     assert!(
         n <= MAX_CANONICAL_N,
         "canonical_sig supports n ≤ {MAX_CANONICAL_N}"
@@ -537,25 +730,31 @@ pub(crate) fn canonical_sig_from(
         fwd[v] = enc(&counts[v], false);
         rev[v] = enc(&counts[(n - v) % n], true);
     }
-    let (fwd, rev) = (&fwd[..n], &rev[..n]);
-    let fi = booth_start(fwd);
-    let ri = booth_start(rev);
+    let fi = booth_start(&fwd[..n]);
+    let ri = booth_start(&rev[..n]);
     let wrap = |t: usize| if t >= n { t - n } else { t };
     let reversed_wins = (0..n).find_map(|t| {
         let a = fwd[wrap(fi + t)];
         let b = rev[wrap(ri + t)];
         (a != b).then_some(b < a)
     });
-    let (word, start) = if reversed_wins == Some(true) {
-        (rev, ri)
+    if reversed_wins == Some(true) {
+        (
+            rev,
+            CanonicalTransform {
+                reflect: true,
+                start: ri,
+            },
+        )
     } else {
-        (fwd, fi)
-    };
-    let mut sig = [0u64; SIG_WORDS];
-    for t in 0..n {
-        sig[t / 4] |= u64::from(word[wrap(start + t)]) << (16 * (t % 4));
+        (
+            fwd,
+            CanonicalTransform {
+                reflect: false,
+                start: fi,
+            },
+        )
     }
-    sig
 }
 
 #[cfg(test)]
@@ -600,6 +799,83 @@ mod tests {
             let expected =
                 View::least_rotation_start(word.len(), |t| usize::from(word[t % word.len()]));
             assert_eq!(booth_start(word), expected, "{word:?}");
+        }
+    }
+
+    #[test]
+    fn delta_codec_round_trips_across_word_lengths() {
+        let mk = |words: &[u64]| PackedState::from_words(words.to_vec());
+        let cases: [(&[u64], &[u64]); 6] = [
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 2, 3], &[1, 9, 3]),
+            (&[1, 2], &[1, 2, 3, 4]),
+            (&[1, 2, 3, 4], &[1, 2]),
+            (&[], &[7]),
+            (&[u64::MAX; 5], &[0; 5]),
+        ];
+        for (base_words, state_words) in cases {
+            let base = mk(base_words);
+            let state = mk(state_words);
+            let delta = state.delta_from(&base);
+            assert_eq!(
+                PackedState::apply_delta(&base, &delta),
+                state,
+                "base {base_words:?} state {state_words:?}"
+            );
+        }
+        // Equal states compress to the 2-byte empty delta.
+        let a = mk(&[5, 6, 7]);
+        assert_eq!(a.delta_from(&a).len(), 2);
+    }
+
+    #[test]
+    fn uleb_round_trips_boundary_values() {
+        for value in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_uleb(&mut buf, value);
+            let mut cursor = &buf[..];
+            assert_eq!(read_uleb(&mut cursor), value);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn canonical_transform_reproduces_the_canonical_word() {
+        // Hand-rolled states: (node, phase) cells on a ring of n — including
+        // one whose winner is a reflection (an asymmetric pending-move
+        // pattern) — re-encoded through the reported transform must land on
+        // the canonical signature's word sequence.
+        let cases: [(usize, Vec<(usize, u64)>); 3] = [
+            (6, vec![(0, PHASE_READY), (1, PHASE_MOVE_CW)]),
+            (
+                7,
+                vec![(2, PHASE_MOVE_CCW), (3, PHASE_IDLE), (3, PHASE_READY)],
+            ),
+            (
+                5,
+                vec![(0, PHASE_MOVE_CW), (1, PHASE_MOVE_CW), (4, PHASE_READY)],
+            ),
+        ];
+        for (n, cells) in cases {
+            let k = cells.len();
+            let sig = canonical_sig_from(n, k, cells.iter().copied());
+            let (_, transform) = canonical_choice(n, k, cells.iter().copied());
+            // Rebuild the canonical word from transformed cells.
+            let mut counts = [[0u16; 4]; MAX_CANONICAL_N];
+            for &(node, phase) in &cells {
+                let ci = transform.canonical_index(n, node);
+                let cp = transform.canonical_phase(phase);
+                counts[ci][cp as usize] += 1;
+            }
+            let mut rebuilt = [0u64; SIG_WORDS];
+            for (t, c) in counts[..n].iter().enumerate() {
+                let word = u64::from(c[0])
+                    | u64::from(c[1]) << 4
+                    | u64::from(c[2]) << 8
+                    | u64::from(c[3]) << 12;
+                rebuilt[t / 4] |= word << (16 * (t % 4));
+            }
+            assert_eq!(rebuilt, sig, "n={n} cells {cells:?}");
         }
     }
 

@@ -86,6 +86,44 @@ proptest! {
         }
     }
 
+    /// The delta codec round-trips: for every state along a random history,
+    /// `apply_delta(base, state.delta_from(&base)) == state` against every
+    /// earlier state as the cluster base — exactly how the spill store's
+    /// cluster compression uses it.
+    #[test]
+    fn delta_codec_round_trips_over_move_scripts(
+        gaps in gap_word(),
+        steps in script(),
+    ) {
+        let initial = Configuration::from_gaps_at_origin(&gaps);
+        let options = EngineOptions {
+            enforce_exclusivity: false,
+            ..EngineOptions::default()
+        };
+        let mut engine = Engine::new(GreedyGapWalker, initial, options).unwrap();
+        let k = engine.num_robots();
+        let mut history = vec![engine.pack_state()];
+        for &(kind, a, b) in &steps {
+            let _ = engine.step(&step_for(k, kind, a, b), &mut ());
+            history.push(engine.pack_state());
+        }
+        let base = &history[0];
+        for state in &history {
+            let delta = state.delta_from(base);
+            prop_assert_eq!(
+                &rr_corda::PackedState::apply_delta(base, &delta),
+                state,
+                "delta round trip drifted"
+            );
+            // A state deltas against itself to the empty entry list.
+            let self_delta = state.delta_from(state);
+            prop_assert_eq!(
+                &rr_corda::PackedState::apply_delta(state, &self_delta),
+                state
+            );
+        }
+    }
+
     /// The packed signatures agree with their reference definitions: equal
     /// `behavior_sig` ⇔ equal `exact_key`, and equal `canonical_sig` ⇔ equal
     /// `canonical_key` — across states drawn from two random histories of

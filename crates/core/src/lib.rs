@@ -44,6 +44,7 @@ pub mod feasibility;
 pub mod gathering;
 pub mod invariant;
 pub mod nminus_three;
+pub mod relabel;
 pub mod unified;
 
 pub use align::AlignProtocol;
@@ -58,4 +59,5 @@ pub use invariant::{
     GatheringInvariant, Invariant, LivenessMode, SearchingInvariant, StateView,
 };
 pub use nminus_three::NminusThreeProtocol;
+pub use relabel::{relabel_onto, RobotPerm};
 pub use unified::{protocol_for, Task, UnifiedProtocol};
