@@ -28,7 +28,10 @@
 //! feasible instances `(n, k) = (11, 5)` (Ring Clearing) and `(10, 7)`
 //! (NminusThree), plus the larger `(12, 5)` and `(11, 8)` in the full grid —
 //! below `n = 10` searching is impossible (Theorem 5) and those cells are
-//! recorded as vacuous.  Every record carries the cell's exploration
+//! recorded as vacuous.  `--max-n 14 --max-k 8` extends the sweep to the
+//! proved `n ≤ 14, k ≤ 8` frontier (millions of states per searching cell —
+//! pair it with `--store spill` and a tight `--mem-budget`, see E16).
+//! Every record carries the cell's exploration
 //! throughput (states/second), its deterministic memory profile
 //! (`peak_resident_nodes`/`peak_resident_bytes`/`bytes_per_state`) and, under
 //! `--store spill`, the bytes spilled to disk (experiment E15).
@@ -38,6 +41,7 @@
 //!                [--selftest] [--max-n <usize>] [--max-k <usize>]
 //!                [--workers <usize>] [--store mem|spill]
 //!                [--mem-budget <bytes|KiB|MiB|GiB>] [--only task:n:k[:mode]]
+//!                [--max-states <usize>] [--scale-bench]
 //! ```
 //!
 //! `--workers` sets the checker's per-cell worker threads (0 = one per
@@ -47,17 +51,27 @@
 //! report is byte-identical to `--store mem` minus the `store` and
 //! `spilled_bytes` fields, which is exactly what CI's spill-smoke leg gates
 //! on.  `--only gathering:12:6` (optionally `:ssync`/`:async`) restricts the
-//! grid to one cell for targeted out-of-core runs.  `--selftest` checks that
+//! grid to one cell for targeted out-of-core runs.  `--scale-bench` switches
+//! to experiment E16: one fixed spill cell (default: the largest proved
+//! searching cell; override with `--only`) is re-explored at worker counts
+//! 1/2/4/8 (quick: 1/4) under a tight visited-map budget (default 1 MiB,
+//! override with `--mem-budget`), the run **fails unless every
+//! deterministic report field is byte-identical across the counts**, and
+//! the per-phase wall time (parallel expansion vs batch merge) is recorded
+//! per worker count.  `--selftest` checks that
 //! a deliberately broken protocol (one decision-table entry mutated) is
 //! *falsified* with a counterexample that replays on the engine — a canary
 //! for the checker itself.
 
 use std::time::Instant;
 
-use rr_bench::sweep::{exit_if_failed, grid_map, parse_byte_size, ExpArgs, ModelCheckRecord};
+use rr_bench::sweep::{
+    exit_if_failed, grid_map, parse_byte_size, ExpArgs, ModelCheckRecord, ScaleRecord,
+};
 use rr_checker::explore::{
-    check_protocol, check_protocol_quotient_with_stats, replay_counterexample, CheckOutcome,
-    ExploreOptions, MutatedProtocol, ViolationKind, DEFAULT_MEM_BUDGET,
+    check_protocol, check_protocol_quotient_with_stats, check_protocol_with_stats,
+    replay_counterexample, CheckOutcome, ExploreOptions, MutatedProtocol, ViolationKind,
+    DEFAULT_MAX_STATES, DEFAULT_MEM_BUDGET,
 };
 use rr_checker::StoreKind;
 use rr_corda::{Decision, InterleavingMode, Protocol, ViewIndex};
@@ -100,6 +114,7 @@ struct CheckCfg {
     workers: usize,
     store: StoreKind,
     mem_budget: u64,
+    max_states: usize,
 }
 
 /// Whether the paper claims an algorithm for the cell.
@@ -141,7 +156,8 @@ fn check_cell_protocol<P: Protocol + Clone + Send>(
         let options = ExploreOptions::new(cell.mode)
             .with_workers(cfg.workers)
             .with_store(cfg.store)
-            .with_mem_budget(cfg.mem_budget);
+            .with_mem_budget(cfg.mem_budget)
+            .with_max_states(cfg.max_states);
         let (report, stats) =
             match check_protocol_quotient_with_stats(protocol, initial, invariant, &options) {
                 Ok(pair) => pair,
@@ -185,6 +201,7 @@ fn check_cell_protocol<P: Protocol + Clone + Send>(
             .max(report.peak_resident_nodes as u64);
         record.peak_resident_bytes = record.peak_resident_bytes.max(report.peak_resident_bytes);
         record.spilled_bytes += stats.spilled_bytes;
+        record.visited_spilled_bytes += stats.visited_spilled_bytes;
         state_bytes += report.state_bytes;
         match &report.outcome {
             CheckOutcome::Verified => {}
@@ -227,6 +244,7 @@ fn run_cell(cell: Cell, experiment: &str, cfg: &CheckCfg) -> ModelCheckRecord {
         peak_resident_bytes: 0,
         bytes_per_state: 0,
         spilled_bytes: 0,
+        visited_spilled_bytes: 0,
         store: cfg.store.to_string(),
         states_per_sec: 0,
         vacuous: false,
@@ -349,6 +367,245 @@ fn selftest() -> Result<(), String> {
     Ok(())
 }
 
+/// FNV-1a over `bytes`: the digest the scale-bench gate compares across
+/// worker counts.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One scale-bench row: explores every rigid initial class of `cell` on the
+/// **concrete** (exact-dedup) checker with the spill backend, accumulating
+/// the deterministic report fields into both the record and an FNV digest
+/// basis — anything worker-dependent in node ids, edge order, early stops
+/// or accounting would change the digest and trip the gate in `main`.
+fn run_scale_cell(cell: &Cell, workers: usize, mem_budget: u64, max_states: usize) -> ScaleRecord {
+    let started = Instant::now();
+    let mut record = ScaleRecord {
+        experiment: "E16".to_string(),
+        task: cell.task.slug().to_string(),
+        n: cell.n,
+        k: cell.k,
+        mode: cell.mode.name().to_string(),
+        store: StoreKind::Spill.to_string(),
+        workers,
+        mem_budget,
+        states: 0,
+        edges: 0,
+        peak_resident_bytes: 0,
+        spilled_bytes: 0,
+        visited_spilled_bytes: 0,
+        expand_nanos: 0,
+        merge_nanos: 0,
+        states_per_sec: 0,
+        report_digest: 0,
+        ok: false,
+        wall_nanos: 0,
+    };
+    let mut basis = String::new();
+    let run = |record: &mut ScaleRecord, basis: &mut String| -> Result<(), String> {
+        match cell.task {
+            CellTask::Gathering => scale_cell_protocol(
+                &GatheringProtocol::new(),
+                &GatheringInvariant::new(),
+                cell,
+                workers,
+                mem_budget,
+                max_states,
+                record,
+                basis,
+            ),
+            CellTask::Alignment => scale_cell_protocol(
+                &AlignProtocol::new(),
+                &AlignmentInvariant::new(),
+                cell,
+                workers,
+                mem_budget,
+                max_states,
+                record,
+                basis,
+            ),
+            CellTask::Searching => {
+                let protocol = protocol_for(Task::GraphSearching, cell.n, cell.k)
+                    .ok_or_else(|| format!("no searching protocol for ({}, {})", cell.n, cell.k))?;
+                scale_cell_protocol(
+                    &protocol,
+                    &SearchingInvariant::new(),
+                    cell,
+                    workers,
+                    mem_budget,
+                    max_states,
+                    record,
+                    basis,
+                )
+            }
+        }
+    };
+    match run(&mut record, &mut basis) {
+        Ok(()) => {
+            record.report_digest = fnv1a(basis.as_bytes());
+            record.ok = true; // the cross-worker gate may still clear this
+        }
+        Err(e) => {
+            eprintln!("E16 workers={workers}: {e}");
+            record.ok = false;
+        }
+    }
+    record.wall_nanos = started.elapsed().as_nanos();
+    record.states_per_sec = (u128::from(record.states) * 1_000_000_000)
+        .checked_div(record.wall_nanos)
+        .unwrap_or(0) as u64;
+    record
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scale_cell_protocol<P: Protocol + Clone + Send>(
+    protocol: &P,
+    invariant: &dyn Invariant,
+    cell: &Cell,
+    workers: usize,
+    mem_budget: u64,
+    max_states: usize,
+    record: &mut ScaleRecord,
+    basis: &mut String,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let initials = enumerate_rigid_configurations(cell.n, cell.k);
+    if initials.is_empty() {
+        return Err(format!(
+            "({}, {}) has no rigid initial class",
+            cell.n, cell.k
+        ));
+    }
+    let options = ExploreOptions::new(cell.mode)
+        .with_workers(workers)
+        .with_store(StoreKind::Spill)
+        .with_mem_budget(mem_budget)
+        .with_max_states(max_states);
+    for initial in &initials {
+        let (report, stats) = check_protocol_with_stats(protocol, initial, invariant, &options)
+            .map_err(|e| format!("engine rejected {initial}: {e}"))?;
+        record.states += report.states as u64;
+        record.edges += report.edges;
+        record.peak_resident_bytes = record.peak_resident_bytes.max(report.peak_resident_bytes);
+        record.spilled_bytes += stats.spilled_bytes;
+        record.visited_spilled_bytes += stats.visited_spilled_bytes;
+        record.expand_nanos += stats.expand_nanos;
+        record.merge_nanos += stats.merge_nanos;
+        // Every deterministic report field joins the digest basis — the
+        // outcome's Debug form includes the full counterexample when one
+        // exists, so falsified runs are compared schedule for schedule.
+        let _ = write!(
+            basis,
+            "{initial}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:?};",
+            report.states,
+            report.quotient_states,
+            report.edges,
+            report.target_states,
+            report.progress_edges,
+            report.peak_resident_nodes,
+            report.peak_resident_bytes,
+            report.state_bytes,
+            stats.spilled_bytes,
+            stats.visited_spilled_bytes,
+            report.outcome
+        );
+    }
+    Ok(())
+}
+
+/// The E16 worker-scaling bench: one fixed spill cell re-explored per
+/// worker count, gated on every deterministic report field (via the FNV
+/// digest) being identical across the counts.
+fn run_scale_bench(
+    args: &ExpArgs,
+    only: Option<&OnlyFilter>,
+    mem_budget: Option<u64>,
+    max_states: usize,
+) {
+    let cell = match only {
+        Some(f) => Cell {
+            task: task_from_slug(&f.task),
+            n: f.n,
+            k: f.k,
+            mode: match f.mode.as_deref() {
+                Some("ssync") => InterleavingMode::SsyncSubsets,
+                Some("async") | None => InterleavingMode::AsyncPhases,
+                Some(other) => panic!("--only mode must be ssync or async, got {other:?}"),
+            },
+        },
+        // Defaults: the biggest proved searching cells — exact dedup (the
+        // contamination aux state forces it), millions of states in the
+        // full cell, a quick-mode cell small enough for CI.
+        None if args.quick => Cell {
+            task: CellTask::Searching,
+            n: 11,
+            k: 5,
+            mode: InterleavingMode::SsyncSubsets,
+        },
+        None => Cell {
+            task: CellTask::Searching,
+            n: 14,
+            k: 8,
+            mode: InterleavingMode::AsyncPhases,
+        },
+    };
+    // Tight by default so the visited map genuinely seals runs: the bench
+    // is about the spill path, not the in-RAM fast path.
+    let mem_budget = mem_budget.unwrap_or(1 << 20);
+    let worker_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut records: Vec<ScaleRecord> = worker_counts
+        .iter()
+        .map(|&w| run_scale_cell(&cell, w, mem_budget, max_states))
+        .collect();
+    let reference = records[0].report_digest;
+    for record in &mut records {
+        record.ok = record.ok && record.report_digest == reference;
+    }
+
+    println!(
+        "# E16 — worker scaling on the spill path: {}:{}:{} {} budget={}B",
+        cell.task.slug(),
+        cell.n,
+        cell.k,
+        cell.mode.name(),
+        mem_budget
+    );
+    println!("# workers    states     edges  visited-spill   expand-ms  merge-ms   st/sec  digest");
+    for r in &records {
+        println!(
+            "  {:>7} {:>9} {:>9} {:>14} {:>11} {:>9} {:>8}  {:016x}{}",
+            r.workers,
+            r.states,
+            r.edges,
+            r.visited_spilled_bytes,
+            r.expand_nanos / 1_000_000,
+            r.merge_nanos / 1_000_000,
+            r.states_per_sec,
+            r.report_digest,
+            if r.ok { "" } else { "  MISMATCH" }
+        );
+    }
+
+    args.write_json("E16", &records);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    exit_if_failed("E16", failures, records.len());
+}
+
+fn task_from_slug(slug: &str) -> CellTask {
+    match slug {
+        "gathering" => CellTask::Gathering,
+        "alignment" => CellTask::Alignment,
+        "graph-searching" => CellTask::Searching,
+        other => panic!("unknown task slug {other:?}"),
+    }
+}
+
 /// A `--only task:n:k[:mode]` cell filter for targeted out-of-core runs.
 struct OnlyFilter {
     task: String,
@@ -403,15 +660,25 @@ fn main() {
         Some("spill") => StoreKind::Spill,
         Some(other) => panic!("--store takes mem or spill, got {other:?}"),
     };
-    let mem_budget = args.value("--mem-budget").map_or(DEFAULT_MEM_BUDGET, |v| {
+    let mem_budget_arg = args.value("--mem-budget").map(|v| {
         parse_byte_size(v).unwrap_or_else(|| panic!("--mem-budget: malformed size {v:?}"))
+    });
+    let mem_budget = mem_budget_arg.unwrap_or(DEFAULT_MEM_BUDGET);
+    let max_states: usize = args.value("--max-states").map_or(DEFAULT_MAX_STATES, |v| {
+        v.parse().expect("--max-states takes a usize")
     });
     let cfg = CheckCfg {
         workers,
         store,
         mem_budget,
+        max_states,
     };
     let only = args.value("--only").map(OnlyFilter::parse);
+
+    if args.flag("--scale-bench") {
+        run_scale_bench(&args, only.as_ref(), mem_budget_arg, max_states);
+        return;
+    }
 
     if args.flag("--selftest") {
         if let Err(e) = selftest() {

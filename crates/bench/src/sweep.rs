@@ -262,6 +262,13 @@ pub struct ModelCheckRecord {
     /// budget — but naturally differs between backends, so cross-backend
     /// report comparisons normalize it away alongside `store`.
     pub spilled_bytes: u64,
+    /// Bytes the visited map sealed to sorted on-disk runs (including
+    /// compaction rewrites), summed over the initial classes; 0 under the
+    /// in-memory backend.  Deterministic for a given backend *and* memory
+    /// budget — the seal schedule is a pure function of the insert sequence
+    /// — but budget-dependent, so cross-backend comparisons normalize it
+    /// away alongside `store` and `spilled_bytes`.
+    pub visited_spilled_bytes: u64,
     /// Storage backend the cell ran under ("mem" or "spill").
     pub store: String,
     /// Exploration throughput in states per second over the cell's wall
@@ -393,6 +400,63 @@ pub struct ThroughputRecord {
     pub detail: String,
     /// Wall-clock nanoseconds for the cell (not serialized; machine
     /// dependent).
+    #[serde(skip)]
+    pub wall_nanos: u128,
+}
+
+/// One worker-scaling measurement (schema `rr-sweep/v1`, experiment `E16`).
+///
+/// Written by `exp_modelcheck --scale-bench`: a fixed spill cell is
+/// re-explored at each worker count under the same tight memory budget, the
+/// binary gates on every deterministic report field being identical across
+/// the counts (`report_digest` pins what was compared), and the phase
+/// timers record where the wall-clock went.  The `*_nanos` and
+/// `states_per_sec` fields are machine-dependent perf trajectory, excluded
+/// from cross-run byte comparisons like every other throughput figure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScaleRecord {
+    /// Experiment identifier (e.g. "E16").
+    pub experiment: String,
+    /// Task slug ("gathering", "alignment", "graph-searching").
+    pub task: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Interleaving mode ("ssync" or "async").
+    pub mode: String,
+    /// Storage backend ("spill" for the scaling cell).
+    pub store: String,
+    /// Worker threads this row ran with.
+    pub workers: usize,
+    /// Resident byte budget shared by the packed-state cache and the
+    /// visited-map memtables.
+    pub mem_budget: u64,
+    /// Concrete states explored (identical across rows, by the gate).
+    pub states: u64,
+    /// Edges of the explored state graph (identical across rows).
+    pub edges: u64,
+    /// Peak resident bytes — payload + buffered batch + visited entries
+    /// (identical across rows).
+    pub peak_resident_bytes: u64,
+    /// Bytes spilled by the state store + edge sink (identical across rows).
+    pub spilled_bytes: u64,
+    /// Bytes the visited map sealed to disk runs (identical across rows).
+    pub visited_spilled_bytes: u64,
+    /// Wall nanoseconds spent in parallel batch expansion.  Machine
+    /// dependent.
+    pub expand_nanos: u64,
+    /// Wall nanoseconds spent in the batch merge (partition, parallel
+    /// per-shard dedup, ordering pass, commit + seal).  Machine dependent.
+    pub merge_nanos: u64,
+    /// Exploration throughput over the row's wall time.  Machine dependent.
+    pub states_per_sec: u64,
+    /// FNV-1a digest over the row's deterministic report fields; the
+    /// scale-bench gate requires it to be identical across worker counts.
+    pub report_digest: u64,
+    /// Whether this row's digest matched the single-worker reference.
+    pub ok: bool,
+    /// Wall-clock nanoseconds for the row (not serialized).
     #[serde(skip)]
     pub wall_nanos: u128,
 }

@@ -15,7 +15,9 @@
 
 use std::path::PathBuf;
 
-use rr_bench::sweep::{json_report, FaultRecord, ModelCheckRecord, RunRecord, ThroughputRecord};
+use rr_bench::sweep::{
+    json_report, FaultRecord, ModelCheckRecord, RunRecord, ScaleRecord, ThroughputRecord,
+};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -107,6 +109,7 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             peak_resident_bytes: 8448,
             bytes_per_state: 24,
             spilled_bytes: 7680,
+            visited_spilled_bytes: 4096,
             store: "spill".into(),
             states_per_sec: 160_000,
             vacuous: false,
@@ -130,6 +133,7 @@ fn sample_modelcheck_records() -> Vec<ModelCheckRecord> {
             peak_resident_bytes: 384,
             bytes_per_state: 24,
             spilled_bytes: 0,
+            visited_spilled_bytes: 0,
             store: "mem".into(),
             states_per_sec: 0,
             vacuous: false,
@@ -233,6 +237,69 @@ fn sample_throughput_records() -> Vec<ThroughputRecord> {
             wall_nanos: 55,
         },
     ]
+}
+
+/// Two scale records: the single-worker reference row and a multi-worker
+/// row, digests equal (the scale-bench gate's happy path).
+fn sample_scale_records() -> Vec<ScaleRecord> {
+    vec![
+        ScaleRecord {
+            experiment: "E-golden".into(),
+            task: "gathering".into(),
+            n: 9,
+            k: 4,
+            mode: "async".into(),
+            store: "spill".into(),
+            workers: 1,
+            mem_budget: 1 << 20,
+            states: 250_000,
+            edges: 1_000_000,
+            peak_resident_bytes: 17_408_000,
+            spilled_bytes: 6_000_000,
+            visited_spilled_bytes: 14_000_000,
+            expand_nanos: 4_000_000_000,
+            merge_nanos: 2_000_000_000,
+            states_per_sec: 41_000,
+            report_digest: 0xDEAD_BEEF_CAFE_F00D,
+            ok: true,
+            wall_nanos: 77,
+        },
+        ScaleRecord {
+            experiment: "E-golden".into(),
+            task: "gathering".into(),
+            n: 9,
+            k: 4,
+            mode: "async".into(),
+            store: "spill".into(),
+            workers: 4,
+            mem_budget: 1 << 20,
+            states: 250_000,
+            edges: 1_000_000,
+            peak_resident_bytes: 17_408_000,
+            spilled_bytes: 6_000_000,
+            visited_spilled_bytes: 14_000_000,
+            expand_nanos: 1_100_000_000,
+            merge_nanos: 700_000_000,
+            states_per_sec: 138_000,
+            report_digest: 0xDEAD_BEEF_CAFE_F00D,
+            ok: true,
+            wall_nanos: 33,
+        },
+    ]
+}
+
+#[test]
+fn scale_record_report_matches_golden_bytes() {
+    let json = json_report("E-golden", 16, &sample_scale_records()).unwrap() + "\n";
+    assert_matches_golden("rr_sweep_v1_scale.json", &json);
+}
+
+#[test]
+fn scale_record_skips_wall_time_and_pins_digest_field() {
+    let json = json_report("E-golden", 16, &sample_scale_records()).unwrap();
+    assert!(!json.contains("wall_nanos"), "skipped field leaked");
+    assert!(json.contains("\"report_digest\":16045690984503111693"));
+    assert!(json.contains("\"visited_spilled_bytes\":14000000"));
 }
 
 #[test]

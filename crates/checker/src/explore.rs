@@ -58,7 +58,7 @@
 //! artifact.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::Hasher;
+use std::time::Instant;
 
 use rr_corda::{
     CorruptionKind, Decision, Engine, EngineOptions, EngineState, FaultModel, InterleavingMode,
@@ -72,6 +72,7 @@ use rr_ring::{Configuration, View};
 use crate::store::{
     Edge, EdgeSink, MemEdges, MemStore, SpillEdges, SpillStore, StateStore, StoreKind, StoreStats,
 };
+use crate::visited::{shard_of, Key, Memtable, Visited, VISITED_ENTRY_BYTES, VISITED_SHARDS};
 
 /// Default state budget: generous for every cell of the acceptance grid, a
 /// guard rail against accidentally pointing the checker at a huge instance.
@@ -217,7 +218,13 @@ impl ExploreOptions {
         self
     }
 
-    /// Replaces the worker count (`0` = one per available core).
+    /// Replaces the worker count.
+    ///
+    /// Every value is well-defined and produces the identical report:
+    /// `0` resolves to one worker per available core, and any resolved
+    /// count is clamped to `1..=BATCH` (4096, the merge-window size) — a
+    /// worker beyond the window size could never receive work, and an
+    /// unclamped `usize::MAX` would try to allocate that many engines.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
@@ -728,41 +735,9 @@ fn realize_codes(
 // Compact state keys and the sharded visited map.
 // ---------------------------------------------------------------------------
 
-/// Inline, allocation-free visited-map key: a fixed state signature plus the
-/// 64-bit auxiliary-state key and the per-path fault word (crashed robots +
-/// corruption budget used — two states reached with different fault history
-/// are different model-checking states even on identical engine state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Key {
-    sig: StateSig,
-    aug: u64,
-    fault: u32,
-}
-
-impl Key {
-    /// One multiply-xor pass over the key words; feeds both the shard
-    /// selector and the per-shard hash map (via the single `write_u64` the
-    /// manual [`Hash`] impl emits).
-    fn mix(&self) -> u64 {
-        let mut h = self.aug ^ u64::from(self.fault).rotate_left(17);
-        for &word in &self.sig {
-            // Trailing signature words are zero for every key of a run
-            // (fixed n and k), so skipping them is consistent — and halves
-            // the mixing work for small instances.
-            if word != 0 {
-                h = (h ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                h ^= h >> 29;
-            }
-        }
-        h.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-    }
-}
-
-impl std::hash::Hash for Key {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.mix());
-    }
-}
+// The key type and the visited map itself (memtable shards + the disk-backed
+// sorted-run backend) live in `crate::visited`; this module computes keys and
+// drives the map at its sequential merge points.
 
 /// Computes the dedup key straight from the live engine (no codec round
 /// trip); equals `make_key(&engine.pack_state(), aug_bits, dedup, fault)`.
@@ -792,34 +767,6 @@ fn make_key(packed: &PackedState, aug_bits: u64, dedup: Dedup, fault: u32) -> Ke
         sig,
         aug: aug_bits,
         fault,
-    }
-}
-
-const VISITED_SHARDS: usize = 64;
-
-/// The visited map, sharded by the top bits of the key hash.  Shards stay
-/// individually small (cheaper growth, better locality), and the expansion
-/// phase probes the whole structure **read-only and lock-free** from every
-/// worker — successors whose key is already mapped skip the packing work
-/// entirely; only the sequential merge mutates.
-struct Visited {
-    shards: Vec<HashMap<Key, u32, rr_corda::packed::SigHashBuilder>>,
-}
-
-impl Visited {
-    fn new() -> Self {
-        Visited {
-            shards: (0..VISITED_SHARDS).map(|_| HashMap::default()).collect(),
-        }
-    }
-
-    /// Read-only probe, safe to run concurrently from expansion workers.
-    fn get(&self, key: &Key) -> Option<u32> {
-        self.shards[(key.mix() >> 58) as usize].get(key).copied()
-    }
-
-    fn shard_mut(&mut self, key: &Key) -> &mut HashMap<Key, u32, rr_corda::packed::SigHashBuilder> {
-        &mut self.shards[(key.mix() >> 58) as usize]
     }
 }
 
@@ -1206,12 +1153,170 @@ fn expand_batch<P: Protocol + Clone + Send>(
     outputs.into_iter().flatten().collect()
 }
 
+/// Resolution of one fresh-looking successor, computed by the parallel
+/// per-shard dedup pass of the merge.
+#[derive(Clone, Copy)]
+enum MergeRes {
+    /// The key was mapped before this batch: a certain duplicate with a
+    /// final node id.  (In practice expansion's lock-free pre-probe already
+    /// catches these; the re-probe keeps the merge sound on its own.)
+    Known(u32),
+    /// First seen in this batch: the ordinal into the shard's fresh list.
+    /// Every in-batch duplicate of the same key resolves to the same
+    /// ordinal; the sequential ordering pass assigns the global node id at
+    /// the ordinal's first occurrence in window order.
+    Fresh(u32),
+}
+
+/// Per-shard scratch state of one batch merge.  The merge is sharded the
+/// same way the visited map is ([`shard_of`]), so the parallel phases touch
+/// disjoint state by construction.
+#[derive(Default)]
+struct ShardScratch {
+    /// This batch's fresh candidates owned by the shard, as (expansion,
+    /// successor) indices **in window order** — the order the sequential
+    /// ordering pass consumes them back in.
+    cands: Vec<(u32, u32)>,
+    /// Resolution per candidate, aligned with `cands`.
+    res: Vec<MergeRes>,
+    /// In-batch dedup map: fresh key → ordinal.
+    pending: Memtable,
+    /// Key per fresh ordinal (what the commit pass inserts).
+    fresh_keys: Vec<Key>,
+    /// Canonical signature per fresh ordinal (the exact-dedup statistic,
+    /// computed in the parallel pass so the expensive part scales).
+    fresh_sigs: Vec<StateSig>,
+    /// Global node id per ordinal, filled by the ordering pass.
+    assigned: Vec<u32>,
+    /// Ordering-pass read cursor into `res`.
+    cursor: usize,
+}
+
+impl ShardScratch {
+    fn reset(&mut self) {
+        self.cands.clear();
+        self.res.clear();
+        self.pending.clear();
+        self.fresh_keys.clear();
+        self.fresh_sigs.clear();
+        self.assigned.clear();
+        self.cursor = 0;
+    }
+}
+
+/// Merge phase A, per shard: resolve each candidate against the visited map
+/// (frozen for the whole batch) and the shard's own pending set.  Runs in
+/// parallel across shards — all state touched is shard-local.
+fn resolve_shard(
+    sc: &mut ShardScratch,
+    expansions: &[Expansion],
+    visited: &Visited,
+    track_canon: bool,
+) {
+    for &(e, s) in &sc.cands {
+        let SuccState::Fresh { packed, key, .. } = &expansions[e as usize].succs[s as usize].state
+        else {
+            unreachable!("candidates are fresh successors");
+        };
+        // Expansion's lock-free pre-probe already consulted the (frozen)
+        // visited map, so in practice a candidate is either fresh or an
+        // in-batch duplicate; the re-probe keeps the merge sound on its own.
+        if let Some(id) = visited.get(key) {
+            sc.res.push(MergeRes::Known(id));
+            continue;
+        }
+        let res = match sc.pending.entry(*key) {
+            std::collections::hash_map::Entry::Occupied(entry) => MergeRes::Fresh(*entry.get()),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let ordinal = sc.fresh_keys.len() as u32;
+                entry.insert(ordinal);
+                sc.fresh_keys.push(*key);
+                if track_canon {
+                    sc.fresh_sigs.push(packed.canonical_sig());
+                }
+                MergeRes::Fresh(ordinal)
+            }
+        };
+        sc.res.push(res);
+    }
+}
+
+/// Merge phase A driver: shards are dealt to the workers in contiguous
+/// groups.  Small batches run inline — the result is identical either way
+/// (each shard's work is self-contained), so the cutover is free to be a
+/// pure performance choice.
+fn resolve_batch(
+    scratch: &mut [ShardScratch],
+    expansions: &[Expansion],
+    visited: &Visited,
+    track_canon: bool,
+    workers: usize,
+) {
+    let candidates: usize = scratch.iter().map(|sc| sc.cands.len()).sum();
+    let workers = workers.clamp(1, VISITED_SHARDS);
+    if workers <= 1 || candidates <= 256 {
+        for sc in scratch.iter_mut() {
+            resolve_shard(sc, expansions, visited, track_canon);
+        }
+        return;
+    }
+    let chunk = VISITED_SHARDS.div_ceil(workers);
+    rayon::scope(|scope| {
+        for group in scratch.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for sc in group {
+                    resolve_shard(sc, expansions, visited, track_canon);
+                }
+            });
+        }
+    });
+}
+
+/// Merge phase C driver: commit every shard's freshly assigned entries into
+/// its memtable (shard-parallel like phase A), then let the `--mem-budget`
+/// accountant seal/compact.  Skipped entirely when the BFS is stopping —
+/// the map is dropped before anything could observe the difference.
+fn commit_batch(visited: &mut Visited, scratch: &[ShardScratch], workers: usize) {
+    let commit = |map: &mut Memtable, sc: &ShardScratch| {
+        debug_assert_eq!(sc.assigned.len(), sc.fresh_keys.len(), "unassigned ordinal");
+        for (ordinal, &id) in sc.assigned.iter().enumerate() {
+            map.insert(sc.fresh_keys[ordinal], id);
+        }
+    };
+    let fresh: usize = scratch.iter().map(|sc| sc.assigned.len()).sum();
+    let workers = workers.clamp(1, VISITED_SHARDS);
+    let maps = visited.shard_maps_mut();
+    if workers <= 1 || fresh <= 256 {
+        for (map, sc) in maps.iter_mut().zip(scratch.iter()) {
+            commit(map, sc);
+        }
+    } else {
+        let chunk = VISITED_SHARDS.div_ceil(workers);
+        rayon::scope(|scope| {
+            for (map_group, sc_group) in maps.chunks_mut(chunk).zip(scratch.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (map, sc) in map_group.iter_mut().zip(sc_group) {
+                        commit(map, sc);
+                    }
+                });
+            }
+        });
+    }
+    visited.maybe_seal();
+}
+
+/// Resolves [`ExploreOptions::workers`]: `0` means one per available core,
+/// and the result is clamped to `1..=BATCH` — a batch is never wider than
+/// [`BATCH`] nodes, so extra workers would only ever idle (and the pool
+/// allocates one engine per worker, so an unclamped huge request would try
+/// to materialize that many engines).
 fn resolve_workers(requested: usize) -> usize {
-    if requested > 0 {
+    let resolved = if requested > 0 {
         requested
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
-    }
+    };
+    resolved.clamp(1, BATCH)
 }
 
 /// The exploration engine.  Returns the report, the storage backend's
@@ -1266,9 +1371,9 @@ fn explore<P: Protocol + Clone + Send>(
     let root_bits = aug_template.key_bits();
     let root_target = reach_mode && invariant.is_target(&state_view(&root_state, 0), &aug_template);
 
-    let mut visited = Visited::new();
+    let mut visited = Visited::new(options.store, options.mem_budget);
     let root_key = make_key(&root_packed, root_bits, effective_dedup, 0);
-    visited.shard_mut(&root_key).insert(root_key, 0);
+    visited.insert(root_key, 0);
     // Canonical classes among the stored states (exact-dedup statistic):
     // each signature is computed once, straight from the worker engine, when
     // its state is first discovered.
@@ -1322,17 +1427,30 @@ fn explore<P: Protocol + Clone + Send>(
     };
 
     // Batch-synchronous BFS: expand the next window of nodes in parallel,
-    // then merge sequentially in window order — node ids, edge order and
-    // early stops are exactly those of a sequential breadth-first sweep.
+    // then merge the batch.  The merge is itself mostly parallel — partition
+    // the fresh candidates by visited-map shard, dedup per shard in parallel
+    // (the visited map is frozen for the whole batch, so probes are
+    // lock-free), then a sequential ordering pass walks the expansions in
+    // window order assigning node ids — so node ids, edge order and early
+    // stops are exactly those of a sequential breadth-first sweep, for every
+    // worker count and backend.
+    let mut expand_nanos: u64 = 0;
+    let mut merge_nanos: u64 = 0;
+    let mut scratch: Vec<ShardScratch> = (0..VISITED_SHARDS)
+        .map(|_| ShardScratch::default())
+        .collect();
     let mut next = 0usize;
     'bfs: while next < meta.len() {
         let batch_end = meta.len().min(next + BATCH);
+        let expand_start = Instant::now();
         let expansions = {
             let window = store.window(next, batch_end);
             expand_batch(&mut pool, &window, &meta[next..batch_end], &visited, &ctx)
         };
+        expand_nanos += expand_start.elapsed().as_nanos() as u64;
+        let merge_start = Instant::now();
         // Residency sampling point: immediately before each expansion's
-        // sequential merge — stored states plus every successor still
+        // ordering pass — stored states plus every successor still
         // buffered (this expansion's and later ones').  Suffix sums make the
         // per-expansion sample O(1).
         let mut buffered: Vec<(usize, u64)> = vec![(0, 0); expansions.len() + 1];
@@ -1347,11 +1465,35 @@ fn explore<P: Protocol + Clone + Send>(
             buffered[i] = fresh;
         }
 
-        for (offset, expansion) in expansions.into_iter().enumerate() {
+        // Merge phase 1 (sequential, cheap): partition the fresh candidates
+        // by shard, preserving window order within each shard.
+        for sc in scratch.iter_mut() {
+            sc.reset();
+        }
+        for (e, expansion) in expansions.iter().enumerate() {
+            for (s, succ) in expansion.succs.iter().enumerate() {
+                if let SuccState::Fresh { key, .. } = &succ.state {
+                    scratch[shard_of(key)].cands.push((e as u32, s as u32));
+                }
+            }
+        }
+        // Merge phase 2 (parallel): per-shard dedup + canonical signatures.
+        resolve_batch(&mut scratch, &expansions, &visited, track_canon, workers);
+
+        // Merge phase 3 (sequential): the ordering pass.  Walks expansions
+        // in window order, consuming each shard's resolutions back in the
+        // order phase 1 produced them, and assigns global node ids at first
+        // occurrences — reproducing the sequential sweep exactly, including
+        // where it trips the state budget or stops on a violation.
+        let mut stopping = false;
+        'order: for (offset, expansion) in expansions.into_iter().enumerate() {
             let i = next + offset;
             peak_resident = peak_resident.max(meta.len() + buffered[offset].0);
-            peak_resident_bytes =
-                peak_resident_bytes.max(store.payload_bytes() + buffered[offset].1);
+            peak_resident_bytes = peak_resident_bytes.max(
+                store.payload_bytes()
+                    + buffered[offset].1
+                    + meta.len() as u64 * VISITED_ENTRY_BYTES,
+            );
             for succ in expansion.succs {
                 let to = match succ.state {
                     SuccState::Known(id) => id,
@@ -1361,31 +1503,50 @@ fn explore<P: Protocol + Clone + Send>(
                         aug_bits,
                         fault,
                         target,
-                    } => match visited.shard_mut(&key).entry(key) {
-                        std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
-                        std::collections::hash_map::Entry::Vacant(entry) => {
-                            if meta.len() >= options.max_states {
-                                budget = Some((meta.len(), offsets.len() - 1));
-                                break 'bfs;
+                    } => {
+                        let sc = &mut scratch[shard_of(&key)];
+                        let res = sc.res[sc.cursor];
+                        sc.cursor += 1;
+                        match res {
+                            MergeRes::Known(id) => id,
+                            MergeRes::Fresh(ordinal) => {
+                                let ordinal = ordinal as usize;
+                                if ordinal < sc.assigned.len() {
+                                    // In-batch duplicate of an earlier fresh
+                                    // successor; its id is already fixed.
+                                    sc.assigned[ordinal]
+                                } else {
+                                    debug_assert_eq!(
+                                        ordinal,
+                                        sc.assigned.len(),
+                                        "ordinals are assigned in shard order"
+                                    );
+                                    if meta.len() >= options.max_states {
+                                        budget = Some((meta.len(), offsets.len() - 1));
+                                        stopping = true;
+                                        break 'order;
+                                    }
+                                    if track_canon {
+                                        // One decode-based signature per
+                                        // *stored* state, computed in the
+                                        // parallel phase.
+                                        canonical_classes.insert(sc.fresh_sigs[ordinal]);
+                                    }
+                                    let id = meta.len() as u32;
+                                    sc.assigned.push(id);
+                                    store.push(packed);
+                                    meta.push(NodeMeta {
+                                        aug_bits,
+                                        fault,
+                                        parent: i as u32,
+                                        parent_code: succ.code,
+                                        target,
+                                    });
+                                    id
+                                }
                             }
-                            if track_canon {
-                                // One decode-based signature per *stored*
-                                // state (cheaper than computing it for every
-                                // fresh-looking successor in expansion).
-                                canonical_classes.insert(packed.canonical_sig());
-                            }
-                            let id = meta.len() as u32;
-                            store.push(packed);
-                            meta.push(NodeMeta {
-                                aug_bits,
-                                fault,
-                                parent: i as u32,
-                                parent_code: succ.code,
-                                target,
-                            });
-                            *entry.insert(id)
                         }
-                    },
+                    }
                 };
                 progress_edges += u64::from(succ.progress);
                 sink.push(Edge {
@@ -1408,11 +1569,20 @@ fn explore<P: Protocol + Clone + Send>(
                     faults,
                     starved: options.faults.starve_mask,
                 });
-                break 'bfs;
+                stopping = true;
+                break 'order;
             }
             assert!(sink.len() <= u64::from(u32::MAX), "edge offsets are u32");
             offsets.push(sink.len() as u32);
         }
+        if stopping {
+            merge_nanos += merge_start.elapsed().as_nanos() as u64;
+            break 'bfs;
+        }
+        // Merge phase 4 (parallel): commit the batch's assignments into the
+        // shard memtables, then give the budget accountant a seal point.
+        commit_batch(&mut visited, &scratch, workers);
+        merge_nanos += merge_start.elapsed().as_nanos() as u64;
         next = batch_end;
     }
 
@@ -1425,7 +1595,9 @@ fn explore<P: Protocol + Clone + Send>(
     let edge_count = sink.len();
     // The visited map has served its purpose; free it before the liveness
     // pass loads the edges back, so the load replaces rather than adds to
-    // the peak footprint.
+    // the peak footprint.  For the spill backend the drop also unlinks the
+    // on-disk run file — the runs are exploration-only state.
+    let visited_spilled_bytes = visited.spilled_bytes();
     drop(visited);
     let mut quotient_overflow = false;
     let outcome = if let Some(ce) = safety_ce {
@@ -1470,6 +1642,9 @@ fn explore<P: Protocol + Clone + Send>(
     let stats = StoreStats {
         store: options.store,
         spilled_bytes: store.spilled_bytes() + sink.spilled_bytes(),
+        visited_spilled_bytes,
+        expand_nanos,
+        merge_nanos,
     };
     let report = ExploreReport {
         invariant: invariant.name(),
@@ -2561,6 +2736,33 @@ mod tests {
                 .collect();
             assert_eq!(reports[0], reports[1], "mode={mode}");
             assert_eq!(reports[0], reports[2], "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn degenerate_worker_counts_are_clamped_and_well_defined() {
+        // `0` resolves to one worker per available core; anything above the
+        // batch width clamps to BATCH.  Every resolved count must produce
+        // the same report as a single worker.
+        assert_eq!(resolve_workers(1), 1);
+        assert_eq!(resolve_workers(BATCH + 7), BATCH);
+        assert_eq!(resolve_workers(usize::MAX), BATCH);
+        let auto = resolve_workers(0);
+        assert!((1..=BATCH).contains(&auto), "auto-detect clamps too");
+
+        let initial = enumerate_rigid_configurations(6, 3).remove(0);
+        let run = |w: usize| {
+            check_protocol(
+                &GatheringProtocol::new(),
+                &initial,
+                &GatheringInvariant::new(),
+                &ExploreOptions::new(InterleavingMode::SsyncSubsets).with_workers(w),
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for degenerate in [0, BATCH + 7, usize::MAX] {
+            assert_eq!(run(degenerate), reference, "workers={degenerate}");
         }
     }
 

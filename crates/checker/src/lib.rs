@@ -32,6 +32,7 @@ pub mod game;
 pub mod impossibility;
 pub mod store;
 pub mod verify;
+mod visited;
 
 pub use characterization::{build_characterization, CellStatus, CharacterizationCell};
 pub use enumeration::{configuration_graph, ConfigurationGraph};

@@ -29,7 +29,7 @@
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -69,6 +69,23 @@ pub struct StoreStats {
     /// mem backend.  Deterministic: a pure function of the explored graph,
     /// independent of worker count and memory budget.
     pub spilled_bytes: u64,
+    /// Bytes appended to the visited map's run file (sealed sorted runs plus
+    /// compaction rewrites); `0` for the mem backend.  Deterministic for a
+    /// fixed (backend, budget) pair — sealing is driven by entry counts at
+    /// sequential merge points, never by worker timing — but, unlike
+    /// [`spilled_bytes`](StoreStats::spilled_bytes), it *does* depend on the
+    /// memory budget: a tighter budget seals smaller memtables more often
+    /// and compacts more.
+    pub visited_spilled_bytes: u64,
+    /// Wall nanoseconds spent in the parallel expansion phase (workers
+    /// stepping engines).  **Not deterministic** — a diagnostic for the E16
+    /// scaling records, excluded from every cross-run comparison.
+    pub expand_nanos: u64,
+    /// Wall nanoseconds spent in the batch merge (shard partition, parallel
+    /// per-shard dedup, the sequential ordering pass, memtable commit and
+    /// visited-map sealing).  **Not deterministic** — same status as
+    /// [`expand_nanos`](StoreStats::expand_nanos).
+    pub merge_nanos: u64,
 }
 
 /// States per spill cluster: the first state is the cluster base (raw
@@ -168,14 +185,14 @@ impl StateStore for MemStore {
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A process-private temp file that deletes itself on drop.
-struct SpillFile {
+pub(crate) struct SpillFile {
     file: File,
     path: PathBuf,
     written: u64,
 }
 
 impl SpillFile {
-    fn create(tag: &str) -> Self {
+    pub(crate) fn create(tag: &str) -> Self {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
         let path = std::env::temp_dir().join(format!(
             "rr-checker-{tag}-{}-{seq}.spill",
@@ -195,7 +212,7 @@ impl SpillFile {
     }
 
     /// Appends `bytes` at the end of the file; returns their offset.
-    fn append(&mut self, bytes: &[u8]) -> u64 {
+    pub(crate) fn append(&mut self, bytes: &[u8]) -> u64 {
         let offset = self.written;
         self.file
             .seek(SeekFrom::Start(offset))
@@ -205,12 +222,40 @@ impl SpillFile {
         offset
     }
 
-    fn read_at(&mut self, offset: u64, len: usize) -> Vec<u8> {
+    /// Total bytes ever appended.
+    pub(crate) fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Positional read through a **shared** reference: no seek, no shared
+    /// cursor, so concurrent readers (the expansion workers probing visited
+    /// runs) need no lock.
+    pub(crate) fn read_exact_at(&self, offset: u64, buf: &mut [u8]) {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file
+                .read_exact_at(buf, offset)
+                .unwrap_or_else(|e| panic!("reading spill file {}: {e}", self.path.display()));
+        }
+        #[cfg(windows)]
+        {
+            use std::os::windows::fs::FileExt;
+            let mut done = 0usize;
+            while done < buf.len() {
+                let n = self
+                    .file
+                    .seek_read(&mut buf[done..], offset + done as u64)
+                    .unwrap_or_else(|e| panic!("reading spill file {}: {e}", self.path.display()));
+                assert!(n > 0, "truncated spill file {}", self.path.display());
+                done += n;
+            }
+        }
+    }
+
+    pub(crate) fn read_at(&self, offset: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0u8; len];
-        self.file
-            .seek(SeekFrom::Start(offset))
-            .and_then(|_| self.file.read_exact(&mut buf))
-            .unwrap_or_else(|e| panic!("reading spill file {}: {e}", self.path.display()));
+        self.read_exact_at(offset, &mut buf);
         buf
     }
 }
@@ -650,6 +695,58 @@ mod tests {
             store.file.path.clone()
         };
         assert!(!path.exists(), "spill file must be deleted on drop");
+    }
+
+    /// Encoded byte size of one full cluster of `states[..CLUSTER]` — the
+    /// boundary the re-read-pressure proptest perturbs by ±1.
+    fn cluster_bytes_of(states: &[PackedState]) -> u64 {
+        let mut probe = SpillStore::new(0);
+        for s in &states[..CLUSTER] {
+            probe.push(s.clone());
+        }
+        assert!(probe.spilled_bytes() > 0, "one cluster must have sealed");
+        probe.spilled_bytes()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Spill clusters under re-read pressure: window loads interleaved
+        /// with continued pushes (hence continued sealing and eviction), at
+        /// cache budgets pinned to the encoded-cluster-size boundary ±1 byte
+        /// — every loaded window must be byte-identical to the mem-backend
+        /// oracle, whichever mix of cache hits, evictions and disk decodes
+        /// served it.
+        #[test]
+        fn interleaved_windows_match_the_mem_oracle_at_boundary_budgets(
+            // Interleaving script: each entry pushes 1..=24 states, then
+            // windows a pseudo-random span of what has been pushed so far.
+            script in proptest::collection::vec((1usize..=24, 0u64..u64::MAX), 4..24),
+            // Budget at an encoded-cluster boundary: k clusters ± 1 byte.
+            boundary in 0u64..4,
+            delta in 0u64..3,
+        ) {
+            let states = sequence(8 * CLUSTER);
+            let budget =
+                (boundary * cluster_bytes_of(&states)).saturating_add_signed(delta as i64 - 1);
+            let mut oracle = MemStore::new();
+            let mut spill = SpillStore::new(budget);
+            let mut len = 0usize;
+            for (push, pick) in script {
+                for s in &states[len..(len + push).min(states.len())] {
+                    oracle.push(s.clone());
+                    spill.push(s.clone());
+                    len += 1;
+                }
+                // A window over the pushed prefix, biased toward recent ids
+                // (the BFS pattern) but free to re-read sealed clusters.
+                let start = (pick % len as u64) as usize;
+                let end = (start + 1 + (pick >> 32) as usize % 96).min(len);
+                let want = oracle.window(start, end);
+                let got = spill.window(start, end);
+                proptest::prop_assert_eq!(&want[..], &got[..], "window {}..{}", start, end);
+            }
+        }
     }
 
     #[test]

@@ -28,8 +28,11 @@ const MODES: [InterleavingMode; 2] = [
 
 /// Worker counts every run is checked under: sequential, genuinely
 /// concurrent, and oversubscribed (more workers than the machine has cores
-/// — and, for small graphs, more than there are nodes to expand).
-const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+/// — and, for small graphs, more than there are nodes to expand).  The
+/// spill-backend leg below runs each of these with a visited-map budget
+/// tight enough to seal runs to disk, so mem-vs-spill × every worker count
+/// is pinned byte-identical.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn assert_worker_invariant<P: Protocol + Clone + Send>(
     protocol: &P,

@@ -1,0 +1,59 @@
+//! Spill hygiene: every temp file the spill backends create — packed-state
+//! clusters, CSR edge pages, and the visited map's sorted runs — must be
+//! unlinked by the time `check_protocol_with_stats` returns.  The visited
+//! map in particular is dropped *before* the liveness pass, so its run file
+//! must not outlive exploration either.
+//!
+//! This test runs in its own integration binary, hence its own process:
+//! spill files are named `rr-checker-*-{pid}-*.spill`, so filtering the
+//! temp dir by our pid cannot race with other test binaries.
+
+use rr_checker::explore::{check_protocol_with_stats, ExploreOptions};
+use rr_checker::StoreKind;
+use rr_corda::InterleavingMode;
+use rr_core::invariant::GatheringInvariant;
+use rr_core::GatheringProtocol;
+use rr_ring::enumerate::enumerate_rigid_configurations;
+
+/// Spill files of *this* process currently present in the temp dir.
+fn our_spill_files() -> Vec<String> {
+    let marker = format!("-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| {
+            name.starts_with("rr-checker-") && name.ends_with(".spill") && name.contains(&marker)
+        })
+        .collect()
+}
+
+#[test]
+fn spill_temp_files_are_deleted_when_explore_returns() {
+    let initial = enumerate_rigid_configurations(9, 4).remove(1);
+    // A budget this small forces the packed-state store to spill clusters
+    // AND the visited map to seal runs to disk, so all three spill files
+    // (states, edges, visited runs) actually exist during the run.  The
+    // async interleaving space keeps the graph big enough (≈160 states ×
+    // 68 B/entry) that a 1 KiB visited budget genuinely seals.
+    let (report, stats) = check_protocol_with_stats(
+        &GatheringProtocol::new(),
+        &initial,
+        &GatheringInvariant::new(),
+        &ExploreOptions::new(InterleavingMode::AsyncPhases)
+            .with_store(StoreKind::Spill)
+            .with_mem_budget(1 << 10),
+    )
+    .unwrap();
+    assert!(report.verified(), "{:?}", report.outcome);
+    assert!(stats.spilled_bytes > 0, "state/edge spill never engaged");
+    assert!(
+        stats.visited_spilled_bytes > 0,
+        "visited map never sealed a run — the budget is not tight enough"
+    );
+    let leftover = our_spill_files();
+    assert!(
+        leftover.is_empty(),
+        "spill files survived exploration: {leftover:?}"
+    );
+}
